@@ -1,0 +1,135 @@
+//! # dehealth-anonymize
+//!
+//! Anonymization defenses for online health data — the open problem the
+//! paper leaves as future work ("developing proper anonymization
+//! techniques for large-scale online health data is a challenging open
+//! problem", Section VII) and the counterpart of the adversarial-
+//! stylometry literature it cites (Anonymouth [36], Brennan et al. [37]).
+//!
+//! Two defense families, matching De-Health's two signal channels:
+//!
+//! - [`style`] — *style obfuscation*: rewrite post text to flatten the
+//!   Table-I stylometric footprint (case normalization, misspelling
+//!   correction, punctuation flattening, digit generalization).
+//! - [`structure`] — *structure unlinking*: perturb the co-posting
+//!   relation that builds the correlation graph (thread splitting, thread
+//!   merging k-anonymity style).
+//!
+//! [`Defense`] composes passes over a whole [`dehealth_corpus::Forum`],
+//! producing a defended copy whose utility loss is measurable (see
+//! [`style::utility`]) alongside the attack degradation (the `repro
+//! defense` experiment).
+
+pub mod structure;
+pub mod style;
+
+use dehealth_corpus::Forum;
+
+/// A composable defense pipeline over a forum.
+#[derive(Debug, Clone, Default)]
+pub struct Defense {
+    /// Style-obfuscation passes, applied to every post in order.
+    pub style_passes: Vec<style::StylePass>,
+    /// Corpus-level vocabulary generalization: keep only the `keep_top`
+    /// most frequent words of the forum and replace the rest with a
+    /// generic token. Attacks idiosyncratic word choice (pet words,
+    /// habitual misspellings, rare function words) the way k-anonymity
+    /// generalizes quasi-identifiers.
+    pub vocab_keep_top: Option<usize>,
+    /// Structure perturbation, applied after text passes.
+    pub structure: Option<structure::StructurePass>,
+}
+
+impl Defense {
+    /// No-op defense.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The full text-side defense: case + spelling + punctuation + digits
+    /// plus vocabulary generalization to the 400 most common words.
+    #[must_use]
+    pub fn full_style() -> Self {
+        Self {
+            style_passes: vec![
+                style::StylePass::NormalizeCase,
+                style::StylePass::CorrectMisspellings,
+                style::StylePass::FlattenPunctuation,
+                style::StylePass::GeneralizeDigits,
+            ],
+            vocab_keep_top: Some(400),
+            structure: None,
+        }
+    }
+
+    /// The full defense: style obfuscation plus thread splitting.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            structure: Some(structure::StructurePass::SplitThreads),
+            ..Self::full_style()
+        }
+    }
+
+    /// Apply the defense to a forum, returning a defended copy.
+    #[must_use]
+    pub fn apply(&self, forum: &Forum, seed: u64) -> Forum {
+        let mut posts = forum.posts.clone();
+        for post in &mut posts {
+            for pass in &self.style_passes {
+                post.text = pass.apply(&post.text);
+            }
+        }
+        if let Some(keep) = self.vocab_keep_top {
+            let whitelist = style::top_words(posts.iter().map(|p| p.text.as_str()), keep);
+            for post in &mut posts {
+                post.text = style::generalize_vocabulary(&post.text, &whitelist);
+            }
+        }
+        let mut out = Forum::from_posts(forum.n_users, forum.n_threads, posts);
+        if let Some(s) = &self.structure {
+            out = s.apply(&out, seed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dehealth_corpus::ForumConfig;
+
+    #[test]
+    fn noop_defense_preserves_forum() {
+        let forum = Forum::generate(&ForumConfig::tiny(), 1);
+        let defended = Defense::none().apply(&forum, 2);
+        assert_eq!(defended.posts.len(), forum.posts.len());
+        assert_eq!(defended.posts[0].text, forum.posts[0].text);
+        assert_eq!(defended.n_threads, forum.n_threads);
+    }
+
+    #[test]
+    fn full_style_changes_text_but_not_structure() {
+        let forum = Forum::generate(&ForumConfig::tiny(), 3);
+        let defended = Defense::full_style().apply(&forum, 4);
+        assert_eq!(defended.n_threads, forum.n_threads);
+        let changed = forum
+            .posts
+            .iter()
+            .zip(&defended.posts)
+            .filter(|(a, b)| a.text != b.text)
+            .count();
+        assert!(changed > forum.posts.len() / 2, "style passes changed too little");
+        // Thread assignments untouched.
+        assert!(forum.posts.iter().zip(&defended.posts).all(|(a, b)| a.thread == b.thread));
+    }
+
+    #[test]
+    fn full_defense_also_perturbs_threads() {
+        let forum = Forum::generate(&ForumConfig::tiny(), 5);
+        let defended = Defense::full().apply(&forum, 6);
+        // Thread splitting isolates every post.
+        assert_eq!(defended.n_threads, defended.posts.len());
+    }
+}

@@ -1,0 +1,143 @@
+//! Structure-unlinking passes: perturb the co-posting relation that the
+//! UDA correlation graph is built from.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dehealth_corpus::Forum;
+
+/// One structure perturbation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructurePass {
+    /// Give every post its own singleton thread: the correlation graph
+    /// becomes edgeless (maximal unlinking, destroys the discussion
+    /// context entirely).
+    SplitThreads,
+    /// Merge all threads of a board into one mega-thread: co-posting
+    /// becomes board-level, drowning pairwise signal in noise
+    /// (k-anonymity-flavoured generalization). Falls back to
+    /// [`StructurePass::SplitThreads`] when board metadata is absent.
+    MergeBoards,
+    /// Randomly reassign each post to one of the existing threads,
+    /// keeping thread-size marginals roughly intact.
+    ShuffleThreads,
+}
+
+impl StructurePass {
+    /// Apply the pass, returning a new forum.
+    #[must_use]
+    pub fn apply(&self, forum: &Forum, seed: u64) -> Forum {
+        match self {
+            StructurePass::SplitThreads => split_threads(forum),
+            StructurePass::MergeBoards => merge_boards(forum),
+            StructurePass::ShuffleThreads => shuffle_threads(forum, seed),
+        }
+    }
+}
+
+fn split_threads(forum: &Forum) -> Forum {
+    let posts = forum
+        .posts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| dehealth_corpus::Post { author: p.author, thread: i, text: p.text.clone() })
+        .collect::<Vec<_>>();
+    let n_threads = posts.len();
+    Forum::from_posts(forum.n_users, n_threads, posts)
+}
+
+fn merge_boards(forum: &Forum) -> Forum {
+    if forum.thread_board.is_empty() {
+        return split_threads(forum);
+    }
+    let n_boards = forum.thread_board.iter().max().map_or(1, |&b| b + 1);
+    let posts = forum
+        .posts
+        .iter()
+        .map(|p| dehealth_corpus::Post {
+            author: p.author,
+            thread: forum.thread_board[p.thread],
+            text: p.text.clone(),
+        })
+        .collect::<Vec<_>>();
+    Forum::from_posts(forum.n_users, n_boards, posts)
+}
+
+fn shuffle_threads(forum: &Forum, seed: u64) -> Forum {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_threads = forum.n_threads.max(1);
+    let posts = forum
+        .posts
+        .iter()
+        .map(|p| dehealth_corpus::Post {
+            author: p.author,
+            thread: rng.gen_range(0..n_threads),
+            text: p.text.clone(),
+        })
+        .collect::<Vec<_>>();
+    Forum::from_posts(forum.n_users, n_threads, posts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dehealth_corpus::{ForumConfig, Post};
+
+    fn forum() -> Forum {
+        Forum::generate(&ForumConfig::tiny(), 11)
+    }
+
+    #[test]
+    fn split_isolates_every_post() {
+        let f = forum();
+        let d = StructurePass::SplitThreads.apply(&f, 0);
+        assert_eq!(d.n_threads, d.posts.len());
+        // No two posts share a thread.
+        let mut seen = std::collections::HashSet::new();
+        assert!(d.posts.iter().all(|p| seen.insert(p.thread)));
+    }
+
+    #[test]
+    fn merge_boards_coarsens_threads() {
+        let f = forum();
+        let d = StructurePass::MergeBoards.apply(&f, 0);
+        assert!(d.n_threads < f.n_threads, "{} !< {}", d.n_threads, f.n_threads);
+        assert_eq!(d.posts.len(), f.posts.len());
+    }
+
+    #[test]
+    fn merge_without_board_metadata_falls_back_to_split() {
+        let raw = Forum::from_posts(
+            2,
+            2,
+            vec![
+                Post { author: 0, thread: 0, text: "a".into() },
+                Post { author: 1, thread: 1, text: "b".into() },
+            ],
+        );
+        let d = StructurePass::MergeBoards.apply(&raw, 0);
+        assert_eq!(d.n_threads, d.posts.len());
+    }
+
+    #[test]
+    fn shuffle_keeps_posts_and_thread_count() {
+        let f = forum();
+        let d = StructurePass::ShuffleThreads.apply(&f, 7);
+        assert_eq!(d.posts.len(), f.posts.len());
+        assert_eq!(d.n_threads, f.n_threads);
+        // Deterministic.
+        let d2 = StructurePass::ShuffleThreads.apply(&f, 7);
+        assert!(d.posts.iter().zip(&d2.posts).all(|(a, b)| a.thread == b.thread));
+    }
+
+    #[test]
+    fn authors_never_change() {
+        let f = forum();
+        for pass in
+            [StructurePass::SplitThreads, StructurePass::MergeBoards, StructurePass::ShuffleThreads]
+        {
+            let d = pass.apply(&f, 3);
+            assert!(f.posts.iter().zip(&d.posts).all(|(a, b)| a.author == b.author));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Style-obfuscation passes.
+//!
+//! Each pass targets specific Table-I feature groups:
+//!
+//! | Pass | Features flattened |
+//! |---|---|
+//! | [`StylePass::NormalizeCase`] | uppercase %, word shape, letter case habits |
+//! | [`StylePass::CorrectMisspellings`] | the 248 misspelling features |
+//! | [`StylePass::FlattenPunctuation`] | punctuation frequencies, `!`/`?` habits |
+//! | [`StylePass::GeneralizeDigits`] | digit frequencies (dosages, lab values) |
+//!
+//! Passes are pure text→text functions, so they compose and are trivially
+//! testable. [`utility`] measures how much of the post's content survives
+//! (token-level Jaccard) — the anonymization-vs-utility trade-off the
+//! paper's Section VII discusses.
+
+use dehealth_text::lexicon::correction;
+use dehealth_text::tokenize::{tokenize, TokenKind};
+
+/// One style-obfuscation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StylePass {
+    /// Lowercase everything: removes case habits (ALLCAPS emphasis,
+    /// sloppy sentence starts, camel case).
+    NormalizeCase,
+    /// Replace each of the 248 known misspellings with its correction.
+    CorrectMisspellings,
+    /// Replace `!` and `?` runs with `.` and drop decorative punctuation
+    /// (`;`, `:`, `"`); keeps sentence boundaries.
+    FlattenPunctuation,
+    /// Replace every digit run with the generic token `N`: removes
+    /// dosage/lab-value fingerprints while keeping "a number was here".
+    GeneralizeDigits,
+}
+
+impl StylePass {
+    /// Apply the pass to one post.
+    #[must_use]
+    pub fn apply(&self, text: &str) -> String {
+        match self {
+            StylePass::NormalizeCase => text.to_lowercase(),
+            StylePass::CorrectMisspellings => correct_misspellings(text),
+            StylePass::FlattenPunctuation => flatten_punctuation(text),
+            StylePass::GeneralizeDigits => generalize_digits(text),
+        }
+    }
+}
+
+fn correct_misspellings(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_end = 0;
+    for tok in tokenize(text) {
+        out.push_str(&text[last_end..tok.start]);
+        let end = tok.start + tok.text.len();
+        if tok.kind == TokenKind::Word {
+            match correction(tok.text) {
+                Some(fix) => out.push_str(fix),
+                None => out.push_str(tok.text),
+            }
+        } else {
+            out.push_str(tok.text);
+        }
+        last_end = end;
+    }
+    out.push_str(&text[last_end..]);
+    out
+}
+
+fn flatten_punctuation(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut prev_was_terminal = false;
+    for c in text.chars() {
+        match c {
+            '!' | '?' => {
+                if !prev_was_terminal {
+                    out.push('.');
+                    prev_was_terminal = true;
+                }
+            }
+            '.' => {
+                if !prev_was_terminal {
+                    out.push('.');
+                    prev_was_terminal = true;
+                }
+            }
+            ';' | ':' | '"' => {
+                // Dropped entirely (decorative for style purposes).
+                prev_was_terminal = false;
+            }
+            _ => {
+                out.push(c);
+                prev_was_terminal = false;
+            }
+        }
+    }
+    out
+}
+
+fn generalize_digits(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_digits = false;
+    for c in text.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('N');
+                in_digits = true;
+            }
+        } else {
+            out.push(c);
+            in_digits = false;
+        }
+    }
+    out
+}
+
+/// The `keep` most frequent (lowercased) word tokens across `posts`.
+#[must_use]
+pub fn top_words<'a, I: IntoIterator<Item = &'a str>>(
+    posts: I,
+    keep: usize,
+) -> std::collections::HashSet<String> {
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for text in posts {
+        for tok in tokenize(text) {
+            if tok.kind == TokenKind::Word {
+                *counts.entry(tok.text.to_lowercase()).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<(String, usize)> = counts.into_iter().collect();
+    ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.into_iter().take(keep).map(|(w, _)| w).collect()
+}
+
+/// Replace every word token not in `whitelist` (case-insensitive) with the
+/// generic token `thing`, preserving all non-word characters.
+#[must_use]
+pub fn generalize_vocabulary(
+    text: &str,
+    whitelist: &std::collections::HashSet<String>,
+) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_end = 0;
+    for tok in tokenize(text) {
+        out.push_str(&text[last_end..tok.start]);
+        let end = tok.start + tok.text.len();
+        if tok.kind == TokenKind::Word && !whitelist.contains(&tok.text.to_lowercase()) {
+            out.push_str("thing");
+        } else {
+            out.push_str(tok.text);
+        }
+        last_end = end;
+    }
+    out.push_str(&text[last_end..]);
+    out
+}
+
+/// Utility retention: token-level Jaccard between the original and the
+/// defended post (case-insensitive word tokens only). 1.0 = identical
+/// content, 0.0 = nothing shared.
+#[must_use]
+pub fn utility(original: &str, defended: &str) -> f64 {
+    let words = |t: &str| -> std::collections::HashSet<String> {
+        tokenize(t)
+            .into_iter()
+            .filter(|tok| tok.kind == TokenKind::Word)
+            .map(|tok| tok.text.to_lowercase())
+            .collect()
+    };
+    let a = words(original);
+    let b = words(defended);
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(&b).count();
+    let union = a.union(&b).count();
+    inter as f64 / union.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_normalization() {
+        assert_eq!(StylePass::NormalizeCase.apply("I LOVE Caps"), "i love caps");
+    }
+
+    #[test]
+    fn misspelling_correction() {
+        let fixed = StylePass::CorrectMisspellings.apply("i recieve my diabetis results");
+        assert_eq!(fixed, "i receive my diabetes results");
+        // Unknown words untouched, casing of corrections is lexicon-side.
+        assert_eq!(StylePass::CorrectMisspellings.apply("perfectly fine"), "perfectly fine");
+    }
+
+    #[test]
+    fn misspelling_correction_preserves_punctuation() {
+        let fixed = StylePass::CorrectMisspellings.apply("wow, thier dog? yes!");
+        assert_eq!(fixed, "wow, their dog? yes!");
+    }
+
+    #[test]
+    fn punctuation_flattening() {
+        assert_eq!(StylePass::FlattenPunctuation.apply("help!!! now??"), "help. now.");
+        assert_eq!(StylePass::FlattenPunctuation.apply("a; b: c\"d"), "a b cd");
+        // Periods deduplicate but remain.
+        assert_eq!(StylePass::FlattenPunctuation.apply("end... start"), "end. start");
+    }
+
+    #[test]
+    fn digit_generalization() {
+        assert_eq!(StylePass::GeneralizeDigits.apply("took 40 mg at 10:30"), "took N mg at N:N");
+    }
+
+    #[test]
+    fn passes_are_idempotent() {
+        for pass in [
+            StylePass::NormalizeCase,
+            StylePass::CorrectMisspellings,
+            StylePass::FlattenPunctuation,
+            StylePass::GeneralizeDigits,
+        ] {
+            let t = "I realy took 40 mg!!! SO tired; honestly??";
+            let once = pass.apply(t);
+            let twice = pass.apply(&once);
+            assert_eq!(once, twice, "{pass:?} not idempotent");
+        }
+    }
+
+    #[test]
+    fn top_words_ranks_by_frequency() {
+        let top = top_words(["a a a b b c", "a b d"], 2);
+        assert!(top.contains("a") && top.contains("b"));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn vocabulary_generalization_replaces_rare_words() {
+        let wl: std::collections::HashSet<String> =
+            ["the", "pain"].iter().map(|s| s.to_string()).collect();
+        let out = generalize_vocabulary("the pain is fibromyalga!", &wl);
+        assert_eq!(out, "the pain thing thing!");
+    }
+
+    #[test]
+    fn utility_bounds() {
+        assert_eq!(utility("a b c", "a b c"), 1.0);
+        assert_eq!(utility("", ""), 1.0);
+        assert_eq!(utility("alpha beta", "gamma delta"), 0.0);
+        let u = utility("the pain is severe", "the pain is mild");
+        assert!(u > 0.0 && u < 1.0);
+    }
+
+    #[test]
+    fn correction_keeps_high_utility() {
+        let original = "i recieve my diabetis results today";
+        let defended = StylePass::CorrectMisspellings.apply(original);
+        // Two of six tokens change: Jaccard = 4/8 = 0.5.
+        assert!((utility(original, &defended) - 0.5).abs() < 1e-12);
+    }
+}

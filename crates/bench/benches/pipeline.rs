@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks for the De-Health pipeline stages:
+//! feature extraction, UDA-graph construction, similarity matrices,
+//! Top-K selection (direct vs graph matching), and classifier training.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dehealth_core::{SimilarityEngine, SimilarityWeights, UdaGraph};
+use dehealth_core::topk::{direct_selection, matching_selection};
+use dehealth_corpus::{Forum, ForumConfig};
+use dehealth_graph::community::community_stats;
+use dehealth_ml::{Classifier, Dataset, Knn, KnnMetric, Rlsc, SmoSvm, SvmParams};
+use dehealth_stylometry::extract;
+
+const SAMPLE_POST: &str = "Hi everyone, i have been taking the new medicine for 3 weeks now \
+and honestly the pain improves although the nausea remains awful. my doctor said that the \
+dose of 40 mg is normal but i realy wonder whether the fatigue is a side effect. has anyone \
+experienced the same? thanks in advance!";
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    c.bench_function("stylometry/extract_one_post", |b| {
+        b.iter(|| extract(black_box(SAMPLE_POST)));
+    });
+}
+
+fn bench_uda_build(c: &mut Criterion) {
+    let forum = Forum::generate(&ForumConfig::tiny(), 1);
+    c.bench_function("core/uda_build_tiny_forum", |b| {
+        b.iter(|| UdaGraph::build(black_box(&forum)));
+    });
+}
+
+fn bench_similarity_matrix(c: &mut Criterion) {
+    let forum = Forum::generate(&ForumConfig::tiny(), 2);
+    let split =
+        dehealth_corpus::closed_world_split(&forum, &dehealth_corpus::SplitConfig::fraction(0.5), 3);
+    let aux = UdaGraph::build(&split.auxiliary);
+    let anon = UdaGraph::build(&split.anonymized);
+    c.bench_function("core/similarity_matrix_tiny", |b| {
+        b.iter(|| {
+            let engine =
+                SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 10);
+            black_box(engine.matrix())
+        });
+    });
+}
+
+fn pseudo_random_matrix(n1: usize, n2: usize) -> Vec<Vec<f64>> {
+    let mut state = 88172645463325252u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n1).map(|_| (0..n2).map(|_| next()).collect()).collect()
+}
+
+fn bench_topk_selection(c: &mut Criterion) {
+    let m = pseudo_random_matrix(60, 120);
+    c.bench_function("core/topk_direct_60x120", |b| {
+        b.iter(|| direct_selection(black_box(&m), 10));
+    });
+    c.bench_function("core/topk_matching_60x120", |b| {
+        b.iter(|| matching_selection(black_box(&m), 3));
+    });
+}
+
+fn classifier_dataset() -> Dataset {
+    let mut d = Dataset::new(8);
+    let m = pseudo_random_matrix(120, 8);
+    for (i, row) in m.iter().enumerate() {
+        let label = i % 4;
+        let mut x = row.clone();
+        x[label] += 2.0; // separable structure
+        d.push(&x, label);
+    }
+    d
+}
+
+fn bench_classifiers(c: &mut Criterion) {
+    let d = classifier_dataset();
+    c.bench_function("ml/knn_fit_predict", |b| {
+        b.iter_batched(
+            || d.clone(),
+            |train| {
+                let mut knn = Knn::new(3, KnnMetric::Cosine);
+                knn.fit(&train);
+                black_box(knn.predict(train.sample(0)))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("ml/smo_fit", |b| {
+        b.iter_batched(
+            || d.clone(),
+            |train| {
+                let mut svm = SmoSvm::new(SvmParams::default());
+                svm.fit(&train);
+                black_box(svm.predict(train.sample(0)))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("ml/rlsc_fit", |b| {
+        b.iter_batched(
+            || d.clone(),
+            |train| {
+                let mut m = Rlsc::new(1.0);
+                m.fit(&train);
+                black_box(m.predict(train.sample(0)))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let forum = Forum::generate(&ForumConfig::webmd_like(400), 5);
+    let uda = UdaGraph::build(&forum);
+    c.bench_function("graph/community_stats_400_users", |b| {
+        b.iter(|| community_stats(black_box(&uda.graph), 0));
+    });
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut cfg = ForumConfig::webmd_like(50);
+    cfg.mean_post_words = 60.0;
+    c.bench_function("corpus/generate_50_users", |b| {
+        b.iter(|| Forum::generate(black_box(&cfg), 9));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_feature_extraction,
+        bench_uda_build,
+        bench_similarity_matrix,
+        bench_topk_selection,
+        bench_classifiers,
+        bench_graph_ops,
+        bench_corpus_generation,
+}
+criterion_main!(benches);

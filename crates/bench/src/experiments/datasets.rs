@@ -1,0 +1,114 @@
+//! Figures 1 and 2: dataset marginals — CDF of users by post count and
+//! post length distribution — for the WebMD-like and HealthBoards-like
+//! simulated corpora.
+
+use dehealth_corpus::{Forum, ForumConfig};
+
+use crate::{pct, print_series};
+
+/// Summary statistics for one simulated corpus.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Dataset label.
+    pub name: &'static str,
+    /// Users.
+    pub n_users: usize,
+    /// Posts.
+    pub n_posts: usize,
+    /// Mean posts per user.
+    pub mean_posts_per_user: f64,
+    /// Fraction of users with fewer than 5 posts (paper: WebMD 87.3%, HB
+    /// 75.4%).
+    pub frac_below_5: f64,
+    /// Mean post length in words (paper: 127.59 / 147.24).
+    pub mean_post_words: f64,
+}
+
+/// Compute the stats of one corpus.
+#[must_use]
+pub fn stats(name: &'static str, forum: &Forum) -> DatasetStats {
+    DatasetStats {
+        name,
+        n_users: forum.n_users,
+        n_posts: forum.posts.len(),
+        mean_posts_per_user: forum.posts.len() as f64 / forum.n_users as f64,
+        frac_below_5: forum.fraction_users_below(5),
+        mean_post_words: forum.mean_post_words(),
+    }
+}
+
+/// Generate both corpora at `n_users` scale.
+#[must_use]
+pub fn both_forums(n_users: usize, seed: u64) -> (Forum, Forum) {
+    (
+        Forum::generate(&ForumConfig::webmd_like(n_users), seed),
+        Forum::generate(&ForumConfig::healthboards_like(n_users), seed + 1),
+    )
+}
+
+/// Run Fig. 1: CDF of users with respect to the number of posts.
+pub fn run_fig1(n_users: usize, seed: u64) {
+    let (webmd, hb) = both_forums(n_users, seed);
+    for (name, forum) in [("WebMD-like", &webmd), ("HealthBoards-like", &hb)] {
+        let s = stats("", forum);
+        let cdf = forum.posts_per_user_cdf();
+        let sampled: Vec<(usize, String)> = [1usize, 2, 5, 10, 20, 50, 100, 200, 500]
+            .iter()
+            .map(|&k| {
+                let f = cdf.iter().take_while(|&&(c, _)| c <= k).last().map_or(0.0, |&(_, f)| f);
+                (k, pct(f))
+            })
+            .collect();
+        print_series(
+            &format!(
+                "Fig 1 [{name}]: CDF of users vs posts (mean {:.2} posts/user, {} users)",
+                s.mean_posts_per_user, s.n_users
+            ),
+            "#posts <=",
+            "fraction of users",
+            &sampled,
+        );
+        println!("  users with < 5 posts: {} (paper: WebMD 87.3%, HB 75.4%)", pct(s.frac_below_5));
+    }
+}
+
+/// Run Fig. 2: post length distribution.
+pub fn run_fig2(n_users: usize, seed: u64) {
+    let (webmd, hb) = both_forums(n_users, seed);
+    for (name, forum, paper_mean) in
+        [("WebMD-like", &webmd, 127.59), ("HealthBoards-like", &hb, 147.24)]
+    {
+        let hist = forum.post_length_histogram(50);
+        let rows: Vec<(String, String)> = hist
+            .iter()
+            .take(16)
+            .map(|&(b, f)| (format!("{b}-{}", b + 49), pct(f)))
+            .collect();
+        print_series(
+            &format!(
+                "Fig 2 [{name}]: post length distribution (mean {:.1} words; paper mean {paper_mean})",
+                forum.mean_post_words()
+            ),
+            "words",
+            "fraction of posts",
+            &rows,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_shapes_match_paper() {
+        let (webmd, hb) = both_forums(800, 5);
+        let sw = stats("webmd", &webmd);
+        let sh = stats("hb", &hb);
+        // Ordering claims from the paper.
+        assert!(sh.mean_posts_per_user > sw.mean_posts_per_user);
+        assert!(sw.frac_below_5 > sh.frac_below_5 - 0.05);
+        assert!(sw.frac_below_5 > 0.6);
+        assert!(sw.mean_post_words > 60.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Defense evaluation — the paper's Section-VII future work, made
+//! concrete: how much does each anonymization defense degrade the
+//! De-Health attack, and at what utility cost?
+//!
+//! The defended quantity is the *anonymized* dataset (what a data owner
+//! would publish); the adversary's auxiliary data are outside the owner's
+//! control and stay unmodified.
+
+use dehealth_anonymize::structure::StructurePass;
+use dehealth_anonymize::style::{utility, StylePass};
+use dehealth_anonymize::Defense;
+use dehealth_core::{AttackConfig, DeHealth};
+use dehealth_corpus::{closed_world_split, Forum, ForumConfig, Split, SplitConfig};
+
+use crate::pct;
+
+/// One measured defense row.
+#[derive(Debug, Clone)]
+pub struct DefenseRow {
+    /// Defense label.
+    pub name: &'static str,
+    /// Top-K candidate hit rate after the defense.
+    pub candidate_hit: f64,
+    /// Refined-DA accuracy after the defense.
+    pub accuracy: f64,
+    /// Mean token-Jaccard utility retention of the defended posts.
+    pub utility: f64,
+}
+
+/// The evaluated defense suite.
+#[must_use]
+pub fn defense_suite() -> Vec<(&'static str, Defense)> {
+    vec![
+        ("none", Defense::none()),
+        (
+            "case only",
+            Defense { style_passes: vec![StylePass::NormalizeCase], ..Defense::none() },
+        ),
+        (
+            "spelling only",
+            Defense { style_passes: vec![StylePass::CorrectMisspellings], ..Defense::none() },
+        ),
+        (
+            "vocab top-400",
+            Defense { vocab_keep_top: Some(400), ..Defense::none() },
+        ),
+        ("full style", Defense::full_style()),
+        (
+            "split threads",
+            Defense { structure: Some(StructurePass::SplitThreads), ..Defense::none() },
+        ),
+        ("full style + split threads", Defense::full()),
+    ]
+}
+
+fn measure(split: &Split, defense: &Defense, seed: u64) -> (f64, f64, f64) {
+    let defended = defense.apply(&split.anonymized, seed);
+    let mean_utility = if split.anonymized.posts.is_empty() {
+        1.0
+    } else {
+        split
+            .anonymized
+            .posts
+            .iter()
+            .zip(&defended.posts)
+            .map(|(a, b)| utility(&a.text, &b.text))
+            .sum::<f64>()
+            / split.anonymized.posts.len() as f64
+    };
+    let attack = DeHealth::new(AttackConfig {
+        top_k: 5,
+        n_landmarks: 10,
+        seed,
+        ..AttackConfig::default()
+    });
+    let outcome = attack.run(&split.auxiliary, &defended);
+    let eval = outcome.evaluate(&split.oracle);
+    (eval.candidate_hit_rate(), eval.accuracy(), mean_utility)
+}
+
+/// Run the defense evaluation at `n_users` scale.
+pub fn run(n_users: usize, seed: u64) -> Vec<DefenseRow> {
+    let mut cfg = ForumConfig::webmd_like(n_users);
+    cfg.fixed_posts = Some(10);
+    cfg.mean_post_words = 60.0;
+    cfg.style_strength = 0.4;
+    let forum = Forum::generate(&cfg, seed);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), seed + 1);
+
+    println!("\n# Defense evaluation ({n_users} users, Top-5 De-Health attack)");
+    println!(
+        "{:<28} {:>12} {:>10} {:>9}",
+        "defense", "top-5 hit", "accuracy", "utility"
+    );
+    let mut rows = Vec::new();
+    for (name, defense) in defense_suite() {
+        let (hit, acc, util) = measure(&split, &defense, seed + 2);
+        println!("{:<28} {:>12} {:>10} {:>9}", name, pct(hit), pct(acc), pct(util));
+        rows.push(DefenseRow { name, candidate_hit: hit, accuracy: acc, utility: util });
+    }
+    println!("\nReading: surface rewrites (case, spelling, digits, rare words)");
+    println!("shave only a few points off the attack because the dominant");
+    println!("signal — relative frequencies of common function words — survives");
+    println!("any rewrite that preserves meaning. This is the paper's own");
+    println!("position (Sections I and VII, citing adversarial stylometry):");
+    println!("durable style obfuscation is hard, and naive anonymization of");
+    println!("health-forum text does not protect privacy.");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defenses_degrade_but_do_not_defeat_the_attack() {
+        let rows = run(40, 9);
+        let baseline = rows.iter().find(|r| r.name == "none").unwrap();
+        let full_style = rows.iter().find(|r| r.name == "full style").unwrap();
+        // Style obfuscation must not *help* the attacker (small slack for
+        // evaluation noise on 40 users)...
+        assert!(
+            full_style.accuracy <= baseline.accuracy + 0.1,
+            "full style raised accuracy: {} > {}",
+            full_style.accuracy,
+            baseline.accuracy
+        );
+        // ...and per the adversarial-stylometry literature the paper
+        // cites, it must not defeat the attack either: the function-word
+        // channel survives surface rewrites.
+        assert!(
+            full_style.accuracy > 0.15,
+            "surface rewrites unexpectedly defeated the attack"
+        );
+        // The no-op defense keeps full utility; real defenses lose some.
+        assert!((baseline.utility - 1.0).abs() < 1e-12);
+        assert!(full_style.utility < 1.0);
+        assert!(full_style.utility > 0.3, "full defense destroyed too much utility");
+    }
+}

@@ -1,0 +1,120 @@
+//! Figures 3 and 5: CDF of correct Top-K de-anonymization.
+//!
+//! Fig. 3 (closed world): auxiliary fractions 50%, 70%, 90% of each user's
+//! posts. Fig. 5 (open world): overlap ratios 50%, 70%, 90%. Both report,
+//! for a sweep of K, the fraction of anonymized users whose true mapping
+//! falls inside their Top-K candidate set.
+
+use dehealth_core::{SimilarityEngine, SimilarityWeights, UdaGraph};
+use dehealth_corpus::{closed_world_split, open_world_split, Forum, ForumConfig, Split, SplitConfig};
+
+use crate::{pct, print_series};
+
+/// K values reported in the CDF.
+pub const K_SWEEP: [usize; 8] = [1, 5, 10, 25, 50, 100, 250, 500];
+
+/// Compute the Top-K success CDF of one split using the Top-K phase alone.
+#[must_use]
+pub fn topk_cdf(split: &Split, n_landmarks: usize) -> Vec<(usize, f64)> {
+    let aux_uda = UdaGraph::build(&split.auxiliary);
+    let anon_uda = UdaGraph::build(&split.anonymized);
+    let engine =
+        SimilarityEngine::new(&anon_uda, &aux_uda, SimilarityWeights::default(), n_landmarks);
+    let matrix = engine.matrix();
+    let mut ranks: Vec<usize> = Vec::new();
+    let mut n_overlap = 0usize;
+    for u in 0..split.anonymized.n_users {
+        if let Some(truth) = split.oracle.true_mapping(u) {
+            n_overlap += 1;
+            if let Some(r) = dehealth_core::topk::rank_of(&matrix, u, truth) {
+                ranks.push(r);
+            }
+        }
+    }
+    K_SWEEP
+        .iter()
+        .map(|&k| {
+            let hits = ranks.iter().filter(|&&r| r < k).count();
+            (k, hits as f64 / n_overlap.max(1) as f64)
+        })
+        .collect()
+}
+
+/// Run Fig. 3 (closed world).
+pub fn run_fig3(n_users: usize, seed: u64) {
+    for (name, config) in [
+        ("WebMD-like", ForumConfig::webmd_like(n_users)),
+        ("HB-like", ForumConfig::healthboards_like(n_users)),
+    ] {
+        let forum = Forum::generate(&config, seed);
+        for frac in [0.5, 0.7, 0.9] {
+            let split = closed_world_split(&forum, &SplitConfig::fraction(frac), seed + 1);
+            let cdf = topk_cdf(&split, 50);
+            let rows: Vec<(usize, String)> = cdf.iter().map(|&(k, f)| (k, pct(f))).collect();
+            print_series(
+                &format!(
+                    "Fig 3 [{name}, {}% auxiliary]: CDF of correct Top-K DA ({} anonymized users)",
+                    (frac * 100.0) as u32,
+                    split.anonymized.n_users
+                ),
+                "K",
+                "success",
+                &rows,
+            );
+        }
+    }
+}
+
+/// Run Fig. 5 (open world).
+pub fn run_fig5(n_users: usize, seed: u64) {
+    for (name, config) in [
+        ("WebMD-like", ForumConfig::webmd_like(n_users)),
+        ("HB-like", ForumConfig::healthboards_like(n_users)),
+    ] {
+        let forum = Forum::generate(&config, seed);
+        for ratio in [0.5, 0.7, 0.9] {
+            let split = open_world_split(&forum, ratio, seed + 2);
+            let cdf = topk_cdf(&split, 50);
+            let rows: Vec<(usize, String)> = cdf.iter().map(|&(k, f)| (k, pct(f))).collect();
+            print_series(
+                &format!(
+                    "Fig 5 [{name}, {}% overlap]: CDF of correct Top-K DA ({} anonymized users, {} overlapping)",
+                    (ratio * 100.0) as u32,
+                    split.anonymized.n_users,
+                    split.oracle.n_overlapping()
+                ),
+                "K",
+                "success",
+                &rows,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_monotone_and_beats_chance() {
+        let forum = Forum::generate(&ForumConfig::webmd_like(150), 3);
+        let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 4);
+        let cdf = topk_cdf(&split, 10);
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        // Top-10 of ~150 candidates at chance would be ~6.7%.
+        let top10 = cdf.iter().find(|&&(k, _)| k == 10).unwrap().1;
+        assert!(top10 > 0.2, "top-10 = {top10}");
+    }
+
+    #[test]
+    fn open_world_is_harder_than_closed_world() {
+        let forum = Forum::generate(&ForumConfig::webmd_like(200), 5);
+        let closed = topk_cdf(&closed_world_split(&forum, &SplitConfig::fraction(0.5), 6), 10);
+        let open = topk_cdf(&open_world_split(&forum, 0.5, 6), 10);
+        let at = |cdf: &[(usize, f64)], k: usize| {
+            cdf.iter().find(|&&(kk, _)| kk == k).unwrap().1
+        };
+        // Closed world should be at least roughly as good at K=50.
+        assert!(at(&closed, 50) + 0.15 >= at(&open, 50));
+    }
+}

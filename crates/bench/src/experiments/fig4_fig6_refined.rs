@@ -1,0 +1,220 @@
+//! Figures 4 and 6: refined-DA accuracy (and FP rate) of De-Health versus
+//! the Stylometry baseline.
+//!
+//! Fig. 4 (closed world): 50 users with 20 or 40 posts each, half for
+//! training; classifiers KNN and SMO; K ∈ {5, 10, 15, 20}.
+//! Fig. 6 (open world): 100 users with 40 posts each, overlap ratios 50%,
+//! 70%, 90%; mean-verification with r = 0.25.
+
+use dehealth_core::{
+    stylometry_baseline, AttackConfig, ClassifierKind, DeHealth, Verification,
+};
+use dehealth_corpus::{
+    closed_world_split, open_world_split, Forum, ForumConfig, Oracle, Split, SplitConfig,
+};
+
+use crate::pct;
+
+/// One measured cell of Fig. 4 / Fig. 6.
+#[derive(Debug, Clone)]
+pub struct RefinedCell {
+    /// Method label (`Stylometry` or `De-Health (K=..)`).
+    pub method: String,
+    /// DA accuracy `Y_c / Y`.
+    pub accuracy: f64,
+    /// FP rate (open world only; 0 in closed world).
+    pub fp_rate: f64,
+}
+
+fn forum_with_posts(n_users: usize, posts_per_user: usize, seed: u64) -> Forum {
+    let mut cfg = ForumConfig::webmd_like(n_users);
+    cfg.fixed_posts = Some(posts_per_user);
+    // The paper's refined-DA instances are hard: short noisy posts and
+    // insufficient training data (Section V-A2). Real users are far less
+    // stylometrically distinctive than fully idiosyncratic personas, so
+    // weaken the style signal and shorten posts to the paper's regime.
+    cfg.style_strength = 0.08;
+    cfg.mean_post_words = 35.0;
+    Forum::generate(&cfg, seed)
+}
+
+fn classifier_name(kind: ClassifierKind) -> &'static str {
+    match kind {
+        ClassifierKind::Knn { .. } => "KNN",
+        ClassifierKind::Smo => "SMO",
+        ClassifierKind::Rlsc { .. } => "RLSC",
+        ClassifierKind::Centroid => "NN",
+    }
+}
+
+fn baseline_accuracy(
+    split: &Split,
+    kind: ClassifierKind,
+    verification: Verification,
+    seed: u64,
+) -> RefinedCell {
+    let mapping =
+        stylometry_baseline(&split.auxiliary, &split.anonymized, kind, verification, seed);
+    score("Stylometry".into(), &mapping, &split.oracle)
+}
+
+fn dehealth_accuracy(
+    split: &Split,
+    kind: ClassifierKind,
+    verification: Verification,
+    k: usize,
+    seed: u64,
+) -> RefinedCell {
+    let attack = DeHealth::new(AttackConfig {
+        top_k: k,
+        n_landmarks: 5,
+        classifier: kind,
+        verification,
+        seed,
+        ..AttackConfig::default()
+    });
+    let outcome = attack.run(&split.auxiliary, &split.anonymized);
+    score(format!("De-Health (K={k})"), &outcome.mapping, &split.oracle)
+}
+
+fn score(method: String, mapping: &[Option<usize>], oracle: &Oracle) -> RefinedCell {
+    let mut correct = 0usize;
+    let mut n_overlap = 0usize;
+    let mut fp = 0usize;
+    let mut n_non = 0usize;
+    for (u, m) in mapping.iter().enumerate() {
+        match oracle.true_mapping(u) {
+            Some(t) => {
+                n_overlap += 1;
+                if *m == Some(t) {
+                    correct += 1;
+                }
+            }
+            None => {
+                n_non += 1;
+                if m.is_some() {
+                    fp += 1;
+                }
+            }
+        }
+    }
+    RefinedCell {
+        method,
+        accuracy: if n_overlap == 0 { 0.0 } else { correct as f64 / n_overlap as f64 },
+        fp_rate: if n_non == 0 { 0.0 } else { fp as f64 / n_non as f64 },
+    }
+}
+
+/// One Fig. 4 evaluation group (e.g. `SMO-20`): baseline + K sweep.
+#[must_use]
+pub fn fig4_group(
+    posts_per_user: usize,
+    kind: ClassifierKind,
+    n_users: usize,
+    seed: u64,
+) -> Vec<RefinedCell> {
+    let forum = forum_with_posts(n_users, posts_per_user, seed);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), seed + 1);
+    let mut cells = vec![baseline_accuracy(&split, kind, Verification::None, seed)];
+    for k in [5, 10, 15, 20] {
+        cells.push(dehealth_accuracy(&split, kind, Verification::None, k, seed));
+    }
+    cells
+}
+
+/// Run Fig. 4 (closed world, 50 users).
+pub fn run_fig4(seed: u64) {
+    println!("\n# Fig 4: closed-world refined DA accuracy (50 users)");
+    println!("{:<10} {:<20} {:>9}", "Setting", "Method", "Accuracy");
+    for (posts, kind) in [
+        (20, ClassifierKind::Knn { k: 3 }),
+        (20, ClassifierKind::Smo),
+        (40, ClassifierKind::Knn { k: 3 }),
+        (40, ClassifierKind::Smo),
+    ] {
+        let setting = format!("{}-{}", classifier_name(kind), posts / 2);
+        for cell in fig4_group(posts, kind, 50, seed) {
+            println!("{:<10} {:<20} {:>9}", setting, cell.method, pct(cell.accuracy));
+        }
+    }
+}
+
+/// One Fig. 6 evaluation group: open world at one overlap ratio.
+#[must_use]
+pub fn fig6_group(
+    overlap: f64,
+    kind: ClassifierKind,
+    n_users: usize,
+    seed: u64,
+) -> Vec<RefinedCell> {
+    let forum = forum_with_posts(n_users, 40, seed);
+    let split = open_world_split(&forum, overlap, seed + 3);
+    let verification = Verification::Mean { r: 0.25 };
+    let mut cells = vec![baseline_accuracy(&split, kind, verification, seed)];
+    for k in [5, 10, 15, 20] {
+        cells.push(dehealth_accuracy(&split, kind, verification, k, seed));
+    }
+    cells
+}
+
+/// Run Fig. 6 (open world, 100 users, r = 0.25).
+pub fn run_fig6(seed: u64) {
+    println!("\n# Fig 6: open-world refined DA (100 users, mean-verification r=0.25)");
+    println!("{:<10} {:<20} {:>9} {:>8}", "Setting", "Method", "Accuracy", "FP");
+    for overlap in [0.5, 0.7, 0.9] {
+        for kind in [ClassifierKind::Knn { k: 3 }, ClassifierKind::Smo] {
+            let setting = format!("{}%-{}", (overlap * 100.0) as u32, classifier_name(kind));
+            for cell in fig6_group(overlap, kind, 100, seed) {
+                println!(
+                    "{:<10} {:<20} {:>9} {:>8}",
+                    setting,
+                    cell.method,
+                    pct(cell.accuracy),
+                    pct(cell.fp_rate)
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dehealth_beats_stylometry_closed_world() {
+        // Moderate instance for test speed: 30 users, 20 posts each, KNN.
+        // The paper's ordering is an average-case claim; aggregate over
+        // two seeds to damp small-instance noise.
+        let mut baseline = 0.0;
+        let mut dehealth_k5 = 0.0;
+        for seed in [11, 29] {
+            let cells = fig4_group(20, ClassifierKind::Knn { k: 3 }, 30, seed);
+            baseline += cells[0].accuracy;
+            dehealth_k5 += cells[1].accuracy;
+        }
+        assert!(
+            dehealth_k5 >= baseline - 0.2,
+            "De-Health {dehealth_k5} << Stylometry {baseline}"
+        );
+        assert!(dehealth_k5 / 2.0 > 0.2, "De-Health accuracy too low: {dehealth_k5}");
+    }
+
+    #[test]
+    fn smaller_k_is_at_least_as_good_with_scarce_data() {
+        let cells = fig4_group(10, ClassifierKind::Knn { k: 3 }, 20, 13);
+        let k5 = cells[1].accuracy;
+        let k20 = cells[4].accuracy;
+        // Paper: "De-Health has better accuracy for a smaller K than for a
+        // larger K" when training data are scarce; allow slack for noise.
+        assert!(k5 + 0.15 >= k20, "k5={k5}, k20={k20}");
+    }
+
+    #[test]
+    fn open_world_fp_rate_is_bounded_by_verification() {
+        let cells = fig6_group(0.5, ClassifierKind::Knn { k: 3 }, 20, 17);
+        let dehealth = &cells[1];
+        // Mean-verification should reject a decent share of absent users.
+        assert!(dehealth.fp_rate < 0.9, "fp = {}", dehealth.fp_rate);
+    }
+}

@@ -1,0 +1,79 @@
+//! Figures 7 and 8 (Appendix B): correlation-graph degree distribution and
+//! community structure.
+
+use dehealth_core::UdaGraph;
+use dehealth_corpus::{Forum, ForumConfig};
+use dehealth_graph::community::community_stats;
+use dehealth_graph::degree_cdf;
+
+use crate::{pct, print_series};
+
+/// Run Fig. 7: degree-distribution CDFs of both correlation graphs.
+pub fn run_fig7(n_users: usize, seed: u64) {
+    for (name, config) in [
+        ("WebMD-like", ForumConfig::webmd_like(n_users)),
+        ("HB-like", ForumConfig::healthboards_like(n_users)),
+    ] {
+        let forum = Forum::generate(&config, seed);
+        let uda = UdaGraph::build(&forum);
+        let cdf = degree_cdf(&uda.graph);
+        let sampled: Vec<(usize, String)> = [0usize, 1, 2, 5, 10, 20, 50, 100, 500]
+            .iter()
+            .map(|&d| {
+                let f = cdf.iter().take_while(|&&(dd, _)| dd <= d).last().map_or(0.0, |&(_, f)| f);
+                (d, pct(f))
+            })
+            .collect();
+        let mean_deg = (0..uda.n_users()).map(|u| uda.graph.degree(u)).sum::<usize>() as f64
+            / uda.n_users() as f64;
+        print_series(
+            &format!("Fig 7 [{name}]: degree CDF (mean degree {mean_deg:.2})"),
+            "degree <=",
+            "fraction of users",
+            &sampled,
+        );
+    }
+}
+
+/// Run Fig. 8: community structure of the WebMD-like graph under degree
+/// thresholds 0 (original), 11, 21, 31.
+pub fn run_fig8(n_users: usize, seed: u64) {
+    let forum = Forum::generate(&ForumConfig::webmd_like(n_users), seed);
+    let uda = UdaGraph::build(&forum);
+    println!("\n# Fig 8: WebMD-like community structure (paper: disconnected; 10-100 communities)");
+    println!(
+        "{:>11} {:>10} {:>12} {:>9} {:>14}",
+        "min degree", "components", "communities", "isolated", "largest comm."
+    );
+    for min_degree in [0usize, 11, 21, 31] {
+        let s = community_stats(&uda.graph, min_degree);
+        println!(
+            "{:>11} {:>10} {:>12} {:>9} {:>14}",
+            min_degree,
+            s.components,
+            s.communities,
+            s.isolated,
+            s.community_sizes.first().copied().unwrap_or(0)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_graph_is_weakly_connected_like_paper() {
+        let forum = Forum::generate(&ForumConfig::webmd_like(500), 7);
+        let uda = UdaGraph::build(&forum);
+        let s = community_stats(&uda.graph, 0);
+        // Appendix B: "the graph is not connected (consisting of several
+        // components)" and "about 10 - 100 communities".
+        assert!(s.components > 1, "graph unexpectedly connected");
+        assert!(s.communities >= 5, "too few communities: {}", s.communities);
+        // Low mean degree claim.
+        let mean_deg = (0..uda.n_users()).map(|u| uda.graph.degree(u)).sum::<usize>() as f64
+            / uda.n_users() as f64;
+        assert!(mean_deg < 30.0, "mean degree too high: {mean_deg}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Section IV validation: theoretical bounds versus Monte-Carlo empirical
+//! success rates.
+
+use dehealth_theory::{pairwise_bound, simulate, topk_bound, DistanceModel};
+
+/// Run the bound-validation experiment: for a sweep of separation gaps,
+/// print the Theorem-1 and Theorem-3 lower bounds next to the measured
+/// success rates.
+pub fn run(seed: u64) {
+    println!("\n# Section IV: bounds vs Monte-Carlo (n2=100, K=10, 2000 trials)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "gap/d", "T1 bound", "exact (mc)", "T3 bound", "top-10 (mc)"
+    );
+    for gap in [0.5, 1.0, 2.0, 3.0, 4.0, 6.0] {
+        let m = DistanceModel {
+            lambda_correct: 2.0,
+            lambda_incorrect: 2.0 + gap,
+            range_correct: 1.0,
+            range_incorrect: 1.0,
+        };
+        let t1 = pairwise_bound(&m);
+        let t3 = topk_bound(&m, 100, 10);
+        let mc = simulate(&m, 100, 10, 2000, seed);
+        println!(
+            "{:>6.1} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            gap, t1, mc.exact_rate, t3, mc.topk_rate
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dehealth_theory::{pairwise_bound, simulate, topk_bound, DistanceModel};
+
+    #[test]
+    fn bounds_are_valid_lower_bounds_across_gaps() {
+        for gap in [1.0, 2.0, 4.0] {
+            let m = DistanceModel {
+                lambda_correct: 2.0,
+                lambda_incorrect: 2.0 + gap,
+                range_correct: 1.0,
+                range_incorrect: 1.0,
+            };
+            let mc = simulate(&m, 100, 10, 1500, 33);
+            // The Theorem-3 bound must hold empirically (tolerance for MC
+            // noise). Theorem 1 is a pairwise bound; check with n2=2.
+            assert!(mc.topk_rate >= topk_bound(&m, 100, 10) - 0.05);
+            let pair = simulate(&m, 2, 1, 1500, 34);
+            assert!(pair.exact_rate >= pairwise_bound(&m) - 0.05);
+        }
+    }
+}

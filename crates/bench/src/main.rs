@@ -1,0 +1,126 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [--users N] [--seed S]
+//!
+//! experiments:
+//!   fig1     CDF of users vs number of posts
+//!   fig2     post length distribution
+//!   table1   stylometric feature inventory
+//!   fig3     closed-world Top-K DA CDF (aux 50/70/90%)
+//!   fig4     closed-world refined DA accuracy (KNN/SMO, K sweep)
+//!   fig5     open-world Top-K DA CDF (overlap 50/70/90%)
+//!   fig6     open-world refined DA accuracy + FP rate
+//!   fig7     correlation-graph degree CDF
+//!   fig8     community structure under degree thresholds
+//!   linkage  Section VI linkage attack
+//!   theory   Section IV bounds vs Monte-Carlo
+//!   all      everything above
+//! ```
+
+use dehealth_bench::experiments::{
+    ablation, datasets, defense, fig3_fig5_topk, fig4_fig6_refined, fig7_fig8_graph, linkage_attack, table1,
+    theory_bounds,
+};
+
+struct Args {
+    experiment: String,
+    users: Option<usize>,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = String::from("all");
+    let mut users = None;
+    let mut seed = 42u64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--users" => {
+                users = argv.next().and_then(|v| v.parse().ok());
+            }
+            "--seed" => {
+                if let Some(v) = argv.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { experiment, users, seed }
+}
+
+fn print_help() {
+    println!(
+        "repro <fig1|fig2|table1|fig3|fig4|fig5|fig6|fig7|fig8|linkage|theory|ablation|defense|all> \
+         [--users N] [--seed S]"
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let seed = args.seed;
+    // Default scales chosen so `repro all` finishes in minutes on a laptop.
+    let marginal_users = args.users.unwrap_or(4000);
+    let topk_users = args.users.unwrap_or(800);
+    let graph_users = args.users.unwrap_or(2000);
+    let linkage_people = args.users.unwrap_or(2805);
+
+    let run = |name: &str| args.experiment == name || args.experiment == "all";
+
+    if run("fig1") {
+        datasets::run_fig1(marginal_users, seed);
+    }
+    if run("fig2") {
+        datasets::run_fig2(marginal_users, seed);
+    }
+    if run("table1") {
+        table1::run(topk_users.min(1000), seed);
+    }
+    if run("fig3") {
+        fig3_fig5_topk::run_fig3(topk_users, seed);
+    }
+    if run("fig4") {
+        fig4_fig6_refined::run_fig4(seed);
+    }
+    if run("fig5") {
+        fig3_fig5_topk::run_fig5(topk_users, seed);
+    }
+    if run("fig6") {
+        fig4_fig6_refined::run_fig6(seed);
+    }
+    if run("fig7") {
+        fig7_fig8_graph::run_fig7(graph_users, seed);
+    }
+    if run("fig8") {
+        fig7_fig8_graph::run_fig8(graph_users, seed);
+    }
+    if run("linkage") {
+        let _ = linkage_attack::run(linkage_people, seed);
+    }
+    if run("theory") {
+        theory_bounds::run(seed);
+    }
+    if run("ablation") {
+        ablation::run(topk_users.min(400), seed);
+    }
+    if run("defense") {
+        let _ = defense::run(topk_users.min(150), seed);
+    }
+    if !["fig1", "fig2", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "linkage",
+        "theory", "ablation", "defense", "all"]
+    .contains(&args.experiment.as_str())
+    {
+        eprintln!("unknown experiment {}", args.experiment);
+        print_help();
+        std::process::exit(2);
+    }
+}

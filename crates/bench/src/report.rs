@@ -1,0 +1,154 @@
+//! Plain-text result persistence: CSV writers for experiment series so
+//! runs can be archived and plotted without adding serialization
+//! dependencies.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A CSV table under construction (comma separator, `"`-quoted cells when
+/// needed, `\n` line endings).
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    buf: String,
+    n_cols: usize,
+}
+
+impl Csv {
+    /// Start a table with a header row.
+    ///
+    /// # Panics
+    /// Panics on an empty header.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        assert!(!header.is_empty(), "empty header");
+        let mut csv = Self { buf: String::new(), n_cols: header.len() };
+        csv.push_row(header);
+        csv
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(cells.len(), self.n_cols, "row arity mismatch");
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&escape(cell.as_ref()));
+        }
+        self.buf.push('\n');
+    }
+
+    /// Append a row of display-formatted values.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push_display_row(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let strings: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                let mut s = String::new();
+                write!(s, "{c}").expect("formatting never fails for String");
+                s
+            })
+            .collect();
+        self.push_row(&strings);
+    }
+
+    /// The CSV text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Number of data rows (excluding the header).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.buf.lines().count().saturating_sub(1)
+    }
+
+    /// Write to a file, creating parent directories.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, &self.buf)
+    }
+}
+
+/// Quote a cell if it contains a separator, quote, or newline.
+fn escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Convenience: write an `(x, y)` series as a two-column CSV.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_series<X: std::fmt::Display, Y: std::fmt::Display>(
+    path: &Path,
+    x_label: &str,
+    y_label: &str,
+    rows: &[(X, Y)],
+) -> io::Result<()> {
+    let mut csv = Csv::new(&[x_label, y_label]);
+    for (x, y) in rows {
+        csv.push_row(&[x.to_string(), y.to_string()]);
+    }
+    csv.write_to(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_table() {
+        let mut csv = Csv::new(&["k", "rate"]);
+        csv.push_row(&["1", "0.5"]);
+        csv.push_row(&["10", "0.9"]);
+        assert_eq!(csv.as_str(), "k,rate\n1,0.5\n10,0.9\n");
+        assert_eq!(csv.n_rows(), 2);
+    }
+
+    #[test]
+    fn quoting() {
+        let mut csv = Csv::new(&["name", "note"]);
+        csv.push_row(&["a,b", "say \"hi\""]);
+        assert_eq!(csv.as_str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn display_rows() {
+        let mut csv = Csv::new(&["k", "rate"]);
+        csv.push_display_row(&[&5usize, &0.25f64]);
+        assert!(csv.as_str().ends_with("5,0.25\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.push_row(&["only-one"]);
+    }
+
+    #[test]
+    fn roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("dehealth-report-test");
+        let path = dir.join("series.csv");
+        write_series(&path, "k", "rate", &[(1, 0.5), (2, 0.75)]).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, "k,rate\n1,0.5\n2,0.75\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,364 @@
+//! The end-to-end De-Health attack (Algorithm 1) and the Stylometry
+//! baseline it is compared against in Section V.
+
+use dehealth_corpus::{Forum, Oracle};
+
+use crate::filter::{filter_candidates, FilterConfig, Filtered};
+use crate::refined::{refine_user, RefinedConfig, Side};
+use crate::similarity::{SimilarityEngine, SimilarityWeights};
+use crate::topk::{direct_selection, matching_selection, rank_of, CandidateSets, Selection};
+use crate::uda::UdaGraph;
+
+pub use crate::refined::{ClassifierKind, Verification};
+
+/// Full attack configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackConfig {
+    /// Similarity weights `(c1, c2, c3)`; default `(0.05, 0.05, 0.9)`.
+    pub weights: SimilarityWeights,
+    /// Number of landmark users ħ per side; default 50.
+    pub n_landmarks: usize,
+    /// Candidate-set size K; default 10.
+    pub top_k: usize,
+    /// Candidate-selection strategy.
+    pub selection: Selection,
+    /// Optional Algorithm-2 filtering.
+    pub filtering: Option<FilterConfig>,
+    /// Refined-DA classifier.
+    pub classifier: ClassifierKind,
+    /// Open-world verification scheme.
+    pub verification: Verification,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self {
+            weights: SimilarityWeights::default(),
+            n_landmarks: 50,
+            top_k: 10,
+            selection: Selection::Direct,
+            filtering: None,
+            classifier: ClassifierKind::default(),
+            verification: Verification::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// The De-Health attack.
+#[derive(Debug, Clone, Default)]
+pub struct DeHealth {
+    config: AttackConfig,
+}
+
+/// Everything the attack produced for one (auxiliary, anonymized) pair.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    config: AttackConfig,
+    /// `similarity[u][v]` for each anonymized `u`, auxiliary `v` (absent
+    /// auxiliary users are `-inf`).
+    pub similarity: Vec<Vec<f64>>,
+    /// Final candidate set per anonymized user (post-filtering; empty =
+    /// rejected in the Top-K phase).
+    pub candidates: CandidateSets,
+    /// Refined-DA decision per anonymized user (`None` = `u → ⊥`).
+    pub mapping: Vec<Option<usize>>,
+}
+
+impl DeHealth {
+    /// Create the attack with the given configuration.
+    #[must_use]
+    pub fn new(config: AttackConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Run both phases against an anonymized forum using an auxiliary
+    /// forum.
+    #[must_use]
+    pub fn run(&self, auxiliary: &Forum, anonymized: &Forum) -> AttackOutcome {
+        let aux_feats = crate::uda::extract_post_features(auxiliary);
+        let anon_feats = crate::uda::extract_post_features(anonymized);
+        let aux_uda = UdaGraph::build_with_features(auxiliary, &aux_feats);
+        let anon_uda = UdaGraph::build_with_features(anonymized, &anon_feats);
+        self.run_prepared(
+            &Side { forum: auxiliary, uda: &aux_uda, post_features: &aux_feats },
+            &Side { forum: anonymized, uda: &anon_uda, post_features: &anon_feats },
+        )
+    }
+
+    /// Run with pre-built UDA graphs and per-post features (lets callers
+    /// amortize feature extraction across parameter sweeps).
+    #[must_use]
+    pub fn run_prepared(&self, aux: &Side<'_>, anon: &Side<'_>) -> AttackOutcome {
+        let cfg = &self.config;
+        // Phase 1: structural similarity + Top-K candidates.
+        let engine = SimilarityEngine::new(anon.uda, aux.uda, cfg.weights, cfg.n_landmarks);
+        let similarity = engine.matrix();
+        let mut candidates = match cfg.selection {
+            Selection::Direct => direct_selection(&similarity, cfg.top_k),
+            Selection::GraphMatching => matching_selection(&similarity, cfg.top_k),
+        };
+        if let Some(filter_cfg) = &cfg.filtering {
+            let filtered = filter_candidates(&similarity, &candidates, filter_cfg);
+            for (cands, f) in candidates.iter_mut().zip(filtered) {
+                match f {
+                    Filtered::Kept(kept) => *cands = kept,
+                    Filtered::Rejected => cands.clear(),
+                }
+            }
+        }
+        // Phase 2: refined DA within each candidate set.
+        let refined_cfg = RefinedConfig {
+            classifier: cfg.classifier,
+            verification: cfg.verification,
+            seed: cfg.seed,
+        };
+        let mapping = (0..anon.forum.n_users)
+            .map(|u| refine_user(u, &candidates[u], anon, aux, &similarity[u], &refined_cfg))
+            .collect();
+        AttackOutcome { config: cfg.clone(), similarity, candidates, mapping }
+    }
+}
+
+/// The Stylometry baseline: refined DA over *all* present auxiliary users,
+/// with no Top-K phase ("equivalent to the second phase (refined DA) of
+/// De-Health", Section V-A2).
+#[must_use]
+pub fn stylometry_baseline(
+    auxiliary: &Forum,
+    anonymized: &Forum,
+    classifier: ClassifierKind,
+    verification: Verification,
+    seed: u64,
+) -> Vec<Option<usize>> {
+    let aux_feats = crate::uda::extract_post_features(auxiliary);
+    let anon_feats = crate::uda::extract_post_features(anonymized);
+    let aux_uda = UdaGraph::build_with_features(auxiliary, &aux_feats);
+    let anon_uda = UdaGraph::build_with_features(anonymized, &anon_feats);
+    let aux = Side { forum: auxiliary, uda: &aux_uda, post_features: &aux_feats };
+    let anon = Side { forum: anonymized, uda: &anon_uda, post_features: &anon_feats };
+    // Verification still needs similarity rows; use attribute-only weights.
+    let engine =
+        SimilarityEngine::new(anon.uda, aux.uda, SimilarityWeights::default(), 5);
+    let similarity = engine.matrix();
+    let all_candidates = aux_uda.present_users();
+    let refined_cfg = RefinedConfig { classifier, verification, seed };
+    (0..anonymized.n_users)
+        .map(|u| refine_user(u, &all_candidates, &anon, &aux, &similarity[u], &refined_cfg))
+        .collect()
+}
+
+/// Scoring of an [`AttackOutcome`] against the hidden ground truth.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Per-user rank of the true mapping in the similarity ordering
+    /// (`None` for non-overlapping users).
+    pub truth_rank: Vec<Option<usize>>,
+    /// Number of anonymized users with a true mapping (`Y`).
+    pub n_overlapping: usize,
+    /// Users whose true mapping is inside the final candidate set.
+    pub candidate_hits: usize,
+    /// Correct refined-DA mappings (`Y_c`).
+    pub correct: usize,
+    /// Users mapped to *some* auxiliary user.
+    pub mapped: usize,
+    /// Non-overlapping users incorrectly mapped to an auxiliary user.
+    pub false_positives: usize,
+    /// Non-overlapping users (candidates for `u → ⊥`).
+    pub n_non_overlapping: usize,
+}
+
+impl AttackOutcome {
+    /// The configuration that produced this outcome.
+    #[must_use]
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Score against the oracle.
+    ///
+    /// # Panics
+    /// Panics if the oracle's size differs from the anonymized user count.
+    #[must_use]
+    pub fn evaluate(&self, oracle: &Oracle) -> Evaluation {
+        assert_eq!(oracle.len(), self.mapping.len(), "oracle size mismatch");
+        let mut truth_rank = Vec::with_capacity(oracle.len());
+        let mut candidate_hits = 0;
+        let mut correct = 0;
+        let mut mapped = 0;
+        let mut false_positives = 0;
+        let mut n_overlapping = 0;
+        for u in 0..oracle.len() {
+            let truth = oracle.true_mapping(u);
+            if self.mapping[u].is_some() {
+                mapped += 1;
+            }
+            match truth {
+                Some(t) => {
+                    n_overlapping += 1;
+                    truth_rank.push(rank_of(&self.similarity, u, t));
+                    if self.candidates[u].contains(&t) {
+                        candidate_hits += 1;
+                    }
+                    if self.mapping[u] == Some(t) {
+                        correct += 1;
+                    }
+                }
+                None => {
+                    truth_rank.push(None);
+                    if self.mapping[u].is_some() {
+                        false_positives += 1;
+                    }
+                }
+            }
+        }
+        Evaluation {
+            truth_rank,
+            n_overlapping,
+            candidate_hits,
+            correct,
+            mapped,
+            false_positives,
+            n_non_overlapping: oracle.len() - n_overlapping,
+        }
+    }
+}
+
+impl Evaluation {
+    /// Fraction of overlapping users whose true mapping ranks inside the
+    /// Top-`k` similarity ordering (the CDF of Figs. 3 and 5).
+    #[must_use]
+    pub fn top_k_success_rate(&self, k: usize) -> f64 {
+        if self.n_overlapping == 0 {
+            return 0.0;
+        }
+        let hits = self
+            .truth_rank
+            .iter()
+            .filter(|r| matches!(r, Some(rank) if *rank < k))
+            .count();
+        hits as f64 / self.n_overlapping as f64
+    }
+
+    /// DA accuracy `Y_c / Y` (Section V-A2).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.n_overlapping == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.n_overlapping as f64
+        }
+    }
+
+    /// Fraction of overlapping users whose true mapping survived into the
+    /// final candidate set.
+    #[must_use]
+    pub fn candidate_hit_rate(&self) -> f64 {
+        if self.n_overlapping == 0 {
+            0.0
+        } else {
+            self.candidate_hits as f64 / self.n_overlapping as f64
+        }
+    }
+
+    /// False-positive rate: non-overlapping users mapped to somebody,
+    /// over all non-overlapping users (0 in closed world).
+    #[must_use]
+    pub fn fp_rate(&self) -> f64 {
+        if self.n_non_overlapping == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.n_non_overlapping as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dehealth_corpus::{closed_world_split, ForumConfig, SplitConfig};
+
+    fn tiny_attack() -> (AttackOutcome, dehealth_corpus::Split) {
+        let forum = Forum::generate(&ForumConfig::tiny(), 42);
+        let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 7);
+        let attack = DeHealth::new(AttackConfig {
+            top_k: 5,
+            n_landmarks: 10,
+            ..AttackConfig::default()
+        });
+        (attack.run(&split.auxiliary, &split.anonymized), split)
+    }
+
+    #[test]
+    fn outcome_shape_is_consistent() {
+        let (out, split) = tiny_attack();
+        let n1 = split.anonymized.n_users;
+        assert_eq!(out.similarity.len(), n1);
+        assert_eq!(out.candidates.len(), n1);
+        assert_eq!(out.mapping.len(), n1);
+        assert!(out.candidates.iter().all(|c| c.len() <= 5));
+    }
+
+    #[test]
+    fn topk_beats_chance_on_tiny_forum() {
+        let (out, split) = tiny_attack();
+        let eval = out.evaluate(&split.oracle);
+        // Chance level for Top-5 of ~60 aux users is ~5/60 = 8%; the attack
+        // should do far better because text carries persona signal.
+        let rate = eval.top_k_success_rate(5);
+        assert!(rate > 0.3, "top-5 rate = {rate}");
+    }
+
+    #[test]
+    fn refined_accuracy_beats_chance() {
+        let (out, split) = tiny_attack();
+        let eval = out.evaluate(&split.oracle);
+        assert!(eval.accuracy() > 0.2, "accuracy = {}", eval.accuracy());
+        // Accuracy cannot exceed the candidate hit rate.
+        assert!(eval.accuracy() <= eval.candidate_hit_rate() + 1e-12);
+    }
+
+    #[test]
+    fn top_k_rate_is_monotone_in_k() {
+        let (out, split) = tiny_attack();
+        let eval = out.evaluate(&split.oracle);
+        let mut prev = 0.0;
+        for k in [1, 2, 5, 10, 20, 50] {
+            let r = eval.top_k_success_rate(k);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn closed_world_has_zero_fp_rate() {
+        let (out, split) = tiny_attack();
+        let eval = out.evaluate(&split.oracle);
+        assert_eq!(eval.n_non_overlapping, 0);
+        assert_eq!(eval.fp_rate(), 0.0);
+    }
+
+    #[test]
+    fn matching_selection_runs() {
+        let forum = Forum::generate(&ForumConfig::tiny(), 1);
+        let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 2);
+        let attack = DeHealth::new(AttackConfig {
+            selection: Selection::GraphMatching,
+            top_k: 3,
+            n_landmarks: 5,
+            ..AttackConfig::default()
+        });
+        let out = attack.run(&split.auxiliary, &split.anonymized);
+        assert!(out.candidates.iter().all(|c| c.len() <= 3));
+        let eval = out.evaluate(&split.oracle);
+        assert!(eval.top_k_success_rate(3) > 0.2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Candidate filtering (Algorithm 2).
+//!
+//! A threshold vector `T` partitions the global similarity range `[s_l,
+//! s_u]` into `ℓ` levels; each user keeps the candidates that survive the
+//! highest non-empty threshold level. A user whose candidates all fall
+//! below the lowest threshold is rejected (`u → ⊥`).
+
+use crate::topk::CandidateSets;
+
+/// Filtering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Offset ε added to the global minimum similarity when building the
+    /// threshold interval (Algorithm 2, line 2).
+    pub epsilon: f64,
+    /// Number of threshold levels ℓ (line 3).
+    pub levels: usize,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self { epsilon: 0.01, levels: 10 }
+    }
+}
+
+/// Result of filtering one user's candidate set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filtered {
+    /// Candidates surviving the chosen threshold level.
+    Kept(Vec<usize>),
+    /// No candidate survived: the user is declared absent (`u → ⊥`).
+    Rejected,
+}
+
+/// Apply Algorithm 2 to all candidate sets.
+///
+/// `matrix[u][v]` must hold the similarity scores used to build the
+/// candidate sets. Returns one [`Filtered`] per anonymized user.
+///
+/// # Panics
+/// Panics if `config.levels < 2`.
+#[must_use]
+pub fn filter_candidates(
+    matrix: &[Vec<f64>],
+    candidates: &CandidateSets,
+    config: &FilterConfig,
+) -> Vec<Filtered> {
+    assert!(config.levels >= 2, "need at least 2 threshold levels");
+    // Global bounds over finite scores (lines 1-2).
+    let mut s_max = f64::NEG_INFINITY;
+    let mut s_min = f64::INFINITY;
+    for row in matrix {
+        for &s in row {
+            if s.is_finite() {
+                s_max = s_max.max(s);
+                s_min = s_min.min(s);
+            }
+        }
+    }
+    if !s_max.is_finite() {
+        // Degenerate: no finite scores at all.
+        return candidates.iter().map(|_| Filtered::Rejected).collect();
+    }
+    let s_upper = s_max;
+    let s_lower = (s_min + config.epsilon).min(s_upper);
+    let l = config.levels;
+    let thresholds: Vec<f64> = (0..l)
+        .map(|i| s_upper - (i as f64 / (l - 1) as f64) * (s_upper - s_lower))
+        .collect();
+
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(u, cands)| {
+            for &t in &thresholds {
+                let kept: Vec<usize> =
+                    cands.iter().copied().filter(|&v| matrix[u][v] >= t).collect();
+                if !kept.is_empty() {
+                    return Filtered::Kept(kept);
+                }
+            }
+            Filtered::Rejected
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_candidates_survive_high_threshold() {
+        // User 0: one clear winner at 0.9, noise at 0.1/0.2.
+        let m = vec![vec![0.9, 0.2, 0.1]];
+        let cands = vec![vec![0, 1, 2]];
+        let out = filter_candidates(&m, &cands, &FilterConfig { epsilon: 0.0, levels: 10 });
+        assert_eq!(out[0], Filtered::Kept(vec![0]));
+    }
+
+    #[test]
+    fn weak_users_keep_low_threshold_survivors() {
+        // User 1's best score is the global minimum region: survives only
+        // at the lowest levels but is still kept (not rejected) since the
+        // lowest threshold equals min + eps <= its score when eps = 0.
+        let m = vec![vec![0.9, 0.8], vec![0.3, 0.25]];
+        let cands = vec![vec![0, 1], vec![0, 1]];
+        let out = filter_candidates(&m, &cands, &FilterConfig { epsilon: 0.0, levels: 5 });
+        assert!(matches!(out[1], Filtered::Kept(_)));
+    }
+
+    #[test]
+    fn epsilon_rejects_bottom_users() {
+        // With eps > 0 the lowest threshold exceeds the global minimum, so
+        // a user whose only candidate sits at the minimum is rejected.
+        let m = vec![vec![1.0], vec![0.0]];
+        let cands = vec![vec![0], vec![0]];
+        let out = filter_candidates(&m, &cands, &FilterConfig { epsilon: 0.1, levels: 4 });
+        assert_eq!(out[0], Filtered::Kept(vec![0]));
+        assert_eq!(out[1], Filtered::Rejected);
+    }
+
+    #[test]
+    fn filtering_shrinks_but_never_grows() {
+        let m = vec![vec![0.5, 0.4, 0.45, 0.1]];
+        let cands = vec![vec![0, 2, 1, 3]];
+        let out = filter_candidates(&m, &cands, &FilterConfig::default());
+        if let Filtered::Kept(kept) = &out[0] {
+            assert!(kept.len() <= 4);
+            assert!(kept.iter().all(|v| cands[0].contains(v)));
+        } else {
+            panic!("expected kept");
+        }
+    }
+
+    #[test]
+    fn all_masked_scores_reject_everything() {
+        let m = vec![vec![f64::NEG_INFINITY]];
+        let cands = vec![vec![0]];
+        let out = filter_candidates(&m, &cands, &FilterConfig::default());
+        assert_eq!(out[0], Filtered::Rejected);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold levels")]
+    fn too_few_levels_panics() {
+        let _ = filter_candidates(&[], &Vec::new(), &FilterConfig { epsilon: 0.0, levels: 1 });
+    }
+}

@@ -1,0 +1,388 @@
+//! Refined DA (Algorithm 1, lines 7-9): per-user classification inside the
+//! Top-K candidate set, plus the two open-world schemes of Section III-B
+//! (false addition and mean-verification).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dehealth_corpus::Forum;
+use dehealth_ml::{
+    Classifier, Dataset, Knn, KnnMetric, MinMaxScaler, NearestCentroid, Rlsc, SmoSvm, SvmParams,
+};
+use dehealth_stylometry::{FeatureVector, M};
+
+use crate::uda::UdaGraph;
+
+/// Which benchmark classifier refined DA trains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClassifierKind {
+    /// k-nearest neighbours on cosine closeness.
+    Knn {
+        /// Neighbourhood size.
+        k: usize,
+    },
+    /// SMO-trained linear SVM (one-vs-rest).
+    Smo,
+    /// Regularized least-squares classification.
+    Rlsc {
+        /// Ridge parameter.
+        lambda: f64,
+    },
+    /// Nearest-centroid.
+    Centroid,
+}
+
+impl Default for ClassifierKind {
+    fn default() -> Self {
+        ClassifierKind::Knn { k: 3 }
+    }
+}
+
+/// Open-world decision scheme applied after classification.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Verification {
+    /// Closed-world: always accept the classifier's decision.
+    #[default]
+    None,
+    /// Accept `u → v` only if `s_uv ≥ (1+r)·λ_u` where `λ_u` is the mean
+    /// similarity between `u` and its *other* candidates (the paper's
+    /// Section III-B scheme; excluding the winner keeps the test
+    /// meaningful when the Top-K scores are tightly clustered).
+    Mean {
+        /// Margin parameter `r ≥ 0`.
+        r: f64,
+    },
+    /// Add `n_false` random non-candidate users as decoy classes; reject
+    /// if the classifier picks a decoy.
+    FalseAddition {
+        /// Number of decoy users.
+        n_false: usize,
+    },
+    /// Distractorless verification (Noecker & Ryan, cited as [45]):
+    /// accept `u → v` only if the cosine similarity of the users' mean
+    /// stylometric profiles reaches `theta`, with no reference to the
+    /// other candidates.
+    Distractorless {
+        /// Acceptance threshold on profile cosine, in `[0, 1]`.
+        theta: f64,
+    },
+    /// Sigma verification (Stolerman et al., cited as [32]): accept
+    /// `u → v` only if `u`'s profile is no farther from `v`'s centroid
+    /// than `factor` standard deviations of `v`'s own per-post distances
+    /// to that centroid — i.e. `u` must look like a typical post of `v`.
+    Sigma {
+        /// Allowed deviation in units of `v`'s per-post σ.
+        factor: f64,
+    },
+}
+
+/// Number of structural features appended to each stylometric post vector.
+pub const N_STRUCT: usize = 4;
+
+/// Refined-DA parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RefinedConfig {
+    /// Classifier choice.
+    pub classifier: ClassifierKind,
+    /// Open-world verification scheme.
+    pub verification: Verification,
+    /// RNG seed (decoy sampling, SMO pair selection).
+    pub seed: u64,
+}
+
+fn make_classifier(kind: ClassifierKind, seed: u64) -> Box<dyn Classifier> {
+    match kind {
+        ClassifierKind::Knn { k } => Box::new(Knn::new(k, KnnMetric::Cosine)),
+        ClassifierKind::Smo => Box::new(SmoSvm::new(SvmParams { seed, ..SvmParams::default() })),
+        ClassifierKind::Rlsc { lambda } => Box::new(Rlsc::new(lambda)),
+        ClassifierKind::Centroid => Box::new(NearestCentroid::new()),
+    }
+}
+
+/// Dense sample: the post's stylometric vector plus the author's structural
+/// features from its UDA graph (degree, weighted degree, attribute count,
+/// post count — log-scaled to tame magnitudes).
+fn sample(post_features: &FeatureVector, uda: &UdaGraph, user: usize) -> Vec<f64> {
+    let mut x = post_features.to_dense();
+    x.reserve_exact(N_STRUCT);
+    x.push((uda.graph.degree(user) as f64).ln_1p());
+    x.push(uda.graph.weighted_degree(user).ln_1p());
+    x.push((uda.attributes[user].len() as f64).ln_1p());
+    x.push((uda.post_counts[user] as f64).ln_1p());
+    x
+}
+
+/// All inputs refined DA needs about one side of the attack.
+pub struct Side<'a> {
+    /// The forum (for post texts / indices).
+    pub forum: &'a Forum,
+    /// Its UDA graph.
+    pub uda: &'a UdaGraph,
+    /// Per-post stylometric vectors, parallel to `forum.posts`.
+    pub post_features: &'a [FeatureVector],
+}
+
+/// De-anonymize one anonymized user within its candidate set.
+///
+/// Returns `Some(aux_user)` or `None` (`u → ⊥`). `similarity_row` is the
+/// full structural-similarity row of `u` (used by mean-verification).
+#[must_use]
+pub fn refine_user(
+    u: usize,
+    candidates: &[usize],
+    anon: &Side<'_>,
+    aux: &Side<'_>,
+    similarity_row: &[f64],
+    config: &RefinedConfig,
+) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let anon_posts = anon.forum.user_posts(u);
+    if anon_posts.is_empty() {
+        return None;
+    }
+    // Decoys for the false-addition scheme.
+    let mut class_users: Vec<usize> = candidates.to_vec();
+    let n_real = class_users.len();
+    if let Verification::FalseAddition { n_false } = config.verification {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ (u as u64).wrapping_mul(0x9e3779b9));
+        let pool: Vec<usize> = aux
+            .uda
+            .present_users()
+            .into_iter()
+            .filter(|v| !candidates.contains(v))
+            .collect();
+        if !pool.is_empty() {
+            let mut decoys: Vec<usize> =
+                (0..n_false).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            decoys.sort_unstable();
+            decoys.dedup();
+            class_users.extend(decoys);
+        }
+    }
+
+    // Training set: every auxiliary post of every class user.
+    let mut train = Dataset::new(M + N_STRUCT);
+    for (class, &v) in class_users.iter().enumerate() {
+        for &pi in aux.forum.user_posts(v) {
+            train.push(&sample(&aux.post_features[pi], aux.uda, v), class);
+        }
+    }
+    if train.is_empty() {
+        return None;
+    }
+    let scaler = MinMaxScaler::fit(&train);
+    let mut scaled_train = train.clone();
+    scaler.transform(&mut scaled_train);
+
+    let mut clf = make_classifier(config.classifier, config.seed);
+    clf.fit(&scaled_train);
+
+    // Classify each anonymized post; majority vote across posts.
+    let mut votes = vec![0usize; class_users.len()];
+    for &pi in anon_posts {
+        let mut x = sample(&anon.post_features[pi], anon.uda, u);
+        for (j, v) in x.iter_mut().enumerate() {
+            *v = scaler.scale_value(j, *v);
+        }
+        let p = clf.predict(&x);
+        votes[p.label] += 1;
+    }
+    let (winner, _) = votes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .expect("at least one class");
+
+    // False-addition rejection: decoy class won.
+    if winner >= n_real {
+        return None;
+    }
+    let v = class_users[winner];
+
+    // Post-classification verification (Section III-B).
+    match config.verification {
+        Verification::Mean { r } => {
+            let others: Vec<f64> = candidates
+                .iter()
+                .filter(|&&w| w != v)
+                .map(|&w| similarity_row[w])
+                .collect();
+            if !others.is_empty() {
+                let lambda: f64 = others.iter().sum::<f64>() / others.len() as f64;
+                if similarity_row[v] < (1.0 + r) * lambda {
+                    return None;
+                }
+            }
+        }
+        Verification::Distractorless { theta } => {
+            let cos = anon.uda.profiles[u].cosine(&aux.uda.profiles[v]);
+            if cos < theta {
+                return None;
+            }
+        }
+        Verification::Sigma { factor } => {
+            if !sigma_accepts(u, v, anon, aux, factor) {
+                return None;
+            }
+        }
+        Verification::None | Verification::FalseAddition { .. } => {}
+    }
+    Some(v)
+}
+
+/// Sigma-verification test: is `u`'s mean profile within `factor` standard
+/// deviations of `v`'s per-post distance distribution around `v`'s
+/// centroid? Cosine distance (`1 − cos`) is used throughout. Users with a
+/// single post have σ = 0 and degenerate to a strict mean test with a
+/// small tolerance.
+fn sigma_accepts(u: usize, v: usize, anon: &Side<'_>, aux: &Side<'_>, factor: f64) -> bool {
+    let centroid = &aux.uda.profiles[v];
+    let posts = aux.forum.user_posts(v);
+    if posts.is_empty() {
+        return false;
+    }
+    let dists: Vec<f64> =
+        posts.iter().map(|&pi| 1.0 - aux.post_features[pi].cosine(centroid)).collect();
+    let mean: f64 = dists.iter().sum::<f64>() / dists.len() as f64;
+    let var: f64 =
+        dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dists.len() as f64;
+    let sigma = var.sqrt();
+    let d_u = 1.0 - anon.uda.profiles[u].cosine(centroid);
+    d_u <= mean + factor * sigma.max(0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dehealth_corpus::Post;
+    use dehealth_stylometry::extract;
+
+    /// Two aux users with very different styles; anon user 0 writes like
+    /// aux user 1.
+    fn fixture() -> (Forum, Forum) {
+        let aux_posts = vec![
+            Post { author: 0, thread: 0, text: "I LOVE CAPS!!! SO MUCH PAIN!!! HELP!!!".into() },
+            Post { author: 0, thread: 1, text: "AWFUL DAY!!! MY BACK HURTS!!!".into() },
+            Post { author: 0, thread: 0, text: "WHY ME??? THE WORST!!!".into() },
+            Post { author: 1, thread: 0, text: "the doctor said that i should rest because the pain improves with sleep.".into() },
+            Post { author: 1, thread: 1, text: "i think that the medicine helps although the nausea remains.".into() },
+            Post { author: 1, thread: 1, text: "after the visit i noticed that the swelling improves slowly.".into() },
+        ];
+        let anon_posts = vec![
+            Post { author: 0, thread: 0, text: "i wonder whether the treatment helps because the ache improves after rest.".into() },
+            Post { author: 0, thread: 1, text: "the nurse said that i should drink water although the fever remains.".into() },
+        ];
+        (Forum::from_posts(2, 2, aux_posts), Forum::from_posts(1, 2, anon_posts))
+    }
+
+    fn sides(aux_forum: &Forum, anon_forum: &Forum) -> (UdaGraph, UdaGraph, Vec<FeatureVector>, Vec<FeatureVector>) {
+        let aux_uda = UdaGraph::build(aux_forum);
+        let anon_uda = UdaGraph::build(anon_forum);
+        let aux_feats: Vec<FeatureVector> =
+            aux_forum.posts.iter().map(|p| extract(&p.text)).collect();
+        let anon_feats: Vec<FeatureVector> =
+            anon_forum.posts.iter().map(|p| extract(&p.text)).collect();
+        (aux_uda, anon_uda, aux_feats, anon_feats)
+    }
+
+    fn run(kind: ClassifierKind, verification: Verification, sim_row: &[f64]) -> Option<usize> {
+        let (aux_forum, anon_forum) = fixture();
+        let (aux_uda, anon_uda, aux_feats, anon_feats) = sides(&aux_forum, &anon_forum);
+        let aux = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
+        let anon = Side { forum: &anon_forum, uda: &anon_uda, post_features: &anon_feats };
+        let config = RefinedConfig { classifier: kind, verification, seed: 5 };
+        refine_user(0, &[0, 1], &anon, &aux, sim_row, &config)
+    }
+
+    #[test]
+    fn knn_picks_stylistic_match() {
+        assert_eq!(run(ClassifierKind::Knn { k: 3 }, Verification::None, &[0.1, 0.9]), Some(1));
+    }
+
+    #[test]
+    fn smo_picks_stylistic_match() {
+        assert_eq!(run(ClassifierKind::Smo, Verification::None, &[0.1, 0.9]), Some(1));
+    }
+
+    #[test]
+    fn rlsc_picks_stylistic_match() {
+        assert_eq!(
+            run(ClassifierKind::Rlsc { lambda: 1.0 }, Verification::None, &[0.1, 0.9]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn centroid_picks_stylistic_match() {
+        assert_eq!(run(ClassifierKind::Centroid, Verification::None, &[0.1, 0.9]), Some(1));
+    }
+
+    #[test]
+    fn mean_verification_rejects_flat_rows() {
+        // Candidate similarities nearly equal: s_uv < (1+r)·mean.
+        let got = run(
+            ClassifierKind::Knn { k: 3 },
+            Verification::Mean { r: 0.25 },
+            &[0.5, 0.52],
+        );
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn mean_verification_accepts_clear_winner() {
+        let got = run(
+            ClassifierKind::Knn { k: 3 },
+            Verification::Mean { r: 0.25 },
+            &[0.1, 0.9],
+        );
+        assert_eq!(got, Some(1));
+    }
+
+    #[test]
+    fn distractorless_thresholds_on_profile_cosine() {
+        // theta = 0 accepts everything the classifier picks; theta = 1
+        // rejects everything short of identical profiles.
+        let lax = run(
+            ClassifierKind::Knn { k: 3 },
+            Verification::Distractorless { theta: 0.0 },
+            &[0.1, 0.9],
+        );
+        assert_eq!(lax, Some(1));
+        let strict = run(
+            ClassifierKind::Knn { k: 3 },
+            Verification::Distractorless { theta: 0.9999 },
+            &[0.1, 0.9],
+        );
+        assert_eq!(strict, None);
+    }
+
+    #[test]
+    fn sigma_verification_accepts_typical_and_rejects_atypical() {
+        // A generous factor accepts the stylistic match...
+        let lax = run(
+            ClassifierKind::Knn { k: 3 },
+            Verification::Sigma { factor: 50.0 },
+            &[0.1, 0.9],
+        );
+        assert_eq!(lax, Some(1));
+        // ...an impossible factor rejects everything.
+        let strict = run(
+            ClassifierKind::Knn { k: 3 },
+            Verification::Sigma { factor: -100.0 },
+            &[0.1, 0.9],
+        );
+        assert_eq!(strict, None);
+    }
+
+    #[test]
+    fn empty_candidates_reject() {
+        let (aux_forum, anon_forum) = fixture();
+        let (aux_uda, anon_uda, aux_feats, anon_feats) = sides(&aux_forum, &anon_forum);
+        let aux = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
+        let anon = Side { forum: &anon_forum, uda: &anon_uda, post_features: &anon_feats };
+        let config = RefinedConfig::default();
+        assert_eq!(refine_user(0, &[], &anon, &aux, &[0.0, 0.0], &config), None);
+    }
+}

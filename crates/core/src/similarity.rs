@@ -1,0 +1,277 @@
+//! Structural similarity `s_uv = c1·s^d_uv + c2·s^s_uv + c3·s^a_uv`
+//! (Section III-B).
+//!
+//! - `s^d` (degree similarity): `min(d_u,d_v)/max(d_u,d_v) +
+//!   min(wd_u,wd_v)/max(wd_u,wd_v) + cos(D_u, D_v)` with NCS vectors
+//!   zero-padded to a common length;
+//! - `s^s` (distance similarity): `cos(H_u(S1), H_v(S2)) +
+//!   cos(WH_u(S1), WH_v(S2))` over landmark closeness vectors;
+//! - `s^a` (attribute similarity): Jaccard plus weighted Jaccard of the
+//!   user attribute sets.
+
+use crate::uda::UdaGraph;
+
+/// The `c1, c2, c3` weights of the combined similarity. The paper's
+/// default is `(0.05, 0.05, 0.9)`: degree and distance carry little signal
+/// in sparse disconnected health-forum graphs, so attributes dominate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarityWeights {
+    /// Weight of the degree similarity `s^d`.
+    pub c1: f64,
+    /// Weight of the distance similarity `s^s`.
+    pub c2: f64,
+    /// Weight of the attribute similarity `s^a`.
+    pub c3: f64,
+}
+
+impl Default for SimilarityWeights {
+    fn default() -> Self {
+        Self { c1: 0.05, c2: 0.05, c3: 0.9 }
+    }
+}
+
+/// Ratio `min/max` with the convention that two zeros are perfectly
+/// similar.
+fn ratio(a: f64, b: f64) -> f64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if hi == 0.0 {
+        1.0
+    } else {
+        lo / hi
+    }
+}
+
+/// Cosine of two equal-or-different length vectors, zero-padding the
+/// shorter one (the paper: "we pad the short vector with zeros").
+#[must_use]
+pub fn padded_cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Pairwise similarity engine between an anonymized and an auxiliary UDA
+/// graph.
+#[derive(Debug)]
+pub struct SimilarityEngine<'a> {
+    anon: &'a UdaGraph,
+    aux: &'a UdaGraph,
+    weights: SimilarityWeights,
+    anon_ncs: Vec<Vec<f64>>,
+    aux_ncs: Vec<Vec<f64>>,
+    anon_hops: Vec<Vec<f64>>,
+    anon_whops: Vec<Vec<f64>>,
+    aux_hops: Vec<Vec<f64>>,
+    aux_whops: Vec<Vec<f64>>,
+}
+
+impl<'a> SimilarityEngine<'a> {
+    /// Prepare the engine: select `n_landmarks` landmarks on each side and
+    /// precompute NCS and landmark-closeness vectors.
+    #[must_use]
+    pub fn new(
+        anon: &'a UdaGraph,
+        aux: &'a UdaGraph,
+        weights: SimilarityWeights,
+        n_landmarks: usize,
+    ) -> Self {
+        let anon_lms = anon.landmarks(n_landmarks);
+        let aux_lms = aux.landmarks(n_landmarks);
+        let (anon_hops, anon_whops) = anon.landmark_closeness(&anon_lms);
+        let (aux_hops, aux_whops) = aux.landmark_closeness(&aux_lms);
+        let anon_ncs = (0..anon.n_users()).map(|u| anon.graph.ncs_vector(u)).collect();
+        let aux_ncs = (0..aux.n_users()).map(|u| aux.graph.ncs_vector(u)).collect();
+        Self { anon, aux, weights, anon_ncs, aux_ncs, anon_hops, anon_whops, aux_hops, aux_whops }
+    }
+
+    /// Degree similarity `s^d_uv ∈ [0, 3]`.
+    #[must_use]
+    pub fn degree_similarity(&self, u: usize, v: usize) -> f64 {
+        let d = ratio(self.anon.graph.degree(u) as f64, self.aux.graph.degree(v) as f64);
+        let wd = ratio(self.anon.graph.weighted_degree(u), self.aux.graph.weighted_degree(v));
+        d + wd + padded_cosine(&self.anon_ncs[u], &self.aux_ncs[v])
+    }
+
+    /// Distance similarity `s^s_uv ∈ [0, 2]`.
+    #[must_use]
+    pub fn distance_similarity(&self, u: usize, v: usize) -> f64 {
+        padded_cosine(&self.anon_hops[u], &self.aux_hops[v])
+            + padded_cosine(&self.anon_whops[u], &self.aux_whops[v])
+    }
+
+    /// Attribute similarity `s^a_uv ∈ [0, 2]`.
+    #[must_use]
+    pub fn attribute_similarity(&self, u: usize, v: usize) -> f64 {
+        let a = &self.anon.attributes[u];
+        let b = &self.aux.attributes[v];
+        a.jaccard(b) + a.weighted_jaccard(b)
+    }
+
+    /// Combined structural similarity `s_uv`.
+    #[must_use]
+    pub fn similarity(&self, u: usize, v: usize) -> f64 {
+        let SimilarityWeights { c1, c2, c3 } = self.weights;
+        c1 * self.degree_similarity(u, v)
+            + c2 * self.distance_similarity(u, v)
+            + c3 * self.attribute_similarity(u, v)
+    }
+
+    /// One row of the similarity matrix: scores of anonymized user `u`
+    /// against every auxiliary user. Absent auxiliary users (no posts)
+    /// get `-inf` so they are never selected as candidates.
+    #[must_use]
+    pub fn row(&self, u: usize) -> Vec<f64> {
+        (0..self.aux.n_users())
+            .map(|v| {
+                if self.aux.post_counts[v] == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    self.similarity(u, v)
+                }
+            })
+            .collect()
+    }
+
+    /// Full similarity matrix: `matrix[u][v]` for every anonymized `u` and
+    /// auxiliary `v`. Rows are computed on all available cores (scoped
+    /// `std::thread`, no extra dependencies): the matrix is the attack's
+    /// `O(n1·n2·nnz)` hot spot.
+    #[must_use]
+    pub fn matrix(&self) -> Vec<Vec<f64>> {
+        let n1 = self.anon.n_users();
+        let n_threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(n1.max(1));
+        if n_threads <= 1 || n1 < 64 {
+            return (0..n1).map(|u| self.row(u)).collect();
+        }
+        let chunk = n1.div_ceil(n_threads);
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(n1);
+                    scope.spawn(move || {
+                        (start..end).map(|u| self.row(u)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                rows.extend(h.join().expect("similarity worker panicked"));
+            }
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dehealth_corpus::{Forum, Post};
+
+    fn uda(posts: Vec<Post>, n_users: usize, n_threads: usize) -> UdaGraph {
+        UdaGraph::build(&Forum::from_posts(n_users, n_threads, posts))
+    }
+
+    fn p(author: usize, thread: usize, text: &str) -> Post {
+        Post { author, thread, text: text.into() }
+    }
+
+    #[test]
+    fn ratio_conventions() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(0.0, 5.0), 0.0);
+        assert!((ratio(2.0, 4.0) - 0.5).abs() < 1e-12);
+        assert!((ratio(4.0, 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padded_cosine_handles_unequal_lengths() {
+        assert!((padded_cosine(&[1.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(padded_cosine(&[], &[1.0]), 0.0);
+        assert_eq!(padded_cosine(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn identical_users_maximize_similarity() {
+        // Same text, same thread structure on both sides.
+        let anon = uda(
+            vec![p(0, 0, "I realy hate this migrane pain!"), p(1, 0, "rest helps a lot")],
+            2,
+            1,
+        );
+        let aux = uda(
+            vec![p(0, 0, "I realy hate this migrane pain!"), p(1, 0, "rest helps a lot")],
+            2,
+            1,
+        );
+        let eng = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 2);
+        // Self-similarity should beat cross-similarity.
+        assert!(eng.similarity(0, 0) > eng.similarity(0, 1));
+        assert!(eng.similarity(1, 1) > eng.similarity(1, 0));
+        // Attribute similarity of identical users is the max (2.0).
+        assert!((eng.attribute_similarity(0, 0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_masks_absent_aux_users() {
+        let anon = uda(vec![p(0, 0, "hello there")], 1, 1);
+        // Aux user 1 has no posts.
+        let aux = uda(vec![p(0, 0, "hello there")], 2, 1);
+        let eng = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 1);
+        let m = eng.matrix();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].len(), 2);
+        assert!(m[0][1].is_infinite() && m[0][1] < 0.0);
+        assert!(m[0][0].is_finite());
+    }
+
+    #[test]
+    fn weights_scale_components() {
+        let anon = uda(vec![p(0, 0, "the same text here"), p(1, 0, "other words")], 2, 1);
+        let aux = uda(vec![p(0, 0, "the same text here"), p(1, 0, "other words")], 2, 1);
+        let only_attr =
+            SimilarityEngine::new(&anon, &aux, SimilarityWeights { c1: 0.0, c2: 0.0, c3: 1.0 }, 1);
+        let s = only_attr.similarity(0, 0);
+        assert!((s - only_attr.attribute_similarity(0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial_rows() {
+        // 80 users on each side to cross the parallel threshold.
+        let mk = |salt: usize| -> UdaGraph {
+            let posts = (0..80)
+                .map(|u| p(u, u % 7, if (u + salt).is_multiple_of(2) { "short one." } else { "a much longer post with more words!" }))
+                .collect();
+            uda(posts, 80, 7)
+        };
+        let anon = mk(0);
+        let aux = mk(1);
+        let eng = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 5);
+        let m = eng.matrix();
+        for u in (0..80).step_by(17) {
+            assert_eq!(m[u], eng.row(u), "row {u} differs");
+        }
+    }
+
+    #[test]
+    fn similarity_is_finite_and_bounded() {
+        let anon = uda(vec![p(0, 0, "a b c !!!"), p(1, 1, "1 2 3 $$$")], 2, 2);
+        let aux = uda(vec![p(0, 0, "x y z"), p(1, 1, "q r s")], 2, 2);
+        let eng = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 2);
+        for u in 0..2 {
+            for v in 0..2 {
+                let s = eng.similarity(u, v);
+                assert!(s.is_finite());
+                // Max possible: 0.05*3 + 0.05*2 + 0.9*2 = 2.05.
+                assert!((0.0..=2.05 + 1e-9).contains(&s));
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Top-K candidate selection (Algorithm 1, lines 2-5).
+//!
+//! Two strategies from the paper:
+//!
+//! - **Direct selection**: the K auxiliary users with the largest
+//!   similarity scores for each anonymized user.
+//! - **Graph-matching selection**: repeatedly compute a maximum-weight
+//!   matching on the complete bipartite graph `G(V1, V2)` and append each
+//!   anonymized user's matched partner to its candidate set (Steps 1-4).
+//!   One matching round yields globally consistent assignments, so rare
+//!   users are not crowded out by popular candidates.
+
+use dehealth_graph::max_weight_matching;
+
+/// Candidate-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// Per-user Top-K scores.
+    #[default]
+    Direct,
+    /// Repeated maximum-weight bipartite matching.
+    GraphMatching,
+}
+
+/// For each anonymized user, the auxiliary candidate ids sorted by
+/// decreasing similarity.
+pub type CandidateSets = Vec<Vec<usize>>;
+
+/// Direct selection: per row of `matrix`, the `k` columns with the largest
+/// finite scores (descending).
+#[must_use]
+pub fn direct_selection(matrix: &[Vec<f64>], k: usize) -> CandidateSets {
+    matrix
+        .iter()
+        .map(|row| {
+            let mut idx: Vec<usize> = (0..row.len()).filter(|&v| row[v].is_finite()).collect();
+            idx.sort_unstable_by(|&a, &b| {
+                row[b].partial_cmp(&row[a]).expect("finite scores").then(a.cmp(&b))
+            });
+            idx.truncate(k);
+            idx
+        })
+        .collect()
+}
+
+/// Graph-matching selection: `k` rounds of maximum-weight bipartite
+/// matching, removing matched edges between rounds.
+///
+/// Requires `n1 <= n2` (each round must match every anonymized user).
+/// Masked (`-inf`) entries are lifted to a large negative finite penalty so
+/// the Hungarian solver can run; such pairs are only matched if a user has
+/// no viable candidates left, and are then filtered from the result.
+#[must_use]
+pub fn matching_selection(matrix: &[Vec<f64>], k: usize) -> CandidateSets {
+    let n1 = matrix.len();
+    if n1 == 0 {
+        return Vec::new();
+    }
+    let n2 = matrix[0].len();
+    assert!(n1 <= n2, "graph matching needs |V1| <= |V2|");
+    const PENALTY: f64 = -1e9;
+    let mut work: Vec<Vec<f64>> = matrix
+        .iter()
+        .map(|row| row.iter().map(|&v| if v.is_finite() { v } else { PENALTY }).collect())
+        .collect();
+    let mut out: CandidateSets = vec![Vec::new(); n1];
+    let rounds = k.min(n2);
+    for _ in 0..rounds {
+        let assign = max_weight_matching(&work);
+        for (u, &v) in assign.iter().enumerate() {
+            if work[u][v] > PENALTY / 2.0 {
+                out[u].push(v);
+            }
+            // Remove the matched edge for the next round.
+            work[u][v] = PENALTY;
+        }
+    }
+    // Keep each user's candidates sorted by decreasing original similarity.
+    for (u, cands) in out.iter_mut().enumerate() {
+        cands.sort_unstable_by(|&a, &b| {
+            matrix[u][b].partial_cmp(&matrix[u][a]).expect("finite").then(a.cmp(&b))
+        });
+    }
+    out
+}
+
+/// Rank (0-based) of `target` in the decreasing-similarity ordering of row
+/// `u`, i.e. the smallest K for which Top-K selection would contain it,
+/// minus one. `None` if the target is masked.
+#[must_use]
+pub fn rank_of(matrix: &[Vec<f64>], u: usize, target: usize) -> Option<usize> {
+    let row = &matrix[u];
+    let score = row[target];
+    if !score.is_finite() {
+        return None;
+    }
+    // Count strictly better columns plus equal-score columns with smaller
+    // index (matching direct_selection's deterministic tie-break).
+    let better = row
+        .iter()
+        .enumerate()
+        .filter(|&(v, &s)| {
+            s.is_finite() && (s > score || (s == score && v < target))
+        })
+        .count();
+    Some(better)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NEG: f64 = f64::NEG_INFINITY;
+
+    #[test]
+    fn direct_selection_orders_by_score() {
+        let m = vec![vec![0.1, 0.9, 0.5], vec![0.7, 0.2, 0.3]];
+        let c = direct_selection(&m, 2);
+        assert_eq!(c[0], vec![1, 2]);
+        assert_eq!(c[1], vec![0, 2]);
+    }
+
+    #[test]
+    fn direct_selection_skips_masked() {
+        let m = vec![vec![0.1, NEG, 0.5]];
+        let c = direct_selection(&m, 3);
+        assert_eq!(c[0], vec![2, 0]);
+    }
+
+    #[test]
+    fn direct_selection_k_larger_than_cols() {
+        let m = vec![vec![0.1, 0.2]];
+        assert_eq!(direct_selection(&m, 10)[0].len(), 2);
+    }
+
+    #[test]
+    fn matching_selection_resolves_contention() {
+        // Both anonymized users prefer column 0, but matching forces
+        // distinct assignments in round one.
+        let m = vec![vec![1.0, 0.8], vec![0.9, 0.1]];
+        let c = matching_selection(&m, 1);
+        // Optimal total: u0->1 (0.8) + u1->0 (0.9) = 1.7 beats 1.0+0.1.
+        assert_eq!(c[0], vec![1]);
+        assert_eq!(c[1], vec![0]);
+    }
+
+    #[test]
+    fn matching_selection_k2_covers_both() {
+        let m = vec![vec![1.0, 0.8], vec![0.9, 0.1]];
+        let c = matching_selection(&m, 2);
+        assert_eq!(c[0], vec![0, 1]);
+        assert_eq!(c[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn matching_selection_filters_masked_pairs() {
+        let m = vec![vec![0.5, NEG]];
+        let c = matching_selection(&m, 2);
+        assert_eq!(c[0], vec![0]);
+    }
+
+    #[test]
+    fn rank_of_matches_direct_selection() {
+        let m = vec![vec![0.1, 0.9, 0.5, NEG]];
+        assert_eq!(rank_of(&m, 0, 1), Some(0));
+        assert_eq!(rank_of(&m, 0, 2), Some(1));
+        assert_eq!(rank_of(&m, 0, 0), Some(2));
+        assert_eq!(rank_of(&m, 0, 3), None);
+        // Consistency: target at rank r is in every Top-K with K > r.
+        let c = direct_selection(&m, 2);
+        assert!(c[0].contains(&2));
+        assert_eq!(rank_of(&m, 0, 2).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(matching_selection(&[], 3).is_empty());
+        assert!(direct_selection(&[], 3).is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Post-text generation from personas.
+//!
+//! Posts are built from simple clause templates filled with persona-biased
+//! word choices. The goal is not fluent English but a faithful *feature
+//! footprint*: consistent per-user function-word profiles, punctuation and
+//! case habits, misspellings, digit usage, sentence/post lengths — the
+//! exact channels Table I measures.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::persona::Persona;
+use crate::vocab;
+
+fn capitalize(w: &str) -> String {
+    let mut cs = w.chars();
+    match cs.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, bank: &[&'a str]) -> &'a str {
+    bank[rng.gen_range(0..bank.len())]
+}
+
+/// Emit one word, applying the persona's case habit.
+fn styled_word(rng: &mut StdRng, p: &Persona, w: &str) -> String {
+    if rng.gen::<f64>() < p.allcaps_p {
+        w.to_uppercase()
+    } else {
+        w.to_string()
+    }
+}
+
+/// Generate one clause's words into `out`.
+fn clause(rng: &mut StdRng, p: &Persona, topic: &str, out: &mut Vec<String>) {
+    // subject
+    let subj = ["i", "my doctor", "it", "the pain", "this", "my husband", "she", "he"];
+    let w = pick(rng, &subj);
+    out.push(styled_word(rng, p, w));
+    // adverb?
+    if rng.gen::<f64>() < 0.4 {
+        let w = pick(rng, vocab::ADVERBS);
+        out.push(styled_word(rng, p, w));
+    }
+    // verb
+    let w = pick(rng, vocab::VERBS);
+    out.push(styled_word(rng, p, w));
+    // function word from the persona profile
+    out.push(p.pick_function_word(rng).to_string());
+    // adjective?
+    if rng.gen::<f64>() < 0.5 {
+        let w = pick(rng, vocab::ADJECTIVES);
+        out.push(styled_word(rng, p, w));
+    }
+    // object noun: the thread topic sometimes, else persona noun
+    let noun = if rng.gen::<f64>() < 0.3 { topic } else { p.pick_noun(rng) };
+    out.push(styled_word(rng, p, noun));
+    // trailing prepositional phrase?
+    if rng.gen::<f64>() < 0.45 {
+        out.push(p.pick_function_word(rng).to_string());
+        let w = p.pick_noun(rng);
+        out.push(styled_word(rng, p, w));
+    }
+    // digits (dosage / lab value / count)
+    if rng.gen::<f64>() < p.digit_p {
+        let n = rng.gen_range(1..500u32);
+        if let Some(c) = p.special_char {
+            if rng.gen::<f64>() < 0.5 {
+                out.push(format!("{c}{n}"));
+                return;
+            }
+        }
+        out.push(n.to_string());
+    }
+    // habitual misspelling
+    if !p.misspellings.is_empty() && rng.gen::<f64>() < p.misspell_p {
+        out.push(p.misspellings[rng.gen_range(0..p.misspellings.len())].to_string());
+    }
+}
+
+/// Generate one sentence (words + final punctuation).
+fn sentence(rng: &mut StdRng, p: &Persona, topic: &str) -> String {
+    let mut words: Vec<String> = Vec::new();
+    let target = (p.sentence_len * (0.6 + rng.gen::<f64>() * 0.8)).max(3.0) as usize;
+    clause(rng, p, topic, &mut words);
+    while words.len() < target {
+        if rng.gen::<f64>() < p.comma_p {
+            if let Some(last) = words.last_mut() {
+                last.push(',');
+            }
+        } else {
+            words.push(p.pick_function_word(rng).to_string());
+        }
+        clause(rng, p, topic, &mut words);
+    }
+    // Sentence case.
+    if rng.gen::<f64>() >= p.lowercase_start_p {
+        words[0] = capitalize(&words[0]);
+    }
+    let end = if rng.gen::<f64>() < p.exclaim_p {
+        "!"
+    } else if rng.gen::<f64>() < p.question_p {
+        "?"
+    } else {
+        "."
+    };
+    words.join(" ") + end
+}
+
+/// Per-post "mood": real users drift post to post (tired, rushed, upset),
+/// so each post perturbs the persona's surface habits. This is what makes
+/// single-post attribution genuinely hard while leaving the per-user
+/// aggregate (all posts pooled) stable — the regime Section V-A2's
+/// insufficient-training-data analysis describes.
+fn mood(rng: &mut StdRng, p: &Persona) -> Persona {
+    let mut m = p.clone();
+    let jig = |rng: &mut StdRng, v: f64, lo: f64, hi: f64| -> f64 {
+        (v * (0.4 + rng.gen::<f64>() * 1.4) + (rng.gen::<f64>() - 0.5) * 0.06).clamp(lo, hi)
+    };
+    m.exclaim_p = jig(rng, m.exclaim_p, 0.0, 0.6);
+    m.question_p = jig(rng, m.question_p, 0.0, 0.6);
+    m.comma_p = jig(rng, m.comma_p, 0.0, 1.0);
+    m.allcaps_p = jig(rng, m.allcaps_p, 0.0, 0.25);
+    m.lowercase_start_p = jig(rng, m.lowercase_start_p, 0.0, 0.95);
+    m.digit_p = jig(rng, m.digit_p, 0.0, 0.5);
+    m.misspell_p = jig(rng, m.misspell_p, 0.0, 0.7);
+    m.sentence_len = (m.sentence_len * (0.7 + rng.gen::<f64>() * 0.6)).clamp(4.0, 26.0);
+    m
+}
+
+/// Generate one post by `persona` in a thread about `topic`, aiming at the
+/// persona's post length (words).
+#[must_use]
+pub fn generate_post(rng: &mut StdRng, persona: &Persona, topic: &str) -> String {
+    let persona = &mood(rng, persona);
+    // Log-normal-ish length: multiply persona mean by exp(noise).
+    let noise: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+    let target_words = (persona.post_len * (2.0f64).powf(noise)).max(6.0) as usize;
+    let mut out = String::new();
+    let mut n_words = 0usize;
+    if rng.gen::<f64>() < persona.opener_p {
+        let opener = pick(rng, vocab::OPENERS);
+        out.push_str(&capitalize(opener));
+        out.push_str(", ");
+        n_words += opener.split(' ').count();
+    }
+    let mut sentences_in_para = 0usize;
+    while n_words < target_words {
+        let s = sentence(rng, persona, topic);
+        n_words += s.split(' ').count();
+        out.push_str(&s);
+        sentences_in_para += 1;
+        // Paragraph break every ~5 sentences.
+        if sentences_in_para >= 5 && rng.gen::<f64>() < 0.4 {
+            out.push_str("\n\n");
+            sentences_in_para = 0;
+        } else {
+            out.push(' ');
+        }
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn persona(seed: u64) -> Persona {
+        Persona::sample(&mut StdRng::seed_from_u64(seed), 120.0, 1.0)
+    }
+
+    #[test]
+    fn post_generation_is_deterministic() {
+        let p = persona(7);
+        let a = generate_post(&mut StdRng::seed_from_u64(1), &p, "migraine");
+        let b = generate_post(&mut StdRng::seed_from_u64(1), &p, "migraine");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn posts_are_non_empty_and_end_with_punct() {
+        let p = persona(8);
+        for seed in 0..20 {
+            let post = generate_post(&mut StdRng::seed_from_u64(seed), &p, "diabetes");
+            assert!(!post.is_empty());
+            let last = post.chars().last().unwrap();
+            assert!(matches!(last, '.' | '!' | '?'), "post ends with {last:?}");
+        }
+    }
+
+    #[test]
+    fn length_tracks_persona_mean() {
+        let mut short = persona(9);
+        short.post_len = 20.0;
+        let mut long = persona(9);
+        long.post_len = 300.0;
+        let avg = |p: &Persona| -> f64 {
+            let total: usize = (0..30)
+                .map(|s| {
+                    generate_post(&mut StdRng::seed_from_u64(s), p, "asthma")
+                        .split_whitespace()
+                        .count()
+                })
+                .sum();
+            total as f64 / 30.0
+        };
+        assert!(avg(&long) > 3.0 * avg(&short));
+    }
+
+    #[test]
+    fn topic_word_appears() {
+        let p = persona(10);
+        let joined: String = (0..10)
+            .map(|s| generate_post(&mut StdRng::seed_from_u64(s), &p, "zoster"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(joined.contains("zoster"));
+    }
+
+    #[test]
+    fn different_personas_produce_different_text() {
+        let a = generate_post(&mut StdRng::seed_from_u64(3), &persona(1), "rash");
+        let b = generate_post(&mut StdRng::seed_from_u64(3), &persona(2), "rash");
+        assert_ne!(a, b);
+    }
+}

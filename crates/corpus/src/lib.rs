@@ -1,0 +1,32 @@
+//! # dehealth-corpus
+//!
+//! Synthetic health-forum generator — the substitute for the paper's
+//! crawled WebMD / HealthBoards corpora (private crawl data that cannot be
+//! redistributed; see DESIGN.md §2 for the substitution argument).
+//!
+//! The simulator produces exactly the two signal channels the De-Health
+//! attack consumes:
+//!
+//! 1. **Structure** — who posts in which thread. A recency-biased
+//!    preferential thread process over per-user preferred boards yields the
+//!    sparse, weakly connected correlation graphs the paper reports
+//!    (Appendix B).
+//! 2. **Style** — per-user stylometric [`persona::Persona`]s drive the
+//!    [`generator`], so the Table-I features carry a real per-user signal
+//!    whose strength is configurable.
+//!
+//! [`dataset::ForumConfig::webmd_like`] and
+//! [`dataset::ForumConfig::healthboards_like`] reproduce the published
+//! marginals (posts/user CDF, post length, posts-per-user means) at any
+//! scale; [`split`] builds the closed-world and open-world DA instances of
+//! Section V.
+
+pub mod dataset;
+pub mod generator;
+pub mod persona;
+pub mod split;
+pub mod vocab;
+
+pub use dataset::{Forum, ForumConfig, Post};
+pub use persona::Persona;
+pub use split::{closed_world_split, open_world_split, Oracle, Split, SplitConfig};

@@ -1,0 +1,224 @@
+//! Per-user stylometric personas.
+//!
+//! A persona is the hidden "writing style" of one simulated user: a bundle
+//! of lexical, syntactic and idiosyncratic habits sampled once per user
+//! from population hyper-priors. The post generator consults only the
+//! persona (plus a topic), so two posts by the same user share style while
+//! posts by different users differ — which is precisely the signal the
+//! paper's stylometric features detect.
+//!
+//! `style_strength ∈ [0, 1]` scales persona variance: at `0` every user
+//! writes identically (no stylometric signal, only graph structure); at
+//! `1` personas are maximally idiosyncratic.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dehealth_text::lexicon::{FUNCTION_WORDS, MISSPELLINGS};
+
+use crate::vocab;
+
+/// The writing-style parameters of one simulated user.
+#[derive(Debug, Clone)]
+pub struct Persona {
+    /// Preferred function words (indices into `FUNCTION_WORDS`) with
+    /// weights; the generator samples connective words from this profile.
+    pub function_prefs: Vec<(usize, f64)>,
+    /// Habitual "pet" content words the user over-uses.
+    pub pet_words: Vec<&'static str>,
+    /// Habitual misspellings (entries of `MISSPELLINGS`, emitted verbatim).
+    pub misspellings: Vec<&'static str>,
+    /// Per-bank preference weights over `vocab::NOUN_BANKS`.
+    pub bank_prefs: Vec<f64>,
+    /// Probability a sentence ends with `!`.
+    pub exclaim_p: f64,
+    /// Probability a sentence ends with `?`.
+    pub question_p: f64,
+    /// Probability of inserting a comma between clauses.
+    pub comma_p: f64,
+    /// Probability a word is emitted in ALL CAPS for emphasis.
+    pub allcaps_p: f64,
+    /// Probability a sentence starts lowercase (sloppy typing habit).
+    pub lowercase_start_p: f64,
+    /// Probability of inserting a number token in a clause.
+    pub digit_p: f64,
+    /// Probability of emitting one of the user's habitual misspellings in
+    /// a sentence.
+    pub misspell_p: f64,
+    /// Mean words per sentence.
+    pub sentence_len: f64,
+    /// Mean words per post (per-user offset around the forum mean).
+    pub post_len: f64,
+    /// Favourite special character (index into the registry's 21-character
+    /// set), used in dosage/price asides, or `None`.
+    pub special_char: Option<char>,
+    /// Probability of opening a post with a greeting from
+    /// [`vocab::OPENERS`].
+    pub opener_p: f64,
+}
+
+const SPECIALS: &[char] = &['$', '%', '/', '*', '+', '~', '#', '&'];
+
+fn jitter(rng: &mut StdRng, base: f64, spread: f64, strength: f64) -> f64 {
+    base + (rng.gen::<f64>() * 2.0 - 1.0) * spread * strength
+}
+
+impl Persona {
+    /// Sample a persona from the population hyper-priors.
+    ///
+    /// `mean_post_words` is the forum-wide target post length;
+    /// `style_strength` scales persona variance.
+    #[must_use]
+    pub fn sample(rng: &mut StdRng, mean_post_words: f64, style_strength: f64) -> Self {
+        let s = style_strength.clamp(0.0, 1.0);
+        // Function-word profile: 25 distinct indices with random weights.
+        // The indices are drawn from a pool whose size scales with the
+        // style strength: at s = 0 every user shares the same 30 common
+        // words (no subset-selection signal), at s = 1 the whole lexicon
+        // is available and the chosen subset itself identifies the user.
+        let pool = 30 + (((FUNCTION_WORDS.len() - 30) as f64) * s) as usize;
+        let mut function_prefs = Vec::with_capacity(25);
+        let mut used = std::collections::HashSet::new();
+        while function_prefs.len() < 25 {
+            let i = rng.gen_range(0..pool);
+            if used.insert(i) {
+                function_prefs.push((i, 0.2 + rng.gen::<f64>() * s));
+            }
+        }
+        // Pet words: likewise drawn from a strength-scaled prefix of each
+        // bank so weak styles over-use the same common nouns.
+        let n_pets = 3 + (rng.gen::<f64>() * 8.0 * s) as usize;
+        let pet_words = (0..n_pets)
+            .map(|_| {
+                let bank = vocab::NOUN_BANKS[rng.gen_range(0..vocab::NOUN_BANKS.len())];
+                let limit = ((bank.len() as f64) * (0.2 + 0.8 * s)).ceil() as usize;
+                bank[rng.gen_range(0..limit.max(1))]
+            })
+            .collect();
+        let n_miss = (rng.gen::<f64>() * 5.0 * s) as usize;
+        let misspellings = (0..n_miss)
+            .map(|_| MISSPELLINGS[rng.gen_range(0..MISSPELLINGS.len())].0)
+            .collect();
+        let bank_prefs =
+            (0..vocab::NOUN_BANKS.len()).map(|_| 0.3 + rng.gen::<f64>() * s).collect();
+        Self {
+            function_prefs,
+            pet_words,
+            misspellings,
+            bank_prefs,
+            exclaim_p: jitter(rng, 0.08, 0.08, s).clamp(0.0, 0.5),
+            question_p: jitter(rng, 0.10, 0.08, s).clamp(0.0, 0.5),
+            comma_p: jitter(rng, 0.35, 0.3, s).clamp(0.0, 1.0),
+            allcaps_p: jitter(rng, 0.01, 0.03, s).clamp(0.0, 0.2),
+            lowercase_start_p: jitter(rng, 0.15, 0.3, s).clamp(0.0, 0.9),
+            digit_p: jitter(rng, 0.06, 0.06, s).clamp(0.0, 0.4),
+            misspell_p: jitter(rng, 0.08, 0.1, s).clamp(0.0, 0.6),
+            sentence_len: jitter(rng, 12.0, 6.0, s).clamp(5.0, 24.0),
+            post_len: (mean_post_words * (0.5 + rng.gen::<f64>() * 1.2 * s.max(0.2))).max(10.0),
+            special_char: if rng.gen::<f64>() < 0.4 + 0.4 * s {
+                Some(SPECIALS[rng.gen_range(0..SPECIALS.len())])
+            } else {
+                None
+            },
+            opener_p: jitter(rng, 0.3, 0.25, s).clamp(0.0, 0.9),
+        }
+    }
+
+    /// Sample a preferred function word.
+    #[must_use]
+    pub fn pick_function_word(&self, rng: &mut StdRng) -> &'static str {
+        let total: f64 = self.function_prefs.iter().map(|&(_, w)| w).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for &(i, w) in &self.function_prefs {
+            x -= w;
+            if x <= 0.0 {
+                return FUNCTION_WORDS[i];
+            }
+        }
+        FUNCTION_WORDS[self.function_prefs.last().expect("non-empty prefs").0]
+    }
+
+    /// Sample a content noun according to bank preferences, occasionally a
+    /// pet word.
+    #[must_use]
+    pub fn pick_noun(&self, rng: &mut StdRng) -> &'static str {
+        if !self.pet_words.is_empty() && rng.gen::<f64>() < 0.25 {
+            return self.pet_words[rng.gen_range(0..self.pet_words.len())];
+        }
+        let total: f64 = self.bank_prefs.iter().sum();
+        let mut x = rng.gen::<f64>() * total;
+        for (bank, &w) in vocab::NOUN_BANKS.iter().zip(&self.bank_prefs) {
+            x -= w;
+            if x <= 0.0 {
+                return bank[rng.gen_range(0..bank.len())];
+            }
+        }
+        vocab::EVERYDAY[rng.gen_range(0..vocab::EVERYDAY.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = Persona::sample(&mut rng(1), 120.0, 1.0);
+        let b = Persona::sample(&mut rng(1), 120.0, 1.0);
+        assert_eq!(a.sentence_len, b.sentence_len);
+        assert_eq!(a.pet_words, b.pet_words);
+        assert_eq!(a.misspellings, b.misspellings);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Persona::sample(&mut rng(1), 120.0, 1.0);
+        let b = Persona::sample(&mut rng(2), 120.0, 1.0);
+        assert!(a.pet_words != b.pet_words || a.sentence_len != b.sentence_len);
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        for seed in 0..50 {
+            let p = Persona::sample(&mut rng(seed), 120.0, 1.0);
+            for v in [
+                p.exclaim_p,
+                p.question_p,
+                p.comma_p,
+                p.allcaps_p,
+                p.lowercase_start_p,
+                p.digit_p,
+                p.misspell_p,
+                p.opener_p,
+            ] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+            assert!(p.sentence_len >= 5.0 && p.sentence_len <= 24.0);
+            assert!(p.post_len >= 10.0);
+        }
+    }
+
+    #[test]
+    fn zero_strength_minimizes_idiosyncrasy() {
+        let p = Persona::sample(&mut rng(3), 120.0, 0.0);
+        assert!(p.misspellings.is_empty());
+        // Probabilities collapse to population means.
+        assert!((p.exclaim_p - 0.08).abs() < 1e-9);
+        assert!((p.sentence_len - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn word_pickers_return_valid_words() {
+        let p = Persona::sample(&mut rng(4), 120.0, 1.0);
+        let mut r = rng(5);
+        for _ in 0..100 {
+            assert!(!p.pick_function_word(&mut r).is_empty());
+            assert!(!p.pick_noun(&mut r).is_empty());
+        }
+    }
+}

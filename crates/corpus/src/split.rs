@@ -1,0 +1,311 @@
+//! Dataset splits: the evaluation's closed-world and open-world
+//! constructions (Section V).
+//!
+//! *Closed world*: each user's posts are split into an auxiliary fraction
+//! and an anonymized remainder ("randomly taking 50%, 70%, and 90% of each
+//! user's data as auxiliary data and the rest as anonymized data ... by
+//! replacing each username with some random ID").
+//!
+//! *Open world*: the users are partitioned so that both sides have the
+//! same number of users and a chosen overlap ratio, per the paper's
+//! footnote 10 equations `x + 2y = n`, `x/(x+y) = ratio`.
+//!
+//! The anonymized half re-labels its users with a random permutation; the
+//! hidden [`Oracle`] retains the ground-truth mapping for scoring only.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Forum, Post};
+
+/// Closed-world split parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitConfig {
+    /// Fraction of each user's posts placed in the auxiliary data.
+    pub aux_fraction: f64,
+}
+
+impl SplitConfig {
+    /// Split with the given auxiliary fraction.
+    ///
+    /// # Panics
+    /// Panics unless `0 < aux_fraction < 1`.
+    #[must_use]
+    pub fn fraction(aux_fraction: f64) -> Self {
+        assert!(
+            aux_fraction > 0.0 && aux_fraction < 1.0,
+            "aux_fraction must be in (0, 1)"
+        );
+        Self { aux_fraction }
+    }
+}
+
+/// Ground-truth mapping from anonymized user ids to auxiliary user ids.
+/// `None` means the anonymized user has no true mapping in the auxiliary
+/// data (possible only in open-world splits).
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    map: Vec<Option<usize>>,
+}
+
+impl Oracle {
+    /// True auxiliary id of anonymized user `anon`, if any.
+    #[must_use]
+    pub fn true_mapping(&self, anon: usize) -> Option<usize> {
+        self.map[anon]
+    }
+
+    /// Number of anonymized users.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if there are no anonymized users.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of anonymized users that do have a true mapping.
+    #[must_use]
+    pub fn n_overlapping(&self) -> usize {
+        self.map.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+/// A prepared de-anonymization instance.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// The auxiliary (known, training) forum; user ids are the original
+    /// forum ids.
+    pub auxiliary: Forum,
+    /// The anonymized (target) forum; user ids are randomized.
+    pub anonymized: Forum,
+    /// Hidden ground truth for scoring.
+    pub oracle: Oracle,
+}
+
+fn shuffle<T>(rng: &mut StdRng, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Assemble the anonymized forum from `(original_user, post)` pairs,
+/// shuffling user identities.
+fn anonymize(
+    rng: &mut StdRng,
+    n_threads: usize,
+    posts_by_user: Vec<(usize, Vec<Post>)>,
+) -> (Forum, Oracle) {
+    let mut order: Vec<usize> = (0..posts_by_user.len()).collect();
+    shuffle(rng, &mut order);
+    let mut map = vec![None; posts_by_user.len()];
+    let mut posts = Vec::new();
+    for (anon_id, &slot) in order.iter().enumerate() {
+        let (original, ref user_posts) = posts_by_user[slot];
+        map[anon_id] = Some(original);
+        for p in user_posts {
+            posts.push(Post { author: anon_id, thread: p.thread, text: p.text.clone() });
+        }
+    }
+    (Forum::from_posts(posts_by_user.len(), n_threads, posts), Oracle { map })
+}
+
+/// Closed-world split: every anonymized user has a true mapping in the
+/// auxiliary data (`V1 ⊆ V2`).
+///
+/// Users receive `ceil(aux_fraction · count)` auxiliary posts; users whose
+/// remainder is zero simply do not appear on the anonymized side.
+#[must_use]
+pub fn closed_world_split(forum: &Forum, config: &SplitConfig, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aux_posts: Vec<Post> = Vec::new();
+    let mut anon_users: Vec<(usize, Vec<Post>)> = Vec::new();
+    for u in 0..forum.n_users {
+        let mut idx: Vec<usize> = forum.user_posts(u).to_vec();
+        shuffle(&mut rng, &mut idx);
+        let n_aux = ((config.aux_fraction * idx.len() as f64).ceil() as usize)
+            .clamp(1, idx.len());
+        for &i in &idx[..n_aux] {
+            let p = &forum.posts[i];
+            aux_posts.push(Post { author: u, thread: p.thread, text: p.text.clone() });
+        }
+        if n_aux < idx.len() {
+            let rest = idx[n_aux..]
+                .iter()
+                .map(|&i| forum.posts[i].clone())
+                .collect::<Vec<_>>();
+            anon_users.push((u, rest));
+        }
+    }
+    let auxiliary = Forum::from_posts(forum.n_users, forum.n_threads, aux_posts);
+    let (anonymized, oracle) = anonymize(&mut rng, forum.n_threads, anon_users);
+    Split { auxiliary, anonymized, oracle }
+}
+
+/// Open-world split with the given overlap ratio (`x/(x+y)` per footnote
+/// 10). Both sides get `x + y` users: `x` overlapping (posts split in
+/// half) plus `y` exclusive to each side.
+///
+/// # Panics
+/// Panics unless `0 < overlap_ratio <= 1`.
+#[must_use]
+pub fn open_world_split(forum: &Forum, overlap_ratio: f64, seed: u64) -> Split {
+    assert!(
+        overlap_ratio > 0.0 && overlap_ratio <= 1.0,
+        "overlap_ratio must be in (0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = forum.n_users;
+    // x + 2y = n and x/(x+y) = r  =>  x = r·n/(2-r).
+    let x = ((overlap_ratio * n as f64) / (2.0 - overlap_ratio)).round() as usize;
+    let x = x.clamp(1, n);
+    let y = (n - x) / 2;
+
+    let mut users: Vec<usize> = (0..n).collect();
+    shuffle(&mut rng, &mut users);
+    let overlapping = &users[..x];
+    let aux_only = &users[x..x + y];
+    let anon_only = &users[x + y..x + 2 * y];
+
+    let mut aux_posts: Vec<Post> = Vec::new();
+    let mut anon_users: Vec<(usize, Vec<Post>)> = Vec::new();
+    for &u in overlapping {
+        let mut idx: Vec<usize> = forum.user_posts(u).to_vec();
+        shuffle(&mut rng, &mut idx);
+        let n_aux = idx.len().div_ceil(2);
+        for &i in &idx[..n_aux] {
+            let p = &forum.posts[i];
+            aux_posts.push(Post { author: u, thread: p.thread, text: p.text.clone() });
+        }
+        if n_aux < idx.len() {
+            let rest: Vec<Post> = idx[n_aux..].iter().map(|&i| forum.posts[i].clone()).collect();
+            anon_users.push((u, rest));
+        }
+    }
+    for &u in aux_only {
+        for &i in forum.user_posts(u) {
+            let p = &forum.posts[i];
+            aux_posts.push(Post { author: u, thread: p.thread, text: p.text.clone() });
+        }
+    }
+    let auxiliary = Forum::from_posts(forum.n_users, forum.n_threads, aux_posts);
+
+    // Non-overlapping anonymized users get `None` oracle entries: mark
+    // them with a sentinel before anonymization and fix up after.
+    let n_overlap_anon = anon_users.len();
+    for &u in anon_only {
+        let posts: Vec<Post> = forum.user_posts(u).iter().map(|&i| forum.posts[i].clone()).collect();
+        anon_users.push((u, posts));
+    }
+    let mut order: Vec<usize> = (0..anon_users.len()).collect();
+    shuffle(&mut rng, &mut order);
+    let mut map = vec![None; anon_users.len()];
+    let mut posts = Vec::new();
+    for (anon_id, &slot) in order.iter().enumerate() {
+        let (original, ref user_posts) = anon_users[slot];
+        // Only overlapping users (the first `n_overlap_anon` slots) have a
+        // true mapping in the auxiliary data.
+        if slot < n_overlap_anon {
+            map[anon_id] = Some(original);
+        }
+        for p in user_posts {
+            posts.push(Post { author: anon_id, thread: p.thread, text: p.text.clone() });
+        }
+    }
+    let anonymized = Forum::from_posts(anon_users.len(), forum.n_threads, posts);
+    Split { auxiliary, anonymized, oracle: Oracle { map } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ForumConfig;
+
+    fn forum() -> Forum {
+        Forum::generate(&ForumConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn closed_world_every_anon_user_has_mapping() {
+        let s = closed_world_split(&forum(), &SplitConfig::fraction(0.5), 1);
+        assert_eq!(s.oracle.n_overlapping(), s.oracle.len());
+        assert!(!s.oracle.is_empty());
+    }
+
+    #[test]
+    fn closed_world_posts_partitioned() {
+        let f = forum();
+        let s = closed_world_split(&f, &SplitConfig::fraction(0.5), 1);
+        assert_eq!(s.auxiliary.posts.len() + s.anonymized.posts.len(), f.posts.len());
+        // No shared text between the halves (all posts distinct enough).
+        for anon in 0..s.anonymized.n_users {
+            let aux = s.oracle.true_mapping(anon).unwrap();
+            // The anonymized user's posts belonged to `aux` originally:
+            // check thread consistency (threads the original user posted
+            // in).
+            let orig_threads: std::collections::HashSet<usize> =
+                f.user_posts(aux).iter().map(|&i| f.posts[i].thread).collect();
+            for &i in s.anonymized.user_posts(anon) {
+                assert!(orig_threads.contains(&s.anonymized.posts[i].thread));
+            }
+        }
+    }
+
+    #[test]
+    fn higher_aux_fraction_shrinks_anonymized_side() {
+        let f = forum();
+        let lo = closed_world_split(&f, &SplitConfig::fraction(0.5), 1);
+        let hi = closed_world_split(&f, &SplitConfig::fraction(0.9), 1);
+        assert!(hi.anonymized.posts.len() < lo.anonymized.posts.len());
+    }
+
+    #[test]
+    fn anonymized_ids_are_shuffled() {
+        let s = closed_world_split(&forum(), &SplitConfig::fraction(0.5), 3);
+        // With dozens of users the identity permutation is implausible.
+        let identity =
+            (0..s.anonymized.n_users).all(|a| s.oracle.true_mapping(a) == Some(a));
+        assert!(!identity);
+    }
+
+    #[test]
+    fn open_world_overlap_ratio_respected() {
+        let f = Forum::generate(&ForumConfig::webmd_like(300), 9);
+        for &r in &[0.5, 0.7, 0.9] {
+            let s = open_world_split(&f, r, 4);
+            let n_anon = s.anonymized.n_users;
+            let overlap = s.oracle.n_overlapping();
+            let got = overlap as f64 / n_anon as f64;
+            // Single-post overlapping users can fall out of the anon side,
+            // so allow a modest band.
+            assert!((got - r).abs() < 0.2, "ratio {r}: got {got}");
+            assert!(overlap < n_anon || r == 1.0);
+        }
+    }
+
+    #[test]
+    fn open_world_nonoverlap_users_absent_from_aux() {
+        let f = forum();
+        let s = open_world_split(&f, 0.5, 8);
+        for anon in 0..s.anonymized.n_users {
+            if s.oracle.true_mapping(anon).is_none() {
+                // Their original posts must not be in the auxiliary side:
+                // check by text equality.
+                for &i in s.anonymized.user_posts(anon) {
+                    let text = &s.anonymized.posts[i].text;
+                    assert!(s.auxiliary.posts.iter().all(|p| &p.text != text));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "aux_fraction")]
+    fn bad_fraction_panics() {
+        let _ = SplitConfig::fraction(1.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Connected components, communities, and degree distributions.
+//!
+//! Appendix B of the paper reports (Fig. 7) the degree-distribution CDF of
+//! the WebMD/HealthBoards correlation graphs and (Fig. 8) their community
+//! structure under degree-threshold ablations — the quantitative claims are
+//! "the graph is not connected (consisting of several components)" and
+//! "about 10 – 100 communities can be identified". This module provides
+//! those statistics.
+
+use crate::graph::Graph;
+
+/// Summary of a community decomposition (Fig. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityStats {
+    /// Number of connected components (including singletons).
+    pub components: usize,
+    /// Number of communities found by label propagation (excluding
+    /// singleton isolated nodes).
+    pub communities: usize,
+    /// Sizes of the communities, decreasing.
+    pub community_sizes: Vec<usize>,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated: usize,
+}
+
+/// Connected-component labels: `labels[u]` is the smallest node id in `u`'s
+/// component.
+#[must_use]
+pub fn connected_components(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut label = vec![usize::MAX; n];
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = start;
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            for &(v, _) in g.neighbors(u) {
+                let v = v as usize;
+                if label[v] == usize::MAX {
+                    label[v] = start;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Synchronous label propagation with deterministic tie-breaking (smallest
+/// label wins). Runs at most `max_iters` sweeps; converges when no label
+/// changes. Returns per-node community labels.
+#[must_use]
+pub fn label_propagation(g: &Graph, max_iters: usize) -> Vec<usize> {
+    let n = g.node_count();
+    let mut label: Vec<usize> = (0..n).collect();
+    let mut counts: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for u in 0..n {
+            if g.degree(u) == 0 {
+                continue;
+            }
+            counts.clear();
+            for &(v, w) in g.neighbors(u) {
+                *counts.entry(label[v as usize]).or_insert(0.0) += w.max(1e-12);
+            }
+            // (indexing by `u` is intentional: synchronous sweep)
+            // Highest weighted vote, ties to the smallest label for
+            // determinism.
+            let best = counts
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(b.0.cmp(a.0)))
+                .map(|(&l, _)| l)
+                .expect("non-isolated node has neighbors");
+            if best != label[u] {
+                label[u] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    label
+}
+
+/// Community statistics for Fig. 8 after removing nodes with degree less
+/// than `min_degree` (the paper's ablation uses thresholds 11, 21, 31;
+/// `min_degree = 0` keeps the original graph).
+#[must_use]
+pub fn community_stats(g: &Graph, min_degree: usize) -> CommunityStats {
+    // Build the filtered subgraph over retained nodes.
+    let retained: Vec<usize> =
+        (0..g.node_count()).filter(|&u| g.degree(u) >= min_degree).collect();
+    let mut index = vec![usize::MAX; g.node_count()];
+    for (i, &u) in retained.iter().enumerate() {
+        index[u] = i;
+    }
+    let mut b = crate::graph::GraphBuilder::new(retained.len());
+    for &u in &retained {
+        for &(v, w) in g.neighbors(u) {
+            let v = v as usize;
+            if u < v && index[v] != usize::MAX {
+                b.add_edge(index[u], index[v], w);
+            }
+        }
+    }
+    let sub = b.build();
+    let comp = connected_components(&sub);
+    let n_components = distinct(&comp);
+    let labels = label_propagation(&sub, 50);
+    let isolated = (0..sub.node_count()).filter(|&u| sub.degree(u) == 0).count();
+    let mut sizes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for (u, &label) in labels.iter().enumerate() {
+        if sub.degree(u) > 0 {
+            *sizes.entry(label).or_insert(0) += 1;
+        }
+    }
+    let mut community_sizes: Vec<usize> = sizes.values().copied().collect();
+    community_sizes.sort_unstable_by(|a, b| b.cmp(a));
+    CommunityStats {
+        components: n_components,
+        communities: community_sizes.len(),
+        community_sizes,
+        isolated,
+    }
+}
+
+fn distinct(labels: &[usize]) -> usize {
+    let mut set: Vec<usize> = labels.to_vec();
+    set.sort_unstable();
+    set.dedup();
+    set.len()
+}
+
+/// Degree-distribution CDF (Fig. 7): for each point `(d, f)`, `f` is the
+/// fraction of nodes with degree ≤ `d`. Points are emitted at every
+/// distinct degree.
+#[must_use]
+pub fn degree_cdf(g: &Graph) -> Vec<(usize, f64)> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degrees: Vec<usize> = (0..n).map(|u| g.degree(u)).collect();
+    degrees.sort_unstable();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let d = degrees[i];
+        let mut j = i;
+        while j < n && degrees[j] == d {
+            j += 1;
+        }
+        out.push((d, j as f64 / n as f64));
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Two triangles joined by nothing + an isolated node.
+    fn two_cliques() -> Graph {
+        let mut b = GraphBuilder::new(7);
+        for &(a, x) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(a, x, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn components_counted() {
+        let comp = connected_components(&two_cliques());
+        assert_eq!(distinct(&comp), 3); // two triangles + isolated node 6
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn label_propagation_splits_cliques() {
+        let labels = label_propagation(&two_cliques(), 20);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn stats_on_two_cliques() {
+        let s = community_stats(&two_cliques(), 0);
+        assert_eq!(s.components, 3);
+        assert_eq!(s.communities, 2);
+        assert_eq!(s.community_sizes, vec![3, 3]);
+        assert_eq!(s.isolated, 1);
+    }
+
+    #[test]
+    fn degree_threshold_filters() {
+        // Star: center degree 4, leaves degree 1.
+        let mut b = GraphBuilder::new(5);
+        for leaf in 1..5 {
+            b.add_edge(0, leaf, 1.0);
+        }
+        let g = b.build();
+        let s = community_stats(&g, 2);
+        // Only the center survives, with no edges.
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.communities, 0);
+    }
+
+    #[test]
+    fn degree_cdf_monotone_ends_at_one() {
+        let cdf = degree_cdf(&two_cliques());
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // 1/7 of nodes have degree 0.
+        assert_eq!(cdf[0].0, 0);
+        assert!((cdf[0].1 - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_cdf_empty_graph() {
+        assert!(degree_cdf(&Graph::empty(0)).is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! # dehealth-graph
+//!
+//! Graph substrate for the De-Health reproduction.
+//!
+//! Section II-B of the paper builds a *user correlation graph* `G =
+//! (V,E,W)` where users are nodes and an edge `e_ij` with weight `w_ij`
+//! counts how many threads users `i` and `j` co-discussed, then extends it
+//! to the User-Data-Attribute (UDA) graph. This crate provides:
+//!
+//! - [`graph::Graph`] — a compact weighted undirected graph with degrees,
+//!   weighted degrees, and Neighborhood Correlation Strength (NCS) vectors;
+//! - [`paths`] — BFS hop distances and Dijkstra weighted distances to
+//!   landmark sets (the global correlation features `H_u(S)`, `WH_u(S)`);
+//! - [`community`] — connected components, label-propagation communities
+//!   and degree-distribution CDFs (Figs. 7 and 8);
+//! - [`matching`] — exact maximum-weight bipartite matching (Hungarian
+//!   algorithm) used by the graph-matching Top-K candidate selection.
+//!
+//! The UDA attribute side lives in `dehealth-core`, which owns the feature
+//! extraction dependency; this crate is deliberately dependency-free.
+
+pub mod community;
+pub mod graph;
+pub mod matching;
+pub mod paths;
+
+pub use community::{connected_components, degree_cdf, label_propagation, CommunityStats};
+pub use graph::{Graph, GraphBuilder};
+pub use matching::max_weight_matching;
+pub use paths::{bfs_hops, dijkstra_weighted};

@@ -1,0 +1,135 @@
+//! Shortest-path distances used by the global correlation features
+//! `H_u(S)` (hop distances to landmarks) and `WH_u(S)` (weighted
+//! distances to landmarks) of Section II-B.
+//!
+//! Both functions compute distances from a single source to *all* nodes, so
+//! the caller runs one traversal per landmark (|S| traversals) instead of
+//! one per (user, landmark) pair.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+
+/// Hop distance (unweighted BFS) from `source` to every node.
+/// Unreachable nodes get `u32::MAX`.
+#[must_use]
+pub fn bfs_hops(g: &Graph, source: usize) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.node_count()];
+    dist[source] = 0;
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &(v, _) in g.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == u32::MAX {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance via reversed comparison; distances are
+        // finite non-NaN by construction.
+        other.dist.partial_cmp(&self.dist).expect("finite distances")
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Weighted shortest-path distance (Dijkstra) from `source` to every node.
+/// Unreachable nodes get `f64::INFINITY`.
+///
+/// Edge weights are interactivity *strengths*; a stronger tie should mean a
+/// *shorter* effective distance, so each edge of weight `w` contributes
+/// length `1/w`. Non-positive weights are treated as absent edges.
+#[must_use]
+pub fn dijkstra_weighted(g: &Graph, source: usize) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { dist: 0.0, node: source });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            if w <= 0.0 {
+                continue;
+            }
+            let v = v as usize;
+            let nd = d + 1.0 / w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Path graph 0-1-2-3 plus isolated node 4.
+    fn path_graph() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 3, 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let d = bfs_hops(&path_graph(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, u32::MAX]);
+    }
+
+    #[test]
+    fn dijkstra_inverse_weight_lengths() {
+        let d = dijkstra_weighted(&path_graph(), 0);
+        assert!((d[0] - 0.0).abs() < 1e-12);
+        assert!((d[1] - 1.0).abs() < 1e-12);
+        assert!((d[2] - 1.5).abs() < 1e-12);
+        assert!((d[3] - 1.75).abs() < 1e-12);
+        assert!(d[4].is_infinite());
+    }
+
+    #[test]
+    fn dijkstra_prefers_strong_ties() {
+        // 0-2 direct but weak (w=0.1, length 10); 0-1-2 strong (1+1=2).
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2, 0.1);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let d = dijkstra_weighted(&b.build(), 0);
+        assert!((d[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_edges_do_not_connect() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.0);
+        let d = dijkstra_weighted(&b.build(), 0);
+        assert!(d[1].is_infinite());
+    }
+}

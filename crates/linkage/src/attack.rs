@@ -1,0 +1,337 @@
+//! The linkage-attack framework of Section VI: NameLink and AvatarLink,
+//! cross-validation, and identity-profile aggregation.
+
+use std::collections::HashMap;
+
+use crate::avatar::AvatarIndex;
+use crate::services::{Account, Service, World};
+use crate::username::UsernameModel;
+
+/// One confirmed link from a health-forum account to an account elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Health-forum account (index into `World::health_forum`).
+    pub forum_account: usize,
+    /// Target service.
+    pub service: Service,
+    /// Target account index within that service's account list.
+    pub target_account: usize,
+    /// `true` if both accounts belong to the same hidden person.
+    pub correct: bool,
+}
+
+/// NameLink parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NameLinkConfig {
+    /// Minimum username surprisal (bits) to trust an exact-match link;
+    /// lower-entropy usernames are considered collision-prone and skipped.
+    pub min_entropy_bits: f64,
+}
+
+impl Default for NameLinkConfig {
+    fn default() -> Self {
+        Self { min_entropy_bits: 30.0 }
+    }
+}
+
+/// AvatarLink parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AvatarLinkConfig {
+    /// Maximum Hamming distance accepted by reverse image search.
+    pub max_hamming: u32,
+}
+
+impl Default for AvatarLinkConfig {
+    fn default() -> Self {
+        Self { max_hamming: 8 }
+    }
+}
+
+/// Run NameLink: entropy-rank forum usernames, exact-match them against
+/// the other services, and keep matches above the entropy threshold.
+#[must_use]
+pub fn name_link(world: &World, config: &NameLinkConfig) -> Vec<Link> {
+    let model =
+        UsernameModel::train(world.health_forum.iter().map(|a| a.username.as_str()));
+    // Exact-match indices for the target services.
+    let index = |accounts: &[Account]| -> HashMap<String, Vec<usize>> {
+        let mut m: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, a) in accounts.iter().enumerate() {
+            m.entry(a.username.clone()).or_default().push(i);
+        }
+        m
+    };
+    let second_idx = index(&world.second_forum);
+    let social_idx = index(&world.social);
+
+    // Entropy-decreasing search order (the NameLink procedure, step ii).
+    let mut order: Vec<usize> = (0..world.health_forum.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let ea = model.entropy_bits(&world.health_forum[a].username);
+        let eb = model.entropy_bits(&world.health_forum[b].username);
+        eb.partial_cmp(&ea).expect("finite entropy").then(a.cmp(&b))
+    });
+
+    let mut links = Vec::new();
+    for fa in order {
+        let account = &world.health_forum[fa];
+        if model.entropy_bits(&account.username) < config.min_entropy_bits {
+            // All remaining usernames are lower-entropy; stop searching.
+            break;
+        }
+        for (service, idx, accounts) in [
+            (Service::SecondHealthForum, &second_idx, &world.second_forum),
+            (Service::SocialNetwork, &social_idx, &world.social),
+        ] {
+            if let Some(hits) = idx.get(&account.username) {
+                // A unique match is trustworthy; multiple hits mean the
+                // username collides even at high entropy — skip.
+                if let [target] = hits.as_slice() {
+                    links.push(Link {
+                        forum_account: fa,
+                        service,
+                        target_account: *target,
+                        correct: accounts[*target].person == account.person,
+                    });
+                }
+            }
+        }
+    }
+    links
+}
+
+/// Run AvatarLink: reverse-image-search every forum avatar against the
+/// social network's avatar index.
+#[must_use]
+pub fn avatar_link(world: &World, config: &AvatarLinkConfig) -> Vec<Link> {
+    let mut index = AvatarIndex::new();
+    for (i, a) in world.social.iter().enumerate() {
+        if let Some(fp) = a.avatar {
+            index.insert(fp, i);
+        }
+    }
+    let mut links = Vec::new();
+    for (fa, account) in world.health_forum.iter().enumerate() {
+        let Some(fp) = account.avatar else { continue };
+        let hits = index.search(fp, config.max_hamming);
+        // Accept only an unambiguous nearest hit (manual-validation step).
+        if let [(target, _), rest @ ..] = hits.as_slice() {
+            if rest.is_empty() {
+                links.push(Link {
+                    forum_account: fa,
+                    service: Service::SocialNetwork,
+                    target_account: *target,
+                    correct: world.social[*target].person == account.person,
+                });
+            }
+        }
+    }
+    links
+}
+
+/// Aggregated identity knowledge about one de-anonymized forum user.
+#[derive(Debug, Clone, Default)]
+pub struct IdentityProfile {
+    /// Full name, if a social or directory link revealed it.
+    pub full_name: Option<String>,
+    /// Birth year.
+    pub birth_year: Option<u32>,
+    /// Phone number, if the person is in the directory.
+    pub phone: Option<String>,
+    /// Health condition from the forum.
+    pub condition: Option<&'static str>,
+    /// Whether the exposed condition is sensitive.
+    pub sensitive: bool,
+    /// Services this user was linked to.
+    pub services: Vec<Service>,
+}
+
+/// Outcome of the full linkage attack.
+#[derive(Debug, Clone)]
+pub struct LinkageReport {
+    /// NameLink links.
+    pub name_links: Vec<Link>,
+    /// AvatarLink links.
+    pub avatar_links: Vec<Link>,
+    /// Forum accounts with a usable avatar (the paper's 2805).
+    pub n_avatar_targets: usize,
+    /// Forum accounts linked by both tools (the paper's 137 overlap).
+    pub n_overlap: usize,
+    /// Aggregated profiles per linked forum account.
+    pub profiles: HashMap<usize, IdentityProfile>,
+}
+
+impl LinkageReport {
+    /// Precision of a link set.
+    #[must_use]
+    pub fn precision(links: &[Link]) -> f64 {
+        if links.is_empty() {
+            return 0.0;
+        }
+        links.iter().filter(|l| l.correct).count() as f64 / links.len() as f64
+    }
+
+    /// Distinct forum accounts linked by AvatarLink (the paper's 347).
+    #[must_use]
+    pub fn n_avatar_linked(&self) -> usize {
+        distinct_forum_accounts(&self.avatar_links)
+    }
+
+    /// Distinct forum accounts linked by NameLink (the paper's 1676).
+    #[must_use]
+    pub fn n_name_linked(&self) -> usize {
+        distinct_forum_accounts(&self.name_links)
+    }
+
+    /// Fraction of avatar-linked users whose aggregated profile spans 2+
+    /// services, including the Whitepages-style directory enrichment (the
+    /// paper reports > 33.4%).
+    #[must_use]
+    pub fn multi_service_fraction(&self) -> f64 {
+        let avatar_linked: Vec<usize> =
+            self.avatar_links.iter().map(|l| l.forum_account).collect();
+        if avatar_linked.is_empty() {
+            return 0.0;
+        }
+        let multi = avatar_linked
+            .iter()
+            .filter(|fa| self.profiles.get(fa).is_some_and(|p| p.services.len() >= 2))
+            .count();
+        multi as f64 / avatar_linked.len() as f64
+    }
+}
+
+fn distinct_forum_accounts(links: &[Link]) -> usize {
+    let mut ids: Vec<usize> = links.iter().map(|l| l.forum_account).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len()
+}
+
+/// Run the full linkage attack: NameLink + AvatarLink + cross-validation
+/// and profile aggregation.
+#[must_use]
+pub fn run_linkage_attack(
+    world: &World,
+    name_cfg: &NameLinkConfig,
+    avatar_cfg: &AvatarLinkConfig,
+) -> LinkageReport {
+    let name_links = name_link(world, name_cfg);
+    let avatar_links = avatar_link(world, avatar_cfg);
+    let n_avatar_targets = world.health_forum.iter().filter(|a| a.avatar.is_some()).count();
+
+    let named: std::collections::HashSet<usize> =
+        name_links.iter().map(|l| l.forum_account).collect();
+    let n_overlap = avatar_links
+        .iter()
+        .map(|l| l.forum_account)
+        .collect::<std::collections::HashSet<usize>>()
+        .intersection(&named)
+        .count();
+
+    // Aggregate identity profiles from every link, enriching with the
+    // directory when the social link reveals the full name.
+    let mut profiles: HashMap<usize, IdentityProfile> = HashMap::new();
+    for link in avatar_links.iter().chain(&name_links) {
+        let forum_acct = &world.health_forum[link.forum_account];
+        let person = &world.people[forum_acct.person];
+        let profile = profiles.entry(link.forum_account).or_default();
+        profile.condition = Some(person.condition);
+        profile.sensitive = person.sensitive;
+        if !profile.services.contains(&link.service) {
+            profile.services.push(link.service);
+        }
+        if link.service == Service::SocialNetwork && link.correct {
+            // A social profile exposes the real name and birth year.
+            profile.full_name = Some(person.full_name.clone());
+            profile.birth_year = Some(person.birth_year);
+            // Whitepages-style enrichment: name → phone. A successful
+            // directory lookup is itself a service link.
+            if world.directory.iter().any(|d| d.person == forum_acct.person) {
+                profile.phone = Some(person.phone.clone());
+                if !profile.services.contains(&Service::PeopleDirectory) {
+                    profile.services.push(Service::PeopleDirectory);
+                }
+            }
+        }
+    }
+
+    LinkageReport { name_links, avatar_links, n_avatar_targets, n_overlap, profiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services::WorldConfig;
+
+    fn report() -> LinkageReport {
+        let world = World::generate(&WorldConfig { n_people: 2000, ..WorldConfig::default() }, 3);
+        run_linkage_attack(&world, &NameLinkConfig::default(), &AvatarLinkConfig::default())
+    }
+
+    #[test]
+    fn avatar_links_are_precise() {
+        let r = report();
+        assert!(!r.avatar_links.is_empty());
+        // Random 64-bit fingerprints essentially never collide at radius 8,
+        // so precision should be near-perfect.
+        assert!(LinkageReport::precision(&r.avatar_links) > 0.95);
+    }
+
+    #[test]
+    fn name_links_are_mostly_correct() {
+        let r = report();
+        assert!(!r.name_links.is_empty());
+        assert!(LinkageReport::precision(&r.name_links) > 0.8);
+    }
+
+    #[test]
+    fn avatar_link_rate_matches_paper_shape() {
+        // The paper links 12.4% of avatar targets; defaults are tuned for
+        // the same order of magnitude.
+        let r = report();
+        let rate = r.n_avatar_linked() as f64 / r.n_avatar_targets as f64;
+        assert!(rate > 0.05 && rate < 0.35, "avatar link rate = {rate}");
+    }
+
+    #[test]
+    fn overlap_is_nonempty_and_bounded() {
+        let r = report();
+        assert!(r.n_overlap <= r.n_avatar_linked());
+        assert!(r.n_overlap <= r.n_name_linked());
+    }
+
+    #[test]
+    fn profiles_expose_sensitive_data() {
+        let r = report();
+        assert!(!r.profiles.is_empty());
+        let with_name = r.profiles.values().filter(|p| p.full_name.is_some()).count();
+        let with_phone = r.profiles.values().filter(|p| p.phone.is_some()).count();
+        let sensitive = r.profiles.values().filter(|p| p.sensitive).count();
+        assert!(with_name > 0, "no full names recovered");
+        assert!(with_phone > 0, "no phone numbers recovered");
+        assert!(sensitive > 0, "no sensitive conditions exposed");
+        assert!(with_phone <= with_name);
+    }
+
+    #[test]
+    fn multi_service_fraction_in_unit_interval() {
+        let r = report();
+        let f = r.multi_service_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        assert!(f > 0.0, "expected some multi-service users");
+    }
+
+    #[test]
+    fn entropy_threshold_controls_volume() {
+        let world = World::generate(&WorldConfig { n_people: 1000, ..WorldConfig::default() }, 4);
+        let strict = name_link(&world, &NameLinkConfig { min_entropy_bits: 50.0 });
+        let lax = name_link(&world, &NameLinkConfig { min_entropy_bits: 5.0 });
+        assert!(strict.len() <= lax.len());
+        if !strict.is_empty() && !lax.is_empty() {
+            assert!(
+                LinkageReport::precision(&strict) >= LinkageReport::precision(&lax) - 0.05
+            );
+        }
+    }
+}

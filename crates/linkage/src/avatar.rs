@@ -1,0 +1,146 @@
+//! Avatar fingerprints — the substitute for Google Reverse Image Search.
+//!
+//! Real avatars are images; AvatarLink matches them across services via
+//! reverse image search. We model an avatar as a 64-bit perceptual-hash
+//! fingerprint: re-uploading the same photo to another service re-encodes
+//! it, flipping a few random bits; reverse image search is a Hamming-ball
+//! query. This preserves the attack-relevant behaviour (same photo →
+//! near-identical fingerprint, different photos → ~32-bit distance) without
+//! any image data.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A 64-bit perceptual-hash-like avatar fingerprint.
+pub type Fingerprint = u64;
+
+/// Sample a fresh (uniformly random) fingerprint for a new photo.
+#[must_use]
+pub fn fresh(rng: &mut StdRng) -> Fingerprint {
+    rng.gen()
+}
+
+/// Re-encode a photo for upload to another service: flips `noise_bits`
+/// random (not necessarily distinct) bits.
+#[must_use]
+pub fn reencode(rng: &mut StdRng, fp: Fingerprint, noise_bits: u32) -> Fingerprint {
+    let mut out = fp;
+    for _ in 0..noise_bits {
+        out ^= 1u64 << rng.gen_range(0..64u32);
+    }
+    out
+}
+
+/// Hamming distance between fingerprints.
+#[must_use]
+pub fn hamming(a: Fingerprint, b: Fingerprint) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// A reverse-image-search index over fingerprints.
+#[derive(Debug, Clone, Default)]
+pub struct AvatarIndex {
+    entries: Vec<(Fingerprint, usize)>,
+}
+
+impl AvatarIndex {
+    /// Empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a fingerprint with its payload (e.g. account id).
+    pub fn insert(&mut self, fp: Fingerprint, payload: usize) {
+        self.entries.push((fp, payload));
+    }
+
+    /// All payloads within Hamming distance `radius` of `query`, closest
+    /// first (ties by payload for determinism).
+    #[must_use]
+    pub fn search(&self, query: Fingerprint, radius: u32) -> Vec<(usize, u32)> {
+        let mut hits: Vec<(usize, u32)> = self
+            .entries
+            .iter()
+            .filter_map(|&(fp, payload)| {
+                let d = hamming(fp, query);
+                (d <= radius).then_some((payload, d))
+            })
+            .collect();
+        hits.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        hits
+    }
+
+    /// Number of indexed fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(0, 0), 0);
+        assert_eq!(hamming(0b1011, 0b0010), 2);
+        assert_eq!(hamming(u64::MAX, 0), 64);
+    }
+
+    #[test]
+    fn reencode_flips_at_most_noise_bits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fp = fresh(&mut rng);
+        for noise in [0u32, 1, 4, 8] {
+            let re = reencode(&mut rng, fp, noise);
+            assert!(hamming(fp, re) <= noise);
+        }
+    }
+
+    #[test]
+    fn search_finds_reencoded_avatar() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let original = fresh(&mut rng);
+        let uploaded = reencode(&mut rng, original, 4);
+        let mut index = AvatarIndex::new();
+        index.insert(uploaded, 77);
+        // Unrelated photos.
+        for i in 0..100 {
+            index.insert(fresh(&mut rng), i);
+        }
+        let hits = index.search(original, 8);
+        assert_eq!(hits.first().map(|h| h.0), Some(77));
+    }
+
+    #[test]
+    fn unrelated_photos_rarely_collide_at_small_radius() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let query = fresh(&mut rng);
+        let mut index = AvatarIndex::new();
+        for i in 0..2000 {
+            index.insert(fresh(&mut rng), i);
+        }
+        // Random 64-bit values have expected distance 32; radius 8 hits
+        // are astronomically unlikely.
+        assert!(index.search(query, 8).is_empty());
+    }
+
+    #[test]
+    fn search_orders_by_distance() {
+        let mut index = AvatarIndex::new();
+        index.insert(0b0000, 0);
+        index.insert(0b0001, 1);
+        index.insert(0b0011, 2);
+        let hits = index.search(0b0000, 2);
+        assert_eq!(hits, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+}

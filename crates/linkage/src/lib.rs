@@ -1,0 +1,33 @@
+//! # dehealth-linkage
+//!
+//! The linkage-attack framework of Section VI, which connects
+//! de-anonymized health-forum accounts to real-world identities.
+//!
+//! The paper's proof-of-concept uses live services (Google Reverse Image
+//! Search, Facebook/Twitter/LinkedIn, Whitepages) against real WebMD
+//! users; those are neither available offline nor ethical to reproduce, so
+//! this crate simulates the attack surface (DESIGN.md §2): a hidden
+//! population of people with accounts on four services, with configurable
+//! username reuse (after Perito et al.) and avatar reuse with re-encoding
+//! noise.
+//!
+//! - [`username`] — character-level Markov surprisal model + username
+//!   generator (NameLink's ranking statistic);
+//! - [`avatar`] — 64-bit perceptual-hash-style fingerprints and a
+//!   Hamming-ball reverse-image-search index (AvatarLink's oracle);
+//! - [`services`] — the synthetic world with ground truth;
+//! - [`attack`] — NameLink, AvatarLink, cross-validation and identity
+//!   profile aggregation ([`attack::run_linkage_attack`]).
+
+pub mod attack;
+pub mod avatar;
+pub mod services;
+pub mod username;
+
+pub use attack::{
+    avatar_link, name_link, run_linkage_attack, AvatarLinkConfig, IdentityProfile, Link,
+    LinkageReport, NameLinkConfig,
+};
+pub use avatar::{hamming, AvatarIndex, Fingerprint};
+pub use services::{Account, Person, Service, World, WorldConfig};
+pub use username::UsernameModel;

@@ -1,0 +1,284 @@
+//! The synthetic world: real people and their accounts across Internet
+//! services.
+//!
+//! Substitute for the paper's live targets (WebMD avatars, HealthBoards
+//! profiles, Facebook/Twitter/LinkedIn, Whitepages). A hidden population
+//! of [`Person`]s each hold accounts on up to four services; username and
+//! avatar reuse across services is what the linkage attack exploits, and
+//! the hidden person ids provide ground truth for scoring.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::avatar::{fresh, reencode, Fingerprint};
+use crate::username::{generate_username, FIRST_NAMES, LAST_NAMES};
+
+/// Services in the simulated Internet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Service {
+    /// The attacked health forum (WebMD-like).
+    HealthForum,
+    /// A second health forum with richer profiles (HealthBoards-like).
+    SecondHealthForum,
+    /// A social network with real names and avatars.
+    SocialNetwork,
+    /// A people directory with phone numbers and addresses
+    /// (Whitepages-like).
+    PeopleDirectory,
+}
+
+/// A real-world person (hidden ground truth).
+#[derive(Debug, Clone)]
+pub struct Person {
+    /// Full name.
+    pub full_name: String,
+    /// Birth year.
+    pub birth_year: u32,
+    /// Phone number (synthetic).
+    pub phone: String,
+    /// City index (opaque).
+    pub city: usize,
+    /// Health condition discussed on the forum.
+    pub condition: &'static str,
+    /// Whether the condition is of a sensitive category (the paper's
+    /// examples: infectious disease, mental-health problems, suicidal
+    /// tendency).
+    pub sensitive: bool,
+}
+
+/// One account on one service.
+#[derive(Debug, Clone)]
+pub struct Account {
+    /// Hidden owner (index into [`World::people`]).
+    pub person: usize,
+    /// Public username.
+    pub username: String,
+    /// Public avatar fingerprint, if the account has a custom avatar.
+    pub avatar: Option<Fingerprint>,
+    /// Which service the account lives on.
+    pub service: Service,
+}
+
+/// World-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Number of people.
+    pub n_people: usize,
+    /// Probability a person reuses their health-forum username on other
+    /// services (Perito et al. find username reuse is the norm).
+    pub username_reuse_p: f64,
+    /// Probability the health-forum account has a custom human avatar
+    /// (the paper keeps 2805 of 89393 users after avatar filtering).
+    pub avatar_upload_p: f64,
+    /// Probability the same photo is reused on the social network.
+    pub avatar_reuse_p: f64,
+    /// Bits flipped when a photo is re-encoded by another service.
+    pub avatar_noise_bits: u32,
+    /// Probability a person has a social-network account.
+    pub social_presence_p: f64,
+    /// Probability a person also uses the second health forum.
+    pub second_forum_p: f64,
+    /// Fraction of people listed in the people directory.
+    pub directory_p: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            n_people: 3000,
+            username_reuse_p: 0.6,
+            avatar_upload_p: 0.35,
+            avatar_reuse_p: 0.35,
+            avatar_noise_bits: 4,
+            social_presence_p: 0.55,
+            second_forum_p: 0.4,
+            directory_p: 0.7,
+        }
+    }
+}
+
+const CONDITIONS: &[(&str, bool)] = &[
+    ("hepatitis c", true),
+    ("depression", true),
+    ("hiv", true),
+    ("suicidal ideation", true),
+    ("diabetes", false),
+    ("arthritis", false),
+    ("migraine", false),
+    ("asthma", false),
+    ("back pain", false),
+    ("eczema", false),
+];
+
+/// The simulated Internet.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The hidden population.
+    pub people: Vec<Person>,
+    /// Accounts on the attacked health forum, one per person.
+    pub health_forum: Vec<Account>,
+    /// Accounts on the second health forum.
+    pub second_forum: Vec<Account>,
+    /// Accounts on the social network.
+    pub social: Vec<Account>,
+    /// Directory listings (username = full name slug).
+    pub directory: Vec<Account>,
+}
+
+impl World {
+    /// Generate a world.
+    ///
+    /// # Panics
+    /// Panics if `config.n_people == 0`.
+    #[must_use]
+    pub fn generate(config: &WorldConfig, seed: u64) -> Self {
+        assert!(config.n_people > 0, "need at least one person");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut people = Vec::with_capacity(config.n_people);
+        let mut health_forum = Vec::with_capacity(config.n_people);
+        let mut second_forum = Vec::new();
+        let mut social = Vec::new();
+        let mut directory = Vec::new();
+
+        for pid in 0..config.n_people {
+            let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+            let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+            let (condition, sensitive) = CONDITIONS[rng.gen_range(0..CONDITIONS.len())];
+            people.push(Person {
+                full_name: format!("{} {}", capitalize(first), capitalize(last)),
+                birth_year: rng.gen_range(1940..2005),
+                phone: format!("555-{:04}", rng.gen_range(0..10_000u32)),
+                city: rng.gen_range(0..200),
+                condition,
+                sensitive,
+            });
+
+            let forum_username = generate_username(&mut rng, first, last);
+            let photo = if rng.gen::<f64>() < config.avatar_upload_p {
+                Some(fresh(&mut rng))
+            } else {
+                None
+            };
+            health_forum.push(Account {
+                person: pid,
+                username: forum_username.clone(),
+                avatar: photo,
+                service: Service::HealthForum,
+            });
+
+            let reuse_name = rng.gen::<f64>() < config.username_reuse_p;
+            let alt_username = |rng: &mut StdRng| {
+                if reuse_name {
+                    forum_username.clone()
+                } else {
+                    generate_username(rng, first, last)
+                }
+            };
+
+            if rng.gen::<f64>() < config.second_forum_p {
+                let username = alt_username(&mut rng);
+                second_forum.push(Account {
+                    person: pid,
+                    username,
+                    avatar: None,
+                    service: Service::SecondHealthForum,
+                });
+            }
+            if rng.gen::<f64>() < config.social_presence_p {
+                let username = alt_username(&mut rng);
+                let avatar = match photo {
+                    Some(fp) if rng.gen::<f64>() < config.avatar_reuse_p => {
+                        Some(reencode(&mut rng, fp, config.avatar_noise_bits))
+                    }
+                    _ => Some(fresh(&mut rng)),
+                };
+                social.push(Account { person: pid, username, avatar, service: Service::SocialNetwork });
+            }
+            if rng.gen::<f64>() < config.directory_p {
+                directory.push(Account {
+                    person: pid,
+                    username: format!("{first}.{last}"),
+                    avatar: None,
+                    service: Service::PeopleDirectory,
+                });
+            }
+        }
+        Self { people, health_forum, second_forum, social, directory }
+    }
+}
+
+fn capitalize(w: &str) -> String {
+    let mut cs = w.chars();
+    match cs.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(&WorldConfig { n_people: 500, ..WorldConfig::default() }, 9)
+    }
+
+    #[test]
+    fn one_forum_account_per_person() {
+        let w = world();
+        assert_eq!(w.health_forum.len(), w.people.len());
+        for (pid, acct) in w.health_forum.iter().enumerate() {
+            assert_eq!(acct.person, pid);
+        }
+    }
+
+    #[test]
+    fn service_sizes_track_probabilities() {
+        let w = world();
+        let frac = |n: usize| n as f64 / w.people.len() as f64;
+        assert!((frac(w.social.len()) - 0.55).abs() < 0.1);
+        assert!((frac(w.second_forum.len()) - 0.4).abs() < 0.1);
+        assert!((frac(w.directory.len()) - 0.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn username_reuse_happens() {
+        let w = world();
+        let reused = w
+            .social
+            .iter()
+            .filter(|a| w.health_forum[a.person].username == a.username)
+            .count();
+        assert!(reused > 0);
+        assert!(reused < w.social.len());
+    }
+
+    #[test]
+    fn avatar_reuse_keeps_fingerprints_close() {
+        let w = world();
+        let mut close = 0;
+        for a in &w.social {
+            if let (Some(fa), Some(ff)) = (a.avatar, w.health_forum[a.person].avatar) {
+                if crate::avatar::hamming(fa, ff) <= 4 {
+                    close += 1;
+                }
+            }
+        }
+        assert!(close > 0, "expected some reused avatars");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(&WorldConfig::default(), 5);
+        let b = World::generate(&WorldConfig::default(), 5);
+        assert_eq!(a.health_forum[0].username, b.health_forum[0].username);
+        assert_eq!(a.people[7].full_name, b.people[7].full_name);
+    }
+
+    #[test]
+    fn sensitive_conditions_flagged() {
+        let w = world();
+        assert!(w.people.iter().any(|p| p.sensitive));
+        assert!(w.people.iter().any(|p| !p.sensitive));
+    }
+}

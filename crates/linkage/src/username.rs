@@ -1,0 +1,174 @@
+//! Username entropy model (after Perito et al., "How Unique and Traceable
+//! are Usernames?", PETS 2011) and the synthetic username generator.
+//!
+//! The linkage attack's NameLink tool ranks usernames by information
+//! surprisal under a character-level Markov model: a username that is very
+//! improbable under the population model ("jwolf6589") is almost certainly
+//! unique to one person, while a probable one ("john123") collides across
+//! people and must be filtered.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// First names used by the username generator.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "david",
+    "susan", "william", "jessica", "richard", "sarah", "joseph", "karen", "thomas", "nancy",
+    "chris", "lisa", "daniel", "betty", "matthew", "helen", "anthony", "sandra", "mark",
+    "donna", "paul", "carol", "steven", "ruth", "andrew", "sharon", "kenneth", "michelle",
+    "joshua", "laura", "kevin", "amy",
+];
+
+/// Last names used by the username generator.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
+    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
+    "thomas", "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson", "white",
+    "harris", "sanchez", "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen",
+    "king", "wright", "scott", "torres", "nguyen", "hill", "flores",
+];
+
+/// Hobby / noun words for handle-style usernames.
+pub const HANDLE_WORDS: &[&str] = &[
+    "wolf", "tiger", "moon", "star", "happy", "sunny", "blue", "red", "silver", "golden",
+    "runner", "dreamer", "hiker", "gamer", "reader", "baker", "rider", "angel", "storm",
+    "shadow", "river", "ocean", "mountain", "flower", "butterfly", "dragonfly", "hope",
+    "grace", "lucky", "cozy",
+];
+
+/// A character-level first-order Markov model over usernames, with
+/// add-one smoothing. Characters outside `[a-z0-9._-]` are mapped to a
+/// catch-all symbol.
+///
+/// ```
+/// use dehealth_linkage::UsernameModel;
+/// let population: Vec<String> = (0..100).map(|i| format!("john{i}")).collect();
+/// let model = UsernameModel::train(population.iter().map(String::as_str));
+/// // A common pattern is far less surprising than a rare one.
+/// assert!(model.entropy_bits("john7") < model.entropy_bits("xq9zkw"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UsernameModel {
+    // counts[prev][next]; index 0 is the start-of-string symbol.
+    counts: Vec<Vec<u32>>,
+    totals: Vec<u32>,
+}
+
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+const N_SYMBOLS: usize = ALPHABET.len() + 2; // + start + catch-all
+
+fn symbol(c: char) -> usize {
+    let c = c.to_ascii_lowercase();
+    ALPHABET.iter().position(|&a| a as char == c).map_or(N_SYMBOLS - 1, |i| i + 1)
+}
+
+impl UsernameModel {
+    /// Train on a username population.
+    #[must_use]
+    pub fn train<'a, I: IntoIterator<Item = &'a str>>(usernames: I) -> Self {
+        let mut counts = vec![vec![0u32; N_SYMBOLS]; N_SYMBOLS];
+        for name in usernames {
+            let mut prev = 0usize; // start symbol
+            for c in name.chars() {
+                let s = symbol(c);
+                counts[prev][s] += 1;
+                prev = s;
+            }
+        }
+        let totals = counts.iter().map(|row| row.iter().sum()).collect();
+        Self { counts, totals }
+    }
+
+    /// Information surprisal (bits): `−Σ log₂ P(cᵢ | cᵢ₋₁)` with add-one
+    /// smoothing. Larger = rarer = more identifying.
+    #[must_use]
+    pub fn entropy_bits(&self, username: &str) -> f64 {
+        let mut bits = 0.0;
+        let mut prev = 0usize;
+        for c in username.chars() {
+            let s = symbol(c);
+            let num = f64::from(self.counts[prev][s]) + 1.0;
+            let den = f64::from(self.totals[prev]) + N_SYMBOLS as f64;
+            bits -= (num / den).log2();
+            prev = s;
+        }
+        bits
+    }
+}
+
+/// Deterministically generate one username for person `(first, last)` with
+/// the generator's pattern mix. Low-entropy patterns (common first name +
+/// short digits) are deliberately frequent so that collisions occur, as in
+/// real populations.
+#[must_use]
+pub fn generate_username(rng: &mut StdRng, first: &str, last: &str) -> String {
+    match rng.gen_range(0..6u8) {
+        // Common, collision-prone patterns.
+        0 => format!("{first}{}", rng.gen_range(1..100u32)),
+        1 => format!("{}{}", HANDLE_WORDS[rng.gen_range(0..HANDLE_WORDS.len())], rng.gen_range(1..100u32)),
+        // Distinctive patterns.
+        2 => format!("{}{}{}", &first[..1], last, rng.gen_range(1000..10_000u32)),
+        3 => format!("{first}.{last}"),
+        4 => format!(
+            "{}_{}{}",
+            HANDLE_WORDS[rng.gen_range(0..HANDLE_WORDS.len())],
+            HANDLE_WORDS[rng.gen_range(0..HANDLE_WORDS.len())],
+            rng.gen_range(10..1000u32)
+        ),
+        _ => format!("{last}{}", rng.gen_range(1900..2010u32)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn entropy_is_positive_and_additive_in_length() {
+        let m = UsernameModel::train(["john1", "john2", "mary9"]);
+        let short = m.entropy_bits("john");
+        let long = m.entropy_bits("johnjohn");
+        assert!(short > 0.0);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn common_patterns_have_lower_entropy() {
+        // Train on a population dominated by "john"-like names.
+        let population: Vec<String> = (0..200).map(|i| format!("john{i}")).collect();
+        let m = UsernameModel::train(population.iter().map(String::as_str));
+        assert!(m.entropy_bits("john42") < m.entropy_bits("xqzvkw42"));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(generate_username(&mut a, "john", "smith"), generate_username(&mut b, "john", "smith"));
+    }
+
+    #[test]
+    fn generator_produces_collisions_across_people() {
+        // Two different people can end up with the same low-entropy handle.
+        let mut names = std::collections::HashSet::new();
+        let mut collision = false;
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..500 {
+            let f = FIRST_NAMES[i % FIRST_NAMES.len()];
+            let l = LAST_NAMES[(i * 7) % LAST_NAMES.len()];
+            if !names.insert(generate_username(&mut rng, f, l)) {
+                collision = true;
+                break;
+            }
+        }
+        assert!(collision, "expected at least one username collision");
+    }
+
+    #[test]
+    fn unknown_characters_fold_to_catch_all() {
+        let m = UsernameModel::train(["abc"]);
+        // Should not panic and should yield finite entropy.
+        assert!(m.entropy_bits("\u{1f600}\u{1f600}").is_finite());
+    }
+}

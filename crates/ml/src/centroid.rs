@@ -1,0 +1,94 @@
+//! Nearest-centroid classifier (the "Nearest Neighbor (NN)" baseline the
+//! paper lists among benchmark techniques, in its class-centroid form).
+
+use crate::dataset::{euclidean, Classifier, Dataset, Prediction};
+
+/// Nearest-centroid classifier: each class is summarized by the mean of its
+/// training samples; prediction picks the closest centroid.
+#[derive(Debug, Clone, Default)]
+pub struct NearestCentroid {
+    classes: Vec<usize>,
+    centroids: Vec<Vec<f64>>,
+}
+
+impl NearestCentroid {
+    /// Create an unfitted model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Centroid of class `label`, if fitted.
+    #[must_use]
+    pub fn centroid(&self, label: usize) -> Option<&[f64]> {
+        self.classes.iter().position(|&c| c == label).map(|i| self.centroids[i].as_slice())
+    }
+}
+
+impl Classifier for NearestCentroid {
+    fn fit(&mut self, train: &Dataset) {
+        assert!(!train.is_empty(), "empty training set");
+        self.classes = train.classes();
+        let dim = train.dim();
+        let mut sums = vec![vec![0.0; dim]; self.classes.len()];
+        let mut counts = vec![0usize; self.classes.len()];
+        for i in 0..train.len() {
+            let c = self.classes.binary_search(&train.label(i)).expect("label in classes");
+            counts[c] += 1;
+            for (j, &v) in train.sample(i).iter().enumerate() {
+                sums[c][j] += v;
+            }
+        }
+        for (s, &n) in sums.iter_mut().zip(&counts) {
+            for v in s.iter_mut() {
+                *v /= n as f64;
+            }
+        }
+        self.centroids = sums;
+    }
+
+    fn predict(&self, x: &[f64]) -> Prediction {
+        assert!(!self.centroids.is_empty(), "predict before fit");
+        let (best, dist) = self
+            .centroids
+            .iter()
+            .map(|c| euclidean(c, x))
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"))
+            .expect("at least one class");
+        Prediction { label: self.classes[best], score: -dist }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], 5);
+        d.push(&[2.0], 5);
+        d.push(&[10.0], 8);
+        d.push(&[12.0], 8);
+        d
+    }
+
+    #[test]
+    fn centroids_are_class_means() {
+        let mut m = NearestCentroid::new();
+        m.fit(&data());
+        assert_eq!(m.centroid(5), Some(&[1.0][..]));
+        assert_eq!(m.centroid(8), Some(&[11.0][..]));
+        assert_eq!(m.centroid(99), None);
+    }
+
+    #[test]
+    fn predicts_by_distance() {
+        let mut m = NearestCentroid::new();
+        m.fit(&data());
+        assert_eq!(m.predict(&[0.5]).label, 5);
+        assert_eq!(m.predict(&[11.5]).label, 8);
+        // Score is negative distance: closer = larger.
+        assert!(m.predict(&[1.0]).score > m.predict(&[4.0]).score);
+    }
+}

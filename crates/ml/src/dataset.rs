@@ -1,0 +1,183 @@
+//! Dense sample matrix, class labels, and the common classifier interface.
+
+/// A dense supervised dataset: `n` samples of dimension `dim` with one
+/// `usize` class label per sample.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    features: Vec<f64>,
+    labels: Vec<usize>,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Create an empty dataset of dimension `dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self { features: Vec::new(), labels: Vec::new(), dim }
+    }
+
+    /// Append a sample.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != dim`.
+    pub fn push(&mut self, x: &[f64], label: usize) {
+        assert_eq!(x.len(), self.dim, "sample dimension mismatch");
+        self.features.extend_from_slice(x);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th sample.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> &[f64] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The `i`-th label.
+    #[must_use]
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Sorted distinct labels.
+    #[must_use]
+    pub fn classes(&self) -> Vec<usize> {
+        let mut c = self.labels.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// Subset by sample indices.
+    #[must_use]
+    pub fn select(&self, idx: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.dim);
+        for &i in idx {
+            out.push(self.sample(i), self.label(i));
+        }
+        out
+    }
+
+    /// Apply `f` to every feature value in place (used by scalers).
+    pub fn map_features(&mut self, mut f: impl FnMut(usize, f64) -> f64) {
+        let dim = self.dim;
+        for (k, v) in self.features.iter_mut().enumerate() {
+            *v = f(k % dim, *v);
+        }
+    }
+}
+
+/// A classification decision with a confidence score (larger = more
+/// confident; scale is classifier-specific).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted class label.
+    pub label: usize,
+    /// Classifier-specific confidence (e.g. vote fraction, margin).
+    pub score: f64,
+}
+
+/// Common train/predict interface implemented by every classifier in this
+/// crate.
+pub trait Classifier {
+    /// Fit the model to `train`.
+    ///
+    /// # Panics
+    /// Implementations may panic on empty training sets.
+    fn fit(&mut self, train: &Dataset);
+
+    /// Predict the class of one sample.
+    fn predict(&self, x: &[f64]) -> Prediction;
+
+    /// Predict a batch.
+    fn predict_all(&self, xs: &Dataset) -> Vec<Prediction> {
+        (0..xs.len()).map(|i| self.predict(xs.sample(i))).collect()
+    }
+}
+
+/// Euclidean distance.
+#[must_use]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Cosine similarity; 0 when either vector is all-zero.
+#[must_use]
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0, 2.0], 7);
+        d.push(&[3.0, 4.0], 9);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.sample(1), &[3.0, 4.0]);
+        assert_eq!(d.label(0), 7);
+        assert_eq!(d.classes(), vec![7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0], 0);
+    }
+
+    #[test]
+    fn select_subset() {
+        let mut d = Dataset::new(1);
+        for i in 0..5 {
+            d.push(&[i as f64], i);
+        }
+        let s = d.select(&[4, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.sample(0), &[4.0]);
+        assert_eq!(s.label(1), 0);
+    }
+
+    #[test]
+    fn distances() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0], &[1.0]), 0.0);
+    }
+}

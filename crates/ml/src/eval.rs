@@ -1,0 +1,71 @@
+//! Evaluation helpers: accuracy, confusion counts and k-fold splits.
+
+/// Fraction of positions where `pred[i] == truth[i]`.
+///
+/// # Panics
+/// Panics if lengths differ or inputs are empty.
+#[must_use]
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// `(correct, total)` counts.
+#[must_use]
+pub fn confusion_counts(pred: &[usize], truth: &[usize]) -> (usize, usize) {
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    (hits, pred.len())
+}
+
+/// Deterministic k-fold split of `0..n`: fold `f` gets indices `i` with
+/// `i % k == f`, so folds are near-equal and label-order agnostic.
+///
+/// Returns `(train_indices, test_indices)` per fold.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+#[must_use]
+pub fn kfold_indices(n: usize, k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k > 0 && k <= n, "need 0 < k <= n");
+    (0..k)
+        .map(|f| {
+            let test: Vec<usize> = (0..n).filter(|i| i % k == f).collect();
+            let train: Vec<usize> = (0..n).filter(|i| i % k != f).collect();
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert!((accuracy(&[1, 2, 3], &[1, 0, 3]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(confusion_counts(&[1, 2], &[1, 2]), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn kfold_partitions() {
+        let folds = kfold_indices(10, 3);
+        assert_eq!(folds.len(), 3);
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 10);
+            // Disjoint.
+            assert!(test.iter().all(|i| !train.contains(i)));
+        }
+        // Every index is a test index exactly once.
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..10).collect::<Vec<_>>());
+    }
+}

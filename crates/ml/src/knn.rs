@@ -1,0 +1,142 @@
+//! k-nearest-neighbour classifier (the paper's "KNN algorithm", reference 31).
+
+use crate::dataset::{cosine, euclidean, Classifier, Dataset, Prediction};
+
+/// Distance/similarity metric for [`Knn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnnMetric {
+    /// Euclidean distance (smaller = closer).
+    #[default]
+    Euclidean,
+    /// Cosine similarity (larger = closer); suits sparse frequency vectors.
+    Cosine,
+}
+
+/// k-nearest-neighbour voting classifier. Ties are broken toward the
+/// closest neighbour's class for determinism.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    metric: KnnMetric,
+    train: Dataset,
+}
+
+impl Knn {
+    /// Create an unfitted KNN with neighbourhood size `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, metric: KnnMetric) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, metric, train: Dataset::new(0) }
+    }
+
+    fn closeness(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self.metric {
+            // Negate distance so that larger is always closer.
+            KnnMetric::Euclidean => -euclidean(a, b),
+            KnnMetric::Cosine => cosine(a, b),
+        }
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, train: &Dataset) {
+        assert!(!train.is_empty(), "empty training set");
+        self.train = train.clone();
+    }
+
+    fn predict(&self, x: &[f64]) -> Prediction {
+        assert!(!self.train.is_empty(), "predict before fit");
+        let mut scored: Vec<(f64, usize)> = (0..self.train.len())
+            .map(|i| (self.closeness(x, self.train.sample(i)), self.train.label(i)))
+            .collect();
+        // Sort by decreasing closeness; NaN-free by construction.
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite closeness"));
+        let k = self.k.min(scored.len());
+        let top = &scored[..k];
+        let mut votes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &(_, label) in top {
+            *votes.entry(label).or_insert(0) += 1;
+        }
+        let best_count = *votes.values().max().expect("k >= 1");
+        // Tie-break: first (closest) neighbour whose class reached the max.
+        let label = top
+            .iter()
+            .find(|(_, l)| votes[l] == best_count)
+            .map(|&(_, l)| l)
+            .expect("at least one neighbour");
+        Prediction { label, score: best_count as f64 / k as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Dataset {
+        let mut d = Dataset::new(2);
+        for &(x, y) in &[(0.0, 0.0), (0.1, 0.0), (0.0, 0.1)] {
+            d.push(&[x, y], 0);
+        }
+        for &(x, y) in &[(5.0, 5.0), (5.1, 5.0), (5.0, 5.1)] {
+            d.push(&[x, y], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let mut knn = Knn::new(3, KnnMetric::Euclidean);
+        knn.fit(&two_blobs());
+        assert_eq!(knn.predict(&[0.05, 0.05]).label, 0);
+        assert_eq!(knn.predict(&[4.9, 5.2]).label, 1);
+    }
+
+    #[test]
+    fn k1_returns_nearest() {
+        let mut knn = Knn::new(1, KnnMetric::Euclidean);
+        knn.fit(&two_blobs());
+        let p = knn.predict(&[5.1, 5.0]);
+        assert_eq!(p.label, 1);
+        assert!((p.score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vote_fraction_score() {
+        let mut d = two_blobs();
+        // One label-1 point close to the label-0 blob to create a 2/3 vote.
+        d.push(&[0.05, 0.0], 1);
+        let mut knn = Knn::new(3, KnnMetric::Euclidean);
+        knn.fit(&d);
+        let p = knn.predict(&[0.02, 0.02]);
+        assert_eq!(p.label, 0);
+        assert!((p.score - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_metric() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0, 0.0], 0);
+        d.push(&[0.0, 1.0], 1);
+        let mut knn = Knn::new(1, KnnMetric::Cosine);
+        knn.fit(&d);
+        assert_eq!(knn.predict(&[10.0, 0.5]).label, 0);
+        assert_eq!(knn.predict(&[0.5, 10.0]).label, 1);
+    }
+
+    #[test]
+    fn k_larger_than_train_is_clamped() {
+        let mut knn = Knn::new(100, KnnMetric::Euclidean);
+        knn.fit(&two_blobs());
+        // All 6 points vote: tie 3-3, broken toward the closest point.
+        assert_eq!(knn.predict(&[0.0, 0.0]).label, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = Knn::new(0, KnnMetric::Euclidean);
+    }
+}

@@ -1,0 +1,213 @@
+//! Regularized Least Squares Classification (RLSC), one of the benchmark
+//! techniques Section III names for the refined-DA classifier.
+//!
+//! We solve the dual ridge system `(G + λI) a = Y` where `G = X Xᵀ` is the
+//! linear Gram matrix, via Cholesky decomposition — `n × n` for `n`
+//! training samples, which fits the small candidate sets of refined DA.
+//! Multiclass is one-vs-rest on `±1` targets.
+
+use crate::dataset::{Classifier, Dataset, Prediction};
+
+/// RLSC model (linear kernel, one-vs-rest).
+#[derive(Debug, Clone)]
+pub struct Rlsc {
+    lambda: f64,
+    classes: Vec<usize>,
+    /// Per-class dual coefficients over training samples.
+    alphas: Vec<Vec<f64>>,
+    train: Dataset,
+}
+
+impl Rlsc {
+    /// Create an unfitted RLSC with ridge parameter `lambda`.
+    ///
+    /// # Panics
+    /// Panics if `lambda <= 0` (the system must be positive definite).
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        Self { lambda, classes: Vec::new(), alphas: Vec::new(), train: Dataset::new(0) }
+    }
+
+    /// Per-class decision values, parallel to [`Self::classes`].
+    #[must_use]
+    pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
+        let k: Vec<f64> = (0..self.train.len())
+            .map(|i| kernel(self.train.sample(i), x))
+            .collect();
+        self.alphas.iter().map(|a| dot(a, &k)).collect()
+    }
+
+    /// The distinct training classes in sorted order.
+    #[must_use]
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Linear kernel with an implicit bias feature: `k(a,b) = a·b + 1`,
+/// equivalent to augmenting every sample with a constant `1.0` component so
+/// the discriminant has an intercept.
+fn kernel(a: &[f64], b: &[f64]) -> f64 {
+    dot(a, b) + 1.0
+}
+
+/// In-place Cholesky decomposition of a symmetric positive-definite matrix
+/// (row-major `n × n`); returns the lower-triangular factor.
+///
+/// # Panics
+/// Panics if the matrix is not positive definite.
+fn cholesky(mut m: Vec<f64>, n: usize) -> Vec<f64> {
+    for j in 0..n {
+        for k in 0..j {
+            let l_jk = m[j * n + k];
+            for i in j..n {
+                m[i * n + j] -= m[i * n + k] * l_jk;
+            }
+        }
+        let d = m[j * n + j];
+        assert!(d > 0.0, "matrix not positive definite");
+        let s = d.sqrt();
+        for i in j..n {
+            m[i * n + j] /= s;
+        }
+    }
+    // Zero the upper triangle for cleanliness.
+    for i in 0..n {
+        for j in i + 1..n {
+            m[i * n + j] = 0.0;
+        }
+    }
+    m
+}
+
+/// Solve `L Lᵀ x = b` given the Cholesky factor `L`.
+fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[i * n + j] * y[j];
+        }
+        y[i] = s / l[i * n + i];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in i + 1..n {
+            s -= l[j * n + i] * x[j];
+        }
+        x[i] = s / l[i * n + i];
+    }
+    x
+}
+
+impl Classifier for Rlsc {
+    fn fit(&mut self, train: &Dataset) {
+        assert!(!train.is_empty(), "empty training set");
+        self.train = train.clone();
+        self.classes = train.classes();
+        let n = train.len();
+        let mut gram = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = kernel(train.sample(i), train.sample(j));
+                gram[i * n + j] = k;
+                gram[j * n + i] = k;
+            }
+        }
+        for i in 0..n {
+            gram[i * n + i] += self.lambda;
+        }
+        let l = cholesky(gram, n);
+        self.alphas = self
+            .classes
+            .iter()
+            .map(|&cls| {
+                let y: Vec<f64> =
+                    train.labels().iter().map(|&t| if t == cls { 1.0 } else { -1.0 }).collect();
+                cholesky_solve(&l, n, &y)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &[f64]) -> Prediction {
+        assert!(!self.alphas.is_empty(), "predict before fit");
+        let values = self.decision_values(x);
+        let (best, &score) = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite decision"))
+            .expect("at least one class");
+        Prediction { label: self.classes[best], score }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_known_factor() {
+        // [[4,2],[2,3]] = L Lᵀ with L = [[2,0],[1,sqrt(2)]].
+        let l = cholesky(vec![4.0, 2.0, 2.0, 3.0], 2);
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[2] - 1.0).abs() < 1e-12);
+        assert!((l[3] - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l[1], 0.0);
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip() {
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(a.clone(), 2);
+        let x = cholesky_solve(&l, 2, &[8.0, 7.0]);
+        // A x should equal b.
+        let b0 = a[0] * x[0] + a[1] * x[1];
+        let b1 = a[2] * x[0] + a[3] * x[1];
+        assert!((b0 - 8.0).abs() < 1e-9);
+        assert!((b1 - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let mut d = Dataset::new(2);
+        for &(x, y) in &[(0.0, 0.0), (0.5, 0.0), (0.0, 0.5)] {
+            d.push(&[x, y], 3);
+        }
+        for &(x, y) in &[(5.0, 5.0), (5.5, 5.0), (5.0, 5.5)] {
+            d.push(&[x, y], 9);
+        }
+        let mut m = Rlsc::new(0.1);
+        m.fit(&d);
+        assert_eq!(m.predict(&[0.2, 0.2]).label, 3);
+        assert_eq!(m.predict(&[5.2, 5.2]).label, 9);
+    }
+
+    #[test]
+    fn three_classes() {
+        let mut d = Dataset::new(2);
+        for (l, &(cx, cy)) in [(0.0_f64, 0.0_f64), (10.0, 0.0), (0.0, 10.0)].iter().enumerate() {
+            for k in 0..4 {
+                d.push(&[cx + 0.2 * k as f64, cy + 0.1 * k as f64], l);
+            }
+        }
+        let mut m = Rlsc::new(0.5);
+        m.fit(&d);
+        assert_eq!(m.predict(&[0.0, 0.2]).label, 0);
+        assert_eq!(m.predict(&[10.0, 0.3]).label, 1);
+        assert_eq!(m.predict(&[0.3, 10.0]).label, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_panics() {
+        let _ = Rlsc::new(0.0);
+    }
+}

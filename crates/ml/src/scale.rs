@@ -1,0 +1,151 @@
+//! Feature scalers. Stylometric feature magnitudes span several orders of
+//! magnitude (letter frequencies vs character counts), so distance-based
+//! classifiers need scaling; scalers are fit on the training split only and
+//! then applied to both splits.
+
+use crate::dataset::Dataset;
+
+/// Min-max scaler mapping each feature to `[0, 1]` over the fit range.
+/// Constant features map to 0.
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit per-feature min/max on `train`.
+    #[must_use]
+    pub fn fit(train: &Dataset) -> Self {
+        let dim = train.dim();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for i in 0..train.len() {
+            for (j, &v) in train.sample(i).iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 0.0 })
+            .collect();
+        if train.is_empty() {
+            return Self { mins: vec![0.0; dim], ranges: vec![0.0; dim] };
+        }
+        Self { mins, ranges }
+    }
+
+    /// Scale a dataset in place.
+    pub fn transform(&self, data: &mut Dataset) {
+        data.map_features(|j, v| self.scale_value(j, v));
+    }
+
+    /// Scale one value of feature `j`, clamping to `[0, 1]`.
+    #[must_use]
+    pub fn scale_value(&self, j: usize, v: f64) -> f64 {
+        if self.ranges[j] == 0.0 {
+            0.0
+        } else {
+            ((v - self.mins[j]) / self.ranges[j]).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Z-score scaler: `(v - mean) / std`. Constant features map to 0.
+#[derive(Debug, Clone, Default)]
+pub struct ZScoreScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl ZScoreScaler {
+    /// Fit per-feature mean/std on `train`.
+    #[must_use]
+    pub fn fit(train: &Dataset) -> Self {
+        let dim = train.dim();
+        let n = train.len().max(1) as f64;
+        let mut means = vec![0.0; dim];
+        for i in 0..train.len() {
+            for (j, &v) in train.sample(i).iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for i in 0..train.len() {
+            for (j, &v) in train.sample(i).iter().enumerate() {
+                vars[j] += (v - means[j]).powi(2);
+            }
+        }
+        let stds = vars.iter().map(|&v| (v / n).sqrt()).collect();
+        Self { means, stds }
+    }
+
+    /// Scale a dataset in place.
+    pub fn transform(&self, data: &mut Dataset) {
+        data.map_features(|j, v| self.scale_value(j, v));
+    }
+
+    /// Scale one value of feature `j`.
+    #[must_use]
+    pub fn scale_value(&self, j: usize, v: f64) -> f64 {
+        if self.stds[j] == 0.0 {
+            0.0
+        } else {
+            (v - self.means[j]) / self.stds[j]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(2);
+        d.push(&[0.0, 10.0], 0);
+        d.push(&[5.0, 10.0], 1);
+        d.push(&[10.0, 10.0], 0);
+        d
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let mut d = data();
+        let s = MinMaxScaler::fit(&d);
+        s.transform(&mut d);
+        assert_eq!(d.sample(0), &[0.0, 0.0]);
+        assert_eq!(d.sample(1), &[0.5, 0.0]);
+        assert_eq!(d.sample(2), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_clamps_out_of_range_test_values() {
+        let d = data();
+        let s = MinMaxScaler::fit(&d);
+        assert_eq!(s.scale_value(0, -100.0), 0.0);
+        assert_eq!(s.scale_value(0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn zscore_zero_mean_unit_std() {
+        let mut d = data();
+        let s = ZScoreScaler::fit(&d);
+        s.transform(&mut d);
+        let mean: f64 = (0..3).map(|i| d.sample(i)[0]).sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        // Constant feature (column 1) maps to zero.
+        assert!((0..3).all(|i| d.sample(i)[1] == 0.0));
+    }
+
+    #[test]
+    fn empty_fit_does_not_panic() {
+        let d = Dataset::new(3);
+        let _ = MinMaxScaler::fit(&d);
+        let _ = ZScoreScaler::fit(&d);
+    }
+}

@@ -1,0 +1,335 @@
+//! Support Vector Machine trained with Platt's Sequential Minimal
+//! Optimization (SMO) — the paper's "SMO Support Vector Machine" (reference 32).
+//!
+//! The binary solver is the classic simplified SMO: iterate over the dual
+//! variables, pick a violating pair, solve the two-variable QP analytically,
+//! and repeat until no KKT violations remain. Multiclass is one-vs-rest on
+//! the decision values. Randomized pair selection uses a caller-provided
+//! seed so training is fully deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Classifier, Dataset, Prediction};
+
+/// Kernel function for [`SmoSvm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `k(a,b) = a·b`.
+    Linear,
+    /// `k(a,b) = exp(-gamma · ||a-b||²)`.
+    Rbf {
+        /// Width parameter; must be positive.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    fn eval(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Kernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+/// SMO hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmParams {
+    /// Box constraint (soft-margin penalty).
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Number of full passes without updates before stopping.
+    pub max_passes: usize,
+    /// Hard cap on optimization sweeps.
+    pub max_iters: usize,
+    /// Kernel.
+    pub kernel: Kernel,
+    /// RNG seed for the second-multiplier heuristic.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        Self { c: 1.0, tol: 1e-3, max_passes: 5, max_iters: 200, kernel: Kernel::Linear, seed: 0 }
+    }
+}
+
+/// One binary SMO model: dual coefficients over the training samples.
+#[derive(Debug, Clone)]
+struct BinaryModel {
+    alpha_y: Vec<f64>, // alpha_i * y_i, non-zero only for support vectors
+    bias: f64,
+    /// For the linear kernel, the primal weight vector `w = Σ αᵢyᵢxᵢ` so
+    /// prediction is O(dim) instead of O(support vectors × dim).
+    weights: Option<Vec<f64>>,
+}
+
+/// One-vs-rest multiclass SVM trained with SMO.
+#[derive(Debug, Clone)]
+pub struct SmoSvm {
+    params: SvmParams,
+    classes: Vec<usize>,
+    models: Vec<BinaryModel>,
+    train: Dataset,
+}
+
+impl SmoSvm {
+    /// Create an unfitted SVM.
+    #[must_use]
+    pub fn new(params: SvmParams) -> Self {
+        Self { params, classes: Vec::new(), models: Vec::new(), train: Dataset::new(0) }
+    }
+
+    /// Decision value of binary model `m` on `x`.
+    fn decision(&self, m: &BinaryModel, x: &[f64]) -> f64 {
+        if let Some(w) = &m.weights {
+            return m.bias + w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
+        }
+        let mut f = m.bias;
+        for (i, &ay) in m.alpha_y.iter().enumerate() {
+            if ay != 0.0 {
+                f += ay * self.params.kernel.eval(self.train.sample(i), x);
+            }
+        }
+        f
+    }
+
+    /// Per-class decision values for `x`, parallel to [`Self::classes`].
+    #[must_use]
+    pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
+        self.models.iter().map(|m| self.decision(m, x)).collect()
+    }
+
+    /// The distinct training classes in sorted order.
+    #[must_use]
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    fn train_binary(&self, y: &[f64], gram: &[Vec<f64>], rng: &mut StdRng) -> BinaryModel {
+        let n = y.len();
+        let SvmParams { c, tol, max_passes, max_iters, .. } = self.params;
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        // Error cache: fx[i] = Σ_k α_k·y_k·K(k,i) (bias excluded), updated
+        // incrementally on every successful pair step so each KKT check is
+        // O(1) instead of O(n).
+        let mut fx = vec![0.0f64; n];
+        let mut passes = 0usize;
+        let mut iters = 0usize;
+        while passes < max_passes && iters < max_iters {
+            iters += 1;
+            let mut num_changed = 0usize;
+            for i in 0..n {
+                let e_i = fx[i] + b - y[i];
+                let r_i = y[i] * e_i;
+                if !((r_i < -tol && alpha[i] < c) || (r_i > tol && alpha[i] > 0.0)) {
+                    continue;
+                }
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let e_j = fx[j] + b - y[j];
+                let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if (y[i] - y[j]).abs() > f64::EPSILON {
+                    ((a_j_old - a_i_old).max(0.0), (c + a_j_old - a_i_old).min(c))
+                } else {
+                    ((a_i_old + a_j_old - c).max(0.0), (a_i_old + a_j_old).min(c))
+                };
+                if (hi - lo).abs() < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * gram[i][j] - gram[i][i] - gram[j][j];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut a_j = a_j_old - y[j] * (e_i - e_j) / eta;
+                a_j = a_j.clamp(lo, hi);
+                if (a_j - a_j_old).abs() < 1e-7 {
+                    continue;
+                }
+                let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
+                alpha[i] = a_i;
+                alpha[j] = a_j;
+                // Propagate the alpha deltas into the error cache.
+                let d_i = y[i] * (a_i - a_i_old);
+                let d_j = y[j] * (a_j - a_j_old);
+                let (g_i, g_j) = (&gram[i], &gram[j]);
+                for ((fk, &ki), &kj) in fx.iter_mut().zip(g_i).zip(g_j) {
+                    *fk += d_i * ki + d_j * kj;
+                }
+                let b1 = b - e_i
+                    - y[i] * (a_i - a_i_old) * gram[i][i]
+                    - y[j] * (a_j - a_j_old) * gram[i][j];
+                let b2 = b - e_j
+                    - y[i] * (a_i - a_i_old) * gram[i][j]
+                    - y[j] * (a_j - a_j_old) * gram[j][j];
+                b = if a_i > 0.0 && a_i < c {
+                    b1
+                } else if a_j > 0.0 && a_j < c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                num_changed += 1;
+            }
+            if num_changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+        let alpha_y: Vec<f64> = alpha.iter().zip(y).map(|(&a, &yy)| a * yy).collect();
+        BinaryModel { alpha_y, bias: b, weights: None }
+    }
+}
+
+impl Classifier for SmoSvm {
+    fn fit(&mut self, train: &Dataset) {
+        assert!(!train.is_empty(), "empty training set");
+        self.train = train.clone();
+        self.classes = train.classes();
+        let n = train.len();
+        // Precompute the Gram matrix once; candidate sets are small
+        // (hundreds of posts), so O(n²) memory is fine.
+        let mut gram = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            let (head, tail) = gram.split_at_mut(i + 1);
+            let row_i = &mut head[i];
+            row_i[i] = self.params.kernel.eval(train.sample(i), train.sample(i));
+            for (off, row_j) in tail.iter_mut().enumerate() {
+                let j = i + 1 + off;
+                let k = self.params.kernel.eval(train.sample(i), train.sample(j));
+                row_i[j] = k;
+                row_j[i] = k;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        self.models = self
+            .classes
+            .iter()
+            .map(|&cls| {
+                let y: Vec<f64> =
+                    train.labels().iter().map(|&l| if l == cls { 1.0 } else { -1.0 }).collect();
+                let mut model = self.train_binary(&y, &gram, &mut rng);
+                if self.params.kernel == Kernel::Linear {
+                    let mut w = vec![0.0; train.dim()];
+                    for (i, &ay) in model.alpha_y.iter().enumerate() {
+                        if ay != 0.0 {
+                            for (wk, &xk) in w.iter_mut().zip(train.sample(i)) {
+                                *wk += ay * xk;
+                            }
+                        }
+                    }
+                    model.weights = Some(w);
+                }
+                model
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &[f64]) -> Prediction {
+        assert!(!self.models.is_empty(), "predict before fit");
+        let values = self.decision_values(x);
+        let (best, &score) = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite decision"))
+            .expect("at least one class");
+        Prediction { label: self.classes[best], score }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f64, f64)], spread: f64, per_class: usize) -> Dataset {
+        let mut d = Dataset::new(2);
+        // Deterministic lattice jitter instead of RNG.
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for k in 0..per_class {
+                let dx = spread * ((k % 3) as f64 - 1.0);
+                let dy = spread * ((k / 3 % 3) as f64 - 1.0);
+                d.push(&[cx + dx, cy + dy], label);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn binary_linear_separation() {
+        let train = blobs(&[(0.0, 0.0), (6.0, 6.0)], 0.5, 9);
+        let mut svm = SmoSvm::new(SvmParams::default());
+        svm.fit(&train);
+        assert_eq!(svm.predict(&[0.2, -0.3]).label, 0);
+        assert_eq!(svm.predict(&[5.5, 6.4]).label, 1);
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let train = blobs(&[(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)], 0.5, 9);
+        let mut svm = SmoSvm::new(SvmParams::default());
+        svm.fit(&train);
+        assert_eq!(svm.predict(&[0.1, 0.1]).label, 0);
+        assert_eq!(svm.predict(&[7.9, 0.2]).label, 1);
+        assert_eq!(svm.predict(&[0.3, 7.8]).label, 2);
+        assert_eq!(svm.decision_values(&[0.0, 0.0]).len(), 3);
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        let mut train = Dataset::new(2);
+        // XOR with small clusters at each corner.
+        for &(x, y, l) in &[
+            (0.0, 0.0, 0),
+            (0.2, 0.1, 0),
+            (1.0, 1.0, 0),
+            (0.9, 1.1, 0),
+            (0.0, 1.0, 1),
+            (0.1, 0.9, 1),
+            (1.0, 0.0, 1),
+            (1.1, 0.2, 1),
+        ] {
+            train.push(&[x, y], l);
+        }
+        let params = SvmParams {
+            kernel: Kernel::Rbf { gamma: 4.0 },
+            c: 10.0,
+            max_iters: 500,
+            ..SvmParams::default()
+        };
+        let mut svm = SmoSvm::new(params);
+        svm.fit(&train);
+        assert_eq!(svm.predict(&[0.05, 0.05]).label, 0);
+        assert_eq!(svm.predict(&[0.95, 0.05]).label, 1);
+        assert_eq!(svm.predict(&[0.05, 0.95]).label, 1);
+        assert_eq!(svm.predict(&[0.95, 0.95]).label, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = blobs(&[(0.0, 0.0), (4.0, 4.0)], 0.8, 9);
+        let mut a = SmoSvm::new(SvmParams::default());
+        let mut b = SmoSvm::new(SvmParams::default());
+        a.fit(&train);
+        b.fit(&train);
+        let x = [2.0, 2.1];
+        assert_eq!(a.predict(&x).label, b.predict(&x).label);
+        assert!((a.predict(&x).score - b.predict(&x).score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_training() {
+        let train = blobs(&[(1.0, 1.0)], 0.2, 5);
+        let mut svm = SmoSvm::new(SvmParams::default());
+        svm.fit(&train);
+        assert_eq!(svm.predict(&[0.0, 0.0]).label, 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-post feature extraction.
+//!
+//! `extract` maps one post to a dense vector of `M` non-negative values in
+//! the [`crate::registry`] layout. All frequency features are *relative*
+//! (divided by the relevant token/character count) so posts of different
+//! lengths are comparable; the raw length features themselves are kept in
+//! natural units. A value of `0` means "the post does not exhibit this
+//! feature", which is exactly the attribute semantics of Section II-B.
+
+use dehealth_text::lexicon::{function_word_index, misspelling_index};
+use dehealth_text::pos::{pos_bigrams, tag_tokens};
+use dehealth_text::stats::{frequency_table, legomena, yules_k};
+use dehealth_text::tokenize::{paragraphs, tokenize, TokenKind, WordShape};
+
+use crate::registry::{idx, M, MAX_WORD_LEN, N_POS, PUNCT_CHARS, SPECIAL_CHARS};
+use crate::vector::FeatureVector;
+
+fn shape_slot(shape: WordShape) -> usize {
+    match shape {
+        WordShape::AllUpper => 0,
+        WordShape::AllLower => 1,
+        WordShape::Capitalized => 2,
+        WordShape::Camel => 3,
+        WordShape::Other => 4,
+    }
+}
+
+/// Extract the Table-I feature vector of one post.
+///
+/// Never panics; empty or pathological inputs yield an all-zero vector.
+///
+/// ```
+/// use dehealth_stylometry::{extract, feature_name};
+/// let v = extract("I recieve the results tomorrow!");
+/// // The misspelling feature fires...
+/// let idx = (0..dehealth_stylometry::M)
+///     .find(|&i| feature_name(i) == "misspell_recieve")
+///     .unwrap();
+/// assert!(v.get(idx) > 0.0);
+/// // ...and the function word "the" is counted.
+/// assert!(v.iter_nonzero().count() > 10);
+/// ```
+#[must_use]
+pub fn extract(text: &str) -> FeatureVector {
+    let mut v = vec![0.0f64; M];
+    let tokens = tokenize(text);
+    let words: Vec<&str> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Word)
+        .map(|t| t.text)
+        .collect();
+    let n_chars = text.chars().filter(|c| !c.is_whitespace()).count();
+    let n_words = words.len();
+
+    // --- Length (raw units) ---
+    v[idx::LENGTH] = n_chars as f64;
+    v[idx::LENGTH + 1] = paragraphs(text).len() as f64;
+    if n_words > 0 {
+        let word_chars: usize = words.iter().map(|w| w.chars().count()).sum();
+        v[idx::LENGTH + 2] = word_chars as f64 / n_words as f64;
+    }
+
+    // --- Word length histogram (relative to word count) ---
+    if n_words > 0 {
+        for w in &words {
+            let len = w.chars().count().min(MAX_WORD_LEN);
+            if len >= 1 {
+                v[idx::WORD_LEN + len - 1] += 1.0;
+            }
+        }
+        for k in 0..MAX_WORD_LEN {
+            v[idx::WORD_LEN + k] /= n_words as f64;
+        }
+    }
+
+    // --- Vocabulary richness ---
+    if n_words > 0 {
+        let freqs = frequency_table(words.iter().copied());
+        v[idx::VOCAB] = yules_k(&freqs);
+        let l = legomena(&freqs);
+        v[idx::VOCAB + 1] = l.hapax as f64 / n_words as f64;
+        v[idx::VOCAB + 2] = l.dis as f64 / n_words as f64;
+        v[idx::VOCAB + 3] = l.tris as f64 / n_words as f64;
+        v[idx::VOCAB + 4] = l.tetrakis as f64 / n_words as f64;
+    }
+
+    // --- Character-class frequencies (relative to non-space chars) ---
+    if n_chars > 0 {
+        let mut n_letters = 0usize;
+        let mut n_upper = 0usize;
+        for c in text.chars() {
+            if c.is_alphabetic() {
+                n_letters += 1;
+                if c.is_uppercase() {
+                    n_upper += 1;
+                }
+            }
+            if c.is_ascii_alphabetic() {
+                let slot = (c.to_ascii_lowercase() as u8 - b'a') as usize;
+                v[idx::LETTER + slot] += 1.0;
+            } else if c.is_ascii_digit() {
+                v[idx::DIGIT + (c as u8 - b'0') as usize] += 1.0;
+            } else if let Some(slot) = SPECIAL_CHARS.iter().position(|&s| s == c) {
+                v[idx::SPECIAL + slot] += 1.0;
+            }
+            if let Some(slot) = PUNCT_CHARS.iter().position(|&s| s == c) {
+                v[idx::PUNCT + slot] += 1.0;
+            }
+        }
+        for k in 0..26 {
+            v[idx::LETTER + k] /= n_chars as f64;
+        }
+        for k in 0..10 {
+            v[idx::DIGIT + k] /= n_chars as f64;
+        }
+        for k in 0..21 {
+            v[idx::SPECIAL + k] /= n_chars as f64;
+        }
+        for k in 0..10 {
+            v[idx::PUNCT + k] /= n_chars as f64;
+        }
+        if n_letters > 0 {
+            v[idx::UPPER_PCT] = n_upper as f64 / n_letters as f64;
+        }
+    }
+
+    // --- Word shape: 5 class frequencies + 16 bigrams over main classes ---
+    if n_words > 0 {
+        let shapes: Vec<WordShape> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Word)
+            .map(dehealth_text::tokenize::Token::shape)
+            .collect();
+        for &s in &shapes {
+            v[idx::SHAPE + shape_slot(s)] += 1.0;
+        }
+        for k in 0..5 {
+            v[idx::SHAPE + k] /= n_words as f64;
+        }
+        if shapes.len() >= 2 {
+            let n_bi = shapes.len() - 1;
+            for w in shapes.windows(2) {
+                let (a, b) = (shape_slot(w[0]), shape_slot(w[1]));
+                if a < 4 && b < 4 {
+                    v[idx::SHAPE + 5 + a * 4 + b] += 1.0;
+                }
+            }
+            for k in 0..16 {
+                v[idx::SHAPE + 5 + k] /= n_bi as f64;
+            }
+        }
+    }
+
+    // --- Function words and misspellings (relative to word count) ---
+    if n_words > 0 {
+        for w in &words {
+            if let Some(fi) = function_word_index(w) {
+                v[idx::FUNC + fi] += 1.0;
+            }
+            if let Some(mi) = misspelling_index(w) {
+                v[idx::MISSPELL + mi] += 1.0;
+            }
+        }
+        for k in 0..337 {
+            v[idx::FUNC + k] /= n_words as f64;
+        }
+        for k in 0..248 {
+            v[idx::MISSPELL + k] /= n_words as f64;
+        }
+    }
+
+    // --- POS tags and bigrams (relative to tag / bigram counts) ---
+    if !tokens.is_empty() {
+        let tags = tag_tokens(&tokens);
+        for &t in &tags {
+            v[idx::POS + t.index()] += 1.0;
+        }
+        for k in 0..N_POS {
+            v[idx::POS + k] /= tags.len() as f64;
+        }
+        let bigrams = pos_bigrams(&tags);
+        if !bigrams.is_empty() {
+            for &(a, b) in &bigrams {
+                v[idx::POS_BIGRAM + a.index() * N_POS + b.index()] += 1.0;
+            }
+            for k in 0..N_POS * N_POS {
+                v[idx::POS_BIGRAM + k] /= bigrams.len() as f64;
+            }
+        }
+    }
+
+    FeatureVector::from_dense(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::feature_name;
+
+    fn value(text: &str, name: &str) -> f64 {
+        let v = extract(text);
+        let i = (0..M).find(|&i| feature_name(i) == name).unwrap_or_else(|| {
+            panic!("no feature named {name}")
+        });
+        v.get(i)
+    }
+
+    #[test]
+    fn empty_post_is_all_zero() {
+        let v = extract("");
+        assert!(v.iter_nonzero().next().is_none());
+    }
+
+    #[test]
+    fn length_features() {
+        assert_eq!(value("ab cd", "n_chars"), 4.0);
+        assert_eq!(value("one\n\ntwo", "n_paragraphs"), 2.0);
+        assert!((value("ab cdef", "avg_chars_per_word") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_length_histogram_sums_to_one() {
+        let v = extract("a bb ccc dddd");
+        let sum: f64 = (0..MAX_WORD_LEN).map(|k| v.get(idx::WORD_LEN + k)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((v.get(idx::WORD_LEN) - 0.25).abs() < 1e-12); // one 1-char word of 4
+    }
+
+    #[test]
+    fn letter_frequency_case_folded() {
+        // "Aa" -> 2 of 2 chars are 'a'.
+        assert!((value("Aa", "letter_a") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digit_frequency() {
+        assert!((value("a 1 2 2", "digit_2") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uppercase_percentage() {
+        assert!((value("AB cd", "uppercase_pct") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn special_and_punct_counts() {
+        assert!(value("a $ b", "special_$") > 0.0);
+        assert!(value("hello, world", "punct_,") > 0.0);
+        assert_eq!(value("hello world", "punct_,"), 0.0);
+    }
+
+    #[test]
+    fn function_word_frequency() {
+        // "the" twice of 4 words.
+        assert!((value("the cat the dog", "func_the") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misspelling_detected() {
+        assert!(value("i recieve mail", "misspell_recieve") > 0.0);
+        assert_eq!(value("i receive mail", "misspell_recieve"), 0.0);
+    }
+
+    #[test]
+    fn pos_tags_sum_to_one() {
+        let v = extract("The doctor prescribed antibiotics.");
+        let sum: f64 = (0..N_POS).map(|k| v.get(idx::POS + k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pos_bigrams_sum_to_one() {
+        let v = extract("The doctor helped me");
+        let sum: f64 = (0..N_POS * N_POS).map(|k| v.get(idx::POS_BIGRAM + k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn word_shape_distribution() {
+        let v = extract("ALT alt Alt");
+        assert!((v.get(idx::SHAPE) - 1.0 / 3.0).abs() < 1e-12); // AllUpper
+        assert!((v.get(idx::SHAPE + 1) - 1.0 / 3.0).abs() < 1e-12); // AllLower
+        assert!((v.get(idx::SHAPE + 2) - 1.0 / 3.0).abs() < 1e-12); // Capitalized
+    }
+
+    #[test]
+    fn all_values_non_negative_and_finite() {
+        let v = extract("Weird ~~ input $$$ 123 don't STOP!!!");
+        for (_, x) in v.iter_nonzero() {
+            assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn single_token_post() {
+        // No bigrams; must not divide by zero.
+        let v = extract("hello");
+        assert!((0..N_POS * N_POS).all(|k| v.get(idx::POS_BIGRAM + k) == 0.0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Content features: hashed character n-grams and word unigrams.
+//!
+//! Table I deliberately excludes content features, but Section II-B notes
+//! "it is possible to extract more stylometric features from the
+//! WebMD/HB dataset, e.g., content features [29]" and leaves them as
+//! future work. This module provides them as an *optional extension* of
+//! the feature space: character trigrams and word unigrams, each hashed
+//! into a fixed number of buckets (feature hashing keeps the dimension
+//! bounded and index-stable without a corpus-wide vocabulary pass).
+
+use crate::vector::FeatureVector;
+
+/// Number of hash buckets for character trigrams.
+pub const CHAR_NGRAM_BUCKETS: usize = 256;
+/// Number of hash buckets for word unigrams.
+pub const WORD_BUCKETS: usize = 256;
+/// Total extension dimension.
+pub const M_CONTENT: usize = CHAR_NGRAM_BUCKETS + WORD_BUCKETS;
+
+/// FNV-1a, the classic feature-hashing choice: fast, stable, and good
+/// enough dispersion for bucket counts this small.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Extract the content-feature extension of one post: a dense vector of
+/// length [`M_CONTENT`] with relative frequencies (character trigrams
+/// first, word buckets second). Case-folded; never panics.
+#[must_use]
+pub fn extract_content(text: &str) -> Vec<f64> {
+    let mut v = vec![0.0f64; M_CONTENT];
+    let lower = text.to_lowercase();
+    let chars: Vec<char> = lower.chars().filter(|c| !c.is_whitespace()).collect();
+    if chars.len() >= 3 {
+        let n = chars.len() - 2;
+        for w in chars.windows(3) {
+            let mut buf = [0u8; 12];
+            let mut len = 0;
+            for &c in w {
+                len += c.encode_utf8(&mut buf[len..]).len();
+            }
+            let slot = (fnv1a(buf[..len].iter().copied()) as usize) % CHAR_NGRAM_BUCKETS;
+            v[slot] += 1.0;
+        }
+        for x in &mut v[..CHAR_NGRAM_BUCKETS] {
+            *x /= n as f64;
+        }
+    }
+    let words: Vec<&str> = lower.split_whitespace().collect();
+    if !words.is_empty() {
+        for w in &words {
+            let slot = (fnv1a(w.bytes()) as usize) % WORD_BUCKETS;
+            v[CHAR_NGRAM_BUCKETS + slot] += 1.0;
+        }
+        for x in &mut v[CHAR_NGRAM_BUCKETS..] {
+            *x /= words.len() as f64;
+        }
+    }
+    v
+}
+
+/// Extract the *extended* feature vector: the Table-I space followed by
+/// the content extension, as one dense vector of length `M + M_CONTENT`.
+#[must_use]
+pub fn extract_extended(text: &str) -> Vec<f64> {
+    let mut out = crate::features::extract(text).to_dense();
+    out.extend(extract_content(text));
+    out
+}
+
+/// Content-only cosine similarity between two posts (convenience for
+/// content-feature experiments).
+#[must_use]
+pub fn content_cosine(a: &str, b: &str) -> f64 {
+    let va = extract_content(a);
+    let vb = extract_content(b);
+    let dot: f64 = va.iter().zip(&vb).map(|(x, y)| x * y).sum();
+    let na: f64 = va.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = vb.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Sparse view of the content extension, with indices offset by `base`
+/// (useful for appending to a [`FeatureVector`]-based pipeline).
+#[must_use]
+pub fn content_sparse(text: &str, base: usize) -> Vec<(usize, f64)> {
+    extract_content(text)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, x)| x != 0.0)
+        .map(|(i, x)| (base + i, x))
+        .collect()
+}
+
+/// `true` if `v` (a Table-I sparse vector) and a content extension would
+/// not collide: the extension always lives above `crate::M`.
+#[must_use]
+pub fn extension_is_disjoint(v: &FeatureVector) -> bool {
+    v.iter_nonzero().all(|(i, _)| i < crate::M)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions() {
+        assert_eq!(extract_content("hello world").len(), M_CONTENT);
+        assert_eq!(extract_extended("hello world").len(), crate::M + M_CONTENT);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert!(extract_content("").iter().all(|&x| x == 0.0));
+        assert!(extract_content("  \n ").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn frequencies_are_normalized() {
+        let v = extract_content("aaa bbb aaa");
+        let char_sum: f64 = v[..CHAR_NGRAM_BUCKETS].iter().sum();
+        let word_sum: f64 = v[CHAR_NGRAM_BUCKETS..].iter().sum();
+        assert!((char_sum - 1.0).abs() < 1e-9, "char sum {char_sum}");
+        assert!((word_sum - 1.0).abs() < 1e-9, "word sum {word_sum}");
+    }
+
+    #[test]
+    fn deterministic_and_case_folded() {
+        assert_eq!(extract_content("Migraine Pain"), extract_content("migraine pain"));
+    }
+
+    #[test]
+    fn content_cosine_discriminates_topics() {
+        let a1 = "my migraine headache pain is awful today";
+        let a2 = "the migraine pain and headache came back";
+        let b = "insulin dosage for diabetes and blood sugar checks";
+        assert!(content_cosine(a1, a2) > content_cosine(a1, b));
+        assert!((content_cosine(a1, a1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_view_offsets_indices() {
+        let sparse = content_sparse("some words here", crate::M);
+        assert!(!sparse.is_empty());
+        assert!(sparse.iter().all(|&(i, x)| i >= crate::M && x > 0.0));
+    }
+
+    #[test]
+    fn table_i_vectors_never_reach_extension_space() {
+        let v = crate::features::extract("I realy have 40 mg of pain!!!");
+        assert!(extension_is_disjoint(&v));
+    }
+}

@@ -1,0 +1,223 @@
+//! The stable feature index space.
+//!
+//! Table I of the paper lists thirteen categories. Their sizes here:
+//!
+//! | Category            | Count | Notes |
+//! |---------------------|-------|-------|
+//! | Length              | 3     | characters, paragraphs, avg chars/word |
+//! | Word length         | 20    | word-length 1..=20 relative frequency |
+//! | Vocabulary richness | 5     | Yule's K + 4 legomena rates |
+//! | Letter frequency    | 26    | `a`..`z`, case-folded |
+//! | Digit frequency     | 10    | `0`..`9` |
+//! | Uppercase %         | 1     | share of letters that are uppercase |
+//! | Special characters  | 21    | fixed symbol set |
+//! | Word shape          | 21    | 5 shape classes + 16 shape bigrams |
+//! | Punctuation         | 10    | fixed punctuation set |
+//! | Function words      | 337   | `dehealth-text` lexicon |
+//! | POS tags            | 24    | `dehealth-text` tagset |
+//! | POS tag bigrams     | 576   | 24 × 24 |
+//! | Misspelled words    | 248   | `dehealth-text` lexicon |
+//!
+//! The paper reports `< 2300` POS tags / `< 2300²` bigrams because it
+//! counts a larger tagger inventory; our tagset has 24 tags, so the POS
+//! blocks shrink accordingly — the total is denoted `M` "since the number
+//! of POS tags and POS tag bigrams could be variable" (Section II-B), which
+//! this registry mirrors. The word-shape category in the paper counts 21
+//! features for 4 shape descriptions; we realize it as the 5 shape-class
+//! frequencies plus the 16 bigrams over the 4 main shape classes.
+
+use dehealth_text::lexicon::{FUNCTION_WORDS, MISSPELLINGS};
+use dehealth_text::pos::PosTag;
+
+/// The 21-character special-character inventory (Table I row "Special
+/// characters").
+pub const SPECIAL_CHARS: [char; 21] = [
+    '~', '@', '#', '$', '%', '^', '&', '*', '+', '=', '_', '/', '\\', '|', '<', '>', '[', ']',
+    '{', '}', '`',
+];
+
+/// The 10-character punctuation inventory (Table I row "Punctuation
+/// freq.").
+pub const PUNCT_CHARS: [char; 10] = ['.', ',', ';', ':', '!', '?', '\'', '"', '(', ')'];
+
+/// Maximum word length tracked by the word-length histogram.
+pub const MAX_WORD_LEN: usize = 20;
+
+/// Number of POS tags in the tagset.
+pub const N_POS: usize = PosTag::ALL.len();
+
+/// A contiguous block of the feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Category {
+    /// Human-readable Table-I name.
+    pub name: &'static str,
+    /// First feature index of the block.
+    pub start: usize,
+    /// Number of features in the block.
+    pub count: usize,
+}
+
+const fn build_categories() -> [Category; 13] {
+    let mut start = 0;
+    macro_rules! cat {
+        ($name:literal, $count:expr) => {{
+            let c = Category { name: $name, start, count: $count };
+            start += $count;
+            c
+        }};
+    }
+    let out = [
+        cat!("Length", 3),
+        cat!("Word length", MAX_WORD_LEN),
+        cat!("Vocabulary richness", 5),
+        cat!("Letter freq.", 26),
+        cat!("Digit freq.", 10),
+        cat!("Uppercase letter percentage", 1),
+        cat!("Special characters", 21),
+        cat!("Word shape", 21),
+        cat!("Punctuation freq.", 10),
+        cat!("Function words", 337),
+        cat!("POS tags", N_POS),
+        cat!("POS tag bigrams", N_POS * N_POS),
+        cat!("Misspelled words", 248),
+    ];
+    // `start` intentionally unused after the last block.
+    let _ = start;
+    out
+}
+
+/// The thirteen Table-I categories with their index ranges.
+#[must_use]
+pub const fn categories() -> [Category; 13] {
+    build_categories()
+}
+
+/// Total feature dimension `M`.
+pub const M: usize = {
+    let cats = build_categories();
+    cats[12].start + cats[12].count
+};
+
+/// Index helpers for each block, used by the extractor.
+pub(crate) mod idx {
+    use super::*;
+
+    pub const LENGTH: usize = categories()[0].start;
+    pub const WORD_LEN: usize = categories()[1].start;
+    pub const VOCAB: usize = categories()[2].start;
+    pub const LETTER: usize = categories()[3].start;
+    pub const DIGIT: usize = categories()[4].start;
+    pub const UPPER_PCT: usize = categories()[5].start;
+    pub const SPECIAL: usize = categories()[6].start;
+    pub const SHAPE: usize = categories()[7].start;
+    pub const PUNCT: usize = categories()[8].start;
+    pub const FUNC: usize = categories()[9].start;
+    pub const POS: usize = categories()[10].start;
+    pub const POS_BIGRAM: usize = categories()[11].start;
+    pub const MISSPELL: usize = categories()[12].start;
+}
+
+/// Human-readable name of feature `i`.
+///
+/// # Panics
+/// Panics if `i >= M`.
+#[must_use]
+pub fn feature_name(i: usize) -> String {
+    assert!(i < M, "feature index {i} out of range (M={M})");
+    use idx::*;
+    if i < WORD_LEN {
+        ["n_chars", "n_paragraphs", "avg_chars_per_word"][i - LENGTH].to_string()
+    } else if i < VOCAB {
+        format!("word_len_{}", i - WORD_LEN + 1)
+    } else if i < LETTER {
+        ["yules_k", "hapax_rate", "dis_rate", "tris_rate", "tetrakis_rate"][i - VOCAB]
+            .to_string()
+    } else if i < DIGIT {
+        format!("letter_{}", (b'a' + (i - LETTER) as u8) as char)
+    } else if i < UPPER_PCT {
+        format!("digit_{}", i - DIGIT)
+    } else if i < SPECIAL {
+        "uppercase_pct".to_string()
+    } else if i < SHAPE {
+        format!("special_{}", SPECIAL_CHARS[i - SPECIAL])
+    } else if i < PUNCT {
+        let k = i - SHAPE;
+        if k < 5 {
+            format!("shape_{}", ["upper", "lower", "capitalized", "camel", "other"][k])
+        } else {
+            let b = k - 5;
+            let names = ["upper", "lower", "capitalized", "camel"];
+            format!("shape_bigram_{}_{}", names[b / 4], names[b % 4])
+        }
+    } else if i < FUNC {
+        format!("punct_{}", PUNCT_CHARS[i - PUNCT])
+    } else if i < POS {
+        format!("func_{}", FUNCTION_WORDS[i - FUNC])
+    } else if i < POS_BIGRAM {
+        format!("pos_{}", PosTag::ALL[i - POS].name())
+    } else if i < MISSPELL {
+        let k = i - POS_BIGRAM;
+        format!("pos2_{}_{}", PosTag::ALL[k / N_POS].name(), PosTag::ALL[k % N_POS].name())
+    } else {
+        format!("misspell_{}", MISSPELLINGS[i - MISSPELL].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_layout_is_contiguous() {
+        let cats = categories();
+        let mut expected = 0;
+        for c in &cats {
+            assert_eq!(c.start, expected, "{} misaligned", c.name);
+            expected += c.count;
+        }
+        assert_eq!(expected, M);
+    }
+
+    #[test]
+    fn table_i_counts() {
+        let cats = categories();
+        let count = |name: &str| cats.iter().find(|c| c.name == name).unwrap().count;
+        assert_eq!(count("Length"), 3);
+        assert_eq!(count("Word length"), 20);
+        assert_eq!(count("Vocabulary richness"), 5);
+        assert_eq!(count("Letter freq."), 26);
+        assert_eq!(count("Digit freq."), 10);
+        assert_eq!(count("Uppercase letter percentage"), 1);
+        assert_eq!(count("Special characters"), 21);
+        assert_eq!(count("Word shape"), 21);
+        assert_eq!(count("Punctuation freq."), 10);
+        assert_eq!(count("Function words"), 337);
+        assert_eq!(count("Misspelled words"), 248);
+    }
+
+    #[test]
+    fn total_dimension() {
+        assert_eq!(M, 3 + 20 + 5 + 26 + 10 + 1 + 21 + 21 + 10 + 337 + 24 + 576 + 248);
+    }
+
+    #[test]
+    fn every_feature_has_a_name() {
+        for i in 0..M {
+            assert!(!feature_name(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn sample_names() {
+        assert_eq!(feature_name(0), "n_chars");
+        assert_eq!(feature_name(idx::LETTER), "letter_a");
+        assert_eq!(feature_name(idx::FUNC), format!("func_{}", FUNCTION_WORDS[0]));
+        assert_eq!(feature_name(M - 1), format!("misspell_{}", MISSPELLINGS[247].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn name_out_of_range_panics() {
+        let _ = feature_name(M);
+    }
+}

@@ -1,0 +1,417 @@
+//! Sparse feature vectors and per-user aggregation.
+//!
+//! A post exhibits only a small fraction of the `M` features (most
+//! function words, misspellings and POS bigrams never occur), so vectors
+//! are stored sparsely as sorted `(index, value)` pairs.
+//!
+//! At the user level, Section II-B defines the *attributes*: user `u` has
+//! attribute `A_i` iff some post of `u` has feature `F_i ≠ 0`, with weight
+//! `l_u(A_i)` = number of posts of `u` having the feature. That projection
+//! is [`UserAttributes`]; the continuous per-user mean vector used by the
+//! refined-DA classifiers is [`UserProfile`].
+
+use crate::registry::M;
+
+/// A sparse non-negative feature vector in the [`crate::registry`] space.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl FeatureVector {
+    /// Build from a dense slice, keeping non-zero finite entries.
+    ///
+    /// # Panics
+    /// Panics if `dense.len() != M`.
+    #[must_use]
+    pub fn from_dense(dense: Vec<f64>) -> Self {
+        assert_eq!(dense.len(), M, "dense vector must have length M");
+        let entries = dense
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, v)| v != 0.0 && v.is_finite())
+            .map(|(i, v)| (i as u32, v))
+            .collect();
+        Self { entries }
+    }
+
+    /// Value of feature `i` (0 when absent).
+    #[must_use]
+    pub fn get(&self, i: usize) -> f64 {
+        self.entries
+            .binary_search_by_key(&(i as u32), |&(j, _)| j)
+            .map(|k| self.entries[k].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Iterate non-zero `(index, value)` pairs in increasing index order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.entries.iter().map(|&(i, v)| (i as usize, v))
+    }
+
+    /// Number of non-zero features.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Materialize as a dense vector of length `M`.
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; M];
+        for &(i, v) in &self.entries {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Cosine similarity with another vector (0 if either is empty).
+    #[must_use]
+    pub fn cosine(&self, other: &FeatureVector) -> f64 {
+        let mut dot = 0.0;
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.entries.len() && b < other.entries.len() {
+            match self.entries[a].0.cmp(&other.entries[b].0) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += self.entries[a].1 * other.entries[b].1;
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        let na: f64 = self.entries.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+        let nb: f64 = other.entries.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+/// Per-user continuous profile: the mean of the user's post vectors.
+#[derive(Debug, Clone, Default)]
+pub struct UserProfile {
+    sum: Vec<(u32, f64)>,
+    n_posts: usize,
+}
+
+impl UserProfile {
+    /// Empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one post's feature vector.
+    pub fn add_post(&mut self, v: &FeatureVector) {
+        self.n_posts += 1;
+        // Merge two sorted lists.
+        let mut merged = Vec::with_capacity(self.sum.len() + v.entries.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.sum.len() || b < v.entries.len() {
+            match (self.sum.get(a), v.entries.get(b)) {
+                (Some(&(i, x)), Some(&(j, y))) => match i.cmp(&j) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((i, x));
+                        a += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((j, y));
+                        b += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push((i, x + y));
+                        a += 1;
+                        b += 1;
+                    }
+                },
+                (Some(&(i, x)), None) => {
+                    merged.push((i, x));
+                    a += 1;
+                }
+                (None, Some(&(j, y))) => {
+                    merged.push((j, y));
+                    b += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.sum = merged;
+    }
+
+    /// Number of posts aggregated.
+    #[must_use]
+    pub fn n_posts(&self) -> usize {
+        self.n_posts
+    }
+
+    /// Mean feature vector over the aggregated posts.
+    #[must_use]
+    pub fn mean(&self) -> FeatureVector {
+        if self.n_posts == 0 {
+            return FeatureVector::default();
+        }
+        let n = self.n_posts as f64;
+        FeatureVector { entries: self.sum.iter().map(|&(i, v)| (i, v / n)).collect() }
+    }
+}
+
+/// Per-user binary attributes with weights (Section II-B).
+///
+/// `weights[k] = (i, l_u(A_i))` where `l_u(A_i)` counts the user's posts
+/// that exhibit feature `i`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UserAttributes {
+    weights: Vec<(u32, u32)>,
+}
+
+impl UserAttributes {
+    /// Empty attribute set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one post: every non-zero feature contributes 1 to its
+    /// attribute weight.
+    pub fn add_post(&mut self, v: &FeatureVector) {
+        let mut merged = Vec::with_capacity(self.weights.len() + v.entries.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.weights.len() || b < v.entries.len() {
+            match (self.weights.get(a), v.entries.get(b)) {
+                (Some(&(i, w)), Some(&(j, _))) => match i.cmp(&j) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((i, w));
+                        a += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((j, 1));
+                        b += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push((i, w + 1));
+                        a += 1;
+                        b += 1;
+                    }
+                },
+                (Some(&(i, w)), None) => {
+                    merged.push((i, w));
+                    a += 1;
+                }
+                (None, Some(&(j, _))) => {
+                    merged.push((j, 1));
+                    b += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.weights = merged;
+    }
+
+    /// `true` if the user has attribute `i`.
+    #[must_use]
+    pub fn has(&self, i: usize) -> bool {
+        self.weights.binary_search_by_key(&(i as u32), |&(j, _)| j).is_ok()
+    }
+
+    /// Number of attributes (`|A(u)|`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if the user has no attributes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterate `(attribute index, l_u(A_i))` in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.weights.iter().map(|&(i, w)| (i as usize, w))
+    }
+
+    /// Jaccard similarity `|A(u) ∩ A(v)| / |A(u) ∪ A(v)|` (0 when both
+    /// empty).
+    #[must_use]
+    pub fn jaccard(&self, other: &UserAttributes) -> f64 {
+        let (mut inter, mut union) = (0usize, 0usize);
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.weights.len() || b < other.weights.len() {
+            match (self.weights.get(a), other.weights.get(b)) {
+                (Some(&(i, _)), Some(&(j, _))) => match i.cmp(&j) {
+                    std::cmp::Ordering::Less => {
+                        union += 1;
+                        a += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        union += 1;
+                        b += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        inter += 1;
+                        union += 1;
+                        a += 1;
+                        b += 1;
+                    }
+                },
+                (Some(_), None) => {
+                    union += self.weights.len() - a;
+                    break;
+                }
+                (None, Some(_)) => {
+                    union += other.weights.len() - b;
+                    break;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Weighted Jaccard `|WA(u) ∩ WA(v)| / |WA(u) ∪ WA(v)|` with
+    /// min-weights on the intersection and max-weights on the union
+    /// (Section III-B's `s^a` second term). 0 when both empty.
+    #[must_use]
+    pub fn weighted_jaccard(&self, other: &UserAttributes) -> f64 {
+        let (mut inter, mut union) = (0u64, 0u64);
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.weights.len() || b < other.weights.len() {
+            match (self.weights.get(a), other.weights.get(b)) {
+                (Some(&(i, x)), Some(&(j, y))) => match i.cmp(&j) {
+                    std::cmp::Ordering::Less => {
+                        union += u64::from(x);
+                        a += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        union += u64::from(y);
+                        b += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        inter += u64::from(x.min(y));
+                        union += u64::from(x.max(y));
+                        a += 1;
+                        b += 1;
+                    }
+                },
+                (Some(&(_, x)), None) => {
+                    union += u64::from(x);
+                    a += 1;
+                }
+                (None, Some(&(_, y))) => {
+                    union += u64::from(y);
+                    b += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract;
+
+    fn fv(pairs: &[(usize, f64)]) -> FeatureVector {
+        let mut dense = vec![0.0; M];
+        for &(i, v) in pairs {
+            dense[i] = v;
+        }
+        FeatureVector::from_dense(dense)
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let v = fv(&[(3, 1.5), (100, 2.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(3), 1.5);
+        assert_eq!(v.get(4), 0.0);
+        let d = v.to_dense();
+        assert_eq!(d.len(), M);
+        assert_eq!(d[100], 2.0);
+    }
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let v = extract("the doctor prescribed the medicine");
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_disjoint_is_zero() {
+        let a = fv(&[(1, 1.0)]);
+        let b = fv(&[(2, 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert_eq!(a.cosine(&FeatureVector::default()), 0.0);
+    }
+
+    #[test]
+    fn profile_mean() {
+        let mut p = UserProfile::new();
+        p.add_post(&fv(&[(0, 2.0), (5, 4.0)]));
+        p.add_post(&fv(&[(0, 4.0)]));
+        let m = p.mean();
+        assert_eq!(p.n_posts(), 2);
+        assert_eq!(m.get(0), 3.0);
+        assert_eq!(m.get(5), 2.0);
+    }
+
+    #[test]
+    fn empty_profile_mean_is_empty() {
+        assert_eq!(UserProfile::new().mean().nnz(), 0);
+    }
+
+    #[test]
+    fn attribute_weights_count_posts() {
+        let mut a = UserAttributes::new();
+        a.add_post(&fv(&[(1, 0.5), (2, 0.1)]));
+        a.add_post(&fv(&[(1, 9.0)]));
+        assert!(a.has(1) && a.has(2) && !a.has(3));
+        let w: Vec<(usize, u32)> = a.iter().collect();
+        assert_eq!(w, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let mut a = UserAttributes::new();
+        a.add_post(&fv(&[(1, 1.0), (2, 1.0)]));
+        let mut b = UserAttributes::new();
+        b.add_post(&fv(&[(2, 1.0), (3, 1.0)]));
+        assert!((a.jaccard(&b) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((a.jaccard(&a) - 1.0).abs() < 1e-12);
+        assert_eq!(UserAttributes::new().jaccard(&UserAttributes::new()), 0.0);
+    }
+
+    #[test]
+    fn weighted_jaccard_uses_min_max() {
+        let mut a = UserAttributes::new();
+        // attr 1 weight 2 (two posts), attr 2 weight 1.
+        a.add_post(&fv(&[(1, 1.0), (2, 1.0)]));
+        a.add_post(&fv(&[(1, 1.0)]));
+        let mut b = UserAttributes::new();
+        // attr 1 weight 1, attr 3 weight 1.
+        b.add_post(&fv(&[(1, 1.0), (3, 1.0)]));
+        // inter = min(2,1) = 1; union = max(2,1) + 1 + 1 = 4.
+        assert!((a.weighted_jaccard(&b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_bounded_by_one() {
+        let mut a = UserAttributes::new();
+        a.add_post(&fv(&[(1, 1.0)]));
+        assert!((a.weighted_jaccard(&a) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Lexicon lookups: the function-word list and the misspelling list used by
+//! the Table-I stylometric features.
+//!
+//! Both lists are compiled in as sorted static arrays (see
+//! [`FUNCTION_WORDS`] and [`MISSPELLINGS`]) and queried by binary search
+//! over a lowercase buffer, so lookups allocate only when the query
+//! contains uppercase characters.
+
+#[path = "function_words.rs"]
+mod function_words;
+#[path = "misspellings.rs"]
+mod misspellings;
+
+pub use function_words::FUNCTION_WORDS;
+pub use misspellings::MISSPELLINGS;
+
+/// Index of a function word in [`FUNCTION_WORDS`], or `None`.
+///
+/// Case-insensitive: `"The"` matches `"the"`.
+#[must_use]
+pub fn function_word_index(word: &str) -> Option<usize> {
+    let lower = to_lower(word);
+    FUNCTION_WORDS.binary_search(&lower.as_ref()).ok()
+}
+
+/// `true` if `word` is one of the 337 function words (case-insensitive).
+#[must_use]
+pub fn is_function_word(word: &str) -> bool {
+    function_word_index(word).is_some()
+}
+
+/// Index of a misspelling in [`MISSPELLINGS`], or `None` (case-insensitive).
+#[must_use]
+pub fn misspelling_index(word: &str) -> Option<usize> {
+    let lower = to_lower(word);
+    MISSPELLINGS.binary_search_by(|(m, _)| (*m).cmp(lower.as_ref())).ok()
+}
+
+/// The correction for a known misspelling, if any (case-insensitive).
+#[must_use]
+pub fn correction(word: &str) -> Option<&'static str> {
+    misspelling_index(word).map(|i| MISSPELLINGS[i].1)
+}
+
+/// Lowercase without allocating when the input is already lowercase ASCII.
+fn to_lower(word: &str) -> std::borrow::Cow<'_, str> {
+    if word.chars().all(|c| c.is_ascii_lowercase() || !c.is_ascii_alphabetic()) {
+        std::borrow::Cow::Borrowed(word)
+    } else {
+        std::borrow::Cow::Owned(word.to_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_word_count_matches_table_i() {
+        assert_eq!(FUNCTION_WORDS.len(), 337);
+    }
+
+    #[test]
+    fn misspelling_count_matches_table_i() {
+        assert_eq!(MISSPELLINGS.len(), 248);
+    }
+
+    #[test]
+    fn function_words_sorted_unique_lowercase() {
+        for w in FUNCTION_WORDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+        assert!(FUNCTION_WORDS.iter().all(|w| w.chars().all(|c| !c.is_uppercase())));
+    }
+
+    #[test]
+    fn misspellings_sorted_unique() {
+        for w in MISSPELLINGS.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn common_function_words_present() {
+        for w in ["the", "a", "of", "because", "herself", "notwithstanding"] {
+            assert!(is_function_word(w), "{w} should be a function word");
+        }
+        assert!(!is_function_word("doctor"));
+        assert!(!is_function_word("hepatitis"));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(is_function_word("The"));
+        assert!(is_function_word("BECAUSE"));
+        assert!(misspelling_index("Recieve").is_some());
+    }
+
+    #[test]
+    fn corrections_resolve() {
+        assert_eq!(correction("recieve"), Some("receive"));
+        assert_eq!(correction("diabetis"), Some("diabetes"));
+        assert_eq!(correction("receive"), None);
+    }
+
+    #[test]
+    fn indices_are_stable_and_in_range() {
+        let i = function_word_index("the").unwrap();
+        assert_eq!(FUNCTION_WORDS[i], "the");
+        let j = misspelling_index("seperate").unwrap();
+        assert_eq!(MISSPELLINGS[j].0, "seperate");
+    }
+}

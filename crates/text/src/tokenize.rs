@@ -1,0 +1,307 @@
+//! Deterministic tokenizer, sentence/paragraph segmentation, and word-shape
+//! classification.
+//!
+//! The tokenizer is intentionally simple and fully specified so that
+//! stylometric feature extraction is reproducible: a token is a maximal run
+//! of alphabetic characters (plus internal apostrophes/hyphens), a maximal
+//! run of digits, or a single punctuation/symbol character. Whitespace
+//! separates tokens and is never emitted.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Alphabetic word, possibly with internal `'` or `-` (e.g. `don't`).
+    Word,
+    /// Maximal run of ASCII digits (e.g. `2015`).
+    Number,
+    /// Single punctuation character from the sentence-punctuation set
+    /// `. , ; : ! ? ' " ( ) -`.
+    Punct,
+    /// Any other non-alphanumeric, non-whitespace character (e.g. `$`, `~`).
+    Symbol,
+}
+
+/// Case/shape class of a word token, used by the "word shape" stylometric
+/// features in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordShape {
+    /// Every alphabetic character is uppercase and the word has ≥ 2 letters
+    /// (e.g. `ALT`).
+    AllUpper,
+    /// Every alphabetic character is lowercase (e.g. `doctor`).
+    AllLower,
+    /// First character uppercase, the rest lowercase (e.g. `Doctor`).
+    Capitalized,
+    /// Mixed case that is not simple capitalization (e.g. `WebMD`,
+    /// `camelCase`).
+    Camel,
+    /// Single uppercase letter, or shapes that fit no other class.
+    Other,
+}
+
+/// A token with its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text, borrowed from the input.
+    pub text: &'a str,
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token in the input.
+    pub start: usize,
+}
+
+impl<'a> Token<'a> {
+    /// Number of `char`s in the token.
+    #[must_use]
+    pub fn char_len(&self) -> usize {
+        self.text.chars().count()
+    }
+
+    /// Word-shape class. Only meaningful for [`TokenKind::Word`] tokens;
+    /// other kinds return [`WordShape::Other`].
+    #[must_use]
+    pub fn shape(&self) -> WordShape {
+        if self.kind != TokenKind::Word {
+            return WordShape::Other;
+        }
+        let letters: Vec<char> = self.text.chars().filter(|c| c.is_alphabetic()).collect();
+        if letters.is_empty() {
+            return WordShape::Other;
+        }
+        let n_upper = letters.iter().filter(|c| c.is_uppercase()).count();
+        let first_upper = letters[0].is_uppercase();
+        if n_upper == letters.len() {
+            if letters.len() >= 2 {
+                WordShape::AllUpper
+            } else {
+                WordShape::Other
+            }
+        } else if n_upper == 0 {
+            WordShape::AllLower
+        } else if first_upper && n_upper == 1 {
+            WordShape::Capitalized
+        } else {
+            WordShape::Camel
+        }
+    }
+}
+
+const PUNCT_SET: &[char] = &['.', ',', ';', ':', '!', '?', '\'', '"', '(', ')', '-'];
+
+fn is_punct(c: char) -> bool {
+    PUNCT_SET.contains(&c)
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphabetic()
+}
+
+/// Tokenize `text` into [`Token`]s.
+///
+/// (The two look-ahead branches below are textually identical but guard
+/// different predicates, hence the lint allowance.)
+///
+/// Guarantees:
+/// - never panics on any UTF-8 input,
+/// - token spans are non-overlapping and increasing,
+/// - concatenating token texts with the skipped gaps reproduces the input.
+#[must_use]
+#[allow(clippy::if_same_then_else)]
+pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    let mut tokens = Vec::new();
+    let bytes_len = text.len();
+    let mut iter = text.char_indices().peekable();
+    while let Some((start, c)) = iter.next() {
+        if c.is_whitespace() {
+            continue;
+        }
+        if is_word_char(c) {
+            // Maximal alphabetic run, allowing internal ' and - when
+            // followed by another letter (don't, well-known).
+            let mut end = start + c.len_utf8();
+            while let Some(&(i, nc)) = iter.peek() {
+                if is_word_char(nc) {
+                    end = i + nc.len_utf8();
+                    iter.next();
+                } else if (nc == '\'' || nc == '-') && {
+                    // Look one past the separator for a letter.
+                    let after = &text[i + nc.len_utf8()..];
+                    after.chars().next().is_some_and(is_word_char)
+                } {
+                    end = i + nc.len_utf8();
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            debug_assert!(end <= bytes_len);
+            tokens.push(Token { text: &text[start..end], kind: TokenKind::Word, start });
+        } else if c.is_ascii_digit() {
+            let mut end = start + 1;
+            while let Some(&(i, nc)) = iter.peek() {
+                if nc.is_ascii_digit() {
+                    end = i + 1;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { text: &text[start..end], kind: TokenKind::Number, start });
+        } else {
+            let kind = if is_punct(c) { TokenKind::Punct } else { TokenKind::Symbol };
+            let end = start + c.len_utf8();
+            tokens.push(Token { text: &text[start..end], kind, start });
+        }
+    }
+    tokens
+}
+
+/// Split `text` into sentences.
+///
+/// A sentence boundary is a `.`, `!` or `?` followed by whitespace-or-end.
+/// Returns non-empty trimmed sentence slices.
+#[must_use]
+pub fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if matches!(c, '.' | '!' | '?') {
+            let at_end = chars.peek().is_none_or(|&(_, nc)| nc.is_whitespace());
+            if at_end {
+                let end = i + c.len_utf8();
+                let s = text[start..end].trim();
+                if !s.is_empty() {
+                    out.push(s);
+                }
+                start = end;
+            }
+        }
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Split `text` into paragraphs (separated by one or more blank lines).
+#[must_use]
+pub fn paragraphs(text: &str) -> Vec<&str> {
+    text.split("\n\n")
+        .flat_map(|p| p.split("\r\n\r\n"))
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(text: &str) -> Vec<&str> {
+        tokenize(text)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Word)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokenization() {
+        let toks = tokenize("I have hep c, genotype 3b!");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["I", "have", "hep", "c", ",", "genotype", "3", "b", "!"]);
+    }
+
+    #[test]
+    fn contraction_kept_whole() {
+        assert_eq!(words("don't stop"), vec!["don't", "stop"]);
+    }
+
+    #[test]
+    fn hyphenated_word_kept_whole() {
+        assert_eq!(words("well-known issue"), vec!["well-known", "issue"]);
+    }
+
+    #[test]
+    fn trailing_apostrophe_not_absorbed() {
+        let toks = tokenize("doctors' advice");
+        assert_eq!(toks[0].text, "doctors");
+        assert_eq!(toks[1].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn numbers_are_separate_tokens() {
+        let toks = tokenize("ALT is 400 now");
+        let nums: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokenKind::Number).map(|t| t.text).collect();
+        assert_eq!(nums, vec!["400"]);
+    }
+
+    #[test]
+    fn symbols_classified() {
+        let toks = tokenize("cost $30 @home");
+        assert!(toks.iter().any(|t| t.text == "$" && t.kind == TokenKind::Symbol));
+        assert!(toks.iter().any(|t| t.text == "@" && t.kind == TokenKind::Symbol));
+    }
+
+    #[test]
+    fn spans_are_increasing_and_in_bounds() {
+        let text = "Hello, world! \u{e9}t\u{e9} 42.";
+        let toks = tokenize(text);
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end);
+            prev_end = t.start + t.text.len();
+            assert!(prev_end <= text.len());
+            assert_eq!(&text[t.start..prev_end], t.text);
+        }
+    }
+
+    #[test]
+    fn word_shapes() {
+        let shape = |s: &str| tokenize(s)[0].shape();
+        assert_eq!(shape("ALT"), WordShape::AllUpper);
+        assert_eq!(shape("doctor"), WordShape::AllLower);
+        assert_eq!(shape("Doctor"), WordShape::Capitalized);
+        assert_eq!(shape("WebMD"), WordShape::Camel);
+        assert_eq!(shape("camelCase"), WordShape::Camel);
+        assert_eq!(shape("I"), WordShape::Other);
+    }
+
+    #[test]
+    fn sentence_split_basic() {
+        let s = sentences("I am sick. Are you? Yes! indeed");
+        assert_eq!(s, vec!["I am sick.", "Are you?", "Yes!", "indeed"]);
+    }
+
+    #[test]
+    fn sentence_split_does_not_break_decimal() {
+        let s = sentences("my viral load is 3.5 million today");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn paragraph_split() {
+        let p = paragraphs("first para\nstill first\n\nsecond para\n\n\nthird");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[1], "second para");
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+        assert!(sentences("").is_empty());
+        assert!(paragraphs("\n\n\n").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        let toks = tokenize("na\u{ef}ve caf\u{e9}");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::Word);
+        assert_eq!(toks[0].char_len(), 5);
+    }
+}

@@ -1,0 +1,293 @@
+//! The re-identifiability bounds of Section IV (Theorems 1-4 and
+//! Corollaries 1-3).
+//!
+//! Notation (matching the paper):
+//!
+//! - `λ = E[f(u, u')]` — mean feature distance of *correct* pairs;
+//! - `λ̄ = E[f(u, v)]`, `v ≠ u'` — mean distance of *incorrect* pairs;
+//! - `θ, θ̄` — the ranges of correct / incorrect distances;
+//! - `δ = max(θ, θ̄)`;
+//! - `n₁, n₂` — anonymized / auxiliary user counts; `n` — the asymptotic
+//!   size parameter; `K` — candidate-set size; `α` — the fraction of
+//!   anonymized users considered.
+//!
+//! Every bound below returns a *lower* bound on the respective success
+//! probability, clamped to `[0, 1]`; every condition function returns the
+//! paper's sufficient condition for a.a.s. success.
+
+/// The distance-distribution parameters `(λ, λ̄, θ, θ̄)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceModel {
+    /// Mean distance of correct pairs `E[f(u,u')]`.
+    pub lambda_correct: f64,
+    /// Mean distance of incorrect pairs `E[f(u,v)]`.
+    pub lambda_incorrect: f64,
+    /// Range `θ = θ_u − θ_l` of correct distances.
+    pub range_correct: f64,
+    /// Range `θ̄ = θ̄_u − θ̄_l` of incorrect distances.
+    pub range_incorrect: f64,
+}
+
+impl DistanceModel {
+    /// `δ = max(θ, θ̄)`.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.range_correct.max(self.range_incorrect)
+    }
+
+    /// The separation gap `|λ − λ̄|`.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        (self.lambda_correct - self.lambda_incorrect).abs()
+    }
+
+    /// Validate the model: ranges must be positive, means distinct.
+    ///
+    /// # Panics
+    /// Panics when `λ = λ̄` (the theorems require `λ ≠ λ̄`) or a range is
+    /// non-positive.
+    pub fn validate(&self) {
+        assert!(self.gap() > 0.0, "theorems require lambda != lambda-bar");
+        assert!(
+            self.range_correct > 0.0 && self.range_incorrect > 0.0,
+            "ranges must be positive"
+        );
+    }
+}
+
+fn clamp01(p: f64) -> f64 {
+    p.clamp(0.0, 1.0)
+}
+
+/// Theorem 1: probability of de-anonymizing `u` from the pair `{u', v}`:
+/// `Pr ≥ 1 − 2·exp(−(λ−λ̄)²/(4δ²))`.
+///
+/// ```
+/// use dehealth_theory::{pairwise_bound, DistanceModel};
+/// let m = DistanceModel {
+///     lambda_correct: 1.0,
+///     lambda_incorrect: 3.0, // gap 2
+///     range_correct: 1.0,
+///     range_incorrect: 1.0,
+/// };
+/// let p = pairwise_bound(&m);
+/// assert!((p - (1.0 - 2.0 * (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pairwise_bound(m: &DistanceModel) -> f64 {
+    m.validate();
+    let d = m.delta();
+    clamp01(1.0 - 2.0 * (-(m.gap().powi(2)) / (4.0 * d * d)).exp())
+}
+
+/// Corollary 1's a.a.s. condition: `|λ−λ̄|/(2θ) ≥ sqrt(2 ln n + ln 2)`,
+/// with `θ = max(θ, θ̄)` used conservatively.
+#[must_use]
+pub fn pairwise_aas_condition(m: &DistanceModel, n: usize) -> bool {
+    m.validate();
+    let lhs = m.gap() / (2.0 * m.delta());
+    lhs >= (2.0 * (n as f64).ln() + 2f64.ln()).sqrt()
+}
+
+/// Corollary 2's condition for de-anonymizing `u` from all of `V₂`:
+/// `|λ−λ̄|/(2θ) ≥ sqrt(2 ln n + ln 2n₂)`.
+#[must_use]
+pub fn full_aas_condition(m: &DistanceModel, n: usize, n2: usize) -> bool {
+    m.validate();
+    let lhs = m.gap() / (2.0 * m.delta());
+    lhs >= (2.0 * (n as f64).ln() + (2.0 * n2 as f64).ln()).sqrt()
+}
+
+/// Theorem 2: probability that ∆₁ is α-re-identifiable:
+/// `Pr ≥ 1 − exp(ln(2·α·n₁·n₂) − (λ−λ̄)²/(4δ²))`.
+#[must_use]
+pub fn alpha_bound(m: &DistanceModel, alpha: f64, n1: usize, n2: usize) -> f64 {
+    m.validate();
+    assert!((0.0..=1.0).contains(&alpha), "alpha in [0,1]");
+    let d = m.delta();
+    let ln_term = (2.0 * alpha * n1 as f64 * n2 as f64).max(f64::MIN_POSITIVE).ln();
+    clamp01(1.0 - (ln_term - m.gap().powi(2) / (4.0 * d * d)).exp())
+}
+
+/// Corollary 3's a.a.s. condition for α-re-identifiability:
+/// `|λ−λ̄|/(2θ) ≥ sqrt(2 ln n + ln 2αn₁n₂)`.
+#[must_use]
+pub fn alpha_aas_condition(m: &DistanceModel, alpha: f64, n: usize, n1: usize, n2: usize) -> bool {
+    m.validate();
+    let lhs = m.gap() / (2.0 * m.delta());
+    let rhs = (2.0 * (n as f64).ln() + (2.0 * alpha * n1 as f64 * n2 as f64).ln()).sqrt();
+    lhs >= rhs
+}
+
+/// Theorem 3(i): Top-K re-identifiability of one user:
+/// `Pr ≥ 1 − exp(ln 2(n₂−K) − (λ−λ̄)²/(4δ²))`.
+#[must_use]
+pub fn topk_bound(m: &DistanceModel, n2: usize, k: usize) -> f64 {
+    m.validate();
+    assert!(k <= n2, "K cannot exceed n2");
+    let d = m.delta();
+    if n2 == k {
+        return 1.0; // the candidate set is everything
+    }
+    let ln_term = (2.0 * (n2 - k) as f64).ln();
+    clamp01(1.0 - (ln_term - m.gap().powi(2) / (4.0 * d * d)).exp())
+}
+
+/// Theorem 3(ii): a.a.s. condition
+/// `|λ−λ̄|/(2θ) ≥ sqrt(ln 2(n₂−K) + 2 ln n)`.
+#[must_use]
+pub fn topk_aas_condition(m: &DistanceModel, n: usize, n2: usize, k: usize) -> bool {
+    m.validate();
+    if n2 <= k {
+        return true;
+    }
+    let lhs = m.gap() / (2.0 * m.delta());
+    lhs >= ((2.0 * (n2 - k) as f64).ln() + 2.0 * (n as f64).ln()).sqrt()
+}
+
+/// Theorem 4(i): Top-K α-re-identifiability of a user set:
+/// `Pr ≥ 1 − exp(ln 2αn₁(n₂−K) − (λ−λ̄)²/(4δ²))`.
+#[must_use]
+pub fn topk_alpha_bound(m: &DistanceModel, alpha: f64, n1: usize, n2: usize, k: usize) -> f64 {
+    m.validate();
+    assert!((0.0..=1.0).contains(&alpha), "alpha in [0,1]");
+    assert!(k <= n2, "K cannot exceed n2");
+    if n2 == k {
+        return 1.0;
+    }
+    let d = m.delta();
+    let ln_term = (2.0 * alpha * n1 as f64 * (n2 - k) as f64).max(f64::MIN_POSITIVE).ln();
+    clamp01(1.0 - (ln_term - m.gap().powi(2) / (4.0 * d * d)).exp())
+}
+
+/// Theorem 4(ii): a.a.s. condition
+/// `|λ−λ̄|/(2θ) ≥ sqrt(ln 2αn₁(n₂−K) + 2 ln n)`.
+#[must_use]
+pub fn topk_alpha_aas_condition(
+    m: &DistanceModel,
+    alpha: f64,
+    n: usize,
+    n1: usize,
+    n2: usize,
+    k: usize,
+) -> bool {
+    m.validate();
+    if n2 <= k {
+        return true;
+    }
+    let lhs = m.gap() / (2.0 * m.delta());
+    let rhs =
+        ((2.0 * alpha * n1 as f64 * (n2 - k) as f64).ln() + 2.0 * (n as f64).ln()).sqrt();
+    lhs >= rhs
+}
+
+/// The minimum separation gap `|λ−λ̄|` (as a multiple of `δ`) needed for
+/// the Theorem-1 bound to reach success probability `p`.
+///
+/// Inverts `1 − 2 exp(−g²/4) = p` to `g = 2·sqrt(ln(2/(1−p)))`.
+///
+/// # Panics
+/// Panics unless `0 ≤ p < 1`.
+#[must_use]
+pub fn required_gap_over_delta(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "p in [0,1)");
+    2.0 * ((2.0 / (1.0 - p)).ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(gap: f64) -> DistanceModel {
+        DistanceModel {
+            lambda_correct: 1.0,
+            lambda_incorrect: 1.0 + gap,
+            range_correct: 1.0,
+            range_incorrect: 1.0,
+        }
+    }
+
+    #[test]
+    fn pairwise_bound_increases_with_gap() {
+        let lo = pairwise_bound(&model(0.5));
+        let hi = pairwise_bound(&model(4.0));
+        assert!(hi > lo);
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn pairwise_bound_known_value() {
+        // gap 2, delta 1: 1 - 2 exp(-1).
+        let p = pairwise_bound(&model(2.0));
+        assert!((p - (1.0 - 2.0 * (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_is_trivial_for_small_gaps() {
+        // Tiny gap: bound collapses to 0 (clamped).
+        assert_eq!(pairwise_bound(&model(0.01)), 0.0);
+    }
+
+    #[test]
+    fn topk_bound_increases_with_k() {
+        let m = model(6.0);
+        let p10 = topk_bound(&m, 1000, 10);
+        let p100 = topk_bound(&m, 1000, 100);
+        let p_all = topk_bound(&m, 1000, 1000);
+        assert!(p10 <= p100);
+        assert_eq!(p_all, 1.0);
+    }
+
+    #[test]
+    fn topk_bound_beats_exact_bound() {
+        // The Top-K event is weaker than exact DA, so its bound should not
+        // be smaller for the same model (n2-K < n2 terms).
+        let m = model(7.0);
+        let exact = alpha_bound(&m, 1.0, 1, 1000);
+        let topk = topk_bound(&m, 1000, 500);
+        assert!(topk >= exact);
+    }
+
+    #[test]
+    fn alpha_bound_decreases_with_population() {
+        let m = model(8.0);
+        let small = alpha_bound(&m, 0.5, 100, 100);
+        let large = alpha_bound(&m, 0.5, 100_000, 100_000);
+        assert!(small >= large);
+    }
+
+    #[test]
+    fn conditions_monotone_in_n() {
+        let m = model(10.0);
+        // If the condition holds for large n it holds for small n.
+        if full_aas_condition(&m, 10_000, 10_000) {
+            assert!(full_aas_condition(&m, 100, 100));
+        }
+        // And a huge gap satisfies everything.
+        let strong = model(1000.0);
+        assert!(pairwise_aas_condition(&strong, 10_000));
+        assert!(topk_aas_condition(&strong, 10_000, 10_000, 10));
+        assert!(topk_alpha_aas_condition(&strong, 0.9, 10_000, 10_000, 10_000, 10));
+        assert!(alpha_aas_condition(&strong, 0.9, 10_000, 10_000, 10_000));
+    }
+
+    #[test]
+    fn required_gap_inverts_bound() {
+        for &p in &[0.0, 0.5, 0.9, 0.99] {
+            let g = required_gap_over_delta(p);
+            let m = DistanceModel {
+                lambda_correct: 0.0,
+                lambda_incorrect: g,
+                range_correct: 1.0,
+                range_incorrect: 1.0,
+            };
+            assert!((pairwise_bound(&m) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn equal_means_panic() {
+        let _ = pairwise_bound(&model(0.0));
+    }
+}

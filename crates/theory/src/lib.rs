@@ -1,0 +1,23 @@
+//! # dehealth-theory
+//!
+//! The theoretical analysis framework of Section IV: the first analytical
+//! treatment of the soundness and effectiveness of online health data
+//! de-anonymization.
+//!
+//! - [`bounds`] — Theorems 1-4 and Corollaries 1-3 as documented
+//!   functions: pairwise, full-population, α-subset and Top-K
+//!   re-identifiability lower bounds plus their a.a.s. conditions, all
+//!   parameterized by the distance model `(λ, λ̄, θ, θ̄)`.
+//! - [`mc`] — Monte-Carlo simulation of the theorems' abstraction, used to
+//!   validate that the bounds hold empirically and to measure their
+//!   tightness (the `repro theory` experiment).
+
+pub mod bounds;
+pub mod mc;
+
+pub use bounds::{
+    alpha_aas_condition, alpha_bound, full_aas_condition, pairwise_aas_condition,
+    pairwise_bound, required_gap_over_delta, topk_aas_condition, topk_alpha_aas_condition,
+    topk_alpha_bound, topk_bound, DistanceModel,
+};
+pub use mc::{simulate, McResult};

@@ -1,0 +1,141 @@
+//! Monte-Carlo validation of the Section-IV bounds.
+//!
+//! The theorems model the attack as: de-anonymize `u` to the auxiliary
+//! user minimizing a feature distance `f`, where correct pairs draw from a
+//! distribution with mean `λ` (range `θ`) and incorrect pairs from one
+//! with mean `λ̄` (range `θ̄`). This module simulates exactly that
+//! abstraction and measures empirical success rates so the bounds can be
+//! checked for validity (`empirical ≥ bound`) and tightness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bounds::DistanceModel;
+
+/// Empirical success rates measured by [`simulate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McResult {
+    /// Fraction of trials where the correct user had the minimum distance
+    /// (exact DA success).
+    pub exact_rate: f64,
+    /// Fraction of trials where the correct user ranked in the Top-K.
+    pub topk_rate: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+/// Simulate `trials` de-anonymizations of one user against `n2` auxiliary
+/// users with candidate size `k`, drawing distances uniformly from the
+/// model's ranges (uniform on `[λ−θ/2, λ+θ/2]`, clipped at 0).
+///
+/// # Panics
+/// Panics if `trials == 0`, `n2 == 0` or `k > n2`.
+#[must_use]
+pub fn simulate(m: &DistanceModel, n2: usize, k: usize, trials: usize, seed: u64) -> McResult {
+    m.validate();
+    assert!(trials > 0 && n2 > 0, "need trials > 0 and n2 > 0");
+    assert!(k <= n2, "K cannot exceed n2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let draw = |rng: &mut StdRng, mean: f64, range: f64| -> f64 {
+        (mean + (rng.gen::<f64>() - 0.5) * range).max(0.0)
+    };
+    let mut exact = 0usize;
+    let mut topk = 0usize;
+    for _ in 0..trials {
+        let correct = draw(&mut rng, m.lambda_correct, m.range_correct);
+        // Rank of the correct pair among n2-1 incorrect pairs: count how
+        // many incorrect draws are strictly smaller.
+        let mut better = 0usize;
+        for _ in 0..n2 - 1 {
+            if draw(&mut rng, m.lambda_incorrect, m.range_incorrect) < correct {
+                better += 1;
+            }
+        }
+        if better == 0 {
+            exact += 1;
+        }
+        if better < k {
+            topk += 1;
+        }
+    }
+    McResult {
+        exact_rate: exact as f64 / trials as f64,
+        topk_rate: topk as f64 / trials as f64,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{pairwise_bound, topk_bound};
+
+    fn separated() -> DistanceModel {
+        DistanceModel {
+            lambda_correct: 1.0,
+            lambda_incorrect: 5.0,
+            range_correct: 2.0,
+            range_incorrect: 2.0,
+        }
+    }
+
+    fn overlapping() -> DistanceModel {
+        DistanceModel {
+            lambda_correct: 2.0,
+            lambda_incorrect: 2.5,
+            range_correct: 2.0,
+            range_incorrect: 2.0,
+        }
+    }
+
+    #[test]
+    fn separated_model_always_succeeds() {
+        let r = simulate(&separated(), 100, 10, 500, 1);
+        assert_eq!(r.exact_rate, 1.0);
+        assert_eq!(r.topk_rate, 1.0);
+    }
+
+    #[test]
+    fn empirical_rate_respects_theorem_1_bound() {
+        // The bound must be a valid lower bound on pairwise success; we
+        // verify with n2 = 2 (one incorrect alternative).
+        for m in [separated(), overlapping()] {
+            let bound = pairwise_bound(&m);
+            let r = simulate(&m, 2, 1, 4000, 7);
+            assert!(
+                r.exact_rate >= bound - 0.03,
+                "empirical {} < bound {bound}",
+                r.exact_rate
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_topk_respects_theorem_3_bound() {
+        let m = overlapping();
+        let bound = topk_bound(&m, 50, 10);
+        let r = simulate(&m, 50, 10, 2000, 11);
+        assert!(r.topk_rate >= bound - 0.03);
+    }
+
+    #[test]
+    fn topk_rate_dominates_exact_rate() {
+        let r = simulate(&overlapping(), 50, 10, 1000, 3);
+        assert!(r.topk_rate >= r.exact_rate);
+    }
+
+    #[test]
+    fn more_auxiliary_users_hurt() {
+        let m = overlapping();
+        let small = simulate(&m, 10, 1, 2000, 5);
+        let large = simulate(&m, 500, 1, 2000, 5);
+        assert!(small.exact_rate >= large.exact_rate);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate(&overlapping(), 30, 5, 500, 9);
+        let b = simulate(&overlapping(), 30, 5, 500, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,68 @@
+//! Evaluate anonymization defenses against the De-Health attack — the
+//! open problem the paper's Section VII poses. Shows the attack-accuracy /
+//! data-utility trade-off of each defense.
+//!
+//! ```sh
+//! cargo run --release --example defense_evaluation
+//! ```
+
+use de_health::anonymize::structure::StructurePass;
+use de_health::anonymize::style::{utility, StylePass};
+use de_health::anonymize::Defense;
+use de_health::core::{AttackConfig, DeHealth};
+use de_health::corpus::split::{closed_world_split, SplitConfig};
+use de_health::corpus::{Forum, ForumConfig};
+
+fn main() {
+    let mut cfg = ForumConfig::webmd_like(60);
+    cfg.fixed_posts = Some(10);
+    cfg.mean_post_words = 60.0;
+    cfg.style_strength = 0.4;
+    let forum = Forum::generate(&cfg, 3);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 5);
+
+    let defenses: Vec<(&str, Defense)> = vec![
+        ("none", Defense::none()),
+        ("lowercase everything", Defense {
+            style_passes: vec![StylePass::NormalizeCase],
+            ..Defense::none()
+        }),
+        ("fix misspellings", Defense {
+            style_passes: vec![StylePass::CorrectMisspellings],
+            ..Defense::none()
+        }),
+        ("generalize rare words", Defense { vocab_keep_top: Some(300), ..Defense::none() }),
+        ("full style rewrite", Defense::full_style()),
+        ("full style + unlink threads", Defense::full()),
+        ("merge boards", Defense {
+            structure: Some(StructurePass::MergeBoards),
+            ..Defense::none()
+        }),
+    ];
+
+    println!("{:<30} {:>10} {:>9}", "defense applied to published data", "accuracy", "utility");
+    for (name, defense) in defenses {
+        let defended = defense.apply(&split.anonymized, 7);
+        let mean_utility: f64 = split
+            .anonymized
+            .posts
+            .iter()
+            .zip(&defended.posts)
+            .map(|(a, b)| utility(&a.text, &b.text))
+            .sum::<f64>()
+            / split.anonymized.posts.len() as f64;
+        let attack =
+            DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 10, ..AttackConfig::default() });
+        let eval = attack.run(&split.auxiliary, &defended).evaluate(&split.oracle);
+        println!(
+            "{:<30} {:>9.1}% {:>8.1}%",
+            name,
+            100.0 * eval.accuracy(),
+            100.0 * mean_utility
+        );
+    }
+    println!("\nSurface rewrites barely move the needle: the relative frequencies");
+    println!("of common function words survive any meaning-preserving rewrite.");
+    println!("This is the paper's point — naive anonymization does not protect");
+    println!("online health data.");
+}

@@ -1,0 +1,56 @@
+//! The Section-VI linkage attack: connect health-forum accounts to real
+//! identities via username entropy (NameLink) and avatar fingerprints
+//! (AvatarLink), then aggregate identity profiles.
+//!
+//! ```sh
+//! cargo run --release --example linkage_attack
+//! ```
+
+use de_health::linkage::{
+    run_linkage_attack, AvatarLinkConfig, LinkageReport, NameLinkConfig, World, WorldConfig,
+};
+
+fn main() {
+    // A world scaled to the paper's 2805 avatar-filtered WebMD targets.
+    let world = World::generate(&WorldConfig { n_people: 2805, ..WorldConfig::default() }, 99);
+    let report =
+        run_linkage_attack(&world, &NameLinkConfig::default(), &AvatarLinkConfig::default());
+
+    println!("forum users:          {}", world.health_forum.len());
+    println!("avatar targets:       {}", report.n_avatar_targets);
+    println!(
+        "NameLink links:       {} users (precision {:.1}%)",
+        report.n_name_linked(),
+        100.0 * LinkageReport::precision(&report.name_links)
+    );
+    println!(
+        "AvatarLink links:     {} users ({:.1}% of targets; paper: 12.4%)",
+        report.n_avatar_linked(),
+        100.0 * report.n_avatar_linked() as f64 / report.n_avatar_targets as f64
+    );
+    println!("linked by both tools: {}", report.n_overlap);
+
+    // Show a few recovered identity profiles (all synthetic people).
+    println!("\nsample recovered profiles:");
+    let mut shown = 0;
+    let mut ids: Vec<&usize> = report.profiles.keys().collect();
+    ids.sort_unstable();
+    for fa in ids {
+        let p = &report.profiles[fa];
+        if let (Some(name), Some(cond)) = (&p.full_name, p.condition) {
+            println!(
+                "  forum user {:>5} -> {name} (born {}), condition: {cond}{}{}",
+                fa,
+                p.birth_year.unwrap_or(0),
+                p.phone.as_deref().map(|ph| format!(", phone {ph}")).unwrap_or_default(),
+                if p.sensitive { "  [SENSITIVE]" } else { "" }
+            );
+            shown += 1;
+            if shown == 8 {
+                break;
+            }
+        }
+    }
+    println!("\nEvery profile above is synthetic; the pipeline demonstrates how");
+    println!("public usernames and avatars compromise health-data anonymity.");
+}

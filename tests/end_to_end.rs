@@ -1,0 +1,99 @@
+//! Cross-crate integration tests: the full De-Health pipeline on seeded
+//! simulated forums, asserting the paper's qualitative claims.
+
+use de_health::core::{AttackConfig, ClassifierKind, DeHealth, Selection};
+use de_health::corpus::split::{closed_world_split, SplitConfig};
+use de_health::corpus::{Forum, ForumConfig};
+
+fn tiny_forum(seed: u64) -> Forum {
+    let mut cfg = ForumConfig::webmd_like(40);
+    cfg.mean_post_words = 50.0;
+    Forum::generate(&cfg, seed)
+}
+
+#[test]
+fn closed_world_attack_beats_chance() {
+    let forum = tiny_forum(1);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 2);
+    let attack = DeHealth::new(AttackConfig {
+        top_k: 5,
+        n_landmarks: 8,
+        ..AttackConfig::default()
+    });
+    let outcome = attack.run(&split.auxiliary, &split.anonymized);
+    let eval = outcome.evaluate(&split.oracle);
+    // Chance for Top-5 of ~40 users is 12.5%; require a clear margin.
+    assert!(eval.top_k_success_rate(5) > 0.4, "top-5 = {}", eval.top_k_success_rate(5));
+    assert!(eval.accuracy() > 0.3, "accuracy = {}", eval.accuracy());
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let forum = tiny_forum(3);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 4);
+    let attack = DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 8, ..AttackConfig::default() });
+    let a = attack.run(&split.auxiliary, &split.anonymized);
+    let b = attack.run(&split.auxiliary, &split.anonymized);
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.candidates, b.candidates);
+}
+
+#[test]
+fn evaluation_invariants_hold() {
+    let forum = tiny_forum(5);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.7), 6);
+    let attack = DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 8, ..AttackConfig::default() });
+    let outcome = attack.run(&split.auxiliary, &split.anonymized);
+    let eval = outcome.evaluate(&split.oracle);
+    // Counts are consistent.
+    assert_eq!(eval.truth_rank.len(), split.anonymized.n_users);
+    assert!(eval.correct <= eval.candidate_hits);
+    assert!(eval.candidate_hits <= eval.n_overlapping);
+    assert!(eval.mapped <= split.anonymized.n_users);
+    // Rates are probabilities and monotone in K.
+    assert!(eval.top_k_success_rate(1) <= eval.top_k_success_rate(10));
+    assert!((0.0..=1.0).contains(&eval.accuracy()));
+    assert!((0.0..=1.0).contains(&eval.candidate_hit_rate()));
+}
+
+#[test]
+fn graph_matching_selection_also_works() {
+    let forum = tiny_forum(7);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 8);
+    let attack = DeHealth::new(AttackConfig {
+        top_k: 5,
+        n_landmarks: 8,
+        selection: Selection::GraphMatching,
+        ..AttackConfig::default()
+    });
+    let outcome = attack.run(&split.auxiliary, &split.anonymized);
+    let eval = outcome.evaluate(&split.oracle);
+    assert!(eval.candidate_hit_rate() > 0.3, "hit rate = {}", eval.candidate_hit_rate());
+    // Every candidate set respects K.
+    assert!(outcome.candidates.iter().all(|c| c.len() <= 5));
+}
+
+#[test]
+fn all_classifier_backends_run_the_full_pipeline() {
+    let forum = tiny_forum(9);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 10);
+    for classifier in [
+        ClassifierKind::Knn { k: 3 },
+        ClassifierKind::Centroid,
+        ClassifierKind::Rlsc { lambda: 1.0 },
+    ] {
+        let attack = DeHealth::new(AttackConfig {
+            top_k: 3,
+            n_landmarks: 5,
+            classifier,
+            ..AttackConfig::default()
+        });
+        let outcome = attack.run(&split.auxiliary, &split.anonymized);
+        let eval = outcome.evaluate(&split.oracle);
+        assert!(
+            eval.accuracy() > 0.15,
+            "{classifier:?} accuracy = {}",
+            eval.accuracy()
+        );
+    }
+}

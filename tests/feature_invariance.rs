@@ -1,0 +1,74 @@
+//! Soundness properties the attack silently relies on: stylometric
+//! features and UDA attributes are functions of the *text*, not of the
+//! user labels, so anonymization (relabeling) must not change them.
+
+use de_health::core::uda::UdaGraph;
+use de_health::corpus::split::{closed_world_split, SplitConfig};
+use de_health::corpus::{Forum, ForumConfig, Post};
+use de_health::stylometry::extract;
+
+#[test]
+fn features_are_label_invariant() {
+    // The same posts under different author ids yield identical per-user
+    // attribute sets (up to the relabeling).
+    let posts = vec![
+        Post { author: 0, thread: 0, text: "I realy think the dose of 40 mg is high!".into() },
+        Post { author: 1, thread: 0, text: "rest and water help the most.".into() },
+    ];
+    let forum_a = Forum::from_posts(2, 1, posts.clone());
+    let relabeled: Vec<Post> = posts
+        .iter()
+        .map(|p| Post { author: 1 - p.author, thread: p.thread, text: p.text.clone() })
+        .collect();
+    let forum_b = Forum::from_posts(2, 1, relabeled);
+    let uda_a = UdaGraph::build(&forum_a);
+    let uda_b = UdaGraph::build(&forum_b);
+    assert_eq!(uda_a.attributes[0], uda_b.attributes[1]);
+    assert_eq!(uda_a.attributes[1], uda_b.attributes[0]);
+    assert_eq!(uda_a.profiles[0], uda_b.profiles[1]);
+}
+
+#[test]
+fn oracle_mapping_preserves_posts_verbatim() {
+    // Every anonymized post's text exists verbatim in the original forum
+    // under the oracle-mapped author.
+    let forum = Forum::generate(&ForumConfig::tiny(), 17);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.6), 18);
+    for anon in 0..split.anonymized.n_users {
+        let original = split.oracle.true_mapping(anon).expect("closed world");
+        let original_texts: std::collections::HashSet<&str> =
+            forum.user_posts(original).iter().map(|&i| forum.posts[i].text.as_str()).collect();
+        for &i in split.anonymized.user_posts(anon) {
+            assert!(
+                original_texts.contains(split.anonymized.posts[i].text.as_str()),
+                "anonymized post not from the mapped original user"
+            );
+        }
+    }
+}
+
+#[test]
+fn extraction_matches_between_split_halves() {
+    // Feature extraction is a pure function of text: re-extracting the
+    // anonymized copy of a post equals extracting the original.
+    let forum = Forum::generate(&ForumConfig::tiny(), 23);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 24);
+    let post = &split.anonymized.posts[0];
+    let original = forum
+        .posts
+        .iter()
+        .find(|p| p.text == post.text)
+        .expect("anonymized post text exists in the source forum");
+    assert_eq!(extract(&post.text), extract(&original.text));
+}
+
+#[test]
+fn parallel_feature_extraction_matches_serial() {
+    use de_health::core::uda::extract_post_features;
+    let forum = Forum::generate(&ForumConfig::webmd_like(80), 29);
+    let parallel = extract_post_features(&forum);
+    assert_eq!(parallel.len(), forum.posts.len());
+    for (i, p) in forum.posts.iter().enumerate().step_by(37) {
+        assert_eq!(parallel[i], extract(&p.text), "post {i} differs");
+    }
+}

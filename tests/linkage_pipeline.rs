@@ -1,0 +1,62 @@
+//! Integration tests for the Section-VI linkage attack pipeline.
+
+use de_health::linkage::{
+    avatar_link, name_link, run_linkage_attack, AvatarLinkConfig, LinkageReport, NameLinkConfig,
+    World, WorldConfig,
+};
+
+fn world(seed: u64) -> World {
+    World::generate(&WorldConfig { n_people: 1500, ..WorldConfig::default() }, seed)
+}
+
+#[test]
+fn linkage_attack_recovers_identities_with_high_precision() {
+    let w = world(1);
+    let report =
+        run_linkage_attack(&w, &NameLinkConfig::default(), &AvatarLinkConfig::default());
+    assert!(report.n_avatar_linked() > 0);
+    assert!(report.n_name_linked() > 0);
+    assert!(LinkageReport::precision(&report.avatar_links) > 0.95);
+    assert!(LinkageReport::precision(&report.name_links) > 0.75);
+}
+
+#[test]
+fn avatar_links_subset_of_targets() {
+    let w = world(2);
+    let links = avatar_link(&w, &AvatarLinkConfig::default());
+    for l in &links {
+        assert!(w.health_forum[l.forum_account].avatar.is_some());
+    }
+}
+
+#[test]
+fn name_link_respects_entropy_ordering() {
+    let w = world(3);
+    let lax = name_link(&w, &NameLinkConfig { min_entropy_bits: 0.0 });
+    let strict = name_link(&w, &NameLinkConfig { min_entropy_bits: 40.0 });
+    assert!(strict.len() <= lax.len());
+}
+
+#[test]
+fn profiles_only_for_linked_accounts() {
+    let w = world(4);
+    let report =
+        run_linkage_attack(&w, &NameLinkConfig::default(), &AvatarLinkConfig::default());
+    let linked: std::collections::HashSet<usize> = report
+        .avatar_links
+        .iter()
+        .chain(&report.name_links)
+        .map(|l| l.forum_account)
+        .collect();
+    for fa in report.profiles.keys() {
+        assert!(linked.contains(fa), "profile for unlinked account {fa}");
+    }
+}
+
+#[test]
+fn cross_validated_overlap_is_consistent() {
+    let w = world(5);
+    let report =
+        run_linkage_attack(&w, &NameLinkConfig::default(), &AvatarLinkConfig::default());
+    assert!(report.n_overlap <= report.n_avatar_linked().min(report.n_name_linked()));
+}

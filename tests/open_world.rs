@@ -1,0 +1,65 @@
+//! Open-world integration tests: verification schemes and FP behaviour.
+
+use de_health::core::{AttackConfig, DeHealth, Verification};
+use de_health::corpus::split::open_world_split;
+use de_health::corpus::{Forum, ForumConfig};
+
+fn forum(seed: u64) -> Forum {
+    let mut cfg = ForumConfig::webmd_like(40);
+    cfg.fixed_posts = Some(8);
+    cfg.mean_post_words = 50.0;
+    Forum::generate(&cfg, seed)
+}
+
+fn run(verification: Verification, seed: u64) -> (f64, f64) {
+    let f = forum(seed);
+    let split = open_world_split(&f, 0.5, seed + 1);
+    let attack = DeHealth::new(AttackConfig {
+        top_k: 5,
+        n_landmarks: 5,
+        verification,
+        ..AttackConfig::default()
+    });
+    let outcome = attack.run(&split.auxiliary, &split.anonymized);
+    let eval = outcome.evaluate(&split.oracle);
+    (eval.accuracy(), eval.fp_rate())
+}
+
+#[test]
+fn open_world_split_has_absent_users() {
+    let f = forum(21);
+    let split = open_world_split(&f, 0.5, 22);
+    assert!(split.oracle.n_overlapping() < split.oracle.len());
+    assert!(split.oracle.n_overlapping() > 0);
+}
+
+#[test]
+fn mean_verification_reduces_false_positives() {
+    let (_, fp_none) = run(Verification::None, 31);
+    let (_, fp_mean) = run(Verification::Mean { r: 0.25 }, 31);
+    // Without verification every absent user that gets mapped is a false
+    // positive; mean-verification must not increase the FP rate.
+    assert!(fp_mean <= fp_none, "fp_mean={fp_mean} > fp_none={fp_none}");
+}
+
+#[test]
+fn stronger_margins_are_more_conservative() {
+    let (acc_weak, fp_weak) = run(Verification::Mean { r: 0.05 }, 41);
+    let (acc_strong, fp_strong) = run(Verification::Mean { r: 1.0 }, 41);
+    // A very strong margin rejects more of everything.
+    assert!(fp_strong <= fp_weak + 1e-9);
+    assert!(acc_strong <= acc_weak + 1e-9);
+}
+
+#[test]
+fn false_addition_scheme_runs_and_can_reject() {
+    let (acc, fp) = run(Verification::FalseAddition { n_false: 5 }, 51);
+    assert!((0.0..=1.0).contains(&acc));
+    assert!((0.0..=1.0).contains(&fp));
+}
+
+#[test]
+fn open_world_attack_still_identifies_overlapping_users() {
+    let (acc, _) = run(Verification::None, 61);
+    assert!(acc > 0.25, "open-world accuracy = {acc}");
+}

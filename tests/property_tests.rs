@@ -1,0 +1,155 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+
+use de_health::graph::{max_weight_matching, Graph, GraphBuilder};
+use de_health::ml::{accuracy, Dataset, MinMaxScaler};
+use de_health::stylometry::{extract, M};
+use de_health::text::{sentences, tokenize, TokenKind};
+use de_health::theory::{pairwise_bound, topk_bound, DistanceModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tokenizer never panics and spans always slice the input.
+    #[test]
+    fn tokenizer_total_on_arbitrary_utf8(text in "\\PC{0,200}") {
+        let toks = tokenize(&text);
+        for t in &toks {
+            prop_assert_eq!(&text[t.start..t.start + t.text.len()], t.text);
+            prop_assert!(!t.text.is_empty());
+        }
+        // Sentence splitting is also total.
+        let _ = sentences(&text);
+    }
+
+    /// Word tokens contain no whitespace or digits.
+    #[test]
+    fn word_tokens_are_clean(text in "[a-zA-Z0-9 .,!?']{0,120}") {
+        for t in tokenize(&text) {
+            if t.kind == TokenKind::Word {
+                prop_assert!(t.text.chars().all(|c| !c.is_whitespace() && !c.is_ascii_digit()));
+            }
+        }
+    }
+
+    /// Feature extraction is total, non-negative and finite on any input.
+    #[test]
+    fn feature_extraction_is_sane(text in "\\PC{0,300}") {
+        let v = extract(&text);
+        for (i, x) in v.iter_nonzero() {
+            prop_assert!(i < M);
+            prop_assert!(x.is_finite() && x > 0.0);
+        }
+    }
+
+    /// Feature extraction is deterministic.
+    #[test]
+    fn feature_extraction_deterministic(text in "\\PC{0,200}") {
+        prop_assert_eq!(extract(&text), extract(&text));
+    }
+
+    /// Hungarian matching output is always a valid injective assignment
+    /// and never worse than the greedy row-by-row assignment.
+    #[test]
+    fn matching_is_injective_and_beats_greedy(
+        rows in 1usize..5,
+        cols_extra in 0usize..4,
+        vals in proptest::collection::vec(0.0f64..10.0, 25),
+    ) {
+        let cols = rows + cols_extra;
+        let w: Vec<Vec<f64>> = (0..rows)
+            .map(|i| (0..cols).map(|j| vals[(i * cols + j) % vals.len()]).collect())
+            .collect();
+        let assign = max_weight_matching(&w);
+        // Injective.
+        let mut seen = std::collections::HashSet::new();
+        for &j in &assign {
+            prop_assert!(j < cols);
+            prop_assert!(seen.insert(j));
+        }
+        let optimal: f64 = assign.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+        // Greedy baseline.
+        let mut used = vec![false; cols];
+        let mut greedy = 0.0;
+        for row in &w {
+            let (j, &v) = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| !used[j])
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            used[j] = true;
+            greedy += v;
+        }
+        prop_assert!(optimal >= greedy - 1e-9);
+    }
+
+    /// Min-max scaling always lands in [0, 1].
+    #[test]
+    fn minmax_scaler_bounds(
+        samples in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 3), 1..20),
+    ) {
+        let mut d = Dataset::new(3);
+        for s in &samples {
+            d.push(s, 0);
+        }
+        let scaler = MinMaxScaler::fit(&d);
+        let mut scaled = d.clone();
+        scaler.transform(&mut scaled);
+        for i in 0..scaled.len() {
+            for &v in scaled.sample(i) {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    /// Accuracy is the fraction of agreeing positions.
+    #[test]
+    fn accuracy_in_unit_interval(
+        pred in proptest::collection::vec(0usize..5, 1..30),
+    ) {
+        let truth: Vec<usize> = pred.iter().map(|&p| (p + 1) % 5).collect();
+        prop_assert_eq!(accuracy(&pred, &pred), 1.0);
+        prop_assert_eq!(accuracy(&pred, &truth), 0.0);
+    }
+
+    /// Theory bounds are probabilities, monotone in the gap, and Top-K
+    /// dominates exact.
+    #[test]
+    fn theory_bounds_are_probabilities(gap in 0.1f64..20.0, k in 1usize..100) {
+        let m = DistanceModel {
+            lambda_correct: 1.0,
+            lambda_incorrect: 1.0 + gap,
+            range_correct: 1.0,
+            range_incorrect: 1.0,
+        };
+        let t1 = pairwise_bound(&m);
+        let t3 = topk_bound(&m, 100, k.min(100));
+        prop_assert!((0.0..=1.0).contains(&t1));
+        prop_assert!((0.0..=1.0).contains(&t3));
+    }
+
+    /// Graph construction invariants: weights accumulate, degrees bounded.
+    #[test]
+    fn graph_builder_invariants(
+        edges in proptest::collection::vec((0usize..10, 0usize..10, 0.1f64..5.0), 0..40),
+    ) {
+        let mut b = GraphBuilder::new(10);
+        for &(x, y, w) in &edges {
+            b.add_edge(x, y, w);
+        }
+        let g: Graph = b.build();
+        prop_assert_eq!(g.node_count(), 10);
+        for u in 0..10 {
+            prop_assert!(g.degree(u) < 10);
+            let ncs = g.ncs_vector(u);
+            // NCS is sorted decreasing.
+            prop_assert!(ncs.windows(2).all(|w| w[0] >= w[1]));
+            // Weighted degree equals the NCS sum.
+            let wd: f64 = ncs.iter().sum();
+            prop_assert!((g.weighted_degree(u) - wd).abs() < 1e-9);
+        }
+    }
+}
