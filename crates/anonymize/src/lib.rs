@@ -66,10 +66,7 @@ impl Defense {
     /// The full defense: style obfuscation plus thread splitting.
     #[must_use]
     pub fn full() -> Self {
-        Self {
-            structure: Some(structure::StructurePass::SplitThreads),
-            ..Self::full_style()
-        }
+        Self { structure: Some(structure::StructurePass::SplitThreads), ..Self::full_style() }
     }
 
     /// Apply the defense to a forum, returning a defended copy.
@@ -114,12 +111,8 @@ mod tests {
         let forum = Forum::generate(&ForumConfig::tiny(), 3);
         let defended = Defense::full_style().apply(&forum, 4);
         assert_eq!(defended.n_threads, forum.n_threads);
-        let changed = forum
-            .posts
-            .iter()
-            .zip(&defended.posts)
-            .filter(|(a, b)| a.text != b.text)
-            .count();
+        let changed =
+            forum.posts.iter().zip(&defended.posts).filter(|(a, b)| a.text != b.text).count();
         assert!(changed > forum.posts.len() / 2, "style passes changed too little");
         // Thread assignments untouched.
         assert!(forum.posts.iter().zip(&defended.posts).all(|(a, b)| a.thread == b.thread));

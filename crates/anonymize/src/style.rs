@@ -135,10 +135,7 @@ pub fn top_words<'a, I: IntoIterator<Item = &'a str>>(
 /// Replace every word token not in `whitelist` (case-insensitive) with the
 /// generic token `thing`, preserving all non-word characters.
 #[must_use]
-pub fn generalize_vocabulary(
-    text: &str,
-    whitelist: &std::collections::HashSet<String>,
-) -> String {
+pub fn generalize_vocabulary(text: &str, whitelist: &std::collections::HashSet<String>) -> String {
     let mut out = String::with_capacity(text.len());
     let mut last_end = 0;
     for tok in tokenize(text) {

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use dehealth_core::{SimilarityEngine, SimilarityWeights, UdaGraph};
 use dehealth_core::topk::{direct_selection, matching_selection};
+use dehealth_core::{SimilarityEngine, SimilarityWeights, UdaGraph};
 use dehealth_corpus::{Forum, ForumConfig};
 use dehealth_graph::community::community_stats;
 use dehealth_ml::{Classifier, Dataset, Knn, KnnMetric, Rlsc, SmoSvm, SvmParams};
@@ -32,14 +32,16 @@ fn bench_uda_build(c: &mut Criterion) {
 
 fn bench_similarity_matrix(c: &mut Criterion) {
     let forum = Forum::generate(&ForumConfig::tiny(), 2);
-    let split =
-        dehealth_corpus::closed_world_split(&forum, &dehealth_corpus::SplitConfig::fraction(0.5), 3);
+    let split = dehealth_corpus::closed_world_split(
+        &forum,
+        &dehealth_corpus::SplitConfig::fraction(0.5),
+        3,
+    );
     let aux = UdaGraph::build(&split.auxiliary);
     let anon = UdaGraph::build(&split.anonymized);
     c.bench_function("core/similarity_matrix_tiny", |b| {
         b.iter(|| {
-            let engine =
-                SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 10);
+            let engine = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 10);
             black_box(engine.matrix())
         });
     });

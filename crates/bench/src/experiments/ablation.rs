@@ -49,7 +49,10 @@ pub fn run_weights(n_users: usize, seed: u64) {
         ("attributes only (0, 0, 1)", SimilarityWeights { c1: 0.0, c2: 0.0, c3: 1.0 }),
         ("degree only (1, 0, 0)", SimilarityWeights { c1: 1.0, c2: 0.0, c3: 0.0 }),
         ("distance only (0, 1, 0)", SimilarityWeights { c1: 0.0, c2: 1.0, c3: 0.0 }),
-        ("uniform (1/3, 1/3, 1/3)", SimilarityWeights { c1: 1.0 / 3.0, c2: 1.0 / 3.0, c3: 1.0 / 3.0 }),
+        (
+            "uniform (1/3, 1/3, 1/3)",
+            SimilarityWeights { c1: 1.0 / 3.0, c2: 1.0 / 3.0, c3: 1.0 / 3.0 },
+        ),
     ] {
         println!("{:<34} {:>9}", label, pct(topk_rate(&split, w, 50, 10)));
     }
@@ -171,15 +174,13 @@ pub fn run_content(seed: u64) {
         let truth: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
         dehealth_ml::accuracy(&pred, &truth)
     };
-    println!("
-# Ablation: content features (per-post attribution, 20 users)");
+    println!(
+        "
+# Ablation: content features (per-post attribution, 20 users)"
+    );
     println!("{:<34} {:>9}", "feature space", "accuracy");
     println!("{:<34} {:>9}", "Table I (M = 1302)", pct(acc(&base_train, &base_test)));
-    println!(
-        "{:<34} {:>9}",
-        "Table I + content n-grams",
-        pct(acc(&ext_train, &ext_test))
-    );
+    println!("{:<34} {:>9}", "Table I + content n-grams", pct(acc(&ext_train, &ext_test)));
 }
 
 /// Run all ablations.
@@ -197,16 +198,12 @@ mod tests {
     #[test]
     fn attribute_term_dominates_sparse_graphs() {
         let split = split_for(120, 5);
-        let attr_only =
-            topk_rate(&split, SimilarityWeights { c1: 0.0, c2: 0.0, c3: 1.0 }, 10, 10);
+        let attr_only = topk_rate(&split, SimilarityWeights { c1: 0.0, c2: 0.0, c3: 1.0 }, 10, 10);
         let degree_only =
             topk_rate(&split, SimilarityWeights { c1: 1.0, c2: 0.0, c3: 0.0 }, 10, 10);
         // The paper's justification for c3 = 0.9: attributes carry far
         // more signal than degrees in these graphs.
-        assert!(
-            attr_only > degree_only,
-            "attr {attr_only} <= degree {degree_only}"
-        );
+        assert!(attr_only > degree_only, "attr {attr_only} <= degree {degree_only}");
     }
 
     #[test]

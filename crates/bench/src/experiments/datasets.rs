@@ -79,11 +79,8 @@ pub fn run_fig2(n_users: usize, seed: u64) {
         [("WebMD-like", &webmd, 127.59), ("HealthBoards-like", &hb, 147.24)]
     {
         let hist = forum.post_length_histogram(50);
-        let rows: Vec<(String, String)> = hist
-            .iter()
-            .take(16)
-            .map(|&(b, f)| (format!("{b}-{}", b + 49), pct(f)))
-            .collect();
+        let rows: Vec<(String, String)> =
+            hist.iter().take(16).map(|&(b, f)| (format!("{b}-{}", b + 49), pct(f))).collect();
         print_series(
             &format!(
                 "Fig 2 [{name}]: post length distribution (mean {:.1} words; paper mean {paper_mean})",

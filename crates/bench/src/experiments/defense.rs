@@ -32,18 +32,12 @@ pub struct DefenseRow {
 pub fn defense_suite() -> Vec<(&'static str, Defense)> {
     vec![
         ("none", Defense::none()),
-        (
-            "case only",
-            Defense { style_passes: vec![StylePass::NormalizeCase], ..Defense::none() },
-        ),
+        ("case only", Defense { style_passes: vec![StylePass::NormalizeCase], ..Defense::none() }),
         (
             "spelling only",
             Defense { style_passes: vec![StylePass::CorrectMisspellings], ..Defense::none() },
         ),
-        (
-            "vocab top-400",
-            Defense { vocab_keep_top: Some(400), ..Defense::none() },
-        ),
+        ("vocab top-400", Defense { vocab_keep_top: Some(400), ..Defense::none() }),
         ("full style", Defense::full_style()),
         (
             "split threads",
@@ -67,12 +61,8 @@ fn measure(split: &Split, defense: &Defense, seed: u64) -> (f64, f64, f64) {
             .sum::<f64>()
             / split.anonymized.posts.len() as f64
     };
-    let attack = DeHealth::new(AttackConfig {
-        top_k: 5,
-        n_landmarks: 10,
-        seed,
-        ..AttackConfig::default()
-    });
+    let attack =
+        DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 10, seed, ..AttackConfig::default() });
     let outcome = attack.run(&split.auxiliary, &defended);
     let eval = outcome.evaluate(&split.oracle);
     (eval.candidate_hit_rate(), eval.accuracy(), mean_utility)
@@ -88,10 +78,7 @@ pub fn run(n_users: usize, seed: u64) -> Vec<DefenseRow> {
     let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), seed + 1);
 
     println!("\n# Defense evaluation ({n_users} users, Top-5 De-Health attack)");
-    println!(
-        "{:<28} {:>12} {:>10} {:>9}",
-        "defense", "top-5 hit", "accuracy", "utility"
-    );
+    println!("{:<28} {:>12} {:>10} {:>9}", "defense", "top-5 hit", "accuracy", "utility");
     let mut rows = Vec::new();
     for (name, defense) in defense_suite() {
         let (hit, acc, util) = measure(&split, &defense, seed + 2);
@@ -128,10 +115,7 @@ mod tests {
         // ...and per the adversarial-stylometry literature the paper
         // cites, it must not defeat the attack either: the function-word
         // channel survives surface rewrites.
-        assert!(
-            full_style.accuracy > 0.15,
-            "surface rewrites unexpectedly defeated the attack"
-        );
+        assert!(full_style.accuracy > 0.15, "surface rewrites unexpectedly defeated the attack");
         // The no-op defense keeps full utility; real defenses lose some.
         assert!((baseline.utility - 1.0).abs() < 1e-12);
         assert!(full_style.utility < 1.0);

@@ -6,7 +6,9 @@
 //! falls inside their Top-K candidate set.
 
 use dehealth_core::{SimilarityEngine, SimilarityWeights, UdaGraph};
-use dehealth_corpus::{closed_world_split, open_world_split, Forum, ForumConfig, Split, SplitConfig};
+use dehealth_corpus::{
+    closed_world_split, open_world_split, Forum, ForumConfig, Split, SplitConfig,
+};
 
 use crate::{pct, print_series};
 
@@ -111,9 +113,7 @@ mod tests {
         let forum = Forum::generate(&ForumConfig::webmd_like(200), 5);
         let closed = topk_cdf(&closed_world_split(&forum, &SplitConfig::fraction(0.5), 6), 10);
         let open = topk_cdf(&open_world_split(&forum, 0.5, 6), 10);
-        let at = |cdf: &[(usize, f64)], k: usize| {
-            cdf.iter().find(|&&(kk, _)| kk == k).unwrap().1
-        };
+        let at = |cdf: &[(usize, f64)], k: usize| cdf.iter().find(|&&(kk, _)| kk == k).unwrap().1;
         // Closed world should be at least roughly as good at K=50.
         assert!(at(&closed, 50) + 0.15 >= at(&open, 50));
     }

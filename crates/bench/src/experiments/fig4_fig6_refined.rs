@@ -6,9 +6,7 @@
 //! Fig. 6 (open world): 100 users with 40 posts each, overlap ratios 50%,
 //! 70%, 90%; mean-verification with r = 0.25.
 
-use dehealth_core::{
-    stylometry_baseline, AttackConfig, ClassifierKind, DeHealth, Verification,
-};
+use dehealth_core::{stylometry_baseline, AttackConfig, ClassifierKind, DeHealth, Verification};
 use dehealth_corpus::{
     closed_world_split, open_world_split, Forum, ForumConfig, Oracle, Split, SplitConfig,
 };
@@ -193,10 +191,7 @@ mod tests {
             baseline += cells[0].accuracy;
             dehealth_k5 += cells[1].accuracy;
         }
-        assert!(
-            dehealth_k5 >= baseline - 0.2,
-            "De-Health {dehealth_k5} << Stylometry {baseline}"
-        );
+        assert!(dehealth_k5 >= baseline - 0.2, "De-Health {dehealth_k5} << Stylometry {baseline}");
         assert!(dehealth_k5 / 2.0 > 0.2, "De-Health accuracy too low: {dehealth_k5}");
     }
 

@@ -31,21 +31,15 @@ pub fn run(n_people: usize, seed: u64) -> LinkageReport {
         pct(report.n_avatar_linked() as f64 / report.n_avatar_targets.max(1) as f64),
         pct(LinkageReport::precision(&report.avatar_links))
     );
-    println!(
-        "Overlap:    {} users linked by both tools (paper: 137)",
-        report.n_overlap
-    );
+    println!("Overlap:    {} users linked by both tools (paper: 137)", report.n_overlap);
     println!(
         "Multi-service: {} of avatar-linked users on 2+ services (paper: >33.4%)",
         pct(report.multi_service_fraction())
     );
     let with_name = report.profiles.values().filter(|p| p.full_name.is_some()).count();
     let with_phone = report.profiles.values().filter(|p| p.phone.is_some()).count();
-    let sensitive = report
-        .profiles
-        .values()
-        .filter(|p| p.sensitive && p.full_name.is_some())
-        .count();
+    let sensitive =
+        report.profiles.values().filter(|p| p.sensitive && p.full_name.is_some()).count();
     println!(
         "Profiles:   {} full names, {} phone numbers, {} sensitive conditions tied to real names",
         with_name, with_phone, sensitive

@@ -7,5 +7,6 @@ pub mod fig3_fig5_topk;
 pub mod fig4_fig6_refined;
 pub mod fig7_fig8_graph;
 pub mod linkage_attack;
+pub mod scaling;
 pub mod table1;
 pub mod theory_bounds;

@@ -1,0 +1,169 @@
+//! Scaling experiment: engine throughput as a function of worker threads.
+//!
+//! Runs the parallel engine's attack on a medium synthetic forum at 1, 2,
+//! 4 and 8 worker threads, records per-stage wall-clock/throughput from
+//! the [`EngineReport`](dehealth_engine::EngineReport), and emits
+//! `BENCH_scaling.json` so future PRs have a performance trajectory to
+//! compare against. The Top-K phase is embarrassingly parallel; on a
+//! machine with ≥ 8 physical cores the 8-thread run should reach ≥ 3× the
+//! single-thread pair throughput (thread counts beyond the machine's
+//! parallelism can't speed up further — the JSON records
+//! `machine_parallelism` so readings from small CI boxes aren't
+//! misinterpreted).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use dehealth_core::AttackConfig;
+use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
+use dehealth_engine::{Engine, EngineConfig};
+
+/// Thread counts swept by the experiment.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One `(users × threads)` measurement.
+#[derive(Debug, Clone)]
+pub struct ScalingRun {
+    /// Total generated forum users.
+    pub users: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Scored `(anonymized, auxiliary)` pairs in the Top-K stage.
+    pub topk_pairs: u64,
+    /// Top-K stage wall-clock seconds.
+    pub topk_seconds: f64,
+    /// Top-K stage throughput (pairs/s).
+    pub topk_pairs_per_sec: f64,
+    /// Refined stage wall-clock seconds.
+    pub refined_seconds: f64,
+    /// Whole-attack wall-clock seconds (all stages).
+    pub total_seconds: f64,
+}
+
+/// Run the sweep and write `BENCH_scaling.json` to the working directory.
+///
+/// # Errors
+/// Propagates I/O errors from writing the JSON file.
+pub fn run(users: usize, seed: u64) -> io::Result<PathBuf> {
+    let path = PathBuf::from("BENCH_scaling.json");
+    run_to(&path, users, seed)?;
+    Ok(path)
+}
+
+/// Run the sweep and write the JSON report to `path`.
+///
+/// # Errors
+/// Propagates I/O errors from writing the JSON file.
+pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<Vec<ScalingRun>> {
+    let forum = Forum::generate(&ForumConfig::webmd_like(users), seed);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.7), seed.wrapping_add(1));
+    println!(
+        "\n# Scaling: {} anonymized × {} auxiliary users, threads {THREAD_SWEEP:?}",
+        split.anonymized.n_users, split.auxiliary.n_users
+    );
+
+    let mut runs = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        let engine = Engine::new(EngineConfig {
+            attack: AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() },
+            n_threads: threads,
+            block_size: 16,
+        });
+        let outcome = engine.run(&split.auxiliary, &split.anonymized);
+        let report = &outcome.report;
+        let topk = report.stage("topk").expect("topk stage always runs");
+        let refined = report.stage("refined").expect("refined stage always runs");
+        let run = ScalingRun {
+            users,
+            threads,
+            topk_pairs: topk.items,
+            topk_seconds: topk.seconds,
+            topk_pairs_per_sec: topk.throughput(),
+            refined_seconds: refined.seconds,
+            total_seconds: report.total_seconds(),
+        };
+        println!(
+            "  threads {:>2}: topk {:>8.3}s ({:>12.0} pairs/s), refined {:>8.3}s, total {:>8.3}s",
+            run.threads,
+            run.topk_seconds,
+            run.topk_pairs_per_sec,
+            run.refined_seconds,
+            run.total_seconds
+        );
+        runs.push(run);
+    }
+    if let (Some(first), Some(last)) = (runs.first(), runs.last()) {
+        if first.topk_seconds > 0.0 {
+            println!(
+                "  topk speedup at {} threads vs 1: {:.2}×",
+                last.threads,
+                first.topk_seconds / last.topk_seconds.max(1e-12)
+            );
+        }
+    }
+
+    write_json(path, users, seed, &runs)?;
+    println!("  wrote {}", path.display());
+    Ok(runs)
+}
+
+/// Hand-rolled JSON (the workspace carries no serialization dependency).
+fn write_json(path: &Path, users: usize, seed: u64, runs: &[ScalingRun]) -> io::Result<()> {
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"scaling\",");
+    let _ = writeln!(out, "  \"users\": {users},");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"machine_parallelism\": {parallelism},");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"users\": {}, \"threads\": {}, \"topk_pairs\": {}, \
+             \"topk_seconds\": {:.6}, \"topk_pairs_per_sec\": {:.1}, \
+             \"refined_seconds\": {:.6}, \"total_seconds\": {:.6}}}",
+            r.users,
+            r.threads,
+            r.topk_pairs,
+            r.topk_seconds,
+            r.topk_pairs_per_sec,
+            r.refined_seconds,
+            r.total_seconds
+        );
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_writes_json() {
+        let dir = std::env::temp_dir().join("dehealth-scaling-test");
+        let path = dir.join("BENCH_scaling.json");
+        let runs = run_to(&path, 60, 5).unwrap();
+        assert_eq!(runs.len(), THREAD_SWEEP.len());
+        for (run, &threads) in runs.iter().zip(&THREAD_SWEEP) {
+            assert_eq!(run.threads, threads);
+            assert!(run.topk_pairs > 0);
+            assert!(run.total_seconds > 0.0);
+        }
+        // All thread counts score the same number of pairs.
+        assert!(runs.iter().all(|r| r.topk_pairs == runs[0].topk_pairs));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"scaling\""));
+        assert!(text.contains("\"machine_parallelism\""));
+        assert!(text.contains("\"threads\": 8"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -15,12 +15,13 @@
 //!   fig8     community structure under degree thresholds
 //!   linkage  Section VI linkage attack
 //!   theory   Section IV bounds vs Monte-Carlo
+//!   scaling  engine throughput vs worker threads (BENCH_scaling.json)
 //!   all      everything above
 //! ```
 
 use dehealth_bench::experiments::{
-    ablation, datasets, defense, fig3_fig5_topk, fig4_fig6_refined, fig7_fig8_graph, linkage_attack, table1,
-    theory_bounds,
+    ablation, datasets, defense, fig3_fig5_topk, fig4_fig6_refined, fig7_fig8_graph,
+    linkage_attack, scaling, table1, theory_bounds,
 };
 
 struct Args {
@@ -60,7 +61,7 @@ fn parse_args() -> Args {
 
 fn print_help() {
     println!(
-        "repro <fig1|fig2|table1|fig3|fig4|fig5|fig6|fig7|fig8|linkage|theory|ablation|defense|all> \
+        "repro <fig1|fig2|table1|fig3|fig4|fig5|fig6|fig7|fig8|linkage|theory|ablation|defense|scaling|all> \
          [--users N] [--seed S]"
     );
 }
@@ -115,8 +116,16 @@ fn main() {
     if run("defense") {
         let _ = defense::run(topk_users.min(150), seed);
     }
-    if !["fig1", "fig2", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "linkage",
-        "theory", "ablation", "defense", "all"]
+    if run("scaling") {
+        if let Err(e) = scaling::run(args.users.unwrap_or(600), seed) {
+            eprintln!("scaling: failed to write BENCH_scaling.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if ![
+        "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "linkage",
+        "theory", "ablation", "defense", "scaling", "all",
+    ]
     .contains(&args.experiment.as_str())
     {
         eprintln!("unknown experiment {}", args.experiment);

@@ -146,8 +146,7 @@ pub fn stylometry_baseline(
     let aux = Side { forum: auxiliary, uda: &aux_uda, post_features: &aux_feats };
     let anon = Side { forum: anonymized, uda: &anon_uda, post_features: &anon_feats };
     // Verification still needs similarity rows; use attribute-only weights.
-    let engine =
-        SimilarityEngine::new(anon.uda, aux.uda, SimilarityWeights::default(), 5);
+    let engine = SimilarityEngine::new(anon.uda, aux.uda, SimilarityWeights::default(), 5);
     let similarity = engine.matrix();
     let all_candidates = aux_uda.present_users();
     let refined_cfg = RefinedConfig { classifier, verification, seed };
@@ -240,11 +239,7 @@ impl Evaluation {
         if self.n_overlapping == 0 {
             return 0.0;
         }
-        let hits = self
-            .truth_rank
-            .iter()
-            .filter(|r| matches!(r, Some(rank) if *rank < k))
-            .count();
+        let hits = self.truth_rank.iter().filter(|r| matches!(r, Some(rank) if *rank < k)).count();
         hits as f64 / self.n_overlapping as f64
     }
 
@@ -289,11 +284,8 @@ mod tests {
     fn tiny_attack() -> (AttackOutcome, dehealth_corpus::Split) {
         let forum = Forum::generate(&ForumConfig::tiny(), 42);
         let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 7);
-        let attack = DeHealth::new(AttackConfig {
-            top_k: 5,
-            n_landmarks: 10,
-            ..AttackConfig::default()
-        });
+        let attack =
+            DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 10, ..AttackConfig::default() });
         (attack.run(&split.auxiliary, &split.anonymized), split)
     }
 

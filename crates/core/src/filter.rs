@@ -32,6 +32,89 @@ pub enum Filtered {
     Rejected,
 }
 
+/// Running `(min, max)` over the finite similarity scores (Algorithm 2,
+/// lines 1-2). Shards of a blockwise scoring pass each accumulate their
+/// own bounds and [`merge`](ScoreBounds::merge) them afterwards — min/max
+/// are order-independent, so the result is bit-identical to a dense-matrix
+/// scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreBounds {
+    /// Smallest finite score observed.
+    pub min: f64,
+    /// Largest finite score observed.
+    pub max: f64,
+}
+
+impl Default for ScoreBounds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreBounds {
+    /// Empty bounds (no score observed yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Account for one score; non-finite scores (masked pairs) are ignored.
+    pub fn observe(&mut self, s: f64) {
+        if s.is_finite() {
+            self.min = self.min.min(s);
+            self.max = self.max.max(s);
+        }
+    }
+
+    /// Fold another shard's bounds into this one.
+    pub fn merge(&mut self, other: Self) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `true` if no finite score was ever observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !self.max.is_finite()
+    }
+}
+
+/// The Algorithm-2 threshold vector `T` for the observed score bounds:
+/// `levels` values descending from the global maximum to `min + epsilon`.
+/// Empty when `bounds` is empty (every user is then rejected).
+///
+/// # Panics
+/// Panics if `config.levels < 2`.
+#[must_use]
+pub fn threshold_vector(bounds: ScoreBounds, config: &FilterConfig) -> Vec<f64> {
+    assert!(config.levels >= 2, "need at least 2 threshold levels");
+    if bounds.is_empty() {
+        return Vec::new();
+    }
+    let s_upper = bounds.max;
+    let s_lower = (bounds.min + config.epsilon).min(s_upper);
+    let l = config.levels;
+    (0..l).map(|i| s_upper - (i as f64 / (l - 1) as f64) * (s_upper - s_lower)).collect()
+}
+
+/// Apply the threshold vector to one user's candidate set: keep the
+/// survivors of the highest non-empty level, reject if none survives even
+/// the lowest. `score_of` maps a candidate id to its similarity score —
+/// a dense matrix row and a sparse candidate-score list plug in equally.
+pub fn filter_user<F: Fn(usize) -> f64>(
+    score_of: F,
+    candidates: &[usize],
+    thresholds: &[f64],
+) -> Filtered {
+    for &t in thresholds {
+        let kept: Vec<usize> = candidates.iter().copied().filter(|&v| score_of(v) >= t).collect();
+        if !kept.is_empty() {
+            return Filtered::Kept(kept);
+        }
+    }
+    Filtered::Rejected
+}
+
 /// Apply Algorithm 2 to all candidate sets.
 ///
 /// `matrix[u][v]` must hold the similarity scores used to build the
@@ -45,42 +128,17 @@ pub fn filter_candidates(
     candidates: &CandidateSets,
     config: &FilterConfig,
 ) -> Vec<Filtered> {
-    assert!(config.levels >= 2, "need at least 2 threshold levels");
-    // Global bounds over finite scores (lines 1-2).
-    let mut s_max = f64::NEG_INFINITY;
-    let mut s_min = f64::INFINITY;
+    let mut bounds = ScoreBounds::new();
     for row in matrix {
         for &s in row {
-            if s.is_finite() {
-                s_max = s_max.max(s);
-                s_min = s_min.min(s);
-            }
+            bounds.observe(s);
         }
     }
-    if !s_max.is_finite() {
-        // Degenerate: no finite scores at all.
-        return candidates.iter().map(|_| Filtered::Rejected).collect();
-    }
-    let s_upper = s_max;
-    let s_lower = (s_min + config.epsilon).min(s_upper);
-    let l = config.levels;
-    let thresholds: Vec<f64> = (0..l)
-        .map(|i| s_upper - (i as f64 / (l - 1) as f64) * (s_upper - s_lower))
-        .collect();
-
+    let thresholds = threshold_vector(bounds, config);
     candidates
         .iter()
         .enumerate()
-        .map(|(u, cands)| {
-            for &t in &thresholds {
-                let kept: Vec<usize> =
-                    cands.iter().copied().filter(|&v| matrix[u][v] >= t).collect();
-                if !kept.is_empty() {
-                    return Filtered::Kept(kept);
-                }
-            }
-            Filtered::Rejected
-        })
+        .map(|(u, cands)| filter_user(|v| matrix[u][v], cands, &thresholds))
         .collect()
 }
 
@@ -144,5 +202,48 @@ mod tests {
     #[should_panic(expected = "threshold levels")]
     fn too_few_levels_panics() {
         let _ = filter_candidates(&[], &Vec::new(), &FilterConfig { epsilon: 0.0, levels: 1 });
+    }
+
+    #[test]
+    fn sharded_bounds_merge_matches_global_scan() {
+        let scores = [0.4, f64::NEG_INFINITY, 0.9, 0.1, 0.6];
+        let mut global = ScoreBounds::new();
+        for &s in &scores {
+            global.observe(s);
+        }
+        let mut merged = ScoreBounds::new();
+        for shard in scores.chunks(2) {
+            let mut local = ScoreBounds::new();
+            for &s in shard {
+                local.observe(s);
+            }
+            merged.merge(local);
+        }
+        assert_eq!(merged, global);
+        assert_eq!(merged.min, 0.1);
+        assert_eq!(merged.max, 0.9);
+    }
+
+    #[test]
+    fn empty_bounds_yield_no_thresholds() {
+        assert!(ScoreBounds::new().is_empty());
+        assert!(threshold_vector(ScoreBounds::new(), &FilterConfig::default()).is_empty());
+        assert_eq!(filter_user(|_| 1.0, &[0], &[]), Filtered::Rejected);
+    }
+
+    #[test]
+    fn filter_user_on_sparse_scores_matches_dense() {
+        let m = vec![vec![0.9, 0.2, 0.1]];
+        let cands = vec![vec![0, 1, 2]];
+        let cfg = FilterConfig { epsilon: 0.0, levels: 10 };
+        let dense = filter_candidates(&m, &cands, &cfg);
+        // Sparse path: same bounds, per-candidate score lookup only.
+        let mut bounds = ScoreBounds::new();
+        for &s in &m[0] {
+            bounds.observe(s);
+        }
+        let thresholds = threshold_vector(bounds, &cfg);
+        let sparse = filter_user(|v| m[0][v], &cands[0], &thresholds);
+        assert_eq!(dense[0], sparse);
     }
 }

@@ -29,8 +29,8 @@ pub mod topk;
 pub mod uda;
 
 pub use attack::{stylometry_baseline, AttackConfig, AttackOutcome, DeHealth, Evaluation};
-pub use filter::{FilterConfig, Filtered};
-pub use refined::{ClassifierKind, RefinedConfig, Side, Verification};
+pub use filter::{FilterConfig, Filtered, ScoreBounds};
+pub use refined::{refine_user, ClassifierKind, RefinedConfig, Side, Verification};
 pub use similarity::{SimilarityEngine, SimilarityWeights};
-pub use topk::Selection;
+pub use topk::{BoundedTopK, Selection};
 pub use uda::UdaGraph;

@@ -147,12 +147,8 @@ pub fn refine_user(
     let n_real = class_users.len();
     if let Verification::FalseAddition { n_false } = config.verification {
         let mut rng = StdRng::seed_from_u64(config.seed ^ (u as u64).wrapping_mul(0x9e3779b9));
-        let pool: Vec<usize> = aux
-            .uda
-            .present_users()
-            .into_iter()
-            .filter(|v| !candidates.contains(v))
-            .collect();
+        let pool: Vec<usize> =
+            aux.uda.present_users().into_iter().filter(|v| !candidates.contains(v)).collect();
         if !pool.is_empty() {
             let mut decoys: Vec<usize> =
                 (0..n_false).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
@@ -189,11 +185,8 @@ pub fn refine_user(
         let p = clf.predict(&x);
         votes[p.label] += 1;
     }
-    let (winner, _) = votes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &c)| c)
-        .expect("at least one class");
+    let (winner, _) =
+        votes.iter().enumerate().max_by_key(|&(_, &c)| c).expect("at least one class");
 
     // False-addition rejection: decoy class won.
     if winner >= n_real {
@@ -204,11 +197,8 @@ pub fn refine_user(
     // Post-classification verification (Section III-B).
     match config.verification {
         Verification::Mean { r } => {
-            let others: Vec<f64> = candidates
-                .iter()
-                .filter(|&&w| w != v)
-                .map(|&w| similarity_row[w])
-                .collect();
+            let others: Vec<f64> =
+                candidates.iter().filter(|&&w| w != v).map(|&w| similarity_row[w]).collect();
             if !others.is_empty() {
                 let lambda: f64 = others.iter().sum::<f64>() / others.len() as f64;
                 if similarity_row[v] < (1.0 + r) * lambda {
@@ -246,8 +236,7 @@ fn sigma_accepts(u: usize, v: usize, anon: &Side<'_>, aux: &Side<'_>, factor: f6
     let dists: Vec<f64> =
         posts.iter().map(|&pi| 1.0 - aux.post_features[pi].cosine(centroid)).collect();
     let mean: f64 = dists.iter().sum::<f64>() / dists.len() as f64;
-    let var: f64 =
-        dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dists.len() as f64;
+    let var: f64 = dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dists.len() as f64;
     let sigma = var.sqrt();
     let d_u = 1.0 - anon.uda.profiles[u].cosine(centroid);
     d_u <= mean + factor * sigma.max(0.01)
@@ -266,18 +255,43 @@ mod tests {
             Post { author: 0, thread: 0, text: "I LOVE CAPS!!! SO MUCH PAIN!!! HELP!!!".into() },
             Post { author: 0, thread: 1, text: "AWFUL DAY!!! MY BACK HURTS!!!".into() },
             Post { author: 0, thread: 0, text: "WHY ME??? THE WORST!!!".into() },
-            Post { author: 1, thread: 0, text: "the doctor said that i should rest because the pain improves with sleep.".into() },
-            Post { author: 1, thread: 1, text: "i think that the medicine helps although the nausea remains.".into() },
-            Post { author: 1, thread: 1, text: "after the visit i noticed that the swelling improves slowly.".into() },
+            Post {
+                author: 1,
+                thread: 0,
+                text: "the doctor said that i should rest because the pain improves with sleep."
+                    .into(),
+            },
+            Post {
+                author: 1,
+                thread: 1,
+                text: "i think that the medicine helps although the nausea remains.".into(),
+            },
+            Post {
+                author: 1,
+                thread: 1,
+                text: "after the visit i noticed that the swelling improves slowly.".into(),
+            },
         ];
         let anon_posts = vec![
-            Post { author: 0, thread: 0, text: "i wonder whether the treatment helps because the ache improves after rest.".into() },
-            Post { author: 0, thread: 1, text: "the nurse said that i should drink water although the fever remains.".into() },
+            Post {
+                author: 0,
+                thread: 0,
+                text: "i wonder whether the treatment helps because the ache improves after rest."
+                    .into(),
+            },
+            Post {
+                author: 0,
+                thread: 1,
+                text: "the nurse said that i should drink water although the fever remains.".into(),
+            },
         ];
         (Forum::from_posts(2, 2, aux_posts), Forum::from_posts(1, 2, anon_posts))
     }
 
-    fn sides(aux_forum: &Forum, anon_forum: &Forum) -> (UdaGraph, UdaGraph, Vec<FeatureVector>, Vec<FeatureVector>) {
+    fn sides(
+        aux_forum: &Forum,
+        anon_forum: &Forum,
+    ) -> (UdaGraph, UdaGraph, Vec<FeatureVector>, Vec<FeatureVector>) {
         let aux_uda = UdaGraph::build(aux_forum);
         let anon_uda = UdaGraph::build(anon_forum);
         let aux_feats: Vec<FeatureVector> =
@@ -322,21 +336,13 @@ mod tests {
     #[test]
     fn mean_verification_rejects_flat_rows() {
         // Candidate similarities nearly equal: s_uv < (1+r)·mean.
-        let got = run(
-            ClassifierKind::Knn { k: 3 },
-            Verification::Mean { r: 0.25 },
-            &[0.5, 0.52],
-        );
+        let got = run(ClassifierKind::Knn { k: 3 }, Verification::Mean { r: 0.25 }, &[0.5, 0.52]);
         assert_eq!(got, None);
     }
 
     #[test]
     fn mean_verification_accepts_clear_winner() {
-        let got = run(
-            ClassifierKind::Knn { k: 3 },
-            Verification::Mean { r: 0.25 },
-            &[0.1, 0.9],
-        );
+        let got = run(ClassifierKind::Knn { k: 3 }, Verification::Mean { r: 0.25 }, &[0.1, 0.9]);
         assert_eq!(got, Some(1));
     }
 
@@ -361,18 +367,12 @@ mod tests {
     #[test]
     fn sigma_verification_accepts_typical_and_rejects_atypical() {
         // A generous factor accepts the stylistic match...
-        let lax = run(
-            ClassifierKind::Knn { k: 3 },
-            Verification::Sigma { factor: 50.0 },
-            &[0.1, 0.9],
-        );
+        let lax =
+            run(ClassifierKind::Knn { k: 3 }, Verification::Sigma { factor: 50.0 }, &[0.1, 0.9]);
         assert_eq!(lax, Some(1));
         // ...an impossible factor rejects everything.
-        let strict = run(
-            ClassifierKind::Knn { k: 3 },
-            Verification::Sigma { factor: -100.0 },
-            &[0.1, 0.9],
-        );
+        let strict =
+            run(ClassifierKind::Knn { k: 3 }, Verification::Sigma { factor: -100.0 }, &[0.1, 0.9]);
         assert_eq!(strict, None);
     }
 

@@ -121,20 +121,51 @@ impl<'a> SimilarityEngine<'a> {
             + c3 * self.attribute_similarity(u, v)
     }
 
+    /// Number of anonymized users.
+    #[must_use]
+    pub fn n_anon(&self) -> usize {
+        self.anon.n_users()
+    }
+
+    /// Number of auxiliary users.
+    #[must_use]
+    pub fn n_aux(&self) -> usize {
+        self.aux.n_users()
+    }
+
+    /// Scores of anonymized user `u` against every *present* auxiliary
+    /// user, as a `(aux_user, score)` stream. Absent auxiliary users (no
+    /// posts) are skipped entirely; every yielded score is finite.
+    ///
+    /// This is the blockwise-scoring primitive: consumers that only need
+    /// the best few candidates (bounded Top-K heaps, streaming engines)
+    /// can drain it without ever materializing a dense row.
+    pub fn scores_for(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        (0..self.aux.n_users())
+            .filter(|&v| self.aux.post_counts[v] > 0)
+            .map(move |v| (v, self.similarity(u, v)))
+    }
+
+    /// Blockwise scoring: the score streams of a contiguous range of
+    /// anonymized users. Blocks are the unit of work sharded across
+    /// worker threads by `dehealth-engine`.
+    pub fn score_block(
+        &self,
+        anon_range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = (usize, impl Iterator<Item = (usize, f64)> + '_)> + '_ {
+        anon_range.map(move |u| (u, self.scores_for(u)))
+    }
+
     /// One row of the similarity matrix: scores of anonymized user `u`
     /// against every auxiliary user. Absent auxiliary users (no posts)
     /// get `-inf` so they are never selected as candidates.
     #[must_use]
     pub fn row(&self, u: usize) -> Vec<f64> {
-        (0..self.aux.n_users())
-            .map(|v| {
-                if self.aux.post_counts[v] == 0 {
-                    f64::NEG_INFINITY
-                } else {
-                    self.similarity(u, v)
-                }
-            })
-            .collect()
+        let mut row = vec![f64::NEG_INFINITY; self.aux.n_users()];
+        for (v, s) in self.scores_for(u) {
+            row[v] = s;
+        }
+        row
     }
 
     /// Full similarity matrix: `matrix[u][v]` for every anonymized `u` and
@@ -157,9 +188,7 @@ impl<'a> SimilarityEngine<'a> {
                 .map(|t| {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(n1);
-                    scope.spawn(move || {
-                        (start..end).map(|u| self.row(u)).collect::<Vec<_>>()
-                    })
+                    scope.spawn(move || (start..end).map(|u| self.row(u)).collect::<Vec<_>>())
                 })
                 .collect();
             for h in handles {
@@ -247,7 +276,17 @@ mod tests {
         // 80 users on each side to cross the parallel threshold.
         let mk = |salt: usize| -> UdaGraph {
             let posts = (0..80)
-                .map(|u| p(u, u % 7, if (u + salt).is_multiple_of(2) { "short one." } else { "a much longer post with more words!" }))
+                .map(|u| {
+                    p(
+                        u,
+                        u % 7,
+                        if (u + salt).is_multiple_of(2) {
+                            "short one."
+                        } else {
+                            "a much longer post with more words!"
+                        },
+                    )
+                })
                 .collect();
             uda(posts, 80, 7)
         };
@@ -258,6 +297,52 @@ mod tests {
         for u in (0..80).step_by(17) {
             assert_eq!(m[u], eng.row(u), "row {u} differs");
         }
+    }
+
+    #[test]
+    fn scores_for_matches_row_on_present_users() {
+        let anon = uda(vec![p(0, 0, "hello there"), p(1, 0, "more text!")], 2, 1);
+        // Aux user 1 has no posts.
+        let aux = uda(vec![p(0, 0, "hello there"), p(2, 0, "other words")], 3, 1);
+        let eng = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 1);
+        assert_eq!(eng.n_anon(), 2);
+        assert_eq!(eng.n_aux(), 3);
+        for u in 0..2 {
+            let row = eng.row(u);
+            let streamed: Vec<(usize, f64)> = eng.scores_for(u).collect();
+            assert_eq!(streamed.iter().map(|&(v, _)| v).collect::<Vec<_>>(), vec![0, 2]);
+            for (v, s) in streamed {
+                assert_eq!(row[v].to_bits(), s.to_bits(), "u={u} v={v}");
+            }
+            assert!(row[1].is_infinite() && row[1] < 0.0);
+        }
+    }
+
+    #[test]
+    fn score_block_covers_the_range() {
+        let anon = uda(vec![p(0, 0, "a b c"), p(1, 0, "d e f"), p(2, 1, "g h")], 3, 2);
+        let aux = uda(vec![p(0, 0, "a b c"), p(1, 1, "x y")], 2, 2);
+        let eng = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 1);
+        let block: Vec<(usize, Vec<(usize, f64)>)> =
+            eng.score_block(1..3).map(|(u, scores)| (u, scores.collect())).collect();
+        assert_eq!(block.len(), 2);
+        assert_eq!(block[0].0, 1);
+        assert_eq!(block[1].0, 2);
+        for (u, scores) in block {
+            let row = eng.row(u);
+            for (v, s) in scores {
+                assert_eq!(row[v].to_bits(), s.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        // The sharded engine moves `&SimilarityEngine` across scoped
+        // threads; regressing these bounds would break it.
+        assert_sync_send::<SimilarityEngine<'_>>();
+        assert_sync_send::<crate::refined::Side<'_>>();
     }
 
     #[test]

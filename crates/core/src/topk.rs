@@ -10,6 +10,8 @@
 //!   One matching round yields globally consistent assignments, so rare
 //!   users are not crowded out by popular candidates.
 
+use std::collections::BinaryHeap;
+
 use dehealth_graph::max_weight_matching;
 
 /// Candidate-selection strategy.
@@ -26,19 +28,121 @@ pub enum Selection {
 /// decreasing similarity.
 pub type CandidateSets = Vec<Vec<usize>>;
 
+/// One `(candidate, score)` entry of a [`BoundedTopK`] heap.
+///
+/// The ordering makes the *worst* entry the heap maximum (so it is the
+/// eviction victim): an entry is worse when its score is lower, with ties
+/// broken toward larger candidate ids — exactly the deterministic
+/// `(score desc, id asc)` order of [`direct_selection`].
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    score: f64,
+    candidate: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Greater = worse: lower score first, then larger id.
+        other.score.total_cmp(&self.score).then_with(|| self.candidate.cmp(&other.candidate))
+    }
+}
+
+/// A bounded Top-K selector over a stream of `(candidate, score)` pairs.
+///
+/// Keeps the `k` best entries seen so far in `O(k)` memory and `O(log k)`
+/// per insertion; the final ordering is identical to sorting the full
+/// stream by `(score desc, candidate asc)` and truncating to `k`. This is
+/// what lets the sharded engine run the Top-K DA phase without ever
+/// materializing the dense `|V1| × |V2|` similarity matrix.
+#[derive(Debug, Clone)]
+pub struct BoundedTopK {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl BoundedTopK {
+    /// An empty selector keeping the best `k` entries.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// The bound `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries currently kept (`<= k`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if nothing has been kept yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offer one `(candidate, score)` pair. Non-finite scores are ignored
+    /// (they mark absent users).
+    pub fn insert(&mut self, candidate: usize, score: f64) {
+        if self.k == 0 || !score.is_finite() {
+            return;
+        }
+        let entry = HeapEntry { score, candidate };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry < *worst {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// The kept candidates sorted best-first (`score desc, id asc`).
+    #[must_use]
+    pub fn into_sorted_candidates(self) -> Vec<usize> {
+        self.into_sorted_entries().into_iter().map(|(candidate, _)| candidate).collect()
+    }
+
+    /// The kept `(candidate, score)` pairs sorted best-first.
+    #[must_use]
+    pub fn into_sorted_entries(self) -> Vec<(usize, f64)> {
+        self.heap.into_sorted_vec().into_iter().map(|e| (e.candidate, e.score)).collect()
+    }
+}
+
 /// Direct selection: per row of `matrix`, the `k` columns with the largest
-/// finite scores (descending).
+/// finite scores (descending). Runs in `O(|row| log k)` per row via
+/// [`BoundedTopK`] — the same selector the sharded engine streams scores
+/// through, so serial and parallel candidate sets agree by construction.
 #[must_use]
 pub fn direct_selection(matrix: &[Vec<f64>], k: usize) -> CandidateSets {
     matrix
         .iter()
         .map(|row| {
-            let mut idx: Vec<usize> = (0..row.len()).filter(|&v| row[v].is_finite()).collect();
-            idx.sort_unstable_by(|&a, &b| {
-                row[b].partial_cmp(&row[a]).expect("finite scores").then(a.cmp(&b))
-            });
-            idx.truncate(k);
-            idx
+            let mut top = BoundedTopK::new(k);
+            for (v, &s) in row.iter().enumerate() {
+                top.insert(v, s);
+            }
+            top.into_sorted_candidates()
         })
         .collect()
 }
@@ -99,9 +203,7 @@ pub fn rank_of(matrix: &[Vec<f64>], u: usize, target: usize) -> Option<usize> {
     let better = row
         .iter()
         .enumerate()
-        .filter(|&(v, &s)| {
-            s.is_finite() && (s > score || (s == score && v < target))
-        })
+        .filter(|&(v, &s)| s.is_finite() && (s > score || (s == score && v < target)))
         .count();
     Some(better)
 }
@@ -176,5 +278,60 @@ mod tests {
     fn empty_matrix() {
         assert!(matching_selection(&[], 3).is_empty());
         assert!(direct_selection(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn bounded_topk_matches_full_sort() {
+        // Includes duplicates (tie-break on index) and a masked score.
+        let scores = [0.4, 0.9, 0.4, NEG, 0.1, 0.9, 0.7, 0.4];
+        for k in 0..=scores.len() + 1 {
+            let mut top = BoundedTopK::new(k);
+            for (v, &s) in scores.iter().enumerate() {
+                top.insert(v, s);
+            }
+            let mut expect: Vec<usize> =
+                (0..scores.len()).filter(|&v| scores[v].is_finite()).collect();
+            expect.sort_unstable_by(|&a, &b| {
+                scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+            });
+            expect.truncate(k);
+            assert_eq!(top.into_sorted_candidates(), expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn bounded_topk_entries_keep_scores() {
+        let mut top = BoundedTopK::new(2);
+        top.insert(7, 0.5);
+        top.insert(3, 0.9);
+        top.insert(5, 0.1);
+        assert_eq!(top.len(), 2);
+        assert!(!top.is_empty());
+        assert_eq!(top.k(), 2);
+        assert_eq!(top.into_sorted_entries(), vec![(3, 0.9), (7, 0.5)]);
+    }
+
+    #[test]
+    fn bounded_topk_zero_k_keeps_nothing() {
+        let mut top = BoundedTopK::new(0);
+        top.insert(0, 1.0);
+        assert!(top.is_empty());
+        assert!(top.into_sorted_candidates().is_empty());
+    }
+
+    #[test]
+    fn bounded_topk_insertion_order_is_irrelevant() {
+        // The incremental engine pushes chunks in arrival order; the kept
+        // set must only depend on the multiset of scored pairs.
+        let pairs = [(0, 0.3), (1, 0.8), (2, 0.8), (3, 0.2), (4, 0.95)];
+        let mut forward = BoundedTopK::new(3);
+        let mut backward = BoundedTopK::new(3);
+        for &(v, s) in &pairs {
+            forward.insert(v, s);
+        }
+        for &(v, s) in pairs.iter().rev() {
+            backward.insert(v, s);
+        }
+        assert_eq!(forward.into_sorted_candidates(), backward.into_sorted_candidates());
     }
 }

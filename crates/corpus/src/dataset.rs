@@ -153,11 +153,8 @@ impl Forum {
             .collect();
 
         // 3. Global posting order: a shuffled multiset of user events.
-        let mut events: Vec<usize> = budgets
-            .iter()
-            .enumerate()
-            .flat_map(|(u, &b)| std::iter::repeat_n(u, b))
-            .collect();
+        let mut events: Vec<usize> =
+            budgets.iter().enumerate().flat_map(|(u, &b)| std::iter::repeat_n(u, b)).collect();
         shuffle(&mut rng, &mut events);
 
         // 4. Sequential thread process: per board keep a sliding window of

@@ -96,11 +96,9 @@ impl Persona {
             })
             .collect();
         let n_miss = (rng.gen::<f64>() * 5.0 * s) as usize;
-        let misspellings = (0..n_miss)
-            .map(|_| MISSPELLINGS[rng.gen_range(0..MISSPELLINGS.len())].0)
-            .collect();
-        let bank_prefs =
-            (0..vocab::NOUN_BANKS.len()).map(|_| 0.3 + rng.gen::<f64>() * s).collect();
+        let misspellings =
+            (0..n_miss).map(|_| MISSPELLINGS[rng.gen_range(0..MISSPELLINGS.len())].0).collect();
+        let bank_prefs = (0..vocab::NOUN_BANKS.len()).map(|_| 0.3 + rng.gen::<f64>() * s).collect();
         Self {
             function_prefs,
             pet_words,

@@ -32,10 +32,7 @@ impl SplitConfig {
     /// Panics unless `0 < aux_fraction < 1`.
     #[must_use]
     pub fn fraction(aux_fraction: f64) -> Self {
-        assert!(
-            aux_fraction > 0.0 && aux_fraction < 1.0,
-            "aux_fraction must be in (0, 1)"
-        );
+        assert!(aux_fraction > 0.0 && aux_fraction < 1.0, "aux_fraction must be in (0, 1)");
         Self { aux_fraction }
     }
 }
@@ -127,17 +124,13 @@ pub fn closed_world_split(forum: &Forum, config: &SplitConfig, seed: u64) -> Spl
     for u in 0..forum.n_users {
         let mut idx: Vec<usize> = forum.user_posts(u).to_vec();
         shuffle(&mut rng, &mut idx);
-        let n_aux = ((config.aux_fraction * idx.len() as f64).ceil() as usize)
-            .clamp(1, idx.len());
+        let n_aux = ((config.aux_fraction * idx.len() as f64).ceil() as usize).clamp(1, idx.len());
         for &i in &idx[..n_aux] {
             let p = &forum.posts[i];
             aux_posts.push(Post { author: u, thread: p.thread, text: p.text.clone() });
         }
         if n_aux < idx.len() {
-            let rest = idx[n_aux..]
-                .iter()
-                .map(|&i| forum.posts[i].clone())
-                .collect::<Vec<_>>();
+            let rest = idx[n_aux..].iter().map(|&i| forum.posts[i].clone()).collect::<Vec<_>>();
             anon_users.push((u, rest));
         }
     }
@@ -154,10 +147,7 @@ pub fn closed_world_split(forum: &Forum, config: &SplitConfig, seed: u64) -> Spl
 /// Panics unless `0 < overlap_ratio <= 1`.
 #[must_use]
 pub fn open_world_split(forum: &Forum, overlap_ratio: f64, seed: u64) -> Split {
-    assert!(
-        overlap_ratio > 0.0 && overlap_ratio <= 1.0,
-        "overlap_ratio must be in (0, 1]"
-    );
+    assert!(overlap_ratio > 0.0 && overlap_ratio <= 1.0, "overlap_ratio must be in (0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);
     let n = forum.n_users;
     // x + 2y = n and x/(x+y) = r  =>  x = r·n/(2-r).
@@ -167,6 +157,12 @@ pub fn open_world_split(forum: &Forum, overlap_ratio: f64, seed: u64) -> Split {
 
     let mut users: Vec<usize> = (0..n).collect();
     shuffle(&mut rng, &mut users);
+    // Overlapping users must appear on *both* sides, which needs at least
+    // two posts (one per side). Prefer multi-post users for the overlap
+    // set — the stable sort keeps the shuffled order within each class —
+    // so the realized overlap ratio tracks the requested one instead of
+    // decaying when single-post users fall off the anonymized side.
+    users.sort_by_key(|&u| usize::from(forum.user_posts(u).len() < 2));
     let overlapping = &users[..x];
     let aux_only = &users[x..x + y];
     let anon_only = &users[x + y..x + 2 * y];
@@ -198,7 +194,8 @@ pub fn open_world_split(forum: &Forum, overlap_ratio: f64, seed: u64) -> Split {
     // them with a sentinel before anonymization and fix up after.
     let n_overlap_anon = anon_users.len();
     for &u in anon_only {
-        let posts: Vec<Post> = forum.user_posts(u).iter().map(|&i| forum.posts[i].clone()).collect();
+        let posts: Vec<Post> =
+            forum.user_posts(u).iter().map(|&i| forum.posts[i].clone()).collect();
         anon_users.push((u, posts));
     }
     let mut order: Vec<usize> = (0..anon_users.len()).collect();
@@ -267,8 +264,7 @@ mod tests {
     fn anonymized_ids_are_shuffled() {
         let s = closed_world_split(&forum(), &SplitConfig::fraction(0.5), 3);
         // With dozens of users the identity permutation is implausible.
-        let identity =
-            (0..s.anonymized.n_users).all(|a| s.oracle.true_mapping(a) == Some(a));
+        let identity = (0..s.anonymized.n_users).all(|a| s.oracle.true_mapping(a) == Some(a));
         assert!(!identity);
     }
 

@@ -6,76 +6,284 @@
 
 /// Symptom nouns.
 pub const SYMPTOMS: &[&str] = &[
-    "pain", "ache", "headache", "fatigue", "nausea", "fever", "rash", "cough", "dizziness",
-    "swelling", "cramp", "itch", "numbness", "tingling", "insomnia", "anxiety", "stress",
-    "weakness", "stiffness", "bloating", "heartburn", "chills", "sweats", "tremor",
-    "soreness", "burning", "pressure", "spasm", "congestion", "blister",
+    "pain",
+    "ache",
+    "headache",
+    "fatigue",
+    "nausea",
+    "fever",
+    "rash",
+    "cough",
+    "dizziness",
+    "swelling",
+    "cramp",
+    "itch",
+    "numbness",
+    "tingling",
+    "insomnia",
+    "anxiety",
+    "stress",
+    "weakness",
+    "stiffness",
+    "bloating",
+    "heartburn",
+    "chills",
+    "sweats",
+    "tremor",
+    "soreness",
+    "burning",
+    "pressure",
+    "spasm",
+    "congestion",
+    "blister",
 ];
 
 /// Condition / disease nouns.
 pub const CONDITIONS: &[&str] = &[
-    "diabetes", "arthritis", "asthma", "migraine", "hepatitis", "anemia", "depression",
-    "hypertension", "eczema", "fibromyalgia", "pneumonia", "bronchitis", "allergy",
-    "infection", "ulcer", "reflux", "sciatica", "shingles", "lupus", "thyroid",
-    "cholesterol", "osteoporosis", "gastritis", "vertigo", "neuropathy", "tendonitis",
+    "diabetes",
+    "arthritis",
+    "asthma",
+    "migraine",
+    "hepatitis",
+    "anemia",
+    "depression",
+    "hypertension",
+    "eczema",
+    "fibromyalgia",
+    "pneumonia",
+    "bronchitis",
+    "allergy",
+    "infection",
+    "ulcer",
+    "reflux",
+    "sciatica",
+    "shingles",
+    "lupus",
+    "thyroid",
+    "cholesterol",
+    "osteoporosis",
+    "gastritis",
+    "vertigo",
+    "neuropathy",
+    "tendonitis",
 ];
 
 /// Medication / treatment nouns.
 pub const TREATMENTS: &[&str] = &[
-    "ibuprofen", "acetaminophen", "antibiotic", "steroid", "insulin", "metformin",
-    "prednisone", "surgery", "therapy", "injection", "vaccine", "supplement", "vitamin",
-    "antihistamine", "inhaler", "cream", "ointment", "tablet", "dose", "prescription",
-    "physio", "acupuncture", "massage", "diet", "exercise", "rest",
+    "ibuprofen",
+    "acetaminophen",
+    "antibiotic",
+    "steroid",
+    "insulin",
+    "metformin",
+    "prednisone",
+    "surgery",
+    "therapy",
+    "injection",
+    "vaccine",
+    "supplement",
+    "vitamin",
+    "antihistamine",
+    "inhaler",
+    "cream",
+    "ointment",
+    "tablet",
+    "dose",
+    "prescription",
+    "physio",
+    "acupuncture",
+    "massage",
+    "diet",
+    "exercise",
+    "rest",
 ];
 
 /// Body-part nouns.
 pub const BODY_PARTS: &[&str] = &[
-    "head", "neck", "back", "shoulder", "arm", "elbow", "wrist", "hand", "chest", "stomach",
-    "hip", "knee", "ankle", "foot", "throat", "ear", "eye", "skin", "liver", "kidney",
-    "heart", "lung", "nerve", "muscle", "joint", "spine",
+    "head", "neck", "back", "shoulder", "arm", "elbow", "wrist", "hand", "chest", "stomach", "hip",
+    "knee", "ankle", "foot", "throat", "ear", "eye", "skin", "liver", "kidney", "heart", "lung",
+    "nerve", "muscle", "joint", "spine",
 ];
 
 /// People / context nouns.
 pub const PEOPLE: &[&str] = &[
-    "doctor", "nurse", "specialist", "surgeon", "pharmacist", "husband", "wife", "mother",
-    "father", "son", "daughter", "friend", "neighbor", "boss", "patient", "therapist",
+    "doctor",
+    "nurse",
+    "specialist",
+    "surgeon",
+    "pharmacist",
+    "husband",
+    "wife",
+    "mother",
+    "father",
+    "son",
+    "daughter",
+    "friend",
+    "neighbor",
+    "boss",
+    "patient",
+    "therapist",
 ];
 
 /// Everyday nouns for filler clauses.
 pub const EVERYDAY: &[&str] = &[
-    "week", "month", "year", "morning", "night", "appointment", "test", "result", "blood",
-    "scan", "visit", "hospital", "clinic", "pharmacy", "insurance", "work", "home", "sleep",
-    "food", "water", "coffee", "walk", "question", "advice", "experience", "story", "post",
-    "board", "forum", "update", "symptom", "problem", "issue", "side", "effect",
+    "week",
+    "month",
+    "year",
+    "morning",
+    "night",
+    "appointment",
+    "test",
+    "result",
+    "blood",
+    "scan",
+    "visit",
+    "hospital",
+    "clinic",
+    "pharmacy",
+    "insurance",
+    "work",
+    "home",
+    "sleep",
+    "food",
+    "water",
+    "coffee",
+    "walk",
+    "question",
+    "advice",
+    "experience",
+    "story",
+    "post",
+    "board",
+    "forum",
+    "update",
+    "symptom",
+    "problem",
+    "issue",
+    "side",
+    "effect",
 ];
 
 /// Verbs (base form).
 pub const VERBS: &[&str] = &[
-    "feel", "hurt", "ache", "take", "try", "start", "stop", "notice", "get", "have", "see",
-    "visit", "call", "ask", "tell", "help", "worry", "hope", "wonder", "know", "think",
-    "read", "hear", "sleep", "eat", "drink", "rest", "improve", "worsen", "spread",
-    "prescribe", "recommend", "suggest", "check", "test", "wait", "suffer", "manage",
+    "feel",
+    "hurt",
+    "ache",
+    "take",
+    "try",
+    "start",
+    "stop",
+    "notice",
+    "get",
+    "have",
+    "see",
+    "visit",
+    "call",
+    "ask",
+    "tell",
+    "help",
+    "worry",
+    "hope",
+    "wonder",
+    "know",
+    "think",
+    "read",
+    "hear",
+    "sleep",
+    "eat",
+    "drink",
+    "rest",
+    "improve",
+    "worsen",
+    "spread",
+    "prescribe",
+    "recommend",
+    "suggest",
+    "check",
+    "test",
+    "wait",
+    "suffer",
+    "manage",
 ];
 
 /// Adjectives.
 pub const ADJECTIVES: &[&str] = &[
-    "severe", "mild", "chronic", "sharp", "dull", "constant", "occasional", "sudden",
-    "strange", "weird", "awful", "terrible", "horrible", "scary", "painful", "swollen",
-    "tired", "exhausted", "dizzy", "nauseous", "worried", "anxious", "grateful", "hopeful",
-    "better", "worse", "normal", "high", "low", "new", "old", "same", "different", "rare",
+    "severe",
+    "mild",
+    "chronic",
+    "sharp",
+    "dull",
+    "constant",
+    "occasional",
+    "sudden",
+    "strange",
+    "weird",
+    "awful",
+    "terrible",
+    "horrible",
+    "scary",
+    "painful",
+    "swollen",
+    "tired",
+    "exhausted",
+    "dizzy",
+    "nauseous",
+    "worried",
+    "anxious",
+    "grateful",
+    "hopeful",
+    "better",
+    "worse",
+    "normal",
+    "high",
+    "low",
+    "new",
+    "old",
+    "same",
+    "different",
+    "rare",
 ];
 
 /// Adverbs.
 pub const ADVERBS: &[&str] = &[
-    "really", "very", "constantly", "occasionally", "suddenly", "slowly", "quickly",
-    "recently", "lately", "finally", "honestly", "seriously", "definitely", "probably",
-    "maybe", "usually", "sometimes", "always", "never", "barely", "completely", "slightly",
+    "really",
+    "very",
+    "constantly",
+    "occasionally",
+    "suddenly",
+    "slowly",
+    "quickly",
+    "recently",
+    "lately",
+    "finally",
+    "honestly",
+    "seriously",
+    "definitely",
+    "probably",
+    "maybe",
+    "usually",
+    "sometimes",
+    "always",
+    "never",
+    "barely",
+    "completely",
+    "slightly",
 ];
 
 /// Post openers (first-sentence lead-ins).
 pub const OPENERS: &[&str] = &[
-    "hi everyone", "hello all", "hey", "so", "ok so", "well", "update", "quick question",
-    "long time lurker here", "new here", "thanks in advance", "sorry for the long post",
+    "hi everyone",
+    "hello all",
+    "hey",
+    "so",
+    "ok so",
+    "well",
+    "update",
+    "quick question",
+    "long time lurker here",
+    "new here",
+    "thanks in advance",
+    "sorry for the long post",
 ];
 
 /// All content-noun banks, for convenience.

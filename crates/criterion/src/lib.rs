@@ -1,0 +1,173 @@
+//! # criterion (workspace shim)
+//!
+//! A dependency-free stand-in for the subset of the `criterion` API the
+//! workspace's micro-benchmarks use: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. The build
+//! environment has no crates.io access, so `cargo bench` runs against this
+//! shim; it reports median wall-clock time per iteration on stdout without
+//! statistical analysis, plots, or comparison baselines.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim always re-runs the setup closure per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    #[default]
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark target.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self { samples: Vec::with_capacity(sample_size), sample_size }
+    }
+
+    /// Measure `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many calls fit in ~5ms?
+        let mut calls_per_sample = 1u32;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..calls_per_sample {
+                std::hint::black_box(routine());
+            }
+            if t0.elapsed() > Duration::from_millis(5) || calls_per_sample >= 1 << 20 {
+                break;
+            }
+            calls_per_sample *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..calls_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / calls_per_sample);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark target and print its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let median = bencher.median();
+        println!("bench {name:<40} median {median:>12.3?}  ({} samples)", self.sample_size);
+        self
+    }
+}
+
+/// Re-exported so call sites can keep `criterion::black_box` idioms.
+pub use std::hint::black_box;
+
+/// Declare a benchmark group (shim: expands to a function running every
+/// target against the configured [`Criterion`]).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("shim/self_test", |b| b.iter(|| 1 + 1));
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group! {
+        name = shim_group;
+        config = Criterion::default().sample_size(3);
+        targets = quick,
+    }
+
+    #[test]
+    fn group_runs() {
+        shim_group();
+    }
+
+    #[test]
+    fn median_of_empty_is_zero() {
+        assert_eq!(Bencher::new(1).median(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,466 @@
+//! The sharded execution engine: blockwise Top-K DA, parallel Refined DA,
+//! and incremental auxiliary ingestion.
+
+use dehealth_core::attack::AttackConfig;
+use dehealth_core::filter::{filter_user, threshold_vector, Filtered, ScoreBounds};
+use dehealth_core::refined::{refine_user, RefinedConfig, Side};
+use dehealth_core::similarity::SimilarityEngine;
+use dehealth_core::topk::{BoundedTopK, CandidateSets, Selection};
+use dehealth_core::uda::{extract_post_features, UdaGraph};
+use dehealth_corpus::{Forum, Post};
+use dehealth_stylometry::FeatureVector;
+
+use crate::pool::run_blocks;
+use crate::report::{timed, EngineReport};
+
+/// Execution-engine configuration: the attack parameters plus the
+/// parallel-execution knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// The attack configuration (weights, K, classifier, verification…).
+    /// `selection` must be [`Selection::Direct`]; graph-matching selection
+    /// is a global optimization over the dense similarity matrix, which
+    /// the engine never materializes — use `DeHealth::run` for it.
+    pub attack: AttackConfig,
+    /// Worker threads for the Top-K and Refined stages; `0` means
+    /// [`std::thread::available_parallelism`].
+    pub n_threads: usize,
+    /// Anonymized users per work block (the unit of work stealing).
+    pub block_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { attack: AttackConfig::default(), n_threads: 0, block_size: 64 }
+    }
+}
+
+impl EngineConfig {
+    /// The resolved worker-thread count (`n_threads`, or the machine's
+    /// available parallelism when 0).
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.n_threads
+        }
+    }
+}
+
+/// The parallel De-Health execution engine.
+///
+/// Produces mappings bit-identical to the serial `DeHealth::run` (with
+/// [`Selection::Direct`]) while keeping only `O(|V1| · K)` candidate state
+/// instead of the dense `|V1| × |V2|` similarity matrix.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Create the engine.
+    ///
+    /// # Panics
+    /// Panics if `config.attack.selection` is not [`Selection::Direct`]:
+    /// graph-matching selection requires the dense similarity matrix.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(
+            config.attack.selection == Selection::Direct,
+            "dehealth-engine supports Selection::Direct only; graph-matching \
+             selection needs the dense similarity matrix — use DeHealth::run"
+        );
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// One-shot attack: equivalent to a session ingesting `auxiliary` in a
+    /// single chunk and finishing.
+    #[must_use]
+    pub fn run(&self, auxiliary: &Forum, anonymized: &Forum) -> EngineOutcome {
+        let mut session = self.session(anonymized);
+        session.add_auxiliary_users(auxiliary);
+        session.finish()
+    }
+
+    /// Start an incremental session against `anonymized`: auxiliary data
+    /// can then be ingested chunk by chunk with
+    /// [`EngineSession::add_auxiliary_users`].
+    #[must_use]
+    pub fn session<'a>(&self, anonymized: &'a Forum) -> EngineSession<'a> {
+        let mut report = EngineReport::new(self.config.effective_threads(), self.config.block_size);
+        let ((anon_feats, anon_uda), secs) = timed(|| {
+            let feats = extract_post_features(anonymized);
+            let uda = UdaGraph::build_with_features(anonymized, &feats);
+            (feats, uda)
+        });
+        report.record("prepare", "posts", anonymized.posts.len() as u64, secs);
+        let heaps = vec![BoundedTopK::new(self.config.attack.top_k); anonymized.n_users];
+        EngineSession {
+            config: self.config.clone(),
+            anon_forum: anonymized,
+            anon_feats,
+            anon_uda,
+            aux_posts: Vec::new(),
+            aux_feats: Vec::new(),
+            aux_users: 0,
+            aux_threads: 0,
+            heaps,
+            bounds: ScoreBounds::new(),
+            report,
+        }
+    }
+}
+
+/// An in-progress attack accumulating auxiliary data.
+///
+/// Each ingested chunk brings *new* auxiliary users (chunk-local ids are
+/// offset into a global id space; chunk threads are disjoint from earlier
+/// chunks — the streaming-auxiliary-data scenario). Only the
+/// `|V1| × |chunk|` pair block is scored per ingest; previously scored
+/// pairs are never revisited, their surviving scores live in the per-user
+/// bounded Top-K heaps.
+///
+/// Structural caveat: each chunk's degree/distance similarities are
+/// computed against the chunk's own correlation graph and landmarks, so
+/// with non-zero `c1`/`c2` weights a multi-chunk session approximates a
+/// batch run (exact for attribute-only weights `c1 = c2 = 0`, and exact
+/// for any weights when the session has a single chunk).
+#[derive(Debug)]
+pub struct EngineSession<'a> {
+    config: EngineConfig,
+    anon_forum: &'a Forum,
+    anon_feats: Vec<FeatureVector>,
+    anon_uda: UdaGraph,
+    /// Accumulated auxiliary posts, authors/threads in global id space.
+    aux_posts: Vec<Post>,
+    /// Per-post features, parallel to `aux_posts` (extraction is a pure
+    /// per-post function, so chunk-time features are reused at finish).
+    aux_feats: Vec<FeatureVector>,
+    aux_users: usize,
+    aux_threads: usize,
+    heaps: Vec<BoundedTopK>,
+    bounds: ScoreBounds,
+    report: EngineReport,
+}
+
+impl EngineSession<'_> {
+    /// Number of auxiliary users ingested so far.
+    #[must_use]
+    pub fn n_auxiliary_users(&self) -> usize {
+        self.aux_users
+    }
+
+    /// The execution report so far.
+    #[must_use]
+    pub fn report(&self) -> &EngineReport {
+        &self.report
+    }
+
+    /// Ingest a chunk of new auxiliary users and update every anonymized
+    /// user's candidate heap with the `|V1| × |chunk|` pair block, sharded
+    /// across the worker pool. Chunk-local user/thread ids are offset by
+    /// the totals ingested so far.
+    pub fn add_auxiliary_users(&mut self, chunk: &Forum) {
+        let user_offset = self.aux_users;
+        let thread_offset = self.aux_threads;
+
+        let (chunk_feats, prep_secs) = timed(|| extract_post_features(chunk));
+        let chunk_uda = UdaGraph::build_with_features(chunk, &chunk_feats);
+        self.report.record("prepare", "posts", chunk.posts.len() as u64, prep_secs);
+
+        let cfg = &self.config.attack;
+        let sim = SimilarityEngine::new(&self.anon_uda, &chunk_uda, cfg.weights, cfg.n_landmarks);
+
+        let ((), topk_secs) = timed(|| {
+            let states = run_blocks(
+                &mut self.heaps,
+                self.config.block_size,
+                self.config.effective_threads(),
+                || (ScoreBounds::new(), 0u64),
+                |offset, block, (bounds, pairs)| {
+                    for (i, heap) in block.iter_mut().enumerate() {
+                        for (v, s) in sim.scores_for(offset + i) {
+                            heap.insert(user_offset + v, s);
+                            bounds.observe(s);
+                            *pairs += 1;
+                        }
+                    }
+                },
+            );
+            let mut pairs = 0;
+            for (local_bounds, local_pairs) in states {
+                self.bounds.merge(local_bounds);
+                pairs += local_pairs;
+            }
+            self.report.record("topk", "pairs", pairs, 0.0);
+        });
+        // Attribute the stage wall-clock once (items were counted above).
+        self.report.record("topk", "pairs", 0, topk_secs);
+
+        for post in &chunk.posts {
+            self.aux_posts.push(Post {
+                author: post.author + user_offset,
+                thread: post.thread + thread_offset,
+                text: post.text.clone(),
+            });
+        }
+        self.aux_feats.extend(chunk_feats);
+        self.aux_users += chunk.n_users;
+        self.aux_threads += chunk.n_threads;
+    }
+
+    /// Run candidate filtering (if configured) and the parallel Refined-DA
+    /// stage over the accumulated candidates, producing the final outcome.
+    #[must_use]
+    pub fn finish(self) -> EngineOutcome {
+        let EngineSession {
+            config,
+            anon_forum,
+            anon_feats,
+            anon_uda,
+            aux_posts,
+            aux_feats,
+            aux_users,
+            aux_threads,
+            heaps,
+            bounds,
+            mut report,
+        } = self;
+        let cfg = &config.attack;
+        let n_anon = anon_forum.n_users;
+
+        // Materialize the merged auxiliary side for classifier training.
+        let ((aux_forum, aux_uda), prep_secs) = timed(|| {
+            let forum = Forum::from_posts(aux_users, aux_threads, aux_posts);
+            let uda = UdaGraph::build_with_features(&forum, &aux_feats);
+            (forum, uda)
+        });
+        report.record("prepare", "posts", 0, prep_secs);
+
+        // Candidate sets (and their scores, for verification/filtering).
+        let candidate_scores: Vec<Vec<(usize, f64)>> =
+            heaps.into_iter().map(BoundedTopK::into_sorted_entries).collect();
+        let mut candidates: CandidateSets = candidate_scores
+            .iter()
+            .map(|entries| entries.iter().map(|&(v, _)| v).collect())
+            .collect();
+
+        if let Some(filter_cfg) = &cfg.filtering {
+            let ((), secs) = timed(|| {
+                let thresholds = threshold_vector(bounds, filter_cfg);
+                for (cands, entries) in candidates.iter_mut().zip(&candidate_scores) {
+                    let score_of = |v: usize| {
+                        entries
+                            .iter()
+                            .find(|&&(w, _)| w == v)
+                            .map_or(f64::NEG_INFINITY, |&(_, s)| s)
+                    };
+                    match filter_user(score_of, cands, &thresholds) {
+                        Filtered::Kept(kept) => *cands = kept,
+                        Filtered::Rejected => cands.clear(),
+                    }
+                }
+            });
+            report.record("filter", "users", n_anon as u64, secs);
+        }
+
+        // Refined DA, fanned out per anonymized user. Each worker carries a
+        // scratch similarity row (dense in the aux id space, but transient
+        // and per-worker) holding only the user's candidate scores — the
+        // verification schemes read nothing else.
+        let anon_side = Side { forum: anon_forum, uda: &anon_uda, post_features: &anon_feats };
+        let aux_side = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
+        let refined_cfg = RefinedConfig {
+            classifier: cfg.classifier,
+            verification: cfg.verification,
+            seed: cfg.seed,
+        };
+        let mut mapping: Vec<Option<usize>> = vec![None; n_anon];
+        let ((), refined_secs) = timed(|| {
+            run_blocks(
+                &mut mapping,
+                config.block_size,
+                config.effective_threads(),
+                || vec![f64::NEG_INFINITY; aux_users],
+                |offset, block, scratch_row| {
+                    for (i, slot) in block.iter_mut().enumerate() {
+                        let u = offset + i;
+                        for &(v, s) in &candidate_scores[u] {
+                            scratch_row[v] = s;
+                        }
+                        *slot = refine_user(
+                            u,
+                            &candidates[u],
+                            &anon_side,
+                            &aux_side,
+                            scratch_row,
+                            &refined_cfg,
+                        );
+                        for &(v, _) in &candidate_scores[u] {
+                            scratch_row[v] = f64::NEG_INFINITY;
+                        }
+                    }
+                },
+            );
+        });
+        report.record("refined", "users", n_anon as u64, refined_secs);
+
+        EngineOutcome { candidates, candidate_scores, mapping, report }
+    }
+}
+
+/// Everything the engine produced for one attack.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Final candidate set per anonymized user (post-filtering; empty =
+    /// rejected in the Top-K phase) — sorted by decreasing similarity.
+    pub candidates: CandidateSets,
+    /// The Top-K `(aux_user, score)` entries per anonymized user, sorted
+    /// best-first, *before* filtering. This is the engine's sparse
+    /// replacement for the serial attack's dense similarity matrix.
+    pub candidate_scores: Vec<Vec<(usize, f64)>>,
+    /// Refined-DA decision per anonymized user (`None` = `u → ⊥`).
+    pub mapping: Vec<Option<usize>>,
+    /// Per-stage wall-clock/throughput counters.
+    pub report: EngineReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dehealth_core::{AttackConfig, DeHealth};
+    use dehealth_corpus::{closed_world_split, ForumConfig, SplitConfig};
+
+    fn tiny_split() -> dehealth_corpus::Split {
+        let forum = Forum::generate(&ForumConfig::tiny(), 42);
+        closed_world_split(&forum, &SplitConfig::fraction(0.5), 7)
+    }
+
+    fn attack_cfg() -> AttackConfig {
+        AttackConfig { top_k: 5, n_landmarks: 10, ..AttackConfig::default() }
+    }
+
+    #[test]
+    fn engine_matches_serial_attack() {
+        let split = tiny_split();
+        let serial = DeHealth::new(attack_cfg()).run(&split.auxiliary, &split.anonymized);
+        let engine =
+            Engine::new(EngineConfig { attack: attack_cfg(), n_threads: 3, block_size: 8 });
+        let out = engine.run(&split.auxiliary, &split.anonymized);
+        assert_eq!(out.candidates, serial.candidates);
+        assert_eq!(out.mapping, serial.mapping);
+        // Candidate scores are bit-identical to the matrix entries.
+        for (u, entries) in out.candidate_scores.iter().enumerate() {
+            for &(v, s) in entries {
+                assert_eq!(s.to_bits(), serial.similarity[u][v].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn report_covers_all_stages() {
+        let split = tiny_split();
+        let engine =
+            Engine::new(EngineConfig { attack: attack_cfg(), n_threads: 2, block_size: 4 });
+        let out = engine.run(&split.auxiliary, &split.anonymized);
+        let pairs = out.report.stage("topk").expect("topk stage ran");
+        let present = split.auxiliary.n_users
+            - (0..split.auxiliary.n_users)
+                .filter(|&u| split.auxiliary.user_posts(u).is_empty())
+                .count();
+        assert_eq!(pairs.items, (split.anonymized.n_users * present) as u64);
+        assert!(out.report.stage("prepare").is_some());
+        assert!(out.report.stage("refined").is_some());
+        assert_eq!(out.report.n_threads, 2);
+    }
+
+    #[test]
+    fn incremental_ingest_matches_batch_for_attribute_weights() {
+        use dehealth_core::SimilarityWeights;
+        // Chunked ingestion treats chunks as thread-disjoint user cohorts,
+        // so the reference is a batch run on the concatenation of the
+        // chunks (the session's merged view). Attribute similarity depends
+        // only on the pair itself, so with attribute-only weights the
+        // incremental result must equal that batch run exactly.
+        let forum = Forum::generate(&ForumConfig::tiny(), 9);
+        let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 3);
+        let attack = AttackConfig {
+            weights: SimilarityWeights { c1: 0.0, c2: 0.0, c3: 1.0 },
+            top_k: 4,
+            n_landmarks: 5,
+            ..AttackConfig::default()
+        };
+        let n = split.auxiliary.n_users;
+        let cut = n / 2;
+        let chunk_of = |lo: usize, hi: usize| {
+            let posts: Vec<Post> = split
+                .auxiliary
+                .posts
+                .iter()
+                .filter(|p| (lo..hi).contains(&p.author))
+                .map(|p| Post { author: p.author - lo, thread: p.thread, text: p.text.clone() })
+                .collect();
+            Forum::from_posts(hi - lo, split.auxiliary.n_threads, posts)
+        };
+        let chunks = [chunk_of(0, cut), chunk_of(cut, n)];
+        // The merged view the session builds: users and threads offset by
+        // the totals of the preceding chunks.
+        let mut merged_posts = Vec::new();
+        let (mut user_off, mut thread_off) = (0, 0);
+        for chunk in &chunks {
+            for p in &chunk.posts {
+                merged_posts.push(Post {
+                    author: p.author + user_off,
+                    thread: p.thread + thread_off,
+                    text: p.text.clone(),
+                });
+            }
+            user_off += chunk.n_users;
+            thread_off += chunk.n_threads;
+        }
+        let merged = Forum::from_posts(user_off, thread_off, merged_posts);
+
+        let serial = DeHealth::new(attack.clone()).run(&merged, &split.anonymized);
+        let engine = Engine::new(EngineConfig { attack, n_threads: 2, block_size: 16 });
+        let batch = engine.run(&merged, &split.anonymized);
+
+        let mut session = engine.session(&split.anonymized);
+        session.add_auxiliary_users(&chunks[0]);
+        assert_eq!(session.n_auxiliary_users(), cut);
+        session.add_auxiliary_users(&chunks[1]);
+        let incremental = session.finish();
+
+        assert_eq!(incremental.candidates, batch.candidates);
+        assert_eq!(incremental.mapping, batch.mapping);
+        assert_eq!(incremental.candidates, serial.candidates);
+        assert_eq!(incremental.mapping, serial.mapping);
+    }
+
+    #[test]
+    #[should_panic(expected = "Selection::Direct")]
+    fn graph_matching_is_rejected() {
+        let _ = Engine::new(EngineConfig {
+            attack: AttackConfig { selection: Selection::GraphMatching, ..AttackConfig::default() },
+            ..EngineConfig::default()
+        });
+    }
+
+    #[test]
+    fn filtering_matches_serial() {
+        use dehealth_core::FilterConfig;
+        let split = tiny_split();
+        let attack = AttackConfig { filtering: Some(FilterConfig::default()), ..attack_cfg() };
+        let serial = DeHealth::new(attack.clone()).run(&split.auxiliary, &split.anonymized);
+        let engine = Engine::new(EngineConfig { attack, n_threads: 2, block_size: 8 });
+        let out = engine.run(&split.auxiliary, &split.anonymized);
+        assert_eq!(out.candidates, serial.candidates);
+        assert_eq!(out.mapping, serial.mapping);
+    }
+}

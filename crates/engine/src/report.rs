@@ -1,0 +1,149 @@
+//! Per-stage wall-clock and throughput accounting.
+//!
+//! Every engine run produces an [`EngineReport`]: one [`StageStats`] entry
+//! per pipeline stage (repeated stages — e.g. the Top-K stage across
+//! several incremental ingests — accumulate into one entry). The scaling
+//! benchmark in `dehealth-bench` serializes these counters to
+//! `BENCH_scaling.json` so the performance trajectory is tracked across
+//! PRs.
+
+use std::time::Instant;
+
+/// Wall-clock and volume counters for one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name (`"prepare"`, `"topk"`, `"filter"`, `"refined"`).
+    pub stage: &'static str,
+    /// What `items` counts (`"posts"`, `"pairs"`, `"users"`).
+    pub unit: &'static str,
+    /// Accumulated wall-clock seconds.
+    pub seconds: f64,
+    /// Accumulated processed item count.
+    pub items: u64,
+}
+
+impl StageStats {
+    /// Items per second (0 when no time was observed).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.items as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The engine's execution report: configuration echoes plus per-stage
+/// counters, in pipeline order of first appearance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineReport {
+    /// Resolved worker-thread count.
+    pub n_threads: usize,
+    /// Anonymized users per work block.
+    pub block_size: usize,
+    /// Stage counters.
+    pub stages: Vec<StageStats>,
+}
+
+impl EngineReport {
+    pub(crate) fn new(n_threads: usize, block_size: usize) -> Self {
+        Self { n_threads, block_size, stages: Vec::new() }
+    }
+
+    /// Accumulate `items` processed in `seconds` into `stage`.
+    pub(crate) fn record(
+        &mut self,
+        stage: &'static str,
+        unit: &'static str,
+        items: u64,
+        seconds: f64,
+    ) {
+        if let Some(s) = self.stages.iter_mut().find(|s| s.stage == stage) {
+            s.items += items;
+            s.seconds += seconds;
+        } else {
+            self.stages.push(StageStats { stage, unit, seconds, items });
+        }
+    }
+
+    /// Counters of one stage, if it ran.
+    #[must_use]
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Total wall-clock seconds across stages.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.seconds).sum()
+    }
+}
+
+impl std::fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "engine report ({} threads, block size {}):", self.n_threads, self.block_size)?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<8} {:>10.3}s  {:>12} {:<6} {:>14.0} {}/s",
+                s.stage,
+                s.seconds,
+                s.items,
+                s.unit,
+                s.throughput(),
+                s.unit
+            )?;
+        }
+        write!(f, "  total    {:>10.3}s", self.total_seconds())
+    }
+}
+
+/// Measure the wall-clock of `f`.
+pub(crate) fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_stage() {
+        let mut r = EngineReport::new(4, 64);
+        r.record("topk", "pairs", 100, 0.5);
+        r.record("topk", "pairs", 50, 0.25);
+        r.record("refined", "users", 10, 1.0);
+        assert_eq!(r.stages.len(), 2);
+        let topk = r.stage("topk").unwrap();
+        assert_eq!(topk.items, 150);
+        assert!((topk.seconds - 0.75).abs() < 1e-12);
+        assert!((topk.throughput() - 200.0).abs() < 1e-9);
+        assert!((r.total_seconds() - 1.75).abs() < 1e-12);
+        assert!(r.stage("missing").is_none());
+    }
+
+    #[test]
+    fn zero_time_throughput_is_zero() {
+        let s = StageStats { stage: "x", unit: "pairs", seconds: 0.0, items: 5 };
+        assert_eq!(s.throughput(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_stages() {
+        let mut r = EngineReport::new(2, 32);
+        r.record("topk", "pairs", 10, 0.1);
+        let text = format!("{r}");
+        assert!(text.contains("2 threads"));
+        assert!(text.contains("topk"));
+    }
+
+    #[test]
+    fn timed_measures_and_returns() {
+        let (v, secs) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -92,8 +92,7 @@ pub fn label_propagation(g: &Graph, max_iters: usize) -> Vec<usize> {
 #[must_use]
 pub fn community_stats(g: &Graph, min_degree: usize) -> CommunityStats {
     // Build the filtered subgraph over retained nodes.
-    let retained: Vec<usize> =
-        (0..g.node_count()).filter(|&u| g.degree(u) >= min_degree).collect();
+    let retained: Vec<usize> = (0..g.node_count()).filter(|&u| g.degree(u) >= min_degree).collect();
     let mut index = vec![usize::MAX; g.node_count()];
     for (i, &u) in retained.iter().enumerate() {
         index[u] = i;

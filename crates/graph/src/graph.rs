@@ -118,10 +118,7 @@ impl Graph {
     /// Edge weight between `a` and `b`, if the edge exists.
     #[must_use]
     pub fn edge_weight(&self, a: usize, b: usize) -> Option<f64> {
-        self.adj[a]
-            .binary_search_by_key(&(b as u32), |&(v, _)| v)
-            .ok()
-            .map(|i| self.adj[a][i].1)
+        self.adj[a].binary_search_by_key(&(b as u32), |&(v, _)| v).ok().map(|i| self.adj[a][i].1)
     }
 
     /// Node ids sorted by decreasing degree (ties by id), truncated to `k`.

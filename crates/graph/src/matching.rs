@@ -28,15 +28,9 @@ pub fn max_weight_matching(weights: &[Vec<f64>]) -> Vec<usize> {
     let n = weights.len();
     assert!(n > 0, "empty weight matrix");
     let m = weights[0].len();
-    assert!(
-        weights.iter().all(|r| r.len() == m),
-        "ragged weight matrix"
-    );
+    assert!(weights.iter().all(|r| r.len() == m), "ragged weight matrix");
     assert!(n <= m, "need rows ({n}) <= cols ({m})");
-    assert!(
-        weights.iter().flatten().all(|w| w.is_finite()),
-        "non-finite weight"
-    );
+    assert!(weights.iter().flatten().all(|w| w.is_finite()), "non-finite weight");
 
     // Classic potentials formulation for MIN-cost assignment on cost
     // a[i][j] = -weights[i][j], 1-indexed with a virtual column 0.

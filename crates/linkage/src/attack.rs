@@ -51,8 +51,7 @@ impl Default for AvatarLinkConfig {
 /// the other services, and keep matches above the entropy threshold.
 #[must_use]
 pub fn name_link(world: &World, config: &NameLinkConfig) -> Vec<Link> {
-    let model =
-        UsernameModel::train(world.health_forum.iter().map(|a| a.username.as_str()));
+    let model = UsernameModel::train(world.health_forum.iter().map(|a| a.username.as_str()));
     // Exact-match indices for the target services.
     let index = |accounts: &[Account]| -> HashMap<String, Vec<usize>> {
         let mut m: HashMap<String, Vec<usize>> = HashMap::new();
@@ -188,8 +187,7 @@ impl LinkageReport {
     /// paper reports > 33.4%).
     #[must_use]
     pub fn multi_service_fraction(&self) -> f64 {
-        let avatar_linked: Vec<usize> =
-            self.avatar_links.iter().map(|l| l.forum_account).collect();
+        let avatar_linked: Vec<usize> = self.avatar_links.iter().map(|l| l.forum_account).collect();
         if avatar_linked.is_empty() {
             return 0.0;
         }
@@ -329,9 +327,7 @@ mod tests {
         let lax = name_link(&world, &NameLinkConfig { min_entropy_bits: 5.0 });
         assert!(strict.len() <= lax.len());
         if !strict.is_empty() && !lax.is_empty() {
-            assert!(
-                LinkageReport::precision(&strict) >= LinkageReport::precision(&lax) - 0.05
-            );
+            assert!(LinkageReport::precision(&strict) >= LinkageReport::precision(&lax) - 0.05);
         }
     }
 }

@@ -192,7 +192,12 @@ impl World {
                     }
                     _ => Some(fresh(&mut rng)),
                 };
-                social.push(Account { person: pid, username, avatar, service: Service::SocialNetwork });
+                social.push(Account {
+                    person: pid,
+                    username,
+                    avatar,
+                    service: Service::SocialNetwork,
+                });
             }
             if rng.gen::<f64>() < config.directory_p {
                 directory.push(Account {
@@ -244,11 +249,8 @@ mod tests {
     #[test]
     fn username_reuse_happens() {
         let w = world();
-        let reused = w
-            .social
-            .iter()
-            .filter(|a| w.health_forum[a.person].username == a.username)
-            .count();
+        let reused =
+            w.social.iter().filter(|a| w.health_forum[a.person].username == a.username).count();
         assert!(reused > 0);
         assert!(reused < w.social.len());
     }

@@ -14,26 +14,87 @@ use rand::Rng;
 pub const FIRST_NAMES: &[&str] = &[
     "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "david",
     "susan", "william", "jessica", "richard", "sarah", "joseph", "karen", "thomas", "nancy",
-    "chris", "lisa", "daniel", "betty", "matthew", "helen", "anthony", "sandra", "mark",
-    "donna", "paul", "carol", "steven", "ruth", "andrew", "sharon", "kenneth", "michelle",
-    "joshua", "laura", "kevin", "amy",
+    "chris", "lisa", "daniel", "betty", "matthew", "helen", "anthony", "sandra", "mark", "donna",
+    "paul", "carol", "steven", "ruth", "andrew", "sharon", "kenneth", "michelle", "joshua",
+    "laura", "kevin", "amy",
 ];
 
 /// Last names used by the username generator.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
-    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
-    "thomas", "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson", "white",
-    "harris", "sanchez", "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen",
-    "king", "wright", "scott", "torres", "nguyen", "hill", "flores",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
 ];
 
 /// Hobby / noun words for handle-style usernames.
 pub const HANDLE_WORDS: &[&str] = &[
-    "wolf", "tiger", "moon", "star", "happy", "sunny", "blue", "red", "silver", "golden",
-    "runner", "dreamer", "hiker", "gamer", "reader", "baker", "rider", "angel", "storm",
-    "shadow", "river", "ocean", "mountain", "flower", "butterfly", "dragonfly", "hope",
-    "grace", "lucky", "cozy",
+    "wolf",
+    "tiger",
+    "moon",
+    "star",
+    "happy",
+    "sunny",
+    "blue",
+    "red",
+    "silver",
+    "golden",
+    "runner",
+    "dreamer",
+    "hiker",
+    "gamer",
+    "reader",
+    "baker",
+    "rider",
+    "angel",
+    "storm",
+    "shadow",
+    "river",
+    "ocean",
+    "mountain",
+    "flower",
+    "butterfly",
+    "dragonfly",
+    "hope",
+    "grace",
+    "lucky",
+    "cozy",
 ];
 
 /// A character-level first-order Markov model over usernames, with
@@ -105,7 +166,11 @@ pub fn generate_username(rng: &mut StdRng, first: &str, last: &str) -> String {
     match rng.gen_range(0..6u8) {
         // Common, collision-prone patterns.
         0 => format!("{first}{}", rng.gen_range(1..100u32)),
-        1 => format!("{}{}", HANDLE_WORDS[rng.gen_range(0..HANDLE_WORDS.len())], rng.gen_range(1..100u32)),
+        1 => format!(
+            "{}{}",
+            HANDLE_WORDS[rng.gen_range(0..HANDLE_WORDS.len())],
+            rng.gen_range(1..100u32)
+        ),
         // Distinctive patterns.
         2 => format!("{}{}{}", &first[..1], last, rng.gen_range(1000..10_000u32)),
         3 => format!("{first}.{last}"),
@@ -145,7 +210,10 @@ mod tests {
     fn generator_is_deterministic() {
         let mut a = StdRng::seed_from_u64(3);
         let mut b = StdRng::seed_from_u64(3);
-        assert_eq!(generate_username(&mut a, "john", "smith"), generate_username(&mut b, "john", "smith"));
+        assert_eq!(
+            generate_username(&mut a, "john", "smith"),
+            generate_username(&mut b, "john", "smith")
+        );
     }
 
     #[test]

@@ -32,9 +32,7 @@ impl Rlsc {
     /// Per-class decision values, parallel to [`Self::classes`].
     #[must_use]
     pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
-        let k: Vec<f64> = (0..self.train.len())
-            .map(|i| kernel(self.train.sample(i), x))
-            .collect();
+        let k: Vec<f64> = (0..self.train.len()).map(|i| kernel(self.train.sample(i), x)).collect();
         self.alphas.iter().map(|a| dot(a, &k)).collect()
     }
 

@@ -26,11 +26,8 @@ impl MinMaxScaler {
                 maxs[j] = maxs[j].max(v);
             }
         }
-        let ranges = mins
-            .iter()
-            .zip(&maxs)
-            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 0.0 })
-            .collect();
+        let ranges =
+            mins.iter().zip(&maxs).map(|(&lo, &hi)| if hi > lo { hi - lo } else { 0.0 }).collect();
         if train.is_empty() {
             return Self { mins: vec![0.0; dim], ranges: vec![0.0; dim] };
         }

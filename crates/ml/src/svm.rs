@@ -164,10 +164,12 @@ impl SmoSvm {
                 for ((fk, &ki), &kj) in fx.iter_mut().zip(g_i).zip(g_j) {
                     *fk += d_i * ki + d_j * kj;
                 }
-                let b1 = b - e_i
+                let b1 = b
+                    - e_i
                     - y[i] * (a_i - a_i_old) * gram[i][i]
                     - y[j] * (a_j - a_j_old) * gram[i][j];
-                let b2 = b - e_j
+                let b2 = b
+                    - e_j
                     - y[i] * (a_i - a_i_old) * gram[i][j]
                     - y[j] * (a_j - a_j_old) * gram[j][j];
                 b = if a_i > 0.0 && a_i < c {

@@ -1,0 +1,275 @@
+//! # rand (workspace shim)
+//!
+//! A dependency-free, in-tree stand-in for the subset of the `rand 0.8`
+//! API this workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen`] and [`Rng::gen_range`] over integer ranges. The build
+//! environment has no crates.io access, so the workspace vendors this shim
+//! instead of the real crate; swapping back is a one-line manifest change
+//! because the call sites are API-compatible.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — a well-studied, fast, deterministic PRNG that is more than
+//! adequate for synthetic-corpus generation and experiment seeding. It is
+//! **not** cryptographically secure (neither is the workspace's use of it).
+
+/// A source of random bits plus the derived sampling helpers.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from an `RngCore` (the shim's
+/// equivalent of `rand::distributions::Standard` sampling).
+pub trait Uniform: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Uniform for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Uniform for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Uniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Bounds of a half-open or inclusive sampling range (the shim's
+/// equivalent of `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// `(low, high)` inclusive on both ends.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn bounds_inclusive(self) -> (T, T);
+}
+
+/// Integers samplable via `gen_range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from the inclusive interval `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // Span fits in u64 for every supported type.
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = span + 1;
+                // Debiased multiply-shift rejection (Lemire).
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let r = rng.next_u64();
+                    if r <= zone {
+                        return ((lo as $wide).wrapping_add((r % span) as $wide)) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn bounds_inclusive(self) -> ($t, $t) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn bounds_inclusive(self) -> ($t, $t) {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                (lo, hi)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn bounds_inclusive(self) -> (f64, f64) {
+        assert!(self.start < self.end, "cannot sample empty range");
+        (self.start, self.end)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + <f64 as Uniform>::sample(rng) * (hi - lo)
+    }
+}
+
+/// The user-facing sampling trait (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniformly random value of `T` (`f64` in `[0,1)`, full-range ints).
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform draw from `range` (`a..b` or `a..=b`).
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        let (lo, hi) = range.bounds_inclusive();
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as Uniform>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose full state is derived from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 step, used to expand a 64-bit seed into generator state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Unlike the real `rand::rngs::StdRng` (ChaCha12) this is not a CSPRNG;
+    /// the workspace only relies on statistical quality and determinism.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state is unreachable from SplitMix64 expansion in
+            // practice, but guard anyway: xoshiro must not start at zero.
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0..=5u32);
+            assert!(y <= 5);
+            let z = rng.gen_range(1940..2005i32);
+            assert!((1940..2005).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..6u8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let x = rng.gen::<f64>();
+                assert!((0.0..1.0).contains(&x));
+                x
+            })
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn single_value_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.gen_range(4..5usize), 4);
+        assert_eq!(rng.gen_range(4..=4usize), 4);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate = {rate}");
+    }
+}

@@ -44,11 +44,8 @@ fn shape_slot(shape: WordShape) -> usize {
 pub fn extract(text: &str) -> FeatureVector {
     let mut v = vec![0.0f64; M];
     let tokens = tokenize(text);
-    let words: Vec<&str> = tokens
-        .iter()
-        .filter(|t| t.kind == TokenKind::Word)
-        .map(|t| t.text)
-        .collect();
+    let words: Vec<&str> =
+        tokens.iter().filter(|t| t.kind == TokenKind::Word).map(|t| t.text).collect();
     let n_chars = text.chars().filter(|c| !c.is_whitespace()).count();
     let n_words = words.len();
 
@@ -199,9 +196,9 @@ mod tests {
 
     fn value(text: &str, name: &str) -> f64 {
         let v = extract(text);
-        let i = (0..M).find(|&i| feature_name(i) == name).unwrap_or_else(|| {
-            panic!("no feature named {name}")
-        });
+        let i = (0..M)
+            .find(|&i| feature_name(i) == name)
+            .unwrap_or_else(|| panic!("no feature named {name}"));
         v.get(i)
     }
 

@@ -32,8 +32,8 @@ use dehealth_text::pos::PosTag;
 /// The 21-character special-character inventory (Table I row "Special
 /// characters").
 pub const SPECIAL_CHARS: [char; 21] = [
-    '~', '@', '#', '$', '%', '^', '&', '*', '+', '=', '_', '/', '\\', '|', '<', '>', '[', ']',
-    '{', '}', '`',
+    '~', '@', '#', '$', '%', '^', '&', '*', '+', '=', '_', '/', '\\', '|', '<', '>', '[', ']', '{',
+    '}', '`',
 ];
 
 /// The 10-character punctuation inventory (Table I row "Punctuation
@@ -130,8 +130,7 @@ pub fn feature_name(i: usize) -> String {
     } else if i < VOCAB {
         format!("word_len_{}", i - WORD_LEN + 1)
     } else if i < LETTER {
-        ["yules_k", "hapax_rate", "dis_rate", "tris_rate", "tetrakis_rate"][i - VOCAB]
-            .to_string()
+        ["yules_k", "hapax_rate", "dis_rate", "tris_rate", "tetrakis_rate"][i - VOCAB].to_string()
     } else if i < DIGIT {
         format!("letter_{}", (b'a' + (i - LETTER) as u8) as char)
     } else if i < UPPER_PCT {

@@ -131,28 +131,72 @@ impl PosTag {
     }
 }
 
-const DETERMINERS: &[&str] =
-    &["the", "a", "an", "this", "that", "these", "those", "each", "every", "either", "neither",
-      "some", "any", "no", "all", "both", "another"];
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "each", "every", "either", "neither",
+    "some", "any", "no", "all", "both", "another",
+];
 const PREPOSITIONS: &[&str] = &[
-    "of", "in", "on", "at", "by", "for", "with", "about", "against", "between", "into",
-    "through", "during", "before", "after", "above", "below", "from", "up", "down", "out",
-    "off", "over", "under", "since", "until", "while", "because", "although", "though", "if",
-    "unless", "as", "than", "whether", "per", "via", "without", "within", "upon", "toward",
-    "towards", "among", "amongst", "despite", "except", "like",
+    "of", "in", "on", "at", "by", "for", "with", "about", "against", "between", "into", "through",
+    "during", "before", "after", "above", "below", "from", "up", "down", "out", "off", "over",
+    "under", "since", "until", "while", "because", "although", "though", "if", "unless", "as",
+    "than", "whether", "per", "via", "without", "within", "upon", "toward", "towards", "among",
+    "amongst", "despite", "except", "like",
 ];
 const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "so", "yet", "plus"];
 const PRONOUNS: &[&str] = &[
-    "i", "you", "he", "she", "it", "we", "they", "me", "him", "them", "us", "myself",
-    "yourself", "himself", "herself", "itself", "ourselves", "themselves", "anyone",
-    "everyone", "someone", "anybody", "everybody", "somebody", "nothing", "something",
-    "anything", "everything", "one",
+    "i",
+    "you",
+    "he",
+    "she",
+    "it",
+    "we",
+    "they",
+    "me",
+    "him",
+    "them",
+    "us",
+    "myself",
+    "yourself",
+    "himself",
+    "herself",
+    "itself",
+    "ourselves",
+    "themselves",
+    "anyone",
+    "everyone",
+    "someone",
+    "anybody",
+    "everybody",
+    "somebody",
+    "nothing",
+    "something",
+    "anything",
+    "everything",
+    "one",
 ];
-const POSSESSIVES: &[&str] = &["my", "your", "his", "her", "its", "our", "their", "mine",
-    "yours", "hers", "ours", "theirs", "whose"];
-const MODALS: &[&str] =
-    &["can", "could", "may", "might", "must", "shall", "should", "will", "would", "ought",
-      "cannot", "can't", "won't", "couldn't", "shouldn't", "wouldn't", "mustn't"];
+const POSSESSIVES: &[&str] = &[
+    "my", "your", "his", "her", "its", "our", "their", "mine", "yours", "hers", "ours", "theirs",
+    "whose",
+];
+const MODALS: &[&str] = &[
+    "can",
+    "could",
+    "may",
+    "might",
+    "must",
+    "shall",
+    "should",
+    "will",
+    "would",
+    "ought",
+    "cannot",
+    "can't",
+    "won't",
+    "couldn't",
+    "shouldn't",
+    "wouldn't",
+    "mustn't",
+];
 const AUX_BE_HAVE_DO: &[(&str, PosTag)] = &[
     ("be", PosTag::Vb),
     ("am", PosTag::Vbz),
@@ -180,26 +224,66 @@ const AUX_BE_HAVE_DO: &[(&str, PosTag)] = &[
     ("i'm", PosTag::Prp),
     ("it's", PosTag::Prp),
 ];
-const WH_WORDS: &[&str] = &["who", "whom", "which", "what", "when", "where", "why", "how",
-    "whoever", "whatever", "whenever", "wherever", "whichever"];
-const INTERJECTIONS: &[&str] =
-    &["hello", "hi", "hey", "oh", "ugh", "wow", "ouch", "yes", "yeah", "no", "okay", "ok",
-      "please", "thanks", "thank", "sorry", "well"];
+const WH_WORDS: &[&str] = &[
+    "who",
+    "whom",
+    "which",
+    "what",
+    "when",
+    "where",
+    "why",
+    "how",
+    "whoever",
+    "whatever",
+    "whenever",
+    "wherever",
+    "whichever",
+];
+const INTERJECTIONS: &[&str] = &[
+    "hello", "hi", "hey", "oh", "ugh", "wow", "ouch", "yes", "yeah", "no", "okay", "ok", "please",
+    "thanks", "thank", "sorry", "well",
+];
 const COMMON_ADVERBS: &[&str] = &[
-    "very", "really", "too", "also", "just", "now", "then", "here", "there", "never",
-    "always", "often", "sometimes", "again", "soon", "already", "still", "even", "maybe",
-    "perhaps", "quite", "almost", "away", "back", "however", "not", "n't", "today",
-    "yesterday", "tomorrow",
+    "very",
+    "really",
+    "too",
+    "also",
+    "just",
+    "now",
+    "then",
+    "here",
+    "there",
+    "never",
+    "always",
+    "often",
+    "sometimes",
+    "again",
+    "soon",
+    "already",
+    "still",
+    "even",
+    "maybe",
+    "perhaps",
+    "quite",
+    "almost",
+    "away",
+    "back",
+    "however",
+    "not",
+    "n't",
+    "today",
+    "yesterday",
+    "tomorrow",
 ];
 const COMMON_ADJECTIVES: &[&str] = &[
     "good", "bad", "new", "old", "high", "low", "severe", "chronic", "acute", "sick", "ill",
-    "sore", "tired", "scared", "worried", "same", "other", "first", "last", "next", "many",
-    "few", "much", "little", "own", "sure", "able", "normal", "common", "rare",
+    "sore", "tired", "scared", "worried", "same", "other", "first", "last", "next", "many", "few",
+    "much", "little", "own", "sure", "able", "normal", "common", "rare",
 ];
 const COMMON_BASE_VERBS: &[&str] = &[
-    "go", "get", "take", "make", "know", "think", "see", "come", "want", "use", "find",
-    "give", "tell", "ask", "feel", "try", "need", "help", "start", "stop", "keep", "let",
-    "seem", "talk", "turn", "hurt", "ache", "eat", "sleep", "drink", "call", "say",
+    "go", "get", "take", "make", "know", "think", "see", "come", "want", "use", "find", "give",
+    "tell", "ask", "feel", "try", "need", "help", "start", "stop", "keep", "let", "seem", "talk",
+    "turn", "hurt", "ache", "eat", "sleep", "drink", "call", "say",
 ];
 
 fn in_list(list: &[&str], w: &str) -> bool {
@@ -251,7 +335,8 @@ fn tag_word(lower: &str, shape: WordShape, sentence_initial: bool) -> PosTag {
     }
     // Proper noun by shape: capitalized or camel-case away from the
     // sentence start.
-    if !sentence_initial && matches!(shape, WordShape::Capitalized | WordShape::AllUpper | WordShape::Camel)
+    if !sentence_initial
+        && matches!(shape, WordShape::Capitalized | WordShape::AllUpper | WordShape::Camel)
     {
         return PosTag::Nnp;
     }
@@ -268,12 +353,24 @@ fn suffix_tag(lower: &str) -> PosTag {
         PosTag::Vbg
     } else if has("ed") {
         PosTag::Vbd
-    } else if has("tion") || has("sion") || has("ment") || has("ness") || has("ity") || has("ism")
-        || has("itis") || has("osis")
+    } else if has("tion")
+        || has("sion")
+        || has("ment")
+        || has("ness")
+        || has("ity")
+        || has("ism")
+        || has("itis")
+        || has("osis")
     {
         PosTag::Nn
-    } else if has("ous") || has("ful") || has("able") || has("ible") || has("ive") || has("ical")
-        || has("less") || has("ish")
+    } else if has("ous")
+        || has("ful")
+        || has("able")
+        || has("ible")
+        || has("ive")
+        || has("ical")
+        || has("less")
+        || has("ish")
     {
         PosTag::Jj
     } else if has("est") {
@@ -314,9 +411,7 @@ pub fn tag_tokens(tokens: &[Token<'_>]) -> Vec<PosTag> {
     // Contextual fix-up: DT/PRP$ followed by a tagged verb is almost always
     // a noun ("my ache", "the need").
     for i in 1..tags.len() {
-        if matches!(tags[i - 1], PosTag::Dt | PosTag::PrpDollar)
-            && matches!(tags[i], PosTag::Vb)
-        {
+        if matches!(tags[i - 1], PosTag::Dt | PosTag::PrpDollar) && matches!(tags[i], PosTag::Vb) {
             tags[i] = PosTag::Nn;
         }
     }

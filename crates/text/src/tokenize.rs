@@ -200,11 +200,7 @@ mod tests {
     use super::*;
 
     fn words(text: &str) -> Vec<&str> {
-        tokenize(text)
-            .into_iter()
-            .filter(|t| t.kind == TokenKind::Word)
-            .map(|t| t.text)
-            .collect()
+        tokenize(text).into_iter().filter(|t| t.kind == TokenKind::Word).map(|t| t.text).collect()
     }
 
     #[test]

@@ -48,10 +48,7 @@ impl DistanceModel {
     /// non-positive.
     pub fn validate(&self) {
         assert!(self.gap() > 0.0, "theorems require lambda != lambda-bar");
-        assert!(
-            self.range_correct > 0.0 && self.range_incorrect > 0.0,
-            "ranges must be positive"
-        );
+        assert!(self.range_correct > 0.0 && self.range_incorrect > 0.0, "ranges must be positive");
     }
 }
 
@@ -176,8 +173,7 @@ pub fn topk_alpha_aas_condition(
         return true;
     }
     let lhs = m.gap() / (2.0 * m.delta());
-    let rhs =
-        ((2.0 * alpha * n1 as f64 * (n2 - k) as f64).ln() + 2.0 * (n as f64).ln()).sqrt();
+    let rhs = ((2.0 * alpha * n1 as f64 * (n2 - k) as f64).ln() + 2.0 * (n as f64).ln()).sqrt();
     lhs >= rhs
 }
 

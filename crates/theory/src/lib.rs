@@ -16,8 +16,8 @@ pub mod bounds;
 pub mod mc;
 
 pub use bounds::{
-    alpha_aas_condition, alpha_bound, full_aas_condition, pairwise_aas_condition,
-    pairwise_bound, required_gap_over_delta, topk_aas_condition, topk_alpha_aas_condition,
-    topk_alpha_bound, topk_bound, DistanceModel,
+    alpha_aas_condition, alpha_bound, full_aas_condition, pairwise_aas_condition, pairwise_bound,
+    required_gap_over_delta, topk_aas_condition, topk_alpha_aas_condition, topk_alpha_bound,
+    topk_bound, DistanceModel,
 };
 pub use mc::{simulate, McResult};

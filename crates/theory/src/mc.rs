@@ -102,11 +102,7 @@ mod tests {
         for m in [separated(), overlapping()] {
             let bound = pairwise_bound(&m);
             let r = simulate(&m, 2, 1, 4000, 7);
-            assert!(
-                r.exact_rate >= bound - 0.03,
-                "empirical {} < bound {bound}",
-                r.exact_rate
-            );
+            assert!(r.exact_rate >= bound - 0.03, "empirical {} < bound {bound}", r.exact_rate);
         }
     }
 

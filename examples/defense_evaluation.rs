@@ -23,21 +23,21 @@ fn main() {
 
     let defenses: Vec<(&str, Defense)> = vec![
         ("none", Defense::none()),
-        ("lowercase everything", Defense {
-            style_passes: vec![StylePass::NormalizeCase],
-            ..Defense::none()
-        }),
-        ("fix misspellings", Defense {
-            style_passes: vec![StylePass::CorrectMisspellings],
-            ..Defense::none()
-        }),
+        (
+            "lowercase everything",
+            Defense { style_passes: vec![StylePass::NormalizeCase], ..Defense::none() },
+        ),
+        (
+            "fix misspellings",
+            Defense { style_passes: vec![StylePass::CorrectMisspellings], ..Defense::none() },
+        ),
         ("generalize rare words", Defense { vocab_keep_top: Some(300), ..Defense::none() }),
         ("full style rewrite", Defense::full_style()),
         ("full style + unlink threads", Defense::full()),
-        ("merge boards", Defense {
-            structure: Some(StructurePass::MergeBoards),
-            ..Defense::none()
-        }),
+        (
+            "merge boards",
+            Defense { structure: Some(StructurePass::MergeBoards), ..Defense::none() },
+        ),
     ];
 
     println!("{:<30} {:>10} {:>9}", "defense applied to published data", "accuracy", "utility");
@@ -54,12 +54,7 @@ fn main() {
         let attack =
             DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 10, ..AttackConfig::default() });
         let eval = attack.run(&split.auxiliary, &defended).evaluate(&split.oracle);
-        println!(
-            "{:<30} {:>9.1}% {:>8.1}%",
-            name,
-            100.0 * eval.accuracy(),
-            100.0 * mean_utility
-        );
+        println!("{:<30} {:>9.1}% {:>8.1}%", name, 100.0 * eval.accuracy(), 100.0 * mean_utility);
     }
     println!("\nSurface rewrites barely move the needle: the relative frequencies");
     println!("of common function words survive any meaning-preserving rewrite.");

@@ -1,0 +1,71 @@
+//! Run the De-Health attack through the parallel sharded execution
+//! engine, including an incremental auxiliary ingest, and print the
+//! per-stage throughput report.
+//!
+//! ```text
+//! cargo run --release --example parallel_attack [n_users] [n_threads]
+//! ```
+
+use de_health::core::AttackConfig;
+use de_health::corpus::split::{closed_world_split, SplitConfig};
+use de_health::corpus::{Forum, ForumConfig, Post};
+use de_health::engine::{Engine, EngineConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_users: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let n_threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+
+    println!("generating a synthetic forum with {n_users} users…");
+    let forum = Forum::generate(&ForumConfig::webmd_like(n_users), 42);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.7), 7);
+    println!(
+        "  auxiliary: {} posts, anonymized: {} users / {} posts",
+        split.auxiliary.posts.len(),
+        split.anonymized.n_users,
+        split.anonymized.posts.len()
+    );
+
+    let attack = AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() };
+    let engine = Engine::new(EngineConfig { attack, n_threads, block_size: 32 });
+
+    // One-shot parallel attack.
+    let outcome = engine.run(&split.auxiliary, &split.anonymized);
+    let correct = (0..split.anonymized.n_users)
+        .filter(|&u| {
+            outcome.mapping[u].is_some() && outcome.mapping[u] == split.oracle.true_mapping(u)
+        })
+        .count();
+    println!(
+        "\nrefined DA: {correct}/{} correct ({:.1}%)",
+        split.anonymized.n_users,
+        100.0 * correct as f64 / split.anonymized.n_users.max(1) as f64
+    );
+    println!("\n{}", outcome.report);
+
+    // Streaming scenario: the auxiliary data arrives as two user cohorts.
+    let cut = split.auxiliary.n_users / 2;
+    let chunk = |lo: usize, hi: usize| {
+        let posts: Vec<Post> = split
+            .auxiliary
+            .posts
+            .iter()
+            .filter(|p| (lo..hi).contains(&p.author))
+            .map(|p| Post { author: p.author - lo, thread: p.thread, text: p.text.clone() })
+            .collect();
+        Forum::from_posts(hi - lo, split.auxiliary.n_threads, posts)
+    };
+    let mut session = engine.session(&split.anonymized);
+    session.add_auxiliary_users(&chunk(0, cut));
+    println!(
+        "\nincremental session after first cohort: {} auxiliary users ingested",
+        session.n_auxiliary_users()
+    );
+    session.add_auxiliary_users(&chunk(cut, split.auxiliary.n_users));
+    let streamed = session.finish();
+    println!(
+        "incremental session after second cohort: {} users mapped",
+        streamed.mapping.iter().filter(|m| m.is_some()).count()
+    );
+    println!("\n{}", streamed.report);
+}

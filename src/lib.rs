@@ -24,6 +24,9 @@
 //! - [`graph`] — correlation / UDA graphs, communities, bipartite matching.
 //! - [`ml`] — benchmark classifiers (KNN, SMO-SVM, RLSC, nearest-centroid).
 //! - [`core`] — the De-Health attack itself plus the Stylometry baseline.
+//! - [`engine`] — the parallel sharded execution engine: blockwise Top-K
+//!   DA over bounded candidate heaps (no dense similarity matrix),
+//!   fan-out Refined DA, and incremental auxiliary ingestion.
 //! - [`theory`] — re-identifiability bounds (Theorems 1-4) and Monte-Carlo
 //!   validation.
 //! - [`linkage`] — the NameLink / AvatarLink linkage-attack simulation.
@@ -50,6 +53,7 @@
 pub use dehealth_anonymize as anonymize;
 pub use dehealth_core as core;
 pub use dehealth_corpus as corpus;
+pub use dehealth_engine as engine;
 pub use dehealth_graph as graph;
 pub use dehealth_linkage as linkage;
 pub use dehealth_ml as ml;

@@ -15,11 +15,8 @@ fn tiny_forum(seed: u64) -> Forum {
 fn closed_world_attack_beats_chance() {
     let forum = tiny_forum(1);
     let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 2);
-    let attack = DeHealth::new(AttackConfig {
-        top_k: 5,
-        n_landmarks: 8,
-        ..AttackConfig::default()
-    });
+    let attack =
+        DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 8, ..AttackConfig::default() });
     let outcome = attack.run(&split.auxiliary, &split.anonymized);
     let eval = outcome.evaluate(&split.oracle);
     // Chance for Top-5 of ~40 users is 12.5%; require a clear margin.
@@ -31,7 +28,8 @@ fn closed_world_attack_beats_chance() {
 fn pipeline_is_deterministic_end_to_end() {
     let forum = tiny_forum(3);
     let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 4);
-    let attack = DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 8, ..AttackConfig::default() });
+    let attack =
+        DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 8, ..AttackConfig::default() });
     let a = attack.run(&split.auxiliary, &split.anonymized);
     let b = attack.run(&split.auxiliary, &split.anonymized);
     assert_eq!(a.mapping, b.mapping);
@@ -42,7 +40,8 @@ fn pipeline_is_deterministic_end_to_end() {
 fn evaluation_invariants_hold() {
     let forum = tiny_forum(5);
     let split = closed_world_split(&forum, &SplitConfig::fraction(0.7), 6);
-    let attack = DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 8, ..AttackConfig::default() });
+    let attack =
+        DeHealth::new(AttackConfig { top_k: 5, n_landmarks: 8, ..AttackConfig::default() });
     let outcome = attack.run(&split.auxiliary, &split.anonymized);
     let eval = outcome.evaluate(&split.oracle);
     // Counts are consistent.
@@ -90,10 +89,6 @@ fn all_classifier_backends_run_the_full_pipeline() {
         });
         let outcome = attack.run(&split.auxiliary, &split.anonymized);
         let eval = outcome.evaluate(&split.oracle);
-        assert!(
-            eval.accuracy() > 0.15,
-            "{classifier:?} accuracy = {}",
-            eval.accuracy()
-        );
+        assert!(eval.accuracy() > 0.15, "{classifier:?} accuracy = {}", eval.accuracy());
     }
 }

@@ -12,8 +12,7 @@ fn world(seed: u64) -> World {
 #[test]
 fn linkage_attack_recovers_identities_with_high_precision() {
     let w = world(1);
-    let report =
-        run_linkage_attack(&w, &NameLinkConfig::default(), &AvatarLinkConfig::default());
+    let report = run_linkage_attack(&w, &NameLinkConfig::default(), &AvatarLinkConfig::default());
     assert!(report.n_avatar_linked() > 0);
     assert!(report.n_name_linked() > 0);
     assert!(LinkageReport::precision(&report.avatar_links) > 0.95);
@@ -40,14 +39,9 @@ fn name_link_respects_entropy_ordering() {
 #[test]
 fn profiles_only_for_linked_accounts() {
     let w = world(4);
-    let report =
-        run_linkage_attack(&w, &NameLinkConfig::default(), &AvatarLinkConfig::default());
-    let linked: std::collections::HashSet<usize> = report
-        .avatar_links
-        .iter()
-        .chain(&report.name_links)
-        .map(|l| l.forum_account)
-        .collect();
+    let report = run_linkage_attack(&w, &NameLinkConfig::default(), &AvatarLinkConfig::default());
+    let linked: std::collections::HashSet<usize> =
+        report.avatar_links.iter().chain(&report.name_links).map(|l| l.forum_account).collect();
     for fa in report.profiles.keys() {
         assert!(linked.contains(fa), "profile for unlinked account {fa}");
     }
@@ -56,7 +50,6 @@ fn profiles_only_for_linked_accounts() {
 #[test]
 fn cross_validated_overlap_is_consistent() {
     let w = world(5);
-    let report =
-        run_linkage_attack(&w, &NameLinkConfig::default(), &AvatarLinkConfig::default());
+    let report = run_linkage_attack(&w, &NameLinkConfig::default(), &AvatarLinkConfig::default());
     assert!(report.n_overlap <= report.n_avatar_linked().min(report.n_name_linked()));
 }

@@ -1,6 +1,12 @@
-//! Property-based tests (proptest) on cross-crate invariants.
+//! Property-based tests on cross-crate invariants.
+//!
+//! Originally written against `proptest`; the build environment has no
+//! crates.io access, so the same properties are exercised with seeded
+//! random generation from the workspace's in-tree `rand` shim (64 cases
+//! per property, deterministic across runs).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use de_health::graph::{max_weight_matching, Graph, GraphBuilder};
 use de_health::ml::{accuracy, Dataset, MinMaxScaler};
@@ -8,56 +14,115 @@ use de_health::stylometry::{extract, M};
 use de_health::text::{sentences, tokenize, TokenKind};
 use de_health::theory::{pairwise_bound, topk_bound, DistanceModel};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// The tokenizer never panics and spans always slice the input.
-    #[test]
-    fn tokenizer_total_on_arbitrary_utf8(text in "\\PC{0,200}") {
+/// Arbitrary printable text, mirroring proptest's `\PC` strategy: a mix of
+/// common text characters (kept frequent so word/sentence machinery is
+/// exercised) and uniformly random non-control Unicode scalars (so
+/// multi-byte boundaries, combining marks, RTL scripts, and astral-plane
+/// characters all reach the tokenizer).
+fn arbitrary_text(rng: &mut StdRng, max_len: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'b', 'z', 'E', 'Q', '0', '9', ' ', ' ', ' ', '.', ',', '!', '?', '\'', '"', '-', '(',
+        ')', '$', '%', 'é', 'ü', 'ß', 'Ω', 'λ', '中', '文', 'й', '😀', '🩺', '\u{2014}', '\t',
+        '\n',
+    ];
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            if rng.gen_range(0..4u8) == 0 {
+                random_printable_char(rng)
+            } else {
+                POOL[rng.gen_range(0..POOL.len())]
+            }
+        })
+        .collect()
+}
+
+/// A uniformly random non-control Unicode scalar value (rejection-sampled
+/// over the full scalar range, surrogates and control characters excluded).
+fn random_printable_char(rng: &mut StdRng) -> char {
+    loop {
+        if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+            if !c.is_control() {
+                return c;
+            }
+        }
+    }
+}
+
+/// Text over the restricted charset `[a-zA-Z0-9 .,!?']`.
+fn clean_text(rng: &mut StdRng, max_len: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'g', 'm', 't', 'z', 'A', 'R', 'Z', '0', '5', '9', ' ', ' ', '.', ',', '!', '?', '\'',
+    ];
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+}
+
+/// The tokenizer never panics and spans always slice the input.
+#[test]
+fn tokenizer_total_on_arbitrary_utf8() {
+    let mut rng = StdRng::seed_from_u64(0x70ce);
+    for _ in 0..CASES {
+        let text = arbitrary_text(&mut rng, 200);
         let toks = tokenize(&text);
         for t in &toks {
-            prop_assert_eq!(&text[t.start..t.start + t.text.len()], t.text);
-            prop_assert!(!t.text.is_empty());
+            assert_eq!(&text[t.start..t.start + t.text.len()], t.text);
+            assert!(!t.text.is_empty());
         }
         // Sentence splitting is also total.
         let _ = sentences(&text);
     }
+}
 
-    /// Word tokens contain no whitespace or digits.
-    #[test]
-    fn word_tokens_are_clean(text in "[a-zA-Z0-9 .,!?']{0,120}") {
+/// Word tokens contain no whitespace or digits.
+#[test]
+fn word_tokens_are_clean() {
+    let mut rng = StdRng::seed_from_u64(0xc1ea);
+    for _ in 0..CASES {
+        let text = clean_text(&mut rng, 120);
         for t in tokenize(&text) {
             if t.kind == TokenKind::Word {
-                prop_assert!(t.text.chars().all(|c| !c.is_whitespace() && !c.is_ascii_digit()));
+                assert!(t.text.chars().all(|c| !c.is_whitespace() && !c.is_ascii_digit()));
             }
         }
     }
+}
 
-    /// Feature extraction is total, non-negative and finite on any input.
-    #[test]
-    fn feature_extraction_is_sane(text in "\\PC{0,300}") {
+/// Feature extraction is total, non-negative and finite on any input.
+#[test]
+fn feature_extraction_is_sane() {
+    let mut rng = StdRng::seed_from_u64(0xfea7);
+    for _ in 0..CASES {
+        let text = arbitrary_text(&mut rng, 300);
         let v = extract(&text);
         for (i, x) in v.iter_nonzero() {
-            prop_assert!(i < M);
-            prop_assert!(x.is_finite() && x > 0.0);
+            assert!(i < M);
+            assert!(x.is_finite() && x > 0.0);
         }
     }
+}
 
-    /// Feature extraction is deterministic.
-    #[test]
-    fn feature_extraction_deterministic(text in "\\PC{0,200}") {
-        prop_assert_eq!(extract(&text), extract(&text));
+/// Feature extraction is deterministic.
+#[test]
+fn feature_extraction_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xdede);
+    for _ in 0..CASES {
+        let text = arbitrary_text(&mut rng, 200);
+        assert_eq!(extract(&text), extract(&text));
     }
+}
 
-    /// Hungarian matching output is always a valid injective assignment
-    /// and never worse than the greedy row-by-row assignment.
-    #[test]
-    fn matching_is_injective_and_beats_greedy(
-        rows in 1usize..5,
-        cols_extra in 0usize..4,
-        vals in proptest::collection::vec(0.0f64..10.0, 25),
-    ) {
-        let cols = rows + cols_extra;
+/// Hungarian matching output is always a valid injective assignment and
+/// never worse than the greedy row-by-row assignment.
+#[test]
+fn matching_is_injective_and_beats_greedy() {
+    let mut rng = StdRng::seed_from_u64(0x3a7c);
+    for _ in 0..CASES {
+        let rows = rng.gen_range(1usize..5);
+        let cols = rows + rng.gen_range(0usize..4);
+        let vals: Vec<f64> = (0..25).map(|_| rng.gen::<f64>() * 10.0).collect();
         let w: Vec<Vec<f64>> = (0..rows)
             .map(|i| (0..cols).map(|j| vals[(i * cols + j) % vals.len()]).collect())
             .collect();
@@ -65,8 +130,8 @@ proptest! {
         // Injective.
         let mut seen = std::collections::HashSet::new();
         for &j in &assign {
-            prop_assert!(j < cols);
-            prop_assert!(seen.insert(j));
+            assert!(j < cols);
+            assert!(seen.insert(j));
         }
         let optimal: f64 = assign.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
         // Greedy baseline.
@@ -82,43 +147,53 @@ proptest! {
             used[j] = true;
             greedy += v;
         }
-        prop_assert!(optimal >= greedy - 1e-9);
+        assert!(optimal >= greedy - 1e-9);
     }
+}
 
-    /// Min-max scaling always lands in [0, 1].
-    #[test]
-    fn minmax_scaler_bounds(
-        samples in proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, 3), 1..20),
-    ) {
+/// Min-max scaling always lands in [0, 1].
+#[test]
+fn minmax_scaler_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x5ca1);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..20);
         let mut d = Dataset::new(3);
-        for s in &samples {
-            d.push(s, 0);
+        for _ in 0..n {
+            let s: Vec<f64> = (0..3).map(|_| rng.gen::<f64>() * 200.0 - 100.0).collect();
+            d.push(&s, 0);
         }
         let scaler = MinMaxScaler::fit(&d);
         let mut scaled = d.clone();
         scaler.transform(&mut scaled);
         for i in 0..scaled.len() {
             for &v in scaled.sample(i) {
-                prop_assert!((0.0..=1.0).contains(&v));
+                assert!((0.0..=1.0).contains(&v));
             }
         }
     }
+}
 
-    /// Accuracy is the fraction of agreeing positions.
-    #[test]
-    fn accuracy_in_unit_interval(
-        pred in proptest::collection::vec(0usize..5, 1..30),
-    ) {
+/// Accuracy is the fraction of agreeing positions.
+#[test]
+fn accuracy_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(0xacc0);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..30);
+        let pred: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..5)).collect();
         let truth: Vec<usize> = pred.iter().map(|&p| (p + 1) % 5).collect();
-        prop_assert_eq!(accuracy(&pred, &pred), 1.0);
-        prop_assert_eq!(accuracy(&pred, &truth), 0.0);
+        assert_eq!(accuracy(&pred, &pred), 1.0);
+        assert_eq!(accuracy(&pred, &truth), 0.0);
     }
+}
 
-    /// Theory bounds are probabilities, monotone in the gap, and Top-K
-    /// dominates exact.
-    #[test]
-    fn theory_bounds_are_probabilities(gap in 0.1f64..20.0, k in 1usize..100) {
+/// Theory bounds are probabilities, monotone in the gap, and Top-K
+/// dominates exact.
+#[test]
+fn theory_bounds_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(0x7e04);
+    for _ in 0..CASES {
+        let gap = 0.1 + rng.gen::<f64>() * 19.9;
+        let k = rng.gen_range(1usize..100);
         let m = DistanceModel {
             lambda_correct: 1.0,
             lambda_incorrect: 1.0 + gap,
@@ -127,29 +202,34 @@ proptest! {
         };
         let t1 = pairwise_bound(&m);
         let t3 = topk_bound(&m, 100, k.min(100));
-        prop_assert!((0.0..=1.0).contains(&t1));
-        prop_assert!((0.0..=1.0).contains(&t3));
+        assert!((0.0..=1.0).contains(&t1));
+        assert!((0.0..=1.0).contains(&t3));
     }
+}
 
-    /// Graph construction invariants: weights accumulate, degrees bounded.
-    #[test]
-    fn graph_builder_invariants(
-        edges in proptest::collection::vec((0usize..10, 0usize..10, 0.1f64..5.0), 0..40),
-    ) {
+/// Graph construction invariants: weights accumulate, degrees bounded.
+#[test]
+fn graph_builder_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x6ba9);
+    for _ in 0..CASES {
+        let n_edges = rng.gen_range(0usize..40);
         let mut b = GraphBuilder::new(10);
-        for &(x, y, w) in &edges {
+        for _ in 0..n_edges {
+            let x = rng.gen_range(0usize..10);
+            let y = rng.gen_range(0usize..10);
+            let w = 0.1 + rng.gen::<f64>() * 4.9;
             b.add_edge(x, y, w);
         }
         let g: Graph = b.build();
-        prop_assert_eq!(g.node_count(), 10);
+        assert_eq!(g.node_count(), 10);
         for u in 0..10 {
-            prop_assert!(g.degree(u) < 10);
+            assert!(g.degree(u) < 10);
             let ncs = g.ncs_vector(u);
             // NCS is sorted decreasing.
-            prop_assert!(ncs.windows(2).all(|w| w[0] >= w[1]));
+            assert!(ncs.windows(2).all(|w| w[0] >= w[1]));
             // Weighted degree equals the NCS sum.
             let wd: f64 = ncs.iter().sum();
-            prop_assert!((g.weighted_degree(u) - wd).abs() < 1e-9);
+            assert!((g.weighted_degree(u) - wd).abs() < 1e-9);
         }
     }
 }
