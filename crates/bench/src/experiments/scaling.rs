@@ -1,15 +1,22 @@
-//! Scaling experiment: engine throughput as a function of worker threads.
+//! Scaling experiment: engine throughput as a function of worker threads
+//! and scoring path.
 //!
 //! Runs the parallel engine's attack on a medium synthetic forum at 1, 2,
-//! 4 and 8 worker threads, records per-stage wall-clock/throughput from
-//! the [`EngineReport`](dehealth_engine::EngineReport), and emits
+//! 4 and 8 worker threads — once through the dense all-pairs sweep
+//! ([`ScoringMode::Dense`]) and once through the inverted-index sparse
+//! path ([`ScoringMode::Indexed`]) — records per-stage wall-clock,
+//! throughput and pruning counters from the
+//! [`EngineReport`](dehealth_engine::EngineReport), and emits
 //! `BENCH_scaling.json` so future PRs have a performance trajectory to
 //! compare against. The Top-K phase is embarrassingly parallel; on a
 //! machine with ≥ 8 physical cores the 8-thread run should reach ≥ 3× the
 //! single-thread pair throughput (thread counts beyond the machine's
 //! parallelism can't speed up further — the JSON records
 //! `machine_parallelism` so readings from small CI boxes aren't
-//! misinterpreted).
+//! misinterpreted). Both paths produce bit-identical candidate sets; the
+//! indexed path additionally *prunes*: `topk_pairs_pruned` counts pairs
+//! whose upper bound could not beat the running Top-K floor and whose
+//! degree/distance terms were therefore never computed.
 
 use std::fmt::Write as _;
 use std::io;
@@ -17,28 +24,42 @@ use std::path::{Path, PathBuf};
 
 use dehealth_core::AttackConfig;
 use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
-use dehealth_engine::{Engine, EngineConfig};
+use dehealth_engine::{Engine, EngineConfig, ScoringMode};
 
 /// Thread counts swept by the experiment.
 pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
-/// One `(users × threads)` measurement.
+/// Scoring paths swept by the experiment.
+pub const MODE_SWEEP: [ScoringMode; 2] = [ScoringMode::Dense, ScoringMode::Indexed];
+
+/// One `(users × threads × scoring mode)` measurement.
 #[derive(Debug, Clone)]
 pub struct ScalingRun {
     /// Total generated forum users.
     pub users: usize,
     /// Worker threads.
     pub threads: usize,
-    /// Scored `(anonymized, auxiliary)` pairs in the Top-K stage.
+    /// Scoring path (`"dense"` or `"indexed"`).
+    pub mode: &'static str,
+    /// Fully scored `(anonymized, auxiliary)` pairs in the Top-K stage.
     pub topk_pairs: u64,
+    /// Pairs pruned by the indexed upper bound (0 on the dense path).
+    pub topk_pairs_pruned: u64,
     /// Top-K stage wall-clock seconds.
     pub topk_seconds: f64,
-    /// Top-K stage throughput (pairs/s).
+    /// Top-K stage throughput (fully scored pairs/s).
     pub topk_pairs_per_sec: f64,
     /// Refined stage wall-clock seconds.
     pub refined_seconds: f64,
     /// Whole-attack wall-clock seconds (all stages).
     pub total_seconds: f64,
+}
+
+fn mode_name(mode: ScoringMode) -> &'static str {
+    match mode {
+        ScoringMode::Dense => "dense",
+        ScoringMode::Indexed => "indexed",
+    }
 }
 
 /// Run the sweep and write `BENCH_scaling.json` to the working directory.
@@ -59,46 +80,58 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<Vec<ScalingRun
     let forum = Forum::generate(&ForumConfig::webmd_like(users), seed);
     let split = closed_world_split(&forum, &SplitConfig::fraction(0.7), seed.wrapping_add(1));
     println!(
-        "\n# Scaling: {} anonymized × {} auxiliary users, threads {THREAD_SWEEP:?}",
+        "\n# Scaling: {} anonymized × {} auxiliary users, threads {THREAD_SWEEP:?}, \
+         dense vs indexed scoring",
         split.anonymized.n_users, split.auxiliary.n_users
     );
 
     let mut runs = Vec::new();
     for &threads in &THREAD_SWEEP {
-        let engine = Engine::new(EngineConfig {
-            attack: AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() },
-            n_threads: threads,
-            block_size: 16,
-        });
-        let outcome = engine.run(&split.auxiliary, &split.anonymized);
-        let report = &outcome.report;
-        let topk = report.stage("topk").expect("topk stage always runs");
-        let refined = report.stage("refined").expect("refined stage always runs");
-        let run = ScalingRun {
-            users,
-            threads,
-            topk_pairs: topk.items,
-            topk_seconds: topk.seconds,
-            topk_pairs_per_sec: topk.throughput(),
-            refined_seconds: refined.seconds,
-            total_seconds: report.total_seconds(),
-        };
-        println!(
-            "  threads {:>2}: topk {:>8.3}s ({:>12.0} pairs/s), refined {:>8.3}s, total {:>8.3}s",
-            run.threads,
-            run.topk_seconds,
-            run.topk_pairs_per_sec,
-            run.refined_seconds,
-            run.total_seconds
-        );
-        runs.push(run);
-    }
-    if let (Some(first), Some(last)) = (runs.first(), runs.last()) {
-        if first.topk_seconds > 0.0 {
+        for &mode in &MODE_SWEEP {
+            let engine = Engine::new(EngineConfig {
+                attack: AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() },
+                n_threads: threads,
+                block_size: 16,
+                scoring: mode,
+            });
+            let outcome = engine.run(&split.auxiliary, &split.anonymized);
+            let report = &outcome.report;
+            let topk = report.stage("topk").expect("topk stage always runs");
+            let refined = report.stage("refined").expect("refined stage always runs");
+            let run = ScalingRun {
+                users,
+                threads,
+                mode: mode_name(mode),
+                topk_pairs: topk.items,
+                topk_pairs_pruned: topk.skipped,
+                topk_seconds: topk.seconds,
+                topk_pairs_per_sec: topk.throughput(),
+                refined_seconds: refined.seconds,
+                total_seconds: report.total_seconds(),
+            };
             println!(
-                "  topk speedup at {} threads vs 1: {:.2}×",
-                last.threads,
-                first.topk_seconds / last.topk_seconds.max(1e-12)
+                "  threads {:>2} {:<7}: topk {:>8.3}s ({:>12.0} pairs/s, {:>10} pruned), \
+                 refined {:>8.3}s, total {:>8.3}s",
+                run.threads,
+                run.mode,
+                run.topk_seconds,
+                run.topk_pairs_per_sec,
+                run.topk_pairs_pruned,
+                run.refined_seconds,
+                run.total_seconds
+            );
+            runs.push(run);
+        }
+    }
+    let dense_1 = runs.iter().find(|r| r.threads == 1 && r.mode == "dense");
+    let indexed_1 = runs.iter().find(|r| r.threads == 1 && r.mode == "indexed");
+    if let (Some(d), Some(i)) = (dense_1, indexed_1) {
+        if i.topk_seconds > 0.0 && d.topk_pairs > 0 {
+            println!(
+                "  indexed vs dense at 1 thread: {:.2}× topk wall-clock, {:.1}% of pairs \
+                 fully scored",
+                d.topk_seconds / i.topk_seconds.max(1e-12),
+                100.0 * i.topk_pairs as f64 / d.topk_pairs as f64
             );
         }
     }
@@ -121,12 +154,14 @@ fn write_json(path: &Path, users: usize, seed: u64, runs: &[ScalingRun]) -> io::
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"users\": {}, \"threads\": {}, \"topk_pairs\": {}, \
-             \"topk_seconds\": {:.6}, \"topk_pairs_per_sec\": {:.1}, \
+            "    {{\"users\": {}, \"threads\": {}, \"mode\": \"{}\", \"topk_pairs\": {}, \
+             \"topk_pairs_pruned\": {}, \"topk_seconds\": {:.6}, \"topk_pairs_per_sec\": {:.1}, \
              \"refined_seconds\": {:.6}, \"total_seconds\": {:.6}}}",
             r.users,
             r.threads,
+            r.mode,
             r.topk_pairs,
+            r.topk_pairs_pruned,
             r.topk_seconds,
             r.topk_pairs_per_sec,
             r.refined_seconds,
@@ -152,18 +187,35 @@ mod tests {
         let dir = std::env::temp_dir().join("dehealth-scaling-test");
         let path = dir.join("BENCH_scaling.json");
         let runs = run_to(&path, 60, 5).unwrap();
-        assert_eq!(runs.len(), THREAD_SWEEP.len());
-        for (run, &threads) in runs.iter().zip(&THREAD_SWEEP) {
-            assert_eq!(run.threads, threads);
-            assert!(run.topk_pairs > 0);
-            assert!(run.total_seconds > 0.0);
+        assert_eq!(runs.len(), THREAD_SWEEP.len() * MODE_SWEEP.len());
+        for (chunk, &threads) in runs.chunks(MODE_SWEEP.len()).zip(&THREAD_SWEEP) {
+            assert!(chunk.iter().all(|r| r.threads == threads));
+            assert!(chunk.iter().all(|r| r.total_seconds > 0.0));
         }
-        // All thread counts score the same number of pairs.
-        assert!(runs.iter().all(|r| r.topk_pairs == runs[0].topk_pairs));
+        let dense: Vec<&ScalingRun> = runs.iter().filter(|r| r.mode == "dense").collect();
+        let indexed: Vec<&ScalingRun> = runs.iter().filter(|r| r.mode == "indexed").collect();
+        // The dense oracle scores every present pair and never prunes;
+        // all thread counts agree on the workload.
+        assert!(dense.iter().all(|r| r.topk_pairs == dense[0].topk_pairs && r.topk_pairs > 0));
+        assert!(dense.iter().all(|r| r.topk_pairs_pruned == 0));
+        // The indexed path prunes (> 0) and therefore fully scores
+        // strictly fewer pairs than the dense sweep — the acceptance
+        // criterion of the sparse-scoring PR — while covering the same
+        // workload (scored + pruned = dense pairs). Pruning decisions are
+        // per-user, so thread counts agree here too.
+        assert!(
+            indexed.iter().all(|r| r.topk_pairs_pruned > 0),
+            "indexed path pruned nothing: {indexed:?}"
+        );
+        assert!(indexed.iter().all(|r| r.topk_pairs < dense[0].topk_pairs));
+        assert!(indexed.iter().all(|r| r.topk_pairs + r.topk_pairs_pruned == dense[0].topk_pairs));
+        assert!(indexed.iter().all(|r| r.topk_pairs == indexed[0].topk_pairs));
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"experiment\": \"scaling\""));
         assert!(text.contains("\"machine_parallelism\""));
         assert!(text.contains("\"threads\": 8"));
+        assert!(text.contains("\"mode\": \"indexed\""));
+        assert!(text.contains("\"topk_pairs_pruned\""));
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -1,0 +1,584 @@
+//! Inverted-index sparse candidate scoring.
+//!
+//! The all-pairs sweep of [`SimilarityEngine::scores_for`] touches every
+//! `(anonymized, auxiliary)` pair and merges both users' attribute lists
+//! per pair. With the paper's default weights (`c1, c2, c3 = 0.05, 0.05,
+//! 0.9`, Section III-B) the *sparse* attribute term dominates the score,
+//! so most of that work is wasted: pairs that share few or no attributes
+//! can never beat the running Top-K floor.
+//!
+//! This module replaces the sweep with work proportional to actual
+//! attribute co-occurrence:
+//!
+//! - [`AttributeIndex`] maps each attribute to the posting list of
+//!   auxiliary users exhibiting it (with their `l_v(A_i)` weights), plus
+//!   per-user totals `|A(v)|` and `Σ l_v`. It is built once per auxiliary
+//!   side and appended to incrementally as streaming sessions ingest new
+//!   users.
+//! - [`IndexedScorer`] scores one anonymized user by probing only the
+//!   posting lists of that user's own attributes, accumulating per-pair
+//!   intersection counts and min-weight sums. Both Jaccard terms are then
+//!   computed *exactly* from the accumulators — `union = |A(u)| + |A(v)| -
+//!   inter` and `wunion = Σ_u + Σ_v - Σ min` are the same integers the
+//!   dense merge counts, so the divisions produce bit-identical `f64`s.
+//! - Pairs are pruned against the [`BoundedTopK::floor`] with a cheap
+//!   monotone upper bound: a pair sharing no attributes can score at most
+//!   `c1·s^d_max + c2·s^s_max` (degree similarity caps at 3 and distance
+//!   similarity at 2 — *exact* `f64` caps, because
+//!   [`padded_cosine`](crate::similarity::padded_cosine) clamps to 1 and
+//!   the min/max ratios cannot round past 1), and a pair with exact
+//!   attribute similarity `s^a` at most `c1·3 + c2·2 + c3·s^a`. Only
+//!   pairs whose bound beats the floor fall back to the full
+//!   degree/distance computation.
+//!
+//! **Exactness.** Pruning never changes the outcome. `f64` multiplication
+//! by a non-negative constant and `f64` addition are monotone, so the
+//! bound — evaluated with the same association as
+//! [`SimilarityEngine::similarity`], `(c1·s^d + c2·s^s) + c3·s^a` — is a
+//! true upper bound on the rounded score. The floor of a [`BoundedTopK`]
+//! never decreases, and a pair is pruned only when its bound is *strictly*
+//! below the floor (an equal-score pair could still enter on the smaller-id
+//! tie-break), so every pruned pair would have been rejected by
+//! [`BoundedTopK::insert`] anyway. `tests/index_parity.rs` differential-
+//! tests this path against the dense oracle at 1/2/8 threads.
+//!
+//! **Caveat.** Pruning skips pairs without computing their scores, so the
+//! running [`ScoreBounds`](crate::filter::ScoreBounds) of a pruned pass no
+//! longer sees the global minimum. Callers that feed Algorithm-2 filtering
+//! (which thresholds against that minimum) must score with pruning
+//! disabled — the engine does this automatically whenever
+//! `AttackConfig::filtering` is set.
+
+use dehealth_stylometry::UserAttributes;
+
+use crate::filter::ScoreBounds;
+use crate::similarity::SimilarityEngine;
+use crate::topk::BoundedTopK;
+use crate::uda::UdaGraph;
+
+/// One entry of a posting list: an auxiliary user exhibiting the
+/// attribute, with its post-count weight `l_v(A_i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Auxiliary user id (in the index's id space).
+    pub user: u32,
+    /// Attribute weight `l_v(A_i)`.
+    pub weight: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct UserEntry {
+    /// `|A(v)|`.
+    attr_count: u32,
+    /// `Σ_i l_v(A_i)`.
+    weight_sum: u64,
+    /// `false` for absent users (no posts) — they are never scored.
+    present: bool,
+}
+
+/// Attribute → posting-list inverted index over one auxiliary user
+/// population.
+///
+/// Users are appended in increasing id order ([`Self::push_user`]), so
+/// every posting list stays sorted by user id and a streaming session can
+/// probe only the suffix of users ingested after a given watermark.
+///
+/// ```
+/// use dehealth_core::index::AttributeIndex;
+/// use dehealth_stylometry::UserAttributes;
+///
+/// let mut index = AttributeIndex::new();
+/// index.push_user(&UserAttributes::from_weights(vec![(3, 2), (7, 1)]), true);
+/// index.push_user(&UserAttributes::from_weights(vec![(7, 4)]), true);
+/// index.push_user(&UserAttributes::new(), false); // absent user
+/// assert_eq!(index.n_users(), 3);
+/// assert_eq!(index.posting(7).len(), 2);
+/// assert_eq!(index.posting(3).len(), 1);
+/// assert_eq!(index.present_from(0), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AttributeIndex {
+    /// `postings[attr]` = users exhibiting `attr`, ascending by id.
+    postings: Vec<Vec<Posting>>,
+    users: Vec<UserEntry>,
+    /// Ids of present users, ascending.
+    present: Vec<u32>,
+    /// Total posting entries (Σ nnz) — the index's memory footprint.
+    n_postings: usize,
+}
+
+impl AttributeIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the index over every user of a UDA graph (absent users — no
+    /// posts — are registered but get no postings).
+    #[must_use]
+    pub fn from_uda(uda: &UdaGraph) -> Self {
+        let mut index = Self::new();
+        index.append_uda(uda);
+        index
+    }
+
+    /// Append every user of a UDA graph, in id order — the single place
+    /// encoding the presence convention (`post_counts[v] > 0`), shared by
+    /// one-shot builds and streaming sessions ingesting a chunk.
+    pub fn append_uda(&mut self, uda: &UdaGraph) {
+        for (v, attrs) in uda.attributes.iter().enumerate() {
+            self.push_user(attrs, uda.post_counts[v] > 0);
+        }
+    }
+
+    /// Append the next user (id = current [`Self::n_users`]) with its
+    /// attribute set. `present` marks users that actually have posts;
+    /// absent users occupy an id but are never offered as candidates.
+    ///
+    /// Returns the id assigned to the user.
+    pub fn push_user(&mut self, attrs: &UserAttributes, present: bool) -> usize {
+        let id = self.users.len();
+        let id32 = u32::try_from(id).expect("more than u32::MAX indexed users");
+        if present {
+            for &(attr, weight) in attrs.as_weights() {
+                let attr = attr as usize;
+                if attr >= self.postings.len() {
+                    self.postings.resize_with(attr + 1, Vec::new);
+                }
+                self.postings[attr].push(Posting { user: id32, weight });
+                self.n_postings += 1;
+            }
+            self.present.push(id32);
+        }
+        self.users.push(UserEntry {
+            attr_count: u32::try_from(attrs.len()).expect("attribute count overflows u32"),
+            weight_sum: attrs.weight_sum(),
+            present,
+        });
+        id
+    }
+
+    /// Number of users registered (present and absent).
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Total posting entries across all attributes.
+    #[must_use]
+    pub fn n_postings(&self) -> usize {
+        self.n_postings
+    }
+
+    /// The posting list of one attribute, ascending by user id (empty for
+    /// attributes no user exhibits).
+    #[must_use]
+    pub fn posting(&self, attr: usize) -> &[Posting] {
+        self.postings.get(attr).map_or(&[], Vec::as_slice)
+    }
+
+    /// Ids of present users `>= from`, ascending — the population a
+    /// streaming session scores after ingesting users up to watermark
+    /// `from`.
+    #[must_use]
+    pub fn present_from(&self, from: usize) -> &[u32] {
+        let from = u32::try_from(from).expect("watermark overflows u32");
+        let start = self.present.partition_point(|&v| v < from);
+        &self.present[start..]
+    }
+}
+
+/// Per-pair work counters of one scoring pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairTally {
+    /// Pairs fully scored (degree + distance + attribute terms).
+    pub scored: u64,
+    /// Pairs skipped because their upper bound could not beat the Top-K
+    /// floor.
+    pub pruned: u64,
+}
+
+impl std::ops::AddAssign for PairTally {
+    fn add_assign(&mut self, rhs: Self) {
+        self.scored += rhs.scored;
+        self.pruned += rhs.pruned;
+    }
+}
+
+/// Reusable per-worker accumulators for [`IndexedScorer::score_user`].
+///
+/// Dense over the scored auxiliary range but reset sparsely (only touched
+/// slots are cleared), so a worker reuses one scratch across its whole
+/// block without per-user `O(|V2|)` zeroing.
+#[derive(Debug, Clone)]
+pub struct IndexScratch {
+    /// `|A(u) ∩ A(v)|` per local auxiliary user.
+    inter: Vec<u32>,
+    /// `Σ min(l_u, l_v)` over the shared attributes, per local user.
+    min_sum: Vec<u64>,
+    /// Local ids with `inter > 0`, in first-touch order.
+    touched: Vec<u32>,
+}
+
+impl IndexScratch {
+    fn new(n_local: usize) -> Self {
+        Self {
+            inter: vec![0; n_local],
+            min_sum: vec![0; n_local],
+            touched: Vec::with_capacity(n_local.min(1024)),
+        }
+    }
+}
+
+/// Sparse scorer: drives one [`SimilarityEngine`] through an
+/// [`AttributeIndex`] instead of the all-pairs sweep.
+///
+/// `from` anchors the engine's auxiliary id space inside the index: the
+/// engine's local auxiliary user `v` is index user `from + v`. A one-shot
+/// attack uses `from = 0` with an index over the whole auxiliary side; a
+/// streaming session passes the pre-ingest watermark so only the freshly
+/// appended posting suffixes are probed.
+#[derive(Debug)]
+pub struct IndexedScorer<'e, 'i> {
+    sim: &'e SimilarityEngine<'e>,
+    index: &'i AttributeIndex,
+    from: usize,
+    prune: bool,
+    /// `c1·s^d_max + c2·s^s_max`, evaluated with the same association as
+    /// the score itself (negative weights contribute their maximum, 0).
+    struct_bound: f64,
+}
+
+impl<'e, 'i> IndexedScorer<'e, 'i> {
+    /// Create a scorer over `sim`'s auxiliary side, which must occupy the
+    /// index ids `from..index.n_users()`.
+    ///
+    /// `prune` enables upper-bound pruning. Disable it when the caller
+    /// needs exact [`ScoreBounds`] over *all* present pairs (Algorithm-2
+    /// filtering); scoring stays accumulator-driven either way.
+    ///
+    /// # Panics
+    /// Panics if the index tail does not match the engine's auxiliary
+    /// population.
+    #[must_use]
+    pub fn new(
+        sim: &'e SimilarityEngine<'e>,
+        index: &'i AttributeIndex,
+        from: usize,
+        prune: bool,
+    ) -> Self {
+        assert_eq!(
+            index.n_users() - from,
+            sim.n_aux(),
+            "index tail (from {from}) does not cover the engine's auxiliary side"
+        );
+        let w = sim.weights();
+        let td = if w.c1 >= 0.0 { w.c1 * 3.0 } else { 0.0 };
+        let ts = if w.c2 >= 0.0 { w.c2 * 2.0 } else { 0.0 };
+        Self { sim, index, from, prune, struct_bound: td + ts }
+    }
+
+    /// Fresh accumulators sized for this scorer's auxiliary range.
+    #[must_use]
+    pub fn scratch(&self) -> IndexScratch {
+        IndexScratch::new(self.index.n_users() - self.from)
+    }
+
+    /// `true` if upper-bound pruning is enabled.
+    #[must_use]
+    pub fn prunes(&self) -> bool {
+        self.prune
+    }
+
+    /// Score anonymized user `u` against every present auxiliary user of
+    /// this scorer's range, feeding `top` (candidate ids in *index* id
+    /// space) and `bounds` exactly like the dense sweep would — except
+    /// that pruned pairs are skipped entirely.
+    pub fn score_user(
+        &self,
+        u: usize,
+        scratch: &mut IndexScratch,
+        top: &mut BoundedTopK,
+        bounds: &mut ScoreBounds,
+    ) -> PairTally {
+        let w = self.sim.weights();
+        let anon_attrs = &self.sim.anon_uda().attributes[u];
+        let u_len = anon_attrs.len() as u64;
+        let u_wsum = anon_attrs.weight_sum();
+
+        // Probe the posting list of each of u's attributes, accumulating
+        // intersection counts and min-weight sums per touched pair.
+        for &(attr, x) in anon_attrs.as_weights() {
+            let plist = self.index.posting(attr as usize);
+            let start = plist.partition_point(|p| (p.user as usize) < self.from);
+            for p in &plist[start..] {
+                let lv = p.user as usize - self.from;
+                if scratch.inter[lv] == 0 {
+                    scratch.touched.push(lv as u32);
+                }
+                scratch.inter[lv] += 1;
+                scratch.min_sum[lv] += u64::from(x.min(p.weight));
+            }
+        }
+
+        let mut tally = PairTally::default();
+
+        // Shared-attribute pairs: both Jaccard terms come exactly from the
+        // accumulators, then the structural upper bound decides whether the
+        // degree/distance terms are worth computing at all.
+        for k in 0..scratch.touched.len() {
+            let lv = scratch.touched[k] as usize;
+            let v = self.from + lv;
+            let entry = self.index.users[v];
+            debug_assert!(entry.present, "absent users have no posts, hence no postings");
+            let inter = u64::from(scratch.inter[lv]);
+            let union = u_len + u64::from(entry.attr_count) - inter;
+            let min_sum = scratch.min_sum[lv];
+            let wunion = u_wsum + entry.weight_sum - min_sum;
+            // Same integers, same divisions, same addition order as
+            // `UserAttributes::jaccard + weighted_jaccard`.
+            let s_attr = inter as f64 / union as f64 + min_sum as f64 / wunion as f64;
+            let attr_term = w.c3 * s_attr;
+            if self.prune {
+                if let Some(floor) = top.floor() {
+                    if self.struct_bound + attr_term < floor {
+                        tally.pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let s = (w.c1 * self.sim.degree_similarity(u, lv)
+                + w.c2 * self.sim.distance_similarity(u, lv))
+                + attr_term;
+            top.insert(v, s);
+            bounds.observe(s);
+            tally.scored += 1;
+        }
+
+        // Zero-shared pairs: the attribute term is exactly 0 (both Jaccard
+        // conventions give 0.0 on an empty intersection), matching the
+        // dense merge bit for bit.
+        let zero_term = w.c3 * 0.0;
+        for &v32 in self.index.present_from(self.from) {
+            let lv = v32 as usize - self.from;
+            if scratch.inter[lv] != 0 {
+                continue;
+            }
+            if self.prune {
+                if let Some(floor) = top.floor() {
+                    if self.struct_bound + zero_term < floor {
+                        tally.pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let s = (w.c1 * self.sim.degree_similarity(u, lv)
+                + w.c2 * self.sim.distance_similarity(u, lv))
+                + zero_term;
+            top.insert(v32 as usize, s);
+            bounds.observe(s);
+            tally.scored += 1;
+        }
+
+        // Sparse reset: clear only the touched slots.
+        for &lv32 in &scratch.touched {
+            let lv = lv32 as usize;
+            scratch.inter[lv] = 0;
+            scratch.min_sum[lv] = 0;
+        }
+        scratch.touched.clear();
+        tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::SimilarityWeights;
+    use dehealth_corpus::{Forum, Post};
+
+    fn uda(posts: Vec<Post>, n_users: usize, n_threads: usize) -> UdaGraph {
+        UdaGraph::build(&Forum::from_posts(n_users, n_threads, posts))
+    }
+
+    fn p(author: usize, thread: usize, text: &str) -> Post {
+        Post { author, thread, text: text.into() }
+    }
+
+    fn texts() -> Vec<&'static str> {
+        vec![
+            "I realy hate this migrane pain!",
+            "rest helps a lot, the doctor said so.",
+            "20 mg twice a day & water",
+            "she was SO tired yesterday?!",
+            "ok",
+            "my doctor prescribed rest and the pain went away after 3 days",
+        ]
+    }
+
+    /// A pair of UDA graphs with absent users on the auxiliary side.
+    fn sides() -> (UdaGraph, UdaGraph) {
+        let anon_posts: Vec<Post> =
+            texts().iter().enumerate().map(|(i, t)| p(i % 4, i % 3, t)).collect();
+        let mut aux_posts: Vec<Post> =
+            texts().iter().enumerate().map(|(i, t)| p(i % 5, i % 3, t)).collect();
+        aux_posts.push(p(6, 2, "extra words entirely"));
+        // Users 5 of 7 has no posts: absent.
+        (uda(anon_posts, 4, 3), uda(aux_posts, 7, 3))
+    }
+
+    fn dense_topk(sim: &SimilarityEngine<'_>, u: usize, k: usize) -> (Vec<(usize, f64)>, usize) {
+        let mut top = BoundedTopK::new(k);
+        let mut n = 0;
+        for (v, s) in sim.scores_for(u) {
+            top.insert(v, s);
+            n += 1;
+        }
+        (top.into_sorted_entries(), n)
+    }
+
+    #[test]
+    fn index_registers_all_users_and_skips_absent_postings() {
+        let (_, aux) = sides();
+        let index = AttributeIndex::from_uda(&aux);
+        assert_eq!(index.n_users(), 7);
+        assert_eq!(index.present_from(0).len(), 6);
+        assert!(!index.present_from(0).contains(&5));
+        assert!(index.n_postings() > 0);
+        // Posting lists are ascending by user id.
+        for attr in 0..2048 {
+            let plist = index.posting(attr);
+            assert!(plist.windows(2).all(|w| w[0].user < w[1].user));
+            assert!(plist.iter().all(|p| p.user != 5), "absent user in posting {attr}");
+        }
+    }
+
+    #[test]
+    fn indexed_matches_dense_bit_for_bit_without_pruning() {
+        let (anon, aux) = sides();
+        for weights in [
+            SimilarityWeights::default(),
+            SimilarityWeights { c1: 0.3, c2: 0.3, c3: 0.4 },
+            SimilarityWeights { c1: 0.0, c2: 0.0, c3: 1.0 },
+        ] {
+            let sim = SimilarityEngine::new(&anon, &aux, weights, 3);
+            let index = sim.attribute_index();
+            let scorer = IndexedScorer::new(&sim, &index, 0, false);
+            let mut scratch = scorer.scratch();
+            for u in 0..sim.n_anon() {
+                let mut top = BoundedTopK::new(4);
+                let mut bounds = ScoreBounds::new();
+                let tally = scorer.score_user(u, &mut scratch, &mut top, &mut bounds);
+                let (dense, n_present) = dense_topk(&sim, u, 4);
+                let sparse = top.into_sorted_entries();
+                assert_eq!(tally.scored, n_present as u64);
+                assert_eq!(tally.pruned, 0);
+                assert_eq!(sparse.len(), dense.len());
+                for (a, b) in sparse.iter().zip(&dense) {
+                    assert_eq!(a.0, b.0, "candidate diverges for u={u}");
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "score bits diverge for u={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_pairs_but_keeps_the_same_candidates() {
+        let (anon, aux) = sides();
+        let sim = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 3);
+        let index = sim.attribute_index();
+        let pruned_scorer = IndexedScorer::new(&sim, &index, 0, true);
+        assert!(pruned_scorer.prunes());
+        let mut scratch = pruned_scorer.scratch();
+        let mut total = PairTally::default();
+        for u in 0..sim.n_anon() {
+            let mut top = BoundedTopK::new(2);
+            let mut bounds = ScoreBounds::new();
+            let tally = pruned_scorer.score_user(u, &mut scratch, &mut top, &mut bounds);
+            total += tally;
+            let (dense, n_present) = dense_topk(&sim, u, 2);
+            assert_eq!(tally.scored + tally.pruned, n_present as u64, "every pair accounted");
+            let sparse = top.into_sorted_entries();
+            for (a, b) in sparse.iter().zip(&dense) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+        assert!(total.scored > 0);
+    }
+
+    #[test]
+    fn zero_k_heap_prunes_every_pair() {
+        let (anon, aux) = sides();
+        let sim = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 3);
+        let index = sim.attribute_index();
+        let scorer = IndexedScorer::new(&sim, &index, 0, true);
+        let mut scratch = scorer.scratch();
+        let mut top = BoundedTopK::new(0);
+        let mut bounds = ScoreBounds::new();
+        let tally = scorer.score_user(0, &mut scratch, &mut top, &mut bounds);
+        assert_eq!(tally.scored, 0);
+        assert!(tally.pruned > 0);
+        assert!(bounds.is_empty());
+    }
+
+    #[test]
+    fn watermark_scores_only_the_posting_suffix() {
+        // Global index over 2 + aux users; the engine sees only the tail.
+        let (anon, aux) = sides();
+        let mut index = AttributeIndex::new();
+        index.push_user(&dehealth_stylometry::UserAttributes::from_weights(vec![(1, 9)]), true);
+        index.push_user(&dehealth_stylometry::UserAttributes::new(), false);
+        let from = index.n_users();
+        index.append_uda(&aux);
+        let sim = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 3);
+        let scorer = IndexedScorer::new(&sim, &index, from, false);
+        let mut scratch = scorer.scratch();
+        for u in 0..sim.n_anon() {
+            let mut top = BoundedTopK::new(10);
+            let mut bounds = ScoreBounds::new();
+            scorer.score_user(u, &mut scratch, &mut top, &mut bounds);
+            let entries = top.into_sorted_entries();
+            // Candidate ids live in the global index space, offset by the
+            // watermark, and never include pre-watermark users.
+            assert!(entries.iter().all(|&(v, _)| v >= from));
+            let (dense, _) = dense_topk(&sim, u, 10);
+            let expect: Vec<(usize, f64)> = dense.iter().map(|&(v, s)| (v + from, s)).collect();
+            assert_eq!(entries.len(), expect.len());
+            for (a, b) in entries.iter().zip(&expect) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_resets_between_users() {
+        let (anon, aux) = sides();
+        let sim = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 3);
+        let index = sim.attribute_index();
+        let scorer = IndexedScorer::new(&sim, &index, 0, false);
+        let mut shared = scorer.scratch();
+        // Scoring u = 0 twice with the same scratch must give identical
+        // results (a dirty scratch would double the accumulators).
+        let run = |scratch: &mut IndexScratch| {
+            let mut top = BoundedTopK::new(5);
+            let mut bounds = ScoreBounds::new();
+            scorer.score_user(0, scratch, &mut top, &mut bounds);
+            top.into_sorted_entries()
+        };
+        let first = run(&mut shared);
+        let second = run(&mut shared);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn mismatched_watermark_is_rejected() {
+        let (anon, aux) = sides();
+        let sim = SimilarityEngine::new(&anon, &aux, SimilarityWeights::default(), 3);
+        let index = sim.attribute_index();
+        let _ = IndexedScorer::new(&sim, &index, 1, false);
+    }
+}

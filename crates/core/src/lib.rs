@@ -4,7 +4,7 @@
 //!
 //! De-Health de-anonymizes online health data in two phases:
 //!
-//! 1. **Top-K DA** ([`similarity`], [`topk`], [`filter`]): build
+//! 1. **Top-K DA** ([`similarity`], [`index`], [`topk`], [`filter`]): build
 //!    [`uda::UdaGraph`]s for the anonymized and auxiliary datasets, score
 //!    every (anonymized, auxiliary) pair with the structural similarity
 //!    `s_uv = c1·s^d + c2·s^s + c3·s^a`, select a Top-K candidate set per
@@ -23,6 +23,7 @@
 
 pub mod attack;
 pub mod filter;
+pub mod index;
 pub mod refined;
 pub mod similarity;
 pub mod topk;
@@ -30,6 +31,7 @@ pub mod uda;
 
 pub use attack::{stylometry_baseline, AttackConfig, AttackOutcome, DeHealth, Evaluation};
 pub use filter::{FilterConfig, Filtered, ScoreBounds};
+pub use index::{AttributeIndex, IndexScratch, IndexedScorer, PairTally};
 pub use refined::{refine_user, ClassifierKind, RefinedConfig, Side, Verification};
 pub use similarity::{SimilarityEngine, SimilarityWeights};
 pub use topk::{BoundedTopK, Selection};

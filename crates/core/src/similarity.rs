@@ -43,6 +43,11 @@ fn ratio(a: f64, b: f64) -> f64 {
 
 /// Cosine of two equal-or-different length vectors, zero-padding the
 /// shorter one (the paper: "we pad the short vector with zeros").
+///
+/// Clamped to at most 1.0: rounding can push `dot / (na·nb)` a few ulps
+/// past 1 for near-parallel vectors, and the indexed scorer's pruning
+/// bound ([`crate::index`]) relies on `s^d ≤ 3` / `s^s ≤ 2` holding
+/// *exactly* in `f64` arithmetic.
 #[must_use]
 pub fn padded_cosine(a: &[f64], b: &[f64]) -> f64 {
     let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
@@ -51,7 +56,7 @@ pub fn padded_cosine(a: &[f64], b: &[f64]) -> f64 {
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {
-        dot / (na * nb)
+        (dot / (na * nb)).min(1.0)
     }
 }
 
@@ -133,6 +138,31 @@ impl<'a> SimilarityEngine<'a> {
         self.aux.n_users()
     }
 
+    /// The similarity weights.
+    #[must_use]
+    pub fn weights(&self) -> SimilarityWeights {
+        self.weights
+    }
+
+    /// The anonymized-side UDA graph.
+    #[must_use]
+    pub fn anon_uda(&self) -> &UdaGraph {
+        self.anon
+    }
+
+    /// The auxiliary-side UDA graph.
+    #[must_use]
+    pub fn aux_uda(&self) -> &UdaGraph {
+        self.aux
+    }
+
+    /// Build an [`crate::index::AttributeIndex`] over this engine's
+    /// auxiliary side — the entry point of the sparse scoring path.
+    #[must_use]
+    pub fn attribute_index(&self) -> crate::index::AttributeIndex {
+        crate::index::AttributeIndex::from_uda(self.aux)
+    }
+
     /// Scores of anonymized user `u` against every *present* auxiliary
     /// user, as a `(aux_user, score)` stream. Absent auxiliary users (no
     /// posts) are skipped entirely; every yielded score is finite.
@@ -156,11 +186,14 @@ impl<'a> SimilarityEngine<'a> {
         anon_range.map(move |u| (u, self.scores_for(u)))
     }
 
-    /// One row of the similarity matrix: scores of anonymized user `u`
-    /// against every auxiliary user. Absent auxiliary users (no posts)
-    /// get `-inf` so they are never selected as candidates.
-    #[must_use]
-    pub fn row(&self, u: usize) -> Vec<f64> {
+    /// One dense row of [`Self::matrix`]: the `scores_for` stream of `u`
+    /// materialized over the full auxiliary id space. The streaming API
+    /// *skips* absent auxiliary users; a dense row has to put something in
+    /// their slots, and that placeholder is `-inf` — an explicit mask every
+    /// downstream consumer (`BoundedTopK::insert`, `ScoreBounds::observe`,
+    /// `rank_of`, `matching_selection`) already treats as "absent". Kept
+    /// private so skipping stays the one public absence contract.
+    fn row(&self, u: usize) -> Vec<f64> {
         let mut row = vec![f64::NEG_INFINITY; self.aux.n_users()];
         for (v, s) in self.scores_for(u) {
             row[v] = s;
@@ -169,9 +202,11 @@ impl<'a> SimilarityEngine<'a> {
     }
 
     /// Full similarity matrix: `matrix[u][v]` for every anonymized `u` and
-    /// auxiliary `v`. Rows are computed on all available cores (scoped
-    /// `std::thread`, no extra dependencies): the matrix is the attack's
-    /// `O(n1·n2·nnz)` hot spot.
+    /// auxiliary `v`, with `-inf` masking absent auxiliary users. Rows are
+    /// computed on all available cores (scoped `std::thread`, no extra
+    /// dependencies): the matrix is the attack's `O(n1·n2·nnz)` hot spot
+    /// and survives as the *dense oracle* the sparse indexed path
+    /// ([`crate::index::IndexedScorer`]) is differential-tested against.
     #[must_use]
     pub fn matrix(&self) -> Vec<Vec<f64>> {
         let n1 = self.anon.n_users();
@@ -225,6 +260,28 @@ mod tests {
         assert!((padded_cosine(&[1.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
         assert_eq!(padded_cosine(&[], &[1.0]), 0.0);
         assert_eq!(padded_cosine(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn padded_cosine_never_exceeds_one() {
+        // Near-parallel vectors whose quotient could round past 1.0: the
+        // clamp keeps the pruning bound's `s^d ≤ 3` invariant exact.
+        let a: Vec<f64> = (1..40).map(|i| 1.0 / f64::from(i)).collect();
+        assert!(padded_cosine(&a, &a) <= 1.0);
+        let b: Vec<f64> = a.iter().map(|x| x * 3.000000000000001).collect();
+        assert!(padded_cosine(&a, &b) <= 1.0);
+    }
+
+    #[test]
+    fn padded_cosine_edge_cases() {
+        // Both empty.
+        assert_eq!(padded_cosine(&[], &[]), 0.0);
+        // Disjoint supports (dot = 0) with non-zero norms.
+        assert_eq!(padded_cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        // Identical vectors.
+        assert!((padded_cosine(&[0.3, 0.4], &[0.3, 0.4]) - 1.0).abs() < 1e-12);
+        // Parallel vectors of different scale.
+        assert!((padded_cosine(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
     }
 
     #[test]

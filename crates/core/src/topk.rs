@@ -99,6 +99,31 @@ impl BoundedTopK {
         self.heap.is_empty()
     }
 
+    /// The selection floor: the score of the entry that would be evicted
+    /// by the next better insertion.
+    ///
+    /// - `None` while the heap still has room (`len < k`): everything with
+    ///   a finite score gets in, so there is no floor yet.
+    /// - `Some(score)` once the heap is full: a candidate whose score is
+    ///   *strictly* below the floor can never be kept. (A candidate whose
+    ///   score *equals* the floor may still enter on the id tie-break, so
+    ///   upper-bound pruning must compare with `<`, never `<=`.)
+    /// - `Some(+inf)` when `k == 0`: nothing can ever be kept.
+    ///
+    /// This is what lets an indexed scorer skip pairs whose score upper
+    /// bound cannot beat the running Top-K selection — see
+    /// [`crate::index::IndexedScorer`].
+    #[must_use]
+    pub fn floor(&self) -> Option<f64> {
+        if self.k == 0 {
+            Some(f64::INFINITY)
+        } else if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|e| e.score)
+        }
+    }
+
     /// Offer one `(candidate, score)` pair. Non-finite scores are ignored
     /// (they mark absent users).
     pub fn insert(&mut self, candidate: usize, score: f64) {
@@ -317,6 +342,68 @@ mod tests {
         top.insert(0, 1.0);
         assert!(top.is_empty());
         assert!(top.into_sorted_candidates().is_empty());
+    }
+
+    #[test]
+    fn bounded_topk_ties_break_toward_smaller_ids() {
+        // Five equal-score candidates at a k = 3 boundary: the kept set
+        // must be the three smallest ids, in every insertion order. This
+        // is what makes shard order unable to reorder equal-score
+        // candidates — the engine's cross-thread determinism rests on it.
+        let ids = [4usize, 1, 3, 0, 2];
+        let orders: Vec<Vec<usize>> = vec![
+            ids.to_vec(),
+            ids.iter().rev().copied().collect(),
+            vec![0, 1, 2, 3, 4],
+            vec![2, 0, 4, 1, 3],
+        ];
+        for order in orders {
+            let mut top = BoundedTopK::new(3);
+            for &v in &order {
+                top.insert(v, 0.5);
+            }
+            assert_eq!(top.into_sorted_candidates(), vec![0, 1, 2], "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn floor_appears_once_full_and_tracks_worst() {
+        let mut top = BoundedTopK::new(2);
+        assert_eq!(top.floor(), None);
+        top.insert(0, 0.9);
+        assert_eq!(top.floor(), None, "not full yet");
+        top.insert(1, 0.4);
+        assert_eq!(top.floor(), Some(0.4));
+        // A better insertion evicts the floor entry and raises the floor.
+        top.insert(2, 0.7);
+        assert_eq!(top.floor(), Some(0.7));
+        // A worse insertion leaves it untouched.
+        top.insert(3, 0.1);
+        assert_eq!(top.floor(), Some(0.7));
+    }
+
+    #[test]
+    fn floor_of_zero_k_rejects_everything() {
+        let top = BoundedTopK::new(0);
+        assert_eq!(top.floor(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn floor_is_monotone_under_insertions() {
+        // The pruning argument needs the floor to never decrease: a pair
+        // pruned against today's floor must also lose against every later
+        // floor.
+        let scores = [0.3, 0.9, 0.1, 0.5, 0.7, 0.2, 0.8];
+        let mut top = BoundedTopK::new(3);
+        let mut last = f64::NEG_INFINITY;
+        for (v, &s) in scores.iter().enumerate() {
+            top.insert(v, s);
+            if let Some(f) = top.floor() {
+                assert!(f >= last, "floor regressed: {f} < {last}");
+                last = f;
+            }
+        }
+        assert_eq!(last, 0.7);
     }
 
     #[test]

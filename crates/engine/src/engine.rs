@@ -3,6 +3,7 @@
 
 use dehealth_core::attack::AttackConfig;
 use dehealth_core::filter::{filter_user, threshold_vector, Filtered, ScoreBounds};
+use dehealth_core::index::{AttributeIndex, IndexedScorer, PairTally};
 use dehealth_core::refined::{refine_user, RefinedConfig, Side};
 use dehealth_core::similarity::SimilarityEngine;
 use dehealth_core::topk::{BoundedTopK, CandidateSets, Selection};
@@ -12,6 +13,23 @@ use dehealth_stylometry::FeatureVector;
 
 use crate::pool::run_blocks;
 use crate::report::{timed, EngineReport};
+
+/// How the Top-K stage scores `(anonymized, auxiliary)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Inverted-index sparse scoring ([`IndexedScorer`]): probe posting
+    /// lists of the anonymized user's attributes, compute the attribute
+    /// term from intersection accumulators, and prune pairs whose upper
+    /// bound cannot beat the Top-K floor (pruning auto-disables when
+    /// Algorithm-2 filtering needs exact global score bounds). Produces
+    /// candidate sets and mappings bit-identical to [`ScoringMode::Dense`].
+    #[default]
+    Indexed,
+    /// The all-pairs sweep of `SimilarityEngine::scores_for` — the test
+    /// oracle the indexed path is differential-tested against
+    /// (`tests/index_parity.rs`).
+    Dense,
+}
 
 /// Execution-engine configuration: the attack parameters plus the
 /// parallel-execution knobs.
@@ -27,11 +45,18 @@ pub struct EngineConfig {
     pub n_threads: usize,
     /// Anonymized users per work block (the unit of work stealing).
     pub block_size: usize,
+    /// Pair-scoring path for the Top-K stage.
+    pub scoring: ScoringMode,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { attack: AttackConfig::default(), n_threads: 0, block_size: 64 }
+        Self {
+            attack: AttackConfig::default(),
+            n_threads: 0,
+            block_size: 64,
+            scoring: ScoringMode::default(),
+        }
     }
 }
 
@@ -102,6 +127,10 @@ impl Engine {
         });
         report.record("prepare", "posts", anonymized.posts.len() as u64, secs);
         let heaps = vec![BoundedTopK::new(self.config.attack.top_k); anonymized.n_users];
+        let index = match self.config.scoring {
+            ScoringMode::Indexed => Some(AttributeIndex::new()),
+            ScoringMode::Dense => None,
+        };
         EngineSession {
             config: self.config.clone(),
             anon_forum: anonymized,
@@ -112,6 +141,7 @@ impl Engine {
             aux_users: 0,
             aux_threads: 0,
             heaps,
+            index,
             bounds: ScoreBounds::new(),
             report,
         }
@@ -146,6 +176,10 @@ pub struct EngineSession<'a> {
     aux_users: usize,
     aux_threads: usize,
     heaps: Vec<BoundedTopK>,
+    /// Session-global inverted index over all ingested auxiliary users
+    /// (`Some` iff [`ScoringMode::Indexed`]); each ingest appends the
+    /// chunk's postings and probes only the new suffix.
+    index: Option<AttributeIndex>,
     bounds: ScoreBounds,
     report: EngineReport,
 }
@@ -167,6 +201,12 @@ impl EngineSession<'_> {
     /// user's candidate heap with the `|V1| × |chunk|` pair block, sharded
     /// across the worker pool. Chunk-local user/thread ids are offset by
     /// the totals ingested so far.
+    ///
+    /// With [`ScoringMode::Indexed`] the chunk's postings are appended to
+    /// the session's inverted index first, and workers probe only the new
+    /// posting suffixes; pairs whose upper bound cannot beat a user's
+    /// running Top-K floor are pruned (counted as `skipped` on the `topk`
+    /// stage) unless Algorithm-2 filtering requires exact score bounds.
     pub fn add_auxiliary_users(&mut self, chunk: &Forum) {
         let user_offset = self.aux_users;
         let thread_offset = self.aux_threads;
@@ -178,28 +218,50 @@ impl EngineSession<'_> {
         let cfg = &self.config.attack;
         let sim = SimilarityEngine::new(&self.anon_uda, &chunk_uda, cfg.weights, cfg.n_landmarks);
 
+        if let Some(index) = &mut self.index {
+            index.append_uda(&chunk_uda);
+        }
+        // Pruning would hide the global score minimum from `bounds`, which
+        // Algorithm-2 filtering thresholds against — so it is only enabled
+        // when no filtering is configured.
+        let prune = cfg.filtering.is_none();
+        let scorer =
+            self.index.as_ref().map(|index| IndexedScorer::new(&sim, index, user_offset, prune));
+
         let ((), topk_secs) = timed(|| {
             let states = run_blocks(
                 &mut self.heaps,
                 self.config.block_size,
                 self.config.effective_threads(),
-                || (ScoreBounds::new(), 0u64),
-                |offset, block, (bounds, pairs)| {
+                || {
+                    (
+                        ScoreBounds::new(),
+                        PairTally::default(),
+                        scorer.as_ref().map(IndexedScorer::scratch),
+                    )
+                },
+                |offset, block, (bounds, tally, scratch)| {
                     for (i, heap) in block.iter_mut().enumerate() {
-                        for (v, s) in sim.scores_for(offset + i) {
-                            heap.insert(user_offset + v, s);
-                            bounds.observe(s);
-                            *pairs += 1;
+                        let u = offset + i;
+                        if let (Some(scorer), Some(scratch)) = (&scorer, scratch.as_mut()) {
+                            *tally += scorer.score_user(u, scratch, heap, bounds);
+                        } else {
+                            for (v, s) in sim.scores_for(u) {
+                                heap.insert(user_offset + v, s);
+                                bounds.observe(s);
+                                tally.scored += 1;
+                            }
                         }
                     }
                 },
             );
-            let mut pairs = 0;
-            for (local_bounds, local_pairs) in states {
+            let mut total = PairTally::default();
+            for (local_bounds, local_tally, _) in states {
                 self.bounds.merge(local_bounds);
-                pairs += local_pairs;
+                total += local_tally;
             }
-            self.report.record("topk", "pairs", pairs, 0.0);
+            self.report.record("topk", "pairs", total.scored, 0.0);
+            self.report.record_skipped("topk", "pairs", total.pruned);
         });
         // Attribute the stage wall-clock once (items were counted above).
         self.report.record("topk", "pairs", 0, topk_secs);
@@ -230,6 +292,7 @@ impl EngineSession<'_> {
             aux_users,
             aux_threads,
             heaps,
+            index: _,
             bounds,
             mut report,
         } = self;
@@ -349,17 +412,25 @@ mod tests {
 
     #[test]
     fn engine_matches_serial_attack() {
+        // Both scoring modes (indexed is the default, dense the oracle)
+        // must be bit-identical to the serial attack.
         let split = tiny_split();
         let serial = DeHealth::new(attack_cfg()).run(&split.auxiliary, &split.anonymized);
-        let engine =
-            Engine::new(EngineConfig { attack: attack_cfg(), n_threads: 3, block_size: 8 });
-        let out = engine.run(&split.auxiliary, &split.anonymized);
-        assert_eq!(out.candidates, serial.candidates);
-        assert_eq!(out.mapping, serial.mapping);
-        // Candidate scores are bit-identical to the matrix entries.
-        for (u, entries) in out.candidate_scores.iter().enumerate() {
-            for &(v, s) in entries {
-                assert_eq!(s.to_bits(), serial.similarity[u][v].to_bits());
+        for scoring in [ScoringMode::Indexed, ScoringMode::Dense] {
+            let engine = Engine::new(EngineConfig {
+                attack: attack_cfg(),
+                n_threads: 3,
+                block_size: 8,
+                scoring,
+            });
+            let out = engine.run(&split.auxiliary, &split.anonymized);
+            assert_eq!(out.candidates, serial.candidates, "{scoring:?}");
+            assert_eq!(out.mapping, serial.mapping, "{scoring:?}");
+            // Candidate scores are bit-identical to the matrix entries.
+            for (u, entries) in out.candidate_scores.iter().enumerate() {
+                for &(v, s) in entries {
+                    assert_eq!(s.to_bits(), serial.similarity[u][v].to_bits());
+                }
             }
         }
     }
@@ -367,8 +438,34 @@ mod tests {
     #[test]
     fn report_covers_all_stages() {
         let split = tiny_split();
-        let engine =
-            Engine::new(EngineConfig { attack: attack_cfg(), n_threads: 2, block_size: 4 });
+        let engine = Engine::new(EngineConfig {
+            attack: attack_cfg(),
+            n_threads: 2,
+            block_size: 4,
+            ..EngineConfig::default()
+        });
+        let out = engine.run(&split.auxiliary, &split.anonymized);
+        let pairs = out.report.stage("topk").expect("topk stage ran");
+        let present = split.auxiliary.n_users
+            - (0..split.auxiliary.n_users)
+                .filter(|&u| split.auxiliary.user_posts(u).is_empty())
+                .count();
+        // Scored + pruned covers the full pair workload.
+        assert_eq!(pairs.items + pairs.skipped, (split.anonymized.n_users * present) as u64);
+        assert!(out.report.stage("prepare").is_some());
+        assert!(out.report.stage("refined").is_some());
+        assert_eq!(out.report.n_threads, 2);
+    }
+
+    #[test]
+    fn dense_mode_scores_every_pair() {
+        let split = tiny_split();
+        let engine = Engine::new(EngineConfig {
+            attack: attack_cfg(),
+            n_threads: 2,
+            block_size: 4,
+            scoring: ScoringMode::Dense,
+        });
         let out = engine.run(&split.auxiliary, &split.anonymized);
         let pairs = out.report.stage("topk").expect("topk stage ran");
         let present = split.auxiliary.n_users
@@ -376,9 +473,7 @@ mod tests {
                 .filter(|&u| split.auxiliary.user_posts(u).is_empty())
                 .count();
         assert_eq!(pairs.items, (split.anonymized.n_users * present) as u64);
-        assert!(out.report.stage("prepare").is_some());
-        assert!(out.report.stage("refined").is_some());
-        assert_eq!(out.report.n_threads, 2);
+        assert_eq!(pairs.skipped, 0);
     }
 
     #[test]
@@ -428,7 +523,12 @@ mod tests {
         let merged = Forum::from_posts(user_off, thread_off, merged_posts);
 
         let serial = DeHealth::new(attack.clone()).run(&merged, &split.anonymized);
-        let engine = Engine::new(EngineConfig { attack, n_threads: 2, block_size: 16 });
+        let engine = Engine::new(EngineConfig {
+            attack,
+            n_threads: 2,
+            block_size: 16,
+            ..EngineConfig::default()
+        });
         let batch = engine.run(&merged, &split.anonymized);
 
         let mut session = engine.session(&split.anonymized);
@@ -458,9 +558,19 @@ mod tests {
         let split = tiny_split();
         let attack = AttackConfig { filtering: Some(FilterConfig::default()), ..attack_cfg() };
         let serial = DeHealth::new(attack.clone()).run(&split.auxiliary, &split.anonymized);
-        let engine = Engine::new(EngineConfig { attack, n_threads: 2, block_size: 8 });
-        let out = engine.run(&split.auxiliary, &split.anonymized);
-        assert_eq!(out.candidates, serial.candidates);
-        assert_eq!(out.mapping, serial.mapping);
+        for scoring in [ScoringMode::Indexed, ScoringMode::Dense] {
+            let engine = Engine::new(EngineConfig {
+                attack: attack.clone(),
+                n_threads: 2,
+                block_size: 8,
+                scoring,
+            });
+            let out = engine.run(&split.auxiliary, &split.anonymized);
+            assert_eq!(out.candidates, serial.candidates, "{scoring:?}");
+            assert_eq!(out.mapping, serial.mapping, "{scoring:?}");
+            // Filtering needs exact global score bounds, so the indexed
+            // path must have pruned nothing.
+            assert_eq!(out.report.stage("topk").unwrap().skipped, 0, "{scoring:?}");
+        }
     }
 }

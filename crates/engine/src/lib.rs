@@ -12,6 +12,14 @@
 //!   blocks, workers steal blocks from a shared queue, and each user keeps
 //!   only a [`BoundedTopK`](dehealth_core::topk::BoundedTopK) heap of its
 //!   `K` best candidates — `O(|V1| · K)` state instead of `O(|V1| · |V2|)`;
+//! - **scores pairs through an inverted index** by default
+//!   ([`ScoringMode::Indexed`]): workers probe the posting lists of each
+//!   anonymized user's attributes
+//!   ([`AttributeIndex`](dehealth_core::index::AttributeIndex)), compute
+//!   the dominant attribute term exactly from intersection accumulators,
+//!   and prune pairs whose score upper bound cannot beat the user's
+//!   running Top-K floor — the dense all-pairs sweep stays available as
+//!   the differential-test oracle ([`ScoringMode::Dense`]);
 //! - **fans out the Refined-DA phase**: per-user classifier training and
 //!   verification run on the same worker pool, with dynamic block stealing
 //!   absorbing the highly variable per-user cost;
@@ -42,9 +50,10 @@
 //!                             └──────────┬────────────────┘
 //!                                        ▼
 //!                      ┌─────────────────────────────────┐
-//!  topk                │  SimilarityEngine::score_block  │
-//!  (sharded, no dense  │ ┌───────┐ ┌───────┐   ┌───────┐ │
-//!   matrix)            │ │block 0│ │block 1│ … │block B│ │ ← work stealing
+//!  topk                │ IndexedScorer (default) or the  │
+//!  (sharded, no dense  │ dense scores_for sweep (oracle) │
+//!   matrix)            │ ┌───────┐ ┌───────┐   ┌───────┐ │
+//!                      │ │block 0│ │block 1│ … │block B│ │ ← work stealing
 //!                      │ └───┬───┘ └───┬───┘   └───┬───┘ │
 //!                      └─────┼─────────┼───────────┼─────┘
 //!                            ▼         ▼           ▼
@@ -65,5 +74,5 @@ pub mod engine;
 pub mod pool;
 pub mod report;
 
-pub use engine::{Engine, EngineConfig, EngineOutcome, EngineSession};
+pub use engine::{Engine, EngineConfig, EngineOutcome, EngineSession, ScoringMode};
 pub use report::{EngineReport, StageStats};

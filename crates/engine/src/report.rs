@@ -20,6 +20,11 @@ pub struct StageStats {
     pub seconds: f64,
     /// Accumulated processed item count.
     pub items: u64,
+    /// Items the stage *considered* but skipped without processing —
+    /// e.g. pairs pruned by the indexed scorer's upper bound before their
+    /// degree/distance terms were ever computed. `items + skipped` is the
+    /// stage's full workload.
+    pub skipped: u64,
 }
 
 impl StageStats {
@@ -63,7 +68,16 @@ impl EngineReport {
             s.items += items;
             s.seconds += seconds;
         } else {
-            self.stages.push(StageStats { stage, unit, seconds, items });
+            self.stages.push(StageStats { stage, unit, seconds, items, skipped: 0 });
+        }
+    }
+
+    /// Accumulate `skipped` items (considered but pruned) into `stage`.
+    pub(crate) fn record_skipped(&mut self, stage: &'static str, unit: &'static str, skipped: u64) {
+        if let Some(s) = self.stages.iter_mut().find(|s| s.stage == stage) {
+            s.skipped += skipped;
+        } else {
+            self.stages.push(StageStats { stage, unit, seconds: 0.0, items: 0, skipped });
         }
     }
 
@@ -84,7 +98,7 @@ impl std::fmt::Display for EngineReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "engine report ({} threads, block size {}):", self.n_threads, self.block_size)?;
         for s in &self.stages {
-            writeln!(
+            write!(
                 f,
                 "  {:<8} {:>10.3}s  {:>12} {:<6} {:>14.0} {}/s",
                 s.stage,
@@ -94,6 +108,10 @@ impl std::fmt::Display for EngineReport {
                 s.throughput(),
                 s.unit
             )?;
+            if s.skipped > 0 {
+                write!(f, "  ({} {} pruned)", s.skipped, s.unit)?;
+            }
+            writeln!(f)?;
         }
         write!(f, "  total    {:>10.3}s", self.total_seconds())
     }
@@ -127,8 +145,23 @@ mod tests {
 
     #[test]
     fn zero_time_throughput_is_zero() {
-        let s = StageStats { stage: "x", unit: "pairs", seconds: 0.0, items: 5 };
+        let s = StageStats { stage: "x", unit: "pairs", seconds: 0.0, items: 5, skipped: 0 };
         assert_eq!(s.throughput(), 0.0);
+    }
+
+    #[test]
+    fn skipped_accumulates_and_shows_in_display() {
+        let mut r = EngineReport::new(1, 8);
+        r.record("topk", "pairs", 10, 0.1);
+        r.record_skipped("topk", "pairs", 7);
+        r.record_skipped("topk", "pairs", 3);
+        let topk = r.stage("topk").unwrap();
+        assert_eq!(topk.items, 10);
+        assert_eq!(topk.skipped, 10);
+        assert!(format!("{r}").contains("10 pairs pruned"));
+        // A skipped-only record creates the stage too.
+        r.record_skipped("other", "users", 2);
+        assert_eq!(r.stage("other").unwrap().skipped, 2);
     }
 
     #[test]

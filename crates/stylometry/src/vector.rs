@@ -175,6 +175,37 @@ impl UserAttributes {
         Self::default()
     }
 
+    /// Build directly from `(attribute index, l_u(A_i))` pairs — the
+    /// posting-list constructor used by index builders and tests.
+    ///
+    /// # Panics
+    /// Panics if the pairs are not strictly increasing by index or if any
+    /// weight is zero (a zero-weight attribute is an absent attribute).
+    #[must_use]
+    pub fn from_weights(weights: Vec<(u32, u32)>) -> Self {
+        assert!(
+            weights.windows(2).all(|w| w[0].0 < w[1].0),
+            "attribute indices must be strictly increasing"
+        );
+        assert!(weights.iter().all(|&(_, w)| w > 0), "attribute weights must be positive");
+        Self { weights }
+    }
+
+    /// The raw sorted `(attribute index, l_u(A_i))` slice — the
+    /// posting-friendly view used by inverted-index builders.
+    #[must_use]
+    pub fn as_weights(&self) -> &[(u32, u32)] {
+        &self.weights
+    }
+
+    /// Sum of all attribute weights `Σ_i l_u(A_i)` (the `WA(u)` mass).
+    /// Together with an intersection min-sum this reconstructs the
+    /// weighted-Jaccard union exactly: `union = Σ_u + Σ_v - Σ min`.
+    #[must_use]
+    pub fn weight_sum(&self) -> u64 {
+        self.weights.iter().map(|&(_, w)| u64::from(w)).sum()
+    }
+
     /// Record one post: every non-zero feature contributes 1 to its
     /// attribute weight.
     pub fn add_post(&mut self, v: &FeatureVector) {
@@ -192,7 +223,7 @@ impl UserAttributes {
                         b += 1;
                     }
                     std::cmp::Ordering::Equal => {
-                        merged.push((i, w + 1));
+                        merged.push((i, w.saturating_add(1)));
                         a += 1;
                         b += 1;
                     }
@@ -413,5 +444,76 @@ mod tests {
         let mut a = UserAttributes::new();
         a.add_post(&fv(&[(1, 1.0)]));
         assert!((a.weighted_jaccard(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_both_empty_is_zero() {
+        let e = UserAttributes::new();
+        assert_eq!(e.jaccard(&e), 0.0);
+        assert_eq!(e.weighted_jaccard(&e), 0.0);
+    }
+
+    #[test]
+    fn jaccard_one_empty_is_zero() {
+        let mut a = UserAttributes::new();
+        a.add_post(&fv(&[(1, 1.0), (7, 2.0)]));
+        let e = UserAttributes::new();
+        assert_eq!(a.jaccard(&e), 0.0);
+        assert_eq!(e.jaccard(&a), 0.0);
+        assert_eq!(a.weighted_jaccard(&e), 0.0);
+        assert_eq!(e.weighted_jaccard(&a), 0.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_is_zero() {
+        let a = UserAttributes::from_weights(vec![(1, 2), (3, 1)]);
+        let b = UserAttributes::from_weights(vec![(2, 5), (4, 1)]);
+        assert_eq!(a.jaccard(&b), 0.0);
+        assert_eq!(a.weighted_jaccard(&b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_identical_is_one() {
+        let a = UserAttributes::from_weights(vec![(0, 3), (9, 7), (100, 1)]);
+        assert!((a.jaccard(&a) - 1.0).abs() < 1e-12);
+        assert!((a.weighted_jaccard(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_weights_do_not_overflow() {
+        // A weight already at u32::MAX stays there when another post adds
+        // the same attribute, and weighted Jaccard stays finite in [0, 1]
+        // (sums run in u64, so even saturated weights cannot overflow).
+        let mut a = UserAttributes::from_weights(vec![(1, u32::MAX)]);
+        a.add_post(&fv(&[(1, 1.0)]));
+        assert_eq!(a.as_weights(), &[(1, u32::MAX)]);
+        let b = UserAttributes::from_weights(vec![(1, 1), (2, u32::MAX)]);
+        let wj = a.weighted_jaccard(&b);
+        assert!(wj.is_finite() && (0.0..=1.0).contains(&wj));
+        assert_eq!(a.weight_sum(), u64::from(u32::MAX));
+        assert_eq!(b.weight_sum(), u64::from(u32::MAX) + 1);
+    }
+
+    #[test]
+    fn posting_view_matches_iter() {
+        let mut a = UserAttributes::new();
+        a.add_post(&fv(&[(2, 1.0), (5, 1.0)]));
+        a.add_post(&fv(&[(5, 3.0)]));
+        let from_iter: Vec<(u32, u32)> = a.iter().map(|(i, w)| (i as u32, w)).collect();
+        assert_eq!(a.as_weights(), from_iter.as_slice());
+        assert_eq!(a.weight_sum(), 3);
+        assert_eq!(a, UserAttributes::from_weights(vec![(2, 1), (5, 2)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_weights_rejects_unsorted() {
+        let _ = UserAttributes::from_weights(vec![(3, 1), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn from_weights_rejects_zero_weight() {
+        let _ = UserAttributes::from_weights(vec![(1, 0)]);
     }
 }

@@ -27,7 +27,10 @@ fn main() {
     );
 
     let attack = AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() };
-    let engine = Engine::new(EngineConfig { attack, n_threads, block_size: 32 });
+    // Default scoring is the inverted-index path; pass ScoringMode::Dense
+    // to force the all-pairs oracle sweep instead.
+    let engine =
+        Engine::new(EngineConfig { attack, n_threads, block_size: 32, ..EngineConfig::default() });
 
     // One-shot parallel attack.
     let outcome = engine.run(&split.auxiliary, &split.anonymized);

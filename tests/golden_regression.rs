@@ -1,0 +1,79 @@
+//! Golden end-to-end regression pin.
+//!
+//! Runs the full fixed-seed pipeline (synthetic forum → split → Top-K DA
+//! → Refined DA → evaluation) and compares the headline attack-quality
+//! metrics against the committed fixture
+//! `tests/fixtures/golden_pipeline.txt`. Every stage is deterministic
+//! (seeded generation, tie-broken selection, bit-exact parallel scoring),
+//! so the comparison is *exact*: any future performance work that
+//! silently degrades attack accuracy — or shifts a single similarity
+//! bit — fails this test instead of slipping through.
+//!
+//! If a change intentionally alters attack quality, regenerate the
+//! fixture by running the test with `GOLDEN_REGENERATE=1` and commit the
+//! diff (the test output explains this on mismatch).
+
+use std::fmt::Write as _;
+
+use de_health::core::{AttackConfig, DeHealth};
+use de_health::corpus::split::{closed_world_split, open_world_split, SplitConfig};
+use de_health::corpus::{Forum, ForumConfig, Split};
+use de_health::engine::{Engine, EngineConfig};
+
+const FIXTURE: &str = "tests/fixtures/golden_pipeline.txt";
+
+fn attack_cfg() -> AttackConfig {
+    AttackConfig { top_k: 5, n_landmarks: 10, ..AttackConfig::default() }
+}
+
+fn scenario(name: &str, split: &Split, out: &mut String) {
+    let serial = DeHealth::new(attack_cfg()).run(&split.auxiliary, &split.anonymized);
+    // The engine (indexed scoring, parallel) must reproduce the serial
+    // pipeline exactly — the golden numbers pin both at once.
+    let engine = Engine::new(EngineConfig {
+        attack: attack_cfg(),
+        n_threads: 2,
+        block_size: 8,
+        ..EngineConfig::default()
+    });
+    let engine_out = engine.run(&split.auxiliary, &split.anonymized);
+    assert_eq!(engine_out.candidates, serial.candidates, "{name}: engine diverges from serial");
+    assert_eq!(engine_out.mapping, serial.mapping, "{name}: engine diverges from serial");
+
+    let eval = serial.evaluate(&split.oracle);
+    let _ = writeln!(out, "[{name}]");
+    let _ = writeln!(out, "n_overlapping={}", eval.n_overlapping);
+    let _ = writeln!(out, "top1_rate={:.6}", eval.top_k_success_rate(1));
+    let _ = writeln!(out, "top5_rate={:.6}", eval.top_k_success_rate(5));
+    let _ = writeln!(out, "candidate_hit_rate={:.6}", eval.candidate_hit_rate());
+    let _ = writeln!(out, "accuracy={:.6}", eval.accuracy());
+    let _ = writeln!(out, "mapped={}", eval.mapped);
+    let _ = writeln!(out, "fp_rate={:.6}", eval.fp_rate());
+}
+
+#[test]
+fn pipeline_metrics_match_the_committed_fixture() {
+    let mut actual = String::new();
+
+    let forum = Forum::generate(&ForumConfig::tiny(), 42);
+    let closed = closed_world_split(&forum, &SplitConfig::fraction(0.5), 7);
+    scenario("closed_world", &closed, &mut actual);
+
+    let forum = Forum::generate(&ForumConfig::tiny(), 11);
+    let open = open_world_split(&forum, 0.7, 5);
+    scenario("open_world", &open, &mut actual);
+
+    if std::env::var_os("GOLDEN_REGENERATE").is_some() {
+        std::fs::write(FIXTURE, &actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE)
+        .expect("missing tests/fixtures/golden_pipeline.txt — run with GOLDEN_REGENERATE=1");
+    assert_eq!(
+        actual, expected,
+        "pipeline metrics drifted from the golden fixture.\n\
+         If this change is intentional, regenerate with:\n\
+         GOLDEN_REGENERATE=1 cargo test --test golden_regression\n\
+         and commit the fixture diff."
+    );
+}
