@@ -1,11 +1,13 @@
-//! Scaling experiment: engine throughput as a function of worker threads
-//! and scoring path.
+//! Scaling experiment: engine throughput as a function of worker threads,
+//! scoring path, and refined-DA materialization path.
 //!
 //! Runs the parallel engine's attack on a medium synthetic forum at 1, 2,
-//! 4 and 8 worker threads — once through the dense all-pairs sweep
-//! ([`ScoringMode::Dense`]) and once through the inverted-index sparse
-//! path ([`ScoringMode::Indexed`]) — records per-stage wall-clock,
-//! throughput and pruning counters from the
+//! 4 and 8 worker threads — through the dense all-pairs sweep
+//! ([`ScoringMode::Dense`]) and the inverted-index sparse path
+//! ([`ScoringMode::Indexed`]) for the Top-K stage, and through both
+//! refined-DA paths ([`RefinedMode::Shared`], the materialize-once fast
+//! path, vs [`RefinedMode::PerUser`], the from-scratch oracle) — records
+//! per-stage wall-clock, throughput and pruning counters from the
 //! [`EngineReport`](dehealth_engine::EngineReport), and emits
 //! `BENCH_scaling.json` so future PRs have a performance trajectory to
 //! compare against. The Top-K phase is embarrassingly parallel; on a
@@ -13,10 +15,10 @@
 //! single-thread pair throughput (thread counts beyond the machine's
 //! parallelism can't speed up further — the JSON records
 //! `machine_parallelism` so readings from small CI boxes aren't
-//! misinterpreted). Both paths produce bit-identical candidate sets; the
-//! indexed path additionally *prunes*: `topk_pairs_pruned` counts pairs
-//! whose upper bound could not beat the running Top-K floor and whose
-//! degree/distance terms were therefore never computed.
+//! misinterpreted). All scoring paths produce bit-identical candidate
+//! sets, and both refined paths produce bit-identical mappings — asserted
+//! on every run of this experiment, so the committed numbers always come
+//! from configurations that agree on the answer.
 
 use std::fmt::Write as _;
 use std::io;
@@ -24,15 +26,22 @@ use std::path::{Path, PathBuf};
 
 use dehealth_core::AttackConfig;
 use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
-use dehealth_engine::{Engine, EngineConfig, ScoringMode};
+use dehealth_engine::{Engine, EngineConfig, RefinedMode, ScoringMode};
 
 /// Thread counts swept by the experiment.
 pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
-/// Scoring paths swept by the experiment.
-pub const MODE_SWEEP: [ScoringMode; 2] = [ScoringMode::Dense, ScoringMode::Indexed];
+/// `(scoring, refined)` path combinations swept by the experiment: both
+/// Top-K scoring paths with the shared refined fast path, plus the
+/// per-user refined oracle (on indexed scoring) so the JSON documents the
+/// refined-stage speedup next to the numbers it improved on.
+pub const PATH_SWEEP: [(ScoringMode, RefinedMode); 3] = [
+    (ScoringMode::Dense, RefinedMode::Shared),
+    (ScoringMode::Indexed, RefinedMode::Shared),
+    (ScoringMode::Indexed, RefinedMode::PerUser),
+];
 
-/// One `(users × threads × scoring mode)` measurement.
+/// One `(users × threads × paths)` measurement.
 #[derive(Debug, Clone)]
 pub struct ScalingRun {
     /// Total generated forum users.
@@ -41,6 +50,8 @@ pub struct ScalingRun {
     pub threads: usize,
     /// Scoring path (`"dense"` or `"indexed"`).
     pub mode: &'static str,
+    /// Refined-DA path (`"shared"` or `"peruser"`).
+    pub refined_mode: &'static str,
     /// Fully scored `(anonymized, auxiliary)` pairs in the Top-K stage.
     pub topk_pairs: u64,
     /// Pairs pruned by the indexed upper bound (0 on the dense path).
@@ -51,6 +62,9 @@ pub struct ScalingRun {
     pub topk_pairs_per_sec: f64,
     /// Refined stage wall-clock seconds.
     pub refined_seconds: f64,
+    /// Refined stage throughput (anonymized users de-anonymized per
+    /// second, context build included for the shared path).
+    pub refined_users_per_sec: f64,
     /// Whole-attack wall-clock seconds (all stages).
     pub total_seconds: f64,
 }
@@ -59,6 +73,13 @@ fn mode_name(mode: ScoringMode) -> &'static str {
     match mode {
         ScoringMode::Dense => "dense",
         ScoringMode::Indexed => "indexed",
+    }
+}
+
+fn refined_name(mode: RefinedMode) -> &'static str {
+    match mode {
+        RefinedMode::Shared => "shared",
+        RefinedMode::PerUser => "peruser",
     }
 }
 
@@ -74,6 +95,10 @@ pub fn run(users: usize, seed: u64) -> io::Result<PathBuf> {
 
 /// Run the sweep and write the JSON report to `path`.
 ///
+/// # Panics
+/// Panics if any two configurations disagree on the final mapping — the
+/// committed numbers must come from paths that agree on the answer.
+///
 /// # Errors
 /// Propagates I/O errors from writing the JSON file.
 pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<Vec<ScalingRun>> {
@@ -81,50 +106,64 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<Vec<ScalingRun
     let split = closed_world_split(&forum, &SplitConfig::fraction(0.7), seed.wrapping_add(1));
     println!(
         "\n# Scaling: {} anonymized × {} auxiliary users, threads {THREAD_SWEEP:?}, \
-         dense vs indexed scoring",
+         dense vs indexed scoring, shared vs per-user refined",
         split.anonymized.n_users, split.auxiliary.n_users
     );
 
     let mut runs = Vec::new();
+    let mut reference_mapping: Option<Vec<Option<usize>>> = None;
     for &threads in &THREAD_SWEEP {
-        for &mode in &MODE_SWEEP {
+        for &(mode, refined) in &PATH_SWEEP {
             let engine = Engine::new(EngineConfig {
                 attack: AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() },
                 n_threads: threads,
                 block_size: 16,
                 scoring: mode,
+                refined,
             });
             let outcome = engine.run(&split.auxiliary, &split.anonymized);
+            match &reference_mapping {
+                Some(reference) => assert_eq!(
+                    reference, &outcome.mapping,
+                    "paths must agree on the mapping ({mode:?}, {refined:?}, {threads} threads)"
+                ),
+                None => reference_mapping = Some(outcome.mapping.clone()),
+            }
             let report = &outcome.report;
             let topk = report.stage("topk").expect("topk stage always runs");
-            let refined = report.stage("refined").expect("refined stage always runs");
+            let refined_stage = report.stage("refined").expect("refined stage always runs");
             let run = ScalingRun {
                 users,
                 threads,
                 mode: mode_name(mode),
+                refined_mode: refined_name(refined),
                 topk_pairs: topk.items,
                 topk_pairs_pruned: topk.skipped,
                 topk_seconds: topk.seconds,
                 topk_pairs_per_sec: topk.throughput(),
-                refined_seconds: refined.seconds,
+                refined_seconds: refined_stage.seconds,
+                refined_users_per_sec: refined_stage.throughput(),
                 total_seconds: report.total_seconds(),
             };
             println!(
-                "  threads {:>2} {:<7}: topk {:>8.3}s ({:>12.0} pairs/s, {:>10} pruned), \
-                 refined {:>8.3}s, total {:>8.3}s",
+                "  threads {:>2} {:<7} {:<7}: topk {:>8.3}s ({:>12.0} pairs/s, {:>8} pruned), \
+                 refined {:>8.3}s ({:>8.0} users/s), total {:>8.3}s",
                 run.threads,
                 run.mode,
+                run.refined_mode,
                 run.topk_seconds,
                 run.topk_pairs_per_sec,
                 run.topk_pairs_pruned,
                 run.refined_seconds,
+                run.refined_users_per_sec,
                 run.total_seconds
             );
             runs.push(run);
         }
     }
     let dense_1 = runs.iter().find(|r| r.threads == 1 && r.mode == "dense");
-    let indexed_1 = runs.iter().find(|r| r.threads == 1 && r.mode == "indexed");
+    let indexed_1 =
+        runs.iter().find(|r| r.threads == 1 && r.mode == "indexed" && r.refined_mode == "shared");
     if let (Some(d), Some(i)) = (dense_1, indexed_1) {
         if i.topk_seconds > 0.0 && d.topk_pairs > 0 {
             println!(
@@ -132,6 +171,16 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<Vec<ScalingRun
                  fully scored",
                 d.topk_seconds / i.topk_seconds.max(1e-12),
                 100.0 * i.topk_pairs as f64 / d.topk_pairs as f64
+            );
+        }
+    }
+    let peruser_1 =
+        runs.iter().find(|r| r.threads == 1 && r.mode == "indexed" && r.refined_mode == "peruser");
+    if let (Some(s), Some(p)) = (indexed_1, peruser_1) {
+        if s.refined_seconds > 0.0 {
+            println!(
+                "  shared vs per-user refined at 1 thread: {:.2}× refined wall-clock",
+                p.refined_seconds / s.refined_seconds.max(1e-12)
             );
         }
     }
@@ -154,17 +203,20 @@ fn write_json(path: &Path, users: usize, seed: u64, runs: &[ScalingRun]) -> io::
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"users\": {}, \"threads\": {}, \"mode\": \"{}\", \"topk_pairs\": {}, \
-             \"topk_pairs_pruned\": {}, \"topk_seconds\": {:.6}, \"topk_pairs_per_sec\": {:.1}, \
-             \"refined_seconds\": {:.6}, \"total_seconds\": {:.6}}}",
+            "    {{\"users\": {}, \"threads\": {}, \"mode\": \"{}\", \"refined_mode\": \"{}\", \
+             \"topk_pairs\": {}, \"topk_pairs_pruned\": {}, \"topk_seconds\": {:.6}, \
+             \"topk_pairs_per_sec\": {:.1}, \"refined_seconds\": {:.6}, \
+             \"refined_users_per_sec\": {:.1}, \"total_seconds\": {:.6}}}",
             r.users,
             r.threads,
             r.mode,
+            r.refined_mode,
             r.topk_pairs,
             r.topk_pairs_pruned,
             r.topk_seconds,
             r.topk_pairs_per_sec,
             r.refined_seconds,
+            r.refined_users_per_sec,
             r.total_seconds
         );
         out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
@@ -187,13 +239,16 @@ mod tests {
         let dir = std::env::temp_dir().join("dehealth-scaling-test");
         let path = dir.join("BENCH_scaling.json");
         let runs = run_to(&path, 60, 5).unwrap();
-        assert_eq!(runs.len(), THREAD_SWEEP.len() * MODE_SWEEP.len());
-        for (chunk, &threads) in runs.chunks(MODE_SWEEP.len()).zip(&THREAD_SWEEP) {
+        assert_eq!(runs.len(), THREAD_SWEEP.len() * PATH_SWEEP.len());
+        for (chunk, &threads) in runs.chunks(PATH_SWEEP.len()).zip(&THREAD_SWEEP) {
             assert!(chunk.iter().all(|r| r.threads == threads));
             assert!(chunk.iter().all(|r| r.total_seconds > 0.0));
+            assert!(chunk.iter().all(|r| r.refined_seconds > 0.0));
+            assert!(chunk.iter().all(|r| r.refined_users_per_sec > 0.0));
         }
         let dense: Vec<&ScalingRun> = runs.iter().filter(|r| r.mode == "dense").collect();
-        let indexed: Vec<&ScalingRun> = runs.iter().filter(|r| r.mode == "indexed").collect();
+        let indexed: Vec<&ScalingRun> =
+            runs.iter().filter(|r| r.mode == "indexed" && r.refined_mode == "shared").collect();
         // The dense oracle scores every present pair and never prunes;
         // all thread counts agree on the workload.
         assert!(dense.iter().all(|r| r.topk_pairs == dense[0].topk_pairs && r.topk_pairs > 0));
@@ -210,12 +265,20 @@ mod tests {
         assert!(indexed.iter().all(|r| r.topk_pairs < dense[0].topk_pairs));
         assert!(indexed.iter().all(|r| r.topk_pairs + r.topk_pairs_pruned == dense[0].topk_pairs));
         assert!(indexed.iter().all(|r| r.topk_pairs == indexed[0].topk_pairs));
+        // Every sweep carries the per-user refined oracle for comparison
+        // (mapping equality with the shared path is asserted inside
+        // `run_to` itself).
+        let peruser: Vec<&ScalingRun> =
+            runs.iter().filter(|r| r.refined_mode == "peruser").collect();
+        assert_eq!(peruser.len(), THREAD_SWEEP.len());
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"experiment\": \"scaling\""));
         assert!(text.contains("\"machine_parallelism\""));
         assert!(text.contains("\"threads\": 8"));
         assert!(text.contains("\"mode\": \"indexed\""));
+        assert!(text.contains("\"refined_mode\": \"peruser\""));
         assert!(text.contains("\"topk_pairs_pruned\""));
+        assert!(text.contains("\"refined_users_per_sec\""));
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -4,7 +4,7 @@
 use dehealth_corpus::{Forum, Oracle};
 
 use crate::filter::{filter_candidates, FilterConfig, Filtered};
-use crate::refined::{refine_user, RefinedConfig, Side};
+use crate::refined::{refine_user_shared, RefinedConfig, RefinedContext, RefinedScratch, Side};
 use crate::similarity::{SimilarityEngine, SimilarityWeights};
 use crate::topk::{direct_selection, matching_selection, rank_of, CandidateSets, Selection};
 use crate::uda::UdaGraph;
@@ -115,14 +115,31 @@ impl DeHealth {
                 }
             }
         }
-        // Phase 2: refined DA within each candidate set.
+        // Phase 2: refined DA within each candidate set, through the
+        // materialize-once fast path (bit-identical to the per-user
+        // oracle `refine_user` — see tests/refined_parity.rs).
         let refined_cfg = RefinedConfig {
             classifier: cfg.classifier,
             verification: cfg.verification,
             seed: cfg.seed,
         };
+        let anon_ctx = RefinedContext::build(anon, cfg.classifier);
+        let aux_ctx = RefinedContext::build(aux, cfg.classifier);
+        let mut scratch = RefinedScratch::new();
         let mapping = (0..anon.forum.n_users)
-            .map(|u| refine_user(u, &candidates[u], anon, aux, &similarity[u], &refined_cfg))
+            .map(|u| {
+                refine_user_shared(
+                    u,
+                    &candidates[u],
+                    anon,
+                    aux,
+                    &anon_ctx,
+                    &aux_ctx,
+                    &similarity[u],
+                    &refined_cfg,
+                    &mut scratch,
+                )
+            })
             .collect();
         AttackOutcome { config: cfg.clone(), similarity, candidates, mapping }
     }
@@ -150,8 +167,26 @@ pub fn stylometry_baseline(
     let similarity = engine.matrix();
     let all_candidates = aux_uda.present_users();
     let refined_cfg = RefinedConfig { classifier, verification, seed };
+    // The baseline trains on *every* present auxiliary user for every
+    // anonymized user, so the shared arena pays off even more than in the
+    // Top-K-bounded attack.
+    let anon_ctx = RefinedContext::build(&anon, classifier);
+    let aux_ctx = RefinedContext::build(&aux, classifier);
+    let mut scratch = RefinedScratch::new();
     (0..anonymized.n_users)
-        .map(|u| refine_user(u, &all_candidates, &anon, &aux, &similarity[u], &refined_cfg))
+        .map(|u| {
+            refine_user_shared(
+                u,
+                &all_candidates,
+                &anon,
+                &aux,
+                &anon_ctx,
+                &aux_ctx,
+                &similarity[u],
+                &refined_cfg,
+                &mut scratch,
+            )
+        })
         .collect()
 }
 

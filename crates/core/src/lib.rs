@@ -32,7 +32,10 @@ pub mod uda;
 pub use attack::{stylometry_baseline, AttackConfig, AttackOutcome, DeHealth, Evaluation};
 pub use filter::{FilterConfig, Filtered, ScoreBounds};
 pub use index::{AttributeIndex, IndexScratch, IndexedScorer, PairTally};
-pub use refined::{refine_user, ClassifierKind, RefinedConfig, Side, Verification};
+pub use refined::{
+    refine_user, refine_user_shared, ClassifierKind, RefinedConfig, RefinedContext, RefinedScratch,
+    Side, Verification,
+};
 pub use similarity::{SimilarityEngine, SimilarityWeights};
 pub use topk::{BoundedTopK, Selection};
 pub use uda::UdaGraph;

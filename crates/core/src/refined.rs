@@ -1,13 +1,35 @@
 //! Refined DA (Algorithm 1, lines 7-9): per-user classification inside the
-//! Top-K candidate set, plus the two open-world schemes of Section III-B
-//! (false addition and mean-verification).
+//! Top-K candidate set, plus the open-world schemes of Section III-B
+//! (false addition, mean-, distractorless- and sigma-verification).
+//!
+//! Two implementations produce bit-identical mappings:
+//!
+//! - [`refine_user`] — the per-user-from-scratch path: densify every
+//!   auxiliary post of every candidate into a fresh [`Dataset`], clone it
+//!   through the scaler, and train an owned classifier. Kept as the
+//!   differential oracle (the same pattern as the engine's dense scoring
+//!   mode).
+//! - [`refine_user_shared`] — the fast path: every post's dense sample
+//!   lives in a [`RefinedContext`] arena built **once per side**; per-user
+//!   training assembles row-index lists into zero-copy
+//!   [`DatasetView`]s, min-max scaling is fused into a single
+//!   gather-scale pass over reusable [`RefinedScratch`] buffers, and KNN
+//!   (the default classifier) runs a fully sparse kernel — stats,
+//!   scaling, and cosine over nonzero entries only — without ever
+//!   materializing a training set.
+//!
+//! Decoy sampling, majority-vote tie-breaking and the Section III-B
+//! verification tests are shared helpers, so the two paths cannot drift
+//! semantically; `tests/refined_parity.rs` pins the equivalence across
+//! every classifier × verification combination.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dehealth_corpus::Forum;
 use dehealth_ml::{
-    Classifier, Dataset, Knn, KnnMetric, MinMaxScaler, NearestCentroid, Rlsc, SmoSvm, SvmParams,
+    knn_vote_scored, Classifier, Dataset, DatasetView, Knn, KnnMetric, MinMaxScaler,
+    NearestCentroid, Rlsc, SmoSvm, SvmParams,
 };
 use dehealth_stylometry::{FeatureVector, M};
 
@@ -122,10 +144,384 @@ pub struct Side<'a> {
     pub post_features: &'a [FeatureVector],
 }
 
-/// De-anonymize one anonymized user within its candidate set.
+/// Materialized-once feature state of one side: every post's sample
+/// (stylometric block + [`N_STRUCT`] structural features of its author),
+/// row `pi` ↔ `forum.posts[pi]` — as sparse `(index, value)` entry lists
+/// for the KNN hot loop, or as a contiguous dense arena for the other
+/// classifiers (only the representation the configured classifier reads
+/// is materialized).
 ///
-/// Returns `Some(aux_user)` or `None` (`u → ⊥`). `similarity_row` is the
-/// full structural-similarity row of `u` (used by mean-verification).
+/// Built once per attack (per side) and shared read-only across refined-DA
+/// workers; [`refine_user_shared`] assembles per-user training sets as row
+/// indices into it instead of re-densifying overlapping candidates' posts
+/// for every anonymized user.
+#[derive(Debug, Clone)]
+pub struct RefinedContext {
+    dim: usize,
+    /// `true` when the sparse mirror is materialized (KNN), `false` when
+    /// the dense arena is (all other classifiers).
+    sparse: bool,
+    data: Vec<f64>,
+    /// Sparse rows: concatenated `(index, value)` entry lists (ascending
+    /// index per row), row `pi` at `sp_start[pi]..sp_start[pi + 1]`. All
+    /// values are non-negative (asserted at build) — the invariant that
+    /// makes min-max scaling map a raw zero to exactly `0.0` and keeps
+    /// the sparse cosine kernel bit-identical to the dense one.
+    sp_idx: Vec<u32>,
+    sp_val: Vec<f64>,
+    sp_start: Vec<usize>,
+}
+
+impl RefinedContext {
+    /// Materialize every post of `side` — each post exactly once, through
+    /// the same [`sample`] the per-user oracle calls per (user, candidate,
+    /// post), so row values are bit-identical by construction. Only the
+    /// representation `classifier` reads is built: the sparse entry lists
+    /// for [`ClassifierKind::Knn`], the dense arena otherwise.
+    ///
+    /// # Panics
+    /// Panics (on the sparse build) if any feature value is negative: the
+    /// Table-I extractor emits frequencies/counts and the structural
+    /// features are `ln(1+·)` of counts, all `≥ 0`, and the sparse
+    /// scaling fast path relies on that (`min-max(0) = 0` exactly).
+    #[must_use]
+    pub fn build(side: &Side<'_>, classifier: ClassifierKind) -> Self {
+        let dim = M + N_STRUCT;
+        let sparse = matches!(classifier, ClassifierKind::Knn { .. });
+        let n_posts = side.forum.posts.len();
+        let mut data = Vec::new();
+        let mut sp_idx = Vec::new();
+        let mut sp_val = Vec::new();
+        let mut sp_start = Vec::new();
+        if sparse {
+            sp_start.reserve_exact(n_posts + 1);
+            sp_start.push(0);
+        } else {
+            data.reserve_exact(n_posts * dim);
+        }
+        for (post, features) in side.forum.posts.iter().zip(side.post_features) {
+            let row = sample(features, side.uda, post.author);
+            if sparse {
+                for (j, &v) in row.iter().enumerate() {
+                    assert!(v >= 0.0, "negative feature value {v} at index {j}");
+                    // Structural features are kept explicitly even when
+                    // zero: they are dense in practice, and explicit zeros
+                    // fold into the per-feature min/max exactly like the
+                    // dense scan.
+                    if v != 0.0 || j >= M {
+                        sp_idx.push(j as u32);
+                        sp_val.push(v);
+                    }
+                }
+                sp_start.push(sp_idx.len());
+            } else {
+                data.extend_from_slice(&row);
+            }
+        }
+        Self { dim, sparse, data, sp_idx, sp_val, sp_start }
+    }
+
+    /// Sample dimension (`M + N_STRUCT`).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The dense sample of post `pi`.
+    #[must_use]
+    pub fn row(&self, pi: usize) -> &[f64] {
+        &self.data[pi * self.dim..(pi + 1) * self.dim]
+    }
+
+    /// The whole arena (for [`DatasetView::gathered`]).
+    #[must_use]
+    pub fn arena(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The sparse entries of post `pi`: `(indices, values)`, ascending.
+    fn sparse_post(&self, pi: usize) -> (&[u32], &[f64]) {
+        let range = self.sp_start[pi]..self.sp_start[pi + 1];
+        (&self.sp_idx[range.clone()], &self.sp_val[range])
+    }
+}
+
+/// Reusable per-worker buffers for [`refine_user_shared`]: training-set
+/// row indices and labels, the scaled training matrix (dense classifiers)
+/// or scaled sparse rows + per-feature min-max stats (the sparse KNN hot
+/// loop), and the scaled query. Amortizes every per-user allocation of
+/// the hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct RefinedScratch {
+    class_users: Vec<usize>,
+    rows: Vec<u32>,
+    labels: Vec<usize>,
+    scaled: Vec<f64>,
+    x: Vec<f64>,
+    votes: Vec<usize>,
+    /// Epoch tag per feature: a feature's `feat_*` slots are valid only
+    /// when its tag equals `epoch`, so per-user resets cost O(touched)
+    /// instead of O(dim).
+    epoch: u32,
+    feat_epoch: Vec<u32>,
+    feat_count: Vec<u32>,
+    feat_min: Vec<f64>,
+    feat_max: Vec<f64>,
+    feat_range: Vec<f64>,
+    touched: Vec<u32>,
+    /// Scaled sparse training rows (concatenated; `s_start` bounds) and
+    /// their Euclidean norms.
+    s_idx: Vec<u32>,
+    s_val: Vec<f64>,
+    s_start: Vec<usize>,
+    s_norm: Vec<f64>,
+    /// The query's nonzero feature indices (for unscattering) and its
+    /// dense scatter of scaled values (invariant: all zeros outside
+    /// [`sparse_knn_votes`]'s per-post scatter/unscatter).
+    q_idx: Vec<u32>,
+    q_dense: Vec<f64>,
+}
+
+impl RefinedScratch {
+    /// Empty scratch; buffers grow to steady-state on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Min-max-scale one sparse value against finalized per-feature stats —
+/// the same expression as `MinMaxScaler::scale_value`, so scaled values
+/// are bit-identical to the dense path's.
+fn scale_sparse(feat_min: &[f64], feat_range: &[f64], j: usize, v: f64) -> f64 {
+    if feat_range[j] == 0.0 {
+        0.0
+    } else {
+        ((v - feat_min[j]) / feat_range[j]).clamp(0.0, 1.0)
+    }
+}
+
+/// Dot product of a scattered dense query (`q_dense[j]` = scaled query
+/// value, 0.0 elsewhere) with one sparse row (ascending indices).
+/// Accumulates over the row's entries in ascending index order — every
+/// term of the dense `Σ_j a_j·b_j` this skips has a zero row value, i.e.
+/// is an exact `+ 0.0` no-op on a non-negative accumulator — so the
+/// result is bit-identical to the dense sum.
+fn scatter_dot(q_dense: &[f64], bi: &[u32], bv: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    for (&j, &v) in bi.iter().zip(bv) {
+        dot += q_dense[j as usize] * v;
+    }
+    dot
+}
+
+/// The sparse KNN hot loop: per-feature min-max stats, scaled training
+/// rows, and cosine closeness all computed over nonzero entries only —
+/// `O(nnz)` per post instead of `O(M)`. Bit-identical to the dense oracle
+/// because features are non-negative (asserted at context build): a raw
+/// zero min-max-scales to exactly `0.0`, `f64::min`/`max` folds are
+/// order-independent without NaNs, and every dense-sum term the sparse
+/// kernels skip is an exact `+ 0.0`.
+///
+/// Fills `scratch.votes` (sized to the class count) with the per-post
+/// majority votes. Expects `scratch.rows`/`labels` to hold the gathered
+/// training set.
+fn sparse_knn_votes(
+    k: usize,
+    anon_posts: &[usize],
+    anon_ctx: &RefinedContext,
+    aux_ctx: &RefinedContext,
+    scratch: &mut RefinedScratch,
+) {
+    let dim = aux_ctx.dim();
+    let n_train = scratch.rows.len();
+    let scratch = &mut *scratch;
+    if scratch.feat_epoch.len() < dim {
+        scratch.feat_epoch.resize(dim, 0);
+        scratch.feat_count.resize(dim, 0);
+        scratch.feat_min.resize(dim, 0.0);
+        scratch.feat_max.resize(dim, 0.0);
+        scratch.feat_range.resize(dim, 0.0);
+    }
+    if scratch.epoch == u32::MAX {
+        scratch.feat_epoch.fill(0);
+        scratch.epoch = 0;
+    }
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+
+    // Pass 1: per-feature count/min/max over the training rows' entries.
+    scratch.touched.clear();
+    for &pi in &scratch.rows {
+        let (idx, val) = aux_ctx.sparse_post(pi as usize);
+        for (&j, &v) in idx.iter().zip(val) {
+            let j = j as usize;
+            if scratch.feat_epoch[j] != epoch {
+                scratch.feat_epoch[j] = epoch;
+                scratch.feat_count[j] = 1;
+                scratch.feat_min[j] = v;
+                scratch.feat_max[j] = v;
+                scratch.touched.push(j as u32);
+            } else {
+                scratch.feat_count[j] += 1;
+                scratch.feat_min[j] = scratch.feat_min[j].min(v);
+                scratch.feat_max[j] = scratch.feat_max[j].max(v);
+            }
+        }
+    }
+    // A feature absent from some training row folds an implicit 0.0 into
+    // its bounds, exactly like the dense min/max scan over full rows.
+    for &j in &scratch.touched {
+        let j = j as usize;
+        let (lo, hi) = if (scratch.feat_count[j] as usize) < n_train {
+            (scratch.feat_min[j].min(0.0), scratch.feat_max[j].max(0.0))
+        } else {
+            (scratch.feat_min[j], scratch.feat_max[j])
+        };
+        scratch.feat_min[j] = lo;
+        scratch.feat_range[j] = if hi > lo { hi - lo } else { 0.0 };
+    }
+
+    // Pass 2: scaled sparse training rows and their norms.
+    scratch.s_idx.clear();
+    scratch.s_val.clear();
+    scratch.s_start.clear();
+    scratch.s_norm.clear();
+    scratch.s_start.push(0);
+    for &pi in &scratch.rows {
+        let (idx, val) = aux_ctx.sparse_post(pi as usize);
+        let mut norm2 = 0.0;
+        for (&j, &v) in idx.iter().zip(val) {
+            let s = scale_sparse(&scratch.feat_min, &scratch.feat_range, j as usize, v);
+            scratch.s_idx.push(j);
+            scratch.s_val.push(s);
+            norm2 += s * s;
+        }
+        scratch.s_start.push(scratch.s_idx.len());
+        scratch.s_norm.push(norm2.sqrt());
+    }
+
+    // Pass 3: classify each anonymized post and vote. The scaled query is
+    // scattered into a dense accumulator so each training row's closeness
+    // is one gather over the row's entries (no merge branching), and
+    // unscattered afterwards to keep the all-zeros invariant.
+    scratch.q_dense.resize(dim, 0.0);
+    for &pi in anon_posts {
+        let (idx, val) = anon_ctx.sparse_post(pi);
+        scratch.q_idx.clear();
+        let mut norm2 = 0.0;
+        for (&j, &v) in idx.iter().zip(val) {
+            // A feature no training row has is constant 0 there: range 0,
+            // scaled 0 — same as the dense scaler's untouched column.
+            let s = if scratch.feat_epoch[j as usize] == epoch {
+                scale_sparse(&scratch.feat_min, &scratch.feat_range, j as usize, v)
+            } else {
+                0.0
+            };
+            scratch.q_idx.push(j);
+            scratch.q_dense[j as usize] = s;
+            norm2 += s * s;
+        }
+        let na = norm2.sqrt();
+        let q_dense = &scratch.q_dense;
+        let (s_idx, s_val) = (&scratch.s_idx, &scratch.s_val);
+        let (s_start, s_norm) = (&scratch.s_start, &scratch.s_norm);
+        let labels = &scratch.labels;
+        let scores = (0..n_train).map(|i| {
+            let row = s_start[i]..s_start[i + 1];
+            let dot = scatter_dot(q_dense, &s_idx[row.clone()], &s_val[row]);
+            let nb = s_norm[i];
+            if na == 0.0 || nb == 0.0 {
+                0.0
+            } else {
+                dot / (na * nb)
+            }
+        });
+        let p = knn_vote_scored(scores, |i| labels[i], k);
+        scratch.votes[p.label] += 1;
+        for &j in &scratch.q_idx {
+            scratch.q_dense[j as usize] = 0.0;
+        }
+    }
+}
+
+/// Draw the false-addition decoys for anonymized user `u`: a uniform
+/// sample **without replacement** of `min(n_false, pool)` distinct
+/// non-candidate auxiliary users (partial Fisher–Yates over the present
+/// non-candidates), returned sorted by id. Both refined paths draw through
+/// this helper, so their RNG streams agree.
+fn false_addition_decoys(
+    u: usize,
+    candidates: &[usize],
+    aux: &Side<'_>,
+    n_false: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (u as u64).wrapping_mul(0x9e3779b9));
+    let mut pool: Vec<usize> =
+        aux.uda.present_users().into_iter().filter(|v| !candidates.contains(v)).collect();
+    let n = n_false.min(pool.len());
+    for i in 0..n {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(n);
+    pool.sort_unstable();
+    pool
+}
+
+/// Majority-vote winner: the class with the most votes, ties broken toward
+/// the *lowest* class index. Class order is candidate order, and callers
+/// pass candidates sorted by decreasing structural similarity — so a tied
+/// vote resolves toward the best-ranked candidate, not (as `max_by_key`'s
+/// last-maximum would have it) the worst-ranked one.
+fn vote_winner(votes: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &c) in votes.iter().enumerate() {
+        if c > votes[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The Section III-B post-classification verification test for `u → v`.
+fn verification_accepts(
+    u: usize,
+    v: usize,
+    candidates: &[usize],
+    anon: &Side<'_>,
+    aux: &Side<'_>,
+    similarity_row: &[f64],
+    config: &RefinedConfig,
+) -> bool {
+    match config.verification {
+        Verification::Mean { r } => {
+            let others: Vec<f64> =
+                candidates.iter().filter(|&&w| w != v).map(|&w| similarity_row[w]).collect();
+            if !others.is_empty() {
+                let lambda: f64 = others.iter().sum::<f64>() / others.len() as f64;
+                if similarity_row[v] < (1.0 + r) * lambda {
+                    return false;
+                }
+            }
+            true
+        }
+        Verification::Distractorless { theta } => {
+            anon.uda.profiles[u].cosine(&aux.uda.profiles[v]) >= theta
+        }
+        Verification::Sigma { factor } => sigma_accepts(u, v, anon, aux, factor),
+        Verification::None | Verification::FalseAddition { .. } => true,
+    }
+}
+
+/// De-anonymize one anonymized user within its candidate set — the
+/// per-user-from-scratch differential oracle.
+///
+/// Returns `Some(aux_user)` or `None` (`u → ⊥`). `candidates` must be
+/// sorted by decreasing structural similarity (tied majority votes resolve
+/// toward the earliest entry); `similarity_row` is the full
+/// structural-similarity row of `u` (used by mean-verification).
 #[must_use]
 pub fn refine_user(
     u: usize,
@@ -146,16 +542,7 @@ pub fn refine_user(
     let mut class_users: Vec<usize> = candidates.to_vec();
     let n_real = class_users.len();
     if let Verification::FalseAddition { n_false } = config.verification {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ (u as u64).wrapping_mul(0x9e3779b9));
-        let pool: Vec<usize> =
-            aux.uda.present_users().into_iter().filter(|v| !candidates.contains(v)).collect();
-        if !pool.is_empty() {
-            let mut decoys: Vec<usize> =
-                (0..n_false).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
-            decoys.sort_unstable();
-            decoys.dedup();
-            class_users.extend(decoys);
-        }
+        class_users.extend(false_addition_decoys(u, candidates, aux, n_false, config.seed));
     }
 
     // Training set: every auxiliary post of every class user.
@@ -185,48 +572,127 @@ pub fn refine_user(
         let p = clf.predict(&x);
         votes[p.label] += 1;
     }
-    let (winner, _) =
-        votes.iter().enumerate().max_by_key(|&(_, &c)| c).expect("at least one class");
+    let winner = vote_winner(&votes);
 
     // False-addition rejection: decoy class won.
     if winner >= n_real {
         return None;
     }
     let v = class_users[winner];
+    if !verification_accepts(u, v, candidates, anon, aux, similarity_row, config) {
+        return None;
+    }
+    Some(v)
+}
 
-    // Post-classification verification (Section III-B).
-    match config.verification {
-        Verification::Mean { r } => {
-            let others: Vec<f64> =
-                candidates.iter().filter(|&&w| w != v).map(|&w| similarity_row[w]).collect();
-            if !others.is_empty() {
-                let lambda: f64 = others.iter().sum::<f64>() / others.len() as f64;
-                if similarity_row[v] < (1.0 + r) * lambda {
-                    return None;
-                }
-            }
+/// De-anonymize one anonymized user within its candidate set — the shared
+/// fast path. Bit-identical to [`refine_user`] (pinned by
+/// `tests/refined_parity.rs`), but reads every dense post sample from the
+/// materialize-once [`RefinedContext`] arenas, assembles the per-user
+/// training set as row indices, fuses min-max scaling into one
+/// gather-scale pass over `scratch`, and lets KNN classify straight off
+/// the borrowed view.
+///
+/// `anon_ctx` / `aux_ctx` must be built from the same sides passed here.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn refine_user_shared(
+    u: usize,
+    candidates: &[usize],
+    anon: &Side<'_>,
+    aux: &Side<'_>,
+    anon_ctx: &RefinedContext,
+    aux_ctx: &RefinedContext,
+    similarity_row: &[f64],
+    config: &RefinedConfig,
+    scratch: &mut RefinedScratch,
+) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let anon_posts = anon.forum.user_posts(u);
+    if anon_posts.is_empty() {
+        return None;
+    }
+    let dim = aux_ctx.dim();
+    debug_assert_eq!(dim, anon_ctx.dim(), "side contexts disagree on dimension");
+    let need_sparse = matches!(config.classifier, ClassifierKind::Knn { .. });
+    assert!(
+        aux_ctx.sparse == need_sparse && anon_ctx.sparse == need_sparse,
+        "RefinedContext built for a different classifier kind"
+    );
+
+    scratch.class_users.clear();
+    scratch.class_users.extend_from_slice(candidates);
+    let n_real = scratch.class_users.len();
+    if let Verification::FalseAddition { n_false } = config.verification {
+        let decoys = false_addition_decoys(u, candidates, aux, n_false, config.seed);
+        scratch.class_users.extend(decoys);
+    }
+
+    // Training set: row indices into the arena, one label per row — no
+    // feature floats move yet.
+    scratch.rows.clear();
+    scratch.labels.clear();
+    for (class, &v) in scratch.class_users.iter().enumerate() {
+        for &pi in aux.forum.user_posts(v) {
+            scratch.rows.push(pi as u32);
+            scratch.labels.push(class);
         }
-        Verification::Distractorless { theta } => {
-            let cos = anon.uda.profiles[u].cosine(&aux.uda.profiles[v]);
-            if cos < theta {
-                return None;
-            }
+    }
+    if scratch.rows.is_empty() {
+        return None;
+    }
+
+    scratch.votes.clear();
+    scratch.votes.resize(scratch.class_users.len(), 0);
+    if let ClassifierKind::Knn { k } = config.classifier {
+        // KNN never materializes a training set at all: stats, scaling
+        // and cosine run over the sparse arena entries.
+        sparse_knn_votes(k, anon_posts, anon_ctx, aux_ctx, scratch);
+    } else {
+        // Dense classifiers: fit the scaler on the raw row view (same
+        // visit order as the oracle's dataset build), gather+scale in one
+        // fused pass, and train on the borrowed contiguous view.
+        let raw = DatasetView::gathered(aux_ctx.arena(), dim, &scratch.rows, &scratch.labels);
+        let scaler = MinMaxScaler::fit(&raw);
+        scratch.scaled.resize(scratch.rows.len() * dim, 0.0);
+        for (i, &pi) in scratch.rows.iter().enumerate() {
+            scaler.scale_row_into(
+                aux_ctx.row(pi as usize),
+                &mut scratch.scaled[i * dim..(i + 1) * dim],
+            );
         }
-        Verification::Sigma { factor } => {
-            if !sigma_accepts(u, v, anon, aux, factor) {
-                return None;
-            }
+        let train = DatasetView::contiguous(&scratch.scaled, dim, &scratch.labels);
+        let mut clf = make_classifier(config.classifier, config.seed);
+        clf.fit(&train);
+
+        scratch.x.resize(dim, 0.0);
+        for &pi in anon_posts {
+            scaler.scale_row_into(anon_ctx.row(pi), &mut scratch.x);
+            let p = clf.predict(&scratch.x);
+            scratch.votes[p.label] += 1;
         }
-        Verification::None | Verification::FalseAddition { .. } => {}
+    }
+    let winner = vote_winner(&scratch.votes);
+
+    // False-addition rejection: decoy class won.
+    if winner >= n_real {
+        return None;
+    }
+    let v = scratch.class_users[winner];
+    if !verification_accepts(u, v, candidates, anon, aux, similarity_row, config) {
+        return None;
     }
     Some(v)
 }
 
 /// Sigma-verification test: is `u`'s mean profile within `factor` standard
 /// deviations of `v`'s per-post distance distribution around `v`'s
-/// centroid? Cosine distance (`1 − cos`) is used throughout. Users with a
-/// single post have σ = 0 and degenerate to a strict mean test with a
-/// small tolerance.
+/// centroid? Cosine distance (`1 − cos`) is used throughout. Only the
+/// degenerate σ = 0 case (every post equidistant from the centroid, e.g. a
+/// single-post user) falls back to a small 0.01 tolerance; users with a
+/// real spread are tested against their true σ.
 fn sigma_accepts(u: usize, v: usize, anon: &Side<'_>, aux: &Side<'_>, factor: f64) -> bool {
     let centroid = &aux.uda.profiles[v];
     let posts = aux.forum.user_posts(v);
@@ -238,8 +704,9 @@ fn sigma_accepts(u: usize, v: usize, anon: &Side<'_>, aux: &Side<'_>, factor: f6
     let mean: f64 = dists.iter().sum::<f64>() / dists.len() as f64;
     let var: f64 = dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dists.len() as f64;
     let sigma = var.sqrt();
+    let sigma = if sigma == 0.0 { 0.01 } else { sigma };
     let d_u = 1.0 - anon.uda.profiles[u].cosine(centroid);
-    d_u <= mean + factor * sigma.max(0.01)
+    d_u <= mean + factor * sigma
 }
 
 #[cfg(test)]
@@ -301,48 +768,75 @@ mod tests {
         (aux_uda, anon_uda, aux_feats, anon_feats)
     }
 
-    fn run(kind: ClassifierKind, verification: Verification, sim_row: &[f64]) -> Option<usize> {
+    /// Run both the oracle and the shared fast path; assert they agree and
+    /// return the mapping.
+    fn run_both(
+        kind: ClassifierKind,
+        verification: Verification,
+        sim_row: &[f64],
+    ) -> Option<usize> {
         let (aux_forum, anon_forum) = fixture();
         let (aux_uda, anon_uda, aux_feats, anon_feats) = sides(&aux_forum, &anon_forum);
         let aux = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
         let anon = Side { forum: &anon_forum, uda: &anon_uda, post_features: &anon_feats };
         let config = RefinedConfig { classifier: kind, verification, seed: 5 };
-        refine_user(0, &[0, 1], &anon, &aux, sim_row, &config)
+        let oracle = refine_user(0, &[0, 1], &anon, &aux, sim_row, &config);
+        let aux_ctx = RefinedContext::build(&aux, kind);
+        let anon_ctx = RefinedContext::build(&anon, kind);
+        let mut scratch = RefinedScratch::new();
+        let fast = refine_user_shared(
+            0,
+            &[0, 1],
+            &anon,
+            &aux,
+            &anon_ctx,
+            &aux_ctx,
+            sim_row,
+            &config,
+            &mut scratch,
+        );
+        assert_eq!(oracle, fast, "oracle vs shared path diverged ({kind:?}, {verification:?})");
+        oracle
     }
 
     #[test]
     fn knn_picks_stylistic_match() {
-        assert_eq!(run(ClassifierKind::Knn { k: 3 }, Verification::None, &[0.1, 0.9]), Some(1));
+        assert_eq!(
+            run_both(ClassifierKind::Knn { k: 3 }, Verification::None, &[0.1, 0.9]),
+            Some(1)
+        );
     }
 
     #[test]
     fn smo_picks_stylistic_match() {
-        assert_eq!(run(ClassifierKind::Smo, Verification::None, &[0.1, 0.9]), Some(1));
+        assert_eq!(run_both(ClassifierKind::Smo, Verification::None, &[0.1, 0.9]), Some(1));
     }
 
     #[test]
     fn rlsc_picks_stylistic_match() {
         assert_eq!(
-            run(ClassifierKind::Rlsc { lambda: 1.0 }, Verification::None, &[0.1, 0.9]),
+            run_both(ClassifierKind::Rlsc { lambda: 1.0 }, Verification::None, &[0.1, 0.9]),
             Some(1)
         );
     }
 
     #[test]
     fn centroid_picks_stylistic_match() {
-        assert_eq!(run(ClassifierKind::Centroid, Verification::None, &[0.1, 0.9]), Some(1));
+        assert_eq!(run_both(ClassifierKind::Centroid, Verification::None, &[0.1, 0.9]), Some(1));
     }
 
     #[test]
     fn mean_verification_rejects_flat_rows() {
         // Candidate similarities nearly equal: s_uv < (1+r)·mean.
-        let got = run(ClassifierKind::Knn { k: 3 }, Verification::Mean { r: 0.25 }, &[0.5, 0.52]);
+        let got =
+            run_both(ClassifierKind::Knn { k: 3 }, Verification::Mean { r: 0.25 }, &[0.5, 0.52]);
         assert_eq!(got, None);
     }
 
     #[test]
     fn mean_verification_accepts_clear_winner() {
-        let got = run(ClassifierKind::Knn { k: 3 }, Verification::Mean { r: 0.25 }, &[0.1, 0.9]);
+        let got =
+            run_both(ClassifierKind::Knn { k: 3 }, Verification::Mean { r: 0.25 }, &[0.1, 0.9]);
         assert_eq!(got, Some(1));
     }
 
@@ -350,13 +844,13 @@ mod tests {
     fn distractorless_thresholds_on_profile_cosine() {
         // theta = 0 accepts everything the classifier picks; theta = 1
         // rejects everything short of identical profiles.
-        let lax = run(
+        let lax = run_both(
             ClassifierKind::Knn { k: 3 },
             Verification::Distractorless { theta: 0.0 },
             &[0.1, 0.9],
         );
         assert_eq!(lax, Some(1));
-        let strict = run(
+        let strict = run_both(
             ClassifierKind::Knn { k: 3 },
             Verification::Distractorless { theta: 0.9999 },
             &[0.1, 0.9],
@@ -367,13 +861,150 @@ mod tests {
     #[test]
     fn sigma_verification_accepts_typical_and_rejects_atypical() {
         // A generous factor accepts the stylistic match...
-        let lax =
-            run(ClassifierKind::Knn { k: 3 }, Verification::Sigma { factor: 50.0 }, &[0.1, 0.9]);
+        let lax = run_both(
+            ClassifierKind::Knn { k: 3 },
+            Verification::Sigma { factor: 50.0 },
+            &[0.1, 0.9],
+        );
         assert_eq!(lax, Some(1));
         // ...an impossible factor rejects everything.
-        let strict =
-            run(ClassifierKind::Knn { k: 3 }, Verification::Sigma { factor: -100.0 }, &[0.1, 0.9]);
+        let strict = run_both(
+            ClassifierKind::Knn { k: 3 },
+            Verification::Sigma { factor: -100.0 },
+            &[0.1, 0.9],
+        );
         assert_eq!(strict, None);
+    }
+
+    #[test]
+    fn sigma_uses_true_spread_when_nonzero() {
+        // Aux user 1 has three distinct posts, so its per-post distance
+        // spread σ is non-zero; the acceptance boundary must be exactly
+        // `mean + factor·σ` with the *true* σ — no 0.01 floor inflating
+        // the tolerance of every user (the pre-fix behavior).
+        let (aux_forum, anon_forum) = fixture();
+        let (aux_uda, anon_uda, aux_feats, anon_feats) = sides(&aux_forum, &anon_forum);
+        let aux = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
+        let anon = Side { forum: &anon_forum, uda: &anon_uda, post_features: &anon_feats };
+
+        let centroid = &aux_uda.profiles[1];
+        let dists: Vec<f64> = aux_forum
+            .user_posts(1)
+            .iter()
+            .map(|&pi| 1.0 - aux_feats[pi].cosine(centroid))
+            .collect();
+        let mean = dists.iter().sum::<f64>() / dists.len() as f64;
+        let var = dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dists.len() as f64;
+        let sigma = var.sqrt();
+        assert!(sigma > 0.0, "fixture must exercise the non-degenerate branch");
+        let d_u = 1.0 - anon_uda.profiles[0].cosine(centroid);
+
+        // A factor placing the boundary just past d_u accepts; just short
+        // of it rejects — with the true σ, not max(σ, 0.01).
+        let boundary = (d_u - mean) / sigma;
+        assert!(sigma_accepts(0, 1, &anon, &aux, boundary + 1e-6));
+        assert!(!sigma_accepts(0, 1, &anon, &aux, boundary - 1e-6));
+    }
+
+    #[test]
+    fn sigma_degenerate_single_post_gets_tolerance() {
+        // A single-post aux user has σ = 0: the documented degenerate case
+        // falls back to a 0.01 tolerance instead of an unpassable strict
+        // mean test.
+        let aux_posts = vec![Post {
+            author: 0,
+            thread: 0,
+            text: "the doctor said that i should rest because the pain improves.".into(),
+        }];
+        let anon_posts = vec![Post {
+            author: 0,
+            thread: 0,
+            text: "the doctor said that i should rest because the pain improves!".into(),
+        }];
+        let aux_forum = Forum::from_posts(1, 1, aux_posts);
+        let anon_forum = Forum::from_posts(1, 1, anon_posts);
+        let (aux_uda, anon_uda, aux_feats, anon_feats) = sides(&aux_forum, &anon_forum);
+        let aux = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
+        let anon = Side { forum: &anon_forum, uda: &anon_uda, post_features: &anon_feats };
+
+        // σ = 0 and mean = 0 (one post at its own centroid): acceptance is
+        // `d_u ≤ factor · 0.01`.
+        let d_u = 1.0 - anon_uda.profiles[0].cosine(&aux_uda.profiles[0]);
+        assert!(d_u > 0.0, "profiles must differ a little");
+        let boundary = d_u / 0.01;
+        assert!(sigma_accepts(0, 0, &anon, &aux, boundary * 1.001));
+        assert!(!sigma_accepts(0, 0, &anon, &aux, boundary * 0.999));
+    }
+
+    #[test]
+    fn decoys_are_distinct_and_exactly_min_of_pool_and_request() {
+        // 8 present aux users, 2 candidates → pool of 6.
+        let mut posts = Vec::new();
+        for a in 0..8usize {
+            posts.push(Post { author: a, thread: 0, text: format!("hello from user {a}") });
+        }
+        let aux_forum = Forum::from_posts(8, 1, posts);
+        let aux_uda = UdaGraph::build(&aux_forum);
+        let aux_feats: Vec<FeatureVector> =
+            aux_forum.posts.iter().map(|p| extract(&p.text)).collect();
+        let aux = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
+        let candidates = [2usize, 5];
+
+        for (n_false, expect) in [(0usize, 0usize), (1, 1), (4, 4), (6, 6), (100, 6)] {
+            let decoys = false_addition_decoys(0, &candidates, &aux, n_false, 33);
+            assert_eq!(decoys.len(), expect, "n_false = {n_false}");
+            // Distinct, sorted, disjoint from the candidates.
+            assert!(decoys.windows(2).all(|w| w[0] < w[1]), "{decoys:?}");
+            assert!(decoys.iter().all(|d| !candidates.contains(d)));
+        }
+        // The draw is deterministic per user, and each user's stream is
+        // well-formed on its own.
+        let a = false_addition_decoys(0, &candidates, &aux, 3, 33);
+        let b = false_addition_decoys(1, &candidates, &aux, 3, 33);
+        let c = false_addition_decoys(0, &candidates, &aux, 3, 33);
+        assert_eq!(a, c, "decoy draw must be deterministic");
+        assert_eq!(b.len(), 3);
+        assert!(b.iter().all(|d| !candidates.contains(d)));
+    }
+
+    #[test]
+    fn tied_vote_goes_to_best_ranked_candidate() {
+        // One anonymized post in each of the two aux users' styles → a
+        // 1-1 majority-vote tie. The winner must be the *first* (i.e.
+        // best-ranked) candidate, in either candidate order.
+        let (aux_forum, _) = fixture();
+        let anon_posts = vec![
+            Post { author: 0, thread: 0, text: "TERRIBLE PAIN!!! THE WORST DAY!!!".into() },
+            Post {
+                author: 0,
+                thread: 1,
+                text: "i think that the medicine helps because the pain improves with rest.".into(),
+            },
+        ];
+        let anon_forum = Forum::from_posts(1, 2, anon_posts);
+        let (aux_uda, anon_uda, aux_feats, anon_feats) = sides(&aux_forum, &anon_forum);
+        let aux = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
+        let anon = Side { forum: &anon_forum, uda: &anon_uda, post_features: &anon_feats };
+        let config = RefinedConfig {
+            classifier: ClassifierKind::Knn { k: 1 },
+            verification: Verification::None,
+            seed: 5,
+        };
+        // Sanity: with a single candidate each post classifies to it, so
+        // with both candidates the vote really is 1-1 (k = 1 KNN assigns
+        // each post to its stylistic twin).
+        let first = refine_user(0, &[0, 1], &anon, &aux, &[0.9, 0.1], &config);
+        let second = refine_user(0, &[1, 0], &anon, &aux, &[0.1, 0.9], &config);
+        assert_eq!(first, Some(0), "tie must resolve to the best-ranked candidate");
+        assert_eq!(second, Some(1), "tie must resolve to the best-ranked candidate");
+    }
+
+    #[test]
+    fn vote_winner_prefers_earliest_on_ties() {
+        assert_eq!(vote_winner(&[2, 2, 1]), 0);
+        assert_eq!(vote_winner(&[1, 3, 3]), 1);
+        assert_eq!(vote_winner(&[0, 0, 0]), 0);
+        assert_eq!(vote_winner(&[1, 2, 3]), 2);
     }
 
     #[test]
@@ -384,5 +1015,77 @@ mod tests {
         let anon = Side { forum: &anon_forum, uda: &anon_uda, post_features: &anon_feats };
         let config = RefinedConfig::default();
         assert_eq!(refine_user(0, &[], &anon, &aux, &[0.0, 0.0], &config), None);
+        let aux_ctx = RefinedContext::build(&aux, config.classifier);
+        let anon_ctx = RefinedContext::build(&anon, config.classifier);
+        let mut scratch = RefinedScratch::new();
+        assert_eq!(
+            refine_user_shared(
+                0,
+                &[],
+                &anon,
+                &aux,
+                &anon_ctx,
+                &aux_ctx,
+                &[0.0, 0.0],
+                &config,
+                &mut scratch
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn context_rows_match_oracle_samples() {
+        let (aux_forum, anon_forum) = fixture();
+        let (aux_uda, _, aux_feats, _) = sides(&aux_forum, &anon_forum);
+        let aux = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
+        let ctx = RefinedContext::build(&aux, ClassifierKind::Centroid);
+        assert_eq!(ctx.dim(), M + N_STRUCT);
+        for (pi, post) in aux_forum.posts.iter().enumerate() {
+            let oracle = sample(&aux_feats[pi], &aux_uda, post.author);
+            let row = ctx.row(pi);
+            assert_eq!(row.len(), oracle.len());
+            for (a, b) in row.iter().zip(&oracle) {
+                assert_eq!(a.to_bits(), b.to_bits(), "post {pi}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_users_is_clean() {
+        // Run the shared path twice with the same scratch; stale buffer
+        // contents from the first user must not leak into the second.
+        let (aux_forum, anon_forum) = fixture();
+        let (aux_uda, anon_uda, aux_feats, anon_feats) = sides(&aux_forum, &anon_forum);
+        let aux = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
+        let anon = Side { forum: &anon_forum, uda: &anon_uda, post_features: &anon_feats };
+        let config = RefinedConfig::default();
+        let aux_ctx = RefinedContext::build(&aux, config.classifier);
+        let anon_ctx = RefinedContext::build(&anon, config.classifier);
+        let mut scratch = RefinedScratch::new();
+        let first = refine_user_shared(
+            0,
+            &[0, 1],
+            &anon,
+            &aux,
+            &anon_ctx,
+            &aux_ctx,
+            &[0.1, 0.9],
+            &config,
+            &mut scratch,
+        );
+        let second = refine_user_shared(
+            0,
+            &[1],
+            &anon,
+            &aux,
+            &anon_ctx,
+            &aux_ctx,
+            &[0.1, 0.9],
+            &config,
+            &mut scratch,
+        );
+        assert_eq!(first, Some(1));
+        assert_eq!(second, Some(1));
     }
 }

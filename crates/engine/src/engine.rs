@@ -1,10 +1,14 @@
 //! The sharded execution engine: blockwise Top-K DA, parallel Refined DA,
 //! and incremental auxiliary ingestion.
 
+use std::collections::HashMap;
+
 use dehealth_core::attack::AttackConfig;
 use dehealth_core::filter::{filter_user, threshold_vector, Filtered, ScoreBounds};
 use dehealth_core::index::{AttributeIndex, IndexedScorer, PairTally};
-use dehealth_core::refined::{refine_user, RefinedConfig, Side};
+use dehealth_core::refined::{
+    refine_user, refine_user_shared, RefinedConfig, RefinedContext, RefinedScratch, Side,
+};
 use dehealth_core::similarity::SimilarityEngine;
 use dehealth_core::topk::{BoundedTopK, CandidateSets, Selection};
 use dehealth_core::uda::{extract_post_features, UdaGraph};
@@ -31,6 +35,23 @@ pub enum ScoringMode {
     Dense,
 }
 
+/// How the Refined-DA stage materializes classifier features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefinedMode {
+    /// Materialize-once fast path ([`RefinedContext`]): every post's dense
+    /// sample lives in a per-side arena built once in
+    /// [`EngineSession::finish`] and shared read-only across workers;
+    /// per-user training assembles row-index views and fuses scaling into
+    /// one gather pass over per-worker scratch. Produces mappings
+    /// bit-identical to [`RefinedMode::PerUser`].
+    #[default]
+    Shared,
+    /// The per-user-from-scratch `refine_user` loop — the differential
+    /// oracle the shared path is tested against
+    /// (`tests/refined_parity.rs`), mirroring [`ScoringMode::Dense`].
+    PerUser,
+}
+
 /// Execution-engine configuration: the attack parameters plus the
 /// parallel-execution knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +68,8 @@ pub struct EngineConfig {
     pub block_size: usize,
     /// Pair-scoring path for the Top-K stage.
     pub scoring: ScoringMode,
+    /// Feature-materialization path for the Refined-DA stage.
+    pub refined: RefinedMode,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +79,7 @@ impl Default for EngineConfig {
             n_threads: 0,
             block_size: 64,
             scoring: ScoringMode::default(),
+            refined: RefinedMode::default(),
         }
     }
 }
@@ -318,13 +342,14 @@ impl EngineSession<'_> {
         if let Some(filter_cfg) = &cfg.filtering {
             let ((), secs) = timed(|| {
                 let thresholds = threshold_vector(bounds, filter_cfg);
+                // `filter_user` probes each candidate once per threshold
+                // level; a per-user score map keeps that O(1) instead of a
+                // linear `find` over the entry list (O(K²·levels) total).
+                let mut scores: HashMap<usize, f64> = HashMap::new();
                 for (cands, entries) in candidates.iter_mut().zip(&candidate_scores) {
-                    let score_of = |v: usize| {
-                        entries
-                            .iter()
-                            .find(|&&(w, _)| w == v)
-                            .map_or(f64::NEG_INFINITY, |&(_, s)| s)
-                    };
+                    scores.clear();
+                    scores.extend(entries.iter().copied());
+                    let score_of = |v: usize| scores.get(&v).copied().unwrap_or(f64::NEG_INFINITY);
                     match filter_user(score_of, cands, &thresholds) {
                         Filtered::Kept(kept) => *cands = kept,
                         Filtered::Rejected => cands.clear(),
@@ -337,7 +362,14 @@ impl EngineSession<'_> {
         // Refined DA, fanned out per anonymized user. Each worker carries a
         // scratch similarity row (dense in the aux id space, but transient
         // and per-worker) holding only the user's candidate scores — the
-        // verification schemes read nothing else.
+        // verification schemes read nothing else. With
+        // [`RefinedMode::Shared`] the per-side feature arenas are
+        // materialized once here and shared read-only across workers,
+        // whose [`RefinedScratch`] buffers amortize all per-user
+        // allocations; [`RefinedMode::PerUser`] runs the from-scratch
+        // oracle instead. The context build is billed to the refined
+        // stage — it is part of what the fast path trades the per-user
+        // densification for.
         let anon_side = Side { forum: anon_forum, uda: &anon_uda, post_features: &anon_feats };
         let aux_side = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
         let refined_cfg = RefinedConfig {
@@ -347,25 +379,45 @@ impl EngineSession<'_> {
         };
         let mut mapping: Vec<Option<usize>> = vec![None; n_anon];
         let ((), refined_secs) = timed(|| {
+            let contexts = match config.refined {
+                RefinedMode::Shared => Some((
+                    RefinedContext::build(&anon_side, cfg.classifier),
+                    RefinedContext::build(&aux_side, cfg.classifier),
+                )),
+                RefinedMode::PerUser => None,
+            };
             run_blocks(
                 &mut mapping,
                 config.block_size,
                 config.effective_threads(),
-                || vec![f64::NEG_INFINITY; aux_users],
-                |offset, block, scratch_row| {
+                || (vec![f64::NEG_INFINITY; aux_users], RefinedScratch::new()),
+                |offset, block, (scratch_row, scratch)| {
                     for (i, slot) in block.iter_mut().enumerate() {
                         let u = offset + i;
                         for &(v, s) in &candidate_scores[u] {
                             scratch_row[v] = s;
                         }
-                        *slot = refine_user(
-                            u,
-                            &candidates[u],
-                            &anon_side,
-                            &aux_side,
-                            scratch_row,
-                            &refined_cfg,
-                        );
+                        *slot = match &contexts {
+                            Some((anon_ctx, aux_ctx)) => refine_user_shared(
+                                u,
+                                &candidates[u],
+                                &anon_side,
+                                &aux_side,
+                                anon_ctx,
+                                aux_ctx,
+                                scratch_row,
+                                &refined_cfg,
+                                scratch,
+                            ),
+                            None => refine_user(
+                                u,
+                                &candidates[u],
+                                &anon_side,
+                                &aux_side,
+                                scratch_row,
+                                &refined_cfg,
+                            ),
+                        };
                         for &(v, _) in &candidate_scores[u] {
                             scratch_row[v] = f64::NEG_INFINITY;
                         }
@@ -422,6 +474,7 @@ mod tests {
                 n_threads: 3,
                 block_size: 8,
                 scoring,
+                ..EngineConfig::default()
             });
             let out = engine.run(&split.auxiliary, &split.anonymized);
             assert_eq!(out.candidates, serial.candidates, "{scoring:?}");
@@ -465,6 +518,7 @@ mod tests {
             n_threads: 2,
             block_size: 4,
             scoring: ScoringMode::Dense,
+            ..EngineConfig::default()
         });
         let out = engine.run(&split.auxiliary, &split.anonymized);
         let pairs = out.report.stage("topk").expect("topk stage ran");
@@ -544,6 +598,57 @@ mod tests {
     }
 
     #[test]
+    fn shared_refined_matches_per_user_oracle() {
+        use dehealth_core::refined::Verification;
+        let split = tiny_split();
+        for verification in
+            [Verification::None, Verification::Mean { r: 0.1 }, Verification::Sigma { factor: 2.0 }]
+        {
+            let attack = AttackConfig { verification, ..attack_cfg() };
+            let mut outcomes = Vec::new();
+            for refined in [RefinedMode::Shared, RefinedMode::PerUser] {
+                let engine = Engine::new(EngineConfig {
+                    attack: attack.clone(),
+                    n_threads: 2,
+                    block_size: 8,
+                    refined,
+                    ..EngineConfig::default()
+                });
+                outcomes.push(engine.run(&split.auxiliary, &split.anonymized));
+            }
+            assert_eq!(outcomes[0].mapping, outcomes[1].mapping, "{verification:?}");
+            assert_eq!(outcomes[0].candidates, outcomes[1].candidates, "{verification:?}");
+        }
+    }
+
+    #[test]
+    fn filtering_with_many_candidates_matches_serial() {
+        use dehealth_core::FilterConfig;
+        // A Top-K large enough to keep every present auxiliary user as a
+        // candidate exercises the precomputed score map across wide entry
+        // lists and all threshold levels.
+        let split = tiny_split();
+        let attack = AttackConfig {
+            top_k: split.auxiliary.n_users,
+            filtering: Some(FilterConfig { epsilon: 0.05, levels: 12 }),
+            n_landmarks: 10,
+            ..AttackConfig::default()
+        };
+        let serial = DeHealth::new(attack.clone()).run(&split.auxiliary, &split.anonymized);
+        let engine = Engine::new(EngineConfig {
+            attack,
+            n_threads: 3,
+            block_size: 4,
+            ..EngineConfig::default()
+        });
+        let out = engine.run(&split.auxiliary, &split.anonymized);
+        assert_eq!(out.candidates, serial.candidates);
+        assert_eq!(out.mapping, serial.mapping);
+        // The entry lists the score map is built from really were wide.
+        assert!(out.candidate_scores.iter().any(|e| e.len() > 10));
+    }
+
+    #[test]
     #[should_panic(expected = "Selection::Direct")]
     fn graph_matching_is_rejected() {
         let _ = Engine::new(EngineConfig {
@@ -564,6 +669,7 @@ mod tests {
                 n_threads: 2,
                 block_size: 8,
                 scoring,
+                ..EngineConfig::default()
             });
             let out = engine.run(&split.auxiliary, &split.anonymized);
             assert_eq!(out.candidates, serial.candidates, "{scoring:?}");

@@ -74,5 +74,5 @@ pub mod engine;
 pub mod pool;
 pub mod report;
 
-pub use engine::{Engine, EngineConfig, EngineOutcome, EngineSession, ScoringMode};
+pub use engine::{Engine, EngineConfig, EngineOutcome, EngineSession, RefinedMode, ScoringMode};
 pub use report::{EngineReport, StageStats};

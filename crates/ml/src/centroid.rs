@@ -1,7 +1,7 @@
 //! Nearest-centroid classifier (the "Nearest Neighbor (NN)" baseline the
 //! paper lists among benchmark techniques, in its class-centroid form).
 
-use crate::dataset::{euclidean, Classifier, Dataset, Prediction};
+use crate::dataset::{euclidean, Classifier, Prediction, Samples};
 
 /// Nearest-centroid classifier: each class is summarized by the mean of its
 /// training samples; prediction picks the closest centroid.
@@ -26,7 +26,7 @@ impl NearestCentroid {
 }
 
 impl Classifier for NearestCentroid {
-    fn fit(&mut self, train: &Dataset) {
+    fn fit(&mut self, train: &dyn Samples) {
         assert!(!train.is_empty(), "empty training set");
         self.classes = train.classes();
         let dim = train.dim();
@@ -63,6 +63,7 @@ impl Classifier for NearestCentroid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::Dataset;
 
     fn data() -> Dataset {
         let mut d = Dataset::new(1);

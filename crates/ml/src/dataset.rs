@@ -1,5 +1,39 @@
 //! Dense sample matrix, class labels, and the common classifier interface.
 
+/// Read-only access to a supervised training set: `n` samples of dimension
+/// `dim` with one `usize` class label per sample.
+///
+/// Classifiers and scalers train through this trait, so an owned
+/// [`Dataset`] and a zero-copy [`DatasetView`] over a shared feature arena
+/// are interchangeable — given bit-identical rows in the same order, every
+/// fit is bit-identical regardless of how the rows are stored.
+pub trait Samples {
+    /// Number of samples.
+    fn len(&self) -> usize;
+
+    /// Feature dimension.
+    fn dim(&self) -> usize;
+
+    /// The `i`-th sample.
+    fn sample(&self, i: usize) -> &[f64];
+
+    /// The `i`-th label.
+    fn label(&self, i: usize) -> usize;
+
+    /// `true` if there are no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sorted distinct labels.
+    fn classes(&self) -> Vec<usize> {
+        let mut c: Vec<usize> = (0..self.len()).map(|i| self.label(i)).collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+}
+
 /// A dense supervised dataset: `n` samples of dimension `dim` with one
 /// `usize` class label per sample.
 #[derive(Debug, Clone, Default)]
@@ -7,6 +41,71 @@ pub struct Dataset {
     features: Vec<f64>,
     labels: Vec<usize>,
     dim: usize,
+}
+
+/// A borrowed training set over an external feature arena.
+///
+/// Rows either alias the arena contiguously (`rows = None`: view sample
+/// `i` is arena row `i`) or through an index list (`rows = Some(idx)`:
+/// view sample `i` is arena row `idx[i]`), so per-user training sets are
+/// assembled by collecting row indices instead of copying feature floats.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetView<'a> {
+    arena: &'a [f64],
+    dim: usize,
+    rows: Option<&'a [u32]>,
+    labels: &'a [usize],
+}
+
+impl<'a> DatasetView<'a> {
+    /// View of `labels.len()` contiguous rows at the start of `arena`.
+    ///
+    /// # Panics
+    /// Panics if `arena` is shorter than `labels.len() * dim` or `dim == 0`.
+    #[must_use]
+    pub fn contiguous(arena: &'a [f64], dim: usize, labels: &'a [usize]) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(arena.len() >= labels.len() * dim, "arena shorter than labels require");
+        Self { arena, dim, rows: None, labels }
+    }
+
+    /// View of the arena rows listed in `rows` (sample `i` = arena row
+    /// `rows[i]`), labelled by the parallel `labels`.
+    ///
+    /// # Panics
+    /// Panics if `rows` and `labels` differ in length, `dim == 0`, or any
+    /// row index is out of the arena's bounds.
+    #[must_use]
+    pub fn gathered(arena: &'a [f64], dim: usize, rows: &'a [u32], labels: &'a [usize]) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        let n_rows = arena.len() / dim;
+        assert!(
+            rows.iter().all(|&r| (r as usize) < n_rows),
+            "row index out of arena bounds ({} rows)",
+            n_rows
+        );
+        Self { arena, dim, rows: Some(rows), labels }
+    }
+}
+
+impl Samples for DatasetView<'_> {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn sample(&self, i: usize) -> &[f64] {
+        let row = self.rows.map_or(i, |rows| rows[i] as usize);
+        &self.arena[row * self.dim..(row + 1) * self.dim]
+    }
+
+    fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
 }
 
 impl Dataset {
@@ -88,6 +187,44 @@ impl Dataset {
             *v = f(k % dim, *v);
         }
     }
+
+    /// Copy every sample of a [`Samples`] source into an owned dataset.
+    #[must_use]
+    pub fn from_samples(src: &dyn Samples) -> Self {
+        let mut out = Dataset::new(src.dim());
+        out.features.reserve_exact(src.len() * src.dim());
+        out.labels.reserve_exact(src.len());
+        for i in 0..src.len() {
+            out.push(src.sample(i), src.label(i));
+        }
+        out
+    }
+}
+
+impl Samples for Dataset {
+    fn len(&self) -> usize {
+        Dataset::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        Dataset::dim(self)
+    }
+
+    fn sample(&self, i: usize) -> &[f64] {
+        Dataset::sample(self, i)
+    }
+
+    fn label(&self, i: usize) -> usize {
+        Dataset::label(self, i)
+    }
+
+    fn is_empty(&self) -> bool {
+        Dataset::is_empty(self)
+    }
+
+    fn classes(&self) -> Vec<usize> {
+        Dataset::classes(self)
+    }
 }
 
 /// A classification decision with a confidence score (larger = more
@@ -103,18 +240,19 @@ pub struct Prediction {
 /// Common train/predict interface implemented by every classifier in this
 /// crate.
 pub trait Classifier {
-    /// Fit the model to `train`.
+    /// Fit the model to `train` — an owned [`Dataset`] or a zero-copy
+    /// [`DatasetView`] over a shared feature arena.
     ///
     /// # Panics
     /// Implementations may panic on empty training sets.
-    fn fit(&mut self, train: &Dataset);
+    fn fit(&mut self, train: &dyn Samples);
 
     /// Predict the class of one sample.
     fn predict(&self, x: &[f64]) -> Prediction;
 
     /// Predict a batch.
     fn predict_all(&self, xs: &Dataset) -> Vec<Prediction> {
-        (0..xs.len()).map(|i| self.predict(xs.sample(i))).collect()
+        (0..Dataset::len(xs)).map(|i| self.predict(Dataset::sample(xs, i))).collect()
     }
 }
 
@@ -171,6 +309,50 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.sample(0), &[4.0]);
         assert_eq!(s.label(1), 0);
+    }
+
+    #[test]
+    fn contiguous_view_aliases_arena() {
+        let arena = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let labels = [4usize, 2, 9];
+        let v = DatasetView::contiguous(&arena, 2, &labels);
+        assert_eq!(Samples::len(&v), 3);
+        assert_eq!(Samples::dim(&v), 2);
+        assert!(!Samples::is_empty(&v));
+        assert_eq!(v.sample(1), &[3.0, 4.0]);
+        assert_eq!(v.label(2), 9);
+        assert_eq!(v.classes(), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn gathered_view_indexes_rows() {
+        let arena = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let rows = [2u32, 0];
+        let labels = [7usize, 7];
+        let v = DatasetView::gathered(&arena, 2, &rows, &labels);
+        assert_eq!(Samples::len(&v), 2);
+        assert_eq!(v.sample(0), &[5.0, 6.0]);
+        assert_eq!(v.sample(1), &[1.0, 2.0]);
+        assert_eq!(v.classes(), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of arena bounds")]
+    fn gathered_view_rejects_out_of_range_rows() {
+        let arena = [1.0, 2.0];
+        let _ = DatasetView::gathered(&arena, 2, &[1], &[0]);
+    }
+
+    #[test]
+    fn from_samples_copies_a_view() {
+        let arena = [1.0, 2.0, 3.0, 4.0];
+        let rows = [1u32, 0];
+        let labels = [5usize, 6];
+        let v = DatasetView::gathered(&arena, 2, &rows, &labels);
+        let d = Dataset::from_samples(&v);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.sample(0), &[3.0, 4.0]);
+        assert_eq!(d.label(1), 6);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! alternatives. No offline ML crate is available, so this crate
 //! implements them from scratch:
 //!
-//! - [`dataset`] — dense sample matrix + labels, the common train/predict
-//!   interface [`Classifier`], and deterministic helpers;
+//! - [`dataset`] — dense sample matrix + labels, the read-only training
+//!   access trait [`Samples`] (owned [`Dataset`] or zero-copy
+//!   [`DatasetView`] over a shared feature arena), the common
+//!   train/predict interface [`Classifier`], and deterministic helpers;
 //! - [`scale`] — min-max and z-score feature scalers (fit on train only);
 //! - [`knn`] — k-nearest-neighbour voting classifier;
 //! - [`centroid`] — nearest-centroid ("NN" in the paper's list);
@@ -28,9 +30,9 @@ pub mod scale;
 pub mod svm;
 
 pub use centroid::NearestCentroid;
-pub use dataset::{Classifier, Dataset, Prediction};
+pub use dataset::{Classifier, Dataset, DatasetView, Prediction, Samples};
 pub use eval::{accuracy, confusion_counts, kfold_indices};
-pub use knn::{Knn, KnnMetric};
+pub use knn::{knn_predict, knn_vote_scored, Knn, KnnMetric};
 pub use rlsc::Rlsc;
 pub use scale::{MinMaxScaler, ZScoreScaler};
 pub use svm::{Kernel, SmoSvm, SvmParams};

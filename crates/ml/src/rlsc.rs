@@ -6,7 +6,7 @@
 //! training samples, which fits the small candidate sets of refined DA.
 //! Multiclass is one-vs-rest on `±1` targets.
 
-use crate::dataset::{Classifier, Dataset, Prediction};
+use crate::dataset::{Classifier, Dataset, Prediction, Samples};
 
 /// RLSC model (linear kernel, one-vs-rest).
 #[derive(Debug, Clone)]
@@ -107,9 +107,11 @@ fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
 }
 
 impl Classifier for Rlsc {
-    fn fit(&mut self, train: &Dataset) {
+    fn fit(&mut self, train: &dyn Samples) {
         assert!(!train.is_empty(), "empty training set");
-        self.train = train.clone();
+        // Prediction evaluates kernels against the training samples, so an
+        // owned copy is kept; it is O(n·dim) next to the O(n²) solve.
+        self.train = Dataset::from_samples(train);
         self.classes = train.classes();
         let n = train.len();
         let mut gram = vec![0.0; n * n];
@@ -129,7 +131,7 @@ impl Classifier for Rlsc {
             .iter()
             .map(|&cls| {
                 let y: Vec<f64> =
-                    train.labels().iter().map(|&t| if t == cls { 1.0 } else { -1.0 }).collect();
+                    (0..n).map(|i| if train.label(i) == cls { 1.0 } else { -1.0 }).collect();
                 cholesky_solve(&l, n, &y)
             })
             .collect();

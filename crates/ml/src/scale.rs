@@ -3,7 +3,7 @@
 //! classifiers need scaling; scalers are fit on the training split only and
 //! then applied to both splits.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, Samples};
 
 /// Min-max scaler mapping each feature to `[0, 1]` over the fit range.
 /// Constant features map to 0.
@@ -14,9 +14,11 @@ pub struct MinMaxScaler {
 }
 
 impl MinMaxScaler {
-    /// Fit per-feature min/max on `train`.
+    /// Fit per-feature min/max on `train` (an owned [`Dataset`] or a
+    /// borrowed [`crate::dataset::DatasetView`] — the fit visits rows in
+    /// index order either way, so both yield bit-identical scalers).
     #[must_use]
-    pub fn fit(train: &Dataset) -> Self {
+    pub fn fit<S: Samples + ?Sized>(train: &S) -> Self {
         let dim = train.dim();
         let mut mins = vec![f64::INFINITY; dim];
         let mut maxs = vec![f64::NEG_INFINITY; dim];
@@ -48,6 +50,20 @@ impl MinMaxScaler {
             ((v - self.mins[j]) / self.ranges[j]).clamp(0.0, 1.0)
         }
     }
+
+    /// Scale one whole row into `dst` — the fused gather+scale step the
+    /// refined-DA fast path uses instead of a dataset clone + transform.
+    ///
+    /// # Panics
+    /// Panics if `src` and `dst` differ in length or don't match the
+    /// fitted dimension.
+    pub fn scale_row_into(&self, src: &[f64], dst: &mut [f64]) {
+        assert_eq!(src.len(), dst.len(), "row length mismatch");
+        assert_eq!(src.len(), self.ranges.len(), "row/scaler dimension mismatch");
+        for (j, (d, &v)) in dst.iter_mut().zip(src).enumerate() {
+            *d = self.scale_value(j, v);
+        }
+    }
 }
 
 /// Z-score scaler: `(v - mean) / std`. Constant features map to 0.
@@ -60,7 +76,7 @@ pub struct ZScoreScaler {
 impl ZScoreScaler {
     /// Fit per-feature mean/std on `train`.
     #[must_use]
-    pub fn fit(train: &Dataset) -> Self {
+    pub fn fit<S: Samples + ?Sized>(train: &S) -> Self {
         let dim = train.dim();
         let n = train.len().max(1) as f64;
         let mut means = vec![0.0; dim];
@@ -144,5 +160,36 @@ mod tests {
         let d = Dataset::new(3);
         let _ = MinMaxScaler::fit(&d);
         let _ = ZScoreScaler::fit(&d);
+    }
+
+    #[test]
+    fn view_fit_matches_dataset_fit() {
+        use crate::dataset::DatasetView;
+        let d = data();
+        let arena: Vec<f64> = (0..d.len()).flat_map(|i| d.sample(i).to_vec()).collect();
+        let rows: Vec<u32> = (0..d.len() as u32).collect();
+        let labels: Vec<usize> = (0..d.len()).map(|i| d.label(i)).collect();
+        let view = DatasetView::gathered(&arena, d.dim(), &rows, &labels);
+        let from_dataset = MinMaxScaler::fit(&d);
+        let from_view = MinMaxScaler::fit(&view);
+        for j in 0..d.dim() {
+            for v in [-3.0, 0.0, 4.2, 11.0] {
+                assert_eq!(
+                    from_dataset.scale_value(j, v).to_bits(),
+                    from_view.scale_value(j, v).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_row_into_matches_scale_value() {
+        let d = data();
+        let s = MinMaxScaler::fit(&d);
+        let src = [7.5, 11.0];
+        let mut dst = [0.0; 2];
+        s.scale_row_into(&src, &mut dst);
+        assert_eq!(dst[0], s.scale_value(0, 7.5));
+        assert_eq!(dst[1], s.scale_value(1, 11.0));
     }
 }

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::dataset::{Classifier, Dataset, Prediction};
+use crate::dataset::{Classifier, Dataset, Prediction, Samples};
 
 /// Kernel function for [`SmoSvm`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -193,9 +193,15 @@ impl SmoSvm {
 }
 
 impl Classifier for SmoSvm {
-    fn fit(&mut self, train: &Dataset) {
+    fn fit(&mut self, train: &dyn Samples) {
         assert!(!train.is_empty(), "empty training set");
-        self.train = train.clone();
+        // Linear models predict through their primal weight vector, so
+        // only the RBF kernel needs the training samples kept around.
+        self.train = if self.params.kernel == Kernel::Linear {
+            Dataset::new(train.dim())
+        } else {
+            Dataset::from_samples(train)
+        };
         self.classes = train.classes();
         let n = train.len();
         // Precompute the Gram matrix once; candidate sets are small
@@ -218,7 +224,7 @@ impl Classifier for SmoSvm {
             .iter()
             .map(|&cls| {
                 let y: Vec<f64> =
-                    train.labels().iter().map(|&l| if l == cls { 1.0 } else { -1.0 }).collect();
+                    (0..n).map(|i| if train.label(i) == cls { 1.0 } else { -1.0 }).collect();
                 let mut model = self.train_binary(&y, &gram, &mut rng);
                 if self.params.kernel == Kernel::Linear {
                     let mut w = vec![0.0; train.dim()];

@@ -30,6 +30,7 @@ fn assert_parity(split: &Split, attack: AttackConfig) {
                     n_threads,
                     block_size,
                     scoring,
+                    ..EngineConfig::default()
                 });
                 let out = engine.run(&split.auxiliary, &split.anonymized);
                 assert_eq!(

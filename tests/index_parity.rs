@@ -78,7 +78,13 @@ fn attack_cfg() -> AttackConfig {
 }
 
 fn engine(attack: AttackConfig, n_threads: usize, scoring: ScoringMode) -> Engine {
-    Engine::new(EngineConfig { attack, n_threads, block_size: 4, scoring })
+    Engine::new(EngineConfig {
+        attack,
+        n_threads,
+        block_size: 4,
+        scoring,
+        ..EngineConfig::default()
+    })
 }
 
 fn assert_outcomes_identical(a: &EngineOutcome, b: &EngineOutcome, what: &str) {
