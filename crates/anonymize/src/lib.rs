@@ -4,7 +4,7 @@
 //! paper leaves as future work ("developing proper anonymization
 //! techniques for large-scale online health data is a challenging open
 //! problem", Section VII) and the counterpart of the adversarial-
-//! stylometry literature it cites (Anonymouth [36], Brennan et al. [37]).
+//! stylometry literature it cites (Anonymouth \[36\], Brennan et al. \[37\]).
 //!
 //! Two defense families, matching De-Health's two signal channels:
 //!

@@ -8,5 +8,6 @@ pub mod fig4_fig6_refined;
 pub mod fig7_fig8_graph;
 pub mod linkage_attack;
 pub mod scaling;
+pub mod service;
 pub mod table1;
 pub mod theory_bounds;

@@ -1,0 +1,259 @@
+//! Service benchmark: snapshot persistence vs cold corpus builds, and
+//! sustained attack throughput over the wire.
+//!
+//! Measures the two numbers the serving layer exists for:
+//!
+//! 1. **Restart cost** — wall-clock of a cold [`PreparedCorpus::build`]
+//!    (full stylometric feature extraction) vs a
+//!    [`PreparedCorpus::load`] of the equivalent snapshot (file read +
+//!    cheap merges, no text analysis). The load must come in below 25% of
+//!    the cold build — asserted here, so the committed
+//!    `BENCH_service.json` always demonstrates the property.
+//! 2. **Serving throughput** — a daemon is started on an ephemeral local
+//!    port with the snapshot-loaded corpus, and the same anonymized batch
+//!    is attacked repeatedly over TCP at 1 and `machine_parallelism`
+//!    worker threads; the JSON records attacks/sec and anonymized
+//!    users/sec including all protocol overhead (JSON encode/parse both
+//!    directions).
+//!
+//! Every wire attack is compared against the in-process serial
+//! `DeHealth::run` on the freshly built corpus — mapping and candidate
+//! sets must be identical, so the committed numbers always come from a
+//! daemon that agrees with the reference implementation bit for bit.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use dehealth_core::{AttackConfig, DeHealth};
+use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
+use dehealth_engine::EngineConfig;
+use dehealth_service::daemon::Daemon;
+use dehealth_service::{AttackOptions, PreparedCorpus, ServiceClient};
+
+/// Attack parameters used throughout the benchmark (matching the scaling
+/// experiment's sweep so the numbers are comparable).
+fn attack_config() -> AttackConfig {
+    AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() }
+}
+
+/// One wire-throughput measurement.
+#[derive(Debug, Clone)]
+pub struct WireRun {
+    /// Worker threads the daemon used per attack.
+    pub threads: usize,
+    /// Repeated attacks of the same batch.
+    pub rounds: usize,
+    /// Total wall-clock across the rounds (client-side, protocol
+    /// overhead included).
+    pub total_seconds: f64,
+    /// Attacks per second.
+    pub attacks_per_sec: f64,
+    /// Anonymized users de-anonymized per second.
+    pub users_per_sec: f64,
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone)]
+pub struct ServiceBench {
+    /// Total generated forum users.
+    pub users: usize,
+    /// Anonymized users per attack batch.
+    pub anon_users: usize,
+    /// Cold corpus build (feature extraction + derivations), seconds.
+    pub cold_build_seconds: f64,
+    /// Snapshot serialization + write, seconds.
+    pub snapshot_save_seconds: f64,
+    /// Snapshot size on disk, bytes.
+    pub snapshot_bytes: u64,
+    /// Snapshot read + restore, seconds.
+    pub snapshot_load_seconds: f64,
+    /// `snapshot_load_seconds / cold_build_seconds`.
+    pub load_vs_build_ratio: f64,
+    /// Wire-throughput sweep.
+    pub wire: Vec<WireRun>,
+}
+
+/// Run the benchmark and write `BENCH_service.json` to the working
+/// directory.
+///
+/// # Errors
+/// Propagates I/O errors from the snapshot file, the daemon socket, or
+/// the JSON report.
+pub fn run(users: usize, seed: u64) -> io::Result<PathBuf> {
+    let path = PathBuf::from("BENCH_service.json");
+    run_to(&path, users, seed)?;
+    Ok(path)
+}
+
+/// Run the benchmark and write the JSON report to `path`.
+///
+/// # Panics
+/// Panics if the snapshot round-trip is not bit-exact, the load/build
+/// ratio misses the 25% budget, or any wire attack disagrees with the
+/// in-process reference — the committed numbers must come from a
+/// configuration that holds the serving layer's guarantees.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> {
+    let forum = Forum::generate(&ForumConfig::webmd_like(users), seed);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.7), seed.wrapping_add(1));
+    println!(
+        "\n# Service: {} auxiliary users ({} posts), {} anonymized users, snapshot vs cold build \
+         + wire throughput",
+        split.auxiliary.n_users,
+        split.auxiliary.posts.len(),
+        split.anonymized.n_users,
+    );
+
+    // Cold build (the daemon-restart cost without snapshots).
+    let t0 = Instant::now();
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_config().classifier);
+    let cold_build_seconds = t0.elapsed().as_secs_f64();
+
+    // Snapshot save / load round-trip.
+    let snap_path = std::env::temp_dir().join(format!("dehealth-service-bench-{seed}.snap"));
+    let t0 = Instant::now();
+    corpus.save(&snap_path).map_err(io::Error::other)?;
+    let snapshot_save_seconds = t0.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&snap_path)?.len();
+    let (loaded, snapshot_load_seconds) =
+        PreparedCorpus::load_timed(&snap_path).map_err(io::Error::other)?;
+    assert_eq!(
+        loaded.to_snapshot_bytes(),
+        corpus.to_snapshot_bytes(),
+        "snapshot round-trip must be bit-exact"
+    );
+    let load_vs_build_ratio = snapshot_load_seconds / cold_build_seconds.max(1e-12);
+    println!(
+        "  cold build {cold_build_seconds:.3}s, snapshot save {snapshot_save_seconds:.3}s \
+         ({snapshot_bytes} bytes), load {snapshot_load_seconds:.3}s \
+         ({:.1}% of cold build)",
+        100.0 * load_vs_build_ratio
+    );
+    assert!(
+        load_vs_build_ratio < 0.25,
+        "snapshot load took {:.1}% of the cold build (budget: 25%)",
+        100.0 * load_vs_build_ratio
+    );
+
+    // In-process reference: the serial attack on the freshly built side.
+    let reference = DeHealth::new(attack_config()).run(&split.auxiliary, &split.anonymized);
+
+    // Wire throughput against the snapshot-loaded corpus.
+    let daemon = Daemon::bind_with_corpus(
+        "127.0.0.1:0",
+        EngineConfig { attack: attack_config(), ..EngineConfig::default() },
+        Some(loaded),
+    )?;
+    let mut client = ServiceClient::connect(daemon.addr())?;
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut wire = Vec::new();
+    let rounds = 3usize;
+    let mut thread_sweep = vec![1];
+    if parallelism > 1 {
+        thread_sweep.push(parallelism);
+    }
+    for threads in thread_sweep {
+        let options = AttackOptions { threads: Some(threads), ..AttackOptions::default() };
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            let reply = client.attack(&split.anonymized, &options).map_err(io::Error::other)?;
+            assert_eq!(
+                reply.mapping, reference.mapping,
+                "wire attack must match the in-process serial attack"
+            );
+            assert_eq!(reply.candidates, reference.candidates);
+        }
+        let total_seconds = t0.elapsed().as_secs_f64();
+        let run = WireRun {
+            threads,
+            rounds,
+            total_seconds,
+            attacks_per_sec: rounds as f64 / total_seconds.max(1e-12),
+            users_per_sec: (rounds * split.anonymized.n_users) as f64 / total_seconds.max(1e-12),
+        };
+        println!(
+            "  wire attack × {rounds} at {threads} threads: {total_seconds:.3}s \
+             ({:.2} attacks/s, {:.0} users/s)",
+            run.attacks_per_sec, run.users_per_sec
+        );
+        wire.push(run);
+    }
+    client.shutdown().map_err(io::Error::other)?;
+    daemon.join();
+    let _ = std::fs::remove_file(&snap_path);
+
+    let bench = ServiceBench {
+        users,
+        anon_users: split.anonymized.n_users,
+        cold_build_seconds,
+        snapshot_save_seconds,
+        snapshot_bytes,
+        snapshot_load_seconds,
+        load_vs_build_ratio,
+        wire,
+    };
+    write_json(path, seed, &bench)?;
+    println!("  wrote {}", path.display());
+    Ok(bench)
+}
+
+/// Hand-rolled JSON (the workspace carries no serialization dependency).
+fn write_json(path: &Path, seed: u64, b: &ServiceBench) -> io::Result<()> {
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"service\",");
+    let _ = writeln!(out, "  \"users\": {},", b.users);
+    let _ = writeln!(out, "  \"anon_users\": {},", b.anon_users);
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"machine_parallelism\": {parallelism},");
+    let _ = writeln!(out, "  \"cold_build_seconds\": {:.6},", b.cold_build_seconds);
+    let _ = writeln!(out, "  \"snapshot_save_seconds\": {:.6},", b.snapshot_save_seconds);
+    let _ = writeln!(out, "  \"snapshot_bytes\": {},", b.snapshot_bytes);
+    let _ = writeln!(out, "  \"snapshot_load_seconds\": {:.6},", b.snapshot_load_seconds);
+    let _ = writeln!(out, "  \"load_vs_build_ratio\": {:.6},", b.load_vs_build_ratio);
+    out.push_str("  \"wire\": [\n");
+    for (i, r) in b.wire.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"threads\": {}, \"rounds\": {}, \"total_seconds\": {:.6}, \
+             \"attacks_per_sec\": {:.3}, \"users_per_sec\": {:.1}}}",
+            r.threads, r.rounds, r.total_seconds, r.attacks_per_sec, r.users_per_sec
+        );
+        out.push_str(if i + 1 < b.wire.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_asserts_parity_and_writes_json() {
+        let dir = std::env::temp_dir().join("dehealth-service-bench-test");
+        let path = dir.join("BENCH_service.json");
+        // Parity with the serial reference and the round-trip bit-parity
+        // are asserted inside `run_to` itself; the load-vs-build budget
+        // must hold even at this small scale.
+        let bench = run_to(&path, 80, 9).unwrap();
+        assert!(bench.load_vs_build_ratio < 0.25);
+        assert!(!bench.wire.is_empty());
+        assert!(bench.wire.iter().all(|r| r.attacks_per_sec > 0.0));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"service\""));
+        assert!(text.contains("\"load_vs_build_ratio\""));
+        assert!(text.contains("\"attacks_per_sec\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -16,24 +16,43 @@
 //!   linkage  Section VI linkage attack
 //!   theory   Section IV bounds vs Monte-Carlo
 //!   scaling  engine throughput vs worker threads (BENCH_scaling.json)
+//!   service  snapshot persistence + daemon wire throughput (BENCH_service.json)
 //!   all      everything above
+//!
+//! serving commands (not part of `all`):
+//!   snapshot write a prepared-corpus snapshot     [--users N] [--seed S] [--path corpus.snap]
+//!   serve    run the attack daemon                [--path corpus.snap] [--addr 127.0.0.1:7699]
 //! ```
+//!
+//! `repro snapshot` generates the synthetic forum, takes the closed-world
+//! split, prepares the auxiliary side (feature extraction + derived
+//! structures) and persists it. `repro serve` loads that snapshot (or
+//! prepares a corpus in-process when the file is absent) and serves the
+//! newline-delimited-JSON protocol until a client sends `shutdown`; the
+//! anonymized half of the same `--users/--seed` split is what
+//! `examples/attack_service.rs` replays against it.
+
+use std::path::Path;
 
 use dehealth_bench::experiments::{
     ablation, datasets, defense, fig3_fig5_topk, fig4_fig6_refined, fig7_fig8_graph,
-    linkage_attack, scaling, table1, theory_bounds,
+    linkage_attack, scaling, service, table1, theory_bounds,
 };
 
 struct Args {
     experiment: String,
     users: Option<usize>,
     seed: u64,
+    path: Option<String>,
+    addr: String,
 }
 
 fn parse_args() -> Args {
     let mut experiment = String::from("all");
     let mut users = None;
     let mut seed = 42u64;
+    let mut path = None;
+    let mut addr = String::from("127.0.0.1:7699");
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -43,6 +62,14 @@ fn parse_args() -> Args {
             "--seed" => {
                 if let Some(v) = argv.next().and_then(|v| v.parse().ok()) {
                     seed = v;
+                }
+            }
+            "--path" => {
+                path = argv.next();
+            }
+            "--addr" => {
+                if let Some(v) = argv.next() {
+                    addr = v;
                 }
             }
             "--help" | "-h" => {
@@ -56,14 +83,99 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { experiment, users, seed }
+    Args { experiment, users, seed, path, addr }
 }
 
 fn print_help() {
     println!(
-        "repro <fig1|fig2|table1|fig3|fig4|fig5|fig6|fig7|fig8|linkage|theory|ablation|defense|scaling|all> \
-         [--users N] [--seed S]"
+        "repro <fig1|fig2|table1|fig3|fig4|fig5|fig6|fig7|fig8|linkage|theory|ablation|defense|scaling|service|all> \
+         [--users N] [--seed S]\n\
+         repro snapshot [--users N] [--seed S] [--path corpus.snap]\n\
+         repro serve [--path corpus.snap] [--addr 127.0.0.1:7699] [--users N] [--seed S]"
     );
+}
+
+/// The auxiliary/anonymized split `snapshot`, `serve` and the example
+/// client all regenerate deterministically from `--users`/`--seed`.
+fn serving_split(users: usize, seed: u64) -> dehealth_corpus::Split {
+    let forum =
+        dehealth_corpus::Forum::generate(&dehealth_corpus::ForumConfig::webmd_like(users), seed);
+    dehealth_corpus::closed_world_split(
+        &forum,
+        &dehealth_corpus::SplitConfig::fraction(0.7),
+        seed.wrapping_add(1),
+    )
+}
+
+fn run_snapshot_command(users: usize, seed: u64, path: &str) {
+    use std::time::Instant;
+    let split = serving_split(users, seed);
+    println!(
+        "preparing auxiliary corpus: {} users, {} posts…",
+        split.auxiliary.n_users,
+        split.auxiliary.posts.len()
+    );
+    let t0 = Instant::now();
+    let corpus = dehealth_service::PreparedCorpus::build(
+        split.auxiliary,
+        dehealth_core::refined::ClassifierKind::default(),
+    );
+    let build_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    if let Err(e) = corpus.save(Path::new(path)) {
+        eprintln!("snapshot: failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    let save_secs = t0.elapsed().as_secs_f64();
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {path}: {bytes} bytes (build {build_secs:.3}s, save {save_secs:.3}s); \
+         serve it with `repro serve --path {path}`"
+    );
+}
+
+fn run_serve_command(users: usize, seed: u64, path: Option<&str>, addr: &str) {
+    let corpus = match path {
+        Some(path) if Path::new(path).exists() => {
+            match dehealth_service::PreparedCorpus::load_timed(Path::new(path)) {
+                Ok((corpus, secs)) => {
+                    println!(
+                        "loaded snapshot {path}: {} users, {} posts in {secs:.3}s \
+                         (feature extraction skipped)",
+                        corpus.n_users(),
+                        corpus.n_posts()
+                    );
+                    corpus
+                }
+                Err(e) => {
+                    eprintln!("serve: failed to load {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            println!("no snapshot given/found; preparing a corpus in-process…");
+            let split = serving_split(users, seed);
+            dehealth_service::PreparedCorpus::build(
+                split.auxiliary,
+                dehealth_core::refined::ClassifierKind::default(),
+            )
+        }
+    };
+    let daemon = match dehealth_service::Daemon::bind_with_corpus(
+        addr,
+        dehealth_service::daemon::default_config(),
+        Some(corpus),
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("serving on {} (send {{\"cmd\":\"shutdown\"}} to stop)", daemon.addr());
+    daemon.join();
+    println!("daemon shut down");
 }
 
 fn main() {
@@ -122,9 +234,24 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if run("service") {
+        if let Err(e) = service::run(args.users.unwrap_or(600), seed) {
+            eprintln!("service: failed to run the service benchmark: {e}");
+            std::process::exit(1);
+        }
+    }
+    if args.experiment == "snapshot" {
+        let path = args.path.clone().unwrap_or_else(|| "corpus.snap".to_string());
+        run_snapshot_command(args.users.unwrap_or(600), seed, &path);
+        return;
+    }
+    if args.experiment == "serve" {
+        run_serve_command(args.users.unwrap_or(600), seed, args.path.as_deref(), &args.addr);
+        return;
+    }
     if ![
         "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "linkage",
-        "theory", "ablation", "defense", "scaling", "all",
+        "theory", "ablation", "defense", "scaling", "service", "all",
     ]
     .contains(&args.experiment.as_str())
     {

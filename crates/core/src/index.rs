@@ -43,12 +43,13 @@
 //! tests this path against the dense oracle at 1/2/8 threads.
 //!
 //! **Caveat.** Pruning skips pairs without computing their scores, so the
-//! running [`ScoreBounds`](crate::filter::ScoreBounds) of a pruned pass no
+//! running [`ScoreBounds`] of a pruned pass no
 //! longer sees the global minimum. Callers that feed Algorithm-2 filtering
 //! (which thresholds against that minimum) must score with pruning
 //! disabled — the engine does this automatically whenever
 //! `AttackConfig::filtering` is set.
 
+use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SnapshotError};
 use dehealth_stylometry::UserAttributes;
 
 use crate::filter::ScoreBounds;
@@ -186,6 +187,92 @@ impl AttributeIndex {
         let from = u32::try_from(from).expect("watermark overflows u32");
         let start = self.present.partition_point(|&v| v < from);
         &self.present[start..]
+    }
+
+    /// Serialize into a snapshot section: the per-user totals, then every
+    /// posting list (see ARCHITECTURE.md for the byte layout). The
+    /// `present` list and `n_postings` are derivable and not stored.
+    ///
+    /// # Panics
+    /// Panics if the index holds more than `u32::MAX` attributes or any
+    /// posting list longer than `u32::MAX` (beyond any supported corpus).
+    pub fn encode(&self, buf: &mut SectionBuf) {
+        buf.put_u32(u32::try_from(self.users.len()).expect("user count overflows u32"));
+        for u in &self.users {
+            buf.put_u32(u.attr_count);
+            buf.put_u64(u.weight_sum);
+            buf.put_u8(u8::from(u.present));
+        }
+        buf.put_u32(u32::try_from(self.postings.len()).expect("attribute count overflows u32"));
+        for plist in &self.postings {
+            buf.put_u32(u32::try_from(plist.len()).expect("posting list overflows u32"));
+            for p in plist {
+                buf.put_u32(p.user);
+                buf.put_u32(p.weight);
+            }
+        }
+    }
+
+    /// Deserialize an index written by [`Self::encode`], revalidating
+    /// every structural invariant (ascending posting lists, ids in range,
+    /// postings only for present users, positive weights).
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`] or [`SnapshotError::Malformed`] on
+    /// malformed payloads; never panics.
+    pub fn decode(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let n_users = r.take_u32()? as usize;
+        if n_users > r.remaining() / 13 {
+            // Each user entry occupies 13 bytes.
+            return Err(SnapshotError::Malformed { context: "implausible index user count" });
+        }
+        let mut users = Vec::with_capacity(n_users);
+        let mut present = Vec::new();
+        for id in 0..n_users {
+            let attr_count = r.take_u32()?;
+            let weight_sum = r.take_u64()?;
+            let present_flag = match r.take_u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::Malformed { context: "invalid presence flag" }),
+            };
+            if present_flag {
+                present.push(id as u32);
+            }
+            users.push(UserEntry { attr_count, weight_sum, present: present_flag });
+        }
+        let n_attrs = r.take_u32()? as usize;
+        if n_attrs > r.remaining() / 4 {
+            return Err(SnapshotError::Malformed { context: "implausible attribute count" });
+        }
+        let mut postings = Vec::with_capacity(n_attrs);
+        let mut n_postings = 0usize;
+        for _ in 0..n_attrs {
+            let len = r.take_u32()? as usize;
+            if len > r.remaining() / 8 {
+                return Err(SnapshotError::Malformed { context: "implausible posting length" });
+            }
+            let mut plist = Vec::with_capacity(len);
+            for _ in 0..len {
+                let user = r.take_u32()?;
+                let weight = r.take_u32()?;
+                if user as usize >= n_users || weight == 0 {
+                    return Err(SnapshotError::Malformed { context: "invalid posting entry" });
+                }
+                if !users[user as usize].present {
+                    return Err(SnapshotError::Malformed {
+                        context: "posting references absent user",
+                    });
+                }
+                if plist.last().is_some_and(|p: &Posting| p.user >= user) {
+                    return Err(SnapshotError::Malformed { context: "posting list not ascending" });
+                }
+                plist.push(Posting { user, weight });
+            }
+            n_postings += plist.len();
+            postings.push(plist);
+        }
+        Ok(Self { postings, users, present, n_postings })
     }
 }
 

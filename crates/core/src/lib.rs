@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # dehealth-core
 //!
 //! The De-Health attack itself — the primary contribution of the paper.
@@ -26,6 +27,7 @@ pub mod filter;
 pub mod index;
 pub mod refined;
 pub mod similarity;
+pub mod snapshot;
 pub mod topk;
 pub mod uda;
 

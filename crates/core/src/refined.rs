@@ -26,6 +26,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SnapshotError};
 use dehealth_corpus::Forum;
 use dehealth_ml::{
     knn_vote_scored, Classifier, Dataset, DatasetView, Knn, KnnMetric, MinMaxScaler,
@@ -80,7 +81,7 @@ pub enum Verification {
         /// Number of decoy users.
         n_false: usize,
     },
-    /// Distractorless verification (Noecker & Ryan, cited as [45]):
+    /// Distractorless verification (Noecker & Ryan, cited as \[45\]):
     /// accept `u → v` only if the cosine similarity of the users' mean
     /// stylometric profiles reaches `theta`, with no reference to the
     /// other candidates.
@@ -88,7 +89,7 @@ pub enum Verification {
         /// Acceptance threshold on profile cosine, in `[0, 1]`.
         theta: f64,
     },
-    /// Sigma verification (Stolerman et al., cited as [32]): accept
+    /// Sigma verification (Stolerman et al., cited as \[32\]): accept
     /// `u → v` only if `u`'s profile is no farther from `v`'s centroid
     /// than `factor` standard deviations of `v`'s own per-post distances
     /// to that centroid — i.e. `u` must look like a typical post of `v`.
@@ -174,7 +175,7 @@ pub struct RefinedContext {
 
 impl RefinedContext {
     /// Materialize every post of `side` — each post exactly once, through
-    /// the same [`sample`] the per-user oracle calls per (user, candidate,
+    /// the same `sample` helper the per-user oracle calls per (user, candidate,
     /// post), so row values are bit-identical by construction. Only the
     /// representation `classifier` reads is built: the sparse entry lists
     /// for [`ClassifierKind::Knn`], the dense arena otherwise.
@@ -243,6 +244,140 @@ impl RefinedContext {
     fn sparse_post(&self, pi: usize) -> (&[u32], &[f64]) {
         let range = self.sp_start[pi]..self.sp_start[pi + 1];
         (&self.sp_idx[range.clone()], &self.sp_val[range])
+    }
+
+    /// `true` when the sparse entry lists are materialized (the KNN
+    /// representation), `false` when the dense arena is.
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        self.sparse
+    }
+
+    /// `true` if this context holds the representation `classifier`
+    /// reads — the precondition of [`refine_user_shared`].
+    #[must_use]
+    pub fn matches_classifier(&self, classifier: ClassifierKind) -> bool {
+        self.sparse == matches!(classifier, ClassifierKind::Knn { .. })
+    }
+
+    /// Number of materialized post rows.
+    #[must_use]
+    pub fn n_posts(&self) -> usize {
+        if self.sparse {
+            self.sp_start.len().saturating_sub(1)
+        } else {
+            self.data.len().checked_div(self.dim).unwrap_or(0)
+        }
+    }
+
+    /// Serialize into a snapshot section: dimension, representation flag,
+    /// then the arena the flag selects (see ARCHITECTURE.md for the byte
+    /// layout). Floats are stored as raw IEEE-754 bits, so a reloaded
+    /// context is bit-identical to the one built from scratch.
+    ///
+    /// # Panics
+    /// Panics if the context holds more than `u32::MAX` posts or sparse
+    /// entries (beyond any supported corpus).
+    pub fn encode(&self, buf: &mut SectionBuf) {
+        buf.put_u32(u32::try_from(self.dim).expect("dimension overflows u32"));
+        buf.put_u8(u8::from(self.sparse));
+        if self.sparse {
+            buf.put_u32(u32::try_from(self.n_posts()).expect("post count overflows u32"));
+            buf.put_u32(u32::try_from(self.sp_idx.len()).expect("entry count overflows u32"));
+            for (&i, &v) in self.sp_idx.iter().zip(&self.sp_val) {
+                buf.put_u32(i);
+                buf.put_f64(v);
+            }
+            for &s in &self.sp_start {
+                buf.put_u64(s as u64);
+            }
+        } else {
+            buf.put_u32(u32::try_from(self.n_posts()).expect("post count overflows u32"));
+            for &v in &self.data {
+                buf.put_f64(v);
+            }
+        }
+    }
+
+    /// Deserialize a context written by [`Self::encode`], revalidating
+    /// the arena invariants (ascending in-range indices per row, a
+    /// monotone row offset table, non-negative values).
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`] or [`SnapshotError::Malformed`] on
+    /// malformed payloads; never panics.
+    pub fn decode(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let dim = r.take_u32()? as usize;
+        if dim == 0 {
+            return Err(SnapshotError::Malformed { context: "zero context dimension" });
+        }
+        let sparse = match r.take_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Malformed { context: "invalid representation flag" }),
+        };
+        let n_posts = r.take_u32()? as usize;
+        if sparse {
+            let n_entries = r.take_u32()? as usize;
+            if n_entries > r.remaining() / 12 {
+                return Err(SnapshotError::Malformed { context: "implausible entry count" });
+            }
+            let mut sp_idx = Vec::with_capacity(n_entries);
+            let mut sp_val = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let i = r.take_u32()?;
+                let v = r.take_f64()?;
+                if i as usize >= dim {
+                    return Err(SnapshotError::Malformed { context: "entry index out of range" });
+                }
+                if !v.is_finite() || v < 0.0 {
+                    return Err(SnapshotError::Malformed { context: "negative feature value" });
+                }
+                sp_idx.push(i);
+                sp_val.push(v);
+            }
+            if n_posts > r.remaining() / 8 {
+                return Err(SnapshotError::Malformed { context: "implausible post count" });
+            }
+            let mut sp_start = Vec::with_capacity(n_posts + 1);
+            for _ in 0..=n_posts {
+                let s = r.take_u64()? as usize;
+                if s > n_entries || sp_start.last().is_some_and(|&p| s < p) {
+                    return Err(SnapshotError::Malformed { context: "row offsets not monotone" });
+                }
+                sp_start.push(s);
+            }
+            if sp_start.first() != Some(&0) || sp_start.last() != Some(&n_entries) {
+                return Err(SnapshotError::Malformed { context: "row offsets do not cover arena" });
+            }
+            // Per-row indices must be strictly ascending (the kernels
+            // merge rows positionally).
+            for w in sp_start.windows(2) {
+                if !sp_idx[w[0]..w[1]].windows(2).all(|p| p[0] < p[1]) {
+                    return Err(SnapshotError::Malformed { context: "row indices not ascending" });
+                }
+            }
+            Ok(Self { dim, sparse, data: Vec::new(), sp_idx, sp_val, sp_start })
+        } else {
+            let n_values = n_posts
+                .checked_mul(dim)
+                .ok_or(SnapshotError::Malformed { context: "implausible post count" })?;
+            if n_values > r.remaining() / 8 {
+                return Err(SnapshotError::Malformed { context: "implausible post count" });
+            }
+            let mut data = Vec::with_capacity(n_values);
+            for _ in 0..n_values {
+                data.push(r.take_f64()?);
+            }
+            Ok(Self {
+                dim,
+                sparse,
+                data,
+                sp_idx: Vec::new(),
+                sp_val: Vec::new(),
+                sp_start: Vec::new(),
+            })
+        }
     }
 }
 

@@ -68,6 +68,17 @@ impl Ord for HeapEntry {
 /// stream by `(score desc, candidate asc)` and truncating to `k`. This is
 /// what lets the sharded engine run the Top-K DA phase without ever
 /// materializing the dense `|V1| × |V2|` similarity matrix.
+///
+/// ```
+/// use dehealth_core::topk::BoundedTopK;
+///
+/// let mut top = BoundedTopK::new(2);
+/// for (candidate, score) in [(4, 0.1), (7, 0.9), (2, 0.5), (9, 0.5)] {
+///     top.insert(candidate, score);
+/// }
+/// // Best two, ties broken toward the smaller id.
+/// assert_eq!(top.into_sorted_entries(), vec![(7, 0.9), (2, 0.5)]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct BoundedTopK {
     k: usize,

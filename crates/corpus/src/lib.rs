@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # dehealth-corpus
 //!
 //! Synthetic health-forum generator — the substitute for the paper's
@@ -24,9 +25,11 @@
 pub mod dataset;
 pub mod generator;
 pub mod persona;
+pub mod snapshot;
 pub mod split;
 pub mod vocab;
 
 pub use dataset::{Forum, ForumConfig, Post};
 pub use persona::Persona;
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use split::{closed_world_split, open_world_split, Oracle, Split, SplitConfig};

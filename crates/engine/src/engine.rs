@@ -1,6 +1,8 @@
 //! The sharded execution engine: blockwise Top-K DA, parallel Refined DA,
-//! and incremental auxiliary ingestion.
+//! incremental auxiliary ingestion, and attacks against pre-built
+//! (snapshot-loaded) auxiliary corpora.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use dehealth_core::attack::AttackConfig;
@@ -138,6 +140,67 @@ impl Engine {
         session.finish()
     }
 
+    /// Attack `anonymized` against a **pre-built** auxiliary corpus —
+    /// the serving path behind `dehealth-service`'s long-lived daemon,
+    /// where the auxiliary side is a standing asset (typically reloaded
+    /// from a snapshot) and only the anonymized batch changes per call.
+    ///
+    /// Skips every piece of auxiliary preparation the one-shot
+    /// [`Engine::run`] would redo: feature extraction and the UDA graph
+    /// always, the [`AttributeIndex`] and the refined-DA
+    /// [`RefinedContext`] when `aux` carries them (the context is used
+    /// only if it matches the configured classifier's representation —
+    /// sparse for KNN, dense otherwise — and is rebuilt from the
+    /// prepared features otherwise, still without touching post text).
+    /// Candidate sets and mappings are bit-identical to [`Engine::run`]
+    /// on the same forums, and therefore to the serial `DeHealth::run`
+    /// (`tests/service_parity.rs`).
+    ///
+    /// # Panics
+    /// Panics if `aux` is internally inconsistent (feature/post count
+    /// mismatch, or an index not covering exactly the corpus's users) —
+    /// `PreparedAuxiliary` producers validate this at build/load time.
+    #[must_use]
+    pub fn run_prepared(&self, aux: &PreparedAuxiliary<'_>, anonymized: &Forum) -> EngineOutcome {
+        assert_eq!(
+            aux.features.len(),
+            aux.forum.posts.len(),
+            "prepared auxiliary features/posts mismatch"
+        );
+        if let Some(index) = aux.index {
+            assert_eq!(
+                index.n_users(),
+                aux.forum.n_users,
+                "prepared index does not cover the auxiliary corpus's users"
+            );
+        }
+        let cfg = &self.config.attack;
+        let mut report = EngineReport::new(self.config.effective_threads(), self.config.block_size);
+        let ((anon_feats, anon_uda), secs) = timed(|| {
+            let feats = extract_post_features(anonymized);
+            let uda = UdaGraph::build_with_features(anonymized, &feats);
+            (feats, uda)
+        });
+        report.record("prepare", "posts", anonymized.posts.len() as u64, secs);
+
+        let sim = SimilarityEngine::new(&anon_uda, aux.uda, cfg.weights, cfg.n_landmarks);
+        let built_index = match (self.config.scoring, aux.index) {
+            (ScoringMode::Indexed, None) => Some(AttributeIndex::from_uda(aux.uda)),
+            _ => None,
+        };
+        let index = match self.config.scoring {
+            ScoringMode::Indexed => aux.index.or(built_index.as_ref()),
+            ScoringMode::Dense => None,
+        };
+        let mut heaps = vec![BoundedTopK::new(cfg.top_k); anonymized.n_users];
+        let mut bounds = ScoreBounds::new();
+        topk_pass(&self.config, &sim, index, 0, &mut heaps, &mut bounds, &mut report);
+
+        let anon_side = Side { forum: anonymized, uda: &anon_uda, post_features: &anon_feats };
+        let aux_side = Side { forum: aux.forum, uda: aux.uda, post_features: aux.features };
+        complete_attack(&self.config, &anon_side, &aux_side, heaps, bounds, aux.context, report)
+    }
+
     /// Start an incremental session against `anonymized`: auxiliary data
     /// can then be ingested chunk by chunk with
     /// [`EngineSession::add_auxiliary_users`].
@@ -245,50 +308,15 @@ impl EngineSession<'_> {
         if let Some(index) = &mut self.index {
             index.append_uda(&chunk_uda);
         }
-        // Pruning would hide the global score minimum from `bounds`, which
-        // Algorithm-2 filtering thresholds against — so it is only enabled
-        // when no filtering is configured.
-        let prune = cfg.filtering.is_none();
-        let scorer =
-            self.index.as_ref().map(|index| IndexedScorer::new(&sim, index, user_offset, prune));
-
-        let ((), topk_secs) = timed(|| {
-            let states = run_blocks(
-                &mut self.heaps,
-                self.config.block_size,
-                self.config.effective_threads(),
-                || {
-                    (
-                        ScoreBounds::new(),
-                        PairTally::default(),
-                        scorer.as_ref().map(IndexedScorer::scratch),
-                    )
-                },
-                |offset, block, (bounds, tally, scratch)| {
-                    for (i, heap) in block.iter_mut().enumerate() {
-                        let u = offset + i;
-                        if let (Some(scorer), Some(scratch)) = (&scorer, scratch.as_mut()) {
-                            *tally += scorer.score_user(u, scratch, heap, bounds);
-                        } else {
-                            for (v, s) in sim.scores_for(u) {
-                                heap.insert(user_offset + v, s);
-                                bounds.observe(s);
-                                tally.scored += 1;
-                            }
-                        }
-                    }
-                },
-            );
-            let mut total = PairTally::default();
-            for (local_bounds, local_tally, _) in states {
-                self.bounds.merge(local_bounds);
-                total += local_tally;
-            }
-            self.report.record("topk", "pairs", total.scored, 0.0);
-            self.report.record_skipped("topk", "pairs", total.pruned);
-        });
-        // Attribute the stage wall-clock once (items were counted above).
-        self.report.record("topk", "pairs", 0, topk_secs);
+        topk_pass(
+            &self.config,
+            &sim,
+            self.index.as_ref(),
+            user_offset,
+            &mut self.heaps,
+            &mut self.bounds,
+            &mut self.report,
+        );
 
         for post in &chunk.posts {
             self.aux_posts.push(Post {
@@ -320,8 +348,6 @@ impl EngineSession<'_> {
             bounds,
             mut report,
         } = self;
-        let cfg = &config.attack;
-        let n_anon = anon_forum.n_users;
 
         // Materialize the merged auxiliary side for classifier training.
         let ((aux_forum, aux_uda), prep_secs) = timed(|| {
@@ -331,104 +357,213 @@ impl EngineSession<'_> {
         });
         report.record("prepare", "posts", 0, prep_secs);
 
-        // Candidate sets (and their scores, for verification/filtering).
-        let candidate_scores: Vec<Vec<(usize, f64)>> =
-            heaps.into_iter().map(BoundedTopK::into_sorted_entries).collect();
-        let mut candidates: CandidateSets = candidate_scores
-            .iter()
-            .map(|entries| entries.iter().map(|&(v, _)| v).collect())
-            .collect();
-
-        if let Some(filter_cfg) = &cfg.filtering {
-            let ((), secs) = timed(|| {
-                let thresholds = threshold_vector(bounds, filter_cfg);
-                // `filter_user` probes each candidate once per threshold
-                // level; a per-user score map keeps that O(1) instead of a
-                // linear `find` over the entry list (O(K²·levels) total).
-                let mut scores: HashMap<usize, f64> = HashMap::new();
-                for (cands, entries) in candidates.iter_mut().zip(&candidate_scores) {
-                    scores.clear();
-                    scores.extend(entries.iter().copied());
-                    let score_of = |v: usize| scores.get(&v).copied().unwrap_or(f64::NEG_INFINITY);
-                    match filter_user(score_of, cands, &thresholds) {
-                        Filtered::Kept(kept) => *cands = kept,
-                        Filtered::Rejected => cands.clear(),
-                    }
-                }
-            });
-            report.record("filter", "users", n_anon as u64, secs);
-        }
-
-        // Refined DA, fanned out per anonymized user. Each worker carries a
-        // scratch similarity row (dense in the aux id space, but transient
-        // and per-worker) holding only the user's candidate scores — the
-        // verification schemes read nothing else. With
-        // [`RefinedMode::Shared`] the per-side feature arenas are
-        // materialized once here and shared read-only across workers,
-        // whose [`RefinedScratch`] buffers amortize all per-user
-        // allocations; [`RefinedMode::PerUser`] runs the from-scratch
-        // oracle instead. The context build is billed to the refined
-        // stage — it is part of what the fast path trades the per-user
-        // densification for.
         let anon_side = Side { forum: anon_forum, uda: &anon_uda, post_features: &anon_feats };
         let aux_side = Side { forum: &aux_forum, uda: &aux_uda, post_features: &aux_feats };
-        let refined_cfg = RefinedConfig {
-            classifier: cfg.classifier,
-            verification: cfg.verification,
-            seed: cfg.seed,
-        };
-        let mut mapping: Vec<Option<usize>> = vec![None; n_anon];
-        let ((), refined_secs) = timed(|| {
-            let contexts = match config.refined {
-                RefinedMode::Shared => Some((
-                    RefinedContext::build(&anon_side, cfg.classifier),
-                    RefinedContext::build(&aux_side, cfg.classifier),
-                )),
-                RefinedMode::PerUser => None,
-            };
-            run_blocks(
-                &mut mapping,
-                config.block_size,
-                config.effective_threads(),
-                || (vec![f64::NEG_INFINITY; aux_users], RefinedScratch::new()),
-                |offset, block, (scratch_row, scratch)| {
-                    for (i, slot) in block.iter_mut().enumerate() {
-                        let u = offset + i;
-                        for &(v, s) in &candidate_scores[u] {
-                            scratch_row[v] = s;
-                        }
-                        *slot = match &contexts {
-                            Some((anon_ctx, aux_ctx)) => refine_user_shared(
-                                u,
-                                &candidates[u],
-                                &anon_side,
-                                &aux_side,
-                                anon_ctx,
-                                aux_ctx,
-                                scratch_row,
-                                &refined_cfg,
-                                scratch,
-                            ),
-                            None => refine_user(
-                                u,
-                                &candidates[u],
-                                &anon_side,
-                                &aux_side,
-                                scratch_row,
-                                &refined_cfg,
-                            ),
-                        };
-                        for &(v, _) in &candidate_scores[u] {
-                            scratch_row[v] = f64::NEG_INFINITY;
+        complete_attack(&config, &anon_side, &aux_side, heaps, bounds, None, report)
+    }
+}
+
+/// A fully prepared auxiliary corpus for [`Engine::run_prepared`]: the
+/// forum with its per-post features and UDA graph, plus (optionally) the
+/// derived scoring index and refined-DA feature context. This is the
+/// borrowed view a long-lived service hands the engine for every incoming
+/// anonymized batch — built once (or reloaded from a snapshot) instead of
+/// re-extracted per attack.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedAuxiliary<'a> {
+    /// The auxiliary forum.
+    pub forum: &'a Forum,
+    /// Per-post stylometric features, parallel to `forum.posts`.
+    pub features: &'a [FeatureVector],
+    /// The forum's UDA graph.
+    pub uda: &'a UdaGraph,
+    /// Pre-built attribute index covering exactly `forum`'s users (built
+    /// on the fly when `None` and [`ScoringMode::Indexed`] is configured).
+    pub index: Option<&'a AttributeIndex>,
+    /// Pre-built refined-DA context of the auxiliary side (rebuilt from
+    /// `features` when `None`, or when its representation does not match
+    /// the configured classifier).
+    pub context: Option<&'a RefinedContext>,
+}
+
+/// One Top-K scoring pass of `sim`'s full anonymized population against
+/// its auxiliary side, sharded over the worker pool — the shared core of
+/// [`EngineSession::add_auxiliary_users`] (where `from` is the session's
+/// pre-ingest watermark) and [`Engine::run_prepared`] (where `from` is
+/// 0). With an `index` the pass probes posting suffixes and prunes
+/// against each heap's floor; pruning stays off whenever Algorithm-2
+/// filtering needs exact global [`ScoreBounds`].
+fn topk_pass(
+    config: &EngineConfig,
+    sim: &SimilarityEngine<'_>,
+    index: Option<&AttributeIndex>,
+    from: usize,
+    heaps: &mut [BoundedTopK],
+    bounds: &mut ScoreBounds,
+    report: &mut EngineReport,
+) {
+    // Pruning would hide the global score minimum from `bounds`, which
+    // Algorithm-2 filtering thresholds against — so it is only enabled
+    // when no filtering is configured.
+    let prune = config.attack.filtering.is_none();
+    let scorer = index.map(|index| IndexedScorer::new(sim, index, from, prune));
+    let ((), topk_secs) = timed(|| {
+        let states = run_blocks(
+            heaps,
+            config.block_size,
+            config.effective_threads(),
+            || {
+                (
+                    ScoreBounds::new(),
+                    PairTally::default(),
+                    scorer.as_ref().map(IndexedScorer::scratch),
+                )
+            },
+            |offset, block, (local_bounds, tally, scratch)| {
+                for (i, heap) in block.iter_mut().enumerate() {
+                    let u = offset + i;
+                    if let (Some(scorer), Some(scratch)) = (&scorer, scratch.as_mut()) {
+                        *tally += scorer.score_user(u, scratch, heap, local_bounds);
+                    } else {
+                        for (v, s) in sim.scores_for(u) {
+                            heap.insert(from + v, s);
+                            local_bounds.observe(s);
+                            tally.scored += 1;
                         }
                     }
-                },
-            );
-        });
-        report.record("refined", "users", n_anon as u64, refined_secs);
+                }
+            },
+        );
+        let mut total = PairTally::default();
+        for (local_bounds, local_tally, _) in states {
+            bounds.merge(local_bounds);
+            total += local_tally;
+        }
+        report.record("topk", "pairs", total.scored, 0.0);
+        report.record_skipped("topk", "pairs", total.pruned);
+    });
+    // Attribute the stage wall-clock once (items were counted above).
+    report.record("topk", "pairs", 0, topk_secs);
+}
 
-        EngineOutcome { candidates, candidate_scores, mapping, report }
+/// The post-scoring pipeline shared by [`EngineSession::finish`] and
+/// [`Engine::run_prepared`]: extract candidate sets from the heaps, run
+/// Algorithm-2 filtering (if configured), and fan the Refined-DA stage
+/// out over the worker pool.
+///
+/// `aux_context` short-circuits the auxiliary-side context build of
+/// [`RefinedMode::Shared`] when a matching pre-built context is at hand
+/// (the snapshot-serving path); a context for the wrong classifier
+/// representation is ignored and rebuilt from `aux_side`'s features.
+fn complete_attack(
+    config: &EngineConfig,
+    anon_side: &Side<'_>,
+    aux_side: &Side<'_>,
+    heaps: Vec<BoundedTopK>,
+    bounds: ScoreBounds,
+    aux_context: Option<&RefinedContext>,
+    mut report: EngineReport,
+) -> EngineOutcome {
+    let cfg = &config.attack;
+    let n_anon = anon_side.forum.n_users;
+    let n_aux = aux_side.forum.n_users;
+
+    // Candidate sets (and their scores, for verification/filtering).
+    let candidate_scores: Vec<Vec<(usize, f64)>> =
+        heaps.into_iter().map(BoundedTopK::into_sorted_entries).collect();
+    let mut candidates: CandidateSets =
+        candidate_scores.iter().map(|entries| entries.iter().map(|&(v, _)| v).collect()).collect();
+
+    if let Some(filter_cfg) = &cfg.filtering {
+        let ((), secs) = timed(|| {
+            let thresholds = threshold_vector(bounds, filter_cfg);
+            // `filter_user` probes each candidate once per threshold
+            // level; a per-user score map keeps that O(1) instead of a
+            // linear `find` over the entry list (O(K²·levels) total).
+            let mut scores: HashMap<usize, f64> = HashMap::new();
+            for (cands, entries) in candidates.iter_mut().zip(&candidate_scores) {
+                scores.clear();
+                scores.extend(entries.iter().copied());
+                let score_of = |v: usize| scores.get(&v).copied().unwrap_or(f64::NEG_INFINITY);
+                match filter_user(score_of, cands, &thresholds) {
+                    Filtered::Kept(kept) => *cands = kept,
+                    Filtered::Rejected => cands.clear(),
+                }
+            }
+        });
+        report.record("filter", "users", n_anon as u64, secs);
     }
+
+    // Refined DA, fanned out per anonymized user. Each worker carries a
+    // scratch similarity row (dense in the aux id space, but transient
+    // and per-worker) holding only the user's candidate scores — the
+    // verification schemes read nothing else. With [`RefinedMode::Shared`]
+    // the per-side feature arenas are materialized once here and shared
+    // read-only across workers, whose [`RefinedScratch`] buffers amortize
+    // all per-user allocations; [`RefinedMode::PerUser`] runs the
+    // from-scratch oracle instead. The context build is billed to the
+    // refined stage — it is part of what the fast path trades the
+    // per-user densification for (and what a pre-built `aux_context`
+    // saves).
+    let refined_cfg = RefinedConfig {
+        classifier: cfg.classifier,
+        verification: cfg.verification,
+        seed: cfg.seed,
+    };
+    let mut mapping: Vec<Option<usize>> = vec![None; n_anon];
+    let ((), refined_secs) = timed(|| {
+        let contexts: Option<(RefinedContext, Cow<'_, RefinedContext>)> = match config.refined {
+            RefinedMode::Shared => {
+                let aux_ctx = match aux_context {
+                    Some(ctx) if ctx.matches_classifier(cfg.classifier) => Cow::Borrowed(ctx),
+                    _ => Cow::Owned(RefinedContext::build(aux_side, cfg.classifier)),
+                };
+                Some((RefinedContext::build(anon_side, cfg.classifier), aux_ctx))
+            }
+            RefinedMode::PerUser => None,
+        };
+        run_blocks(
+            &mut mapping,
+            config.block_size,
+            config.effective_threads(),
+            || (vec![f64::NEG_INFINITY; n_aux], RefinedScratch::new()),
+            |offset, block, (scratch_row, scratch)| {
+                for (i, slot) in block.iter_mut().enumerate() {
+                    let u = offset + i;
+                    for &(v, s) in &candidate_scores[u] {
+                        scratch_row[v] = s;
+                    }
+                    *slot = match &contexts {
+                        Some((anon_ctx, aux_ctx)) => refine_user_shared(
+                            u,
+                            &candidates[u],
+                            anon_side,
+                            aux_side,
+                            anon_ctx,
+                            aux_ctx,
+                            scratch_row,
+                            &refined_cfg,
+                            scratch,
+                        ),
+                        None => refine_user(
+                            u,
+                            &candidates[u],
+                            anon_side,
+                            aux_side,
+                            scratch_row,
+                            &refined_cfg,
+                        ),
+                    };
+                    for &(v, _) in &candidate_scores[u] {
+                        scratch_row[v] = f64::NEG_INFINITY;
+                    }
+                }
+            },
+        );
+    });
+    report.record("refined", "users", n_anon as u64, refined_secs);
+
+    EngineOutcome { candidates, candidate_scores, mapping, report }
 }
 
 /// Everything the engine produced for one attack.
@@ -646,6 +781,109 @@ mod tests {
         assert_eq!(out.mapping, serial.mapping);
         // The entry lists the score map is built from really were wide.
         assert!(out.candidate_scores.iter().any(|e| e.len() > 10));
+    }
+
+    #[test]
+    fn run_prepared_matches_run() {
+        // The serving path — prepared auxiliary corpus, optional
+        // pre-built index/context — must reproduce the one-shot engine
+        // run bit for bit in every preparation combination, including a
+        // context built for the wrong classifier representation (which
+        // must be rebuilt, not misused).
+        let split = tiny_split();
+        let engine = Engine::new(EngineConfig {
+            attack: attack_cfg(),
+            n_threads: 2,
+            block_size: 8,
+            ..EngineConfig::default()
+        });
+        let baseline = engine.run(&split.auxiliary, &split.anonymized);
+
+        let feats = extract_post_features(&split.auxiliary);
+        let uda = UdaGraph::build_with_features(&split.auxiliary, &feats);
+        let side = Side { forum: &split.auxiliary, uda: &uda, post_features: &feats };
+        let index = AttributeIndex::from_uda(&uda);
+        let matching_ctx = RefinedContext::build(&side, attack_cfg().classifier);
+        let mismatched_ctx =
+            RefinedContext::build(&side, dehealth_core::refined::ClassifierKind::Centroid);
+        assert!(!mismatched_ctx.matches_classifier(attack_cfg().classifier));
+        for (ix, ctx) in [
+            (None, None),
+            (Some(&index), Some(&matching_ctx)),
+            (Some(&index), Some(&mismatched_ctx)),
+            (None, Some(&matching_ctx)),
+        ] {
+            let prepared = PreparedAuxiliary {
+                forum: &split.auxiliary,
+                features: &feats,
+                uda: &uda,
+                index: ix,
+                context: ctx,
+            };
+            let out = engine.run_prepared(&prepared, &split.anonymized);
+            assert_eq!(out.candidates, baseline.candidates);
+            assert_eq!(out.mapping, baseline.mapping);
+            for (a, b) in out.candidate_scores.iter().zip(&baseline.candidate_scores) {
+                assert_eq!(a.len(), b.len());
+                for (&(v, s), &(w, t)) in a.iter().zip(b) {
+                    assert_eq!(v, w);
+                    assert_eq!(s.to_bits(), t.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_prepared_honors_filtering_and_dense_mode() {
+        use dehealth_core::FilterConfig;
+        let split = tiny_split();
+        let attack = AttackConfig { filtering: Some(FilterConfig::default()), ..attack_cfg() };
+        let feats = extract_post_features(&split.auxiliary);
+        let uda = UdaGraph::build_with_features(&split.auxiliary, &feats);
+        let index = AttributeIndex::from_uda(&uda);
+        let prepared = PreparedAuxiliary {
+            forum: &split.auxiliary,
+            features: &feats,
+            uda: &uda,
+            index: Some(&index),
+            context: None,
+        };
+        for scoring in [ScoringMode::Indexed, ScoringMode::Dense] {
+            let engine = Engine::new(EngineConfig {
+                attack: attack.clone(),
+                n_threads: 2,
+                block_size: 8,
+                scoring,
+                ..EngineConfig::default()
+            });
+            let baseline = engine.run(&split.auxiliary, &split.anonymized);
+            let out = engine.run_prepared(&prepared, &split.anonymized);
+            assert_eq!(out.candidates, baseline.candidates, "{scoring:?}");
+            assert_eq!(out.mapping, baseline.mapping, "{scoring:?}");
+            // Filtering needs exact global bounds: nothing may be pruned.
+            assert_eq!(out.report.stage("topk").unwrap().skipped, 0, "{scoring:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover the auxiliary corpus")]
+    fn run_prepared_rejects_mismatched_index() {
+        // A stale index covering a different user population must fail
+        // loudly at entry, not corrupt candidate ids downstream.
+        let split = tiny_split();
+        let feats = extract_post_features(&split.auxiliary);
+        let uda = UdaGraph::build_with_features(&split.auxiliary, &feats);
+        let mut stale = AttributeIndex::from_uda(&uda);
+        stale.push_user(&dehealth_stylometry::UserAttributes::new(), false);
+        let prepared = PreparedAuxiliary {
+            forum: &split.auxiliary,
+            features: &feats,
+            uda: &uda,
+            index: Some(&stale),
+            context: None,
+        };
+        let engine = Engine::new(EngineConfig::default());
+        let _ = engine.run_prepared(&prepared, &split.anonymized);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # dehealth-engine
 //!
 //! The parallel, sharded execution engine for the De-Health attack.
@@ -74,5 +75,7 @@ pub mod engine;
 pub mod pool;
 pub mod report;
 
-pub use engine::{Engine, EngineConfig, EngineOutcome, EngineSession, RefinedMode, ScoringMode};
+pub use engine::{
+    Engine, EngineConfig, EngineOutcome, EngineSession, PreparedAuxiliary, RefinedMode, ScoringMode,
+};
 pub use report::{EngineReport, StageStats};

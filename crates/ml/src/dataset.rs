@@ -7,6 +7,26 @@
 /// [`Dataset`] and a zero-copy [`DatasetView`] over a shared feature arena
 /// are interchangeable — given bit-identical rows in the same order, every
 /// fit is bit-identical regardless of how the rows are stored.
+///
+/// ```
+/// use dehealth_ml::{Dataset, DatasetView, Samples};
+///
+/// // The same two samples, owned vs viewed out of a shared arena.
+/// let mut owned = Dataset::new(2);
+/// owned.push(&[1.0, 2.0], 0);
+/// owned.push(&[5.0, 6.0], 1);
+///
+/// let arena = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+/// let rows = [0u32, 2]; // gather arena rows 0 and 2
+/// let labels = [0usize, 1];
+/// let view = DatasetView::gathered(&arena, 2, &rows, &labels);
+///
+/// for i in 0..Samples::len(&owned) {
+///     assert_eq!(owned.sample(i), Samples::sample(&view, i));
+///     assert_eq!(owned.label(i), Samples::label(&view, i));
+/// }
+/// assert_eq!(view.classes(), vec![0, 1]);
+/// ```
 pub trait Samples {
     /// Number of samples.
     fn len(&self) -> usize;

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # dehealth-ml
 //!
 //! Benchmark machine-learning substrate for the De-Health reproduction.

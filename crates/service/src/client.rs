@@ -1,0 +1,185 @@
+//! A blocking client for the daemon protocol — used by
+//! `examples/attack_service.rs`, the wire benchmarks, and the parity
+//! tests.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dehealth_corpus::Forum;
+
+use crate::json::Json;
+use crate::protocol::{forum_to_json, AttackOptions};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// The server's bytes did not parse as a protocol response.
+    Protocol(String),
+    /// The server answered with `"ok": false`.
+    Remote(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "service I/O error: {e}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// The parsed result of a wire `attack`.
+#[derive(Debug, Clone)]
+pub struct AttackReply {
+    /// Refined-DA decision per anonymized user (`None` = `u → ⊥`).
+    pub mapping: Vec<Option<usize>>,
+    /// Final candidate set per anonymized user.
+    pub candidates: Vec<Vec<usize>>,
+    /// The full response object (per-stage report, counters).
+    pub raw: Json,
+}
+
+/// One connection to a running [`Daemon`](crate::daemon::Daemon).
+#[derive(Debug)]
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServiceClient {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+    }
+
+    /// Send one request object and read the matching response line.
+    ///
+    /// # Errors
+    /// [`ServiceError::Io`] on socket failure, [`ServiceError::Protocol`]
+    /// when the response is not valid protocol JSON, and
+    /// [`ServiceError::Remote`] when the server reports a failure.
+    pub fn request(&mut self, request: &Json) -> Result<Json, ServiceError> {
+        self.writer.write_all(request.emit().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServiceError::Protocol("connection closed by server".into()));
+        }
+        let response = Json::parse(line.trim())
+            .map_err(|e| ServiceError::Protocol(format!("unparseable response: {e}")))?;
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(response),
+            Some(false) => Err(ServiceError::Remote(
+                response.get("error").and_then(Json::as_str).unwrap_or("unknown error").into(),
+            )),
+            None => Err(ServiceError::Protocol("response missing ok field".into())),
+        }
+    }
+
+    /// Ask the daemon to load the snapshot at `path` (a path on the
+    /// **daemon's** filesystem).
+    ///
+    /// # Errors
+    /// Like [`Self::request`].
+    pub fn load_snapshot(&mut self, path: &str) -> Result<Json, ServiceError> {
+        self.request(&Json::Obj(vec![
+            ("cmd".into(), Json::Str("load_snapshot".into())),
+            ("path".into(), Json::Str(path.into())),
+        ]))
+    }
+
+    /// Stream a chunk of new auxiliary users into the standing corpus.
+    ///
+    /// # Errors
+    /// Like [`Self::request`].
+    pub fn add_auxiliary_users(&mut self, chunk: &Forum) -> Result<Json, ServiceError> {
+        self.request(&Json::Obj(vec![
+            ("cmd".into(), Json::Str("add_auxiliary_users".into())),
+            ("forum".into(), forum_to_json(chunk)),
+        ]))
+    }
+
+    /// De-anonymize a batch of users against the standing corpus.
+    ///
+    /// # Errors
+    /// Like [`Self::request`], plus [`ServiceError::Protocol`] when the
+    /// response's mapping/candidates have unexpected shapes.
+    pub fn attack(
+        &mut self,
+        anonymized: &Forum,
+        options: &AttackOptions,
+    ) -> Result<AttackReply, ServiceError> {
+        let mut fields = vec![
+            ("cmd".into(), Json::Str("attack".into())),
+            ("forum".into(), forum_to_json(anonymized)),
+        ];
+        fields.extend(options.to_fields());
+        let raw = self.request(&Json::Obj(fields))?;
+        let shape = |m: &str| ServiceError::Protocol(m.into());
+        let mapping = raw
+            .get("mapping")
+            .and_then(Json::as_array)
+            .ok_or_else(|| shape("missing mapping"))?
+            .iter()
+            .map(|v| match v {
+                Json::Null => Ok(None),
+                v => v.as_usize().map(Some).ok_or_else(|| shape("invalid mapping entry")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let candidates = raw
+            .get("candidates")
+            .and_then(Json::as_array)
+            .ok_or_else(|| shape("missing candidates"))?
+            .iter()
+            .map(|c| {
+                c.as_array()
+                    .ok_or_else(|| shape("invalid candidate set"))?
+                    .iter()
+                    .map(|v| v.as_usize().ok_or_else(|| shape("invalid candidate id")))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(AttackReply { mapping, candidates, raw })
+    }
+
+    /// Fetch the daemon's counters.
+    ///
+    /// # Errors
+    /// Like [`Self::request`].
+    pub fn stats(&mut self) -> Result<Json, ServiceError> {
+        self.request(&Json::Obj(vec![("cmd".into(), Json::Str("stats".into()))]))
+    }
+
+    /// Ask the daemon to shut down (the response arrives before the
+    /// daemon stops accepting).
+    ///
+    /// # Errors
+    /// Like [`Self::request`].
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        self.request(&Json::Obj(vec![("cmd".into(), Json::Str("shutdown".into()))])).map(|_| ())
+    }
+}

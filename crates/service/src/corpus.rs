@@ -1,0 +1,371 @@
+//! The standing auxiliary corpus: built once, persisted as a snapshot,
+//! shared read-only by every attack session.
+//!
+//! A [`PreparedCorpus`] bundles everything [`Engine::run_prepared`] needs
+//! about the auxiliary side of the attack:
+//!
+//! - the [`Forum`] (posts with author/thread structure),
+//! - the per-post stylometric [`FeatureVector`]s — the product of the
+//!   attack's single most expensive preprocessing step,
+//! - the [`UdaGraph`] (correlation graph, attributes, profiles),
+//! - the [`AttributeIndex`] behind the inverted-index Top-K scorer,
+//! - the refined-DA [`RefinedContext`] feature arena.
+//!
+//! [`PreparedCorpus::save`] writes all of it into one snapshot file
+//! (container format: [`dehealth_corpus::snapshot`]; byte-level layout:
+//! ARCHITECTURE.md), and [`PreparedCorpus::load`] restores it without
+//! touching any post text — feature extraction is skipped entirely, which
+//! is what makes a daemon restart orders of magnitude cheaper than a cold
+//! corpus build. Round-trips are bit-exact: a loaded corpus re-saves to
+//! the identical byte stream (`tests/snapshot_roundtrip.rs`).
+
+use std::path::Path;
+use std::time::Instant;
+
+use dehealth_core::index::AttributeIndex;
+use dehealth_core::refined::{ClassifierKind, RefinedContext, Side, N_STRUCT};
+use dehealth_core::snapshot::{decode_features, encode_features};
+use dehealth_core::uda::{extract_post_features, UdaGraph};
+use dehealth_corpus::snapshot::{
+    decode_forum, encode_forum, SectionTag, SnapshotError, SnapshotReader, SnapshotWriter,
+};
+use dehealth_corpus::{Forum, Post};
+use dehealth_engine::{Engine, PreparedAuxiliary};
+use dehealth_stylometry::{FeatureVector, M};
+
+/// Section holding the auxiliary [`Forum`].
+pub const SECTION_FORUM: SectionTag = SectionTag(*b"FORM");
+/// Section holding the per-post feature vectors.
+pub const SECTION_FEATURES: SectionTag = SectionTag(*b"FEAT");
+/// Section holding the [`AttributeIndex`].
+pub const SECTION_INDEX: SectionTag = SectionTag(*b"AIDX");
+/// Section holding the refined-DA [`RefinedContext`].
+pub const SECTION_CONTEXT: SectionTag = SectionTag(*b"RCTX");
+
+/// A fully prepared auxiliary corpus (see the [module docs](self)).
+///
+/// The derived structures are kept consistent with `forum`/`features` by
+/// construction: they are only ever produced by [`PreparedCorpus::build`],
+/// [`PreparedCorpus::append_users`] or a validated
+/// [`PreparedCorpus::load`].
+#[derive(Debug, Clone)]
+pub struct PreparedCorpus {
+    forum: Forum,
+    features: Vec<FeatureVector>,
+    uda: UdaGraph,
+    index: AttributeIndex,
+    context: RefinedContext,
+    classifier: ClassifierKind,
+}
+
+impl PreparedCorpus {
+    /// Prepare `forum` from scratch: extract every post's features (the
+    /// expensive step a snapshot reload skips), then derive the UDA
+    /// graph, attribute index, and the refined-DA context for
+    /// `classifier`'s representation.
+    #[must_use]
+    pub fn build(forum: Forum, classifier: ClassifierKind) -> Self {
+        let features = extract_post_features(&forum);
+        Self::from_features(forum, features, classifier)
+    }
+
+    /// Derive the attack structures from already-extracted features
+    /// (shared by [`Self::build`], [`Self::load`] re-validation paths and
+    /// tests).
+    ///
+    /// # Panics
+    /// Panics if `features` is not parallel to `forum.posts`.
+    #[must_use]
+    pub fn from_features(
+        forum: Forum,
+        features: Vec<FeatureVector>,
+        classifier: ClassifierKind,
+    ) -> Self {
+        assert_eq!(features.len(), forum.posts.len(), "features/posts mismatch");
+        let uda = UdaGraph::build_with_features(&forum, &features);
+        let index = AttributeIndex::from_uda(&uda);
+        let context = RefinedContext::build(
+            &Side { forum: &forum, uda: &uda, post_features: &features },
+            classifier,
+        );
+        Self { forum, features, uda, index, context, classifier }
+    }
+
+    /// The auxiliary forum.
+    #[must_use]
+    pub fn forum(&self) -> &Forum {
+        &self.forum
+    }
+
+    /// Per-post feature vectors, parallel to the forum's posts.
+    #[must_use]
+    pub fn features(&self) -> &[FeatureVector] {
+        &self.features
+    }
+
+    /// The forum's UDA graph.
+    #[must_use]
+    pub fn uda(&self) -> &UdaGraph {
+        &self.uda
+    }
+
+    /// The attribute index over the forum's users.
+    #[must_use]
+    pub fn index(&self) -> &AttributeIndex {
+        &self.index
+    }
+
+    /// The refined-DA feature context.
+    #[must_use]
+    pub fn context(&self) -> &RefinedContext {
+        &self.context
+    }
+
+    /// The classifier whose representation [`Self::context`] holds.
+    #[must_use]
+    pub fn classifier(&self) -> ClassifierKind {
+        self.classifier
+    }
+
+    /// Number of auxiliary users (present and absent).
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.forum.n_users
+    }
+
+    /// Number of auxiliary posts.
+    #[must_use]
+    pub fn n_posts(&self) -> usize {
+        self.forum.posts.len()
+    }
+
+    /// The borrowed view [`Engine::run_prepared`] consumes.
+    #[must_use]
+    pub fn prepared(&self) -> PreparedAuxiliary<'_> {
+        PreparedAuxiliary {
+            forum: &self.forum,
+            features: &self.features,
+            uda: &self.uda,
+            index: Some(&self.index),
+            context: Some(&self.context),
+        }
+    }
+
+    /// Ingest a chunk of **new** auxiliary users, mirroring
+    /// `EngineSession::add_auxiliary_users`'s streaming convention:
+    /// chunk-local user/thread ids are offset by the totals already in
+    /// the corpus (chunks are disjoint user cohorts with their own
+    /// threads). Only the chunk's posts run feature extraction; the
+    /// derived structures are then re-derived over the merged corpus from
+    /// cached features, so the result is indistinguishable from a corpus
+    /// built fresh over the union — the invariant the daemon's parity
+    /// guarantee rests on.
+    pub fn append_users(&mut self, chunk: &Forum) {
+        let user_offset = self.forum.n_users;
+        let thread_offset = self.forum.n_threads;
+        let chunk_features = extract_post_features(chunk);
+
+        let mut posts = std::mem::take(&mut self.forum.posts);
+        posts.reserve(chunk.posts.len());
+        for post in &chunk.posts {
+            posts.push(Post {
+                author: post.author + user_offset,
+                thread: post.thread + thread_offset,
+                text: post.text.clone(),
+            });
+        }
+        let merged =
+            Forum::from_posts(user_offset + chunk.n_users, thread_offset + chunk.n_threads, posts);
+        let mut features = std::mem::take(&mut self.features);
+        features.extend(chunk_features);
+        *self = Self::from_features(merged, features, self.classifier);
+    }
+
+    /// Serialize into snapshot bytes (sections: forum, features, index,
+    /// context — see ARCHITECTURE.md for the exact layout).
+    #[must_use]
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        encode_forum(&self.forum, w.section(SECTION_FORUM));
+        encode_features(&self.features, w.section(SECTION_FEATURES));
+        self.index.encode(w.section(SECTION_INDEX));
+        self.context.encode(w.section(SECTION_CONTEXT));
+        w.finish()
+    }
+
+    /// Write the snapshot to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_snapshot_bytes())?;
+        Ok(())
+    }
+
+    /// Restore a corpus from snapshot bytes. The UDA graph is re-derived
+    /// from the persisted forum and features (a cheap merge — no text is
+    /// re-analyzed); the index and context are decoded directly and
+    /// cross-checked against the forum for consistency.
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]: bad magic, unsupported version, truncation,
+    /// checksum mismatch, missing sections, or cross-section
+    /// inconsistency. Never panics on malformed input.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let reader = SnapshotReader::parse(bytes)?;
+
+        let mut s = reader.section(SECTION_FORUM)?;
+        let forum = decode_forum(&mut s)?;
+        s.expect_end()?;
+
+        let mut s = reader.section(SECTION_FEATURES)?;
+        let features = decode_features(&mut s)?;
+        s.expect_end()?;
+        if features.len() != forum.posts.len() {
+            return Err(SnapshotError::Malformed { context: "features/posts count mismatch" });
+        }
+
+        let mut s = reader.section(SECTION_INDEX)?;
+        let index = AttributeIndex::decode(&mut s)?;
+        s.expect_end()?;
+        if index.n_users() != forum.n_users {
+            return Err(SnapshotError::Malformed { context: "index/forum user count mismatch" });
+        }
+
+        let mut s = reader.section(SECTION_CONTEXT)?;
+        let context = RefinedContext::decode(&mut s)?;
+        s.expect_end()?;
+        if context.n_posts() != forum.posts.len() {
+            return Err(SnapshotError::Malformed { context: "context/forum post count mismatch" });
+        }
+        if context.dim() != M + N_STRUCT {
+            return Err(SnapshotError::Malformed { context: "context dimension mismatch" });
+        }
+
+        let uda = UdaGraph::build_with_features(&forum, &features);
+        let classifier =
+            if context.is_sparse() { ClassifierKind::default() } else { ClassifierKind::Centroid };
+        debug_assert!(context.matches_classifier(classifier));
+        Ok(Self { forum, features, uda, index, context, classifier })
+    }
+
+    /// Read and restore a snapshot file.
+    ///
+    /// # Errors
+    /// Like [`Self::from_snapshot_bytes`], plus I/O errors.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_snapshot_bytes(&bytes)
+    }
+
+    /// [`Self::load`] with wall-clock timing — the number the service
+    /// benchmark compares against a cold [`Self::build`].
+    ///
+    /// # Errors
+    /// Like [`Self::load`].
+    pub fn load_timed(path: &Path) -> Result<(Self, f64), SnapshotError> {
+        let t0 = Instant::now();
+        let corpus = Self::load(path)?;
+        Ok((corpus, t0.elapsed().as_secs_f64()))
+    }
+
+    /// Run one attack against this corpus through `engine` — convenience
+    /// for [`Engine::run_prepared`] on [`Self::prepared`].
+    #[must_use]
+    pub fn attack(&self, engine: &Engine, anonymized: &Forum) -> dehealth_engine::EngineOutcome {
+        engine.run_prepared(&self.prepared(), anonymized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dehealth_corpus::{closed_world_split, ForumConfig, SplitConfig};
+
+    fn tiny_corpus() -> PreparedCorpus {
+        let forum = Forum::generate(&ForumConfig::tiny(), 42);
+        let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 7);
+        PreparedCorpus::build(split.auxiliary, ClassifierKind::default())
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_exact() {
+        let corpus = tiny_corpus();
+        let bytes = corpus.to_snapshot_bytes();
+        let loaded = PreparedCorpus::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(loaded.n_users(), corpus.n_users());
+        assert_eq!(loaded.n_posts(), corpus.n_posts());
+        // Re-encoding the loaded corpus reproduces the identical bytes —
+        // forum, features, index and context round-trip bit-for-bit.
+        assert_eq!(loaded.to_snapshot_bytes(), bytes);
+    }
+
+    #[test]
+    fn append_matches_fresh_build_over_union() {
+        let forum = Forum::generate(&ForumConfig::tiny(), 3);
+        let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 5);
+        let aux = split.auxiliary;
+        let cut = aux.n_users / 2;
+        let chunk_of = |lo: usize, hi: usize| {
+            let posts: Vec<Post> = aux
+                .posts
+                .iter()
+                .filter(|p| (lo..hi).contains(&p.author))
+                .map(|p| Post { author: p.author - lo, thread: p.thread, text: p.text.clone() })
+                .collect();
+            Forum::from_posts(hi - lo, aux.n_threads, posts)
+        };
+        let mut incremental = PreparedCorpus::build(chunk_of(0, cut), ClassifierKind::default());
+        incremental.append_users(&chunk_of(cut, aux.n_users));
+
+        // The merged reference: chunk users/threads offset like the ingest.
+        let mut merged_posts = Vec::new();
+        for p in chunk_of(0, cut).posts.iter().cloned() {
+            merged_posts.push(p);
+        }
+        for p in &chunk_of(cut, aux.n_users).posts {
+            merged_posts.push(Post {
+                author: p.author + cut,
+                thread: p.thread + aux.n_threads,
+                text: p.text.clone(),
+            });
+        }
+        let merged = Forum::from_posts(aux.n_users, aux.n_threads * 2, merged_posts);
+        let fresh = PreparedCorpus::build(merged, ClassifierKind::default());
+        assert_eq!(incremental.to_snapshot_bytes(), fresh.to_snapshot_bytes());
+    }
+
+    #[test]
+    fn dense_context_corpus_roundtrips() {
+        let forum = Forum::generate(&ForumConfig::tiny(), 9);
+        let corpus = PreparedCorpus::build(forum, ClassifierKind::Centroid);
+        assert!(!corpus.context().is_sparse());
+        let bytes = corpus.to_snapshot_bytes();
+        let loaded = PreparedCorpus::from_snapshot_bytes(&bytes).unwrap();
+        assert!(!loaded.context().is_sparse());
+        assert_eq!(loaded.to_snapshot_bytes(), bytes);
+    }
+
+    #[test]
+    fn cross_section_inconsistency_is_rejected() {
+        let corpus = tiny_corpus();
+        // Rebuild a snapshot whose index section comes from a *different*
+        // (smaller) corpus: decodes fine, but must fail the cross-check.
+        let other = {
+            let mut config = ForumConfig::tiny();
+            config.n_users = 17;
+            let forum = Forum::generate(&config, 1234);
+            PreparedCorpus::build(forum, ClassifierKind::default())
+        };
+        assert_ne!(other.n_users(), corpus.n_users());
+        let mut w = SnapshotWriter::new();
+        encode_forum(corpus.forum(), w.section(SECTION_FORUM));
+        encode_features(corpus.features(), w.section(SECTION_FEATURES));
+        other.index().encode(w.section(SECTION_INDEX));
+        corpus.context().encode(w.section(SECTION_CONTEXT));
+        assert!(matches!(
+            PreparedCorpus::from_snapshot_bytes(&w.finish()),
+            Err(SnapshotError::Malformed { context: "index/forum user count mismatch" })
+        ));
+    }
+}

@@ -1,0 +1,409 @@
+//! The long-lived attack daemon: a thread-per-connection TCP server over
+//! the newline-delimited JSON [`protocol`](crate::protocol).
+//!
+//! One [`Daemon`] owns a listener thread plus one handler thread per
+//! client connection. All handlers share the standing auxiliary corpus
+//! through an `Arc<PreparedCorpus>` behind an `RwLock` slot:
+//!
+//! - `attack` requests clone the `Arc` (microseconds), drop the lock, and
+//!   run the whole parallel pipeline on the **immutable** snapshot — so
+//!   any number of concurrent attacks proceed without blocking each
+//!   other, each on the engine's scoped worker pool.
+//! - `load_snapshot` / `add_auxiliary_users` build the replacement corpus
+//!   *outside* the lock and swap the slot afterwards
+//!   (copy-on-write): in-flight attacks keep the corpus version they
+//!   started with, and the old version is freed when the last of them
+//!   drops its `Arc`.
+//!
+//! Shutdown is cooperative: the `shutdown` command (or
+//! [`Daemon::request_shutdown`]) raises a flag that the accept loop and
+//! every handler poll on short timeouts; [`Daemon::join`] then reaps all
+//! threads.
+
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dehealth_core::AttackConfig;
+use dehealth_engine::{Engine, EngineConfig};
+
+use crate::corpus::PreparedCorpus;
+use crate::json::Json;
+use crate::protocol::{error_response, forum_from_json, ok_response, report_to_json};
+
+/// How often blocked accept/read calls wake up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Request/served-work counters exposed by the `stats` command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Total requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests that returned an error response.
+    pub errors: u64,
+    /// `attack` requests served.
+    pub attacks: u64,
+    /// Anonymized users processed across all attacks.
+    pub attacked_users: u64,
+    /// Users mapped to some auxiliary identity (not `⊥`).
+    pub mapped_users: u64,
+    /// `load_snapshot` + `add_auxiliary_users` requests served.
+    pub corpus_updates: u64,
+}
+
+struct DaemonState {
+    config: EngineConfig,
+    corpus: RwLock<Option<Arc<PreparedCorpus>>>,
+    /// Serializes corpus *updates* (`load_snapshot`, `add_auxiliary_users`)
+    /// end to end. The copy-on-write rebuild happens outside the `corpus`
+    /// lock so attacks never block on it — but without this mutex two
+    /// concurrent updates would both clone the same base and the second
+    /// swap would silently discard the first one's ingest.
+    update: Mutex<()>,
+    stats: Mutex<DaemonStats>,
+    started: Instant,
+    shutting_down: AtomicBool,
+}
+
+/// A running attack service (see the [module docs](self)).
+///
+/// Dropping the handle does **not** stop the daemon; call
+/// [`Daemon::request_shutdown`] (or send the `shutdown` command) and then
+/// [`Daemon::join`].
+pub struct Daemon {
+    addr: SocketAddr,
+    state: Arc<DaemonState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Bind `addr` (e.g. `"127.0.0.1:7699"`, or port 0 for an ephemeral
+    /// port — see [`Daemon::addr`]) and start serving with no corpus
+    /// loaded; clients must `load_snapshot` or `add_auxiliary_users`
+    /// before attacking. `config` supplies the default attack parameters
+    /// and worker-pool shape; requests may override `top_k`,
+    /// `n_landmarks`, `threads` and `seed` per call.
+    ///
+    /// # Errors
+    /// Propagates socket errors (bind/listen).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: EngineConfig) -> std::io::Result<Self> {
+        Self::bind_with_corpus(addr, config, None)
+    }
+
+    /// [`Daemon::bind`] with a corpus pre-loaded (the `repro serve` path:
+    /// load the snapshot before accepting traffic).
+    ///
+    /// # Errors
+    /// Propagates socket errors (bind/listen).
+    pub fn bind_with_corpus<A: ToSocketAddrs>(
+        addr: A,
+        config: EngineConfig,
+        corpus: Option<PreparedCorpus>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(DaemonState {
+            config,
+            corpus: RwLock::new(corpus.map(Arc::new)),
+            update: Mutex::new(()),
+            stats: Mutex::new(DaemonStats::default()),
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_state));
+        Ok(Self { addr, state, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (with the actual port when bound to port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once shutdown has been requested (by a client or locally).
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Raise the shutdown flag locally (equivalent to a client sending
+    /// the `shutdown` command).
+    pub fn request_shutdown(&self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// A copy of the served-work counters.
+    #[must_use]
+    pub fn stats(&self) -> DaemonStats {
+        *self.state.stats.lock().expect("stats lock poisoned")
+    }
+
+    /// Block until the daemon has shut down (flag raised and every
+    /// connection drained), then reap its threads.
+    ///
+    /// # Panics
+    /// Panics if the accept loop itself panicked.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            h.join().expect("daemon accept loop panicked");
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<DaemonState>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !state.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(state);
+                handlers.push(std::thread::spawn(move || handle_connection(&state, stream)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) {
+    // Blocking I/O with a short timeout so handlers notice shutdown even
+    // while a client holds the connection open without sending. Incoming
+    // bytes accumulate in `pending` across timeouts — a request split
+    // over several TCP segments must never lose its earlier bytes to a
+    // poll tick (a `BufReader::read_line` loop here would: the partial
+    // line read before a timeout gets dropped, the `\n` tail is then
+    // skipped as an empty line, and the client waits forever for a
+    // response that never comes).
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(mut read_half) = stream.try_clone() else { return };
+    let mut writer = BufWriter::new(stream);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Serve every complete line currently buffered (clients may
+        // pipeline requests; responses keep request order).
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (response, shutdown) = dispatch(state, line);
+            {
+                let mut stats = state.stats.lock().expect("stats lock poisoned");
+                stats.requests += 1;
+                if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                    stats.errors += 1;
+                }
+            }
+            let ok = writer
+                .write_all(response.emit().as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_ok();
+            if shutdown {
+                state.shutting_down.store(true, Ordering::SeqCst);
+            }
+            if !ok || shutdown {
+                return;
+            }
+        }
+        match read_half.read(&mut chunk) {
+            Ok(0) => break, // client closed
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if state.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parse and execute one request line; returns the response and whether
+/// this request asked the daemon to shut down.
+fn dispatch(state: &Arc<DaemonState>, line: &str) -> (Json, bool) {
+    let request = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_response(&format!("invalid JSON: {e}")), false),
+    };
+    let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
+        return (error_response("missing cmd"), false);
+    };
+    match cmd {
+        "load_snapshot" => (cmd_load_snapshot(state, &request), false),
+        "add_auxiliary_users" => (cmd_add_auxiliary_users(state, &request), false),
+        "attack" => (cmd_attack(state, &request), false),
+        "stats" => (cmd_stats(state), false),
+        "shutdown" => (ok_response(Vec::new()), true),
+        other => (error_response(&format!("unknown cmd {other:?}")), false),
+    }
+}
+
+fn cmd_load_snapshot(state: &Arc<DaemonState>, request: &Json) -> Json {
+    let Some(path) = request.get("path").and_then(Json::as_str) else {
+        return error_response("missing path");
+    };
+    let _updating = state.update.lock().expect("update lock poisoned");
+    match PreparedCorpus::load_timed(Path::new(path)) {
+        Ok((corpus, seconds)) => {
+            let users = corpus.n_users();
+            let posts = corpus.n_posts();
+            *state.corpus.write().expect("corpus lock poisoned") = Some(Arc::new(corpus));
+            state.stats.lock().expect("stats lock poisoned").corpus_updates += 1;
+            ok_response(vec![
+                ("users".into(), Json::int(users)),
+                ("posts".into(), Json::int(posts)),
+                ("seconds".into(), Json::Num(seconds)),
+            ])
+        }
+        Err(e) => error_response(&format!("snapshot load failed: {e}")),
+    }
+}
+
+fn cmd_add_auxiliary_users(state: &Arc<DaemonState>, request: &Json) -> Json {
+    let chunk = match request
+        .get("forum")
+        .ok_or("missing forum")
+        .and_then(|v| forum_from_json(v).map_err(|_| "invalid forum"))
+    {
+        Ok(f) => f,
+        Err(e) => return error_response(e),
+    };
+    // Copy-on-write under the update lock: clone the current corpus (or
+    // bootstrap from the chunk alone), extend it outside the `corpus`
+    // lock so attacks stay unblocked, then swap the slot. The update
+    // lock makes concurrent ingests append sequentially instead of both
+    // building on the same base and losing one chunk at the swap.
+    let _updating = state.update.lock().expect("update lock poisoned");
+    let current = state.corpus.read().expect("corpus lock poisoned").clone();
+    let next = match current {
+        Some(corpus) => {
+            let mut next = (*corpus).clone();
+            next.append_users(&chunk);
+            next
+        }
+        None => PreparedCorpus::build(chunk, state.config.attack.classifier),
+    };
+    let users = next.n_users();
+    let posts = next.n_posts();
+    *state.corpus.write().expect("corpus lock poisoned") = Some(Arc::new(next));
+    state.stats.lock().expect("stats lock poisoned").corpus_updates += 1;
+    ok_response(vec![("users".into(), Json::int(users)), ("posts".into(), Json::int(posts))])
+}
+
+fn cmd_attack(state: &Arc<DaemonState>, request: &Json) -> Json {
+    let Some(corpus) = state.corpus.read().expect("corpus lock poisoned").clone() else {
+        return error_response("no corpus loaded (send load_snapshot or add_auxiliary_users)");
+    };
+    let anonymized = match request
+        .get("forum")
+        .ok_or_else(|| "missing forum".to_string())
+        .and_then(forum_from_json)
+    {
+        Ok(f) => f,
+        Err(e) => return error_response(&e),
+    };
+
+    let mut config = state.config.clone();
+    let attack = &mut config.attack;
+    if let Some(k) = request.get("top_k") {
+        match k.as_usize() {
+            Some(k) => attack.top_k = k,
+            None => return error_response("invalid top_k"),
+        }
+    }
+    if let Some(h) = request.get("n_landmarks") {
+        match h.as_usize() {
+            Some(h) => attack.n_landmarks = h,
+            None => return error_response("invalid n_landmarks"),
+        }
+    }
+    if let Some(s) = request.get("seed") {
+        match s.as_usize() {
+            Some(s) => attack.seed = s as u64,
+            None => return error_response("invalid seed"),
+        }
+    }
+    if let Some(t) = request.get("threads") {
+        match t.as_usize() {
+            Some(t) => config.n_threads = t,
+            None => return error_response("invalid threads"),
+        }
+    }
+
+    let engine = Engine::new(config);
+    let outcome = corpus.attack(&engine, &anonymized);
+
+    {
+        let mut stats = state.stats.lock().expect("stats lock poisoned");
+        stats.attacks += 1;
+        stats.attacked_users += anonymized.n_users as u64;
+        stats.mapped_users += outcome.mapping.iter().filter(|m| m.is_some()).count() as u64;
+    }
+
+    let mapping = outcome.mapping.iter().map(|m| m.map_or(Json::Null, Json::int)).collect();
+    let candidates = outcome
+        .candidates
+        .iter()
+        .map(|c| Json::Arr(c.iter().map(|&v| Json::int(v)).collect()))
+        .collect();
+    ok_response(vec![
+        ("mapping".into(), Json::Arr(mapping)),
+        ("candidates".into(), Json::Arr(candidates)),
+        ("report".into(), report_to_json(&outcome.report)),
+    ])
+}
+
+fn cmd_stats(state: &Arc<DaemonState>) -> Json {
+    let stats = *state.stats.lock().expect("stats lock poisoned");
+    let (users, posts) = state
+        .corpus
+        .read()
+        .expect("corpus lock poisoned")
+        .as_ref()
+        .map_or((0, 0), |c| (c.n_users(), c.n_posts()));
+    ok_response(vec![
+        ("corpus_users".into(), Json::int(users)),
+        ("corpus_posts".into(), Json::int(posts)),
+        ("requests".into(), Json::Num(stats.requests as f64)),
+        ("errors".into(), Json::Num(stats.errors as f64)),
+        ("attacks".into(), Json::Num(stats.attacks as f64)),
+        ("attacked_users".into(), Json::Num(stats.attacked_users as f64)),
+        ("mapped_users".into(), Json::Num(stats.mapped_users as f64)),
+        ("corpus_updates".into(), Json::Num(stats.corpus_updates as f64)),
+        ("uptime_seconds".into(), Json::Num(state.started.elapsed().as_secs_f64())),
+    ])
+}
+
+/// Default engine configuration for a daemon: the paper-default attack
+/// with machine parallelism (`n_threads = 0`).
+#[must_use]
+pub fn default_config() -> EngineConfig {
+    EngineConfig { attack: AttackConfig::default(), ..EngineConfig::default() }
+}

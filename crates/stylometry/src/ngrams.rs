@@ -2,7 +2,7 @@
 //!
 //! Table I deliberately excludes content features, but Section II-B notes
 //! "it is possible to extract more stylometric features from the
-//! WebMD/HB dataset, e.g., content features [29]" and leaves them as
+//! WebMD/HB dataset, e.g., content features \[29\]" and leaves them as
 //! future work. This module provides them as an *optional extension* of
 //! the feature space: character trigrams and word unigrams, each hashed
 //! into a fixed number of buckets (feature hashing keeps the dimension

@@ -35,6 +35,28 @@ impl FeatureVector {
         Self { entries }
     }
 
+    /// Build directly from sorted non-zero `(index, value)` entries — the
+    /// deserialization constructor (snapshot loading reconstructs vectors
+    /// from persisted entry lists without densifying).
+    ///
+    /// # Errors
+    /// Returns a description of the violated invariant when indices are
+    /// not strictly increasing, an index is `>= M`, or a value is zero or
+    /// non-finite — exactly the states [`FeatureVector::from_dense`] can
+    /// never produce.
+    pub fn try_from_sorted_entries(entries: Vec<(u32, f64)>) -> Result<Self, &'static str> {
+        if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err("feature indices must be strictly increasing");
+        }
+        if entries.last().is_some_and(|&(i, _)| i as usize >= M) {
+            return Err("feature index out of registry range");
+        }
+        if !entries.iter().all(|&(_, v)| v != 0.0 && v.is_finite()) {
+            return Err("feature values must be non-zero and finite");
+        }
+        Ok(Self { entries })
+    }
+
     /// Value of feature `i` (0 when absent).
     #[must_use]
     pub fn get(&self, i: usize) -> f64 {

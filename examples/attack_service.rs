@@ -1,0 +1,133 @@
+//! Drive the attack daemon over the wire: write a corpus snapshot, load
+//! it into a daemon, stream an extra auxiliary cohort, attack the
+//! anonymized batch, and verify the wire mapping against the in-process
+//! serial `DeHealth::run` reference.
+//!
+//! ```text
+//! cargo run --release --example attack_service [-- --users N] [--seed S] [--addr HOST:PORT]
+//! ```
+//!
+//! Without `--addr` the example spawns its own daemon on an ephemeral
+//! local port (everything in one process, still over real TCP). With
+//! `--addr` it drives an external `repro serve` daemon started from the
+//! same `--users`/`--seed` (the split is regenerated deterministically,
+//! so parity still holds) — the shape of the CI smoke job.
+
+use std::time::Instant;
+
+use de_health::core::{AttackConfig, DeHealth};
+use de_health::corpus::split::{closed_world_split, SplitConfig};
+use de_health::corpus::{Forum, ForumConfig};
+use de_health::engine::EngineConfig;
+use de_health::service::daemon::default_config;
+use de_health::service::{AttackOptions, Daemon, PreparedCorpus, ServiceClient};
+
+fn main() {
+    let mut users = 300usize;
+    let mut seed = 42u64;
+    let mut addr: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--users" => users = argv.next().and_then(|v| v.parse().ok()).unwrap_or(users),
+            "--seed" => seed = argv.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--addr" => addr = argv.next(),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The same deterministic split `repro snapshot` / `repro serve` use.
+    println!("generating a synthetic forum with {users} users (seed {seed})…");
+    let forum = Forum::generate(&ForumConfig::webmd_like(users), seed);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.7), seed.wrapping_add(1));
+    let attack = AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() };
+
+    // In-process reference the wire results must reproduce exactly.
+    println!("running the in-process serial reference attack…");
+    let reference = DeHealth::new(attack.clone()).run(&split.auxiliary, &split.anonymized);
+
+    // A daemon to talk to: external (--addr) or spawned right here.
+    let spawned = if addr.is_none() {
+        println!("spawning an in-process daemon…");
+        let config = EngineConfig { attack: attack.clone(), ..default_config() };
+        let daemon = Daemon::bind("127.0.0.1:0", config).expect("bind daemon");
+        addr = Some(daemon.addr().to_string());
+        Some(daemon)
+    } else {
+        None
+    };
+    let addr = addr.expect("an address either given or spawned");
+    let mut client = ServiceClient::connect(&addr).expect("connect to daemon");
+
+    // Snapshot the prepared auxiliary corpus and load it over the wire.
+    let snap_path = std::env::temp_dir().join(format!("attack-service-{users}-{seed}.snap"));
+    println!("preparing + snapshotting the auxiliary corpus…");
+    let t0 = Instant::now();
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack.classifier);
+    let build_secs = t0.elapsed().as_secs_f64();
+    corpus.save(&snap_path).expect("write snapshot");
+    let loaded = client
+        .load_snapshot(snap_path.to_str().expect("temp path is UTF-8"))
+        .expect("load_snapshot");
+    println!(
+        "  cold build {build_secs:.3}s; daemon loaded {} users / {} posts in {}s",
+        loaded.get("users").and_then(de_health::service::Json::as_usize).unwrap_or(0),
+        loaded.get("posts").and_then(de_health::service::Json::as_usize).unwrap_or(0),
+        loaded
+            .get("seconds")
+            .and_then(de_health::service::Json::as_f64)
+            .map_or_else(|| "?".into(), |s| format!("{s:.3}")),
+    );
+
+    // Attack over the wire and check parity with the reference. The
+    // options spell out the reference's parameters explicitly so an
+    // external daemon's own defaults cannot skew the comparison.
+    let options = AttackOptions {
+        top_k: Some(attack.top_k),
+        n_landmarks: Some(attack.n_landmarks),
+        seed: Some(attack.seed),
+        ..AttackOptions::default()
+    };
+    println!("attacking {} anonymized users over the wire…", split.anonymized.n_users);
+    let t0 = Instant::now();
+    let reply = client.attack(&split.anonymized, &options).expect("attack");
+    let wire_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        reply.mapping, reference.mapping,
+        "wire mapping diverged from the in-process serial attack"
+    );
+    assert_eq!(reply.candidates, reference.candidates, "wire candidate sets diverged");
+    let mapped = reply.mapping.iter().filter(|m| m.is_some()).count();
+    println!(
+        "  {mapped}/{} users mapped in {wire_secs:.3}s — bit-identical to DeHealth::run ✓",
+        split.anonymized.n_users
+    );
+
+    // Stream one more auxiliary cohort (a tiny synthetic one) and attack
+    // again — the standing corpus grows without a restart.
+    let extra = Forum::generate(&ForumConfig::tiny(), seed.wrapping_add(99));
+    let grown = client.add_auxiliary_users(&extra).expect("add_auxiliary_users");
+    println!(
+        "streamed {} extra auxiliary users (corpus now {} users)",
+        extra.n_users,
+        grown.get("users").and_then(de_health::service::Json::as_usize).unwrap_or(0),
+    );
+    let reply2 = client.attack(&split.anonymized, &options).expect("attack");
+    println!(
+        "  re-attack on the grown corpus: {} users mapped",
+        reply2.mapping.iter().filter(|m| m.is_some()).count()
+    );
+
+    let stats = client.stats().expect("stats");
+    println!("daemon stats: {}", stats.emit());
+
+    client.shutdown().expect("shutdown");
+    if let Some(daemon) = spawned {
+        daemon.join();
+        println!("daemon shut down");
+    }
+    let _ = std::fs::remove_file(&snap_path);
+}

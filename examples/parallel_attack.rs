@@ -27,8 +27,13 @@ fn main() {
     );
 
     let attack = AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() };
-    // Default scoring is the inverted-index path; pass ScoringMode::Dense
-    // to force the all-pairs oracle sweep instead.
+    // The defaults are the fast paths: ScoringMode::Indexed (inverted-index
+    // Top-K scoring with upper-bound pruning) and RefinedMode::Shared
+    // (materialize-once feature arenas + the sparse KNN kernel). The
+    // differential-test oracles remain one config flag away — pass
+    // `scoring: ScoringMode::Dense` to force the all-pairs sweep, or
+    // `refined: RefinedMode::PerUser` for the from-scratch refined loop;
+    // both produce bit-identical candidates and mappings.
     let engine =
         Engine::new(EngineConfig { attack, n_threads, block_size: 32, ..EngineConfig::default() });
 

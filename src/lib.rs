@@ -27,6 +27,8 @@
 //! - [`engine`] — the parallel sharded execution engine: blockwise Top-K
 //!   DA over bounded candidate heaps (no dense similarity matrix),
 //!   fan-out Refined DA, and incremental auxiliary ingestion.
+//! - [`service`] — the serving layer: persistent corpus snapshots and the
+//!   long-lived attack daemon (newline-delimited JSON over TCP).
 //! - [`theory`] — re-identifiability bounds (Theorems 1-4) and Monte-Carlo
 //!   validation.
 //! - [`linkage`] — the NameLink / AvatarLink linkage-attack simulation.
@@ -57,6 +59,7 @@ pub use dehealth_engine as engine;
 pub use dehealth_graph as graph;
 pub use dehealth_linkage as linkage;
 pub use dehealth_ml as ml;
+pub use dehealth_service as service;
 pub use dehealth_stylometry as stylometry;
 pub use dehealth_text as text;
 pub use dehealth_theory as theory;

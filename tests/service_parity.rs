@@ -1,0 +1,239 @@
+//! Daemon round-trip parity: a wire `attack` on a snapshot-loaded corpus
+//! must produce mappings and candidate sets **bit-identical** to the
+//! in-process serial `DeHealth::run` on the freshly built corpus — at 1
+//! and 8 worker threads — plus protocol behavior (incremental ingest,
+//! stats, error responses, shutdown).
+
+use de_health::core::{AttackConfig, DeHealth};
+use de_health::corpus::split::{closed_world_split, SplitConfig};
+use de_health::corpus::{Forum, ForumConfig, Post};
+use de_health::engine::EngineConfig;
+use de_health::service::daemon::default_config;
+use de_health::service::{AttackOptions, Daemon, Json, PreparedCorpus, ServiceClient};
+
+fn tiny_split() -> de_health::corpus::Split {
+    let forum = Forum::generate(&ForumConfig::tiny(), 42);
+    closed_world_split(&forum, &SplitConfig::fraction(0.5), 7)
+}
+
+fn attack_cfg() -> AttackConfig {
+    AttackConfig { top_k: 5, n_landmarks: 10, ..AttackConfig::default() }
+}
+
+#[test]
+fn wire_attack_on_snapshot_matches_serial_attack_at_1_and_8_threads() {
+    let split = tiny_split();
+    let reference = DeHealth::new(attack_cfg()).run(&split.auxiliary, &split.anonymized);
+
+    // Freshly built corpus → snapshot file → daemon `load_snapshot`.
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_cfg().classifier);
+    let snap_path = std::env::temp_dir().join("dehealth-service-parity-test.snap");
+    corpus.save(&snap_path).unwrap();
+
+    let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+    let daemon = Daemon::bind("127.0.0.1:0", config).unwrap();
+    let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+    let loaded = client.load_snapshot(snap_path.to_str().unwrap()).unwrap();
+    assert_eq!(loaded.get("users").and_then(Json::as_usize), Some(split.auxiliary.n_users));
+
+    for threads in [1usize, 8] {
+        let options = AttackOptions { threads: Some(threads), ..AttackOptions::default() };
+        let reply = client.attack(&split.anonymized, &options).unwrap();
+        assert_eq!(
+            reply.mapping, reference.mapping,
+            "wire mapping diverged from DeHealth::run at {threads} threads"
+        );
+        assert_eq!(
+            reply.candidates, reference.candidates,
+            "wire candidates diverged from DeHealth::run at {threads} threads"
+        );
+        // The report travels with every attack and covers the pipeline.
+        let report = reply.raw.get("report").expect("report present");
+        assert_eq!(report.get("n_threads").and_then(Json::as_usize), Some(threads));
+        let stages = report.get("stages").and_then(Json::as_array).expect("stages");
+        let names: Vec<_> =
+            stages.iter().filter_map(|s| s.get("stage").and_then(Json::as_str)).collect();
+        assert!(names.contains(&"prepare") && names.contains(&"topk"));
+        assert!(names.contains(&"refined"));
+    }
+
+    client.shutdown().unwrap();
+    daemon.join();
+    std::fs::remove_file(&snap_path).unwrap();
+}
+
+#[test]
+fn incremental_wire_ingest_matches_batch_reference() {
+    // Stream the auxiliary side in two cohorts through
+    // `add_auxiliary_users` (bootstrap + append); the wire attack must
+    // match the serial attack on the merged corpus the daemon is
+    // documented to hold (chunk ids offset by prior totals).
+    let split = tiny_split();
+    let aux = &split.auxiliary;
+    let cut = aux.n_users / 2;
+    let chunk_of = |lo: usize, hi: usize| {
+        let posts: Vec<Post> = aux
+            .posts
+            .iter()
+            .filter(|p| (lo..hi).contains(&p.author))
+            .map(|p| Post { author: p.author - lo, thread: p.thread, text: p.text.clone() })
+            .collect();
+        Forum::from_posts(hi - lo, aux.n_threads, posts)
+    };
+    let chunks = [chunk_of(0, cut), chunk_of(cut, aux.n_users)];
+    let mut merged_posts = Vec::new();
+    let (mut user_off, mut thread_off) = (0usize, 0usize);
+    for chunk in &chunks {
+        for p in &chunk.posts {
+            merged_posts.push(Post {
+                author: p.author + user_off,
+                thread: p.thread + thread_off,
+                text: p.text.clone(),
+            });
+        }
+        user_off += chunk.n_users;
+        thread_off += chunk.n_threads;
+    }
+    let merged = Forum::from_posts(user_off, thread_off, merged_posts);
+    let reference = DeHealth::new(attack_cfg()).run(&merged, &split.anonymized);
+
+    let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+    let daemon = Daemon::bind("127.0.0.1:0", config).unwrap();
+    let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+
+    // No corpus yet: attack must fail with a remote error, not a panic.
+    let err = client.attack(&split.anonymized, &AttackOptions::default());
+    assert!(matches!(err, Err(de_health::service::ServiceError::Remote(_))));
+
+    let first = client.add_auxiliary_users(&chunks[0]).unwrap();
+    assert_eq!(first.get("users").and_then(Json::as_usize), Some(cut));
+    let second = client.add_auxiliary_users(&chunks[1]).unwrap();
+    assert_eq!(second.get("users").and_then(Json::as_usize), Some(aux.n_users));
+
+    let reply = client.attack(&split.anonymized, &AttackOptions::default()).unwrap();
+    assert_eq!(reply.mapping, reference.mapping);
+    assert_eq!(reply.candidates, reference.candidates);
+
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+fn stats_count_served_work_and_errors() {
+    let split = tiny_split();
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_cfg().classifier);
+    let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+    let daemon = Daemon::bind_with_corpus("127.0.0.1:0", config, Some(corpus)).unwrap();
+
+    let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+    let reply = client.attack(&split.anonymized, &AttackOptions::default()).unwrap();
+    let mapped = reply.mapping.iter().filter(|m| m.is_some()).count();
+
+    // Malformed request and unknown command both get error responses.
+    let err = client.request(&Json::parse(r#"{"cmd":"no_such_cmd"}"#).unwrap());
+    assert!(
+        matches!(err, Err(de_health::service::ServiceError::Remote(m)) if m.contains("unknown"))
+    );
+    let err = client.request(&Json::parse(r#"{"nope": 1}"#).unwrap());
+    assert!(matches!(err, Err(de_health::service::ServiceError::Remote(m)) if m.contains("cmd")));
+
+    // A second concurrent connection sees the same standing corpus.
+    let mut other = ServiceClient::connect(daemon.addr()).unwrap();
+    let stats = other.stats().unwrap();
+    assert_eq!(stats.get("corpus_users").and_then(Json::as_usize), Some(split.auxiliary.n_users));
+    assert_eq!(stats.get("attacks").and_then(Json::as_usize), Some(1));
+    assert_eq!(
+        stats.get("attacked_users").and_then(Json::as_usize),
+        Some(split.anonymized.n_users)
+    );
+    assert_eq!(stats.get("mapped_users").and_then(Json::as_usize), Some(mapped));
+    assert_eq!(stats.get("errors").and_then(Json::as_usize), Some(2));
+    assert!(stats.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+
+    // Daemon-side counters agree with the wire view.
+    let daemon_stats = daemon.stats();
+    assert_eq!(daemon_stats.attacks, 1);
+    assert_eq!(daemon_stats.errors, 2);
+
+    other.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+fn concurrent_ingests_from_two_connections_both_land() {
+    // Two clients stream disjoint cohorts at the same time. The daemon's
+    // copy-on-write updates must serialize — if both built on the same
+    // base corpus, one swap would silently discard the other's chunk.
+    let daemon = Daemon::bind("127.0.0.1:0", default_config()).unwrap();
+    let addr = daemon.addr();
+    let chunk_a = Forum::generate(&ForumConfig::tiny(), 5);
+    let chunk_b = Forum::generate(&ForumConfig::tiny(), 6);
+    let expected = chunk_a.n_users + chunk_b.n_users;
+    let send = |chunk: Forum| {
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(addr).unwrap();
+            client.add_auxiliary_users(&chunk).unwrap();
+        })
+    };
+    let (a, b) = (send(chunk_a), send(chunk_b));
+    a.join().unwrap();
+    b.join().unwrap();
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("corpus_users").and_then(Json::as_usize), Some(expected));
+    assert_eq!(stats.get("corpus_updates").and_then(Json::as_usize), Some(2));
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+#[should_panic(expected = "not exactly representable")]
+fn oversized_wire_seeds_fail_loudly_instead_of_rounding() {
+    let options = AttackOptions { seed: Some((1u64 << 53) + 1), ..AttackOptions::default() };
+    let _ = options.to_fields();
+}
+
+#[test]
+fn requests_split_across_slow_tcp_segments_are_not_lost() {
+    use std::io::{BufRead, BufReader, Write};
+    // Deliver one request a few bytes at a time with pauses longer than
+    // the daemon's shutdown-poll interval. The handler must accumulate
+    // the partial line across its read timeouts — dropping bytes at a
+    // poll tick would leave the client waiting forever (regression test:
+    // the original BufReader::read_line loop did exactly that under
+    // load).
+    let daemon = Daemon::bind("127.0.0.1:0", default_config()).unwrap();
+    let mut stream = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..2 {
+        for part in b"{\"cmd\":\"stats\"}\n".chunks(4) {
+            stream.write_all(part).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(60));
+        }
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = Json::parse(line.trim()).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(response.get("uptime_seconds").is_some());
+    }
+    stream.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    daemon.join();
+}
+
+#[test]
+fn shutdown_stops_the_daemon_promptly() {
+    let daemon = Daemon::bind("127.0.0.1:0", default_config()).unwrap();
+    let addr = daemon.addr();
+    let mut client = ServiceClient::connect(addr).unwrap();
+    assert!(!daemon.is_shutting_down());
+    client.shutdown().unwrap();
+    daemon.join();
+    // New connections are refused (or accepted-then-dropped) once down;
+    // either way no request can succeed.
+    if let Ok(mut late) = ServiceClient::connect(addr) {
+        assert!(late.stats().is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Snapshot persistence: round-trip bit-parity against a freshly built
+//! corpus, and robustness of the decoder against malformed files —
+//! truncation, bad magic, wrong version, and corrupted payloads must all
+//! surface as typed [`SnapshotError`]s, never panics.
+
+use de_health::core::refined::ClassifierKind;
+use de_health::corpus::snapshot::{SnapshotError, MAGIC, VERSION};
+use de_health::corpus::split::{closed_world_split, SplitConfig};
+use de_health::corpus::{Forum, ForumConfig};
+use de_health::service::PreparedCorpus;
+
+fn built_corpus(classifier: ClassifierKind) -> PreparedCorpus {
+    let forum = Forum::generate(&ForumConfig::tiny(), 42);
+    let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 7);
+    PreparedCorpus::build(split.auxiliary, classifier)
+}
+
+#[test]
+fn roundtrip_is_bit_identical_to_fresh_build() {
+    for classifier in [ClassifierKind::default(), ClassifierKind::Centroid] {
+        let fresh = built_corpus(classifier);
+        let bytes = fresh.to_snapshot_bytes();
+        let loaded = PreparedCorpus::from_snapshot_bytes(&bytes).unwrap();
+
+        // The loaded corpus re-serializes to the identical byte stream:
+        // forum, per-post features, attribute index and refined context
+        // all round-trip bit for bit (floats are stored as raw IEEE-754
+        // bits).
+        assert_eq!(loaded.to_snapshot_bytes(), bytes, "{classifier:?}");
+
+        // And the derived state matches the freshly built corpus
+        // structurally.
+        assert_eq!(loaded.n_users(), fresh.n_users());
+        assert_eq!(loaded.n_posts(), fresh.n_posts());
+        assert_eq!(loaded.index().n_postings(), fresh.index().n_postings());
+        assert_eq!(loaded.context().is_sparse(), fresh.context().is_sparse());
+        assert_eq!(loaded.uda().present_users(), fresh.uda().present_users());
+    }
+}
+
+#[test]
+fn file_roundtrip_via_save_and_load() {
+    let fresh = built_corpus(ClassifierKind::default());
+    let path = std::env::temp_dir().join("dehealth-snapshot-roundtrip-test.snap");
+    fresh.save(&path).unwrap();
+    let (loaded, seconds) = PreparedCorpus::load_timed(&path).unwrap();
+    assert!(seconds >= 0.0);
+    assert_eq!(loaded.to_snapshot_bytes(), fresh.to_snapshot_bytes());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncated_files_return_typed_errors_at_every_length() {
+    let bytes = built_corpus(ClassifierKind::default()).to_snapshot_bytes();
+    // Every proper prefix must fail with a *typed* error — mostly
+    // Truncated, with ChecksumMismatch for prefixes that cut inside a
+    // trailing checksum's section, and never a panic. Sampling every
+    // offset would be slow; probe a spread plus all boundaries.
+    let probes: Vec<usize> =
+        (0..bytes.len()).step_by(97).chain([0, 1, 7, 8, 15, 16, 27, bytes.len() - 1]).collect();
+    for n in probes {
+        match PreparedCorpus::from_snapshot_bytes(&bytes[..n]) {
+            Err(
+                SnapshotError::Truncated { .. }
+                | SnapshotError::ChecksumMismatch { .. }
+                | SnapshotError::MissingSection(_)
+                | SnapshotError::BadMagic,
+            ) => {}
+            other => panic!("prefix of {n} bytes: expected a typed error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = built_corpus(ClassifierKind::default()).to_snapshot_bytes();
+    bytes[..MAGIC.len()].copy_from_slice(b"NOTSNAP!");
+    assert!(matches!(PreparedCorpus::from_snapshot_bytes(&bytes), Err(SnapshotError::BadMagic)));
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut bytes = built_corpus(ClassifierKind::default()).to_snapshot_bytes();
+    let future = VERSION + 41;
+    bytes[8..10].copy_from_slice(&future.to_le_bytes());
+    assert!(matches!(
+        PreparedCorpus::from_snapshot_bytes(&bytes),
+        Err(SnapshotError::UnsupportedVersion(v)) if v == future
+    ));
+}
+
+#[test]
+fn corrupted_payload_fails_its_checksum() {
+    let bytes = built_corpus(ClassifierKind::default()).to_snapshot_bytes();
+    // Flip one byte at a spread of payload offsets; every corruption must
+    // surface as a checksum mismatch (the header itself is covered by the
+    // magic/version/truncation tests above).
+    for at in (20..bytes.len()).step_by((bytes.len() / 23).max(1)) {
+        let mut corrupted = bytes.clone();
+        corrupted[at] ^= 0x5a;
+        match PreparedCorpus::from_snapshot_bytes(&corrupted) {
+            Err(
+                SnapshotError::ChecksumMismatch { .. }
+                | SnapshotError::Truncated { .. }
+                | SnapshotError::Malformed { .. }
+                | SnapshotError::MissingSection(_),
+            ) => {}
+            Ok(_) => panic!("corruption at byte {at} went undetected"),
+            other => panic!("corruption at byte {at}: unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn io_errors_are_propagated() {
+    let missing = std::env::temp_dir().join("dehealth-no-such-snapshot.snap");
+    assert!(matches!(PreparedCorpus::load(&missing), Err(SnapshotError::Io(_))));
+}
+
+#[test]
+fn error_display_is_informative() {
+    let text = format!("{}", SnapshotError::BadMagic);
+    assert!(text.contains("magic"));
+    let text = format!("{}", SnapshotError::UnsupportedVersion(9));
+    assert!(text.contains('9'));
+    let text = format!("{}", SnapshotError::Truncated { context: "section payload" });
+    assert!(text.contains("section payload"));
+}
