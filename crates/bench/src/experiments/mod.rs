@@ -9,5 +9,6 @@ pub mod fig7_fig8_graph;
 pub mod linkage_attack;
 pub mod scaling;
 pub mod service;
+pub mod snapshot_load;
 pub mod table1;
 pub mod theory_bounds;

@@ -17,11 +17,13 @@
 //!   theory   Section IV bounds vs Monte-Carlo
 //!   scaling  engine throughput vs worker threads (BENCH_scaling.json)
 //!   service  snapshot persistence + daemon wire throughput (BENCH_service.json)
+//!   snapshot-load  owned vs mmap reload latency sweep (BENCH_snapshot.json)
 //!   all      everything above
 //!
 //! serving commands (not part of `all`):
 //!   snapshot write a prepared-corpus snapshot     [--users N] [--seed S] [--path corpus.snap]
 //!   serve    run the attack daemon                [--path corpus.snap] [--addr 127.0.0.1:7699]
+//!                                                 [--mmap | --owned]
 //! ```
 //!
 //! `repro snapshot` generates the synthetic forum, takes the closed-world
@@ -30,14 +32,18 @@
 //! prepares a corpus in-process when the file is absent) and serves the
 //! newline-delimited-JSON protocol until a client sends `shutdown`; the
 //! anonymized half of the same `--users/--seed` split is what
-//! `examples/attack_service.rs` replays against it.
+//! `examples/attack_service.rs` replays against it. `--mmap` (the
+//! default) loads the snapshot zero-copy — the big arenas stay in the
+//! file mapping — and prints load time plus resident-vs-borrowed section
+//! bytes; `--owned` forces the eager copying load for comparison.
 
 use std::path::Path;
 
 use dehealth_bench::experiments::{
     ablation, datasets, defense, fig3_fig5_topk, fig4_fig6_refined, fig7_fig8_graph,
-    linkage_attack, scaling, service, table1, theory_bounds,
+    linkage_attack, scaling, service, snapshot_load, table1, theory_bounds,
 };
+use dehealth_service::LoadMode;
 
 struct Args {
     experiment: String,
@@ -45,6 +51,7 @@ struct Args {
     seed: u64,
     path: Option<String>,
     addr: String,
+    load_mode: LoadMode,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +60,7 @@ fn parse_args() -> Args {
     let mut seed = 42u64;
     let mut path = None;
     let mut addr = String::from("127.0.0.1:7699");
+    let mut load_mode = LoadMode::Mapped;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -72,6 +80,8 @@ fn parse_args() -> Args {
                     addr = v;
                 }
             }
+            "--mmap" => load_mode = LoadMode::Mapped,
+            "--owned" => load_mode = LoadMode::Owned,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -83,15 +93,16 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { experiment, users, seed, path, addr }
+    Args { experiment, users, seed, path, addr, load_mode }
 }
 
 fn print_help() {
     println!(
-        "repro <fig1|fig2|table1|fig3|fig4|fig5|fig6|fig7|fig8|linkage|theory|ablation|defense|scaling|service|all> \
+        "repro <fig1|fig2|table1|fig3|fig4|fig5|fig6|fig7|fig8|linkage|theory|ablation|defense|scaling|service|snapshot-load|all> \
          [--users N] [--seed S]\n\
          repro snapshot [--users N] [--seed S] [--path corpus.snap]\n\
-         repro serve [--path corpus.snap] [--addr 127.0.0.1:7699] [--users N] [--seed S]"
+         repro serve [--path corpus.snap] [--addr 127.0.0.1:7699] [--users N] [--seed S] \
+         [--mmap | --owned]"
     );
 }
 
@@ -129,21 +140,28 @@ fn run_snapshot_command(users: usize, seed: u64, path: &str) {
     let save_secs = t0.elapsed().as_secs_f64();
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     println!(
-        "wrote {path}: {bytes} bytes (build {build_secs:.3}s, save {save_secs:.3}s); \
-         serve it with `repro serve --path {path}`"
+        "wrote {path}: {bytes} bytes (format v2, 8-byte-aligned sections; build \
+         {build_secs:.3}s, save {save_secs:.3}s); serve it with `repro serve --path {path}` \
+         (add --owned to skip the zero-copy mmap load)"
     );
 }
 
-fn run_serve_command(users: usize, seed: u64, path: Option<&str>, addr: &str) {
+fn run_serve_command(users: usize, seed: u64, path: Option<&str>, addr: &str, mode: LoadMode) {
     let corpus = match path {
         Some(path) if Path::new(path).exists() => {
-            match dehealth_service::PreparedCorpus::load_timed(Path::new(path)) {
+            match dehealth_service::PreparedCorpus::load_timed_with(Path::new(path), mode) {
                 Ok((corpus, secs)) => {
+                    let memory = corpus.memory_stats();
                     println!(
-                        "loaded snapshot {path}: {} users, {} posts in {secs:.3}s \
+                        "loaded snapshot {path} ({}): {} users, {} posts in {secs:.3}s \
                          (feature extraction skipped)",
+                        if corpus.is_mapped() { "mmap, zero-copy" } else { "owned" },
                         corpus.n_users(),
                         corpus.n_posts()
+                    );
+                    println!(
+                        "  arena bytes: {} resident on heap, {} borrowed from the mapping",
+                        memory.resident_arena_bytes, memory.borrowed_arena_bytes
                     );
                     corpus
                 }
@@ -240,18 +258,47 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if run("snapshot-load") {
+        // `--users` is the *smallest* sweep point; the sweep tops out 4×
+        // higher.
+        if let Err(e) = snapshot_load::run(args.users.unwrap_or(150), seed) {
+            eprintln!("snapshot-load: failed to run the snapshot-load benchmark: {e}");
+            std::process::exit(1);
+        }
+    }
     if args.experiment == "snapshot" {
         let path = args.path.clone().unwrap_or_else(|| "corpus.snap".to_string());
         run_snapshot_command(args.users.unwrap_or(600), seed, &path);
         return;
     }
     if args.experiment == "serve" {
-        run_serve_command(args.users.unwrap_or(600), seed, args.path.as_deref(), &args.addr);
+        run_serve_command(
+            args.users.unwrap_or(600),
+            seed,
+            args.path.as_deref(),
+            &args.addr,
+            args.load_mode,
+        );
         return;
     }
     if ![
-        "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "linkage",
-        "theory", "ablation", "defense", "scaling", "service", "all",
+        "fig1",
+        "fig2",
+        "table1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "linkage",
+        "theory",
+        "ablation",
+        "defense",
+        "scaling",
+        "service",
+        "snapshot-load",
+        "all",
     ]
     .contains(&args.experiment.as_str())
     {

@@ -50,8 +50,10 @@
 //! `AttackConfig::filtering` is set.
 
 use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SnapshotError};
+use dehealth_mapped::SharedBytes;
 use dehealth_stylometry::UserAttributes;
 
+use crate::arena::{ArenaCastError, ArenaView};
 use crate::filter::ScoreBounds;
 use crate::similarity::SimilarityEngine;
 use crate::topk::BoundedTopK;
@@ -67,14 +69,75 @@ pub struct Posting {
     pub weight: u32,
 }
 
+/// One attribute's posting list, borrowed from the index: parallel
+/// user-id and weight arrays (users strictly ascending).
 #[derive(Debug, Clone, Copy)]
-struct UserEntry {
-    /// `|A(v)|`.
-    attr_count: u32,
-    /// `Σ_i l_v(A_i)`.
-    weight_sum: u64,
-    /// `false` for absent users (no posts) — they are never scored.
-    present: bool,
+pub struct PostingsRef<'a> {
+    /// Auxiliary user ids exhibiting the attribute, strictly ascending.
+    pub users: &'a [u32],
+    /// The matching weights `l_v(A_i)`, parallel to `users`.
+    pub weights: &'a [u32],
+}
+
+impl<'a> PostingsRef<'a> {
+    const EMPTY: PostingsRef<'static> = PostingsRef { users: &[], weights: &[] };
+
+    /// Number of postings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// `true` when no user exhibits the attribute.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The `i`-th posting.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Posting {
+        Posting { user: self.users[i], weight: self.weights[i] }
+    }
+
+    /// Iterate the postings in ascending user order.
+    pub fn iter(&self) -> impl Iterator<Item = Posting> + 'a {
+        self.users.iter().zip(self.weights).map(|(&user, &weight)| Posting { user, weight })
+    }
+
+    /// The suffix of postings with `user >= from` — what a streaming
+    /// session probes after a watermark.
+    #[must_use]
+    pub fn suffix(&self, from: u32) -> PostingsRef<'a> {
+        let start = self.users.partition_point(|&u| u < from);
+        PostingsRef { users: &self.users[start..], weights: &self.weights[start..] }
+    }
+}
+
+/// One attribute's appendable posting list (the building-side storage).
+#[derive(Debug, Clone, Default)]
+struct AttrPostings {
+    users: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+/// Posting storage: appendable per-attribute lists while building or
+/// streaming, or a flattened CSR over (possibly snapshot-borrowed)
+/// arenas once decoded. [`AttributeIndex::posting`] presents both as
+/// [`PostingsRef`]s, so readers never care which they got.
+#[derive(Debug, Clone)]
+enum PostingStore {
+    Dynamic { lists: Vec<AttrPostings>, n_postings: usize },
+    Csr { starts: ArenaView<u64>, users: ArenaView<u32>, weights: ArenaView<u32> },
+}
+
+impl Default for PostingStore {
+    fn default() -> Self {
+        PostingStore::Dynamic { lists: Vec::new(), n_postings: 0 }
+    }
 }
 
 /// Attribute → posting-list inverted index over one auxiliary user
@@ -83,6 +146,12 @@ struct UserEntry {
 /// Users are appended in increasing id order ([`Self::push_user`]), so
 /// every posting list stays sorted by user id and a streaming session can
 /// probe only the suffix of users ingested after a given watermark.
+///
+/// The per-user tables and posting arenas are **storage-generic**
+/// ([`ArenaView`]): a freshly built index owns its `Vec`s, while an
+/// index decoded from a v2 snapshot through [`Self::decode_v2`] borrows
+/// them straight out of the (typically memory-mapped) file. Appending
+/// promotes borrowed storage to owned copy-on-write.
 ///
 /// ```
 /// use dehealth_core::index::AttributeIndex;
@@ -99,13 +168,17 @@ struct UserEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct AttributeIndex {
-    /// `postings[attr]` = users exhibiting `attr`, ascending by id.
-    postings: Vec<Vec<Posting>>,
-    users: Vec<UserEntry>,
+    /// Per-user `|A(v)|`.
+    attr_counts: ArenaView<u32>,
+    /// Per-user `Σ_i l_v(A_i)`.
+    weight_sums: ArenaView<u64>,
+    /// Per-user presence flag (0/1); absent users — no posts — are never
+    /// scored.
+    present_flags: ArenaView<u8>,
     /// Ids of present users, ascending.
-    present: Vec<u32>,
-    /// Total posting entries (Σ nnz) — the index's memory footprint.
-    n_postings: usize,
+    present: ArenaView<u32>,
+    /// `posting(attr)` = users exhibiting `attr`, ascending by id.
+    postings: PostingStore,
 }
 
 impl AttributeIndex {
@@ -128,7 +201,17 @@ impl AttributeIndex {
     /// encoding the presence convention (`post_counts[v] > 0`), shared by
     /// one-shot builds and streaming sessions ingesting a chunk.
     pub fn append_uda(&mut self, uda: &UdaGraph) {
-        for (v, attrs) in uda.attributes.iter().enumerate() {
+        self.append_uda_suffix(uda, 0);
+    }
+
+    /// Append the users `from..` of a UDA graph, in id order — the
+    /// incremental-ingest path of a corpus that already indexed the first
+    /// `from` users of the same (merged) graph (in which case `from`
+    /// equals [`Self::n_users`] and ids line up; a streaming session
+    /// instead appends whole chunk-local graphs via [`Self::append_uda`],
+    /// where ids are offset by the users already indexed).
+    pub fn append_uda_suffix(&mut self, uda: &UdaGraph, from: usize) {
+        for (v, attrs) in uda.attributes.iter().enumerate().skip(from) {
             self.push_user(attrs, uda.post_counts[v] > 0);
         }
     }
@@ -136,47 +219,121 @@ impl AttributeIndex {
     /// Append the next user (id = current [`Self::n_users`]) with its
     /// attribute set. `present` marks users that actually have posts;
     /// absent users occupy an id but are never offered as candidates.
+    /// Snapshot-borrowed storage is promoted to owned first
+    /// (copy-on-write).
     ///
     /// Returns the id assigned to the user.
     pub fn push_user(&mut self, attrs: &UserAttributes, present: bool) -> usize {
-        let id = self.users.len();
+        let id = self.n_users();
         let id32 = u32::try_from(id).expect("more than u32::MAX indexed users");
+        let (lists, n_postings) = self.dynamic_postings();
         if present {
             for &(attr, weight) in attrs.as_weights() {
                 let attr = attr as usize;
-                if attr >= self.postings.len() {
-                    self.postings.resize_with(attr + 1, Vec::new);
+                if attr >= lists.len() {
+                    lists.resize_with(attr + 1, AttrPostings::default);
                 }
-                self.postings[attr].push(Posting { user: id32, weight });
-                self.n_postings += 1;
+                lists[attr].users.push(id32);
+                lists[attr].weights.push(weight);
+                *n_postings += 1;
             }
-            self.present.push(id32);
+            self.present.to_mut().push(id32);
         }
-        self.users.push(UserEntry {
-            attr_count: u32::try_from(attrs.len()).expect("attribute count overflows u32"),
-            weight_sum: attrs.weight_sum(),
-            present,
-        });
+        self.attr_counts
+            .to_mut()
+            .push(u32::try_from(attrs.len()).expect("attribute count overflows u32"));
+        self.weight_sums.to_mut().push(attrs.weight_sum());
+        self.present_flags.to_mut().push(u8::from(present));
         id
+    }
+
+    /// The appendable posting lists, promoting decoded CSR storage (owned
+    /// or snapshot-borrowed) into per-attribute `Vec`s first.
+    fn dynamic_postings(&mut self) -> (&mut Vec<AttrPostings>, &mut usize) {
+        if let PostingStore::Csr { starts, users, weights } = &self.postings {
+            let starts = starts.as_slice();
+            let (users, weights) = (users.as_slice(), weights.as_slice());
+            let mut lists = Vec::with_capacity(starts.len().saturating_sub(1));
+            for w in starts.windows(2) {
+                let range = w[0] as usize..w[1] as usize;
+                lists.push(AttrPostings {
+                    users: users[range.clone()].to_vec(),
+                    weights: weights[range].to_vec(),
+                });
+            }
+            self.postings = PostingStore::Dynamic { lists, n_postings: users.len() };
+        }
+        match &mut self.postings {
+            PostingStore::Dynamic { lists, n_postings } => (lists, n_postings),
+            PostingStore::Csr { .. } => unreachable!("promoted above"),
+        }
     }
 
     /// Number of users registered (present and absent).
     #[must_use]
     pub fn n_users(&self) -> usize {
-        self.users.len()
+        self.attr_counts.len()
+    }
+
+    /// Number of attribute slots (highest exhibited attribute + 1).
+    #[must_use]
+    pub fn n_attrs(&self) -> usize {
+        match &self.postings {
+            PostingStore::Dynamic { lists, .. } => lists.len(),
+            PostingStore::Csr { starts, .. } => starts.len().saturating_sub(1),
+        }
     }
 
     /// Total posting entries across all attributes.
     #[must_use]
     pub fn n_postings(&self) -> usize {
-        self.n_postings
+        match &self.postings {
+            PostingStore::Dynamic { n_postings, .. } => *n_postings,
+            PostingStore::Csr { users, .. } => users.len(),
+        }
+    }
+
+    /// `|A(v)|` and `Σ_i l_v(A_i)` of one user.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    #[must_use]
+    pub fn user_totals(&self, v: usize) -> (u32, u64) {
+        (self.attr_counts.as_slice()[v], self.weight_sums.as_slice()[v])
+    }
+
+    /// `true` when user `v` has posts (and therefore postings).
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    #[must_use]
+    pub fn is_present(&self, v: usize) -> bool {
+        self.present_flags.as_slice()[v] != 0
     }
 
     /// The posting list of one attribute, ascending by user id (empty for
     /// attributes no user exhibits).
     #[must_use]
-    pub fn posting(&self, attr: usize) -> &[Posting] {
-        self.postings.get(attr).map_or(&[], Vec::as_slice)
+    pub fn posting(&self, attr: usize) -> PostingsRef<'_> {
+        match &self.postings {
+            PostingStore::Dynamic { lists, .. } => {
+                lists.get(attr).map_or(PostingsRef::EMPTY, |l| PostingsRef {
+                    users: &l.users,
+                    weights: &l.weights,
+                })
+            }
+            PostingStore::Csr { starts, users, weights } => {
+                let starts = starts.as_slice();
+                if attr + 1 >= starts.len() {
+                    return PostingsRef::EMPTY;
+                }
+                let range = starts[attr] as usize..starts[attr + 1] as usize;
+                PostingsRef {
+                    users: &users.as_slice()[range.clone()],
+                    weights: &weights.as_slice()[range],
+                }
+            }
+        }
     }
 
     /// Ids of present users `>= from`, ascending — the population a
@@ -185,37 +342,94 @@ impl AttributeIndex {
     #[must_use]
     pub fn present_from(&self, from: usize) -> &[u32] {
         let from = u32::try_from(from).expect("watermark overflows u32");
-        let start = self.present.partition_point(|&v| v < from);
-        &self.present[start..]
+        let present = self.present.as_slice();
+        let start = present.partition_point(|&v| v < from);
+        &present[start..]
     }
 
-    /// Serialize into a snapshot section: the per-user totals, then every
-    /// posting list (see ARCHITECTURE.md for the byte layout). The
+    /// `true` when any arena of this index borrows a loaded snapshot's
+    /// bytes instead of owning them.
+    #[must_use]
+    pub fn is_borrowed(&self) -> bool {
+        let csr_borrowed = match &self.postings {
+            PostingStore::Dynamic { .. } => false,
+            PostingStore::Csr { starts, users, weights } => {
+                starts.is_borrowed() || users.is_borrowed() || weights.is_borrowed()
+            }
+        };
+        csr_borrowed
+            || self.attr_counts.is_borrowed()
+            || self.weight_sums.is_borrowed()
+            || self.present_flags.is_borrowed()
+            || self.present.is_borrowed()
+    }
+
+    /// `(resident, borrowed)` arena bytes: heap bytes this index keeps
+    /// resident vs. bytes it reads straight out of a loaded snapshot.
+    #[must_use]
+    pub fn arena_bytes(&self) -> (usize, usize) {
+        let views = [
+            (self.attr_counts.resident_bytes(), self.attr_counts.byte_len()),
+            (self.weight_sums.resident_bytes(), self.weight_sums.byte_len()),
+            (self.present_flags.resident_bytes(), self.present_flags.byte_len()),
+            (self.present.resident_bytes(), self.present.byte_len()),
+        ];
+        let (mut resident, mut total) =
+            views.iter().fold((0, 0), |(r, t), &(vr, vt)| (r + vr, t + vt));
+        match &self.postings {
+            PostingStore::Dynamic { lists, n_postings } => {
+                resident += n_postings * 8 + lists.len() * std::mem::size_of::<AttrPostings>();
+                total += n_postings * 8 + lists.len() * std::mem::size_of::<AttrPostings>();
+            }
+            PostingStore::Csr { starts, users, weights } => {
+                for (r, t) in [
+                    (starts.resident_bytes(), starts.byte_len()),
+                    (users.resident_bytes(), users.byte_len()),
+                    (weights.resident_bytes(), weights.byte_len()),
+                ] {
+                    resident += r;
+                    total += t;
+                }
+            }
+        }
+        (resident, total - resident)
+    }
+
+    /// Serialize into a v1 snapshot section: the per-user totals, then
+    /// every posting list (see ARCHITECTURE.md for the byte layout). The
     /// `present` list and `n_postings` are derivable and not stored.
+    /// Kept for compatibility fixtures; new snapshots use
+    /// [`Self::encode_v2`].
     ///
     /// # Panics
     /// Panics if the index holds more than `u32::MAX` attributes or any
     /// posting list longer than `u32::MAX` (beyond any supported corpus).
     pub fn encode(&self, buf: &mut SectionBuf) {
-        buf.put_u32(u32::try_from(self.users.len()).expect("user count overflows u32"));
-        for u in &self.users {
-            buf.put_u32(u.attr_count);
-            buf.put_u64(u.weight_sum);
-            buf.put_u8(u8::from(u.present));
+        let n_users = self.n_users();
+        buf.put_u32(u32::try_from(n_users).expect("user count overflows u32"));
+        let attr_counts = self.attr_counts.as_slice();
+        let weight_sums = self.weight_sums.as_slice();
+        let present_flags = self.present_flags.as_slice();
+        for v in 0..n_users {
+            buf.put_u32(attr_counts[v]);
+            buf.put_u64(weight_sums[v]);
+            buf.put_u8(present_flags[v]);
         }
-        buf.put_u32(u32::try_from(self.postings.len()).expect("attribute count overflows u32"));
-        for plist in &self.postings {
+        buf.put_u32(u32::try_from(self.n_attrs()).expect("attribute count overflows u32"));
+        for attr in 0..self.n_attrs() {
+            let plist = self.posting(attr);
             buf.put_u32(u32::try_from(plist.len()).expect("posting list overflows u32"));
-            for p in plist {
+            for p in plist.iter() {
                 buf.put_u32(p.user);
                 buf.put_u32(p.weight);
             }
         }
     }
 
-    /// Deserialize an index written by [`Self::encode`], revalidating
-    /// every structural invariant (ascending posting lists, ids in range,
-    /// postings only for present users, positive weights).
+    /// Deserialize an index written by [`Self::encode`] (the v1 payload
+    /// schema), revalidating every structural invariant (ascending
+    /// posting lists, ids in range, postings only for present users,
+    /// positive weights). Always copies — the v1 layout is unaligned.
     ///
     /// # Errors
     /// [`SnapshotError::Truncated`] or [`SnapshotError::Malformed`] on
@@ -226,54 +440,246 @@ impl AttributeIndex {
             // Each user entry occupies 13 bytes.
             return Err(SnapshotError::Malformed { context: "implausible index user count" });
         }
-        let mut users = Vec::with_capacity(n_users);
+        let mut attr_counts = Vec::with_capacity(n_users);
+        let mut weight_sums = Vec::with_capacity(n_users);
+        let mut present_flags = Vec::with_capacity(n_users);
         let mut present = Vec::new();
         for id in 0..n_users {
-            let attr_count = r.take_u32()?;
-            let weight_sum = r.take_u64()?;
-            let present_flag = match r.take_u8()? {
-                0 => false,
-                1 => true,
-                _ => return Err(SnapshotError::Malformed { context: "invalid presence flag" }),
-            };
-            if present_flag {
+            attr_counts.push(r.take_u32()?);
+            weight_sums.push(r.take_u64()?);
+            let flag = r.take_u8()?;
+            if flag > 1 {
+                return Err(SnapshotError::Malformed { context: "invalid presence flag" });
+            }
+            if flag == 1 {
                 present.push(id as u32);
             }
-            users.push(UserEntry { attr_count, weight_sum, present: present_flag });
+            present_flags.push(flag);
         }
         let n_attrs = r.take_u32()? as usize;
         if n_attrs > r.remaining() / 4 {
             return Err(SnapshotError::Malformed { context: "implausible attribute count" });
         }
-        let mut postings = Vec::with_capacity(n_attrs);
-        let mut n_postings = 0usize;
+        let mut starts = Vec::with_capacity(n_attrs + 1);
+        let mut users: Vec<u32> = Vec::new();
+        let mut weights: Vec<u32> = Vec::new();
+        starts.push(0u64);
         for _ in 0..n_attrs {
             let len = r.take_u32()? as usize;
             if len > r.remaining() / 8 {
                 return Err(SnapshotError::Malformed { context: "implausible posting length" });
             }
-            let mut plist = Vec::with_capacity(len);
+            let list_start = users.len();
             for _ in 0..len {
                 let user = r.take_u32()?;
                 let weight = r.take_u32()?;
                 if user as usize >= n_users || weight == 0 {
                     return Err(SnapshotError::Malformed { context: "invalid posting entry" });
                 }
-                if !users[user as usize].present {
+                if present_flags[user as usize] == 0 {
                     return Err(SnapshotError::Malformed {
                         context: "posting references absent user",
                     });
                 }
-                if plist.last().is_some_and(|p: &Posting| p.user >= user) {
+                if users.len() > list_start && users[users.len() - 1] >= user {
                     return Err(SnapshotError::Malformed { context: "posting list not ascending" });
                 }
-                plist.push(Posting { user, weight });
+                users.push(user);
+                weights.push(weight);
             }
-            n_postings += plist.len();
-            postings.push(plist);
+            starts.push(users.len() as u64);
         }
-        Ok(Self { postings, users, present, n_postings })
+        Ok(Self {
+            attr_counts: attr_counts.into(),
+            weight_sums: weight_sums.into(),
+            present_flags: present_flags.into(),
+            present: present.into(),
+            postings: PostingStore::Csr {
+                starts: starts.into(),
+                users: users.into(),
+                weights: weights.into(),
+            },
+        })
     }
+
+    /// Serialize into a v2 snapshot section: eight `u64` counts, then the
+    /// per-user tables and the flattened CSR posting arenas, each padded
+    /// to an 8-byte payload offset (see ARCHITECTURE.md for the byte
+    /// layout). Unlike the v1 schema this persists the `present` id list
+    /// too, so a zero-copy load derives nothing.
+    pub fn encode_v2(&self, buf: &mut SectionBuf) {
+        let n_attrs = self.n_attrs();
+        buf.put_u64(self.n_users() as u64);
+        buf.put_u64(n_attrs as u64);
+        buf.put_u64(self.n_postings() as u64);
+        buf.put_u64(self.present.len() as u64);
+        buf.put_u32_arena(self.attr_counts.as_slice());
+        buf.put_u64_arena(self.weight_sums.as_slice());
+        buf.align8();
+        for &f in self.present_flags.as_slice() {
+            buf.put_u8(f);
+        }
+        buf.put_u32_arena(self.present.as_slice());
+        match &self.postings {
+            PostingStore::Csr { starts, users, weights } => {
+                buf.put_u64_arena(starts.as_slice());
+                buf.put_u32_arena(users.as_slice());
+                buf.put_u32_arena(weights.as_slice());
+            }
+            PostingStore::Dynamic { lists, n_postings } => {
+                buf.align8();
+                let mut at = 0u64;
+                buf.put_u64(at);
+                for l in lists {
+                    at += l.users.len() as u64;
+                    buf.put_u64(at);
+                }
+                debug_assert_eq!(at as usize, *n_postings);
+                buf.align8();
+                for l in lists {
+                    for &u in &l.users {
+                        buf.put_u32(u);
+                    }
+                }
+                buf.align8();
+                for l in lists {
+                    for &w in &l.weights {
+                        buf.put_u32(w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deserialize an index written by [`Self::encode_v2`]. With a
+    /// `backing`, every arena becomes a zero-copy [`ArenaView`] borrowing
+    /// the snapshot's bytes (the v2 alignment guarantee makes the casts
+    /// succeed); without one — or on targets that cannot cast
+    /// little-endian bytes in place — the arenas are copied out instead.
+    /// Either way every structural invariant of [`Self::decode`] is
+    /// re-validated, so downstream scorers can index unchecked.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`] / [`SnapshotError::Malformed`] on
+    /// malformed payloads, [`SnapshotError::Misaligned`] when an arena
+    /// that the format guarantees aligned is not (corrupt framing or an
+    /// unaligned backing); never panics.
+    pub fn decode_v2(
+        r: &mut SectionReader<'_>,
+        backing: Option<&SharedBytes>,
+    ) -> Result<Self, SnapshotError> {
+        let limit = r.remaining();
+        let n_users = r.take_len(limit)?;
+        let n_attrs = r.take_len(limit)?;
+        let n_postings = r.take_len(limit)?;
+        let n_present = r.take_len(limit)?;
+        if n_present > n_users || n_postings > limit / 8 {
+            return Err(SnapshotError::Malformed { context: "implausible index counts" });
+        }
+        let attr_counts = take_view::<u32>(r, backing, n_users, "index attr_counts arena")?;
+        let weight_sums = take_view::<u64>(r, backing, n_users, "index weight_sums arena")?;
+        let flags_bytes = r.take_arena(n_users)?;
+        let present_flags = ArenaView::<u8>::from_region(backing, flags_bytes)
+            .map_err(|e| cast_error(e, "index present_flags arena"))?;
+        let present = take_view::<u32>(r, backing, n_present, "index present arena")?;
+        let starts = take_view::<u64>(
+            r,
+            backing,
+            n_attrs
+                .checked_add(1)
+                .ok_or(SnapshotError::Malformed { context: "implausible index counts" })?,
+            "index posting starts arena",
+        )?;
+        let users = take_view::<u32>(r, backing, n_postings, "index posting users arena")?;
+        let weights = take_view::<u32>(r, backing, n_postings, "index posting weights arena")?;
+
+        // Validation scans — the same invariants the v1 decoder enforces,
+        // over the (possibly borrowed) arenas, without copying anything.
+        {
+            let flags = present_flags.as_slice();
+            if flags.iter().any(|&f| f > 1) {
+                return Err(SnapshotError::Malformed { context: "invalid presence flag" });
+            }
+            let present = present.as_slice();
+            let mut expect = present.iter();
+            for (id, &f) in flags.iter().enumerate() {
+                if f == 1 && expect.next() != Some(&(id as u32)) {
+                    return Err(SnapshotError::Malformed {
+                        context: "present list disagrees with presence flags",
+                    });
+                }
+            }
+            if expect.next().is_some() {
+                return Err(SnapshotError::Malformed {
+                    context: "present list disagrees with presence flags",
+                });
+            }
+            let starts = starts.as_slice();
+            if starts.first() != Some(&0) || starts.last() != Some(&(n_postings as u64)) {
+                return Err(SnapshotError::Malformed {
+                    context: "posting starts do not cover arena",
+                });
+            }
+            if starts.windows(2).any(|w| w[0] > w[1]) {
+                return Err(SnapshotError::Malformed { context: "posting starts not monotone" });
+            }
+            let users_arena = users.as_slice();
+            let weights_arena = weights.as_slice();
+            for w in starts.windows(2) {
+                let list = &users_arena[w[0] as usize..w[1] as usize];
+                for &user in list {
+                    if user as usize >= n_users {
+                        return Err(SnapshotError::Malformed { context: "invalid posting entry" });
+                    }
+                    if flags[user as usize] == 0 {
+                        return Err(SnapshotError::Malformed {
+                            context: "posting references absent user",
+                        });
+                    }
+                }
+                if list.windows(2).any(|p| p[0] >= p[1]) {
+                    return Err(SnapshotError::Malformed { context: "posting list not ascending" });
+                }
+            }
+            if weights_arena.contains(&0) {
+                return Err(SnapshotError::Malformed { context: "invalid posting entry" });
+            }
+        }
+
+        Ok(Self {
+            attr_counts,
+            weight_sums,
+            present_flags,
+            present,
+            postings: PostingStore::Csr { starts, users, weights },
+        })
+    }
+}
+
+/// Map an [`ArenaCastError`] to the matching [`SnapshotError`].
+fn cast_error(e: ArenaCastError, context: &'static str) -> SnapshotError {
+    match e {
+        ArenaCastError::Unaligned => SnapshotError::Misaligned { context },
+        // `from_region` only surfaces Unaligned; anything else is a
+        // framing bug, reported as generic malformation.
+        ArenaCastError::Unsupported | ArenaCastError::OutOfBounds => {
+            SnapshotError::Malformed { context }
+        }
+    }
+}
+
+/// Take an aligned arena of `n` elements of `T` as a (zero-copy where
+/// possible) view — the shared primitive of every v2 section decoder.
+pub(crate) fn take_view<T: crate::arena::DecodeLe>(
+    r: &mut SectionReader<'_>,
+    backing: Option<&SharedBytes>,
+    n: usize,
+    context: &'static str,
+) -> Result<ArenaView<T>, SnapshotError> {
+    let bytes =
+        n.checked_mul(std::mem::size_of::<T>()).ok_or(SnapshotError::Malformed { context })?;
+    let region = r.take_arena(bytes)?;
+    ArenaView::from_region(backing, region).map_err(|e| cast_error(e, context))
 }
 
 /// Per-pair work counters of one scoring pass.
@@ -330,6 +736,13 @@ impl IndexScratch {
 pub struct IndexedScorer<'e, 'i> {
     sim: &'e SimilarityEngine<'e>,
     index: &'i AttributeIndex,
+    /// The per-user tables, resolved out of their (possibly
+    /// snapshot-borrowed) [`ArenaView`]s once at construction — the
+    /// inner scoring loop touches them per pair and must not pay an
+    /// arena dispatch each time.
+    attr_counts: &'i [u32],
+    weight_sums: &'i [u64],
+    present_flags: &'i [u8],
     from: usize,
     prune: bool,
     /// `c1·s^d_max + c2·s^s_max`, evaluated with the same association as
@@ -363,7 +776,16 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
         let w = sim.weights();
         let td = if w.c1 >= 0.0 { w.c1 * 3.0 } else { 0.0 };
         let ts = if w.c2 >= 0.0 { w.c2 * 2.0 } else { 0.0 };
-        Self { sim, index, from, prune, struct_bound: td + ts }
+        Self {
+            sim,
+            index,
+            attr_counts: index.attr_counts.as_slice(),
+            weight_sums: index.weight_sums.as_slice(),
+            present_flags: index.present_flags.as_slice(),
+            from,
+            prune,
+            struct_bound: td + ts,
+        }
     }
 
     /// Fresh accumulators sized for this scorer's auxiliary range.
@@ -396,16 +818,16 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
 
         // Probe the posting list of each of u's attributes, accumulating
         // intersection counts and min-weight sums per touched pair.
+        let from32 = u32::try_from(self.from).expect("watermark overflows u32");
         for &(attr, x) in anon_attrs.as_weights() {
-            let plist = self.index.posting(attr as usize);
-            let start = plist.partition_point(|p| (p.user as usize) < self.from);
-            for p in &plist[start..] {
-                let lv = p.user as usize - self.from;
+            let plist = self.index.posting(attr as usize).suffix(from32);
+            for (&user, &weight) in plist.users.iter().zip(plist.weights) {
+                let lv = user as usize - self.from;
                 if scratch.inter[lv] == 0 {
                     scratch.touched.push(lv as u32);
                 }
                 scratch.inter[lv] += 1;
-                scratch.min_sum[lv] += u64::from(x.min(p.weight));
+                scratch.min_sum[lv] += u64::from(x.min(weight));
             }
         }
 
@@ -417,12 +839,14 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
         for k in 0..scratch.touched.len() {
             let lv = scratch.touched[k] as usize;
             let v = self.from + lv;
-            let entry = self.index.users[v];
-            debug_assert!(entry.present, "absent users have no posts, hence no postings");
+            debug_assert!(
+                self.present_flags[v] != 0,
+                "absent users have no posts, hence no postings"
+            );
             let inter = u64::from(scratch.inter[lv]);
-            let union = u_len + u64::from(entry.attr_count) - inter;
+            let union = u_len + u64::from(self.attr_counts[v]) - inter;
             let min_sum = scratch.min_sum[lv];
-            let wunion = u_wsum + entry.weight_sum - min_sum;
+            let wunion = u_wsum + self.weight_sums[v] - min_sum;
             // Same integers, same divisions, same addition order as
             // `UserAttributes::jaccard + weighted_jaccard`.
             let s_attr = inter as f64 / union as f64 + min_sum as f64 / wunion as f64;
@@ -536,9 +960,122 @@ mod tests {
         // Posting lists are ascending by user id.
         for attr in 0..2048 {
             let plist = index.posting(attr);
-            assert!(plist.windows(2).all(|w| w[0].user < w[1].user));
+            assert!(plist.users.windows(2).all(|w| w[0] < w[1]));
             assert!(plist.iter().all(|p| p.user != 5), "absent user in posting {attr}");
         }
+    }
+
+    #[test]
+    fn v2_codec_roundtrips_across_backings_and_storages() {
+        use dehealth_corpus::snapshot::{SectionTag, SnapshotReader, SnapshotWriter};
+        use dehealth_mapped::ByteSource;
+        const TAG: SectionTag = SectionTag(*b"AIDX");
+
+        let (_, aux) = sides();
+        let dynamic = AttributeIndex::from_uda(&aux); // Dynamic storage
+        let mut w = SnapshotWriter::new();
+        dynamic.encode_v2(w.section(TAG));
+        let bytes = w.finish();
+
+        // Owned decode (no backing).
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        let mut s = r.section(TAG).unwrap();
+        let owned = AttributeIndex::decode_v2(&mut s, None).unwrap();
+        s.expect_end().unwrap();
+        assert!(!owned.is_borrowed());
+
+        // Zero-copy decode over an aligned backing.
+        let backing = ByteSource::from_vec(bytes.clone());
+        let r = SnapshotReader::parse(backing.bytes()).unwrap();
+        let mut s = r.section(TAG).unwrap();
+        let mapped = AttributeIndex::decode_v2(&mut s, Some(&backing)).unwrap();
+        s.expect_end().unwrap();
+        assert!(mapped.is_borrowed());
+        let (resident, borrowed) = mapped.arena_bytes();
+        assert_eq!(resident, 0, "a mapped index keeps nothing resident");
+        assert!(borrowed > 0);
+
+        // All three agree structurally and re-encode identically (CSR
+        // storage encodes the same bytes the Dynamic storage wrote).
+        for decoded in [&owned, &mapped] {
+            assert_eq!(decoded.n_users(), dynamic.n_users());
+            assert_eq!(decoded.n_postings(), dynamic.n_postings());
+            assert_eq!(decoded.present_from(0), dynamic.present_from(0));
+            for attr in 0..dynamic.n_attrs() {
+                let (a, b) = (decoded.posting(attr), dynamic.posting(attr));
+                assert_eq!(a.users, b.users);
+                assert_eq!(a.weights, b.weights);
+            }
+            let mut w = SnapshotWriter::new();
+            decoded.encode_v2(w.section(TAG));
+            assert_eq!(w.finish(), bytes);
+        }
+    }
+
+    #[test]
+    fn push_user_promotes_mapped_storage_copy_on_write() {
+        use dehealth_corpus::snapshot::{SectionTag, SnapshotReader, SnapshotWriter};
+        use dehealth_mapped::ByteSource;
+        const TAG: SectionTag = SectionTag(*b"AIDX");
+
+        let (_, aux) = sides();
+        let mut reference = AttributeIndex::from_uda(&aux);
+        let mut w = SnapshotWriter::new();
+        reference.encode_v2(w.section(TAG));
+        let backing = ByteSource::from_vec(w.finish());
+        let r = SnapshotReader::parse(backing.bytes()).unwrap();
+        let mut mapped =
+            AttributeIndex::decode_v2(&mut r.section(TAG).unwrap(), Some(&backing)).unwrap();
+        assert!(mapped.is_borrowed());
+
+        // Appending the same user to both must agree — and detach the
+        // mapped index from its backing.
+        let attrs = dehealth_stylometry::UserAttributes::from_weights(vec![(2, 5), (9, 1)]);
+        reference.push_user(&attrs, true);
+        mapped.push_user(&attrs, true);
+        assert!(!mapped.is_borrowed());
+        let mut wa = SnapshotWriter::new();
+        reference.encode_v2(wa.section(TAG));
+        let mut wb = SnapshotWriter::new();
+        mapped.encode_v2(wb.section(TAG));
+        assert_eq!(wa.finish(), wb.finish());
+    }
+
+    #[test]
+    fn v2_decode_rejects_corrupt_structures() {
+        use dehealth_corpus::snapshot::{SectionTag, SnapshotReader, SnapshotWriter};
+        const TAG: SectionTag = SectionTag(*b"AIDX");
+        let (_, aux) = sides();
+        let index = AttributeIndex::from_uda(&aux);
+
+        // Decode a tampered copy and expect a typed error (patch the
+        // present-count to disagree with the flags).
+        let mut w = SnapshotWriter::new();
+        index.encode_v2(w.section(TAG));
+        let bytes = w.finish();
+        let parse = |bytes: &[u8]| -> Result<AttributeIndex, SnapshotError> {
+            let r = SnapshotReader::parse_with(
+                bytes,
+                &dehealth_corpus::snapshot::ParseOptions::trusting(),
+            )?;
+            let mut s = r.section(TAG)?;
+            AttributeIndex::decode_v2(&mut s, None)
+        };
+        assert!(parse(&bytes).is_ok());
+        // n_present lives at payload offset 24 (fourth u64) = file 32+24.
+        let mut bad = bytes.clone();
+        bad[32 + 24..32 + 32].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            parse(&bad),
+            Err(SnapshotError::Malformed { .. } | SnapshotError::Truncated { .. })
+        ));
+        // An absurd posting count must be caught before any allocation.
+        let mut bad = bytes.clone();
+        bad[32 + 16..32 + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            parse(&bad),
+            Err(SnapshotError::Malformed { .. } | SnapshotError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! (refined DA without the Top-K phase); [`attack::Evaluation`] computes
 //! the paper's metrics (Top-K success CDF, accuracy `Y_c/Y`, FP rate).
 
+pub mod arena;
 pub mod attack;
 pub mod filter;
 pub mod index;
@@ -31,9 +32,10 @@ pub mod snapshot;
 pub mod topk;
 pub mod uda;
 
+pub use arena::{ArenaCastError, ArenaView};
 pub use attack::{stylometry_baseline, AttackConfig, AttackOutcome, DeHealth, Evaluation};
 pub use filter::{FilterConfig, Filtered, ScoreBounds};
-pub use index::{AttributeIndex, IndexScratch, IndexedScorer, PairTally};
+pub use index::{AttributeIndex, IndexScratch, IndexedScorer, PairTally, PostingsRef};
 pub use refined::{
     refine_user, refine_user_shared, ClassifierKind, RefinedConfig, RefinedContext, RefinedScratch,
     Side, Verification,

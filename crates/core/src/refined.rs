@@ -28,12 +28,15 @@ use rand::{Rng, SeedableRng};
 
 use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SnapshotError};
 use dehealth_corpus::Forum;
+use dehealth_mapped::SharedBytes;
 use dehealth_ml::{
     knn_vote_scored, Classifier, Dataset, DatasetView, Knn, KnnMetric, MinMaxScaler,
     NearestCentroid, Rlsc, SmoSvm, SvmParams,
 };
 use dehealth_stylometry::{FeatureVector, M};
 
+use crate::arena::ArenaView;
+use crate::index::take_view;
 use crate::uda::UdaGraph;
 
 /// Which benchmark classifier refined DA trains.
@@ -156,21 +159,44 @@ pub struct Side<'a> {
 /// workers; [`refine_user_shared`] assembles per-user training sets as row
 /// indices into it instead of re-densifying overlapping candidates' posts
 /// for every anonymized user.
+///
+/// Storage-generic ([`ArenaView`]): a freshly built context owns its
+/// arenas, a context decoded from a v2 snapshot ([`Self::decode_v2`])
+/// borrows them straight out of the (typically memory-mapped) file, and
+/// [`Self::append_rows`] promotes borrowed arenas to owned copy-on-write.
 #[derive(Debug, Clone)]
 pub struct RefinedContext {
     dim: usize,
     /// `true` when the sparse mirror is materialized (KNN), `false` when
     /// the dense arena is (all other classifiers).
     sparse: bool,
-    data: Vec<f64>,
+    data: ArenaView<f64>,
     /// Sparse rows: concatenated `(index, value)` entry lists (ascending
     /// index per row), row `pi` at `sp_start[pi]..sp_start[pi + 1]`. All
     /// values are non-negative (asserted at build) — the invariant that
     /// makes min-max scaling map a raw zero to exactly `0.0` and keeps
     /// the sparse cosine kernel bit-identical to the dense one.
-    sp_idx: Vec<u32>,
-    sp_val: Vec<f64>,
-    sp_start: Vec<usize>,
+    sp_idx: ArenaView<u32>,
+    sp_val: ArenaView<f64>,
+    sp_start: ArenaView<u64>,
+}
+
+/// The resolved sparse arenas of one [`RefinedContext`] — hoisted out of
+/// the KNN hot loop so per-row access is plain slice indexing regardless
+/// of the backing.
+#[derive(Debug, Clone, Copy)]
+struct SparseSlices<'a> {
+    idx: &'a [u32],
+    val: &'a [f64],
+    start: &'a [u64],
+}
+
+impl<'a> SparseSlices<'a> {
+    /// The sparse entries of post `pi`: `(indices, values)`, ascending.
+    fn post(&self, pi: usize) -> (&'a [u32], &'a [f64]) {
+        let range = self.start[pi] as usize..self.start[pi + 1] as usize;
+        (&self.idx[range.clone()], &self.val[range])
+    }
 }
 
 impl RefinedContext {
@@ -187,22 +213,45 @@ impl RefinedContext {
     /// scaling fast path relies on that (`min-max(0) = 0` exactly).
     #[must_use]
     pub fn build(side: &Side<'_>, classifier: ClassifierKind) -> Self {
-        let dim = M + N_STRUCT;
         let sparse = matches!(classifier, ClassifierKind::Knn { .. });
-        let n_posts = side.forum.posts.len();
-        let mut data = Vec::new();
-        let mut sp_idx = Vec::new();
-        let mut sp_val = Vec::new();
-        let mut sp_start = Vec::new();
+        let mut ctx = Self {
+            dim: M + N_STRUCT,
+            sparse,
+            data: ArenaView::default(),
+            sp_idx: ArenaView::default(),
+            sp_val: ArenaView::default(),
+            sp_start: ArenaView::default(),
+        };
         if sparse {
-            sp_start.reserve_exact(n_posts + 1);
-            sp_start.push(0);
-        } else {
-            data.reserve_exact(n_posts * dim);
+            ctx.sp_start.to_mut().push(0);
         }
-        for (post, features) in side.forum.posts.iter().zip(side.post_features) {
-            let row = sample(features, side.uda, post.author);
-            if sparse {
+        ctx.append_rows(side, 0);
+        ctx
+    }
+
+    /// Materialize the rows of `side.forum.posts[from_post..]`, appending
+    /// them to this context — the incremental-ingest path of a corpus
+    /// that already holds rows for the first `from_post` posts of the
+    /// same (merged) side. Snapshot-borrowed arenas are promoted to owned
+    /// first (copy-on-write). Under the disjoint-cohort ingest convention
+    /// the earlier rows' inputs are unchanged, so appending is
+    /// bit-identical to rebuilding from scratch.
+    ///
+    /// # Panics
+    /// Panics when `from_post` does not equal [`Self::n_posts`], and (on
+    /// the sparse build) if any feature value is negative — see
+    /// [`Self::build`].
+    pub fn append_rows(&mut self, side: &Side<'_>, from_post: usize) {
+        assert_eq!(from_post, self.n_posts(), "row append must start at the materialized count");
+        let dim = self.dim;
+        if self.sparse {
+            // Promote once (no-ops on owned storage), then push plainly.
+            let sp_idx = self.sp_idx.to_mut();
+            let sp_val = self.sp_val.to_mut();
+            let sp_start = self.sp_start.to_mut();
+            for (post, features) in side.forum.posts.iter().zip(side.post_features).skip(from_post)
+            {
+                let row = sample(features, side.uda, post.author);
                 for (j, &v) in row.iter().enumerate() {
                     assert!(v >= 0.0, "negative feature value {v} at index {j}");
                     // Structural features are kept explicitly even when
@@ -214,12 +263,16 @@ impl RefinedContext {
                         sp_val.push(v);
                     }
                 }
-                sp_start.push(sp_idx.len());
-            } else {
-                data.extend_from_slice(&row);
+                sp_start.push(sp_idx.len() as u64);
+            }
+        } else {
+            let data = self.data.to_mut();
+            data.reserve_exact((side.forum.posts.len() - from_post) * dim);
+            for (post, features) in side.forum.posts.iter().zip(side.post_features).skip(from_post)
+            {
+                data.extend_from_slice(&sample(features, side.uda, post.author));
             }
         }
-        Self { dim, sparse, data, sp_idx, sp_val, sp_start }
     }
 
     /// Sample dimension (`M + N_STRUCT`).
@@ -231,19 +284,50 @@ impl RefinedContext {
     /// The dense sample of post `pi`.
     #[must_use]
     pub fn row(&self, pi: usize) -> &[f64] {
-        &self.data[pi * self.dim..(pi + 1) * self.dim]
+        &self.data.as_slice()[pi * self.dim..(pi + 1) * self.dim]
     }
 
     /// The whole arena (for [`DatasetView::gathered`]).
     #[must_use]
     pub fn arena(&self) -> &[f64] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// The sparse entries of post `pi`: `(indices, values)`, ascending.
-    fn sparse_post(&self, pi: usize) -> (&[u32], &[f64]) {
-        let range = self.sp_start[pi]..self.sp_start[pi + 1];
-        (&self.sp_idx[range.clone()], &self.sp_val[range])
+    /// The resolved sparse arenas, hoisted once per kernel invocation.
+    fn sparse_slices(&self) -> SparseSlices<'_> {
+        SparseSlices {
+            idx: self.sp_idx.as_slice(),
+            val: self.sp_val.as_slice(),
+            start: self.sp_start.as_slice(),
+        }
+    }
+
+    /// `true` when any arena of this context borrows a loaded snapshot's
+    /// bytes instead of owning them.
+    #[must_use]
+    pub fn is_borrowed(&self) -> bool {
+        self.data.is_borrowed()
+            || self.sp_idx.is_borrowed()
+            || self.sp_val.is_borrowed()
+            || self.sp_start.is_borrowed()
+    }
+
+    /// `(resident, borrowed)` arena bytes: heap bytes this context keeps
+    /// resident vs. bytes it reads straight out of a loaded snapshot.
+    #[must_use]
+    pub fn arena_bytes(&self) -> (usize, usize) {
+        let mut resident = 0;
+        let mut total = 0;
+        for (r, t) in [
+            (self.data.resident_bytes(), self.data.byte_len()),
+            (self.sp_idx.resident_bytes(), self.sp_idx.byte_len()),
+            (self.sp_val.resident_bytes(), self.sp_val.byte_len()),
+            (self.sp_start.resident_bytes(), self.sp_start.byte_len()),
+        ] {
+            resident += r;
+            total += t;
+        }
+        (resident, total - resident)
     }
 
     /// `true` when the sparse entry lists are materialized (the KNN
@@ -270,10 +354,12 @@ impl RefinedContext {
         }
     }
 
-    /// Serialize into a snapshot section: dimension, representation flag,
-    /// then the arena the flag selects (see ARCHITECTURE.md for the byte
-    /// layout). Floats are stored as raw IEEE-754 bits, so a reloaded
-    /// context is bit-identical to the one built from scratch.
+    /// Serialize into a v1 snapshot section: dimension, representation
+    /// flag, then the arena the flag selects (interleaved, unaligned —
+    /// see ARCHITECTURE.md). Floats are stored as raw IEEE-754 bits, so a
+    /// reloaded context is bit-identical to the one built from scratch.
+    /// Kept for compatibility fixtures; new snapshots use
+    /// [`Self::encode_v2`].
     ///
     /// # Panics
     /// Panics if the context holds more than `u32::MAX` posts or sparse
@@ -284,24 +370,26 @@ impl RefinedContext {
         if self.sparse {
             buf.put_u32(u32::try_from(self.n_posts()).expect("post count overflows u32"));
             buf.put_u32(u32::try_from(self.sp_idx.len()).expect("entry count overflows u32"));
-            for (&i, &v) in self.sp_idx.iter().zip(&self.sp_val) {
+            for (&i, &v) in self.sp_idx.as_slice().iter().zip(self.sp_val.as_slice()) {
                 buf.put_u32(i);
                 buf.put_f64(v);
             }
-            for &s in &self.sp_start {
-                buf.put_u64(s as u64);
+            for &s in self.sp_start.as_slice() {
+                buf.put_u64(s);
             }
         } else {
             buf.put_u32(u32::try_from(self.n_posts()).expect("post count overflows u32"));
-            for &v in &self.data {
+            for &v in self.data.as_slice() {
                 buf.put_f64(v);
             }
         }
     }
 
-    /// Deserialize a context written by [`Self::encode`], revalidating
-    /// the arena invariants (ascending in-range indices per row, a
-    /// monotone row offset table, non-negative values).
+    /// Deserialize a context written by [`Self::encode`] (the v1 payload
+    /// schema), revalidating the arena invariants (ascending in-range
+    /// indices per row, a monotone row offset table, non-negative
+    /// values). Always copies — the v1 layout is interleaved and
+    /// unaligned.
     ///
     /// # Errors
     /// [`SnapshotError::Truncated`] or [`SnapshotError::Malformed`] on
@@ -325,39 +413,26 @@ impl RefinedContext {
             let mut sp_idx = Vec::with_capacity(n_entries);
             let mut sp_val = Vec::with_capacity(n_entries);
             for _ in 0..n_entries {
-                let i = r.take_u32()?;
-                let v = r.take_f64()?;
-                if i as usize >= dim {
-                    return Err(SnapshotError::Malformed { context: "entry index out of range" });
-                }
-                if !v.is_finite() || v < 0.0 {
-                    return Err(SnapshotError::Malformed { context: "negative feature value" });
-                }
-                sp_idx.push(i);
-                sp_val.push(v);
+                sp_idx.push(r.take_u32()?);
+                sp_val.push(r.take_f64()?);
             }
             if n_posts > r.remaining() / 8 {
                 return Err(SnapshotError::Malformed { context: "implausible post count" });
             }
             let mut sp_start = Vec::with_capacity(n_posts + 1);
             for _ in 0..=n_posts {
-                let s = r.take_u64()? as usize;
-                if s > n_entries || sp_start.last().is_some_and(|&p| s < p) {
-                    return Err(SnapshotError::Malformed { context: "row offsets not monotone" });
-                }
-                sp_start.push(s);
+                sp_start.push(r.take_u64()?);
             }
-            if sp_start.first() != Some(&0) || sp_start.last() != Some(&n_entries) {
-                return Err(SnapshotError::Malformed { context: "row offsets do not cover arena" });
-            }
-            // Per-row indices must be strictly ascending (the kernels
-            // merge rows positionally).
-            for w in sp_start.windows(2) {
-                if !sp_idx[w[0]..w[1]].windows(2).all(|p| p[0] < p[1]) {
-                    return Err(SnapshotError::Malformed { context: "row indices not ascending" });
-                }
-            }
-            Ok(Self { dim, sparse, data: Vec::new(), sp_idx, sp_val, sp_start })
+            let ctx = Self {
+                dim,
+                sparse,
+                data: ArenaView::default(),
+                sp_idx: sp_idx.into(),
+                sp_val: sp_val.into(),
+                sp_start: sp_start.into(),
+            };
+            ctx.validate_sparse()?;
+            Ok(ctx)
         } else {
             let n_values = n_posts
                 .checked_mul(dim)
@@ -372,12 +447,123 @@ impl RefinedContext {
             Ok(Self {
                 dim,
                 sparse,
-                data,
-                sp_idx: Vec::new(),
-                sp_val: Vec::new(),
-                sp_start: Vec::new(),
+                data: data.into(),
+                sp_idx: ArenaView::default(),
+                sp_val: ArenaView::default(),
+                sp_start: ArenaView::default(),
             })
         }
+    }
+
+    /// Serialize into a v2 snapshot section: four `u64` header words,
+    /// then the arenas the representation flag selects, each padded to an
+    /// 8-byte payload offset (see ARCHITECTURE.md). The sparse mirror is
+    /// stored struct-of-arrays (indices, values, row starts) instead of
+    /// the v1 interleaving, which is what lets a zero-copy load cast the
+    /// `f64` and `u64` arenas in place.
+    pub fn encode_v2(&self, buf: &mut SectionBuf) {
+        buf.put_u64(self.dim as u64);
+        buf.put_u64(u64::from(self.sparse));
+        buf.put_u64(self.n_posts() as u64);
+        if self.sparse {
+            buf.put_u64(self.sp_idx.len() as u64);
+            buf.put_u32_arena(self.sp_idx.as_slice());
+            buf.put_f64_arena(self.sp_val.as_slice());
+            buf.put_u64_arena(self.sp_start.as_slice());
+        } else {
+            buf.put_u64(self.data.len() as u64);
+            buf.put_f64_arena(self.data.as_slice());
+        }
+    }
+
+    /// Deserialize a context written by [`Self::encode_v2`]. With a
+    /// `backing`, the arenas become zero-copy [`ArenaView`]s borrowing
+    /// the snapshot's bytes; without one — or on targets that cannot
+    /// cast little-endian bytes in place — they are copied out instead.
+    /// Either way every invariant of [`Self::decode`] is re-validated.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`] / [`SnapshotError::Malformed`] on
+    /// malformed payloads, [`SnapshotError::Misaligned`] when an arena
+    /// that the format guarantees aligned is not; never panics.
+    pub fn decode_v2(
+        r: &mut SectionReader<'_>,
+        backing: Option<&SharedBytes>,
+    ) -> Result<Self, SnapshotError> {
+        let limit = r.remaining();
+        let dim = r.take_len(limit)?;
+        if dim == 0 {
+            return Err(SnapshotError::Malformed { context: "zero context dimension" });
+        }
+        let sparse = match r.take_u64()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Malformed { context: "invalid representation flag" }),
+        };
+        let n_posts = r.take_len(limit)?;
+        if sparse {
+            let n_entries = r.take_len(limit)?;
+            let sp_idx = take_view::<u32>(r, backing, n_entries, "context entry index arena")?;
+            let sp_val = take_view::<f64>(r, backing, n_entries, "context entry value arena")?;
+            let sp_start = take_view::<u64>(
+                r,
+                backing,
+                n_posts
+                    .checked_add(1)
+                    .ok_or(SnapshotError::Malformed { context: "implausible post count" })?,
+                "context row starts arena",
+            )?;
+            let ctx = Self { dim, sparse, data: ArenaView::default(), sp_idx, sp_val, sp_start };
+            ctx.validate_sparse()?;
+            Ok(ctx)
+        } else {
+            let n_values = r.take_len(limit)?;
+            if n_values != n_posts.saturating_mul(dim) {
+                return Err(SnapshotError::Malformed { context: "implausible post count" });
+            }
+            let data = take_view::<f64>(r, backing, n_values, "context dense arena")?;
+            Ok(Self {
+                dim,
+                sparse,
+                data,
+                sp_idx: ArenaView::default(),
+                sp_val: ArenaView::default(),
+                sp_start: ArenaView::default(),
+            })
+        }
+    }
+
+    /// The sparse-arena invariants both decoders re-validate: a monotone
+    /// row offset table covering the arenas, strictly ascending in-range
+    /// indices per row, and finite non-negative values (the precondition
+    /// of the sparse scaling fast path).
+    fn validate_sparse(&self) -> Result<(), SnapshotError> {
+        let s = self.sparse_slices();
+        let n_entries = s.idx.len();
+        if s.val.len() != n_entries {
+            return Err(SnapshotError::Malformed { context: "sparse arenas disagree" });
+        }
+        if s.start.first() != Some(&0) || s.start.last() != Some(&(n_entries as u64)) {
+            return Err(SnapshotError::Malformed { context: "row offsets do not cover arena" });
+        }
+        if s.start.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SnapshotError::Malformed { context: "row offsets not monotone" });
+        }
+        if s.idx.iter().any(|&i| i as usize >= self.dim) {
+            return Err(SnapshotError::Malformed { context: "entry index out of range" });
+        }
+        if s.val.iter().any(|&v| !v.is_finite() || v < 0.0) {
+            return Err(SnapshotError::Malformed { context: "negative feature value" });
+        }
+        // Per-row indices must be strictly ascending (the kernels merge
+        // rows positionally).
+        for w in s.start.windows(2) {
+            let row = &s.idx[w[0] as usize..w[1] as usize];
+            if row.windows(2).any(|p| p[0] >= p[1]) {
+                return Err(SnapshotError::Malformed { context: "row indices not ascending" });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -471,6 +657,10 @@ fn sparse_knn_votes(
     let dim = aux_ctx.dim();
     let n_train = scratch.rows.len();
     let scratch = &mut *scratch;
+    // Resolve the (possibly snapshot-borrowed) arenas once; per-row access
+    // below is plain slice indexing.
+    let aux_rows = aux_ctx.sparse_slices();
+    let anon_rows = anon_ctx.sparse_slices();
     if scratch.feat_epoch.len() < dim {
         scratch.feat_epoch.resize(dim, 0);
         scratch.feat_count.resize(dim, 0);
@@ -488,7 +678,7 @@ fn sparse_knn_votes(
     // Pass 1: per-feature count/min/max over the training rows' entries.
     scratch.touched.clear();
     for &pi in &scratch.rows {
-        let (idx, val) = aux_ctx.sparse_post(pi as usize);
+        let (idx, val) = aux_rows.post(pi as usize);
         for (&j, &v) in idx.iter().zip(val) {
             let j = j as usize;
             if scratch.feat_epoch[j] != epoch {
@@ -524,7 +714,7 @@ fn sparse_knn_votes(
     scratch.s_norm.clear();
     scratch.s_start.push(0);
     for &pi in &scratch.rows {
-        let (idx, val) = aux_ctx.sparse_post(pi as usize);
+        let (idx, val) = aux_rows.post(pi as usize);
         let mut norm2 = 0.0;
         for (&j, &v) in idx.iter().zip(val) {
             let s = scale_sparse(&scratch.feat_min, &scratch.feat_range, j as usize, v);
@@ -542,7 +732,7 @@ fn sparse_knn_votes(
     // unscattered afterwards to keep the all-zeros invariant.
     scratch.q_dense.resize(dim, 0.0);
     for &pi in anon_posts {
-        let (idx, val) = anon_ctx.sparse_post(pi);
+        let (idx, val) = anon_rows.post(pi);
         scratch.q_idx.clear();
         let mut norm2 = 0.0;
         for (&j, &v) in idx.iter().zip(val) {

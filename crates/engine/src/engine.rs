@@ -369,6 +369,14 @@ impl EngineSession<'_> {
 /// borrowed view a long-lived service hands the engine for every incoming
 /// anonymized batch — built once (or reloaded from a snapshot) instead of
 /// re-extracted per attack.
+///
+/// The index and context are storage-generic: their arenas are
+/// [`ArenaView`](dehealth_core::arena::ArenaView)s, so the *same* types
+/// cover a freshly built corpus (owned `Vec` storage) and a zero-copy
+/// snapshot load whose arenas borrow a memory-mapped file. The engine's
+/// scoring and refined stages read them through slices either way, and
+/// `tests/service_parity.rs` pins that a wire attack on a mapped corpus
+/// is bit-identical to the owned-load and serial references.
 #[derive(Debug, Clone, Copy)]
 pub struct PreparedAuxiliary<'a> {
     /// The auxiliary forum.
@@ -379,10 +387,11 @@ pub struct PreparedAuxiliary<'a> {
     pub uda: &'a UdaGraph,
     /// Pre-built attribute index covering exactly `forum`'s users (built
     /// on the fly when `None` and [`ScoringMode::Indexed`] is configured).
+    /// May be owned or snapshot-borrowed.
     pub index: Option<&'a AttributeIndex>,
     /// Pre-built refined-DA context of the auxiliary side (rebuilt from
     /// `features` when `None`, or when its representation does not match
-    /// the configured classifier).
+    /// the configured classifier). May be owned or snapshot-borrowed.
     pub context: Option<&'a RefinedContext>,
 }
 

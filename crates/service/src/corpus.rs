@@ -12,12 +12,36 @@
 //! - the refined-DA [`RefinedContext`] feature arena.
 //!
 //! [`PreparedCorpus::save`] writes all of it into one snapshot file
-//! (container format: [`dehealth_corpus::snapshot`]; byte-level layout:
-//! ARCHITECTURE.md), and [`PreparedCorpus::load`] restores it without
-//! touching any post text — feature extraction is skipped entirely, which
-//! is what makes a daemon restart orders of magnitude cheaper than a cold
-//! corpus build. Round-trips are bit-exact: a loaded corpus re-saves to
-//! the identical byte stream (`tests/snapshot_roundtrip.rs`).
+//! (container format: [`dehealth_corpus::snapshot`], version 2 with
+//! 8-byte-aligned sections; byte-level layout: ARCHITECTURE.md), and
+//! [`PreparedCorpus::load`] restores it without touching any post text —
+//! feature extraction is skipped entirely, which is what makes a daemon
+//! restart orders of magnitude cheaper than a cold corpus build.
+//! Round-trips are bit-exact: a loaded corpus re-saves to the identical
+//! byte stream (`tests/snapshot_roundtrip.rs`).
+//!
+//! ## Load modes
+//!
+//! [`PreparedCorpus::load_with`] takes a [`LoadMode`]:
+//!
+//! - [`LoadMode::Owned`] — the eager path: read the file, verify every
+//!   checksum, decode every section into owned structures. Works for v1
+//!   and v2 snapshots.
+//! - [`LoadMode::Mapped`] — the zero-copy path: `mmap` the file
+//!   ([`dehealth_mapped`]), decode the forum/features sections (owned —
+//!   they are pointer-rich structures), and *borrow* the attribute-index
+//!   and refined-context arenas straight out of the mapping through
+//!   [`ArenaView`](dehealth_core::arena::ArenaView)s. The mapping is
+//!   kept alive by the views themselves (`Arc`-shared), so there is no
+//!   self-referential state; dropping the corpus unmaps the file. The
+//!   FNV checksum sweep is skipped for speed — every structural
+//!   invariant is still re-validated — and reload time no longer pays
+//!   for the largest sections at all. v1 files (which cannot be borrowed)
+//!   transparently fall back to the owned decode.
+//!
+//! Wire attacks against a mapped corpus are bit-identical to the owned
+//! path (`tests/service_parity.rs`); mutation ([`PreparedCorpus::
+//! append_users`]) promotes borrowed arenas to owned copy-on-write.
 
 use std::path::Path;
 use std::time::Instant;
@@ -27,10 +51,12 @@ use dehealth_core::refined::{ClassifierKind, RefinedContext, Side, N_STRUCT};
 use dehealth_core::snapshot::{decode_features, encode_features};
 use dehealth_core::uda::{extract_post_features, UdaGraph};
 use dehealth_corpus::snapshot::{
-    decode_forum, encode_forum, SectionTag, SnapshotError, SnapshotReader, SnapshotWriter,
+    decode_forum, encode_forum, ParseOptions, SectionTag, SnapshotError, SnapshotReader,
+    SnapshotWriter, V1, V2,
 };
 use dehealth_corpus::{Forum, Post};
 use dehealth_engine::{Engine, PreparedAuxiliary};
+use dehealth_mapped::{ByteSource, SharedBytes};
 use dehealth_stylometry::{FeatureVector, M};
 
 /// Section holding the auxiliary [`Forum`].
@@ -41,6 +67,29 @@ pub const SECTION_FEATURES: SectionTag = SectionTag(*b"FEAT");
 pub const SECTION_INDEX: SectionTag = SectionTag(*b"AIDX");
 /// Section holding the refined-DA [`RefinedContext`].
 pub const SECTION_CONTEXT: SectionTag = SectionTag(*b"RCTX");
+
+/// How [`PreparedCorpus::load_with`] materializes a snapshot (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Read + verify + decode everything into owned structures.
+    Owned,
+    /// Memory-map the file and borrow the index/context arenas in place
+    /// (v2 snapshots; v1 falls back to the owned decode).
+    #[default]
+    Mapped,
+}
+
+/// Where a loaded corpus's arena bytes live — the number the `--mmap`
+/// CLI flag and the snapshot-load benchmark report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Arena bytes held on the heap (owned index/context storage).
+    pub resident_arena_bytes: usize,
+    /// Arena bytes borrowed from the snapshot mapping (not resident;
+    /// backed by reclaimable, cross-process-shareable page-cache pages).
+    pub borrowed_arena_bytes: usize,
+}
 
 /// A fully prepared auxiliary corpus (see the [module docs](self)).
 ///
@@ -155,14 +204,22 @@ impl PreparedCorpus {
     /// `EngineSession::add_auxiliary_users`'s streaming convention:
     /// chunk-local user/thread ids are offset by the totals already in
     /// the corpus (chunks are disjoint user cohorts with their own
-    /// threads). Only the chunk's posts run feature extraction; the
-    /// derived structures are then re-derived over the merged corpus from
-    /// cached features, so the result is indistinguishable from a corpus
-    /// built fresh over the union — the invariant the daemon's parity
-    /// guarantee rests on.
+    /// threads). Only the chunk's posts run feature extraction; the UDA
+    /// graph is re-derived over the merged corpus from cached features,
+    /// while the index and refined context are **appended to in place**
+    /// — under the disjoint-cohort convention earlier users' structural
+    /// features are unchanged, so appending the new users'/posts' rows is
+    /// bit-identical to a fresh union build (asserted by
+    /// `append_matches_fresh_build_over_union`), the invariant the
+    /// daemon's parity guarantee rests on.
+    ///
+    /// On a [`LoadMode::Mapped`] corpus this is where copy-on-write
+    /// happens: the borrowed arenas are promoted to owned storage before
+    /// the first new row lands, and the corpus detaches from its mapping.
     pub fn append_users(&mut self, chunk: &Forum) {
         let user_offset = self.forum.n_users;
         let thread_offset = self.forum.n_threads;
+        let post_offset = self.forum.posts.len();
         let chunk_features = extract_post_features(chunk);
 
         let mut posts = std::mem::take(&mut self.forum.posts);
@@ -178,14 +235,42 @@ impl PreparedCorpus {
             Forum::from_posts(user_offset + chunk.n_users, thread_offset + chunk.n_threads, posts);
         let mut features = std::mem::take(&mut self.features);
         features.extend(chunk_features);
-        *self = Self::from_features(merged, features, self.classifier);
+
+        // The merged UDA graph is rebuilt (it feeds every attack's
+        // similarity engine); the index and context only append — chunks
+        // are disjoint user cohorts with disjoint threads, so the first
+        // `user_offset` users' attributes, degrees and post counts are
+        // bit-identical to what the existing rows were built from.
+        let uda = UdaGraph::build_with_features(&merged, &features);
+        self.index.append_uda_suffix(&uda, user_offset);
+        self.context.append_rows(
+            &Side { forum: &merged, uda: &uda, post_features: &features },
+            post_offset,
+        );
+        self.forum = merged;
+        self.features = features;
+        self.uda = uda;
     }
 
-    /// Serialize into snapshot bytes (sections: forum, features, index,
-    /// context — see ARCHITECTURE.md for the exact layout).
+    /// Serialize into current-version ([`V2`], aligned) snapshot bytes
+    /// (sections: forum, features, index, context — see ARCHITECTURE.md
+    /// for the exact layout).
     #[must_use]
     pub fn to_snapshot_bytes(&self) -> Vec<u8> {
         let mut w = SnapshotWriter::new();
+        encode_forum(&self.forum, w.section(SECTION_FORUM));
+        encode_features(&self.features, w.section(SECTION_FEATURES));
+        self.index.encode_v2(w.section(SECTION_INDEX));
+        self.context.encode_v2(w.section(SECTION_CONTEXT));
+        w.finish()
+    }
+
+    /// Serialize into legacy [`V1`] snapshot bytes — what pre-v2
+    /// deployments wrote. Kept so the v1 → v2 compatibility path stays
+    /// round-trip tested.
+    #[must_use]
+    pub fn to_snapshot_bytes_v1(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::with_version(V1);
         encode_forum(&self.forum, w.section(SECTION_FORUM));
         encode_features(&self.features, w.section(SECTION_FEATURES));
         self.index.encode(w.section(SECTION_INDEX));
@@ -193,27 +278,49 @@ impl PreparedCorpus {
         w.finish()
     }
 
-    /// Write the snapshot to `path`.
+    /// Write the snapshot to `path` **atomically**: the bytes land in a
+    /// temporary sibling file first and are `rename`d over the target.
+    /// This is what makes overwriting a snapshot that a live daemon has
+    /// memory-mapped safe — the daemon's mapping keeps the old inode
+    /// alive untruncated, instead of faulting on in-place truncation.
     ///
     /// # Errors
     /// Propagates filesystem errors.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
-        std::fs::write(path, self.to_snapshot_bytes())?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_snapshot_bytes())?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         Ok(())
     }
 
-    /// Restore a corpus from snapshot bytes. The UDA graph is re-derived
-    /// from the persisted forum and features (a cheap merge — no text is
-    /// re-analyzed); the index and context are decoded directly and
-    /// cross-checked against the forum for consistency.
+    /// Restore a corpus from snapshot bytes (either container version),
+    /// decoding everything into owned structures. The UDA graph is
+    /// re-derived from the persisted forum and features (a cheap merge —
+    /// no text is re-analyzed); the index and context are decoded
+    /// directly and cross-checked against the forum for consistency.
     ///
     /// # Errors
     /// Any [`SnapshotError`]: bad magic, unsupported version, truncation,
-    /// checksum mismatch, missing sections, or cross-section
+    /// checksum mismatch, bad padding, missing sections, or cross-section
     /// inconsistency. Never panics on malformed input.
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
         let reader = SnapshotReader::parse(bytes)?;
+        Self::decode_sections(&reader, None)
+    }
 
+    /// Decode every section of a parsed snapshot. With a `backing`
+    /// (which must hold the same bytes the reader parsed), v2 index and
+    /// context arenas become zero-copy views borrowing it; v1 sections —
+    /// or a missing backing — decode into owned storage.
+    fn decode_sections(
+        reader: &SnapshotReader<'_>,
+        backing: Option<&SharedBytes>,
+    ) -> Result<Self, SnapshotError> {
         let mut s = reader.section(SECTION_FORUM)?;
         let forum = decode_forum(&mut s)?;
         s.expect_end()?;
@@ -226,14 +333,20 @@ impl PreparedCorpus {
         }
 
         let mut s = reader.section(SECTION_INDEX)?;
-        let index = AttributeIndex::decode(&mut s)?;
+        let index = match reader.version() {
+            V2 => AttributeIndex::decode_v2(&mut s, backing)?,
+            _ => AttributeIndex::decode(&mut s)?,
+        };
         s.expect_end()?;
         if index.n_users() != forum.n_users {
             return Err(SnapshotError::Malformed { context: "index/forum user count mismatch" });
         }
 
         let mut s = reader.section(SECTION_CONTEXT)?;
-        let context = RefinedContext::decode(&mut s)?;
+        let context = match reader.version() {
+            V2 => RefinedContext::decode_v2(&mut s, backing)?,
+            _ => RefinedContext::decode(&mut s)?,
+        };
         s.expect_end()?;
         if context.n_posts() != forum.posts.len() {
             return Err(SnapshotError::Malformed { context: "context/forum post count mismatch" });
@@ -249,13 +362,54 @@ impl PreparedCorpus {
         Ok(Self { forum, features, uda, index, context, classifier })
     }
 
-    /// Read and restore a snapshot file.
+    /// Read and restore a snapshot file, eagerly and fully owned
+    /// ([`LoadMode::Owned`]).
     ///
     /// # Errors
     /// Like [`Self::from_snapshot_bytes`], plus I/O errors.
     pub fn load(path: &Path) -> Result<Self, SnapshotError> {
-        let bytes = std::fs::read(path)?;
-        Self::from_snapshot_bytes(&bytes)
+        Self::load_with(path, LoadMode::Owned)
+    }
+
+    /// Read and restore a snapshot file in the requested [`LoadMode`].
+    ///
+    /// [`LoadMode::Mapped`] maps the file, skips the checksum sweep
+    /// (structural validation still runs in full), and borrows the v2
+    /// index/context arenas from the mapping — the views keep the
+    /// mapping alive, so the returned corpus is self-contained. A v1
+    /// file cannot be borrowed and silently takes the owned decode
+    /// instead (check [`Self::is_mapped`]).
+    ///
+    /// # Errors
+    /// Like [`Self::from_snapshot_bytes`], plus I/O errors.
+    pub fn load_with(path: &Path, mode: LoadMode) -> Result<Self, SnapshotError> {
+        match mode {
+            LoadMode::Owned => {
+                let bytes = std::fs::read(path)?;
+                Self::from_snapshot_bytes(&bytes)
+            }
+            LoadMode::Mapped => {
+                let backing = ByteSource::map(path)?;
+                Self::from_shared_bytes(&backing)
+            }
+        }
+    }
+
+    /// The zero-copy decode over an already-loaded backing — what
+    /// [`LoadMode::Mapped`] runs after mapping the file.
+    ///
+    /// # Errors
+    /// Like [`Self::from_snapshot_bytes`].
+    pub fn from_shared_bytes(backing: &SharedBytes) -> Result<Self, SnapshotError> {
+        let reader = SnapshotReader::parse_with(backing.bytes(), &ParseOptions::trusting())?;
+        let zero_copy = (reader.version() == V2).then_some(backing);
+        if zero_copy.is_none() {
+            // v1: nothing can be borrowed; run the fully-verified owned
+            // decode (the file is small-format legacy data anyway).
+            let reader = SnapshotReader::parse(backing.bytes())?;
+            return Self::decode_sections(&reader, None);
+        }
+        Self::decode_sections(&reader, zero_copy)
     }
 
     /// [`Self::load`] with wall-clock timing — the number the service
@@ -264,9 +418,34 @@ impl PreparedCorpus {
     /// # Errors
     /// Like [`Self::load`].
     pub fn load_timed(path: &Path) -> Result<(Self, f64), SnapshotError> {
+        Self::load_timed_with(path, LoadMode::Owned)
+    }
+
+    /// [`Self::load_with`] with wall-clock timing.
+    ///
+    /// # Errors
+    /// Like [`Self::load_with`].
+    pub fn load_timed_with(path: &Path, mode: LoadMode) -> Result<(Self, f64), SnapshotError> {
         let t0 = Instant::now();
-        let corpus = Self::load(path)?;
+        let corpus = Self::load_with(path, mode)?;
         Ok((corpus, t0.elapsed().as_secs_f64()))
+    }
+
+    /// `true` when any index/context arena borrows a snapshot mapping
+    /// (i.e. the corpus came from a successful [`LoadMode::Mapped`] load
+    /// and has not been mutated since).
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        self.index.is_borrowed() || self.context.is_borrowed()
+    }
+
+    /// Where this corpus's index/context arena bytes live (see
+    /// [`MemoryStats`]).
+    #[must_use]
+    pub fn memory_stats(&self) -> MemoryStats {
+        let (ir, ib) = self.index.arena_bytes();
+        let (cr, cb) = self.context.arena_bytes();
+        MemoryStats { resident_arena_bytes: ir + cr, borrowed_arena_bytes: ib + cb }
     }
 
     /// Run one attack against this corpus through `engine` — convenience
@@ -358,7 +537,18 @@ mod tests {
             PreparedCorpus::build(forum, ClassifierKind::default())
         };
         assert_ne!(other.n_users(), corpus.n_users());
+        // In both container versions the cross-check, not a decode error,
+        // must fire.
         let mut w = SnapshotWriter::new();
+        encode_forum(corpus.forum(), w.section(SECTION_FORUM));
+        encode_features(corpus.features(), w.section(SECTION_FEATURES));
+        other.index().encode_v2(w.section(SECTION_INDEX));
+        corpus.context().encode_v2(w.section(SECTION_CONTEXT));
+        assert!(matches!(
+            PreparedCorpus::from_snapshot_bytes(&w.finish()),
+            Err(SnapshotError::Malformed { context: "index/forum user count mismatch" })
+        ));
+        let mut w = SnapshotWriter::with_version(V1);
         encode_forum(corpus.forum(), w.section(SECTION_FORUM));
         encode_features(corpus.features(), w.section(SECTION_FEATURES));
         other.index().encode(w.section(SECTION_INDEX));
@@ -367,5 +557,55 @@ mod tests {
             PreparedCorpus::from_snapshot_bytes(&w.finish()),
             Err(SnapshotError::Malformed { context: "index/forum user count mismatch" })
         ));
+    }
+
+    #[test]
+    fn v1_snapshot_loads_via_the_copying_path() {
+        let corpus = tiny_corpus();
+        let v1 = corpus.to_snapshot_bytes_v1();
+        let loaded = PreparedCorpus::from_snapshot_bytes(&v1).unwrap();
+        assert!(!loaded.is_mapped());
+        // The v1-decoded corpus is the same corpus: re-encoding it in
+        // either version reproduces the reference bytes.
+        assert_eq!(loaded.to_snapshot_bytes_v1(), v1);
+        assert_eq!(loaded.to_snapshot_bytes(), corpus.to_snapshot_bytes());
+    }
+
+    #[test]
+    fn mapped_load_borrows_arenas_and_matches_owned() {
+        let corpus = tiny_corpus();
+        let path = std::env::temp_dir().join("dehealth-corpus-mapped-test.snap");
+        corpus.save(&path).unwrap();
+        let owned = PreparedCorpus::load_with(&path, LoadMode::Owned).unwrap();
+        let mapped = PreparedCorpus::load_with(&path, LoadMode::Mapped).unwrap();
+        assert!(!owned.is_mapped());
+        assert!(mapped.is_mapped());
+        let stats = mapped.memory_stats();
+        assert_eq!(stats.resident_arena_bytes, 0, "mapped corpus keeps no arena bytes resident");
+        assert!(stats.borrowed_arena_bytes > 0);
+        assert!(owned.memory_stats().borrowed_arena_bytes == 0);
+        // Bit-identical state: both re-serialize to the on-disk bytes.
+        assert_eq!(mapped.to_snapshot_bytes(), owned.to_snapshot_bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_append_promotes_and_matches_owned_append() {
+        let forum = Forum::generate(&ForumConfig::tiny(), 3);
+        let split = closed_world_split(&forum, &SplitConfig::fraction(0.5), 5);
+        let chunk = Forum::generate(&ForumConfig::tiny(), 11);
+        let corpus = PreparedCorpus::build(split.auxiliary, ClassifierKind::default());
+        let path = std::env::temp_dir().join("dehealth-corpus-mapped-append-test.snap");
+        corpus.save(&path).unwrap();
+
+        let mut owned = PreparedCorpus::load_with(&path, LoadMode::Owned).unwrap();
+        let mut mapped = PreparedCorpus::load_with(&path, LoadMode::Mapped).unwrap();
+        owned.append_users(&chunk);
+        mapped.append_users(&chunk);
+        // Copy-on-write: the mutation detached the mapped corpus.
+        assert!(!mapped.is_mapped());
+        assert_eq!(mapped.memory_stats().borrowed_arena_bytes, 0);
+        assert_eq!(mapped.to_snapshot_bytes(), owned.to_snapshot_bytes());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -19,11 +19,28 @@
 //! [`Daemon::request_shutdown`]) raises a flag that the accept loop and
 //! every handler poll on short timeouts; [`Daemon::join`] then reaps all
 //! threads.
+//!
+//! ## Hardening against untrusted peers
+//!
+//! Three [`DaemonLimits`] protect the daemon from misbehaving clients,
+//! each answered with a **typed protocol error** (an `"ok": false`
+//! response line) instead of a hang or a silent drop:
+//!
+//! - a per-request byte-size cap (a request line exceeding it is
+//!   rejected and the connection closed before the daemon buffers
+//!   unbounded data),
+//! - a read deadline on half-open connections (a peer that starts a
+//!   request and stalls mid-line is timed out and closed), and
+//! - a max-connections cap (connections beyond it receive an error line
+//!   and are closed immediately, so established sessions keep their
+//!   threads).
+//!
+//! `tests/service_parity.rs` pins all three behaviors.
 
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -31,12 +48,36 @@ use std::time::{Duration, Instant};
 use dehealth_core::AttackConfig;
 use dehealth_engine::{Engine, EngineConfig};
 
-use crate::corpus::PreparedCorpus;
+use crate::corpus::{LoadMode, PreparedCorpus};
 use crate::json::Json;
 use crate::protocol::{error_response, forum_from_json, ok_response, report_to_json};
 
 /// How often blocked accept/read calls wake up to poll the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Protocol-hardening knobs (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonLimits {
+    /// Maximum bytes one request line may occupy (including pipelined
+    /// but not-yet-dispatched bytes buffered for the connection).
+    pub max_request_bytes: usize,
+    /// How long a connection may sit on an incomplete request line
+    /// before it is timed out as half-open.
+    pub read_deadline: Duration,
+    /// Maximum concurrently served connections; further connections are
+    /// rejected with an error line.
+    pub max_connections: usize,
+}
+
+impl Default for DaemonLimits {
+    fn default() -> Self {
+        Self {
+            max_request_bytes: 64 * 1024 * 1024,
+            read_deadline: Duration::from_secs(30),
+            max_connections: 64,
+        }
+    }
+}
 
 /// Request/served-work counters exposed by the `stats` command.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,10 +94,18 @@ pub struct DaemonStats {
     pub mapped_users: u64,
     /// `load_snapshot` + `add_auxiliary_users` requests served.
     pub corpus_updates: u64,
+    /// Connections rejected by the max-connections cap.
+    pub rejected_connections: u64,
+    /// Connections dropped for violating a request limit (oversize
+    /// request line or half-open read deadline).
+    pub dropped_connections: u64,
 }
 
 struct DaemonState {
     config: EngineConfig,
+    limits: DaemonLimits,
+    /// Currently served connections (for the max-connections cap).
+    connections: AtomicUsize,
     corpus: RwLock<Option<Arc<PreparedCorpus>>>,
     /// Serializes corpus *updates* (`load_snapshot`, `add_auxiliary_users`)
     /// end to end. The copy-on-write rebuild happens outside the `corpus`
@@ -110,11 +159,27 @@ impl Daemon {
         config: EngineConfig,
         corpus: Option<PreparedCorpus>,
     ) -> std::io::Result<Self> {
+        Self::bind_with(addr, config, corpus, DaemonLimits::default())
+    }
+
+    /// [`Daemon::bind_with_corpus`] with explicit protocol-hardening
+    /// [`DaemonLimits`].
+    ///
+    /// # Errors
+    /// Propagates socket errors (bind/listen).
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        config: EngineConfig,
+        corpus: Option<PreparedCorpus>,
+        limits: DaemonLimits,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(DaemonState {
             config,
+            limits,
+            connections: AtomicUsize::new(0),
             corpus: RwLock::new(corpus.map(Arc::new)),
             update: Mutex::new(()),
             stats: Mutex::new(DaemonStats::default()),
@@ -167,8 +232,30 @@ fn accept_loop(listener: &TcpListener, state: &Arc<DaemonState>) {
     while !state.shutting_down.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let state = Arc::clone(state);
-                handlers.push(std::thread::spawn(move || handle_connection(&state, stream)));
+                // Max-connections cap: answer over-cap peers with a typed
+                // protocol error and close, instead of either queueing
+                // them invisibly or starving established sessions.
+                let live = state.connections.load(Ordering::SeqCst);
+                if live >= state.limits.max_connections {
+                    state.stats.lock().expect("stats lock poisoned").rejected_connections += 1;
+                    reject_connection(stream, state.limits.max_connections);
+                } else {
+                    state.connections.fetch_add(1, Ordering::SeqCst);
+                    let state = Arc::clone(state);
+                    handlers.push(std::thread::spawn(move || {
+                        // Release the slot on unwind too: a panicking
+                        // handler must not leak capacity until the cap
+                        // rejects every future connection.
+                        struct Slot<'a>(&'a AtomicUsize);
+                        impl Drop for Slot<'_> {
+                            fn drop(&mut self) {
+                                self.0.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                        let _slot = Slot(&state.connections);
+                        handle_connection(&state, stream);
+                    }));
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
@@ -180,6 +267,28 @@ fn accept_loop(listener: &TcpListener, state: &Arc<DaemonState>) {
     for h in handlers {
         let _ = h.join();
     }
+}
+
+/// Send one error line to an over-cap connection and drop it. Bounded by
+/// a short write timeout so a peer that never reads cannot stall the
+/// accept loop.
+fn reject_connection(stream: TcpStream, cap: usize) {
+    let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+    let mut stream = stream;
+    let response = error_response(&format!("connection limit reached ({cap})"));
+    let _ = stream.write_all(response.emit().as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+/// Terminate a misbehaving connection: best-effort error line, counted
+/// in the stats, connection closed by returning.
+fn drop_connection(state: &Arc<DaemonState>, writer: &mut BufWriter<TcpStream>, message: &str) {
+    state.stats.lock().expect("stats lock poisoned").dropped_connections += 1;
+    let response = error_response(message);
+    let _ = writer.write_all(response.emit().as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
 }
 
 fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) {
@@ -194,10 +303,14 @@ fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
+    let limits = state.limits;
     let Ok(mut read_half) = stream.try_clone() else { return };
     let mut writer = BufWriter::new(stream);
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
+    // Set while `pending` holds an incomplete request line — the clock
+    // the half-open read deadline runs on.
+    let mut partial_since: Option<Instant> = None;
     loop {
         // Serve every complete line currently buffered (clients may
         // pipeline requests; responses keep request order).
@@ -225,6 +338,36 @@ fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) {
                 state.shutting_down.store(true, Ordering::SeqCst);
             }
             if !ok || shutdown {
+                return;
+            }
+        }
+        partial_since = if pending.is_empty() {
+            None
+        } else {
+            // A request line larger than the cap can never complete —
+            // reject it now instead of buffering without bound.
+            if pending.len() > limits.max_request_bytes {
+                drop_connection(
+                    state,
+                    &mut writer,
+                    &format!("request exceeds {} byte limit", limits.max_request_bytes),
+                );
+                return;
+            }
+            Some(partial_since.unwrap_or_else(Instant::now))
+        };
+        if let Some(since) = partial_since {
+            // Half-open read deadline: a peer that started a request and
+            // stalled gets a typed error, not an immortal handler thread.
+            if since.elapsed() > limits.read_deadline {
+                drop_connection(
+                    state,
+                    &mut writer,
+                    &format!(
+                        "read deadline exceeded with a partial request ({:.1}s)",
+                        limits.read_deadline.as_secs_f64()
+                    ),
+                );
                 return;
             }
         }
@@ -269,17 +412,30 @@ fn cmd_load_snapshot(state: &Arc<DaemonState>, request: &Json) -> Json {
     let Some(path) = request.get("path").and_then(Json::as_str) else {
         return error_response("missing path");
     };
+    // Optional `"mode": "mmap" | "owned"` — default zero-copy.
+    let mode = match request.get("mode").and_then(Json::as_str) {
+        None | Some("mmap") => LoadMode::Mapped,
+        Some("owned") => LoadMode::Owned,
+        Some(other) => {
+            return error_response(&format!("invalid load mode {other:?} (mmap or owned)"))
+        }
+    };
     let _updating = state.update.lock().expect("update lock poisoned");
-    match PreparedCorpus::load_timed(Path::new(path)) {
+    match PreparedCorpus::load_timed_with(Path::new(path), mode) {
         Ok((corpus, seconds)) => {
             let users = corpus.n_users();
             let posts = corpus.n_posts();
+            let memory = corpus.memory_stats();
+            let mapped = corpus.is_mapped();
             *state.corpus.write().expect("corpus lock poisoned") = Some(Arc::new(corpus));
             state.stats.lock().expect("stats lock poisoned").corpus_updates += 1;
             ok_response(vec![
                 ("users".into(), Json::int(users)),
                 ("posts".into(), Json::int(posts)),
                 ("seconds".into(), Json::Num(seconds)),
+                ("mapped".into(), Json::Bool(mapped)),
+                ("resident_arena_bytes".into(), Json::int(memory.resident_arena_bytes)),
+                ("borrowed_arena_bytes".into(), Json::int(memory.borrowed_arena_bytes)),
             ])
         }
         Err(e) => error_response(&format!("snapshot load failed: {e}")),
@@ -397,6 +553,8 @@ fn cmd_stats(state: &Arc<DaemonState>) -> Json {
         ("attacked_users".into(), Json::Num(stats.attacked_users as f64)),
         ("mapped_users".into(), Json::Num(stats.mapped_users as f64)),
         ("corpus_updates".into(), Json::Num(stats.corpus_updates as f64)),
+        ("rejected_connections".into(), Json::Num(stats.rejected_connections as f64)),
+        ("dropped_connections".into(), Json::Num(stats.dropped_connections as f64)),
         ("uptime_seconds".into(), Json::Num(state.started.elapsed().as_secs_f64())),
     ])
 }

@@ -63,7 +63,7 @@ pub mod json;
 pub mod protocol;
 
 pub use client::{AttackReply, ServiceClient, ServiceError};
-pub use corpus::PreparedCorpus;
-pub use daemon::{Daemon, DaemonStats};
+pub use corpus::{LoadMode, MemoryStats, PreparedCorpus};
+pub use daemon::{Daemon, DaemonLimits, DaemonStats};
 pub use json::Json;
 pub use protocol::AttackOptions;

@@ -22,6 +22,9 @@
 //!   (substitute for the paper's WebMD / HealthBoards crawls).
 //! - [`stylometry`] — Table-I stylometric feature extraction.
 //! - [`graph`] — correlation / UDA graphs, communities, bipartite matching.
+//! - [`mapped`] — read-only file mapping (raw `mmap`) and
+//!   alignment-checked little-endian slice casts: the confined-`unsafe`
+//!   shim behind zero-copy snapshot loading.
 //! - [`ml`] — benchmark classifiers (KNN, SMO-SVM, RLSC, nearest-centroid).
 //! - [`core`] — the De-Health attack itself plus the Stylometry baseline.
 //! - [`engine`] — the parallel sharded execution engine: blockwise Top-K
@@ -58,6 +61,7 @@ pub use dehealth_corpus as corpus;
 pub use dehealth_engine as engine;
 pub use dehealth_graph as graph;
 pub use dehealth_linkage as linkage;
+pub use dehealth_mapped as mapped;
 pub use dehealth_ml as ml;
 pub use dehealth_service as service;
 pub use dehealth_stylometry as stylometry;

@@ -1,15 +1,21 @@
 //! Daemon round-trip parity: a wire `attack` on a snapshot-loaded corpus
 //! must produce mappings and candidate sets **bit-identical** to the
 //! in-process serial `DeHealth::run` on the freshly built corpus — at 1
-//! and 8 worker threads — plus protocol behavior (incremental ingest,
-//! stats, error responses, shutdown).
+//! and 8 worker threads, in both the owned and the zero-copy (mmap) load
+//! mode — plus protocol behavior (incremental ingest, stats, error
+//! responses, shutdown) and the protocol-hardening limits (request size
+//! cap, half-open read deadline, max-connections cap).
+
+use std::time::Duration;
 
 use de_health::core::{AttackConfig, DeHealth};
 use de_health::corpus::split::{closed_world_split, SplitConfig};
 use de_health::corpus::{Forum, ForumConfig, Post};
 use de_health::engine::EngineConfig;
 use de_health::service::daemon::default_config;
-use de_health::service::{AttackOptions, Daemon, Json, PreparedCorpus, ServiceClient};
+use de_health::service::{
+    AttackOptions, Daemon, DaemonLimits, Json, LoadMode, PreparedCorpus, ServiceClient,
+};
 
 fn tiny_split() -> de_health::corpus::Split {
     let forum = Forum::generate(&ForumConfig::tiny(), 42);
@@ -60,6 +66,180 @@ fn wire_attack_on_snapshot_matches_serial_attack_at_1_and_8_threads() {
     client.shutdown().unwrap();
     daemon.join();
     std::fs::remove_file(&snap_path).unwrap();
+}
+
+#[test]
+fn wire_attack_on_mmap_loaded_corpus_is_bit_identical_to_owned_and_serial() {
+    // The zero-copy acceptance oracle: one daemon per load mode, both
+    // serving the same snapshot file; wire attacks at 1 and 8 worker
+    // threads must agree with each other AND with the serial
+    // `DeHealth::run` reference, bit for bit.
+    let split = tiny_split();
+    let reference = DeHealth::new(attack_cfg()).run(&split.auxiliary, &split.anonymized);
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_cfg().classifier);
+    let snap_path = std::env::temp_dir().join("dehealth-service-mmap-parity-test.snap");
+    corpus.save(&snap_path).unwrap();
+
+    // Sanity at the corpus level: the mapped load really borrows.
+    let mapped = PreparedCorpus::load_with(&snap_path, LoadMode::Mapped).unwrap();
+    assert!(mapped.is_mapped());
+    assert_eq!(mapped.memory_stats().resident_arena_bytes, 0);
+    drop(mapped);
+
+    for (mode, expect_mapped) in [("owned", false), ("mmap", true)] {
+        let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+        let daemon = Daemon::bind("127.0.0.1:0", config).unwrap();
+        let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+        let loaded = client
+            .request(&Json::Obj(vec![
+                ("cmd".into(), Json::Str("load_snapshot".into())),
+                ("path".into(), Json::Str(snap_path.to_str().unwrap().into())),
+                ("mode".into(), Json::Str(mode.into())),
+            ]))
+            .unwrap();
+        assert_eq!(loaded.get("mapped").and_then(Json::as_bool), Some(expect_mapped), "{mode}");
+        if expect_mapped {
+            assert_eq!(loaded.get("resident_arena_bytes").and_then(Json::as_usize), Some(0));
+            assert!(loaded.get("borrowed_arena_bytes").and_then(Json::as_usize).unwrap() > 0);
+        }
+        for threads in [1usize, 8] {
+            let options = AttackOptions { threads: Some(threads), ..AttackOptions::default() };
+            let reply = client.attack(&split.anonymized, &options).unwrap();
+            assert_eq!(
+                reply.mapping, reference.mapping,
+                "{mode} wire mapping diverged from DeHealth::run at {threads} threads"
+            );
+            assert_eq!(
+                reply.candidates, reference.candidates,
+                "{mode} wire candidates diverged from DeHealth::run at {threads} threads"
+            );
+        }
+        client.shutdown().unwrap();
+        daemon.join();
+    }
+    std::fs::remove_file(&snap_path).unwrap();
+}
+
+#[test]
+fn streaming_ingest_into_mmap_loaded_corpus_promotes_and_stays_exact() {
+    // Load zero-copy over the wire, then stream an extra cohort in: the
+    // copy-on-write promotion must leave the daemon serving exactly the
+    // merged corpus (attack parity vs. a serial run on the union).
+    let split = tiny_split();
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_cfg().classifier);
+    let snap_path = std::env::temp_dir().join("dehealth-service-mmap-ingest-test.snap");
+    corpus.save(&snap_path).unwrap();
+
+    let chunk = Forum::generate(&ForumConfig::tiny(), 77);
+    let mut merged_posts: Vec<Post> = split.auxiliary.posts.clone();
+    for p in &chunk.posts {
+        merged_posts.push(Post {
+            author: p.author + split.auxiliary.n_users,
+            thread: p.thread + split.auxiliary.n_threads,
+            text: p.text.clone(),
+        });
+    }
+    let merged = Forum::from_posts(
+        split.auxiliary.n_users + chunk.n_users,
+        split.auxiliary.n_threads + chunk.n_threads,
+        merged_posts,
+    );
+    let reference = DeHealth::new(attack_cfg()).run(&merged, &split.anonymized);
+
+    let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+    let daemon = Daemon::bind("127.0.0.1:0", config).unwrap();
+    let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+    client.load_snapshot(snap_path.to_str().unwrap()).unwrap(); // default mode = mmap
+    client.add_auxiliary_users(&chunk).unwrap();
+    let reply = client.attack(&split.anonymized, &AttackOptions::default()).unwrap();
+    assert_eq!(reply.mapping, reference.mapping);
+    assert_eq!(reply.candidates, reference.candidates);
+    client.shutdown().unwrap();
+    daemon.join();
+    std::fs::remove_file(&snap_path).unwrap();
+}
+
+#[test]
+fn oversized_requests_get_a_typed_error_and_a_closed_connection() {
+    use std::io::{BufRead, BufReader, Write};
+    let limits = DaemonLimits { max_request_bytes: 512, ..DaemonLimits::default() };
+    let daemon = Daemon::bind_with("127.0.0.1:0", default_config(), None, limits).unwrap();
+    let mut stream = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Pour > 512 bytes of a never-ending request line down the socket.
+    let blob = vec![b'x'; 8 * 1024];
+    let _ = stream.write_all(&blob);
+    let _ = stream.flush();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(response.get("error").and_then(Json::as_str).unwrap().contains("byte limit"));
+    // Connection is closed afterwards.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+    assert_eq!(daemon.stats().dropped_connections, 1);
+
+    // A well-behaved client on a fresh connection still gets served.
+    let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+    assert!(client.stats().is_ok());
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+fn half_open_connections_hit_the_read_deadline() {
+    use std::io::{BufRead, BufReader, Write};
+    let limits =
+        DaemonLimits { read_deadline: Duration::from_millis(150), ..DaemonLimits::default() };
+    let daemon = Daemon::bind_with("127.0.0.1:0", default_config(), None, limits).unwrap();
+    let mut stream = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Start a request and stall forever.
+    stream.write_all(b"{\"cmd\":\"sta").unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(response.get("error").and_then(Json::as_str).unwrap().contains("read deadline"));
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection must be closed");
+    assert_eq!(daemon.stats().dropped_connections, 1);
+
+    // An idle connection with NO partial request is not deadline-killed:
+    // it can still issue a request long after the deadline.
+    let mut idle = ServiceClient::connect(daemon.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(idle.stats().is_ok());
+    idle.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+fn connections_beyond_the_cap_are_rejected_with_a_typed_error() {
+    use std::io::{BufRead, BufReader};
+    let limits = DaemonLimits { max_connections: 1, ..DaemonLimits::default() };
+    let daemon = Daemon::bind_with("127.0.0.1:0", default_config(), None, limits).unwrap();
+    // First connection occupies the single slot (prove it is serving).
+    let mut first = ServiceClient::connect(daemon.addr()).unwrap();
+    assert!(first.stats().is_ok());
+    // Second connection gets the typed rejection line, then EOF.
+    let over = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    let mut reader = BufReader::new(over);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(response.get("error").and_then(Json::as_str).unwrap().contains("connection limit"));
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+    assert_eq!(daemon.stats().rejected_connections, 1);
+    // The established session is unaffected; the freed slot serves again.
+    let stats = first.stats().unwrap();
+    assert_eq!(stats.get("rejected_connections").and_then(Json::as_usize), Some(1));
+    first.shutdown().unwrap();
+    daemon.join();
 }
 
 #[test]

@@ -1,13 +1,20 @@
 //! Snapshot persistence: round-trip bit-parity against a freshly built
-//! corpus, and robustness of the decoder against malformed files —
-//! truncation, bad magic, wrong version, and corrupted payloads must all
-//! surface as typed [`SnapshotError`]s, never panics.
+//! corpus, v1 ↔ v2 compatibility, zero-copy (mmap) vs owned load
+//! parity, and robustness of the decoder against malformed files —
+//! truncation, bad magic, wrong version, corrupted payloads, bad
+//! padding, misaligned arenas, and a v1 file fed to the v2 fast path
+//! must all surface as typed [`SnapshotError`]s, never panics or
+//! unaligned casts.
 
-use de_health::core::refined::ClassifierKind;
-use de_health::corpus::snapshot::{SnapshotError, MAGIC, VERSION};
+use de_health::core::index::AttributeIndex;
+use de_health::core::refined::{ClassifierKind, RefinedContext};
+use de_health::corpus::snapshot::{
+    ParseOptions, SnapshotError, SnapshotReader, ALIGN, MAGIC, V1, V2, VERSION,
+};
 use de_health::corpus::split::{closed_world_split, SplitConfig};
 use de_health::corpus::{Forum, ForumConfig};
-use de_health::service::PreparedCorpus;
+use de_health::mapped::ByteSource;
+use de_health::service::{LoadMode, PreparedCorpus};
 
 fn built_corpus(classifier: ClassifierKind) -> PreparedCorpus {
     let forum = Forum::generate(&ForumConfig::tiny(), 42);
@@ -115,6 +122,168 @@ fn corrupted_payload_fails_its_checksum() {
 fn io_errors_are_propagated() {
     let missing = std::env::temp_dir().join("dehealth-no-such-snapshot.snap");
     assert!(matches!(PreparedCorpus::load(&missing), Err(SnapshotError::Io(_))));
+    assert!(matches!(
+        PreparedCorpus::load_with(&missing, LoadMode::Mapped),
+        Err(SnapshotError::Io(_))
+    ));
+}
+
+#[test]
+fn current_snapshots_are_v2_with_aligned_sections() {
+    let bytes = built_corpus(ClassifierKind::default()).to_snapshot_bytes();
+    assert_eq!(u16::from_le_bytes([bytes[8], bytes[9]]), V2);
+    assert_eq!(VERSION, V2);
+    // The in-header alignment guarantee.
+    assert_eq!(u16::from_le_bytes([bytes[10], bytes[11]]) as usize, ALIGN);
+    let reader = SnapshotReader::parse(&bytes).unwrap();
+    assert_eq!(reader.version(), V2);
+}
+
+#[test]
+fn v1_files_still_load_bit_exact_via_the_copying_path() {
+    for classifier in [ClassifierKind::default(), ClassifierKind::Centroid] {
+        let fresh = built_corpus(classifier);
+        let v1 = fresh.to_snapshot_bytes_v1();
+        assert_eq!(u16::from_le_bytes([v1[8], v1[9]]), V1);
+        // Borrowed-bytes decode (version-dispatched inside).
+        let loaded = PreparedCorpus::from_snapshot_bytes(&v1).unwrap();
+        assert!(!loaded.is_mapped());
+        assert_eq!(loaded.to_snapshot_bytes_v1(), v1, "{classifier:?}");
+        assert_eq!(loaded.to_snapshot_bytes(), fresh.to_snapshot_bytes(), "{classifier:?}");
+        // A v1 file handed to the *mapped* load mode falls back to the
+        // copying path gracefully — still correct, just not borrowed.
+        let path = std::env::temp_dir().join("dehealth-snapshot-v1-compat-test.snap");
+        std::fs::write(&path, &v1).unwrap();
+        let loaded = PreparedCorpus::load_with(&path, LoadMode::Mapped).unwrap();
+        assert!(!loaded.is_mapped());
+        assert_eq!(loaded.to_snapshot_bytes(), fresh.to_snapshot_bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn v1_payloads_fed_to_the_v2_fast_path_yield_typed_errors() {
+    // The strict v2 decoders must reject a v1-schema payload with a
+    // typed error, never a panic or a misinterpretation.
+    let corpus = built_corpus(ClassifierKind::default());
+    let v1 = corpus.to_snapshot_bytes_v1();
+    let reader = SnapshotReader::parse(&v1).unwrap();
+    assert_eq!(reader.version(), V1);
+    let mut s = reader.section(de_health::service::corpus::SECTION_INDEX).unwrap();
+    match AttributeIndex::decode_v2(&mut s, None) {
+        Err(
+            SnapshotError::Malformed { .. }
+            | SnapshotError::Truncated { .. }
+            | SnapshotError::Misaligned { .. },
+        ) => {}
+        other => panic!("v1 index payload through the v2 decoder: {other:?}"),
+    }
+    let mut s = reader.section(de_health::service::corpus::SECTION_CONTEXT).unwrap();
+    match RefinedContext::decode_v2(&mut s, None) {
+        Err(
+            SnapshotError::Malformed { .. }
+            | SnapshotError::Truncated { .. }
+            | SnapshotError::Misaligned { .. },
+        ) => {}
+        other => panic!("v1 context payload through the v2 decoder: {other:?}"),
+    }
+}
+
+#[test]
+fn mapped_and_owned_loads_restore_identical_corpora() {
+    for classifier in [ClassifierKind::default(), ClassifierKind::Centroid] {
+        let fresh = built_corpus(classifier);
+        let path = std::env::temp_dir().join(format!(
+            "dehealth-snapshot-mapped-parity-{}.snap",
+            if fresh.context().is_sparse() { "sparse" } else { "dense" }
+        ));
+        fresh.save(&path).unwrap();
+        let owned = PreparedCorpus::load_with(&path, LoadMode::Owned).unwrap();
+        let mapped = PreparedCorpus::load_with(&path, LoadMode::Mapped).unwrap();
+        assert!(mapped.is_mapped() && !owned.is_mapped(), "{classifier:?}");
+        assert_eq!(mapped.to_snapshot_bytes(), owned.to_snapshot_bytes(), "{classifier:?}");
+        assert_eq!(mapped.to_snapshot_bytes(), fresh.to_snapshot_bytes(), "{classifier:?}");
+        // The whole index/context footprint stays in the file mapping.
+        let stats = mapped.memory_stats();
+        assert_eq!(stats.resident_arena_bytes, 0, "{classifier:?}");
+        assert!(stats.borrowed_arena_bytes > 0, "{classifier:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn misaligned_backing_yields_a_typed_error_not_an_unaligned_cast() {
+    // Shift a valid v2 snapshot by 4 bytes inside an 8-aligned buffer:
+    // every u64/f64 arena offset is now misaligned in memory. The strict
+    // zero-copy decoders must answer with `SnapshotError::Misaligned`.
+    let bytes = built_corpus(ClassifierKind::default()).to_snapshot_bytes();
+    let mut shifted = vec![0u8; 4];
+    shifted.extend_from_slice(&bytes);
+    let backing = ByteSource::from_vec(shifted);
+    let snapshot = &backing.bytes()[4..];
+    let reader = SnapshotReader::parse(snapshot).unwrap();
+    let mut s = reader.section(de_health::service::corpus::SECTION_INDEX).unwrap();
+    match AttributeIndex::decode_v2(&mut s, Some(&backing)) {
+        Err(SnapshotError::Misaligned { .. }) => {}
+        other => panic!("misaligned index arena must be refused, got {other:?}"),
+    }
+    let mut s = reader.section(de_health::service::corpus::SECTION_CONTEXT).unwrap();
+    match RefinedContext::decode_v2(&mut s, Some(&backing)) {
+        Err(SnapshotError::Misaligned { .. }) => {}
+        other => panic!("misaligned context arena must be refused, got {other:?}"),
+    }
+}
+
+#[test]
+fn nonzero_v2_padding_is_rejected() {
+    let bytes = built_corpus(ClassifierKind::default()).to_snapshot_bytes();
+    // Corrupt the first section header's padding (fixed offset 20..24).
+    let mut bad = bytes.clone();
+    bad[21] = 0x5a;
+    assert!(matches!(
+        PreparedCorpus::from_snapshot_bytes(&bad),
+        Err(SnapshotError::Malformed { context: "nonzero section header padding" })
+    ));
+    // Walk the section table to find a section with payload padding and
+    // corrupt the first pad byte.
+    let mut at = 16usize;
+    let mut patched = None;
+    while at + 16 <= bytes.len() {
+        let len = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+        let payload_end = at + 16 + len;
+        let pad = len.wrapping_neg() % ALIGN;
+        if pad > 0 {
+            patched = Some(payload_end);
+            break;
+        }
+        at = payload_end + pad + 8;
+    }
+    let payload_end = patched.expect("at least one section has payload padding");
+    let mut bad = bytes.clone();
+    bad[payload_end] = 0xff;
+    assert!(matches!(
+        PreparedCorpus::from_snapshot_bytes(&bad),
+        Err(SnapshotError::Malformed { context: "nonzero section padding" })
+    ));
+}
+
+#[test]
+fn truncated_aligned_tails_are_typed_errors() {
+    // Cut a v2 file inside the final checksum, inside the final padding,
+    // and on the padding boundary — all must be `Truncated`, and the
+    // zero-copy (trusting) parse must agree with the verified one.
+    let bytes = built_corpus(ClassifierKind::default()).to_snapshot_bytes();
+    for cut in [bytes.len() - 1, bytes.len() - 7, bytes.len() - 9, bytes.len() - 16] {
+        let prefix = &bytes[..cut];
+        assert!(matches!(
+            PreparedCorpus::from_snapshot_bytes(prefix),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        assert!(matches!(
+            SnapshotReader::parse_with(prefix, &ParseOptions::trusting()),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
 }
 
 #[test]
