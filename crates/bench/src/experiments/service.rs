@@ -15,11 +15,20 @@
 //!    worker threads; the JSON records attacks/sec and anonymized
 //!    users/sec including all protocol overhead (JSON encode/parse both
 //!    directions).
+//! 3. **Latency under concurrent load** — several clients attack the
+//!    daemon simultaneously; p50/p90/p99 request latency is read back
+//!    from the daemon's own `daemon_command_seconds{cmd="attack"}`
+//!    histogram (the telemetry layer's instrument, isolated to the
+//!    concurrent phase by differencing snapshots), and the histogram's
+//!    `count` is asserted equal to the number of requests issued. This
+//!    is the distribution-level baseline the async-serving work will be
+//!    judged against.
 //!
-//! Every wire attack is compared against the in-process serial
-//! `DeHealth::run` on the freshly built corpus — mapping and candidate
-//! sets must be identical, so the committed numbers always come from a
-//! daemon that agrees with the reference implementation bit for bit.
+//! Every wire attack — serial and concurrent — is compared against the
+//! in-process serial `DeHealth::run` on the freshly built corpus —
+//! mapping and candidate sets must be identical, so the committed
+//! numbers always come from a daemon that agrees with the reference
+//! implementation bit for bit.
 
 use std::fmt::Write as _;
 use std::io;
@@ -31,6 +40,7 @@ use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
 use dehealth_engine::EngineConfig;
 use dehealth_service::daemon::Daemon;
 use dehealth_service::{AttackOptions, PreparedCorpus, ServiceClient};
+use dehealth_telemetry::HistogramSnapshot;
 
 /// Attack parameters used throughout the benchmark (matching the scaling
 /// experiment's sweep so the numbers are comparable).
@@ -54,6 +64,28 @@ pub struct WireRun {
     pub users_per_sec: f64,
 }
 
+/// The concurrent-load measurement: several clients attacking at once,
+/// latency quantiles read from the daemon's own request histogram.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRun {
+    /// Simultaneous client connections.
+    pub clients: usize,
+    /// Attacks each client issued.
+    pub rounds_per_client: usize,
+    /// Wall-clock from first request sent to last response received.
+    pub total_seconds: f64,
+    /// Attacks per second across all clients.
+    pub attacks_per_sec: f64,
+    /// Mean per-request latency (daemon-side, exact sum/count).
+    pub mean_seconds: f64,
+    /// Estimated median request latency.
+    pub p50_seconds: f64,
+    /// Estimated 90th-percentile request latency.
+    pub p90_seconds: f64,
+    /// Estimated 99th-percentile request latency.
+    pub p99_seconds: f64,
+}
+
 /// The full benchmark result.
 #[derive(Debug, Clone)]
 pub struct ServiceBench {
@@ -73,6 +105,8 @@ pub struct ServiceBench {
     pub load_vs_build_ratio: f64,
     /// Wire-throughput sweep.
     pub wire: Vec<WireRun>,
+    /// Concurrent-load latency distribution.
+    pub concurrent: ConcurrentRun,
 }
 
 /// Run the benchmark and write `BENCH_service.json` to the working
@@ -182,9 +216,83 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> 
         );
         wire.push(run);
     }
+    // Concurrent load: several clients, each its own connection, all
+    // attacking at 1 worker thread so the contention is real. Latency
+    // quantiles come from the daemon's own attack histogram, isolated to
+    // this phase by differencing snapshots around it.
+    let clients = 4usize;
+    let rounds_per_client = 1usize;
+    let attack_hist =
+        daemon.registry().histogram_with("daemon_command_seconds", &[("cmd", "attack")]);
+    let before = attack_hist.snapshot();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let anonymized = &split.anonymized;
+                let reference = &reference;
+                let addr = daemon.addr();
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("client connect");
+                    let options = AttackOptions { threads: Some(1), ..AttackOptions::default() };
+                    for _ in 0..rounds_per_client {
+                        let reply = client.attack(anonymized, &options).expect("wire attack");
+                        assert_eq!(
+                            reply.mapping, reference.mapping,
+                            "concurrent wire attack must match the serial reference"
+                        );
+                        assert_eq!(reply.candidates, reference.candidates);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread panicked");
+        }
+    });
+    let concurrent_seconds = t0.elapsed().as_secs_f64();
+    let issued = clients * rounds_per_client;
+    let delta = histogram_delta(&before, &attack_hist.snapshot());
+    assert_eq!(
+        delta.count(),
+        issued as u64,
+        "the attack histogram must count every concurrent request"
+    );
+    let concurrent = ConcurrentRun {
+        clients,
+        rounds_per_client,
+        total_seconds: concurrent_seconds,
+        attacks_per_sec: issued as f64 / concurrent_seconds.max(1e-12),
+        mean_seconds: delta.mean_seconds(),
+        p50_seconds: delta.quantile(0.5),
+        p90_seconds: delta.quantile(0.9),
+        p99_seconds: delta.quantile(0.99),
+    };
+    println!(
+        "  concurrent: {clients} clients × {rounds_per_client} attacks in \
+         {concurrent_seconds:.3}s ({:.2} attacks/s; latency mean {:.3}s, p50 {:.3}s, \
+         p90 {:.3}s, p99 {:.3}s)",
+        concurrent.attacks_per_sec,
+        concurrent.mean_seconds,
+        concurrent.p50_seconds,
+        concurrent.p90_seconds,
+        concurrent.p99_seconds,
+    );
+
+    // The registry outlives the daemon handle; `join` consumes it.
+    let registry = daemon.registry();
     client.shutdown().map_err(io::Error::other)?;
     daemon.join();
     let _ = std::fs::remove_file(&snap_path);
+
+    // Every attack issued in this benchmark — serial sweep plus the
+    // concurrent phase — must have left exactly one histogram sample.
+    let total_attacks = wire.iter().map(|r| r.rounds).sum::<usize>() + issued;
+    assert_eq!(
+        registry.histogram_with("daemon_command_seconds", &[("cmd", "attack")]).count(),
+        total_attacks as u64,
+        "attack-latency histogram count must equal the attacks issued"
+    );
 
     let bench = ServiceBench {
         users,
@@ -195,10 +303,21 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> 
         snapshot_load_seconds,
         load_vs_build_ratio,
         wire,
+        concurrent,
     };
     write_json(path, seed, &bench)?;
     println!("  wrote {}", path.display());
     Ok(bench)
+}
+
+/// Per-bucket difference of two snapshots of the same histogram,
+/// isolating the samples recorded between them.
+fn histogram_delta(before: &HistogramSnapshot, after: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut counts = after.counts;
+    for (count, earlier) in counts.iter_mut().zip(&before.counts) {
+        *count -= earlier;
+    }
+    HistogramSnapshot { counts, sum_nanos: after.sum_nanos - before.sum_nanos }
 }
 
 /// Hand-rolled JSON (the workspace carries no serialization dependency).
@@ -226,7 +345,18 @@ fn write_json(path: &Path, seed: u64, b: &ServiceBench) -> io::Result<()> {
         );
         out.push_str(if i + 1 < b.wire.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let c = &b.concurrent;
+    let _ = writeln!(out, "  \"concurrent\": {{");
+    let _ = writeln!(out, "    \"clients\": {},", c.clients);
+    let _ = writeln!(out, "    \"rounds_per_client\": {},", c.rounds_per_client);
+    let _ = writeln!(out, "    \"total_seconds\": {:.6},", c.total_seconds);
+    let _ = writeln!(out, "    \"attacks_per_sec\": {:.3},", c.attacks_per_sec);
+    let _ = writeln!(out, "    \"latency_mean_seconds\": {:.6},", c.mean_seconds);
+    let _ = writeln!(out, "    \"latency_p50_seconds\": {:.6},", c.p50_seconds);
+    let _ = writeln!(out, "    \"latency_p90_seconds\": {:.6},", c.p90_seconds);
+    let _ = writeln!(out, "    \"latency_p99_seconds\": {:.6}", c.p99_seconds);
+    out.push_str("  }\n}\n");
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -250,10 +380,17 @@ mod tests {
         assert!(bench.load_vs_build_ratio < 0.25);
         assert!(!bench.wire.is_empty());
         assert!(bench.wire.iter().all(|r| r.attacks_per_sec > 0.0));
+        // The concurrent phase's histogram-count assertion ran inside
+        // `run_to`; the derived quantiles must be coherent.
+        assert!(bench.concurrent.clients > 1);
+        assert!(bench.concurrent.p50_seconds > 0.0);
+        assert!(bench.concurrent.p50_seconds <= bench.concurrent.p90_seconds);
+        assert!(bench.concurrent.p90_seconds <= bench.concurrent.p99_seconds);
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"experiment\": \"service\""));
         assert!(text.contains("\"load_vs_build_ratio\""));
         assert!(text.contains("\"attacks_per_sec\""));
+        assert!(text.contains("\"latency_p99_seconds\""));
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -24,6 +24,7 @@
 //!   snapshot write a prepared-corpus snapshot     [--users N] [--seed S] [--path corpus.snap]
 //!   serve    run the attack daemon                [--path corpus.snap] [--addr 127.0.0.1:7699]
 //!                                                 [--mmap | --owned]
+//!                                                 [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! `repro snapshot` generates the synthetic forum, takes the closed-world
@@ -36,6 +37,10 @@
 //! default) loads the snapshot zero-copy — the big arenas stay in the
 //! file mapping — and prints load time plus resident-vs-borrowed section
 //! bytes; `--owned` forces the eager copying load for comparison.
+//! `--metrics-addr HOST:PORT` additionally serves the daemon's metric
+//! registry in the Prometheus text format over a read-only HTTP
+//! responder, and on graceful shutdown the daemon's final counters plus
+//! a top-line attack-latency summary are printed either way.
 
 use std::path::Path;
 
@@ -51,6 +56,7 @@ struct Args {
     seed: u64,
     path: Option<String>,
     addr: String,
+    metrics_addr: Option<String>,
     load_mode: LoadMode,
 }
 
@@ -60,6 +66,7 @@ fn parse_args() -> Args {
     let mut seed = 42u64;
     let mut path = None;
     let mut addr = String::from("127.0.0.1:7699");
+    let mut metrics_addr = None;
     let mut load_mode = LoadMode::Mapped;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -80,6 +87,9 @@ fn parse_args() -> Args {
                     addr = v;
                 }
             }
+            "--metrics-addr" => {
+                metrics_addr = argv.next();
+            }
             "--mmap" => load_mode = LoadMode::Mapped,
             "--owned" => load_mode = LoadMode::Owned,
             "--help" | "-h" => {
@@ -93,7 +103,7 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { experiment, users, seed, path, addr, load_mode }
+    Args { experiment, users, seed, path, addr, metrics_addr, load_mode }
 }
 
 fn print_help() {
@@ -102,7 +112,7 @@ fn print_help() {
          [--users N] [--seed S]\n\
          repro snapshot [--users N] [--seed S] [--path corpus.snap]\n\
          repro serve [--path corpus.snap] [--addr 127.0.0.1:7699] [--users N] [--seed S] \
-         [--mmap | --owned]"
+         [--mmap | --owned] [--metrics-addr HOST:PORT]"
     );
 }
 
@@ -146,7 +156,14 @@ fn run_snapshot_command(users: usize, seed: u64, path: &str) {
     );
 }
 
-fn run_serve_command(users: usize, seed: u64, path: Option<&str>, addr: &str, mode: LoadMode) {
+fn run_serve_command(
+    users: usize,
+    seed: u64,
+    path: Option<&str>,
+    addr: &str,
+    metrics_addr: Option<&str>,
+    mode: LoadMode,
+) {
     let corpus = match path {
         Some(path) if Path::new(path).exists() => {
             match dehealth_service::PreparedCorpus::load_timed_with(Path::new(path), mode) {
@@ -192,8 +209,58 @@ fn run_serve_command(users: usize, seed: u64, path: Option<&str>, addr: &str, mo
         }
     };
     println!("serving on {} (send {{\"cmd\":\"shutdown\"}} to stop)", daemon.addr());
+    // Grab the registry before `join` consumes the daemon: the shutdown
+    // summary reads it afterwards, and the scrape endpoint shares it.
+    let registry = daemon.registry();
+    let metrics_server =
+        metrics_addr.map(|metrics_addr| {
+            match dehealth_service::MetricsServer::bind(metrics_addr, registry.clone()) {
+                Ok(server) => {
+                    println!("metrics (Prometheus text) on http://{}/metrics", server.addr());
+                    server
+                }
+                Err(e) => {
+                    eprintln!("serve: failed to bind metrics endpoint {metrics_addr}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        });
     daemon.join();
+    drop(metrics_server);
     println!("daemon shut down");
+    print_shutdown_summary(&registry);
+}
+
+/// Final stats + top-line latency summary, read back from the daemon's
+/// registry after it has shut down.
+fn print_shutdown_summary(registry: &dehealth_telemetry::Registry) {
+    let count = |name: &str| registry.counter(name).get();
+    println!(
+        "  served {} requests ({} errors), {} attacks ({} users attacked, {} mapped)",
+        count("daemon_requests_total"),
+        count("daemon_errors_total"),
+        count("daemon_attacks_total"),
+        count("daemon_attacked_users_total"),
+        count("daemon_mapped_users_total"),
+    );
+    println!(
+        "  corpus updates: {}; connections rejected: {}, dropped: {}",
+        count("daemon_corpus_updates_total"),
+        count("daemon_rejected_connections_total"),
+        count("daemon_dropped_connections_total"),
+    );
+    let attacks = registry.histogram_with("daemon_command_seconds", &[("cmd", "attack")]);
+    let snapshot = attacks.snapshot();
+    if snapshot.count() > 0 {
+        println!(
+            "  attack latency: mean {:.3}s, p50 {:.3}s, p90 {:.3}s, p99 {:.3}s over {} requests",
+            snapshot.mean_seconds(),
+            snapshot.quantile(0.5),
+            snapshot.quantile(0.9),
+            snapshot.quantile(0.99),
+            snapshot.count(),
+        );
+    }
 }
 
 fn main() {
@@ -277,6 +344,7 @@ fn main() {
             seed,
             args.path.as_deref(),
             &args.addr,
+            args.metrics_addr.as_deref(),
             args.load_mode,
         );
         return;

@@ -92,6 +92,21 @@ impl EngineReport {
     pub fn total_seconds(&self) -> f64 {
         self.stages.iter().map(|s| s.seconds).sum()
     }
+
+    /// Feed this report into a metric registry: one
+    /// `engine_stage_seconds{stage=…}` histogram sample plus
+    /// `engine_stage_items_total` / `engine_stage_skipped_total` counter
+    /// increments per stage. The daemon calls this after every served
+    /// attack, turning one-shot reports into per-stage latency
+    /// distributions across requests.
+    pub fn record_into(&self, registry: &dehealth_telemetry::Registry) {
+        for s in &self.stages {
+            let labels = [("stage", s.stage)];
+            registry.histogram_with("engine_stage_seconds", &labels).record_secs(s.seconds);
+            registry.counter_with("engine_stage_items_total", &labels).add(s.items);
+            registry.counter_with("engine_stage_skipped_total", &labels).add(s.skipped);
+        }
+    }
 }
 
 impl std::fmt::Display for EngineReport {
@@ -171,6 +186,28 @@ mod tests {
         let text = format!("{r}");
         assert!(text.contains("2 threads"));
         assert!(text.contains("topk"));
+    }
+
+    #[test]
+    fn record_into_feeds_a_registry() {
+        let mut r = EngineReport::new(2, 32);
+        r.record("topk", "pairs", 100, 0.5);
+        r.record_skipped("topk", "pairs", 7);
+        r.record("refined", "users", 10, 0.1);
+        let registry = dehealth_telemetry::Registry::new();
+        r.record_into(&registry);
+        r.record_into(&registry); // accumulates across runs
+        let topk = registry.histogram_with("engine_stage_seconds", &[("stage", "topk")]);
+        assert_eq!(topk.count(), 2);
+        assert!((topk.sum_seconds() - 1.0).abs() < 1e-9);
+        let items = registry.counter_with("engine_stage_items_total", &[("stage", "topk")]);
+        assert_eq!(items.get(), 200);
+        let skipped = registry.counter_with("engine_stage_skipped_total", &[("stage", "topk")]);
+        assert_eq!(skipped.get(), 14);
+        assert_eq!(
+            registry.histogram_with("engine_stage_seconds", &[("stage", "refined")]).count(),
+            2
+        );
     }
 
     #[test]

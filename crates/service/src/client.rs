@@ -174,6 +174,16 @@ impl ServiceClient {
         self.request(&Json::Obj(vec![("cmd".into(), Json::Str("stats".into()))]))
     }
 
+    /// Fetch the daemon's full metric registry (the `metrics` command):
+    /// the response's `"metrics"` field is the array described by
+    /// [`registry_to_json`](crate::metrics::registry_to_json).
+    ///
+    /// # Errors
+    /// Like [`Self::request`].
+    pub fn metrics(&mut self) -> Result<Json, ServiceError> {
+        self.request(&Json::Obj(vec![("cmd".into(), Json::Str("metrics".into()))]))
+    }
+
     /// Ask the daemon to shut down (the response arrives before the
     /// daemon stops accepting).
     ///

@@ -20,6 +20,25 @@
 //! every handler poll on short timeouts; [`Daemon::join`] then reaps all
 //! threads.
 //!
+//! ## Telemetry
+//!
+//! Every daemon owns a [`Registry`] ([`Daemon::registry`]): per-command
+//! request counters and end-to-end latency histograms (recorded via
+//! RAII [`SpanTimer`]s, so even a panicking handler leaves a sample),
+//! error counters by kind, connection gauges, corpus residency and
+//! generation gauges, and — after every attack — the engine's per-stage
+//! timings ([`EngineReport::record_into`](dehealth_engine::EngineReport::record_into)).
+//! The whole registry is served by the `metrics` wire command (JSON,
+//! [`registry_to_json`]) and by the
+//! optional Prometheus scrape endpoint
+//! ([`MetricsServer`](crate::metrics::MetricsServer)). [`DaemonStats`]
+//! and the `stats` command read the same lock-free counters — there is
+//! no stats mutex left to poison, so a panicked connection thread can
+//! never make `stats`/`metrics` unreadable. Requests slower than
+//! [`DaemonLimits::slow_request_threshold`] additionally emit a
+//! structured `warn!` log line with the command, corpus generation, user
+//! counts, and the per-stage breakdown.
+//!
 //! ## Hardening against untrusted peers
 //!
 //! Three [`DaemonLimits`] protect the daemon from misbehaving clients,
@@ -41,19 +60,53 @@ use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dehealth_core::AttackConfig;
 use dehealth_engine::{Engine, EngineConfig};
+use dehealth_telemetry::{info, warn, Counter, Gauge, Histogram, Registry, SpanTimer};
 
 use crate::corpus::{LoadMode, PreparedCorpus};
 use crate::json::Json;
+use crate::metrics::registry_to_json;
 use crate::protocol::{error_response, forum_from_json, ok_response, report_to_json};
 
 /// How often blocked accept/read calls wake up to poll the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Every `cmd` label of the per-command metric families
+/// (`daemon_command_requests_total`, `daemon_command_seconds`), all
+/// pre-registered at bind time so the first scrape already shows the
+/// full label space. `"invalid"` covers unparseable requests and
+/// requests without a `cmd`; `"unknown"` covers unrecognized commands.
+pub const COMMANDS: [&str; 8] = [
+    "add_auxiliary_users",
+    "attack",
+    "invalid",
+    "load_snapshot",
+    "metrics",
+    "shutdown",
+    "stats",
+    "unknown",
+];
+
+/// Every `kind` label of `daemon_error_kind_total`, pre-registered at
+/// bind time. The first six classify error *responses*; the last three
+/// classify rejected or dropped *connections* (which also answer with an
+/// error line but are not counted as served requests).
+pub const ERROR_KINDS: [&str; 9] = [
+    "connection_cap",
+    "invalid_argument",
+    "invalid_json",
+    "missing_cmd",
+    "no_corpus",
+    "oversize_request",
+    "read_deadline",
+    "snapshot_load",
+    "unknown_cmd",
+];
 
 /// Protocol-hardening knobs (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +120,9 @@ pub struct DaemonLimits {
     /// Maximum concurrently served connections; further connections are
     /// rejected with an error line.
     pub max_connections: usize,
+    /// Requests taking longer than this emit a structured slow-request
+    /// log line (`warn!` level) with a per-stage breakdown.
+    pub slow_request_threshold: Duration,
 }
 
 impl Default for DaemonLimits {
@@ -75,11 +131,18 @@ impl Default for DaemonLimits {
             max_request_bytes: 64 * 1024 * 1024,
             read_deadline: Duration::from_secs(30),
             max_connections: 64,
+            slow_request_threshold: Duration::from_secs(30),
         }
     }
 }
 
 /// Request/served-work counters exposed by the `stats` command.
+///
+/// Since the telemetry layer landed this is a *view*: the daemon keeps
+/// these counts in lock-free registry counters and materializes a
+/// `DaemonStats` on demand ([`Daemon::stats`], the `stats` command), so
+/// the struct and the wire response are unchanged from the mutex era
+/// while the storage can no longer be poisoned.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DaemonStats {
     /// Total requests handled (including failed ones).
@@ -101,6 +164,95 @@ pub struct DaemonStats {
     pub dropped_connections: u64,
 }
 
+/// The daemon's registry plus cached handles for every hot-path counter.
+///
+/// Handle lookups by label (`command_requests`, `error_kind`) go through
+/// the registry's read lock — cheap, and poison-immune by construction.
+struct DaemonMetrics {
+    registry: Arc<Registry>,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    attacks: Arc<Counter>,
+    attacked_users: Arc<Counter>,
+    mapped_users: Arc<Counter>,
+    corpus_updates: Arc<Counter>,
+    rejected_connections: Arc<Counter>,
+    dropped_connections: Arc<Counter>,
+    connections_live: Arc<Gauge>,
+    corpus_users: Arc<Gauge>,
+    corpus_posts: Arc<Gauge>,
+    corpus_generation: Arc<Gauge>,
+    corpus_resident_arena_bytes: Arc<Gauge>,
+    corpus_borrowed_arena_bytes: Arc<Gauge>,
+}
+
+impl DaemonMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        for cmd in COMMANDS {
+            let _ = registry.counter_with("daemon_command_requests_total", &[("cmd", cmd)]);
+            let _ = registry.histogram_with("daemon_command_seconds", &[("cmd", cmd)]);
+        }
+        for kind in ERROR_KINDS {
+            let _ = registry.counter_with("daemon_error_kind_total", &[("kind", kind)]);
+        }
+        Self {
+            requests: registry.counter("daemon_requests_total"),
+            errors: registry.counter("daemon_errors_total"),
+            attacks: registry.counter("daemon_attacks_total"),
+            attacked_users: registry.counter("daemon_attacked_users_total"),
+            mapped_users: registry.counter("daemon_mapped_users_total"),
+            corpus_updates: registry.counter("daemon_corpus_updates_total"),
+            rejected_connections: registry.counter("daemon_rejected_connections_total"),
+            dropped_connections: registry.counter("daemon_dropped_connections_total"),
+            connections_live: registry.gauge("daemon_connections_live"),
+            corpus_users: registry.gauge("corpus_users"),
+            corpus_posts: registry.gauge("corpus_posts"),
+            corpus_generation: registry.gauge("corpus_generation"),
+            corpus_resident_arena_bytes: registry.gauge("corpus_resident_arena_bytes"),
+            corpus_borrowed_arena_bytes: registry.gauge("corpus_borrowed_arena_bytes"),
+            registry,
+        }
+    }
+
+    fn command_requests(&self, cmd: &str) -> Arc<Counter> {
+        self.registry.counter_with("daemon_command_requests_total", &[("cmd", cmd)])
+    }
+
+    fn command_seconds(&self, cmd: &str) -> Arc<Histogram> {
+        self.registry.histogram_with("daemon_command_seconds", &[("cmd", cmd)])
+    }
+
+    fn error_kind(&self, kind: &'static str) -> Arc<Counter> {
+        self.registry.counter_with("daemon_error_kind_total", &[("kind", kind)])
+    }
+
+    /// Refresh the corpus gauges after a swap (or the initial load) and
+    /// bump the generation.
+    fn observe_corpus(&self, corpus: &PreparedCorpus) {
+        let memory = corpus.memory_stats();
+        self.corpus_users.set(corpus.n_users() as i64);
+        self.corpus_posts.set(corpus.n_posts() as i64);
+        self.corpus_resident_arena_bytes.set(memory.resident_arena_bytes as i64);
+        self.corpus_borrowed_arena_bytes.set(memory.borrowed_arena_bytes as i64);
+        self.corpus_generation.inc();
+    }
+
+    /// Materialize the classic [`DaemonStats`] view from the counters.
+    fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            attacks: self.attacks.get(),
+            attacked_users: self.attacked_users.get(),
+            mapped_users: self.mapped_users.get(),
+            corpus_updates: self.corpus_updates.get(),
+            rejected_connections: self.rejected_connections.get(),
+            dropped_connections: self.dropped_connections.get(),
+        }
+    }
+}
+
 struct DaemonState {
     config: EngineConfig,
     limits: DaemonLimits,
@@ -113,9 +265,23 @@ struct DaemonState {
     /// concurrent updates would both clone the same base and the second
     /// swap would silently discard the first one's ingest.
     update: Mutex<()>,
-    stats: Mutex<DaemonStats>,
+    metrics: DaemonMetrics,
     started: Instant,
     shutting_down: AtomicBool,
+}
+
+impl DaemonState {
+    /// Clone the current corpus `Arc` (poison-immune: the slot only ever
+    /// holds a fully built corpus, swapped in as the last step of an
+    /// update, so the value is coherent even after a panicked writer).
+    fn corpus(&self) -> Option<Arc<PreparedCorpus>> {
+        self.corpus.read().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    fn swap_corpus(&self, next: PreparedCorpus) {
+        self.metrics.observe_corpus(&next);
+        *self.corpus.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(next));
+    }
 }
 
 /// A running attack service (see the [module docs](self)).
@@ -176,16 +342,26 @@ impl Daemon {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let metrics = DaemonMetrics::new();
+        if let Some(corpus) = &corpus {
+            metrics.observe_corpus(corpus);
+        }
         let state = Arc::new(DaemonState {
             config,
             limits,
             connections: AtomicUsize::new(0),
             corpus: RwLock::new(corpus.map(Arc::new)),
             update: Mutex::new(()),
-            stats: Mutex::new(DaemonStats::default()),
+            metrics,
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
         });
+        info!(
+            "daemon listening",
+            addr = addr,
+            corpus_users = state.metrics.corpus_users.get(),
+            max_connections = limits.max_connections
+        );
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_state));
         Ok(Self { addr, state, accept_thread: Some(accept_thread) })
@@ -212,7 +388,16 @@ impl Daemon {
     /// A copy of the served-work counters.
     #[must_use]
     pub fn stats(&self) -> DaemonStats {
-        *self.state.stats.lock().expect("stats lock poisoned")
+        self.state.metrics.stats()
+    }
+
+    /// The daemon's metric registry — shared with the `metrics` wire
+    /// command and any [`MetricsServer`](crate::metrics::MetricsServer)
+    /// scrape endpoint; still readable after [`Daemon::join`] consumed
+    /// the daemon (grab the `Arc` first).
+    #[must_use]
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.state.metrics.registry)
     }
 
     /// Block until the daemon has shut down (flag raised and every
@@ -237,22 +422,25 @@ fn accept_loop(listener: &TcpListener, state: &Arc<DaemonState>) {
                 // them invisibly or starving established sessions.
                 let live = state.connections.load(Ordering::SeqCst);
                 if live >= state.limits.max_connections {
-                    state.stats.lock().expect("stats lock poisoned").rejected_connections += 1;
+                    state.metrics.rejected_connections.inc();
+                    state.metrics.error_kind("connection_cap").inc();
                     reject_connection(stream, state.limits.max_connections);
                 } else {
                     state.connections.fetch_add(1, Ordering::SeqCst);
+                    state.metrics.connections_live.inc();
                     let state = Arc::clone(state);
                     handlers.push(std::thread::spawn(move || {
                         // Release the slot on unwind too: a panicking
                         // handler must not leak capacity until the cap
                         // rejects every future connection.
-                        struct Slot<'a>(&'a AtomicUsize);
+                        struct Slot<'a>(&'a DaemonState);
                         impl Drop for Slot<'_> {
                             fn drop(&mut self) {
-                                self.0.fetch_sub(1, Ordering::SeqCst);
+                                self.0.connections.fetch_sub(1, Ordering::SeqCst);
+                                self.0.metrics.connections_live.dec();
                             }
                         }
-                        let _slot = Slot(&state.connections);
+                        let _slot = Slot(&state);
                         handle_connection(&state, stream);
                     }));
                 }
@@ -283,8 +471,14 @@ fn reject_connection(stream: TcpStream, cap: usize) {
 
 /// Terminate a misbehaving connection: best-effort error line, counted
 /// in the stats, connection closed by returning.
-fn drop_connection(state: &Arc<DaemonState>, writer: &mut BufWriter<TcpStream>, message: &str) {
-    state.stats.lock().expect("stats lock poisoned").dropped_connections += 1;
+fn drop_connection(
+    state: &Arc<DaemonState>,
+    writer: &mut BufWriter<TcpStream>,
+    kind: &'static str,
+    message: &str,
+) {
+    state.metrics.dropped_connections.inc();
+    state.metrics.error_kind(kind).inc();
     let response = error_response(message);
     let _ = writer.write_all(response.emit().as_bytes());
     let _ = writer.write_all(b"\n");
@@ -322,12 +516,12 @@ fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) {
                 continue;
             }
             let (response, shutdown) = dispatch(state, line);
-            {
-                let mut stats = state.stats.lock().expect("stats lock poisoned");
-                stats.requests += 1;
-                if response.get("ok").and_then(Json::as_bool) != Some(true) {
-                    stats.errors += 1;
-                }
+            // Counted after dispatch, like the mutex-era daemon: a
+            // `stats` response reports the requests *before* it, not
+            // itself.
+            state.metrics.requests.inc();
+            if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                state.metrics.errors.inc();
             }
             let ok = writer
                 .write_all(response.emit().as_bytes())
@@ -350,6 +544,7 @@ fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) {
                 drop_connection(
                     state,
                     &mut writer,
+                    "oversize_request",
                     &format!("request exceeds {} byte limit", limits.max_request_bytes),
                 );
                 return;
@@ -363,6 +558,7 @@ fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) {
                 drop_connection(
                     state,
                     &mut writer,
+                    "read_deadline",
                     &format!(
                         "read deadline exceeded with a partial request ({:.1}s)",
                         limits.read_deadline.as_secs_f64()
@@ -388,48 +584,139 @@ fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) {
     }
 }
 
-/// Parse and execute one request line; returns the response and whether
-/// this request asked the daemon to shut down.
-fn dispatch(state: &Arc<DaemonState>, line: &str) -> (Json, bool) {
-    let request = match Json::parse(line) {
-        Ok(v) => v,
-        Err(e) => return (error_response(&format!("invalid JSON: {e}")), false),
-    };
-    let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
-        return (error_response("missing cmd"), false);
-    };
-    match cmd {
-        "load_snapshot" => (cmd_load_snapshot(state, &request), false),
-        "add_auxiliary_users" => (cmd_add_auxiliary_users(state, &request), false),
-        "attack" => (cmd_attack(state, &request), false),
-        "stats" => (cmd_stats(state), false),
-        "shutdown" => (ok_response(Vec::new()), true),
-        other => (error_response(&format!("unknown cmd {other:?}")), false),
+/// A failed command: the error-kind label for
+/// `daemon_error_kind_total` plus the wire message.
+struct CmdError {
+    kind: &'static str,
+    message: String,
+}
+
+impl CmdError {
+    fn new(kind: &'static str, message: impl Into<String>) -> Self {
+        Self { kind, message: message.into() }
     }
 }
 
-fn cmd_load_snapshot(state: &Arc<DaemonState>, request: &Json) -> Json {
+/// Parse and execute one request line; returns the response and whether
+/// this request asked the daemon to shut down.
+fn dispatch(state: &Arc<DaemonState>, line: &str) -> (Json, bool) {
+    let received = Instant::now();
+    // Resolve the command label first so the span timer can cover the
+    // handler (a panicking handler still records its latency sample on
+    // unwind); parse time before that is billed via `starting_at`.
+    let parsed = Json::parse(line);
+    let (label, shutdown): (&str, bool) = match &parsed {
+        Err(_) => ("invalid", false),
+        Ok(request) => match request.get("cmd").and_then(Json::as_str) {
+            None => ("invalid", false),
+            Some("load_snapshot") => ("load_snapshot", false),
+            Some("add_auxiliary_users") => ("add_auxiliary_users", false),
+            Some("attack") => ("attack", false),
+            Some("stats") => ("stats", false),
+            Some("metrics") => ("metrics", false),
+            Some("shutdown") => ("shutdown", true),
+            Some(_) => ("unknown", false),
+        },
+    };
+    let timer = SpanTimer::starting_at(state.metrics.command_seconds(label), received);
+    let result: Result<Vec<(String, Json)>, CmdError> = match &parsed {
+        Err(e) => Err(CmdError::new("invalid_json", format!("invalid JSON: {e}"))),
+        Ok(request) => match label {
+            "invalid" => Err(CmdError::new("missing_cmd", "missing cmd")),
+            "load_snapshot" => cmd_load_snapshot(state, request),
+            "add_auxiliary_users" => cmd_add_auxiliary_users(state, request),
+            "attack" => cmd_attack(state, request),
+            "stats" => cmd_stats(state),
+            "metrics" => Ok(vec![("metrics".into(), registry_to_json(&state.metrics.registry))]),
+            "shutdown" => Ok(Vec::new()),
+            _unknown => {
+                let cmd = request.get("cmd").and_then(Json::as_str).unwrap_or_default();
+                Err(CmdError::new("unknown_cmd", format!("unknown cmd {cmd:?}")))
+            }
+        },
+    };
+    let response = match result {
+        Ok(fields) => ok_response(fields),
+        Err(e) => {
+            state.metrics.error_kind(e.kind).inc();
+            error_response(&e.message)
+        }
+    };
+    state.metrics.command_requests(label).inc();
+    let elapsed = timer.stop();
+    if elapsed >= state.limits.slow_request_threshold {
+        warn!(
+            "slow request",
+            cmd = label,
+            seconds = format!("{:.3}", elapsed.as_secs_f64()),
+            corpus_generation = state.metrics.corpus_generation.get(),
+            corpus_users = state.metrics.corpus_users.get(),
+            request_users =
+                response.get("mapping").and_then(Json::as_array).map_or(0, <[Json]>::len),
+            stages = stage_breakdown(&response)
+        );
+    }
+    (response, shutdown)
+}
+
+/// Compact `stage=secs` breakdown from a response's embedded report, for
+/// the slow-request log line (`"-"` when the response carries none).
+fn stage_breakdown(response: &Json) -> String {
+    let Some(stages) =
+        response.get("report").and_then(|r| r.get("stages")).and_then(Json::as_array)
+    else {
+        return "-".into();
+    };
+    let parts: Vec<String> = stages
+        .iter()
+        .filter_map(|s| {
+            let name = s.get("stage").and_then(Json::as_str)?;
+            let seconds = s.get("seconds").and_then(Json::as_f64)?;
+            Some(format!("{name}={seconds:.3}s"))
+        })
+        .collect();
+    if parts.is_empty() {
+        "-".into()
+    } else {
+        parts.join(" ")
+    }
+}
+
+fn cmd_load_snapshot(
+    state: &Arc<DaemonState>,
+    request: &Json,
+) -> Result<Vec<(String, Json)>, CmdError> {
     let Some(path) = request.get("path").and_then(Json::as_str) else {
-        return error_response("missing path");
+        return Err(CmdError::new("invalid_argument", "missing path"));
     };
     // Optional `"mode": "mmap" | "owned"` — default zero-copy.
     let mode = match request.get("mode").and_then(Json::as_str) {
         None | Some("mmap") => LoadMode::Mapped,
         Some("owned") => LoadMode::Owned,
         Some(other) => {
-            return error_response(&format!("invalid load mode {other:?} (mmap or owned)"))
+            return Err(CmdError::new(
+                "invalid_argument",
+                format!("invalid load mode {other:?} (mmap or owned)"),
+            ))
         }
     };
-    let _updating = state.update.lock().expect("update lock poisoned");
+    let _updating = state.update.lock().unwrap_or_else(PoisonError::into_inner);
     match PreparedCorpus::load_timed_with(Path::new(path), mode) {
         Ok((corpus, seconds)) => {
             let users = corpus.n_users();
             let posts = corpus.n_posts();
             let memory = corpus.memory_stats();
             let mapped = corpus.is_mapped();
-            *state.corpus.write().expect("corpus lock poisoned") = Some(Arc::new(corpus));
-            state.stats.lock().expect("stats lock poisoned").corpus_updates += 1;
-            ok_response(vec![
+            state.swap_corpus(corpus);
+            state.metrics.corpus_updates.inc();
+            info!(
+                "corpus loaded",
+                path = path,
+                users = users,
+                posts = posts,
+                generation = state.metrics.corpus_generation.get()
+            );
+            Ok(vec![
                 ("users".into(), Json::int(users)),
                 ("posts".into(), Json::int(posts)),
                 ("seconds".into(), Json::Num(seconds)),
@@ -438,26 +725,29 @@ fn cmd_load_snapshot(state: &Arc<DaemonState>, request: &Json) -> Json {
                 ("borrowed_arena_bytes".into(), Json::int(memory.borrowed_arena_bytes)),
             ])
         }
-        Err(e) => error_response(&format!("snapshot load failed: {e}")),
+        Err(e) => Err(CmdError::new("snapshot_load", format!("snapshot load failed: {e}"))),
     }
 }
 
-fn cmd_add_auxiliary_users(state: &Arc<DaemonState>, request: &Json) -> Json {
+fn cmd_add_auxiliary_users(
+    state: &Arc<DaemonState>,
+    request: &Json,
+) -> Result<Vec<(String, Json)>, CmdError> {
     let chunk = match request
         .get("forum")
         .ok_or("missing forum")
         .and_then(|v| forum_from_json(v).map_err(|_| "invalid forum"))
     {
         Ok(f) => f,
-        Err(e) => return error_response(e),
+        Err(e) => return Err(CmdError::new("invalid_argument", e)),
     };
     // Copy-on-write under the update lock: clone the current corpus (or
     // bootstrap from the chunk alone), extend it outside the `corpus`
     // lock so attacks stay unblocked, then swap the slot. The update
     // lock makes concurrent ingests append sequentially instead of both
     // building on the same base and losing one chunk at the swap.
-    let _updating = state.update.lock().expect("update lock poisoned");
-    let current = state.corpus.read().expect("corpus lock poisoned").clone();
+    let _updating = state.update.lock().unwrap_or_else(PoisonError::into_inner);
+    let current = state.corpus();
     let next = match current {
         Some(corpus) => {
             let mut next = (*corpus).clone();
@@ -468,14 +758,17 @@ fn cmd_add_auxiliary_users(state: &Arc<DaemonState>, request: &Json) -> Json {
     };
     let users = next.n_users();
     let posts = next.n_posts();
-    *state.corpus.write().expect("corpus lock poisoned") = Some(Arc::new(next));
-    state.stats.lock().expect("stats lock poisoned").corpus_updates += 1;
-    ok_response(vec![("users".into(), Json::int(users)), ("posts".into(), Json::int(posts))])
+    state.swap_corpus(next);
+    state.metrics.corpus_updates.inc();
+    Ok(vec![("users".into(), Json::int(users)), ("posts".into(), Json::int(posts))])
 }
 
-fn cmd_attack(state: &Arc<DaemonState>, request: &Json) -> Json {
-    let Some(corpus) = state.corpus.read().expect("corpus lock poisoned").clone() else {
-        return error_response("no corpus loaded (send load_snapshot or add_auxiliary_users)");
+fn cmd_attack(state: &Arc<DaemonState>, request: &Json) -> Result<Vec<(String, Json)>, CmdError> {
+    let Some(corpus) = state.corpus() else {
+        return Err(CmdError::new(
+            "no_corpus",
+            "no corpus loaded (send load_snapshot or add_auxiliary_users)",
+        ));
     };
     let anonymized = match request
         .get("forum")
@@ -483,7 +776,7 @@ fn cmd_attack(state: &Arc<DaemonState>, request: &Json) -> Json {
         .and_then(forum_from_json)
     {
         Ok(f) => f,
-        Err(e) => return error_response(&e),
+        Err(e) => return Err(CmdError::new("invalid_argument", e)),
     };
 
     let mut config = state.config.clone();
@@ -491,37 +784,37 @@ fn cmd_attack(state: &Arc<DaemonState>, request: &Json) -> Json {
     if let Some(k) = request.get("top_k") {
         match k.as_usize() {
             Some(k) => attack.top_k = k,
-            None => return error_response("invalid top_k"),
+            None => return Err(CmdError::new("invalid_argument", "invalid top_k")),
         }
     }
     if let Some(h) = request.get("n_landmarks") {
         match h.as_usize() {
             Some(h) => attack.n_landmarks = h,
-            None => return error_response("invalid n_landmarks"),
+            None => return Err(CmdError::new("invalid_argument", "invalid n_landmarks")),
         }
     }
     if let Some(s) = request.get("seed") {
         match s.as_usize() {
             Some(s) => attack.seed = s as u64,
-            None => return error_response("invalid seed"),
+            None => return Err(CmdError::new("invalid_argument", "invalid seed")),
         }
     }
     if let Some(t) = request.get("threads") {
         match t.as_usize() {
             Some(t) => config.n_threads = t,
-            None => return error_response("invalid threads"),
+            None => return Err(CmdError::new("invalid_argument", "invalid threads")),
         }
     }
 
     let engine = Engine::new(config);
     let outcome = corpus.attack(&engine, &anonymized);
 
-    {
-        let mut stats = state.stats.lock().expect("stats lock poisoned");
-        stats.attacks += 1;
-        stats.attacked_users += anonymized.n_users as u64;
-        stats.mapped_users += outcome.mapping.iter().filter(|m| m.is_some()).count() as u64;
-    }
+    state.metrics.attacks.inc();
+    state.metrics.attacked_users.add(anonymized.n_users as u64);
+    state.metrics.mapped_users.add(outcome.mapping.iter().filter(|m| m.is_some()).count() as u64);
+    // Per-stage latency histograms across requests — the engine report
+    // flows into the daemon's registry.
+    outcome.report.record_into(&state.metrics.registry);
 
     let mapping = outcome.mapping.iter().map(|m| m.map_or(Json::Null, Json::int)).collect();
     let candidates = outcome
@@ -529,22 +822,17 @@ fn cmd_attack(state: &Arc<DaemonState>, request: &Json) -> Json {
         .iter()
         .map(|c| Json::Arr(c.iter().map(|&v| Json::int(v)).collect()))
         .collect();
-    ok_response(vec![
+    Ok(vec![
         ("mapping".into(), Json::Arr(mapping)),
         ("candidates".into(), Json::Arr(candidates)),
         ("report".into(), report_to_json(&outcome.report)),
     ])
 }
 
-fn cmd_stats(state: &Arc<DaemonState>) -> Json {
-    let stats = *state.stats.lock().expect("stats lock poisoned");
-    let (users, posts) = state
-        .corpus
-        .read()
-        .expect("corpus lock poisoned")
-        .as_ref()
-        .map_or((0, 0), |c| (c.n_users(), c.n_posts()));
-    ok_response(vec![
+fn cmd_stats(state: &Arc<DaemonState>) -> Result<Vec<(String, Json)>, CmdError> {
+    let stats = state.metrics.stats();
+    let (users, posts) = state.corpus().map_or((0, 0), |c| (c.n_users(), c.n_posts()));
+    Ok(vec![
         ("corpus_users".into(), Json::int(users)),
         ("corpus_posts".into(), Json::int(posts)),
         ("requests".into(), Json::Num(stats.requests as f64)),

@@ -21,6 +21,10 @@
 //!   each attack runs on the engine's scoped worker pool
 //!   ([`Engine::run_prepared`](dehealth_engine::Engine::run_prepared)).
 //! - [`client::ServiceClient`] — a blocking client for the protocol.
+//! - [`metrics`] — exposition of the daemon's `dehealth-telemetry`
+//!   registry: the `metrics` command's JSON encoding
+//!   ([`registry_to_json`]) and the optional Prometheus scrape endpoint
+//!   ([`MetricsServer`], `repro serve --metrics-addr`).
 //!
 //! ## Parity guarantee
 //!
@@ -60,10 +64,12 @@ pub mod client;
 pub mod corpus;
 pub mod daemon;
 pub mod json;
+pub mod metrics;
 pub mod protocol;
 
 pub use client::{AttackReply, ServiceClient, ServiceError};
 pub use corpus::{LoadMode, MemoryStats, PreparedCorpus};
 pub use daemon::{Daemon, DaemonLimits, DaemonStats};
 pub use json::Json;
+pub use metrics::{registry_to_json, MetricsServer};
 pub use protocol::AttackOptions;

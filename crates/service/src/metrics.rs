@@ -1,0 +1,239 @@
+//! Registry exposition for the serving layer: the JSON encoding used by
+//! the `metrics` wire command and the minimal HTTP responder behind
+//! `repro serve --metrics-addr` (Prometheus text format).
+//!
+//! The JSON encoding lives here rather than in `dehealth-telemetry`
+//! because it targets the in-tree [`Json`] type — the telemetry crate
+//! stays a zero-dependency leaf.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dehealth_telemetry::{MetricValue, Registry};
+
+use crate::json::Json;
+
+/// Encode a whole registry as a JSON array, one object per metric in
+/// deterministic (name, labels) order:
+///
+/// ```text
+/// {"name":…,"labels":{…},"type":"counter","value":3}
+/// {"name":…,"labels":{…},"type":"gauge","value":-2}
+/// {"name":…,"labels":{…},"type":"histogram","count":5,"sum_seconds":…,
+///  "p50":…,"p90":…,"p99":…,"buckets":[[le_seconds,cumulative],…]}
+/// ```
+///
+/// Histogram `buckets` list the finite ladder only; the `+Inf` bucket is
+/// implied by `count` (the in-tree JSON emitter writes non-finite
+/// numbers as `null`, so `+Inf` cannot travel as a bound). Counter and
+/// gauge values are emitted as JSON numbers (`f64`), like every other
+/// counter on this wire.
+#[must_use]
+pub fn registry_to_json(registry: &Registry) -> Json {
+    let metrics = registry
+        .snapshot()
+        .into_iter()
+        .map(|m| {
+            let labels = m.labels.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect();
+            let mut fields = vec![
+                ("name".into(), Json::Str(m.name)),
+                ("labels".into(), Json::Obj(labels)),
+                ("type".into(), Json::Str(m.value.kind().into())),
+            ];
+            match m.value {
+                MetricValue::Counter(v) => fields.push(("value".into(), Json::Num(v as f64))),
+                MetricValue::Gauge(v) => fields.push(("value".into(), Json::Num(v as f64))),
+                MetricValue::Histogram(h) => {
+                    let buckets = h
+                        .cumulative()
+                        .map(|(le, n)| Json::Arr(vec![Json::Num(le), Json::Num(n as f64)]))
+                        .collect();
+                    fields.extend([
+                        ("count".into(), Json::Num(h.count() as f64)),
+                        ("sum_seconds".into(), Json::Num(h.sum_seconds())),
+                        ("p50".into(), Json::Num(h.quantile(0.5))),
+                        ("p90".into(), Json::Num(h.quantile(0.9))),
+                        ("p99".into(), Json::Num(h.quantile(0.99))),
+                        ("buckets".into(), Json::Arr(buckets)),
+                    ]);
+                }
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Arr(metrics)
+}
+
+/// How often the scrape listener wakes up to poll its shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A minimal read-only HTTP responder serving a registry in the
+/// Prometheus text exposition format — the `--metrics-addr` scrape
+/// endpoint.
+///
+/// Every request (whatever its path) is answered with the full registry
+/// and the connection is closed; there is no keep-alive, no routing, and
+/// nothing writable. Dropping the server stops the listener thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutting_down: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (port 0 for ephemeral) and start answering scrapes
+    /// from `registry`.
+    ///
+    /// # Errors
+    /// Propagates socket errors (bind/listen).
+    pub fn bind<A: ToSocketAddrs>(addr: A, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutting_down);
+        let thread = std::thread::spawn(move || scrape_loop(&listener, &registry, &flag));
+        Ok(Self { addr, shutting_down, thread: Some(thread) })
+    }
+
+    /// The bound address (with the actual port when bound to port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn scrape_loop(listener: &TcpListener, registry: &Registry, shutting_down: &AtomicBool) {
+    while !shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_scrape(stream, registry),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Answer one scrape: drain the request head (bounded, best-effort),
+/// write the full exposition, close. A stalling or misbehaving peer
+/// costs at most the read timeout, never a thread.
+fn serve_scrape(mut stream: std::net::TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut head = [0u8; 4096];
+    let mut read = 0;
+    while read < head.len() {
+        match stream.read(&mut head[read..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                read += n;
+                if head[..read].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = registry.prometheus_text();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    #[test]
+    fn registry_to_json_golden_format() {
+        let registry = Registry::new();
+        registry.counter_with("daemon_requests_total", &[("cmd", "attack")]).add(3);
+        registry.gauge("daemon_connections_live").set(2);
+        let hist = registry.histogram("attack_seconds");
+        hist.record_nanos(1_500_000_000); // 1.5s → the ≤ 2s bucket
+        let json = registry_to_json(&registry);
+        let arr = json.as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+
+        // Deterministic order: attack_seconds, daemon_connections_live,
+        // daemon_requests_total.
+        let hist_obj = &arr[0];
+        assert_eq!(hist_obj.get("name").and_then(Json::as_str), Some("attack_seconds"));
+        assert_eq!(hist_obj.get("type").and_then(Json::as_str), Some("histogram"));
+        assert_eq!(hist_obj.get("count").and_then(Json::as_usize), Some(1));
+        assert_eq!(hist_obj.get("sum_seconds").and_then(Json::as_f64), Some(1.5));
+        let p50 = hist_obj.get("p50").and_then(Json::as_f64).unwrap();
+        assert!((1.0..=2.0).contains(&p50), "p50 {p50} inside the 1s–2s bucket");
+        let buckets = hist_obj.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), 25, "finite ladder only; +Inf implied by count");
+        let last = buckets.last().and_then(Json::as_array).unwrap();
+        assert_eq!(last[0].as_f64(), Some(100.0));
+        assert_eq!(last[1].as_usize(), Some(1));
+
+        assert_eq!(arr[1].get("type").and_then(Json::as_str), Some("gauge"));
+        assert_eq!(arr[1].get("value").and_then(Json::as_f64), Some(2.0));
+        let counter = &arr[2];
+        assert_eq!(counter.get("value").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            counter.get("labels").and_then(|l| l.get("cmd")).and_then(Json::as_str),
+            Some("attack")
+        );
+
+        // The whole thing survives an emit/parse round trip.
+        let reparsed = Json::parse(&json.emit()).unwrap();
+        assert_eq!(reparsed.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn metrics_server_answers_a_scrape() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("scrapes_total").add(7);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.starts_with("HTTP/1.1 200 OK"), "status: {status}");
+        let mut response = status.clone();
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            response.push_str(&line);
+            line.clear();
+        }
+        assert!(response.contains("# TYPE scrapes_total counter"), "response: {response}");
+        assert!(response.contains("scrapes_total 7"), "response: {response}");
+
+        server.shutdown();
+    }
+}

@@ -22,6 +22,10 @@
 //! → {"cmd":"stats"}
 //! ← {"ok":true,"corpus_users":602,…,"requests":7,"attacks":3,…}
 //!
+//! → {"cmd":"metrics"}
+//! ← {"ok":true,"metrics":[{"name":"daemon_requests_total","labels":{},
+//!        "type":"counter","value":7},…]}
+//!
 //! → {"cmd":"shutdown"}
 //! ← {"ok":true}
 //! ```

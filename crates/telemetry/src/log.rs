@@ -1,0 +1,308 @@
+//! Leveled structured logging: single-line `key=value` records emitted
+//! through a pluggable sink (default stderr).
+//!
+//! Line grammar:
+//!
+//! ```text
+//! ts=<unix-seconds.millis> level=<error|warn|info|debug|trace> msg=<value> [key=<value>]...
+//! ```
+//!
+//! where `<value>` is written bare when it contains no spaces, quotes,
+//! `=`, backslashes, or control characters, and otherwise as a
+//! double-quoted string with `\\`, `\"`, `\n`, `\r`, `\t` escapes.
+//!
+//! The active level comes from the `DEHEALTH_LOG` environment variable
+//! (`off`, `error`, `warn`, `info`, `debug`, `trace`; default `warn`),
+//! read once on first use, and can be overridden programmatically with
+//! [`set_max_level`]. Use the [`error!`](crate::error)..[`trace!`](crate::trace)
+//! macros rather than building [`Record`]s by hand.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// The operation failed.
+    Error = 1,
+    /// Something surprising that the system absorbed (default level).
+    Warn = 2,
+    /// Normal operational milestones.
+    Info = 3,
+    /// Per-request detail.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// The lowercase name used on the wire (`level=...`) and in
+    /// `DEHEALTH_LOG`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a `DEHEALTH_LOG`-style name (case-insensitive); `None` for
+    /// unknown strings.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Sentinel: level filter not yet resolved from the environment.
+const LEVEL_UNSET: u8 = u8::MAX;
+/// Everything disabled (`DEHEALTH_LOG=off`).
+const LEVEL_OFF: u8 = 0;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn resolve_max_level() -> u8 {
+    let resolved = match std::env::var("DEHEALTH_LOG") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("off") => LEVEL_OFF,
+        Ok(v) => Level::parse(&v).unwrap_or(Level::Warn) as u8,
+        Err(_) => Level::Warn as u8,
+    };
+    MAX_LEVEL.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Whether records at `level` are currently emitted. The macros check
+/// this before paying any formatting cost.
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    let mut max = MAX_LEVEL.load(Ordering::Relaxed);
+    if max == LEVEL_UNSET {
+        max = resolve_max_level();
+    }
+    level as u8 <= max
+}
+
+/// Override the level filter (`None` disables all logging). Wins over
+/// `DEHEALTH_LOG`.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(LEVEL_OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Destination for finished log lines (without trailing newline).
+pub trait LogSink: Send + Sync {
+    /// Deliver one complete record line.
+    fn write_line(&self, line: &str);
+}
+
+static SINK: RwLock<Option<Arc<dyn LogSink>>> = RwLock::new(None);
+
+/// Route records to `sink` instead of stderr.
+pub fn set_sink(sink: Arc<dyn LogSink>) {
+    *SINK.write().unwrap_or_else(PoisonError::into_inner) = Some(sink);
+}
+
+/// Restore the default stderr sink.
+pub fn reset_sink() {
+    *SINK.write().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+fn emit_line(line: &str) {
+    let sink = SINK.read().unwrap_or_else(PoisonError::into_inner).clone();
+    match sink {
+        Some(sink) => sink.write_line(line),
+        None => eprintln!("{line}"),
+    }
+}
+
+/// One structured record under construction. Usually produced by the
+/// level macros, which already perform the [`enabled`] check.
+#[derive(Debug)]
+pub struct Record {
+    line: String,
+}
+
+impl Record {
+    /// Start a record: timestamp, level, and message.
+    #[must_use]
+    pub fn new(level: Level, msg: &str) -> Self {
+        let ts = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0.0, |d| d.as_secs_f64());
+        let mut line = format!("ts={ts:.3} level={level} msg=");
+        push_value(&mut line, msg);
+        Self { line }
+    }
+
+    /// Append one `key=value` field.
+    #[must_use]
+    pub fn field<V: fmt::Display + ?Sized>(mut self, key: &str, value: &V) -> Self {
+        self.line.push(' ');
+        self.line.push_str(key);
+        self.line.push('=');
+        push_value(&mut self.line, &value.to_string());
+        self
+    }
+
+    /// The finished line, for tests and custom sinks.
+    #[must_use]
+    pub fn as_line(&self) -> &str {
+        &self.line
+    }
+
+    /// Send the record to the active sink.
+    pub fn emit(self) {
+        emit_line(&self.line);
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || s.chars().any(|c| c == ' ' || c == '"' || c == '=' || c == '\\' || c.is_control())
+}
+
+fn push_value(out: &mut String, s: &str) {
+    if !needs_quoting(s) {
+        out.push_str(s);
+        return;
+    }
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Emit a record at an explicit [`Level`]:
+/// `log!(Level::Info, "msg", key = value, ...)`. Prefer the per-level
+/// macros.
+#[macro_export]
+macro_rules! log {
+    ($level:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log::enabled($level) {
+            $crate::log::Record::new($level, &$msg)
+                $(.field(stringify!($key), &$value))*
+                .emit();
+        }
+    };
+}
+
+/// Emit at [`Level::Error`](crate::log::Level::Error).
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log!($crate::log::Level::Error, $($arg)*) };
+}
+
+/// Emit at [`Level::Warn`](crate::log::Level::Warn).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log!($crate::log::Level::Warn, $($arg)*) };
+}
+
+/// Emit at [`Level::Info`](crate::log::Level::Info).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log!($crate::log::Level::Info, $($arg)*) };
+}
+
+/// Emit at [`Level::Debug`](crate::log::Level::Debug).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log!($crate::log::Level::Debug, $($arg)*) };
+}
+
+/// Emit at [`Level::Trace`](crate::log::Level::Trace).
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => { $crate::log!($crate::log::Level::Trace, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct CaptureSink {
+        lines: Mutex<Vec<String>>,
+    }
+
+    impl LogSink for CaptureSink {
+        fn write_line(&self, line: &str) {
+            self.lines.lock().unwrap().push(line.to_string());
+        }
+    }
+
+    /// One combined test: sink + level filter are process-global, so
+    /// exercising them from parallel #[test] fns would race.
+    #[test]
+    fn records_levels_quoting_and_sinks() {
+        let sink = Arc::new(CaptureSink::default());
+        set_sink(Arc::clone(&sink) as Arc<dyn LogSink>);
+        set_max_level(Some(Level::Info));
+
+        // Grammar: bare values stay bare, awkward values get quoted.
+        info!("attack done", users = 42, path = "/tmp/corpus.bin", note = "two words");
+        // Below the filter: nothing emitted, value not even formatted.
+        debug!("dropped", detail = "unseen");
+        // Above the filter.
+        error!("boom", kind = "io");
+
+        let lines = sink.lines.lock().unwrap().clone();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("ts="), "line: {}", lines[0]);
+        assert!(
+            lines[0].ends_with(
+                "level=info msg=\"attack done\" users=42 path=/tmp/corpus.bin note=\"two words\""
+            ),
+            "line: {}",
+            lines[0]
+        );
+        assert!(lines[1].ends_with("level=error msg=boom kind=io"), "line: {}", lines[1]);
+
+        // Escapes inside quoted values.
+        let record = Record::new(Level::Warn, "x").field("v", "a\"b\\c\nd=e");
+        assert!(
+            record.as_line().ends_with("msg=x v=\"a\\\"b\\\\c\\nd=e\""),
+            "line: {}",
+            record.as_line()
+        );
+
+        // Level parsing round-trips, including the `off` handling in
+        // set_max_level.
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("nonsense"), None);
+        set_max_level(None);
+        assert!(!enabled(Level::Error));
+        set_max_level(Some(Level::Trace));
+        assert!(enabled(Level::Trace));
+
+        set_max_level(Some(Level::Warn));
+        reset_sink();
+    }
+}

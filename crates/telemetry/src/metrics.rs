@@ -1,0 +1,514 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], the log-bucketed
+//! latency [`Histogram`], and the RAII [`SpanTimer`] guard.
+//!
+//! Every primitive is a plain struct over `std::sync::atomic` cells —
+//! recording never takes a lock, never allocates, and never panics, so a
+//! metric update is safe from any thread including one that is already
+//! unwinding. Handles are shared as `Arc`s (usually obtained from a
+//! [`Registry`](crate::registry::Registry)).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (live connections, resident bytes,
+/// corpus generation).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract 1.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The histogram's fixed bucket ladder: upper bounds in **nanoseconds**,
+/// a 1-2-5 sequence per decade from 1µs to 100s. Values above 100s land
+/// in a final overflow (`+Inf`) bucket.
+pub const BUCKET_BOUNDS_NANOS: [u64; 25] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    20_000_000_000,
+    50_000_000_000,
+    100_000_000_000,
+];
+
+/// Number of buckets, including the final overflow (`+Inf`) bucket.
+pub const N_BUCKETS: usize = BUCKET_BOUNDS_NANOS.len() + 1;
+
+/// Index of the first bucket whose upper bound covers `nanos`
+/// (`nanos <= bound`); the overflow bucket for values beyond the ladder.
+#[must_use]
+pub fn bucket_index(nanos: u64) -> usize {
+    BUCKET_BOUNDS_NANOS.partition_point(|&bound| bound < nanos)
+}
+
+/// A lock-free log-bucketed latency histogram.
+///
+/// Records land in the fixed [`BUCKET_BOUNDS_NANOS`] ladder (per-bucket
+/// atomic counts) plus an exact nanosecond sum, so `count` and `sum` are
+/// exact while quantiles are estimates with a documented error: an
+/// estimated quantile always falls inside the bucket that holds the true
+/// sample, i.e. it is off by at most one bucket width (the ladder's 1-2-5
+/// steps bound the ratio error at 2.5×).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { buckets: [const { AtomicU64::new(0) }; N_BUCKETS], sum_nanos: AtomicU64::new(0) }
+    }
+
+    /// Record one elapsed duration.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_nanos(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one sample given in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record one sample given in (non-negative, finite) seconds; NaN and
+    /// negative values record as 0.
+    pub fn record_secs(&self, seconds: f64) {
+        let seconds = if seconds.is_nan() || seconds < 0.0 { 0.0 } else { seconds };
+        // `as` saturates at the integer bounds, so huge (or infinite)
+        // values land in the overflow bucket instead of wrapping.
+        self.record_nanos((seconds * 1e9).round() as u64);
+    }
+
+    /// Exact number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Exact sum of all recorded samples, in nanoseconds.
+    #[must_use]
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all recorded samples, in seconds.
+    #[must_use]
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos() as f64 / 1e9
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; N_BUCKETS];
+        for (out, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { counts, sum_nanos: self.sum_nanos() }
+    }
+
+    /// Estimated `q`-quantile in seconds (see [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (not cumulative); the last entry is the
+    /// overflow (`+Inf`) bucket.
+    pub counts: [u64; N_BUCKETS],
+    /// Exact sum of all samples, in nanoseconds.
+    pub sum_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all samples, in seconds.
+    #[must_use]
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos as f64 / 1e9
+    }
+
+    /// Mean sample, in seconds (0 when empty).
+    #[must_use]
+    pub fn mean_seconds(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_seconds() / count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`) in seconds,
+    /// linearly interpolated inside the bucket holding the target rank.
+    ///
+    /// Error bound: the estimate lies inside the same bucket as the true
+    /// rank-order statistic, so it is off by at most that bucket's width
+    /// (a ratio of ≤ 2.5× on the 1-2-5 ladder). Samples beyond the
+    /// ladder's 100s ceiling report the ceiling. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the order statistic the quantile asks for, 1-based.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NANOS[i - 1] };
+                let upper = BUCKET_BOUNDS_NANOS.get(i).copied().unwrap_or(lower);
+                let fraction = (rank - seen) as f64 / n as f64;
+                let nanos = lower as f64 + (upper.saturating_sub(lower)) as f64 * fraction;
+                return nanos / 1e9;
+            }
+            seen += n;
+        }
+        // Unreachable (rank <= count), but stay total.
+        *BUCKET_BOUNDS_NANOS.last().expect("ladder nonempty") as f64 / 1e9
+    }
+
+    /// Cumulative `(upper_bound_seconds, count)` pairs over the finite
+    /// ladder, Prometheus `le`-style; the overflow bucket is implied by
+    /// [`HistogramSnapshot::count`].
+    pub fn cumulative(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let mut acc = 0u64;
+        BUCKET_BOUNDS_NANOS.iter().zip(&self.counts).map(move |(&bound, &n)| {
+            acc += n;
+            (bound as f64 / 1e9, acc)
+        })
+    }
+}
+
+/// An RAII guard that records the wall-clock elapsed since its creation
+/// into a [`Histogram`] when dropped — including a drop during panic
+/// unwinding, so a request that dies mid-flight still leaves a sample.
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanTimer {
+    /// Start timing now.
+    #[must_use]
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        Self::starting_at(hist, Instant::now())
+    }
+
+    /// Adopt an earlier start point (e.g. when the target histogram is
+    /// only known after some parsing that should still be billed to the
+    /// span).
+    #[must_use]
+    pub fn starting_at(hist: Arc<Histogram>, start: Instant) -> Self {
+        Self { hist, start, armed: true }
+    }
+
+    /// Wall-clock elapsed so far.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Record now and return the recorded duration (instead of waiting
+    /// for the drop).
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.hist.record(elapsed);
+        self.armed = false;
+        elapsed
+    }
+
+    /// Drop without recording anything.
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_ladder_is_strictly_monotonic_and_spans_1us_to_100s() {
+        for pair in BUCKET_BOUNDS_NANOS.windows(2) {
+            assert!(pair[0] < pair[1], "ladder must strictly increase: {pair:?}");
+        }
+        assert_eq!(BUCKET_BOUNDS_NANOS[0], 1_000, "ladder starts at 1µs");
+        assert_eq!(*BUCKET_BOUNDS_NANOS.last().unwrap(), 100_000_000_000, "ladder tops at 100s");
+        // bucket_index is monotone in the sample and consistent with the
+        // `value <= bound` containment rule.
+        let mut last = 0;
+        for nanos in [0, 1, 999, 1_000, 1_001, 4_999, 5_000, 1_000_000, 99_999_999_999] {
+            let i = bucket_index(nanos);
+            assert!(i >= last);
+            last = i;
+            assert!(nanos <= BUCKET_BOUNDS_NANOS[i], "{nanos} must fit its bucket");
+            if i > 0 {
+                assert!(
+                    nanos > BUCKET_BOUNDS_NANOS[i - 1],
+                    "{nanos} must not fit the bucket below"
+                );
+            }
+        }
+        assert_eq!(bucket_index(100_000_000_001), N_BUCKETS - 1, "beyond the ladder → overflow");
+    }
+
+    #[test]
+    fn quantile_estimates_stay_inside_the_exact_value_bucket() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let hist = Histogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            // Log-uniform-ish spread across the ladder.
+            let exponent = rng.gen_range(3..11u32);
+            let nanos =
+                rng.gen_range(1..10u64) * 10u64.pow(exponent) / 10 + rng.gen_range(0..997u64);
+            exact.push(nanos);
+            hist.record_nanos(nanos);
+        }
+        exact.sort_unstable();
+        let snapshot = hist.snapshot();
+        assert_eq!(snapshot.count(), exact.len() as u64);
+        assert_eq!(snapshot.sum_nanos, exact.iter().sum::<u64>());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let true_value = exact[rank - 1];
+            let bucket = bucket_index(true_value);
+            let lower =
+                if bucket == 0 { 0.0 } else { BUCKET_BOUNDS_NANOS[bucket - 1] as f64 / 1e9 };
+            let upper = BUCKET_BOUNDS_NANOS[bucket] as f64 / 1e9;
+            let estimate = snapshot.quantile(q);
+            assert!(
+                (lower..=upper).contains(&estimate),
+                "q={q}: estimate {estimate} outside the true value's bucket [{lower}, {upper}]"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_from_8_threads_sums_exactly() {
+        let hist = Arc::new(Histogram::new());
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        hist.record_nanos(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hist.count(), 8 * per_thread);
+        let expected: u64 =
+            (0..8u64).map(|t| (0..per_thread).map(|i| t * 1_000 + i).sum::<u64>()).sum();
+        assert_eq!(hist.sum_nanos(), expected, "nanosecond sum must be exact");
+    }
+
+    #[test]
+    fn counter_and_gauge_concurrent_updates_are_exact() {
+        let counter = Arc::new(Counter::new());
+        let gauge = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (c, g) = (Arc::clone(&counter), Arc::clone(&gauge));
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                        g.inc();
+                        g.dec();
+                    }
+                    c.add(5);
+                    g.add(3);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.get(), 8 * 10_005);
+        assert_eq!(gauge.get(), 24);
+        gauge.set(-7);
+        assert_eq!(gauge.get(), -7);
+    }
+
+    #[test]
+    fn record_secs_clamps_pathological_inputs() {
+        let hist = Histogram::new();
+        hist.record_secs(-1.0);
+        hist.record_secs(f64::NAN);
+        hist.record_secs(f64::INFINITY);
+        hist.record_secs(1e30); // saturates into the overflow bucket
+        assert_eq!(hist.count(), 4);
+        let snapshot = hist.snapshot();
+        assert_eq!(snapshot.counts[0], 2, "negative and NaN record as 0");
+        assert_eq!(snapshot.counts[N_BUCKETS - 1], 2, "inf/huge land in overflow");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+        assert_eq!(Histogram::new().snapshot().mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn cumulative_counts_accumulate_over_the_ladder() {
+        let hist = Histogram::new();
+        hist.record_nanos(500); // bucket 0 (≤ 1µs)
+        hist.record_nanos(1_500_000); // ≤ 2ms
+        hist.record_nanos(2_000_000_000_000); // overflow
+        let snapshot = hist.snapshot();
+        let cumulative: Vec<(f64, u64)> = snapshot.cumulative().collect();
+        assert_eq!(cumulative.len(), BUCKET_BOUNDS_NANOS.len());
+        assert_eq!(cumulative[0], (1e-6, 1));
+        assert_eq!(cumulative.last().unwrap().1, 2, "overflow excluded from the finite ladder");
+        assert_eq!(snapshot.count(), 3);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop_stop_and_panic_but_not_discard() {
+        let hist = Arc::new(Histogram::new());
+
+        // Plain drop records.
+        drop(SpanTimer::new(Arc::clone(&hist)));
+        assert_eq!(hist.count(), 1);
+
+        // stop() records exactly once and returns the elapsed time.
+        let timer = SpanTimer::new(Arc::clone(&hist));
+        let elapsed = timer.stop();
+        assert_eq!(hist.count(), 2);
+        assert!(hist.sum_nanos() >= elapsed.as_nanos() as u64);
+
+        // discard() records nothing.
+        SpanTimer::new(Arc::clone(&hist)).discard();
+        assert_eq!(hist.count(), 2);
+
+        // The panic path: unwinding drops the guard, which still records.
+        let hist_clone = Arc::clone(&hist);
+        let result = std::panic::catch_unwind(move || {
+            let _timer = SpanTimer::new(hist_clone);
+            panic!("request died mid-flight");
+        });
+        assert!(result.is_err());
+        assert_eq!(hist.count(), 3, "a panicking span must still record its sample");
+    }
+}

@@ -1,0 +1,391 @@
+//! The named-metric [`Registry`]: get-or-register handles by
+//! `(name, labels)` key, snapshot the whole family, and render the
+//! Prometheus text exposition format.
+//!
+//! The registry map is behind an `RwLock`, but the lock is only touched
+//! at registration and snapshot time — hot paths hold the returned
+//! `Arc<Counter>`/`Arc<Gauge>`/`Arc<Histogram>` and update atomics
+//! directly. Lock poisoning is deliberately ignored (a panicked thread
+//! only ever *read* or *inserted* map entries, both of which leave the
+//! map coherent), so a dying connection thread can never make metrics
+//! unreadable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Identity of one metric: a name plus an ordered label set.
+///
+/// `BTreeMap` ordering over this key gives the registry a deterministic
+/// exposition order (name, then labels lexicographically), which the
+/// golden-format tests rely on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric family name, e.g. `daemon_requests_total`.
+    pub name: String,
+    /// Label pairs in the order given at registration.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        Self {
+            name: name.to_string(),
+            labels: labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Point-in-time value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Full histogram state (boxed: the bucket array dwarfs the scalar
+    /// variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl MetricValue {
+    /// The Prometheus type keyword for this value.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One entry of a [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// A concurrent name→metric map handing out shared atomic handles.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `name` with no labels.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or register the counter `name` with the given labels.
+    ///
+    /// # Panics
+    /// If the `(name, labels)` key is already registered as a different
+    /// metric kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name` with no labels.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or register the gauge `name` with the given labels.
+    ///
+    /// # Panics
+    /// If the `(name, labels)` key is already registered as a different
+    /// metric kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name` with no labels.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get or register the histogram `name` with the given labels.
+    ///
+    /// # Panics
+    /// If the `(name, labels)` key is already registered as a different
+    /// metric kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.get_or_insert(name, labels, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let key = MetricKey::new(name, labels);
+        {
+            let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(metric) = map.get(&key) {
+                return metric.clone();
+            }
+        }
+        let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        map.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Capture every registered metric, in deterministic key order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        map.iter()
+            .map(|(key, metric)| MetricSnapshot {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect()
+    }
+
+    /// Render the whole registry in the Prometheus text exposition
+    /// format (version 0.0.4): one `# TYPE` line per family, then one
+    /// sample line per metric, histograms expanded into cumulative
+    /// `_bucket{le=...}` series plus `_sum`/`_count`.
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<String> = None;
+        for snap in self.snapshot() {
+            if last_family.as_deref() != Some(snap.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} {}", snap.name, snap.value.kind());
+                last_family = Some(snap.name.clone());
+            }
+            match &snap.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", snap.name, label_block(&snap.labels, None));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", snap.name, label_block(&snap.labels, None));
+                }
+                MetricValue::Histogram(h) => {
+                    for (le, cumulative) in h.cumulative() {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            snap.name,
+                            label_block(&snap.labels, Some(&fmt_f64(le)))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        snap.name,
+                        label_block(&snap.labels, Some("+Inf")),
+                        h.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        snap.name,
+                        label_block(&snap.labels, None),
+                        fmt_f64(h.sum_seconds())
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        snap.name,
+                        label_block(&snap.labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render `{k="v",...}` (empty string when there are no labels and no
+/// `le`). Label values are escaped per the Prometheus text format.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest round-trip float formatting (Rust's `{:?}` for f64), so
+/// `0.001` renders as `0.001` and not `0.0010000000000000002`.
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_handle() {
+        let registry = Registry::new();
+        let a = registry.counter("requests_total");
+        let b = registry.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Distinct labels are distinct metrics.
+        let x = registry.counter_with("cmd_total", &[("cmd", "attack")]);
+        let y = registry.counter_with("cmd_total", &[("cmd", "stats")]);
+        x.inc();
+        assert_eq!(y.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        let _ = registry.counter("thing");
+        let _ = registry.gauge("thing");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name_then_labels() {
+        let registry = Registry::new();
+        registry.gauge("z_gauge").set(-4);
+        registry.counter_with("a_total", &[("k", "b")]).inc();
+        registry.counter_with("a_total", &[("k", "a")]).add(2);
+        let snaps = registry.snapshot();
+        let keys: Vec<(String, Vec<(String, String)>)> =
+            snaps.iter().map(|s| (s.name.clone(), s.labels.clone())).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(snaps[0].value, MetricValue::Counter(2));
+        assert_eq!(snaps[2].value, MetricValue::Gauge(-4));
+    }
+
+    #[test]
+    fn registry_survives_a_panicking_user_thread() {
+        let registry = Arc::new(Registry::new());
+        let clone = Arc::clone(&registry);
+        let _ = std::thread::spawn(move || {
+            clone.counter("survivor_total").inc();
+            panic!("connection thread dies");
+        })
+        .join();
+        // The registry stays readable and writable afterwards.
+        registry.counter("survivor_total").inc();
+        assert_eq!(registry.counter("survivor_total").get(), 2);
+        assert_eq!(registry.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_golden_format() {
+        let registry = Registry::new();
+        registry.counter_with("daemon_requests_total", &[("cmd", "attack")]).add(3);
+        registry.gauge("daemon_connections_live").set(2);
+        let hist = registry.histogram("attack_seconds");
+        hist.record_nanos(1_500); // ≤ 2µs bucket
+        hist.record_nanos(3_000_000); // ≤ 5ms bucket
+        let text = registry.prometheus_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "# TYPE attack_seconds histogram");
+        assert_eq!(lines[1], "attack_seconds_bucket{le=\"1e-6\"} 0");
+        assert_eq!(lines[2], "attack_seconds_bucket{le=\"2e-6\"} 1");
+        // 25 finite buckets + +Inf + sum + count + TYPE line.
+        assert_eq!(lines[26], "attack_seconds_bucket{le=\"+Inf\"} 2");
+        assert_eq!(lines[27], "attack_seconds_sum 0.0030015");
+        assert_eq!(lines[28], "attack_seconds_count 2");
+        assert_eq!(lines[29], "# TYPE daemon_connections_live gauge");
+        assert_eq!(lines[30], "daemon_connections_live 2");
+        assert_eq!(lines[31], "# TYPE daemon_requests_total counter");
+        assert_eq!(lines[32], "daemon_requests_total{cmd=\"attack\"} 3");
+        assert_eq!(lines.len(), 33);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = Registry::new();
+        registry.counter_with("odd_total", &[("path", "a\\b \"c\"\nd")]).inc();
+        let text = registry.prometheus_text();
+        assert!(text.contains("odd_total{path=\"a\\\\b \\\"c\\\"\\nd\"} 1"));
+    }
+}

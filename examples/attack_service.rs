@@ -124,6 +124,42 @@ fn main() {
     let stats = client.stats().expect("stats");
     println!("daemon stats: {}", stats.emit());
 
+    // Scrape the metric registry over the wire and hold the daemon to its
+    // own telemetry: the attacks above must have left nonzero request
+    // counters and attack-latency histogram samples (the CI smoke job
+    // relies on these asserts firing against an external daemon too).
+    let metrics = client.metrics().expect("metrics");
+    let list =
+        metrics.get("metrics").and_then(de_health::service::Json::as_array).expect("metrics array");
+    let find = |name: &str, label: Option<(&str, &str)>| {
+        list.iter().find(|m| {
+            m.get("name").and_then(de_health::service::Json::as_str) == Some(name)
+                && label.is_none_or(|(k, v)| {
+                    m.get("labels")
+                        .and_then(|l| l.get(k))
+                        .and_then(de_health::service::Json::as_str)
+                        == Some(v)
+                })
+        })
+    };
+    let requests = find("daemon_requests_total", None)
+        .and_then(|m| m.get("value"))
+        .and_then(de_health::service::Json::as_f64)
+        .expect("daemon_requests_total present");
+    assert!(requests >= 4.0, "request counter must cover the commands issued, got {requests}");
+    let attack_hist = find("daemon_command_seconds", Some(("cmd", "attack")))
+        .expect("attack latency histogram present");
+    let samples = attack_hist
+        .get("count")
+        .and_then(de_health::service::Json::as_usize)
+        .expect("histogram count");
+    assert!(samples >= 2, "attack latency histogram must hold the attacks served, got {samples}");
+    let p50 =
+        attack_hist.get("p50").and_then(de_health::service::Json::as_f64).expect("histogram p50");
+    println!(
+        "daemon telemetry: {requests} requests, {samples} attack latency samples (p50 {p50:.3}s) ✓"
+    );
+
     client.shutdown().expect("shutdown");
     if let Some(daemon) = spawned {
         daemon.join();

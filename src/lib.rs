@@ -32,6 +32,9 @@
 //!   fan-out Refined DA, and incremental auxiliary ingestion.
 //! - [`service`] — the serving layer: persistent corpus snapshots and the
 //!   long-lived attack daemon (newline-delimited JSON over TCP).
+//! - [`telemetry`] — in-tree observability: lock-free counters/gauges,
+//!   log-bucketed latency histograms, a named-metric registry with
+//!   Prometheus text exposition, and the structured-logging facade.
 //! - [`theory`] — re-identifiability bounds (Theorems 1-4) and Monte-Carlo
 //!   validation.
 //! - [`linkage`] — the NameLink / AvatarLink linkage-attack simulation.
@@ -65,5 +68,6 @@ pub use dehealth_mapped as mapped;
 pub use dehealth_ml as ml;
 pub use dehealth_service as service;
 pub use dehealth_stylometry as stylometry;
+pub use dehealth_telemetry as telemetry;
 pub use dehealth_text as text;
 pub use dehealth_theory as theory;

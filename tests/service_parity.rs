@@ -417,3 +417,163 @@ fn shutdown_stops_the_daemon_promptly() {
         assert!(late.stats().is_err());
     }
 }
+
+#[test]
+fn stats_wire_schema_is_field_for_field_identical_to_the_mutex_era() {
+    // The registry-backed `stats` implementation must be indistinguishable
+    // on the wire from the retired `Mutex<DaemonStats>` one: same fields,
+    // same order, same numeric values for a known workload (one attack,
+    // two error responses — the workload of `stats_count_served_work_and
+    // _errors`).
+    let split = tiny_split();
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_cfg().classifier);
+    let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+    let daemon = Daemon::bind_with_corpus("127.0.0.1:0", config, Some(corpus)).unwrap();
+    let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+    let reply = client.attack(&split.anonymized, &AttackOptions::default()).unwrap();
+    let mapped = reply.mapping.iter().filter(|m| m.is_some()).count();
+    let _ = client.request(&Json::parse(r#"{"cmd":"no_such_cmd"}"#).unwrap());
+    let _ = client.request(&Json::parse(r#"{"nope": 1}"#).unwrap());
+
+    let stats = client.stats().unwrap();
+    let Json::Obj(pairs) = &stats else { panic!("stats response must be an object") };
+    let fields: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        fields,
+        [
+            "ok",
+            "corpus_users",
+            "corpus_posts",
+            "requests",
+            "errors",
+            "attacks",
+            "attacked_users",
+            "mapped_users",
+            "corpus_updates",
+            "rejected_connections",
+            "dropped_connections",
+            "uptime_seconds",
+        ],
+        "stats wire schema drifted from the pre-registry implementation"
+    );
+    assert_eq!(stats.get("corpus_users").and_then(Json::as_usize), Some(split.auxiliary.n_users));
+    // attack + 2 failed requests served so far; the in-flight `stats`
+    // request is not yet counted (it is counted after its response is
+    // written, exactly like the mutex-era daemon).
+    assert_eq!(stats.get("requests").and_then(Json::as_usize), Some(3));
+    assert_eq!(stats.get("errors").and_then(Json::as_usize), Some(2));
+    assert_eq!(stats.get("attacks").and_then(Json::as_usize), Some(1));
+    assert_eq!(
+        stats.get("attacked_users").and_then(Json::as_usize),
+        Some(split.anonymized.n_users)
+    );
+    assert_eq!(stats.get("mapped_users").and_then(Json::as_usize), Some(mapped));
+    assert_eq!(stats.get("corpus_updates").and_then(Json::as_usize), Some(0));
+    assert_eq!(stats.get("rejected_connections").and_then(Json::as_usize), Some(0));
+    assert_eq!(stats.get("dropped_connections").and_then(Json::as_usize), Some(0));
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+fn metrics_round_trip_contains_every_registered_daemon_metric() {
+    use de_health::service::daemon::{COMMANDS, ERROR_KINDS};
+    let split = tiny_split();
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_cfg().classifier);
+    let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+    let daemon = Daemon::bind_with_corpus("127.0.0.1:0", config, Some(corpus)).unwrap();
+    let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+    client.attack(&split.anonymized, &AttackOptions::default()).unwrap();
+
+    // Round trip: daemon response → emit → parse through `service::json`.
+    let response = client.metrics().unwrap();
+    let reparsed = Json::parse(&response.emit()).unwrap();
+    let metrics = reparsed.get("metrics").and_then(Json::as_array).expect("metrics array");
+
+    let label_of = |m: &Json, key: &str| -> Option<String> {
+        m.get("labels")?.get(key).and_then(Json::as_str).map(str::to_string)
+    };
+    let has = |name: &str, label: Option<(&str, &str)>| {
+        metrics.iter().any(|m| {
+            m.get("name").and_then(Json::as_str) == Some(name)
+                && label.is_none_or(|(k, v)| label_of(m, k).as_deref() == Some(v))
+        })
+    };
+
+    for name in [
+        "daemon_requests_total",
+        "daemon_errors_total",
+        "daemon_attacks_total",
+        "daemon_attacked_users_total",
+        "daemon_mapped_users_total",
+        "daemon_corpus_updates_total",
+        "daemon_rejected_connections_total",
+        "daemon_dropped_connections_total",
+        "daemon_connections_live",
+        "corpus_users",
+        "corpus_posts",
+        "corpus_generation",
+        "corpus_resident_arena_bytes",
+        "corpus_borrowed_arena_bytes",
+    ] {
+        assert!(has(name, None), "metric {name} missing from the wire registry dump");
+    }
+    for cmd in COMMANDS {
+        assert!(has("daemon_command_requests_total", Some(("cmd", cmd))), "{cmd}");
+        assert!(has("daemon_command_seconds", Some(("cmd", cmd))), "{cmd}");
+    }
+    for kind in ERROR_KINDS {
+        assert!(has("daemon_error_kind_total", Some(("kind", kind))), "{kind}");
+    }
+
+    // The attack left observable traces: a live request counter, one
+    // latency sample in the attack histogram, and engine stage timings
+    // recorded through `EngineReport::record_into`.
+    let value_of = |name: &str, label: Option<(&str, &str)>| -> Option<f64> {
+        metrics
+            .iter()
+            .find(|m| {
+                m.get("name").and_then(Json::as_str) == Some(name)
+                    && label.is_none_or(|(k, v)| label_of(m, k).as_deref() == Some(v))
+            })
+            .and_then(|m| m.get("value").and_then(Json::as_f64))
+    };
+    assert!(value_of("daemon_requests_total", None).unwrap() >= 1.0);
+    assert!(value_of("daemon_command_requests_total", Some(("cmd", "attack"))).unwrap() >= 1.0);
+    let attack_hist = metrics
+        .iter()
+        .find(|m| {
+            m.get("name").and_then(Json::as_str) == Some("daemon_command_seconds")
+                && label_of(m, "cmd").as_deref() == Some("attack")
+        })
+        .expect("attack latency histogram");
+    assert_eq!(attack_hist.get("count").and_then(Json::as_usize), Some(1));
+    assert!(attack_hist.get("p50").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(has("engine_stage_seconds", Some(("stage", "topk"))));
+
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+fn attack_parity_holds_while_the_registry_is_scraped() {
+    // Telemetry must be purely observational: interleaving `metrics`
+    // scrapes (wire JSON and Prometheus text) with attacks cannot perturb
+    // the attack results.
+    let split = tiny_split();
+    let reference = DeHealth::new(attack_cfg()).run(&split.auxiliary, &split.anonymized);
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_cfg().classifier);
+    let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+    let daemon = Daemon::bind_with_corpus("127.0.0.1:0", config, Some(corpus)).unwrap();
+    let registry = daemon.registry();
+    let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+    for _ in 0..2 {
+        let reply = client.attack(&split.anonymized, &AttackOptions::default()).unwrap();
+        assert_eq!(reply.mapping, reference.mapping);
+        assert_eq!(reply.candidates, reference.candidates);
+        client.metrics().unwrap();
+        assert!(registry.prometheus_text().contains("# TYPE daemon_command_seconds histogram"));
+    }
+    client.shutdown().unwrap();
+    daemon.join();
+}
