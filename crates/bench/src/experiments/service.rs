@@ -16,13 +16,18 @@
 //!    users/sec including all protocol overhead (JSON encode/parse both
 //!    directions).
 //! 3. **Latency under concurrent load** — several clients attack the
-//!    daemon simultaneously; p50/p90/p99 request latency is read back
-//!    from the daemon's own `daemon_command_seconds{cmd="attack"}`
-//!    histogram (the telemetry layer's instrument, isolated to the
-//!    concurrent phase by differencing snapshots), and the histogram's
-//!    `count` is asserted equal to the number of requests issued. This
-//!    is the distribution-level baseline the async-serving work will be
-//!    judged against.
+//!    daemon simultaneously with barrier-synchronized sends, so the
+//!    requests land inside one coalescing window and the daemon fuses
+//!    them into shared engine passes (`daemon_batch_size` is differenced
+//!    around the phase to record how many). p50/p90/p99 request latency
+//!    is read back from the daemon's own
+//!    `daemon_command_seconds{cmd="attack"}` histogram (the telemetry
+//!    layer's instrument, isolated to the concurrent phase by
+//!    differencing snapshots), and the histogram's `count` is asserted
+//!    equal to the number of requests issued. Quantiles carry the
+//!    telemetry layer's explicit overflow marker: a value at the ladder
+//!    ceiling is written to the JSON as a flagged floor
+//!    (`latency_p??_overflow: true`), never as a fabricated measurement.
 //!
 //! Every wire attack — serial and concurrent — is compared against the
 //! in-process serial `DeHealth::run` on the freshly built corpus —
@@ -40,7 +45,7 @@ use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
 use dehealth_engine::EngineConfig;
 use dehealth_service::daemon::Daemon;
 use dehealth_service::{AttackOptions, PreparedCorpus, ServiceClient};
-use dehealth_telemetry::HistogramSnapshot;
+use dehealth_telemetry::{HistogramSnapshot, Quantile};
 
 /// Attack parameters used throughout the benchmark (matching the scaling
 /// experiment's sweep so the numbers are comparable).
@@ -78,12 +83,15 @@ pub struct ConcurrentRun {
     pub attacks_per_sec: f64,
     /// Mean per-request latency (daemon-side, exact sum/count).
     pub mean_seconds: f64,
-    /// Estimated median request latency.
-    pub p50_seconds: f64,
-    /// Estimated 90th-percentile request latency.
-    pub p90_seconds: f64,
-    /// Estimated 99th-percentile request latency.
-    pub p99_seconds: f64,
+    /// Estimated median request latency (overflow-marked).
+    pub p50: Quantile,
+    /// Estimated 90th-percentile request latency (overflow-marked).
+    pub p90: Quantile,
+    /// Estimated 99th-percentile request latency (overflow-marked).
+    pub p99: Quantile,
+    /// Fused engine passes the daemon's coalescing window produced for
+    /// this phase's attacks (differenced `daemon_batch_size` count).
+    pub batches: u64,
 }
 
 /// The full benchmark result.
@@ -217,25 +225,33 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> 
         wire.push(run);
     }
     // Concurrent load: several clients, each its own connection, all
-    // attacking at 1 worker thread so the contention is real. Latency
+    // attacking at 1 worker thread so the contention is real. The sends
+    // are barrier-synchronized so all requests land inside the daemon's
+    // coalescing window and exercise the fused batch path (the number of
+    // batches is differenced from `daemon_batch_size`). Latency
     // quantiles come from the daemon's own attack histogram, isolated to
     // this phase by differencing snapshots around it.
     let clients = 4usize;
     let rounds_per_client = 1usize;
     let attack_hist =
         daemon.registry().histogram_with("daemon_command_seconds", &[("cmd", "attack")]);
+    let batch_hist = daemon.registry().histogram("daemon_batch_size");
     let before = attack_hist.snapshot();
+    let batches_before = batch_hist.count();
+    let barrier = std::sync::Barrier::new(clients);
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|_| {
                 let anonymized = &split.anonymized;
                 let reference = &reference;
+                let barrier = &barrier;
                 let addr = daemon.addr();
                 scope.spawn(move || {
                     let mut client = ServiceClient::connect(addr).expect("client connect");
                     let options = AttackOptions { threads: Some(1), ..AttackOptions::default() };
                     for _ in 0..rounds_per_client {
+                        barrier.wait();
                         let reply = client.attack(anonymized, &options).expect("wire attack");
                         assert_eq!(
                             reply.mapping, reference.mapping,
@@ -258,25 +274,31 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> 
         issued as u64,
         "the attack histogram must count every concurrent request"
     );
+    let batches = batch_hist.count() - batches_before;
+    assert!(
+        (1..=issued as u64).contains(&batches),
+        "the coalescing window must flush between 1 and {issued} batches, got {batches}"
+    );
     let concurrent = ConcurrentRun {
         clients,
         rounds_per_client,
         total_seconds: concurrent_seconds,
         attacks_per_sec: issued as f64 / concurrent_seconds.max(1e-12),
         mean_seconds: delta.mean_seconds(),
-        p50_seconds: delta.quantile(0.5),
-        p90_seconds: delta.quantile(0.9),
-        p99_seconds: delta.quantile(0.99),
+        p50: delta.quantile(0.5),
+        p90: delta.quantile(0.9),
+        p99: delta.quantile(0.99),
+        batches,
     };
     println!(
         "  concurrent: {clients} clients × {rounds_per_client} attacks in \
-         {concurrent_seconds:.3}s ({:.2} attacks/s; latency mean {:.3}s, p50 {:.3}s, \
-         p90 {:.3}s, p99 {:.3}s)",
+         {concurrent_seconds:.3}s ({:.2} attacks/s across {batches} fused batch(es); \
+         latency mean {:.3}s, p50 {}, p90 {}, p99 {})",
         concurrent.attacks_per_sec,
         concurrent.mean_seconds,
-        concurrent.p50_seconds,
-        concurrent.p90_seconds,
-        concurrent.p99_seconds,
+        fmt_quantile(concurrent.p50),
+        fmt_quantile(concurrent.p90),
+        fmt_quantile(concurrent.p99),
     );
 
     // The registry outlives the daemon handle; `join` consumes it.
@@ -308,6 +330,16 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> 
     write_json(path, seed, &bench)?;
     println!("  wrote {}", path.display());
     Ok(bench)
+}
+
+/// Render a [`Quantile`] for the console: overflow estimates print as an
+/// explicit floor (`≥1000.000s`), never as a plain measurement.
+fn fmt_quantile(q: Quantile) -> String {
+    if q.overflow {
+        format!("≥{:.3}s (overflow)", q.seconds)
+    } else {
+        format!("{:.3}s", q.seconds)
+    }
 }
 
 /// Per-bucket difference of two snapshots of the same histogram,
@@ -352,10 +384,14 @@ fn write_json(path: &Path, seed: u64, b: &ServiceBench) -> io::Result<()> {
     let _ = writeln!(out, "    \"rounds_per_client\": {},", c.rounds_per_client);
     let _ = writeln!(out, "    \"total_seconds\": {:.6},", c.total_seconds);
     let _ = writeln!(out, "    \"attacks_per_sec\": {:.3},", c.attacks_per_sec);
+    let _ = writeln!(out, "    \"batches\": {},", c.batches);
     let _ = writeln!(out, "    \"latency_mean_seconds\": {:.6},", c.mean_seconds);
-    let _ = writeln!(out, "    \"latency_p50_seconds\": {:.6},", c.p50_seconds);
-    let _ = writeln!(out, "    \"latency_p90_seconds\": {:.6},", c.p90_seconds);
-    let _ = writeln!(out, "    \"latency_p99_seconds\": {:.6}", c.p99_seconds);
+    let _ = writeln!(out, "    \"latency_p50_seconds\": {:.6},", c.p50.seconds);
+    let _ = writeln!(out, "    \"latency_p50_overflow\": {},", c.p50.overflow);
+    let _ = writeln!(out, "    \"latency_p90_seconds\": {:.6},", c.p90.seconds);
+    let _ = writeln!(out, "    \"latency_p90_overflow\": {},", c.p90.overflow);
+    let _ = writeln!(out, "    \"latency_p99_seconds\": {:.6},", c.p99.seconds);
+    let _ = writeln!(out, "    \"latency_p99_overflow\": {}", c.p99.overflow);
     out.push_str("  }\n}\n");
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -380,17 +416,24 @@ mod tests {
         assert!(bench.load_vs_build_ratio < 0.25);
         assert!(!bench.wire.is_empty());
         assert!(bench.wire.iter().all(|r| r.attacks_per_sec > 0.0));
-        // The concurrent phase's histogram-count assertion ran inside
-        // `run_to`; the derived quantiles must be coherent.
+        // The concurrent phase's histogram-count and batch-count
+        // assertions ran inside `run_to`; the derived quantiles must be
+        // coherent, and at this scale (sub-second attacks, 1000s
+        // ceiling) none may resolve to the overflow bucket.
         assert!(bench.concurrent.clients > 1);
-        assert!(bench.concurrent.p50_seconds > 0.0);
-        assert!(bench.concurrent.p50_seconds <= bench.concurrent.p90_seconds);
-        assert!(bench.concurrent.p90_seconds <= bench.concurrent.p99_seconds);
+        assert!(bench.concurrent.batches >= 1);
+        assert!(bench.concurrent.batches <= 4, "4 synced attacks cannot need more batches");
+        assert!(bench.concurrent.p50.seconds > 0.0);
+        assert!(bench.concurrent.p50.seconds <= bench.concurrent.p90.seconds);
+        assert!(bench.concurrent.p90.seconds <= bench.concurrent.p99.seconds);
+        assert!(!bench.concurrent.p99.overflow, "sub-second attacks cannot overflow the ladder");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"experiment\": \"service\""));
         assert!(text.contains("\"load_vs_build_ratio\""));
         assert!(text.contains("\"attacks_per_sec\""));
         assert!(text.contains("\"latency_p99_seconds\""));
+        assert!(text.contains("\"latency_p99_overflow\": false"));
+        assert!(text.contains("\"batches\""));
         let _ = std::fs::remove_dir_all(dir);
     }
 }

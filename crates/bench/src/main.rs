@@ -252,12 +252,21 @@ fn print_shutdown_summary(registry: &dehealth_telemetry::Registry) {
     let attacks = registry.histogram_with("daemon_command_seconds", &[("cmd", "attack")]);
     let snapshot = attacks.snapshot();
     if snapshot.count() > 0 {
+        // An overflow-resident quantile is a floor, not an estimate —
+        // render it as `>ceiling` so the summary never fabricates.
+        let fmt = |q: dehealth_telemetry::Quantile| {
+            if q.overflow {
+                format!(">{:.3}s", q.seconds)
+            } else {
+                format!("{:.3}s", q.seconds)
+            }
+        };
         println!(
-            "  attack latency: mean {:.3}s, p50 {:.3}s, p90 {:.3}s, p99 {:.3}s over {} requests",
+            "  attack latency: mean {:.3}s, p50 {}, p90 {}, p99 {} over {} requests",
             snapshot.mean_seconds(),
-            snapshot.quantile(0.5),
-            snapshot.quantile(0.9),
-            snapshot.quantile(0.99),
+            fmt(snapshot.quantile(0.5)),
+            fmt(snapshot.quantile(0.9)),
+            fmt(snapshot.quantile(0.99)),
             snapshot.count(),
         );
     }

@@ -76,6 +76,7 @@ pub mod pool;
 pub mod report;
 
 pub use engine::{
-    Engine, EngineConfig, EngineOutcome, EngineSession, PreparedAuxiliary, RefinedMode, ScoringMode,
+    BatchRequest, Engine, EngineConfig, EngineOutcome, EngineSession, PreparedAuxiliary,
+    RefinedMode, ScoringMode,
 };
 pub use report::{EngineReport, StageStats};

@@ -1,9 +1,17 @@
 //! A blocking client for the daemon protocol — used by
 //! `examples/attack_service.rs`, the wire benchmarks, and the parity
 //! tests.
+//!
+//! By default every call blocks until the daemon answers. A client
+//! talking to an untrusted or flaky daemon should set
+//! [`ClientTimeouts`]: a bounded connect ([`ServiceClient::connect_with`])
+//! and a bounded per-response read ([`ServiceClient::set_read_timeout`]),
+//! both surfacing as the typed [`ServiceError::Timeout`] instead of a
+//! hang.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use dehealth_corpus::Forum;
 
@@ -19,6 +27,9 @@ pub enum ServiceError {
     Protocol(String),
     /// The server answered with `"ok": false`.
     Remote(String),
+    /// A configured client-side timeout elapsed (the bound that was
+    /// exceeded) before the daemon connected or answered.
+    Timeout(Duration),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -27,6 +38,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Io(e) => write!(f, "service I/O error: {e}"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServiceError::Remote(m) => write!(f, "server error: {m}"),
+            ServiceError::Timeout(after) => {
+                write!(f, "timed out after {:.3}s waiting for the daemon", after.as_secs_f64())
+            }
         }
     }
 }
@@ -46,6 +60,17 @@ impl From<std::io::Error> for ServiceError {
     }
 }
 
+/// Client-side deadlines. `None` (the default for both) blocks
+/// indefinitely — the right call against a trusted local daemon, a
+/// footgun against anything else.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientTimeouts {
+    /// Bound on establishing the TCP connection.
+    pub connect: Option<Duration>,
+    /// Bound on waiting for each response line.
+    pub read: Option<Duration>,
+}
+
 /// The parsed result of a wire `attack`.
 #[derive(Debug, Clone)]
 pub struct AttackReply {
@@ -62,31 +87,102 @@ pub struct AttackReply {
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    read_timeout: Option<Duration>,
 }
 
 impl ServiceClient {
-    /// Connect to a daemon.
+    /// Connect to a daemon with no client-side deadlines.
     ///
     /// # Errors
     /// Propagates socket errors.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, None)
+    }
+
+    /// Connect to a daemon with explicit [`ClientTimeouts`]: the
+    /// connect attempt and every subsequent response read are bounded,
+    /// both reported as [`ServiceError::Timeout`].
+    ///
+    /// # Errors
+    /// [`ServiceError::Timeout`] when the connect bound elapses,
+    /// [`ServiceError::Io`] on other socket errors (including
+    /// unresolvable addresses).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        timeouts: ClientTimeouts,
+    ) -> Result<Self, ServiceError> {
+        let stream = match timeouts.connect {
+            None => TcpStream::connect(addr)?,
+            Some(bound) => {
+                // `TcpStream::connect_timeout` wants one resolved
+                // address; try each in turn under the same bound.
+                let mut last: Option<std::io::Error> = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, bound) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        let e = last.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to nothing",
+                            )
+                        });
+                        return Err(classify_io(e, bound));
+                    }
+                }
+            }
+        };
+        let mut client = Self::from_stream(stream, timeouts.read)?;
+        client.set_read_timeout(timeouts.read)?;
+        Ok(client)
+    }
+
+    fn from_stream(stream: TcpStream, read_timeout: Option<Duration>) -> std::io::Result<Self> {
         let read_half = stream.try_clone()?;
-        Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+        Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream), read_timeout })
+    }
+
+    /// Bound (or unbound, with `None`) every subsequent response read;
+    /// an elapsed bound surfaces as [`ServiceError::Timeout`]. Attacks
+    /// against large corpora run for minutes — size the bound for the
+    /// slowest request this client issues, not for a network RTT.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
     }
 
     /// Send one request object and read the matching response line.
     ///
     /// # Errors
-    /// [`ServiceError::Io`] on socket failure, [`ServiceError::Protocol`]
-    /// when the response is not valid protocol JSON, and
-    /// [`ServiceError::Remote`] when the server reports a failure.
+    /// [`ServiceError::Io`] on socket failure, [`ServiceError::Timeout`]
+    /// when a configured read deadline elapses before the response,
+    /// [`ServiceError::Protocol`] when the response is not valid
+    /// protocol JSON, and [`ServiceError::Remote`] when the server
+    /// reports a failure.
     pub fn request(&mut self, request: &Json) -> Result<Json, ServiceError> {
         self.writer.write_all(request.emit().as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| classify_io(e, self.read_timeout.unwrap_or_default()))?;
+        if n == 0 {
             return Err(ServiceError::Protocol("connection closed by server".into()));
         }
         let response = Json::parse(line.trim())
@@ -191,5 +287,84 @@ impl ServiceClient {
     /// Like [`Self::request`].
     pub fn shutdown(&mut self) -> Result<(), ServiceError> {
         self.request(&Json::Obj(vec![("cmd".into(), Json::Str("shutdown".into()))])).map(|_| ())
+    }
+}
+
+/// Map an I/O error from a bounded read/connect to the typed timeout
+/// (the platform reports an elapsed socket deadline as `WouldBlock` on
+/// unix, `TimedOut` elsewhere).
+fn classify_io(e: std::io::Error, bound: Duration) -> ServiceError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ServiceError::Timeout(bound)
+        }
+        _ => ServiceError::Io(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    /// A listener that accepts and then never answers: without a read
+    /// timeout the client would block forever on the response line.
+    fn stalling_listener() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind stalling listener");
+        let addr = listener.local_addr().expect("listener addr");
+        let handle = std::thread::spawn(move || {
+            let Ok((mut stream, _)) = listener.accept() else { return };
+            // Swallow the request so the client's write succeeds, then
+            // go silent until the peer hangs up.
+            let mut sink = [0u8; 1024];
+            while let Ok(n) = stream.read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn read_timeout_against_a_stalling_daemon_is_a_typed_error_not_a_hang() {
+        let (addr, handle) = stalling_listener();
+        let bound = Duration::from_millis(100);
+        let mut client = ServiceClient::connect_with(
+            addr,
+            ClientTimeouts { connect: Some(Duration::from_secs(5)), read: Some(bound) },
+        )
+        .expect("connect");
+        let started = Instant::now();
+        let err = client.stats().expect_err("stalling daemon must time out");
+        let waited = started.elapsed();
+        assert!(matches!(err, ServiceError::Timeout(after) if after == bound), "got {err}");
+        assert!(
+            waited >= bound && waited < Duration::from_secs(5),
+            "timeout fired after {waited:?}, bound was {bound:?}"
+        );
+        drop(client);
+        handle.join().expect("stalling listener thread");
+    }
+
+    #[test]
+    fn set_read_timeout_can_rebound_and_unbound_an_existing_client() {
+        let (addr, handle) = stalling_listener();
+        let mut client = ServiceClient::connect(addr).expect("connect");
+        client.set_read_timeout(Some(Duration::from_millis(50))).expect("set timeout");
+        let err = client.stats().expect_err("stalling daemon must time out");
+        assert!(matches!(err, ServiceError::Timeout(_)), "got {err}");
+        // Rebinding to a longer bound still times out (typed), proving
+        // the stored bound is what the error reports.
+        client.set_read_timeout(Some(Duration::from_millis(80))).expect("rebound");
+        let err = client.stats().expect_err("still stalling");
+        assert!(
+            matches!(err, ServiceError::Timeout(after) if after == Duration::from_millis(80)),
+            "got {err}"
+        );
+        drop(client);
+        handle.join().expect("stalling listener thread");
     }
 }

@@ -454,6 +454,20 @@ impl PreparedCorpus {
     pub fn attack(&self, engine: &Engine, anonymized: &Forum) -> dehealth_engine::EngineOutcome {
         engine.run_prepared(&self.prepared(), anonymized)
     }
+
+    /// Run a coalesced batch of attacks against this corpus in one
+    /// fused engine pass
+    /// ([`Engine::run_prepared_batch`](dehealth_engine::Engine::run_prepared_batch)):
+    /// the prepared index and refined context are shared across every
+    /// request, while each request's results stay bit-identical to a
+    /// solo [`PreparedCorpus::attack`].
+    pub fn attack_batch(
+        &self,
+        engine: &Engine,
+        requests: &[dehealth_engine::BatchRequest<'_>],
+    ) -> Vec<dehealth_engine::EngineOutcome> {
+        engine.run_prepared_batch(&self.prepared(), requests)
+    }
 }
 
 #[cfg(test)]

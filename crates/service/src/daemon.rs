@@ -1,43 +1,94 @@
-//! The long-lived attack daemon: a thread-per-connection TCP server over
-//! the newline-delimited JSON [`protocol`](crate::protocol).
+//! The long-lived attack daemon: a readiness-driven TCP server over the
+//! newline-delimited JSON [`protocol`](crate::protocol).
 //!
-//! One [`Daemon`] owns a listener thread plus one handler thread per
-//! client connection. All handlers share the standing auxiliary corpus
-//! through an `Arc<PreparedCorpus>` behind an `RwLock` slot:
+//! ## Architecture
 //!
-//! - `attack` requests clone the `Arc` (microseconds), drop the lock, and
-//!   run the whole parallel pipeline on the **immutable** snapshot — so
-//!   any number of concurrent attacks proceed without blocking each
-//!   other, each on the engine's scoped worker pool.
-//! - `load_snapshot` / `add_auxiliary_users` build the replacement corpus
-//!   *outside* the lock and swap the slot afterwards
-//!   (copy-on-write): in-flight attacks keep the corpus version they
-//!   started with, and the old version is freed when the last of them
-//!   drops its `Arc`.
+//! One [`Daemon`] owns a single **front thread** plus a small pool of
+//! **dispatch workers** ([`DaemonLimits::workers`]):
+//!
+//! ```text
+//!            ┌───────────────────────────────────────────────┐
+//!  clients ──▶ front thread: netpoll Poller over nonblocking │
+//!            │ listener + every connection; line extraction, │
+//!            │ response writing, hardening, fast commands    │
+//!            │ (stats / metrics / shutdown) served inline    │
+//!            └──────┬───────────────────────────▲────────────┘
+//!      attack jobs  │   ┌───────────────┐       │ completions
+//!      (coalesced)  ├──▶│ batcher:      │       │ (responses,
+//!      corpus jobs  │   │ group by      │       │  demuxed per
+//!                   │   │ corpus Arc ×  │       │  request)
+//!                   │   │ thread count, │       │
+//!                   │   │ flush after   │       │
+//!                   │   │ batch_window  │       │
+//!                   │   └──────┬────────┘       │
+//!                   ▼          ▼                │
+//!            ┌───────────────────────────────────────────────┐
+//!            │ worker pool: load_snapshot / add_auxiliary /  │
+//!            │ attack batches via Engine::run_prepared_batch │
+//!            └───────────────────────────────────────────────┘
+//! ```
+//!
+//! The front thread multiplexes any number of idle connections over one
+//! [`Poller`] (epoll on Linux, `poll(2)` elsewhere on unix, a timed
+//! tick fallback otherwise) — no thread per connection. Cheap commands
+//! (`stats`, `metrics`, `shutdown`, protocol errors) are answered
+//! inline on the front thread, so a scrape never queues behind a
+//! multi-second attack. Expensive commands become jobs for the worker
+//! pool; their responses come back through a completion queue and are
+//! written by the front thread in per-connection request order.
+//!
+//! ## Server-side attack batching
+//!
+//! `attack` requests that arrive within one coalescing window
+//! ([`DaemonLimits::batch_window`]) against the **same corpus
+//! generation** (grouped by `Arc` identity, so a `load_snapshot`
+//! landing mid-window closes the old group) and the same effective
+//! thread count are merged into a single
+//! [`Engine::run_prepared_batch`](dehealth_engine::Engine::run_prepared_batch)
+//! pass: one attribute-index build, one worker-pool schedule, one fused
+//! sweep over all requests' users — then demuxed back into per-request
+//! replies that are **bit-identical** to running each request alone
+//! (the engine keeps every request's numeric state separate; see
+//! `tests/service_parity.rs`). On a machine where N concurrent attacks
+//! would otherwise time-slice N engine pools, coalescing turns them
+//! into one saturated pass. A `batch_window` of zero disables
+//! coalescing: every request runs the classic solo
+//! [`run_prepared`](dehealth_engine::Engine::run_prepared) path.
+//!
+//! Corpus state is shared copy-on-write, exactly as before the
+//! readiness rewrite:
+//!
+//! - `attack` requests capture the corpus `Arc` when they are accepted
+//!   off the wire and run against that **immutable** snapshot;
+//! - `load_snapshot` / `add_auxiliary_users` build the replacement
+//!   corpus *outside* the lock and swap the slot afterwards — in-flight
+//!   attacks keep the version they started with, and the old version is
+//!   freed when the last of them drops its `Arc`.
 //!
 //! Shutdown is cooperative: the `shutdown` command (or
-//! [`Daemon::request_shutdown`]) raises a flag that the accept loop and
-//! every handler poll on short timeouts; [`Daemon::join`] then reaps all
-//! threads.
+//! [`Daemon::request_shutdown`]) raises a flag; the front thread stops
+//! accepting, drains in-flight jobs and outgoing responses, reaps the
+//! workers, and exits. [`Daemon::join`] then reaps the front thread.
 //!
 //! ## Telemetry
 //!
 //! Every daemon owns a [`Registry`] ([`Daemon::registry`]): per-command
-//! request counters and end-to-end latency histograms (recorded via
-//! RAII [`SpanTimer`]s, so even a panicking handler leaves a sample),
-//! error counters by kind, connection gauges, corpus residency and
-//! generation gauges, and — after every attack — the engine's per-stage
-//! timings ([`EngineReport::record_into`](dehealth_engine::EngineReport::record_into)).
+//! request counters and end-to-end latency histograms (spanning queue
+//! wait, coalescing window and execution), error counters by kind,
+//! connection gauges, corpus residency and generation gauges, and —
+//! after every attack — the engine's per-stage timings
+//! ([`EngineReport::record_into`](dehealth_engine::EngineReport::record_into)).
+//! The batching layer adds three families: `daemon_batch_size` (a
+//! unitless histogram of requests per flushed batch),
+//! `daemon_batch_window_seconds` (how long each batch coalesced before
+//! flushing) and `daemon_queue_depth` (jobs waiting for a worker).
 //! The whole registry is served by the `metrics` wire command (JSON,
-//! [`registry_to_json`]) and by the
-//! optional Prometheus scrape endpoint
+//! [`registry_to_json`]) and by the optional Prometheus scrape endpoint
 //! ([`MetricsServer`](crate::metrics::MetricsServer)). [`DaemonStats`]
-//! and the `stats` command read the same lock-free counters — there is
-//! no stats mutex left to poison, so a panicked connection thread can
-//! never make `stats`/`metrics` unreadable. Requests slower than
-//! [`DaemonLimits::slow_request_threshold`] additionally emit a
-//! structured `warn!` log line with the command, corpus generation, user
-//! counts, and the per-stage breakdown.
+//! and the `stats` command read the same lock-free counters. Requests
+//! slower than [`DaemonLimits::slow_request_threshold`] additionally
+//! emit a structured `warn!` log line with the command, corpus
+//! generation, user counts, and the per-stage breakdown.
 //!
 //! ## Hardening against untrusted peers
 //!
@@ -52,20 +103,30 @@
 //!   request and stalls mid-line is timed out and closed), and
 //! - a max-connections cap (connections beyond it receive an error line
 //!   and are closed immediately, so established sessions keep their
-//!   threads).
+//!   slots).
 //!
-//! `tests/service_parity.rs` pins all three behaviors.
+//! Backpressure is per connection: while a connection has a request in
+//! flight the front thread stops reading its socket, so a pipelining
+//! client is bounded by the kernel's TCP buffers, exactly like the
+//! thread-per-connection design it replaces.
+//!
+//! `tests/service_parity.rs` pins the wire schema, the counter
+//! semantics, all three hardening behaviors, and batched/unbatched/
+//! serial bit-parity.
 
-use std::io::{BufWriter, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dehealth_core::AttackConfig;
-use dehealth_engine::{Engine, EngineConfig};
+use dehealth_corpus::Forum;
+use dehealth_engine::{BatchRequest, Engine, EngineConfig, EngineOutcome};
+use dehealth_netpoll::{Event, Interest, Poller};
 use dehealth_telemetry::{info, warn, Counter, Gauge, Histogram, Registry, SpanTimer};
 
 use crate::corpus::{LoadMode, PreparedCorpus};
@@ -73,8 +134,15 @@ use crate::json::Json;
 use crate::metrics::registry_to_json;
 use crate::protocol::{error_response, forum_from_json, ok_response, report_to_json};
 
-/// How often blocked accept/read calls wake up to poll the shutdown flag.
+/// Ceiling on one poll wait: how often the front thread and the workers
+/// re-check the shutdown flag, read deadlines and completions even when
+/// no socket turns ready.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// The front thread's token for the listening socket; connections get
+/// tokens counting up from 1 (never reused, so a late event for a
+/// closed connection cannot alias a new one).
+const LISTENER_TOKEN: usize = 0;
 
 /// Every `cmd` label of the per-command metric families
 /// (`daemon_command_requests_total`, `daemon_command_seconds`), all
@@ -108,7 +176,7 @@ pub const ERROR_KINDS: [&str; 9] = [
     "unknown_cmd",
 ];
 
-/// Protocol-hardening knobs (see the [module docs](self)).
+/// Protocol-hardening and dispatch knobs (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DaemonLimits {
     /// Maximum bytes one request line may occupy (including pipelined
@@ -123,6 +191,15 @@ pub struct DaemonLimits {
     /// Requests taking longer than this emit a structured slow-request
     /// log line (`warn!` level) with a per-stage breakdown.
     pub slow_request_threshold: Duration,
+    /// How long an `attack` request may wait for more attack requests
+    /// against the same corpus generation to coalesce into one fused
+    /// engine pass. Zero disables batching: every attack runs the solo
+    /// `run_prepared` path immediately.
+    pub batch_window: Duration,
+    /// Dispatch worker threads executing attack batches and corpus
+    /// updates (clamped to at least 1). Two by default: one long attack
+    /// batch cannot starve a corpus update or a second batch.
+    pub workers: usize,
 }
 
 impl Default for DaemonLimits {
@@ -132,6 +209,8 @@ impl Default for DaemonLimits {
             read_deadline: Duration::from_secs(30),
             max_connections: 64,
             slow_request_threshold: Duration::from_secs(30),
+            batch_window: Duration::from_millis(10),
+            workers: 2,
         }
     }
 }
@@ -184,6 +263,13 @@ struct DaemonMetrics {
     corpus_generation: Arc<Gauge>,
     corpus_resident_arena_bytes: Arc<Gauge>,
     corpus_borrowed_arena_bytes: Arc<Gauge>,
+    /// Requests per flushed attack batch — a **unitless** histogram
+    /// (the bucket bounds read as counts, not seconds).
+    batch_size: Arc<Histogram>,
+    /// How long each flushed batch coalesced (first enqueue → flush).
+    batch_window_seconds: Arc<Histogram>,
+    /// Jobs waiting for a dispatch worker.
+    queue_depth: Arc<Gauge>,
 }
 
 impl DaemonMetrics {
@@ -211,6 +297,9 @@ impl DaemonMetrics {
             corpus_generation: registry.gauge("corpus_generation"),
             corpus_resident_arena_bytes: registry.gauge("corpus_resident_arena_bytes"),
             corpus_borrowed_arena_bytes: registry.gauge("corpus_borrowed_arena_bytes"),
+            batch_size: registry.histogram("daemon_batch_size"),
+            batch_window_seconds: registry.histogram("daemon_batch_window_seconds"),
+            queue_depth: registry.gauge("daemon_queue_depth"),
             registry,
         }
     }
@@ -253,11 +342,34 @@ impl DaemonMetrics {
     }
 }
 
+/// One queued `attack` request: where to send the reply, when it came
+/// off the wire (the latency histogram's start), and the raw request.
+struct AttackItem {
+    conn: usize,
+    received: Instant,
+    request: Json,
+}
+
+/// Work for the dispatch pool.
+enum Job {
+    /// A flushed batch: every item captured the same corpus `Arc` and
+    /// the same effective thread count.
+    Attack { corpus: Arc<PreparedCorpus>, threads: usize, items: Vec<AttackItem> },
+    /// A corpus update (`load_snapshot` / `add_auxiliary_users`).
+    Update { conn: usize, received: Instant, request: Json, label: &'static str },
+}
+
+/// A finished job item, headed back to the front thread. `None` means
+/// the handler panicked: close the connection without a response, like
+/// a died per-connection thread in the old design.
+struct Completion {
+    conn: usize,
+    response: Option<Json>,
+}
+
 struct DaemonState {
     config: EngineConfig,
     limits: DaemonLimits,
-    /// Currently served connections (for the max-connections cap).
-    connections: AtomicUsize,
     corpus: RwLock<Option<Arc<PreparedCorpus>>>,
     /// Serializes corpus *updates* (`load_snapshot`, `add_auxiliary_users`)
     /// end to end. The copy-on-write rebuild happens outside the `corpus`
@@ -265,6 +377,11 @@ struct DaemonState {
     /// concurrent updates would both clone the same base and the second
     /// swap would silently discard the first one's ingest.
     update: Mutex<()>,
+    /// Jobs for the dispatch pool, drained FIFO.
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_cv: Condvar,
+    /// Finished responses headed back to the front thread.
+    completions: Mutex<Vec<Completion>>,
     metrics: DaemonMetrics,
     started: Instant,
     shutting_down: AtomicBool,
@@ -279,8 +396,27 @@ impl DaemonState {
     }
 
     fn swap_corpus(&self, next: PreparedCorpus) {
+        let next = Arc::new(next);
+        *self.corpus.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&next));
+        // Gauges refreshed strictly *after* the swap: a scrape racing an
+        // update must never describe a corpus newer than the one attacks
+        // can actually observe in the slot.
         self.metrics.observe_corpus(&next);
-        *self.corpus.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(next));
+    }
+
+    fn push_completion(&self, conn: usize, response: Option<Json>) {
+        self.completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Completion { conn, response });
+    }
+
+    fn enqueue_job(&self, job: Job) {
+        let mut jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        jobs.push_back(job);
+        self.metrics.queue_depth.set(jobs.len() as i64);
+        drop(jobs);
+        self.jobs_cv.notify_one();
     }
 }
 
@@ -292,7 +428,7 @@ impl DaemonState {
 pub struct Daemon {
     addr: SocketAddr,
     state: Arc<DaemonState>,
-    accept_thread: Option<JoinHandle<()>>,
+    front_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -328,8 +464,8 @@ impl Daemon {
         Self::bind_with(addr, config, corpus, DaemonLimits::default())
     }
 
-    /// [`Daemon::bind_with_corpus`] with explicit protocol-hardening
-    /// [`DaemonLimits`].
+    /// [`Daemon::bind_with_corpus`] with explicit [`DaemonLimits`]
+    /// (protocol hardening, coalescing window, worker count).
     ///
     /// # Errors
     /// Propagates socket errors (bind/listen).
@@ -349,9 +485,11 @@ impl Daemon {
         let state = Arc::new(DaemonState {
             config,
             limits,
-            connections: AtomicUsize::new(0),
             corpus: RwLock::new(corpus.map(Arc::new)),
             update: Mutex::new(()),
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_cv: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
             metrics,
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
@@ -362,9 +500,15 @@ impl Daemon {
             corpus_users = state.metrics.corpus_users.get(),
             max_connections = limits.max_connections
         );
-        let accept_state = Arc::clone(&state);
-        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_state));
-        Ok(Self { addr, state, accept_thread: Some(accept_thread) })
+        let workers: Vec<JoinHandle<()>> = (0..limits.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        let front_state = Arc::clone(&state);
+        let front_thread = std::thread::spawn(move || front_loop(listener, &front_state, workers));
+        Ok(Self { addr, state, front_thread: Some(front_thread) })
     }
 
     /// The bound address (with the actual port when bound to port 0).
@@ -400,66 +544,226 @@ impl Daemon {
         Arc::clone(&self.state.metrics.registry)
     }
 
-    /// Block until the daemon has shut down (flag raised and every
-    /// connection drained), then reap its threads.
+    /// Block until the daemon has shut down (flag raised, jobs drained,
+    /// every connection closed), then reap its threads.
     ///
     /// # Panics
-    /// Panics if the accept loop itself panicked.
+    /// Panics if the front loop itself panicked.
     pub fn join(mut self) {
-        if let Some(h) = self.accept_thread.take() {
-            h.join().expect("daemon accept loop panicked");
+        if let Some(h) = self.front_thread.take() {
+            h.join().expect("daemon front loop panicked");
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<DaemonState>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !state.shutting_down.load(Ordering::SeqCst) {
+/// One accepted connection as the front thread tracks it.
+struct Conn {
+    stream: TcpStream,
+    token: usize,
+    /// Raw bytes read but not yet consumed as request lines.
+    inbox: Vec<u8>,
+    /// Response bytes not yet accepted by the socket.
+    outbox: Vec<u8>,
+    /// Set while `inbox` holds an incomplete request line — the clock
+    /// the half-open read deadline runs on.
+    partial_since: Option<Instant>,
+    /// A request from this connection is queued or executing; the front
+    /// thread neither reads the socket nor dispatches further lines
+    /// until the completion arrives (per-connection request order, TCP
+    /// backpressure on pipelining clients).
+    in_flight: bool,
+    /// The peer half-closed (EOF on read).
+    peer_closed: bool,
+    /// Close as soon as the outbox drains (shutdown, drop, EOF).
+    closing: bool,
+    /// Currently registered poller interest.
+    interest: Interest,
+}
+
+/// One open coalescing group: attacks captured against the same corpus
+/// `Arc` with the same effective thread count, waiting for the window
+/// to elapse.
+struct BatchGroup {
+    corpus: Arc<PreparedCorpus>,
+    threads: usize,
+    opened: Instant,
+    items: Vec<AttackItem>,
+}
+
+/// The front thread: accept, read, extract lines, answer fast commands
+/// inline, feed slow ones to the batcher/worker pool, write responses —
+/// all multiplexed over one [`Poller`].
+fn front_loop(listener: TcpListener, state: &Arc<DaemonState>, workers: Vec<JoinHandle<()>>) {
+    let mut poller = Poller::new().unwrap_or_else(|_| Poller::tick());
+    if poller.register(&listener, LISTENER_TOKEN, Interest::READ).is_err() {
+        // The tick backend's register cannot fail; fall back so the
+        // daemon still serves (inefficiently) instead of dying.
+        poller = Poller::tick();
+        let _ = poller.register(&listener, LISTENER_TOKEN, Interest::READ);
+    }
+    let mut listener = Some(listener);
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut groups: Vec<BatchGroup> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut next_token: usize = LISTENER_TOKEN + 1;
+    loop {
+        let timeout = wait_timeout(&groups, state.limits.batch_window);
+        let _ = poller.wait(&mut events, Some(timeout));
+
+        for ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                if let Some(l) = &listener {
+                    accept_ready(state, l, &mut poller, &mut conns, &mut next_token);
+                }
+                continue;
+            }
+            if let Some(conn) = conns.get_mut(&ev.token) {
+                if ev.readable && !conn.in_flight && !conn.closing {
+                    read_ready(state, &mut groups, conn);
+                }
+            }
+            settle_conn(state, &mut poller, &mut conns, ev.token);
+        }
+
+        // Demux finished jobs back onto their connections, preserving
+        // per-connection request order (in_flight gated the next line).
+        let done: Vec<Completion> =
+            std::mem::take(&mut *state.completions.lock().unwrap_or_else(PoisonError::into_inner));
+        for c in done {
+            if let Some(conn) = conns.get_mut(&c.conn) {
+                conn.in_flight = false;
+                match c.response {
+                    Some(response) => queue_response(conn, &response),
+                    None => conn.closing = true,
+                }
+                pump(state, &mut groups, conn);
+            }
+            settle_conn(state, &mut poller, &mut conns, c.conn);
+        }
+
+        let shutting = state.shutting_down.load(Ordering::SeqCst);
+        flush_groups(state, &mut groups, shutting);
+
+        // Half-open read deadline: a peer that started a request and
+        // stalled gets a typed error, not an immortal connection slot.
+        let deadline = state.limits.read_deadline;
+        let expired: Vec<usize> = conns
+            .values()
+            .filter(|c| {
+                !c.in_flight
+                    && !c.closing
+                    && c.partial_since.is_some_and(|since| since.elapsed() > deadline)
+            })
+            .map(|c| c.token)
+            .collect();
+        for token in expired {
+            if let Some(conn) = conns.get_mut(&token) {
+                drop_conn_with_error(
+                    state,
+                    conn,
+                    "read_deadline",
+                    &format!(
+                        "read deadline exceeded with a partial request ({:.1}s)",
+                        deadline.as_secs_f64()
+                    ),
+                );
+            }
+            settle_conn(state, &mut poller, &mut conns, token);
+        }
+
+        if shutting {
+            if let Some(l) = listener.take() {
+                let _ = poller.deregister(&l, LISTENER_TOKEN);
+                // Dropping the listener refuses new connections while
+                // the drain below completes.
+            }
+            let idle: Vec<usize> = conns
+                .values()
+                .filter(|c| !c.in_flight && !c.inbox.contains(&b'\n'))
+                .map(|c| c.token)
+                .collect();
+            for token in idle {
+                if let Some(conn) = conns.get_mut(&token) {
+                    conn.closing = true;
+                }
+                settle_conn(state, &mut poller, &mut conns, token);
+            }
+            if conns.is_empty() && groups.is_empty() {
+                break;
+            }
+        }
+    }
+    // Workers drain the job queue (orphaned jobs for already-closed
+    // connections included) and exit on the shutdown flag.
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Next poll wait: the poll interval, shortened to the nearest batch
+/// deadline so a coalescing window never overshoots by a full tick.
+fn wait_timeout(groups: &[BatchGroup], window: Duration) -> Duration {
+    let mut timeout = POLL_INTERVAL;
+    for g in groups {
+        timeout = timeout.min(window.saturating_sub(g.opened.elapsed()));
+    }
+    timeout
+}
+
+/// Accept every pending connection (the listener is level-triggered but
+/// nonblocking, so drain until `WouldBlock`).
+fn accept_ready(
+    state: &Arc<DaemonState>,
+    listener: &TcpListener,
+    poller: &mut Poller,
+    conns: &mut HashMap<usize, Conn>,
+    next_token: &mut usize,
+) {
+    loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 // Max-connections cap: answer over-cap peers with a typed
                 // protocol error and close, instead of either queueing
                 // them invisibly or starving established sessions.
-                let live = state.connections.load(Ordering::SeqCst);
-                if live >= state.limits.max_connections {
+                if conns.len() >= state.limits.max_connections {
                     state.metrics.rejected_connections.inc();
                     state.metrics.error_kind("connection_cap").inc();
                     reject_connection(stream, state.limits.max_connections);
-                } else {
-                    state.connections.fetch_add(1, Ordering::SeqCst);
-                    state.metrics.connections_live.inc();
-                    let state = Arc::clone(state);
-                    handlers.push(std::thread::spawn(move || {
-                        // Release the slot on unwind too: a panicking
-                        // handler must not leak capacity until the cap
-                        // rejects every future connection.
-                        struct Slot<'a>(&'a DaemonState);
-                        impl Drop for Slot<'_> {
-                            fn drop(&mut self) {
-                                self.0.connections.fetch_sub(1, Ordering::SeqCst);
-                                self.0.metrics.connections_live.dec();
-                            }
-                        }
-                        let _slot = Slot(&state);
-                        handle_connection(&state, stream);
-                    }));
+                    continue;
                 }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let token = *next_token;
+                *next_token += 1;
+                if poller.register(&stream, token, Interest::READ).is_err() {
+                    continue;
+                }
+                state.metrics.connections_live.inc();
+                conns.insert(
+                    token,
+                    Conn {
+                        stream,
+                        token,
+                        inbox: Vec::new(),
+                        outbox: Vec::new(),
+                        partial_since: None,
+                        in_flight: false,
+                        peer_closed: false,
+                        closing: false,
+                        interest: Interest::READ,
+                    },
+                );
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
         }
-        handlers.retain(|h| !h.is_finished());
-    }
-    for h in handlers {
-        let _ = h.join();
     }
 }
 
 /// Send one error line to an over-cap connection and drop it. Bounded by
 /// a short write timeout so a peer that never reads cannot stall the
-/// accept loop.
+/// front thread.
 fn reject_connection(stream: TcpStream, cap: usize) {
     let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
     let mut stream = stream;
@@ -469,119 +773,425 @@ fn reject_connection(stream: TcpStream, cap: usize) {
     let _ = stream.flush();
 }
 
-/// Terminate a misbehaving connection: best-effort error line, counted
-/// in the stats, connection closed by returning.
-fn drop_connection(
+/// Drain the socket into the connection's inbox (until `WouldBlock`,
+/// EOF, or the inbox exceeds the request-size cap), then serve what
+/// arrived.
+fn read_ready(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, conn: &mut Conn) {
+    let mut chunk = [0u8; 16 * 1024];
+    while !conn.peer_closed && conn.inbox.len() <= state.limits.max_request_bytes {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => conn.peer_closed = true,
+            Ok(n) => conn.inbox.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => conn.peer_closed = true,
+        }
+    }
+    pump(state, groups, conn);
+}
+
+/// Serve every complete line the connection has buffered, stopping at
+/// the first request that goes in flight (per-connection request order —
+/// clients may pipeline; responses keep request order). Then update the
+/// half-open bookkeeping on whatever incomplete tail remains.
+fn pump(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, conn: &mut Conn) {
+    while !conn.in_flight && !conn.closing {
+        let Some(pos) = conn.inbox.iter().position(|&b| b == b'\n') else { break };
+        let line_bytes: Vec<u8> = conn.inbox.drain(..=pos).collect();
+        let line = String::from_utf8_lossy(&line_bytes);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        handle_line(state, groups, conn, line);
+    }
+    if conn.inbox.is_empty() || conn.inbox.contains(&b'\n') {
+        conn.partial_since = None;
+    } else {
+        // A request line larger than the cap can never complete —
+        // reject it now instead of buffering without bound.
+        if !conn.in_flight && !conn.closing && conn.inbox.len() > state.limits.max_request_bytes {
+            drop_conn_with_error(
+                state,
+                conn,
+                "oversize_request",
+                &format!("request exceeds {} byte limit", state.limits.max_request_bytes),
+            );
+            return;
+        }
+        // The deadline clock pauses while a request is in flight (the
+        // tail cannot grow: the front stops reading the socket).
+        if !conn.in_flight {
+            conn.partial_since.get_or_insert_with(Instant::now);
+        }
+    }
+}
+
+/// Classify one request line and route it: fast commands answered
+/// inline, `attack` into the batcher, corpus updates straight to the
+/// worker queue.
+fn handle_line(
     state: &Arc<DaemonState>,
-    writer: &mut BufWriter<TcpStream>,
+    groups: &mut Vec<BatchGroup>,
+    conn: &mut Conn,
+    line: &str,
+) {
+    let received = Instant::now();
+    let parsed = Json::parse(line);
+    let (label, shutdown): (&'static str, bool) = match &parsed {
+        Err(_) => ("invalid", false),
+        Ok(request) => match request.get("cmd").and_then(Json::as_str) {
+            None => ("invalid", false),
+            Some("load_snapshot") => ("load_snapshot", false),
+            Some("add_auxiliary_users") => ("add_auxiliary_users", false),
+            Some("attack") => ("attack", false),
+            Some("stats") => ("stats", false),
+            Some("metrics") => ("metrics", false),
+            Some("shutdown") => ("shutdown", true),
+            Some(_) => ("unknown", false),
+        },
+    };
+    match label {
+        "load_snapshot" | "add_auxiliary_users" => {
+            let request = parsed.expect("label implies the request parsed");
+            conn.in_flight = true;
+            state.enqueue_job(Job::Update { conn: conn.token, received, request, label });
+        }
+        "attack" => {
+            let request = parsed.expect("label implies the request parsed");
+            // The corpus Arc is captured here, when the request comes
+            // off the wire: a swap landing later affects later
+            // requests, not this one — and batches group by this Arc,
+            // so a swap mid-window closes the old group.
+            match state.corpus() {
+                None => {
+                    let response = finalize_response(
+                        state,
+                        "attack",
+                        received,
+                        Err(CmdError::new(
+                            "no_corpus",
+                            "no corpus loaded (send load_snapshot or add_auxiliary_users)",
+                        )),
+                    );
+                    queue_response(conn, &response);
+                }
+                Some(corpus) => {
+                    // Batches also key on the effective thread count: a
+                    // per-request `threads` override cannot share one
+                    // engine pool with differently-sized requests. (An
+                    // unparseable override lands in the default group
+                    // and is rejected by per-item validation.)
+                    let threads = request
+                        .get("threads")
+                        .and_then(Json::as_usize)
+                        .unwrap_or(state.config.n_threads);
+                    conn.in_flight = true;
+                    push_attack(
+                        state,
+                        groups,
+                        corpus,
+                        threads,
+                        AttackItem { conn: conn.token, received, request },
+                    );
+                }
+            }
+        }
+        _ => {
+            // Fast commands: answered inline on the front thread, so a
+            // stats probe or a scrape never queues behind an attack.
+            let result: Result<Vec<(String, Json)>, CmdError> = match &parsed {
+                Err(e) => Err(CmdError::new("invalid_json", format!("invalid JSON: {e}"))),
+                Ok(request) => match label {
+                    "invalid" => Err(CmdError::new("missing_cmd", "missing cmd")),
+                    "stats" => cmd_stats(state),
+                    "metrics" => {
+                        Ok(vec![("metrics".into(), registry_to_json(&state.metrics.registry))])
+                    }
+                    "shutdown" => Ok(Vec::new()),
+                    _unknown => {
+                        let cmd = request.get("cmd").and_then(Json::as_str).unwrap_or_default();
+                        Err(CmdError::new("unknown_cmd", format!("unknown cmd {cmd:?}")))
+                    }
+                },
+            };
+            let response = finalize_response(state, label, received, result);
+            queue_response(conn, &response);
+            if shutdown {
+                state.shutting_down.store(true, Ordering::SeqCst);
+                conn.closing = true;
+            }
+        }
+    }
+}
+
+/// File an attack into the coalescing group for its (corpus, threads)
+/// key, opening a new group (and its window clock) if none matches.
+fn push_attack(
+    state: &Arc<DaemonState>,
+    groups: &mut Vec<BatchGroup>,
+    corpus: Arc<PreparedCorpus>,
+    threads: usize,
+    item: AttackItem,
+) {
+    if let Some(group) =
+        groups.iter_mut().find(|g| g.threads == threads && Arc::ptr_eq(&g.corpus, &corpus))
+    {
+        group.items.push(item);
+        return;
+    }
+    let _ = state; // grouping is pure bookkeeping; metrics fire at flush
+    groups.push(BatchGroup { corpus, threads, opened: Instant::now(), items: vec![item] });
+}
+
+/// Hand every expired group (all of them when `force` — window zero or
+/// shutdown) to the worker pool as one fused batch job.
+fn flush_groups(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, force: bool) {
+    let window = state.limits.batch_window;
+    let mut i = 0;
+    while i < groups.len() {
+        if force || window.is_zero() || groups[i].opened.elapsed() >= window {
+            let group = groups.swap_remove(i);
+            state.metrics.batch_size.record_secs(group.items.len() as f64);
+            state.metrics.batch_window_seconds.record(group.opened.elapsed());
+            state.enqueue_job(Job::Attack {
+                corpus: group.corpus,
+                threads: group.threads,
+                items: group.items,
+            });
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Append one response line to the connection's outbox.
+fn queue_response(conn: &mut Conn, response: &Json) {
+    conn.outbox.extend_from_slice(response.emit().as_bytes());
+    conn.outbox.push(b'\n');
+}
+
+/// Terminate a misbehaving connection: best-effort error line, counted
+/// in the stats, closed once the line drains.
+fn drop_conn_with_error(
+    state: &Arc<DaemonState>,
+    conn: &mut Conn,
     kind: &'static str,
     message: &str,
 ) {
     state.metrics.dropped_connections.inc();
     state.metrics.error_kind(kind).inc();
-    let response = error_response(message);
-    let _ = writer.write_all(response.emit().as_bytes());
-    let _ = writer.write_all(b"\n");
-    let _ = writer.flush();
+    queue_response(conn, &error_response(message));
+    conn.closing = true;
 }
 
-fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) {
-    // Blocking I/O with a short timeout so handlers notice shutdown even
-    // while a client holds the connection open without sending. Incoming
-    // bytes accumulate in `pending` across timeouts — a request split
-    // over several TCP segments must never lose its earlier bytes to a
-    // poll tick (a `BufReader::read_line` loop here would: the partial
-    // line read before a timeout gets dropped, the `\n` tail is then
-    // skipped as an empty line, and the client waits forever for a
-    // response that never comes).
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+/// Flush, close and re-arm one connection after any activity: write as
+/// much of the outbox as the socket accepts, drop the connection when
+/// it is finished (or its socket died), and sync the poller interest to
+/// what it is actually waiting for.
+fn settle_conn(
+    state: &Arc<DaemonState>,
+    poller: &mut Poller,
+    conns: &mut HashMap<usize, Conn>,
+    token: usize,
+) {
+    let Some(conn) = conns.get_mut(&token) else { return };
+    let alive = flush_outbox(conn);
+    let drained_eof = conn.peer_closed && !conn.in_flight && !conn.inbox.contains(&b'\n');
+    if !alive || ((conn.closing || drained_eof) && conn.outbox.is_empty()) {
+        let conn = conns.remove(&token).expect("connection was just looked up");
+        let _ = poller.deregister(&conn.stream, token);
+        state.metrics.connections_live.dec();
         return;
     }
-    let limits = state.limits;
-    let Ok(mut read_half) = stream.try_clone() else { return };
-    let mut writer = BufWriter::new(stream);
-    let mut pending: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 16 * 1024];
-    // Set while `pending` holds an incomplete request line — the clock
-    // the half-open read deadline runs on.
-    let mut partial_since: Option<Instant> = None;
-    loop {
-        // Serve every complete line currently buffered (clients may
-        // pipeline requests; responses keep request order).
-        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
-            let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line_bytes);
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
+    // Steady state: read only when this connection may dispatch another
+    // line; write only while response bytes are queued.
+    let desired = Interest {
+        readable: !conn.in_flight && !conn.peer_closed && !conn.closing,
+        writable: !conn.outbox.is_empty(),
+    };
+    if desired != conn.interest && poller.modify(&conn.stream, token, desired).is_ok() {
+        conn.interest = desired;
+    }
+}
+
+/// Write as much of the outbox as the socket accepts right now.
+/// Returns `false` when the socket is dead.
+fn flush_outbox(conn: &mut Conn) -> bool {
+    while !conn.outbox.is_empty() {
+        match conn.stream.write(&conn.outbox) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.outbox.drain(..n);
             }
-            let (response, shutdown) = dispatch(state, line);
-            // Counted after dispatch, like the mutex-era daemon: a
-            // `stats` response reports the requests *before* it, not
-            // itself.
-            state.metrics.requests.inc();
-            if response.get("ok").and_then(Json::as_bool) != Some(true) {
-                state.metrics.errors.inc();
-            }
-            let ok = writer
-                .write_all(response.emit().as_bytes())
-                .and_then(|()| writer.write_all(b"\n"))
-                .and_then(|()| writer.flush())
-                .is_ok();
-            if shutdown {
-                state.shutting_down.store(true, Ordering::SeqCst);
-            }
-            if !ok || shutdown {
-                return;
-            }
-        }
-        partial_since = if pending.is_empty() {
-            None
-        } else {
-            // A request line larger than the cap can never complete —
-            // reject it now instead of buffering without bound.
-            if pending.len() > limits.max_request_bytes {
-                drop_connection(
-                    state,
-                    &mut writer,
-                    "oversize_request",
-                    &format!("request exceeds {} byte limit", limits.max_request_bytes),
-                );
-                return;
-            }
-            Some(partial_since.unwrap_or_else(Instant::now))
-        };
-        if let Some(since) = partial_since {
-            // Half-open read deadline: a peer that started a request and
-            // stalled gets a typed error, not an immortal handler thread.
-            if since.elapsed() > limits.read_deadline {
-                drop_connection(
-                    state,
-                    &mut writer,
-                    "read_deadline",
-                    &format!(
-                        "read deadline exceeded with a partial request ({:.1}s)",
-                        limits.read_deadline.as_secs_f64()
-                    ),
-                );
-                return;
-            }
-        }
-        match read_half.read(&mut chunk) {
-            Ok(0) => break, // client closed
-            Ok(n) => pending.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted =>
-            {
-                if state.shutting_down.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
         }
     }
+    true
+}
+
+/// A dispatch worker: pop jobs until shutdown, executing each with a
+/// panic fence so one poisoned request cannot take the pool down.
+fn worker_loop(state: &Arc<DaemonState>) {
+    loop {
+        let job = {
+            let mut jobs = state.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    state.metrics.queue_depth.set(jobs.len() as i64);
+                    break Some(job);
+                }
+                if state.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = state
+                    .jobs_cv
+                    .wait_timeout(jobs, POLL_INTERVAL)
+                    .unwrap_or_else(PoisonError::into_inner);
+                jobs = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        run_job(state, job);
+    }
+}
+
+/// Execute one job; a panicking handler closes its connection(s)
+/// without a response — the moral equivalent of a died
+/// thread-per-connection handler — instead of wedging the front loop on
+/// a completion that never comes.
+fn run_job(state: &Arc<DaemonState>, job: Job) {
+    let conns: Vec<usize> = match &job {
+        Job::Attack { items, .. } => items.iter().map(|i| i.conn).collect(),
+        Job::Update { conn, .. } => vec![*conn],
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job {
+        Job::Update { conn, received, request, label } => {
+            let result = match label {
+                "load_snapshot" => cmd_load_snapshot(state, &request),
+                _ => cmd_add_auxiliary_users(state, &request),
+            };
+            let response = finalize_response(state, label, received, result);
+            state.push_completion(conn, Some(response));
+        }
+        Job::Attack { corpus, threads, items } => run_attack_job(state, &corpus, threads, items),
+    }));
+    if outcome.is_err() {
+        for conn in conns {
+            state.push_completion(conn, None);
+        }
+    }
+}
+
+/// Validate, execute and demux one attack batch. Single-item batches
+/// (always the case with `batch_window == 0`) take the classic solo
+/// `run_prepared` path; larger ones run the fused
+/// `run_prepared_batch` — both bit-identical per request.
+fn run_attack_job(
+    state: &Arc<DaemonState>,
+    corpus: &Arc<PreparedCorpus>,
+    threads: usize,
+    items: Vec<AttackItem>,
+) {
+    let mut ready: Vec<(AttackItem, AttackConfig, Forum)> = Vec::new();
+    for item in items {
+        match parse_attack_request(state, &item.request) {
+            Ok((attack, forum)) => ready.push((item, attack, forum)),
+            Err(e) => {
+                let response = finalize_response(state, "attack", item.received, Err(e));
+                state.push_completion(item.conn, Some(response));
+            }
+        }
+    }
+    if ready.is_empty() {
+        return;
+    }
+    let outcomes: Vec<EngineOutcome> = if ready.len() == 1 {
+        let (_, attack, forum) = &ready[0];
+        let engine = Engine::new(EngineConfig {
+            n_threads: threads,
+            attack: attack.clone(),
+            ..state.config.clone()
+        });
+        vec![corpus.attack(&engine, forum)]
+    } else {
+        let engine = Engine::new(EngineConfig { n_threads: threads, ..state.config.clone() });
+        let requests: Vec<BatchRequest<'_>> = ready
+            .iter()
+            .map(|(_, attack, forum)| BatchRequest { attack: attack.clone(), anonymized: forum })
+            .collect();
+        corpus.attack_batch(&engine, &requests)
+    };
+    for ((item, _, forum), outcome) in ready.iter().zip(outcomes) {
+        state.metrics.attacks.inc();
+        state.metrics.attacked_users.add(forum.n_users as u64);
+        state
+            .metrics
+            .mapped_users
+            .add(outcome.mapping.iter().filter(|m| m.is_some()).count() as u64);
+        // Per-stage latency histograms across requests — the engine
+        // report flows into the daemon's registry.
+        outcome.report.record_into(&state.metrics.registry);
+        let mapping = outcome.mapping.iter().map(|m| m.map_or(Json::Null, Json::int)).collect();
+        let candidates = outcome
+            .candidates
+            .iter()
+            .map(|c| Json::Arr(c.iter().map(|&v| Json::int(v)).collect()))
+            .collect();
+        let fields = vec![
+            ("mapping".into(), Json::Arr(mapping)),
+            ("candidates".into(), Json::Arr(candidates)),
+            ("report".into(), report_to_json(&outcome.report)),
+        ];
+        let response = finalize_response(state, "attack", item.received, Ok(fields));
+        state.push_completion(item.conn, Some(response));
+    }
+}
+
+/// Resolve one attack request's forum and per-request overrides against
+/// the daemon's default attack config (same field order — and therefore
+/// the same first error — as the pre-batching daemon).
+fn parse_attack_request(
+    state: &Arc<DaemonState>,
+    request: &Json,
+) -> Result<(AttackConfig, Forum), CmdError> {
+    let anonymized = match request
+        .get("forum")
+        .ok_or_else(|| "missing forum".to_string())
+        .and_then(forum_from_json)
+    {
+        Ok(f) => f,
+        Err(e) => return Err(CmdError::new("invalid_argument", e)),
+    };
+    let mut attack = state.config.attack.clone();
+    if let Some(k) = request.get("top_k") {
+        match k.as_usize() {
+            Some(k) => attack.top_k = k,
+            None => return Err(CmdError::new("invalid_argument", "invalid top_k")),
+        }
+    }
+    if let Some(h) = request.get("n_landmarks") {
+        match h.as_usize() {
+            Some(h) => attack.n_landmarks = h,
+            None => return Err(CmdError::new("invalid_argument", "invalid n_landmarks")),
+        }
+    }
+    if let Some(s) = request.get("seed") {
+        match s.as_usize() {
+            Some(s) => attack.seed = s as u64,
+            None => return Err(CmdError::new("invalid_argument", "invalid seed")),
+        }
+    }
+    if let Some(t) = request.get("threads") {
+        // The effective count was already folded into the batch key;
+        // validation still answers a malformed override.
+        if t.as_usize().is_none() {
+            return Err(CmdError::new("invalid_argument", "invalid threads"));
+        }
+    }
+    Ok((attack, anonymized))
 }
 
 /// A failed command: the error-kind label for
@@ -597,44 +1207,19 @@ impl CmdError {
     }
 }
 
-/// Parse and execute one request line; returns the response and whether
-/// this request asked the daemon to shut down.
-fn dispatch(state: &Arc<DaemonState>, line: &str) -> (Json, bool) {
-    let received = Instant::now();
-    // Resolve the command label first so the span timer can cover the
-    // handler (a panicking handler still records its latency sample on
-    // unwind); parse time before that is billed via `starting_at`.
-    let parsed = Json::parse(line);
-    let (label, shutdown): (&str, bool) = match &parsed {
-        Err(_) => ("invalid", false),
-        Ok(request) => match request.get("cmd").and_then(Json::as_str) {
-            None => ("invalid", false),
-            Some("load_snapshot") => ("load_snapshot", false),
-            Some("add_auxiliary_users") => ("add_auxiliary_users", false),
-            Some("attack") => ("attack", false),
-            Some("stats") => ("stats", false),
-            Some("metrics") => ("metrics", false),
-            Some("shutdown") => ("shutdown", true),
-            Some(_) => ("unknown", false),
-        },
-    };
+/// Turn a handler result into the wire response and account for it:
+/// latency sample (from wire arrival through queueing and execution),
+/// per-command and error-kind counters, the slow-request log line, and
+/// the served-request totals. Counted after the handler, before the
+/// response is written — a `stats` response reports the requests
+/// *before* it, not itself.
+fn finalize_response(
+    state: &Arc<DaemonState>,
+    label: &str,
+    received: Instant,
+    result: Result<Vec<(String, Json)>, CmdError>,
+) -> Json {
     let timer = SpanTimer::starting_at(state.metrics.command_seconds(label), received);
-    let result: Result<Vec<(String, Json)>, CmdError> = match &parsed {
-        Err(e) => Err(CmdError::new("invalid_json", format!("invalid JSON: {e}"))),
-        Ok(request) => match label {
-            "invalid" => Err(CmdError::new("missing_cmd", "missing cmd")),
-            "load_snapshot" => cmd_load_snapshot(state, request),
-            "add_auxiliary_users" => cmd_add_auxiliary_users(state, request),
-            "attack" => cmd_attack(state, request),
-            "stats" => cmd_stats(state),
-            "metrics" => Ok(vec![("metrics".into(), registry_to_json(&state.metrics.registry))]),
-            "shutdown" => Ok(Vec::new()),
-            _unknown => {
-                let cmd = request.get("cmd").and_then(Json::as_str).unwrap_or_default();
-                Err(CmdError::new("unknown_cmd", format!("unknown cmd {cmd:?}")))
-            }
-        },
-    };
     let response = match result {
         Ok(fields) => ok_response(fields),
         Err(e) => {
@@ -656,7 +1241,11 @@ fn dispatch(state: &Arc<DaemonState>, line: &str) -> (Json, bool) {
             stages = stage_breakdown(&response)
         );
     }
-    (response, shutdown)
+    state.metrics.requests.inc();
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        state.metrics.errors.inc();
+    }
+    response
 }
 
 /// Compact `stage=secs` breakdown from a response's embedded report, for
@@ -763,72 +1352,6 @@ fn cmd_add_auxiliary_users(
     Ok(vec![("users".into(), Json::int(users)), ("posts".into(), Json::int(posts))])
 }
 
-fn cmd_attack(state: &Arc<DaemonState>, request: &Json) -> Result<Vec<(String, Json)>, CmdError> {
-    let Some(corpus) = state.corpus() else {
-        return Err(CmdError::new(
-            "no_corpus",
-            "no corpus loaded (send load_snapshot or add_auxiliary_users)",
-        ));
-    };
-    let anonymized = match request
-        .get("forum")
-        .ok_or_else(|| "missing forum".to_string())
-        .and_then(forum_from_json)
-    {
-        Ok(f) => f,
-        Err(e) => return Err(CmdError::new("invalid_argument", e)),
-    };
-
-    let mut config = state.config.clone();
-    let attack = &mut config.attack;
-    if let Some(k) = request.get("top_k") {
-        match k.as_usize() {
-            Some(k) => attack.top_k = k,
-            None => return Err(CmdError::new("invalid_argument", "invalid top_k")),
-        }
-    }
-    if let Some(h) = request.get("n_landmarks") {
-        match h.as_usize() {
-            Some(h) => attack.n_landmarks = h,
-            None => return Err(CmdError::new("invalid_argument", "invalid n_landmarks")),
-        }
-    }
-    if let Some(s) = request.get("seed") {
-        match s.as_usize() {
-            Some(s) => attack.seed = s as u64,
-            None => return Err(CmdError::new("invalid_argument", "invalid seed")),
-        }
-    }
-    if let Some(t) = request.get("threads") {
-        match t.as_usize() {
-            Some(t) => config.n_threads = t,
-            None => return Err(CmdError::new("invalid_argument", "invalid threads")),
-        }
-    }
-
-    let engine = Engine::new(config);
-    let outcome = corpus.attack(&engine, &anonymized);
-
-    state.metrics.attacks.inc();
-    state.metrics.attacked_users.add(anonymized.n_users as u64);
-    state.metrics.mapped_users.add(outcome.mapping.iter().filter(|m| m.is_some()).count() as u64);
-    // Per-stage latency histograms across requests — the engine report
-    // flows into the daemon's registry.
-    outcome.report.record_into(&state.metrics.registry);
-
-    let mapping = outcome.mapping.iter().map(|m| m.map_or(Json::Null, Json::int)).collect();
-    let candidates = outcome
-        .candidates
-        .iter()
-        .map(|c| Json::Arr(c.iter().map(|&v| Json::int(v)).collect()))
-        .collect();
-    Ok(vec![
-        ("mapping".into(), Json::Arr(mapping)),
-        ("candidates".into(), Json::Arr(candidates)),
-        ("report".into(), report_to_json(&outcome.report)),
-    ])
-}
-
 fn cmd_stats(state: &Arc<DaemonState>) -> Result<Vec<(String, Json)>, CmdError> {
     let stats = state.metrics.stats();
     let (users, posts) = state.corpus().map_or((0, 0), |c| (c.n_users(), c.n_posts()));
@@ -852,4 +1375,64 @@ fn cmd_stats(state: &Arc<DaemonState>) -> Result<Vec<(String, Json)>, CmdError> 
 #[must_use]
 pub fn default_config() -> EngineConfig {
     EngineConfig { attack: AttackConfig::default(), ..EngineConfig::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dehealth_corpus::{Forum, ForumConfig};
+    use std::thread;
+
+    /// Pins the `swap_corpus` ordering fix: the slot is swapped *before*
+    /// the gauges are refreshed, so a scrape racing an update may see a
+    /// stale (smaller) gauge, but never a gauge describing a corpus newer
+    /// than the one attacks can observe. With the old order (gauges
+    /// first) a strictly-growing sequence of swaps makes the inverted
+    /// window directly observable: `gauge_users > slot_users`.
+    #[test]
+    fn corpus_gauges_never_lead_the_slot_during_swaps() {
+        let base = Forum::generate(&ForumConfig::tiny(), 42);
+        let chunk = Forum::generate(&ForumConfig::tiny(), 77);
+        let mut corpora = Vec::new();
+        let mut corpus = PreparedCorpus::build(base, Default::default());
+        for _ in 0..16 {
+            corpus.append_users(&chunk);
+            corpora.push(corpus.clone());
+        }
+
+        let state = Arc::new(DaemonState {
+            config: default_config(),
+            limits: DaemonLimits::default(),
+            corpus: RwLock::new(None),
+            update: Mutex::new(()),
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_cv: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            metrics: DaemonMetrics::new(),
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+        });
+
+        let swapper = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                for corpus in corpora {
+                    state.swap_corpus(corpus);
+                }
+            })
+        };
+        while !swapper.is_finished() {
+            // Sample gauge first, slot second: if the implementation ever
+            // publishes gauges before the swap, the gauge can describe a
+            // corpus the slot does not hold yet and this inverts.
+            let gauge_users = state.metrics.corpus_users.get();
+            let slot_users = state.corpus().map_or(0, |c| c.n_users() as i64);
+            assert!(
+                slot_users >= gauge_users,
+                "corpus_users gauge ({gauge_users}) leads the corpus slot ({slot_users})"
+            );
+        }
+        swapper.join().unwrap();
+        assert_eq!(state.metrics.corpus_users.get(), state.corpus().unwrap().n_users() as i64);
+    }
 }

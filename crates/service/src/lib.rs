@@ -10,17 +10,25 @@
 //!   binary **snapshot** ([`dehealth_corpus::snapshot`] container). A
 //!   snapshot reload skips feature extraction entirely — restart cost
 //!   drops from a full corpus build to a file read plus cheap merges.
-//! - [`daemon::Daemon`] — a thread-per-connection TCP server speaking
-//!   newline-delimited JSON ([`protocol`]; the [`json`] module is the
-//!   in-tree parser/emitter, in the pattern of the `crates/rand` /
-//!   `crates/criterion` shims). Requests: `load_snapshot`,
-//!   `add_auxiliary_users` (incremental streaming ingest), `attack`
-//!   (batch of anonymized users → Top-K candidates + refined mappings +
-//!   per-stage report), `stats`, and `shutdown`. Concurrent sessions
-//!   share the immutable corpus via `Arc` (copy-on-write updates) and
-//!   each attack runs on the engine's scoped worker pool
-//!   ([`Engine::run_prepared`](dehealth_engine::Engine::run_prepared)).
-//! - [`client::ServiceClient`] — a blocking client for the protocol.
+//! - [`daemon::Daemon`] — a TCP server speaking newline-delimited JSON
+//!   ([`protocol`]; the [`json`] module is the in-tree parser/emitter,
+//!   in the pattern of the `crates/rand` / `crates/criterion` shims).
+//!   One readiness-driven front thread (`dehealth-netpoll`: epoll /
+//!   `poll(2)` / tick fallback) multiplexes every connection; attacks
+//!   and ingests run on a bounded worker pool, and attack requests
+//!   against the same corpus generation landing inside the coalescing
+//!   window ([`DaemonLimits::batch_window`](daemon::DaemonLimits)) are
+//!   fused into one sharded engine pass
+//!   ([`Engine::run_prepared_batch`](dehealth_engine::Engine::run_prepared_batch))
+//!   and demuxed back per request, bit-identical to solo execution.
+//!   Requests: `load_snapshot`, `add_auxiliary_users` (incremental
+//!   streaming ingest), `attack` (batch of anonymized users → Top-K
+//!   candidates + refined mappings + per-stage report), `stats`, and
+//!   `shutdown`. Concurrent sessions share the immutable corpus via
+//!   `Arc` (copy-on-write updates).
+//! - [`client::ServiceClient`] — a blocking client for the protocol,
+//!   with optional connect/read timeouts ([`client::ClientTimeouts`])
+//!   surfacing as typed [`client::ServiceError::Timeout`] errors.
 //! - [`metrics`] — exposition of the daemon's `dehealth-telemetry`
 //!   registry: the `metrics` command's JSON encoding
 //!   ([`registry_to_json`]) and the optional Prometheus scrape endpoint
@@ -67,7 +75,7 @@ pub mod json;
 pub mod metrics;
 pub mod protocol;
 
-pub use client::{AttackReply, ServiceClient, ServiceError};
+pub use client::{AttackReply, ClientTimeouts, ServiceClient, ServiceError};
 pub use corpus::{LoadMode, MemoryStats, PreparedCorpus};
 pub use daemon::{Daemon, DaemonLimits, DaemonStats};
 pub use json::Json;

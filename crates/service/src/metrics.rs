@@ -24,14 +24,19 @@ use crate::json::Json;
 /// {"name":…,"labels":{…},"type":"counter","value":3}
 /// {"name":…,"labels":{…},"type":"gauge","value":-2}
 /// {"name":…,"labels":{…},"type":"histogram","count":5,"sum_seconds":…,
-///  "p50":…,"p90":…,"p99":…,"buckets":[[le_seconds,cumulative],…]}
+///  "p50":…,"p90":…,"p99":…,
+///  "p50_overflow":…,"p90_overflow":…,"p99_overflow":…,
+///  "buckets":[[le_seconds,cumulative],…]}
 /// ```
 ///
 /// Histogram `buckets` list the finite ladder only; the `+Inf` bucket is
 /// implied by `count` (the in-tree JSON emitter writes non-finite
-/// numbers as `null`, so `+Inf` cannot travel as a bound). Counter and
-/// gauge values are emitted as JSON numbers (`f64`), like every other
-/// counter on this wire.
+/// numbers as `null`, so `+Inf` cannot travel as a bound). Each `pNN` is
+/// paired with a `pNN_overflow` boolean: when true, the quantile's rank
+/// lives in the overflow bucket, so `pNN` is the ladder ceiling — a
+/// floor on the true value, not an estimate. Counter and gauge values
+/// are emitted as JSON numbers (`f64`), like every other counter on
+/// this wire.
 #[must_use]
 pub fn registry_to_json(registry: &Registry) -> Json {
     let metrics = registry
@@ -52,12 +57,16 @@ pub fn registry_to_json(registry: &Registry) -> Json {
                         .cumulative()
                         .map(|(le, n)| Json::Arr(vec![Json::Num(le), Json::Num(n as f64)]))
                         .collect();
+                    let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
                     fields.extend([
                         ("count".into(), Json::Num(h.count() as f64)),
                         ("sum_seconds".into(), Json::Num(h.sum_seconds())),
-                        ("p50".into(), Json::Num(h.quantile(0.5))),
-                        ("p90".into(), Json::Num(h.quantile(0.9))),
-                        ("p99".into(), Json::Num(h.quantile(0.99))),
+                        ("p50".into(), Json::Num(p50.seconds)),
+                        ("p90".into(), Json::Num(p90.seconds)),
+                        ("p99".into(), Json::Num(p99.seconds)),
+                        ("p50_overflow".into(), Json::Bool(p50.overflow)),
+                        ("p90_overflow".into(), Json::Bool(p90.overflow)),
+                        ("p99_overflow".into(), Json::Bool(p99.overflow)),
                         ("buckets".into(), Json::Arr(buckets)),
                     ]);
                 }
@@ -193,10 +202,16 @@ mod tests {
         assert_eq!(hist_obj.get("sum_seconds").and_then(Json::as_f64), Some(1.5));
         let p50 = hist_obj.get("p50").and_then(Json::as_f64).unwrap();
         assert!((1.0..=2.0).contains(&p50), "p50 {p50} inside the 1s–2s bucket");
+        assert_eq!(
+            hist_obj.get("p50_overflow").and_then(Json::as_bool),
+            Some(false),
+            "in-ladder quantile must not flag overflow"
+        );
+        assert_eq!(hist_obj.get("p99_overflow").and_then(Json::as_bool), Some(false));
         let buckets = hist_obj.get("buckets").and_then(Json::as_array).unwrap();
-        assert_eq!(buckets.len(), 25, "finite ladder only; +Inf implied by count");
+        assert_eq!(buckets.len(), 28, "finite ladder only; +Inf implied by count");
         let last = buckets.last().and_then(Json::as_array).unwrap();
-        assert_eq!(last[0].as_f64(), Some(100.0));
+        assert_eq!(last[0].as_f64(), Some(1000.0));
         assert_eq!(last[1].as_usize(), Some(1));
 
         assert_eq!(arr[1].get("type").and_then(Json::as_str), Some("gauge"));

@@ -8,8 +8,9 @@
 //! Three pieces:
 //!
 //! - [`metrics`] — atomic [`Counter`]/[`Gauge`], the log-bucketed
-//!   latency [`Histogram`] (1-2-5 ladder, 1µs→100s, exact count/sum,
-//!   bucket-bounded quantile estimates), and the RAII [`SpanTimer`]
+//!   latency [`Histogram`] (1-2-5 ladder, 1µs→1000s, exact count/sum,
+//!   bucket-bounded quantile estimates with an explicit overflow
+//!   marker — [`Quantile`]), and the RAII [`SpanTimer`]
 //!   that records elapsed wall-clock on drop (panic path included).
 //! - [`registry`] — the named-metric [`Registry`] with label support,
 //!   deterministic snapshots, and Prometheus text exposition.
@@ -29,7 +30,7 @@ pub mod registry;
 
 pub use log::{Level, LogSink, Record};
 pub use metrics::{
-    bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer, BUCKET_BOUNDS_NANOS,
-    N_BUCKETS,
+    bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, Quantile, SpanTimer,
+    BUCKET_BOUNDS_NANOS, N_BUCKETS,
 };
 pub use registry::{MetricKey, MetricSnapshot, MetricValue, Registry};

@@ -83,9 +83,9 @@ impl Gauge {
 }
 
 /// The histogram's fixed bucket ladder: upper bounds in **nanoseconds**,
-/// a 1-2-5 sequence per decade from 1µs to 100s. Values above 100s land
-/// in a final overflow (`+Inf`) bucket.
-pub const BUCKET_BOUNDS_NANOS: [u64; 25] = [
+/// a 1-2-5 sequence per decade from 1µs to 1000s. Values above 1000s
+/// land in a final overflow (`+Inf`) bucket.
+pub const BUCKET_BOUNDS_NANOS: [u64; 28] = [
     1_000,
     2_000,
     5_000,
@@ -111,6 +111,9 @@ pub const BUCKET_BOUNDS_NANOS: [u64; 25] = [
     20_000_000_000,
     50_000_000_000,
     100_000_000_000,
+    200_000_000_000,
+    500_000_000_000,
+    1_000_000_000_000,
 ];
 
 /// Number of buckets, including the final overflow (`+Inf`) bucket.
@@ -198,11 +201,28 @@ impl Histogram {
         HistogramSnapshot { counts, sum_nanos: self.sum_nanos() }
     }
 
-    /// Estimated `q`-quantile in seconds (see [`HistogramSnapshot::quantile`]).
+    /// Estimated `q`-quantile (see [`HistogramSnapshot::quantile`]).
     #[must_use]
-    pub fn quantile(&self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> Quantile {
         self.snapshot().quantile(q)
     }
+}
+
+/// An estimated quantile: the value in seconds plus an explicit marker
+/// for estimates that landed in the overflow (`+Inf`) bucket.
+///
+/// When `overflow` is true, `seconds` is the ladder ceiling and the true
+/// order statistic is only known to be **at least** that large — the
+/// finite number is a floor, not an estimate. Expositions must surface
+/// the marker instead of printing the ceiling as if it were measured
+/// (the Prometheus analogue is a quantile resolving to the `+Inf`
+/// bucket).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantile {
+    /// Estimated value in seconds; the ladder ceiling when `overflow`.
+    pub seconds: f64,
+    /// True iff the target rank lives in the overflow (`+Inf`) bucket.
+    pub overflow: bool,
 }
 
 /// A point-in-time copy of a [`Histogram`]'s state.
@@ -239,18 +259,20 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`) in seconds,
-    /// linearly interpolated inside the bucket holding the target rank.
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`), linearly
+    /// interpolated inside the bucket holding the target rank.
     ///
     /// Error bound: the estimate lies inside the same bucket as the true
     /// rank-order statistic, so it is off by at most that bucket's width
-    /// (a ratio of ≤ 2.5× on the 1-2-5 ladder). Samples beyond the
-    /// ladder's 100s ceiling report the ceiling. Returns 0 when empty.
+    /// (a ratio of ≤ 2.5× on the 1-2-5 ladder). When the target rank
+    /// falls in the overflow bucket the true value is unbounded above:
+    /// the result carries the ladder ceiling **and** `overflow: true`,
+    /// never a fabricated finite estimate. Returns 0 when empty.
     #[must_use]
-    pub fn quantile(&self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> Quantile {
         let count = self.count();
         if count == 0 {
-            return 0.0;
+            return Quantile { seconds: 0.0, overflow: false };
         }
         let q = q.clamp(0.0, 1.0);
         // Rank of the order statistic the quantile asks for, 1-based.
@@ -261,16 +283,22 @@ impl HistogramSnapshot {
                 continue;
             }
             if seen + n >= rank {
+                let Some(&upper) = BUCKET_BOUNDS_NANOS.get(i) else {
+                    // Overflow bucket: the ceiling is a floor on the true
+                    // value, flagged explicitly.
+                    let ceiling = *BUCKET_BOUNDS_NANOS.last().expect("ladder nonempty");
+                    return Quantile { seconds: ceiling as f64 / 1e9, overflow: true };
+                };
                 let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NANOS[i - 1] };
-                let upper = BUCKET_BOUNDS_NANOS.get(i).copied().unwrap_or(lower);
                 let fraction = (rank - seen) as f64 / n as f64;
-                let nanos = lower as f64 + (upper.saturating_sub(lower)) as f64 * fraction;
-                return nanos / 1e9;
+                let nanos = lower as f64 + (upper - lower) as f64 * fraction;
+                return Quantile { seconds: nanos / 1e9, overflow: false };
             }
             seen += n;
         }
         // Unreachable (rank <= count), but stay total.
-        *BUCKET_BOUNDS_NANOS.last().expect("ladder nonempty") as f64 / 1e9
+        let ceiling = *BUCKET_BOUNDS_NANOS.last().expect("ladder nonempty");
+        Quantile { seconds: ceiling as f64 / 1e9, overflow: true }
     }
 
     /// Cumulative `(upper_bound_seconds, count)` pairs over the finite
@@ -344,16 +372,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_ladder_is_strictly_monotonic_and_spans_1us_to_100s() {
+    fn bucket_ladder_is_strictly_monotonic_and_spans_1us_to_1000s() {
         for pair in BUCKET_BOUNDS_NANOS.windows(2) {
             assert!(pair[0] < pair[1], "ladder must strictly increase: {pair:?}");
         }
         assert_eq!(BUCKET_BOUNDS_NANOS[0], 1_000, "ladder starts at 1µs");
-        assert_eq!(*BUCKET_BOUNDS_NANOS.last().unwrap(), 100_000_000_000, "ladder tops at 100s");
+        assert_eq!(*BUCKET_BOUNDS_NANOS.last().unwrap(), 1_000_000_000_000, "ladder tops at 1000s");
         // bucket_index is monotone in the sample and consistent with the
         // `value <= bound` containment rule.
         let mut last = 0;
-        for nanos in [0, 1, 999, 1_000, 1_001, 4_999, 5_000, 1_000_000, 99_999_999_999] {
+        for nanos in [0, 1, 999, 1_000, 1_001, 4_999, 5_000, 1_000_000, 999_999_999_999] {
             let i = bucket_index(nanos);
             assert!(i >= last);
             last = i;
@@ -365,7 +393,7 @@ mod tests {
                 );
             }
         }
-        assert_eq!(bucket_index(100_000_000_001), N_BUCKETS - 1, "beyond the ladder → overflow");
+        assert_eq!(bucket_index(1_000_000_000_001), N_BUCKETS - 1, "beyond the ladder → overflow");
     }
 
     #[test]
@@ -394,9 +422,11 @@ mod tests {
                 if bucket == 0 { 0.0 } else { BUCKET_BOUNDS_NANOS[bucket - 1] as f64 / 1e9 };
             let upper = BUCKET_BOUNDS_NANOS[bucket] as f64 / 1e9;
             let estimate = snapshot.quantile(q);
+            assert!(!estimate.overflow, "q={q}: in-ladder samples must not flag overflow");
             assert!(
-                (lower..=upper).contains(&estimate),
-                "q={q}: estimate {estimate} outside the true value's bucket [{lower}, {upper}]"
+                (lower..=upper).contains(&estimate.seconds),
+                "q={q}: estimate {} outside the true value's bucket [{lower}, {upper}]",
+                estimate.seconds
             );
         }
     }
@@ -466,8 +496,27 @@ mod tests {
 
     #[test]
     fn quantile_of_empty_histogram_is_zero() {
-        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+        assert_eq!(Histogram::new().quantile(0.5), Quantile { seconds: 0.0, overflow: false });
         assert_eq!(Histogram::new().snapshot().mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn overflow_resident_quantiles_carry_the_explicit_marker() {
+        let hist = Histogram::new();
+        hist.record_nanos(5_000); // in-ladder
+        hist.record_nanos(1_500_000_000_000); // 1500s: beyond the ceiling
+        hist.record_nanos(2_000_000_000_000); // 2000s: beyond the ceiling
+                                              // p50 lands on the in-ladder sample... rank ceil(0.5*3)=2, which
+                                              // is the first overflow sample.
+        let p50 = hist.quantile(0.5);
+        assert!(p50.overflow, "rank-2 sample lives beyond the ladder");
+        assert_eq!(p50.seconds, 1000.0, "overflow reports the ceiling, not a fabrication");
+        let p99 = hist.quantile(0.99);
+        assert!(p99.overflow);
+        // The in-ladder rank stays a real estimate.
+        let p01 = hist.quantile(0.01);
+        assert!(!p01.overflow);
+        assert!(p01.seconds <= 5e-6);
     }
 
     #[test]

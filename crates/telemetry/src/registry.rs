@@ -370,15 +370,16 @@ mod tests {
         assert_eq!(lines[0], "# TYPE attack_seconds histogram");
         assert_eq!(lines[1], "attack_seconds_bucket{le=\"1e-6\"} 0");
         assert_eq!(lines[2], "attack_seconds_bucket{le=\"2e-6\"} 1");
-        // 25 finite buckets + +Inf + sum + count + TYPE line.
-        assert_eq!(lines[26], "attack_seconds_bucket{le=\"+Inf\"} 2");
-        assert_eq!(lines[27], "attack_seconds_sum 0.0030015");
-        assert_eq!(lines[28], "attack_seconds_count 2");
-        assert_eq!(lines[29], "# TYPE daemon_connections_live gauge");
-        assert_eq!(lines[30], "daemon_connections_live 2");
-        assert_eq!(lines[31], "# TYPE daemon_requests_total counter");
-        assert_eq!(lines[32], "daemon_requests_total{cmd=\"attack\"} 3");
-        assert_eq!(lines.len(), 33);
+        // 28 finite buckets + +Inf + sum + count + TYPE line.
+        assert_eq!(lines[28], "attack_seconds_bucket{le=\"1000.0\"} 2");
+        assert_eq!(lines[29], "attack_seconds_bucket{le=\"+Inf\"} 2");
+        assert_eq!(lines[30], "attack_seconds_sum 0.0030015");
+        assert_eq!(lines[31], "attack_seconds_count 2");
+        assert_eq!(lines[32], "# TYPE daemon_connections_live gauge");
+        assert_eq!(lines[33], "daemon_connections_live 2");
+        assert_eq!(lines[34], "# TYPE daemon_requests_total counter");
+        assert_eq!(lines[35], "daemon_requests_total{cmd=\"attack\"} 3");
+        assert_eq!(lines.len(), 36);
     }
 
     #[test]

@@ -4,14 +4,19 @@
 //! serial `DeHealth::run` reference.
 //!
 //! ```text
-//! cargo run --release --example attack_service [-- --users N] [--seed S] [--addr HOST:PORT]
+//! cargo run --release --example attack_service [-- --users N] [--seed S] [--addr HOST:PORT] [--clients C] [--no-shutdown]
 //! ```
 //!
 //! Without `--addr` the example spawns its own daemon on an ephemeral
 //! local port (everything in one process, still over real TCP). With
 //! `--addr` it drives an external `repro serve` daemon started from the
 //! same `--users`/`--seed` (the split is regenerated deterministically,
-//! so parity still holds) — the shape of the CI smoke job.
+//! so parity still holds) — the shape of the CI smoke job. With
+//! `--clients C` (C ≥ 2) it additionally fires one barrier-synchronized
+//! attack per client from C concurrent connections, so the daemon's
+//! coalescing window gets real simultaneous load: every reply is still
+//! held to bit-identical parity, and the scrape at the end must show
+//! `daemon_batch_size` samples.
 
 use std::time::Instant;
 
@@ -26,12 +31,18 @@ fn main() {
     let mut users = 300usize;
     let mut seed = 42u64;
     let mut addr: Option<String> = None;
+    let mut clients = 1usize;
+    let mut no_shutdown = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--users" => users = argv.next().and_then(|v| v.parse().ok()).unwrap_or(users),
             "--seed" => seed = argv.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--addr" => addr = argv.next(),
+            "--clients" => {
+                clients = argv.next().and_then(|v| v.parse().ok()).unwrap_or(clients).max(1);
+            }
+            "--no-shutdown" => no_shutdown = true,
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -106,6 +117,42 @@ fn main() {
         split.anonymized.n_users
     );
 
+    // With --clients C, hammer the daemon with C simultaneous attacks
+    // from C connections. Barrier-synchronized sends land inside one
+    // coalescing window, so the daemon fuses them into a shared engine
+    // pass — and every demuxed reply must still match the serial
+    // reference exactly.
+    if clients > 1 {
+        println!("firing {clients} barrier-synchronized concurrent attacks…");
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients));
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let anonymized = split.anonymized.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = ServiceClient::connect(&addr).expect("connect concurrent");
+                    barrier.wait();
+                    client.attack(&anonymized, &options).expect("concurrent attack")
+                })
+            })
+            .collect();
+        for handle in handles {
+            let reply = handle.join().expect("client thread");
+            assert_eq!(
+                reply.mapping, reference.mapping,
+                "a coalesced concurrent reply diverged from the serial reference"
+            );
+            assert_eq!(reply.candidates, reference.candidates, "concurrent candidates diverged");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "  {clients} concurrent attacks in {wall:.3}s ({:.3} attacks/sec), all bit-identical ✓",
+            clients as f64 / wall
+        );
+    }
+
     // Stream one more auxiliary cohort (a tiny synthetic one) and attack
     // again — the standing corpus grows without a restart.
     let extra = Forum::generate(&ForumConfig::tiny(), seed.wrapping_add(99));
@@ -159,11 +206,29 @@ fn main() {
     println!(
         "daemon telemetry: {requests} requests, {samples} attack latency samples (p50 {p50:.3}s) ✓"
     );
+    if clients > 1 {
+        // The concurrent round must have flushed at least one batch
+        // through the coalescing window (the CI smoke job asserts the
+        // same metric over the Prometheus endpoint).
+        let batches = find("daemon_batch_size", None)
+            .and_then(|m| m.get("count"))
+            .and_then(de_health::service::Json::as_usize)
+            .expect("daemon_batch_size histogram present");
+        assert!(batches >= 1, "concurrent attacks must flush through the batcher, got {batches}");
+        println!("daemon batching: {batches} batch(es) flushed for the concurrent round ✓");
+    }
 
-    client.shutdown().expect("shutdown");
-    if let Some(daemon) = spawned {
-        daemon.join();
-        println!("daemon shut down");
+    // --no-shutdown leaves the daemon serving (so an external harness —
+    // the CI smoke job — can scrape its Prometheus endpoint after this
+    // load and stop it itself).
+    if no_shutdown {
+        println!("leaving the daemon running (--no-shutdown)");
+    } else {
+        client.shutdown().expect("shutdown");
+        if let Some(daemon) = spawned {
+            daemon.join();
+            println!("daemon shut down");
+        }
     }
     let _ = std::fs::remove_file(&snap_path);
 }

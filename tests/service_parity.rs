@@ -556,6 +556,172 @@ fn metrics_round_trip_contains_every_registered_daemon_metric() {
 }
 
 #[test]
+fn coalesced_concurrent_attacks_are_bit_identical_to_serial_and_unbatched() {
+    // The batching acceptance oracle: four clients fire mixed attack
+    // requests (different top_k / seed / n_landmarks overrides) into one
+    // coalescing window. The daemon merges them into a single fused
+    // engine pass — and every demuxed reply must be bit-identical to
+    // (a) the serial `DeHealth::run` oracle for that request's config
+    // and (b) the unbatched daemon path (`batch_window = 0`), at 1, 2
+    // and 8 engine threads.
+    let split = tiny_split();
+    let variants: Vec<(AttackOptions, AttackConfig)> = vec![
+        (AttackOptions::default(), attack_cfg()),
+        (
+            AttackOptions { top_k: Some(3), seed: Some(1234), ..AttackOptions::default() },
+            AttackConfig { top_k: 3, seed: 1234, ..attack_cfg() },
+        ),
+        (
+            AttackOptions { n_landmarks: Some(6), ..AttackOptions::default() },
+            AttackConfig { n_landmarks: 6, ..attack_cfg() },
+        ),
+        (
+            AttackOptions { top_k: Some(7), ..AttackOptions::default() },
+            AttackConfig { top_k: 7, ..attack_cfg() },
+        ),
+    ];
+    let references: Vec<_> = variants
+        .iter()
+        .map(|(_, cfg)| DeHealth::new(cfg.clone()).run(&split.auxiliary, &split.anonymized))
+        .collect();
+
+    // Unbatched control: window zero forces the classic solo
+    // `run_prepared` path for every request.
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_cfg().classifier);
+    let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+    let unbatched_limits = DaemonLimits { batch_window: Duration::ZERO, ..DaemonLimits::default() };
+    let daemon =
+        Daemon::bind_with("127.0.0.1:0", config.clone(), Some(corpus.clone()), unbatched_limits)
+            .unwrap();
+    let mut client = ServiceClient::connect(daemon.addr()).unwrap();
+    for ((options, _), reference) in variants.iter().zip(&references) {
+        let reply = client.attack(&split.anonymized, options).unwrap();
+        assert_eq!(reply.mapping, reference.mapping, "unbatched mapping diverged");
+        assert_eq!(reply.candidates, reference.candidates, "unbatched candidates diverged");
+    }
+    client.shutdown().unwrap();
+    daemon.join();
+
+    for threads in [1usize, 2, 8] {
+        // Wide window so all four concurrent requests coalesce.
+        let limits =
+            DaemonLimits { batch_window: Duration::from_millis(250), ..DaemonLimits::default() };
+        let daemon =
+            Daemon::bind_with("127.0.0.1:0", config.clone(), Some(corpus.clone()), limits).unwrap();
+        let addr = daemon.addr();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(variants.len()));
+        let handles: Vec<_> = variants
+            .iter()
+            .map(|(options, _)| {
+                let anonymized = split.anonymized.clone();
+                let options = AttackOptions { threads: Some(threads), ..*options };
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = ServiceClient::connect(addr).unwrap();
+                    barrier.wait();
+                    client.attack(&anonymized, &options).unwrap()
+                })
+            })
+            .collect();
+        let replies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ((reply, reference), (options, _)) in replies.iter().zip(&references).zip(&variants) {
+            assert_eq!(
+                reply.mapping, reference.mapping,
+                "batched mapping diverged from DeHealth::run at {threads} threads ({options:?})"
+            );
+            assert_eq!(
+                reply.candidates, reference.candidates,
+                "batched candidates diverged at {threads} threads ({options:?})"
+            );
+        }
+        // Coalescing actually happened: fewer flushed batches than
+        // attacks (four barrier-synchronized requests against one
+        // 250ms window cannot all ride alone).
+        let batch_sizes = daemon.registry().histogram("daemon_batch_size").snapshot();
+        let batches: u64 = batch_sizes.counts.iter().sum();
+        assert!(
+            (1..4).contains(&batches),
+            "expected 4 concurrent attacks to coalesce into 1–3 batches, got {batches}"
+        );
+
+        let mut closer = ServiceClient::connect(addr).unwrap();
+        closer.shutdown().unwrap();
+        daemon.join();
+    }
+}
+
+#[test]
+fn corpus_swap_mid_window_closes_the_group_and_both_sides_stay_exact() {
+    // Attacks capture the corpus Arc when they come off the wire and
+    // batches group by that Arc: a swap landing mid-window must route
+    // pre-swap requests against the old corpus and post-swap requests
+    // against the new one — each side bit-identical to its own serial
+    // oracle.
+    let split = tiny_split();
+    let chunk = Forum::generate(&ForumConfig::tiny(), 77);
+    let mut merged_posts: Vec<Post> = split.auxiliary.posts.clone();
+    for p in &chunk.posts {
+        merged_posts.push(Post {
+            author: p.author + split.auxiliary.n_users,
+            thread: p.thread + split.auxiliary.n_threads,
+            text: p.text.clone(),
+        });
+    }
+    let merged = Forum::from_posts(
+        split.auxiliary.n_users + chunk.n_users,
+        split.auxiliary.n_threads + chunk.n_threads,
+        merged_posts,
+    );
+    let reference_old = DeHealth::new(attack_cfg()).run(&split.auxiliary, &split.anonymized);
+    let reference_new = DeHealth::new(attack_cfg()).run(&merged, &split.anonymized);
+
+    let corpus = PreparedCorpus::build(split.auxiliary.clone(), attack_cfg().classifier);
+    let config = EngineConfig { attack: attack_cfg(), ..default_config() };
+    let limits =
+        DaemonLimits { batch_window: Duration::from_millis(400), ..DaemonLimits::default() };
+    let daemon = Daemon::bind_with("127.0.0.1:0", config, Some(corpus), limits).unwrap();
+    let addr = daemon.addr();
+
+    let fire_pair = |expected_mapping: Vec<Option<usize>>| {
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let anonymized = split.anonymized.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = ServiceClient::connect(addr).unwrap();
+                    barrier.wait();
+                    client.attack(&anonymized, &AttackOptions::default()).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let reply = h.join().unwrap();
+            assert_eq!(reply.mapping, expected_mapping);
+        }
+    };
+
+    // Two attacks against the pre-swap corpus coalesce into one group…
+    fire_pair(reference_old.mapping.clone());
+    // …the ingest swaps the corpus Arc…
+    let mut updater = ServiceClient::connect(addr).unwrap();
+    updater.add_auxiliary_users(&chunk).unwrap();
+    // …and two post-swap attacks open a fresh group against the new Arc.
+    fire_pair(reference_new.mapping.clone());
+
+    // Grouping by Arc identity kept the two sides in separate batches.
+    let batch_sizes = daemon.registry().histogram("daemon_batch_size").snapshot();
+    let batches: u64 = batch_sizes.counts.iter().sum();
+    assert!(
+        (2..=4).contains(&batches),
+        "expected the swap to close the old group (2–4 batches for 4 attacks), got {batches}"
+    );
+
+    updater.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
 fn attack_parity_holds_while_the_registry_is_scraped() {
     // Telemetry must be purely observational: interleaving `metrics`
     // scrapes (wire JSON and Prometheus text) with attacks cannot perturb
