@@ -9,12 +9,18 @@
 //!    cheap merges, no text analysis). The load must come in below 25% of
 //!    the cold build — asserted here, so the committed
 //!    `BENCH_service.json` always demonstrates the property.
-//! 2. **Serving throughput** — a daemon is started on an ephemeral local
-//!    port with the snapshot-loaded corpus, and the same anonymized batch
-//!    is attacked repeatedly over TCP at 1 and `machine_parallelism`
-//!    worker threads; the JSON records attacks/sec and anonymized
-//!    users/sec including all protocol overhead (JSON encode/parse both
-//!    directions).
+//! 2. **Serving throughput, per wire encoding** — a daemon is started on
+//!    an ephemeral local port with the snapshot-loaded corpus, and the
+//!    same anonymized batch is attacked repeatedly over TCP at 1 and
+//!    `machine_parallelism` worker threads, once over legacy
+//!    newline-JSON and once over binary frames. Each run records
+//!    attacks/sec, users/sec, the request's exact **bytes on the wire**
+//!    (the binary frame is asserted strictly smaller than the JSON
+//!    rendering of the same forum), and the daemon's own per-request
+//!    **stage timers** — mean `daemon_parse/queue/engine/emit_seconds`
+//!    differenced around the run — so the JSON shows where each
+//!    encoding's wall time goes (parse and emit are billed to the
+//!    worker pool, never the front thread).
 //! 3. **Latency under concurrent load** — several clients attack the
 //!    daemon simultaneously with barrier-synchronized sends, so the
 //!    requests land inside one coalescing window and the daemon fuses
@@ -28,6 +34,11 @@
 //!    telemetry layer's explicit overflow marker: a value at the ladder
 //!    ceiling is written to the JSON as a flagged floor
 //!    (`latency_p??_overflow: true`), never as a fabricated measurement.
+//!    Each client's own wall-clock is recorded too, plus the
+//!    **spread** (slowest minus fastest): with every coalesced reply
+//!    serialized by the workers and released together, the spread
+//!    should be a small fraction of the batch wall time, not a serial
+//!    staircase.
 //!
 //! Every wire attack — serial and concurrent — is compared against the
 //! in-process serial `DeHealth::run` on the freshly built corpus —
@@ -44,7 +55,7 @@ use dehealth_core::{AttackConfig, DeHealth};
 use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
 use dehealth_engine::EngineConfig;
 use dehealth_service::daemon::Daemon;
-use dehealth_service::{AttackOptions, PreparedCorpus, ServiceClient};
+use dehealth_service::{AttackOptions, PreparedCorpus, ServiceClient, WireEncoding};
 use dehealth_telemetry::{HistogramSnapshot, Quantile};
 
 /// Attack parameters used throughout the benchmark (matching the scaling
@@ -56,10 +67,14 @@ fn attack_config() -> AttackConfig {
 /// One wire-throughput measurement.
 #[derive(Debug, Clone)]
 pub struct WireRun {
+    /// Wire encoding of the attack requests (`"json"` or `"binary"`).
+    pub encoding: &'static str,
     /// Worker threads the daemon used per attack.
     pub threads: usize,
     /// Repeated attacks of the same batch.
     pub rounds: usize,
+    /// Exact size of one attack request on the wire, bytes.
+    pub request_bytes: usize,
     /// Total wall-clock across the rounds (client-side, protocol
     /// overhead included).
     pub total_seconds: f64,
@@ -67,6 +82,18 @@ pub struct WireRun {
     pub attacks_per_sec: f64,
     /// Anonymized users de-anonymized per second.
     pub users_per_sec: f64,
+    /// Mean per-request raw-bytes→validated-request time on a worker
+    /// (`daemon_parse_seconds` differenced around the run).
+    pub parse_seconds: f64,
+    /// Mean per-request wait for a worker plus coalescing window
+    /// (`daemon_queue_seconds`).
+    pub queue_seconds: f64,
+    /// Mean per-request engine execution time
+    /// (`daemon_engine_seconds`).
+    pub engine_seconds: f64,
+    /// Mean per-request reply-serialization time on a worker
+    /// (`daemon_emit_seconds`).
+    pub emit_seconds: f64,
 }
 
 /// The concurrent-load measurement: several clients attacking at once,
@@ -92,6 +119,13 @@ pub struct ConcurrentRun {
     /// Fused engine passes the daemon's coalescing window produced for
     /// this phase's attacks (differenced `daemon_batch_size` count).
     pub batches: u64,
+    /// Each client's own wall-clock for its attack, seconds (sorted
+    /// ascending).
+    pub client_seconds: Vec<f64>,
+    /// Slowest client minus fastest client, seconds: near-uniform
+    /// release of a coalesced batch keeps this a small fraction of the
+    /// batch wall time.
+    pub spread_seconds: f64,
 }
 
 /// The full benchmark result.
@@ -198,31 +232,80 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> 
     if parallelism > 1 {
         thread_sweep.push(parallelism);
     }
-    for threads in thread_sweep {
-        let options = AttackOptions { threads: Some(threads), ..AttackOptions::default() };
-        let t0 = Instant::now();
-        for _ in 0..rounds {
-            let reply = client.attack(&split.anonymized, &options).map_err(io::Error::other)?;
-            assert_eq!(
-                reply.mapping, reference.mapping,
-                "wire attack must match the in-process serial attack"
-            );
-            assert_eq!(reply.candidates, reference.candidates);
-        }
-        let total_seconds = t0.elapsed().as_secs_f64();
-        let run = WireRun {
-            threads,
-            rounds,
-            total_seconds,
-            attacks_per_sec: rounds as f64 / total_seconds.max(1e-12),
-            users_per_sec: (rounds * split.anonymized.n_users) as f64 / total_seconds.max(1e-12),
+    let registry = daemon.registry();
+    let stage_hists = [
+        registry.histogram("daemon_parse_seconds"),
+        registry.histogram("daemon_queue_seconds"),
+        registry.histogram("daemon_engine_seconds"),
+        registry.histogram("daemon_emit_seconds"),
+    ];
+    for encoding in [WireEncoding::Json, WireEncoding::Binary] {
+        let encoding_label = match encoding {
+            WireEncoding::Json => "json",
+            WireEncoding::Binary => "binary",
         };
-        println!(
-            "  wire attack × {rounds} at {threads} threads: {total_seconds:.3}s \
-             ({:.2} attacks/s, {:.0} users/s)",
-            run.attacks_per_sec, run.users_per_sec
+        client.set_encoding(encoding);
+        for &threads in &thread_sweep {
+            let options = AttackOptions { threads: Some(threads), ..AttackOptions::default() };
+            let request_bytes = client.encode_attack_request(&split.anonymized, &options).len();
+            let stages_before: Vec<_> = stage_hists.iter().map(|h| h.snapshot()).collect();
+            let t0 = Instant::now();
+            for _ in 0..rounds {
+                let reply = client.attack(&split.anonymized, &options).map_err(io::Error::other)?;
+                assert_eq!(
+                    reply.mapping, reference.mapping,
+                    "wire attack ({encoding_label}) must match the in-process serial attack"
+                );
+                assert_eq!(reply.candidates, reference.candidates);
+            }
+            let total_seconds = t0.elapsed().as_secs_f64();
+            let mut stage_means = [0.0f64; 4];
+            for (mean, (hist, before)) in
+                stage_means.iter_mut().zip(stage_hists.iter().zip(&stages_before))
+            {
+                *mean = histogram_delta(before, &hist.snapshot()).mean_seconds();
+            }
+            let run = WireRun {
+                encoding: encoding_label,
+                threads,
+                rounds,
+                request_bytes,
+                total_seconds,
+                attacks_per_sec: rounds as f64 / total_seconds.max(1e-12),
+                users_per_sec: (rounds * split.anonymized.n_users) as f64
+                    / total_seconds.max(1e-12),
+                parse_seconds: stage_means[0],
+                queue_seconds: stage_means[1],
+                engine_seconds: stage_means[2],
+                emit_seconds: stage_means[3],
+            };
+            println!(
+                "  wire attack × {rounds} [{encoding_label}, {request_bytes} B/req] at \
+                 {threads} threads: {total_seconds:.3}s ({:.2} attacks/s, {:.0} users/s; \
+                 stage means parse {:.4}s / queue {:.4}s / engine {:.4}s / emit {:.4}s)",
+                run.attacks_per_sec,
+                run.users_per_sec,
+                run.parse_seconds,
+                run.queue_seconds,
+                run.engine_seconds,
+                run.emit_seconds,
+            );
+            wire.push(run);
+        }
+    }
+    // The binary frame must beat the JSON rendering of the same forum on
+    // the wire — the committed numbers always demonstrate the saving.
+    for json_run in wire.iter().filter(|r| r.encoding == "json") {
+        let binary_run = wire
+            .iter()
+            .find(|r| r.encoding == "binary" && r.threads == json_run.threads)
+            .expect("both encodings swept the same thread counts");
+        assert!(
+            binary_run.request_bytes < json_run.request_bytes,
+            "binary frame ({} B) must be smaller than the JSON request ({} B)",
+            binary_run.request_bytes,
+            json_run.request_bytes
         );
-        wire.push(run);
     }
     // Concurrent load: several clients, each its own connection, all
     // attacking at 1 worker thread so the contention is real. The sends
@@ -240,7 +323,7 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> 
     let batches_before = batch_hist.count();
     let barrier = std::sync::Barrier::new(clients);
     let t0 = Instant::now();
-    std::thread::scope(|scope| {
+    let mut client_seconds: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|_| {
                 let anonymized = &split.anonymized;
@@ -250,22 +333,27 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> 
                 scope.spawn(move || {
                     let mut client = ServiceClient::connect(addr).expect("client connect");
                     let options = AttackOptions { threads: Some(1), ..AttackOptions::default() };
+                    let mut own_seconds = 0.0f64;
                     for _ in 0..rounds_per_client {
                         barrier.wait();
+                        let sent = Instant::now();
                         let reply = client.attack(anonymized, &options).expect("wire attack");
+                        own_seconds += sent.elapsed().as_secs_f64();
                         assert_eq!(
                             reply.mapping, reference.mapping,
                             "concurrent wire attack must match the serial reference"
                         );
                         assert_eq!(reply.candidates, reference.candidates);
                     }
+                    own_seconds
                 })
             })
             .collect();
-        for h in handles {
-            h.join().expect("client thread panicked");
-        }
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
     });
+    client_seconds.sort_by(f64::total_cmp);
+    let spread_seconds = client_seconds.last().copied().unwrap_or(0.0)
+        - client_seconds.first().copied().unwrap_or(0.0);
     let concurrent_seconds = t0.elapsed().as_secs_f64();
     let issued = clients * rounds_per_client;
     let delta = histogram_delta(&before, &attack_hist.snapshot());
@@ -289,20 +377,23 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<ServiceBench> 
         p90: delta.quantile(0.9),
         p99: delta.quantile(0.99),
         batches,
+        client_seconds,
+        spread_seconds,
     };
     println!(
         "  concurrent: {clients} clients × {rounds_per_client} attacks in \
          {concurrent_seconds:.3}s ({:.2} attacks/s across {batches} fused batch(es); \
-         latency mean {:.3}s, p50 {}, p90 {}, p99 {})",
+         latency mean {:.3}s, p50 {}, p90 {}, p99 {}; per-client spread {:.3}s)",
         concurrent.attacks_per_sec,
         concurrent.mean_seconds,
         fmt_quantile(concurrent.p50),
         fmt_quantile(concurrent.p90),
         fmt_quantile(concurrent.p99),
+        concurrent.spread_seconds,
     );
 
-    // The registry outlives the daemon handle; `join` consumes it.
-    let registry = daemon.registry();
+    // The registry handle taken above outlives the daemon; `join`
+    // consumes the daemon itself.
     client.shutdown().map_err(io::Error::other)?;
     daemon.join();
     let _ = std::fs::remove_file(&snap_path);
@@ -371,9 +462,22 @@ fn write_json(path: &Path, seed: u64, b: &ServiceBench) -> io::Result<()> {
     for (i, r) in b.wire.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"threads\": {}, \"rounds\": {}, \"total_seconds\": {:.6}, \
-             \"attacks_per_sec\": {:.3}, \"users_per_sec\": {:.1}}}",
-            r.threads, r.rounds, r.total_seconds, r.attacks_per_sec, r.users_per_sec
+            "    {{\"encoding\": \"{}\", \"threads\": {}, \"rounds\": {}, \
+             \"request_bytes\": {}, \"total_seconds\": {:.6}, \
+             \"attacks_per_sec\": {:.3}, \"users_per_sec\": {:.1}, \
+             \"parse_seconds\": {:.6}, \"queue_seconds\": {:.6}, \
+             \"engine_seconds\": {:.6}, \"emit_seconds\": {:.6}}}",
+            r.encoding,
+            r.threads,
+            r.rounds,
+            r.request_bytes,
+            r.total_seconds,
+            r.attacks_per_sec,
+            r.users_per_sec,
+            r.parse_seconds,
+            r.queue_seconds,
+            r.engine_seconds,
+            r.emit_seconds,
         );
         out.push_str(if i + 1 < b.wire.len() { ",\n" } else { "\n" });
     }
@@ -391,7 +495,10 @@ fn write_json(path: &Path, seed: u64, b: &ServiceBench) -> io::Result<()> {
     let _ = writeln!(out, "    \"latency_p90_seconds\": {:.6},", c.p90.seconds);
     let _ = writeln!(out, "    \"latency_p90_overflow\": {},", c.p90.overflow);
     let _ = writeln!(out, "    \"latency_p99_seconds\": {:.6},", c.p99.seconds);
-    let _ = writeln!(out, "    \"latency_p99_overflow\": {}", c.p99.overflow);
+    let _ = writeln!(out, "    \"latency_p99_overflow\": {},", c.p99.overflow);
+    let per_client: Vec<String> = c.client_seconds.iter().map(|s| format!("{s:.6}")).collect();
+    let _ = writeln!(out, "    \"client_seconds\": [{}],", per_client.join(", "));
+    let _ = writeln!(out, "    \"spread_seconds\": {:.6}", c.spread_seconds);
     out.push_str("  }\n}\n");
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -416,6 +523,18 @@ mod tests {
         assert!(bench.load_vs_build_ratio < 0.25);
         assert!(!bench.wire.is_empty());
         assert!(bench.wire.iter().all(|r| r.attacks_per_sec > 0.0));
+        // Both encodings swept; the binary-vs-JSON bytes-on-wire
+        // assertion ran inside `run_to`. The worker-side stage timers
+        // must have recorded real work for every run.
+        assert!(bench.wire.iter().any(|r| r.encoding == "json"));
+        assert!(bench.wire.iter().any(|r| r.encoding == "binary"));
+        for r in &bench.wire {
+            assert!(r.request_bytes > 0, "{}: empty request?", r.encoding);
+            assert!(r.parse_seconds > 0.0, "{}: parse not billed to workers", r.encoding);
+            assert!(r.engine_seconds > 0.0, "{}: engine stage missing", r.encoding);
+            assert!(r.emit_seconds > 0.0, "{}: emit not billed to workers", r.encoding);
+            assert!(r.queue_seconds >= 0.0);
+        }
         // The concurrent phase's histogram-count and batch-count
         // assertions ran inside `run_to`; the derived quantiles must be
         // coherent, and at this scale (sub-second attacks, 1000s
@@ -427,13 +546,24 @@ mod tests {
         assert!(bench.concurrent.p50.seconds <= bench.concurrent.p90.seconds);
         assert!(bench.concurrent.p90.seconds <= bench.concurrent.p99.seconds);
         assert!(!bench.concurrent.p99.overflow, "sub-second attacks cannot overflow the ladder");
+        // Per-client latencies and their spread: every client is
+        // accounted for, and sorted order holds.
+        assert_eq!(bench.concurrent.client_seconds.len(), bench.concurrent.clients);
+        assert!(bench.concurrent.client_seconds.windows(2).all(|w| w[0] <= w[1]));
+        assert!(bench.concurrent.spread_seconds >= 0.0);
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"experiment\": \"service\""));
         assert!(text.contains("\"load_vs_build_ratio\""));
         assert!(text.contains("\"attacks_per_sec\""));
+        assert!(text.contains("\"encoding\": \"binary\""));
+        assert!(text.contains("\"request_bytes\""));
+        assert!(text.contains("\"parse_seconds\""));
+        assert!(text.contains("\"emit_seconds\""));
         assert!(text.contains("\"latency_p99_seconds\""));
         assert!(text.contains("\"latency_p99_overflow\": false"));
         assert!(text.contains("\"batches\""));
+        assert!(text.contains("\"client_seconds\""));
+        assert!(text.contains("\"spread_seconds\""));
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -304,6 +304,15 @@ impl SectionBuf {
     pub fn is_empty(&self) -> bool {
         self.bytes.is_empty()
     }
+
+    /// Take the encoded payload out of the buffer — for embedding the
+    /// codec's byte layout somewhere other than a snapshot container
+    /// (the service's binary wire frames reuse [`encode_forum`] this
+    /// way, with their own framing and checksum around it).
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
 }
 
 /// Serializes one snapshot: header plus a sequence of checksummed
@@ -586,6 +595,15 @@ pub struct SectionReader<'a> {
 }
 
 impl<'a> SectionReader<'a> {
+    /// Open a cursor over a raw payload that did **not** come out of a
+    /// snapshot container — the inverse of [`SectionBuf::into_bytes`].
+    /// The caller owns integrity (the container's per-section checksum
+    /// does not apply); `tag` only labels error messages.
+    #[must_use]
+    pub fn standalone(bytes: &'a [u8], tag: SectionTag) -> Self {
+        Self { bytes, at: 0, tag }
+    }
+
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
         if self.bytes.len() - self.at < n {
             return Err(SnapshotError::Truncated { context });

@@ -1,30 +1,38 @@
-//! The long-lived attack daemon: a readiness-driven TCP server over the
-//! newline-delimited JSON [`protocol`](crate::protocol).
+//! The long-lived attack daemon: a readiness-driven TCP server speaking
+//! the newline-delimited JSON [`protocol`](crate::protocol) plus
+//! length-prefixed binary [`frame`]s for the bulk
+//! commands, auto-detected per message by first byte.
 //!
 //! ## Architecture
 //!
 //! One [`Daemon`] owns a single **front thread** plus a small pool of
-//! **dispatch workers** ([`DaemonLimits::workers`]):
+//! **dispatch workers** ([`DaemonLimits::workers`]). The front thread
+//! does **framing only** — it never parses a bulk request or serializes
+//! a reply; both are billed to the workers:
 //!
 //! ```text
 //!            ┌───────────────────────────────────────────────┐
 //!  clients ──▶ front thread: netpoll Poller over nonblocking │
-//!            │ listener + every connection; line extraction, │
-//!            │ response writing, hardening, fast commands    │
+//!            │ listener + every connection; FRAMING ONLY     │
+//!            │ (line / binary-frame extraction, cap + magic  │
+//!            │ + checksum checks, batch-key byte scan),      │
+//!            │ outbox writes, hardening, fast commands       │
 //!            │ (stats / metrics / shutdown) served inline    │
 //!            └──────┬───────────────────────────▲────────────┘
-//!      attack jobs  │   ┌───────────────┐       │ completions
-//!      (coalesced)  ├──▶│ batcher:      │       │ (responses,
-//!      corpus jobs  │   │ group by      │       │  demuxed per
-//!                   │   │ corpus Arc ×  │       │  request)
-//!                   │   │ thread count, │       │
+//!       parse jobs  │   ┌───────────────┐       │ completions
+//!       (raw bytes) ├──▶│ batcher:      │       │ (finished
+//!                   │   │ group by      │       │  outbox BYTES,
+//!                   │   │ corpus Arc ×  │       │  demuxed per
+//!                   │   │ thread count, │       │  request)
 //!                   │   │ flush after   │       │
 //!                   │   │ batch_window  │       │
 //!                   │   └──────┬────────┘       │
 //!                   ▼          ▼                │
 //!            ┌───────────────────────────────────────────────┐
-//!            │ worker pool: load_snapshot / add_auxiliary /  │
-//!            │ attack batches via Engine::run_prepared_batch │
+//!            │ worker pool: parse / validate raw requests,   │
+//!            │ load_snapshot / add_auxiliary / attack batches│
+//!            │ via Engine::run_prepared_batch, then emit the │
+//!            │ reply JSON into finished outbox bytes         │
 //!            └───────────────────────────────────────────────┘
 //! ```
 //!
@@ -33,9 +41,41 @@
 //! tick fallback otherwise) — no thread per connection. Cheap commands
 //! (`stats`, `metrics`, `shutdown`, protocol errors) are answered
 //! inline on the front thread, so a scrape never queues behind a
-//! multi-second attack. Expensive commands become jobs for the worker
-//! pool; their responses come back through a completion queue and are
-//! written by the front thread in per-connection request order.
+//! multi-second attack. Bulk commands (`attack`,
+//! `add_auxiliary_users`, `load_snapshot`) travel to the worker pool as
+//! **raw bytes** (`RawRequest`): a worker parses and validates the
+//! request, runs it, serializes the reply, and hands the front thread a
+//! finished byte buffer to splice into the connection's outbox — the
+//! front thread's per-request work is O(bytes scanned), independent of
+//! forum size. Responses come back through a completion queue and are
+//! written in per-connection request order.
+//!
+//! ## Wire encodings
+//!
+//! Each inbound message picks its encoding by first byte:
+//!
+//! - any byte other than `0xDE` starts a newline-delimited JSON request
+//!   line — the full legacy protocol, every command;
+//! - `0xDE` (never a legal first byte of JSON text) starts a binary
+//!   frame: magic, command tag, little-endian payload length (so the
+//!   total claim is validated against [`DaemonLimits::max_request_bytes`]
+//!   from the fixed 8-byte header, **before** any payload is buffered),
+//!   payload in the snapshot codec's layout, and an FNV-1a checksum
+//!   trailer. Only the bulk payload commands have binary forms
+//!   (`attack`, `add_auxiliary_users`); replies are always JSON lines.
+//!   See [`frame`] for the exact byte layout.
+//!
+//! Both encodings of the same request are **bit-identical** on the
+//! reply side and coalesce into the same batches
+//! (`tests/service_parity.rs` pins both).
+//!
+//! For batching, the front thread needs one fact from each `attack`
+//! request before a worker has parsed it: the effective thread count
+//! (part of the group key). A byte scanner
+//! ([`frame::scan_top_level`]) extracts it from JSON without building a
+//! tree, and [`frame::peek_attack_threads`] reads it from a frame's
+//! fixed-offset options block; a request whose scanned key turns out
+//! wrong after the full parse is simply re-filed under its actual key.
 //!
 //! ## Server-side attack batching
 //!
@@ -82,6 +122,14 @@
 //! unitless histogram of requests per flushed batch),
 //! `daemon_batch_window_seconds` (how long each batch coalesced before
 //! flushing) and `daemon_queue_depth` (jobs waiting for a worker).
+//! Four per-request **stage timers** split every bulk request's wall
+//! time along the worker pipeline — `daemon_parse_seconds` (raw bytes →
+//! validated request, on a worker), `daemon_queue_seconds` (waiting for
+//! a worker plus any coalescing window), `daemon_engine_seconds`
+//! (execution), `daemon_emit_seconds` (reply → outbox bytes, on a
+//! worker) — proving parse and emit are billed to the pool, not the
+//! front thread. `daemon_encoding_requests_total{encoding=json|binary}`
+//! counts how each served request arrived on the wire.
 //! The whole registry is served by the `metrics` wire command (JSON,
 //! [`registry_to_json`]) and by the optional Prometheus scrape endpoint
 //! ([`MetricsServer`](crate::metrics::MetricsServer)). [`DaemonStats`]
@@ -98,12 +146,19 @@
 //!
 //! - a per-request byte-size cap (a request line exceeding it is
 //!   rejected and the connection closed before the daemon buffers
-//!   unbounded data),
+//!   unbounded data; a binary frame is rejected from its 8-byte header
+//!   the moment the declared length exceeds the cap — a header claiming
+//!   2 GiB costs the daemon 8 buffered bytes),
 //! - a read deadline on half-open connections (a peer that starts a
 //!   request and stalls mid-line is timed out and closed), and
 //! - a max-connections cap (connections beyond it receive an error line
 //!   and are closed immediately, so established sessions keep their
 //!   slots).
+//!
+//! Malformed frames — bad magic, unknown tag, nonzero reserved byte,
+//! checksum mismatch (including a JSON line injected inside a frame's
+//! declared extent) — get the same treatment: one typed error line
+//! counted under its [`ERROR_KINDS`] label, then a closed connection.
 //!
 //! Backpressure is per connection: while a connection has a request in
 //! flight the front thread stops reading its socket, so a pipelining
@@ -111,14 +166,14 @@
 //! thread-per-connection design it replaces.
 //!
 //! `tests/service_parity.rs` pins the wire schema, the counter
-//! semantics, all three hardening behaviors, and batched/unbatched/
-//! serial bit-parity.
+//! semantics, the hardening and malformed-frame behaviors, and
+//! batched/unbatched/serial bit-parity across both encodings.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -130,6 +185,9 @@ use dehealth_netpoll::{Event, Interest, Poller};
 use dehealth_telemetry::{info, warn, Counter, Gauge, Histogram, Registry, SpanTimer};
 
 use crate::corpus::{LoadMode, PreparedCorpus};
+use crate::frame::{
+    self, FrameError, FrameTag, FRAME_HEADER_BYTES, FRAME_MAGIC, FRAME_TRAILER_BYTES,
+};
 use crate::json::Json;
 use crate::metrics::registry_to_json;
 use crate::protocol::{error_response, forum_from_json, ok_response, report_to_json};
@@ -161,11 +219,15 @@ pub const COMMANDS: [&str; 8] = [
 ];
 
 /// Every `kind` label of `daemon_error_kind_total`, pre-registered at
-/// bind time. The first six classify error *responses*; the last three
-/// classify rejected or dropped *connections* (which also answer with an
-/// error line but are not counted as served requests).
-pub const ERROR_KINDS: [&str; 9] = [
+/// bind time. Most classify error *responses*; `connection_cap`,
+/// `read_deadline`, `oversize_request` and the two frame kinds
+/// (`bad_frame`, `frame_checksum`) classify rejected or dropped
+/// *connections* (which also answer with an error line but are not
+/// counted as served requests).
+pub const ERROR_KINDS: [&str; 11] = [
+    "bad_frame",
     "connection_cap",
+    "frame_checksum",
     "invalid_argument",
     "invalid_json",
     "missing_cmd",
@@ -175,6 +237,11 @@ pub const ERROR_KINDS: [&str; 9] = [
     "snapshot_load",
     "unknown_cmd",
 ];
+
+/// Every `encoding` label of `daemon_encoding_requests_total`,
+/// pre-registered at bind time: how each served request arrived on the
+/// wire — a newline-JSON line or a length-prefixed binary frame.
+pub const ENCODINGS: [&str; 2] = ["binary", "json"];
 
 /// Protocol-hardening and dispatch knobs (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -270,6 +337,22 @@ struct DaemonMetrics {
     batch_window_seconds: Arc<Histogram>,
     /// Jobs waiting for a dispatch worker.
     queue_depth: Arc<Gauge>,
+    /// Per-request stage timers, all billed on dispatch workers: time
+    /// decoding the request (JSON parse + validation, or binary frame
+    /// decode)…
+    parse_seconds: Arc<Histogram>,
+    /// …time between coming off the wire and execution start, minus the
+    /// parse itself (coalescing window + job-queue wait)…
+    queue_seconds: Arc<Histogram>,
+    /// …time executing the command (the engine pass, or the corpus
+    /// rebuild for updates)…
+    engine_seconds: Arc<Histogram>,
+    /// …and time serializing the finished reply into outbox bytes.
+    emit_seconds: Arc<Histogram>,
+    /// Served requests that arrived as newline-JSON lines.
+    encoding_json: Arc<Counter>,
+    /// Served requests that arrived as binary frames.
+    encoding_binary: Arc<Counter>,
 }
 
 impl DaemonMetrics {
@@ -300,6 +383,14 @@ impl DaemonMetrics {
             batch_size: registry.histogram("daemon_batch_size"),
             batch_window_seconds: registry.histogram("daemon_batch_window_seconds"),
             queue_depth: registry.gauge("daemon_queue_depth"),
+            parse_seconds: registry.histogram("daemon_parse_seconds"),
+            queue_seconds: registry.histogram("daemon_queue_seconds"),
+            engine_seconds: registry.histogram("daemon_engine_seconds"),
+            emit_seconds: registry.histogram("daemon_emit_seconds"),
+            encoding_json: registry
+                .counter_with("daemon_encoding_requests_total", &[("encoding", "json")]),
+            encoding_binary: registry
+                .counter_with("daemon_encoding_requests_total", &[("encoding", "binary")]),
             registry,
         }
     }
@@ -342,29 +433,73 @@ impl DaemonMetrics {
     }
 }
 
-/// One queued `attack` request: where to send the reply, when it came
-/// off the wire (the latency histogram's start), and the raw request.
-struct AttackItem {
+/// One complete request as the front thread extracted it — raw bytes,
+/// never parsed on the front.
+enum RawRequest {
+    /// A trimmed newline-JSON request line.
+    JsonLine(String),
+    /// The checksum-verified payload of a binary `attack` frame.
+    AttackFrame(Vec<u8>),
+    /// The checksum-verified payload of a binary `add_auxiliary_users`
+    /// frame.
+    AddUsersFrame(Vec<u8>),
+}
+
+/// An `attack` request a worker parsed and validated, headed back to
+/// the front thread's coalescing groups (or run solo when batching is
+/// off).
+struct ReadyAttack {
     conn: usize,
+    /// When the request came off the wire — the latency clock.
     received: Instant,
-    request: Json,
+    /// Worker time spent decoding + validating the request.
+    parse_seconds: f64,
+    /// The thread count the front *scanned* from the raw bytes — the
+    /// key of the pending-group entry this parse resolves.
+    scanned_threads: usize,
+    /// The actual effective thread count the full parse produced.
+    threads: usize,
+    attack: AttackConfig,
+    forum: Forum,
+    corpus: Arc<PreparedCorpus>,
 }
 
 /// Work for the dispatch pool.
 enum Job {
+    /// Parse + validate one raw request; corpus updates run to
+    /// completion in the same job, attacks either run solo immediately
+    /// (`solo`, when batching is off) or return to the front as a
+    /// [`ReadyAttack`].
+    Parse {
+        conn: usize,
+        received: Instant,
+        raw: RawRequest,
+        /// The front's zero-parse classification: `"attack"`,
+        /// `"add_auxiliary_users"` or `"load_snapshot"`.
+        label: &'static str,
+        /// For attacks: the corpus `Arc` captured when the request came
+        /// off the wire (`None` answers `no_corpus` *after* the parse,
+        /// preserving the invalid_json > no_corpus precedence).
+        corpus: Option<Arc<PreparedCorpus>>,
+        /// For attacks: the front's scanned batch key.
+        scanned_threads: usize,
+        /// Run the attack in this job instead of returning it (batch
+        /// window zero).
+        solo: bool,
+    },
     /// A flushed batch: every item captured the same corpus `Arc` and
     /// the same effective thread count.
-    Attack { corpus: Arc<PreparedCorpus>, threads: usize, items: Vec<AttackItem> },
-    /// A corpus update (`load_snapshot` / `add_auxiliary_users`).
-    Update { conn: usize, received: Instant, request: Json, label: &'static str },
+    Attack { corpus: Arc<PreparedCorpus>, threads: usize, items: Vec<ReadyAttack> },
 }
 
-/// A finished job item, headed back to the front thread. `None` means
-/// the handler panicked: close the connection without a response, like
-/// a died per-connection thread in the old design.
+/// A finished request headed back to the front thread: the response
+/// line, fully serialized (trailing newline included) by the worker so
+/// the front merely splices it into the outbox. `None` means the
+/// handler panicked: close the connection without a response, like a
+/// died per-connection thread in the old design.
 struct Completion {
     conn: usize,
-    response: Option<Json>,
+    bytes: Option<Vec<u8>>,
 }
 
 struct DaemonState {
@@ -382,6 +517,15 @@ struct DaemonState {
     jobs_cv: Condvar,
     /// Finished responses headed back to the front thread.
     completions: Mutex<Vec<Completion>>,
+    /// Parsed attacks headed back to the front thread's coalescing
+    /// groups (batching on only).
+    parsed: Mutex<Vec<ReadyAttack>>,
+    /// Requests in flight anywhere in the pipeline: incremented when a
+    /// `Parse` job is enqueued, decremented when the request's
+    /// completion is pushed. Workers must not exit while nonzero — a
+    /// parsed attack waiting in a coalescing group still needs a worker
+    /// for its batch job.
+    dispatched: AtomicUsize,
     metrics: DaemonMetrics,
     started: Instant,
     shutting_down: AtomicBool,
@@ -404,11 +548,22 @@ impl DaemonState {
         self.metrics.observe_corpus(&next);
     }
 
-    fn push_completion(&self, conn: usize, response: Option<Json>) {
+    fn push_completion(&self, conn: usize, bytes: Option<Vec<u8>>) {
         self.completions
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .push(Completion { conn, response });
+            .push(Completion { conn, bytes });
+        // Saturating: the panic fence pushes a completion for *every*
+        // conn its job touched, which can double-complete an item that
+        // already answered before the panic.
+        let _ =
+            self.dispatched.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1));
+    }
+
+    /// Enqueue a request's `Parse` job and count it in flight.
+    fn dispatch_request(&self, job: Job) {
+        self.dispatched.fetch_add(1, Ordering::SeqCst);
+        self.enqueue_job(job);
     }
 
     fn enqueue_job(&self, job: Job) {
@@ -490,6 +645,8 @@ impl Daemon {
             jobs: Mutex::new(VecDeque::new()),
             jobs_cv: Condvar::new(),
             completions: Mutex::new(Vec::new()),
+            parsed: Mutex::new(Vec::new()),
+            dispatched: AtomicUsize::new(0),
             metrics,
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
@@ -582,12 +739,17 @@ struct Conn {
 
 /// One open coalescing group: attacks captured against the same corpus
 /// `Arc` with the same effective thread count, waiting for the window
-/// to elapse.
+/// to elapse — and for every member's worker-side parse to land.
 struct BatchGroup {
     corpus: Arc<PreparedCorpus>,
     threads: usize,
     opened: Instant,
-    items: Vec<AttackItem>,
+    /// Connections whose attack is still being parsed on a worker. The
+    /// group never flushes while nonempty: the parses were dispatched
+    /// inside the window, so their requests belong in this batch.
+    pending: Vec<usize>,
+    /// Parsed, validated members awaiting the flush.
+    ready: Vec<ReadyAttack>,
 }
 
 /// The front thread: accept, read, extract lines, answer fast commands
@@ -625,15 +787,29 @@ fn front_loop(listener: TcpListener, state: &Arc<DaemonState>, workers: Vec<Join
             settle_conn(state, &mut poller, &mut conns, ev.token);
         }
 
+        // File worker-parsed attacks into their coalescing groups (the
+        // scanned key's pending entry resolves; a mismatching parse
+        // re-files under the actual thread count).
+        let ready: Vec<ReadyAttack> =
+            std::mem::take(&mut *state.parsed.lock().unwrap_or_else(PoisonError::into_inner));
+        for r in ready {
+            file_parsed(&mut groups, r);
+        }
+
         // Demux finished jobs back onto their connections, preserving
         // per-connection request order (in_flight gated the next line).
         let done: Vec<Completion> =
             std::mem::take(&mut *state.completions.lock().unwrap_or_else(PoisonError::into_inner));
         for c in done {
+            // A completion for a conn still pending in a group means its
+            // parse failed (or panicked): the batch must not wait for it.
+            for g in &mut groups {
+                g.pending.retain(|&t| t != c.conn);
+            }
             if let Some(conn) = conns.get_mut(&c.conn) {
                 conn.in_flight = false;
-                match c.response {
-                    Some(response) => queue_response(conn, &response),
+                match c.bytes {
+                    Some(bytes) => conn.outbox.extend_from_slice(&bytes),
                     None => conn.closing = true,
                 }
                 pump(state, &mut groups, conn);
@@ -679,7 +855,7 @@ fn front_loop(listener: TcpListener, state: &Arc<DaemonState>, workers: Vec<Join
             }
             let idle: Vec<usize> = conns
                 .values()
-                .filter(|c| !c.in_flight && !c.inbox.contains(&b'\n'))
+                .filter(|c| !c.in_flight && !head_message_complete(&c.inbox))
                 .map(|c| c.token)
                 .collect();
             for token in idle {
@@ -688,7 +864,11 @@ fn front_loop(listener: TcpListener, state: &Arc<DaemonState>, workers: Vec<Join
                 }
                 settle_conn(state, &mut poller, &mut conns, token);
             }
-            if conns.is_empty() && groups.is_empty() {
+            // `dispatched` covers parses still on a worker and parsed
+            // attacks not yet flushed: breaking earlier would strand a
+            // ReadyAttack the workers are waiting on and hang `join`.
+            if conns.is_empty() && groups.is_empty() && state.dispatched.load(Ordering::SeqCst) == 0
+            {
                 break;
             }
         }
@@ -702,12 +882,38 @@ fn front_loop(listener: TcpListener, state: &Arc<DaemonState>, workers: Vec<Join
 
 /// Next poll wait: the poll interval, shortened to the nearest batch
 /// deadline so a coalescing window never overshoots by a full tick.
+/// Groups still waiting on a worker-side parse keep the full interval —
+/// their flush is gated on the parse landing, not on the clock.
 fn wait_timeout(groups: &[BatchGroup], window: Duration) -> Duration {
     let mut timeout = POLL_INTERVAL;
     for g in groups {
-        timeout = timeout.min(window.saturating_sub(g.opened.elapsed()));
+        if g.pending.is_empty() {
+            timeout = timeout.min(window.saturating_sub(g.opened.elapsed()));
+        }
     }
     timeout
+}
+
+/// Whether the head of a connection's inbox is one complete request —
+/// a full newline-terminated line, or a full binary frame. (A frame
+/// with a malformed or oversized header counts as complete: pumping it
+/// produces its error reply rather than waiting for more bytes.)
+fn head_message_complete(inbox: &[u8]) -> bool {
+    match inbox.first() {
+        None => false,
+        Some(&b) if b == FRAME_MAGIC[0] => {
+            if inbox.len() < FRAME_HEADER_BYTES {
+                return false;
+            }
+            let header: [u8; FRAME_HEADER_BYTES] =
+                inbox[..FRAME_HEADER_BYTES].try_into().expect("8 header bytes");
+            match frame::parse_header(&header, usize::MAX) {
+                Ok(h) => inbox.len() >= h.frame_len(),
+                Err(_) => true,
+            }
+        }
+        Some(_) => inbox.contains(&b'\n'),
+    }
 }
 
 /// Accept every pending connection (the listener is level-triggered but
@@ -790,12 +996,24 @@ fn read_ready(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, conn: &mut
     pump(state, groups, conn);
 }
 
-/// Serve every complete line the connection has buffered, stopping at
-/// the first request that goes in flight (per-connection request order —
-/// clients may pipeline; responses keep request order). Then update the
-/// half-open bookkeeping on whatever incomplete tail remains.
+/// Serve every complete request the connection has buffered — binary
+/// frames and JSON lines freely interleaved, detected per message by
+/// the first byte — stopping at the first request that goes in flight
+/// (per-connection request order; clients may pipeline, responses keep
+/// request order). Then update the half-open bookkeeping on whatever
+/// incomplete tail remains.
+///
+/// This is the whole of the front thread's per-request work: framing
+/// and classification over raw bytes. Parsing, execution and reply
+/// serialization all happen on dispatch workers.
 fn pump(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, conn: &mut Conn) {
     while !conn.in_flight && !conn.closing {
+        if conn.inbox.first() == Some(&FRAME_MAGIC[0]) {
+            if !pump_frame(state, groups, conn) {
+                break;
+            }
+            continue;
+        }
         let Some(pos) = conn.inbox.iter().position(|&b| b == b'\n') else { break };
         let line_bytes: Vec<u8> = conn.inbox.drain(..=pos).collect();
         let line = String::from_utf8_lossy(&line_bytes);
@@ -803,13 +1021,16 @@ fn pump(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, conn: &mut Conn)
         if line.is_empty() {
             continue;
         }
+        state.metrics.encoding_json.inc();
         handle_line(state, groups, conn, line);
     }
-    if conn.inbox.is_empty() || conn.inbox.contains(&b'\n') {
+    if conn.inbox.is_empty() || head_message_complete(&conn.inbox) {
         conn.partial_since = None;
     } else {
         // A request line larger than the cap can never complete —
-        // reject it now instead of buffering without bound.
+        // reject it now instead of buffering without bound. (Binary
+        // frames never reach this: their cap is enforced from the
+        // 8-byte header in `pump_frame`.)
         if !conn.in_flight && !conn.closing && conn.inbox.len() > state.limits.max_request_bytes {
             drop_conn_with_error(
                 state,
@@ -827,9 +1048,78 @@ fn pump(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, conn: &mut Conn)
     }
 }
 
-/// Classify one request line and route it: fast commands answered
-/// inline, `attack` into the batcher, corpus updates straight to the
-/// worker queue.
+/// Try to consume one binary frame from the head of the inbox. Returns
+/// `false` when the frame is incomplete (wait for more bytes). A
+/// malformed or oversized header is answered from the first 8 bytes —
+/// before the payload is buffered, let alone allocated — and a checksum
+/// mismatch (including JSON bytes injected inside a frame's declared
+/// extent) closes the connection with a typed error.
+fn pump_frame(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, conn: &mut Conn) -> bool {
+    if conn.inbox.len() < FRAME_HEADER_BYTES {
+        return false;
+    }
+    let header: [u8; FRAME_HEADER_BYTES] =
+        conn.inbox[..FRAME_HEADER_BYTES].try_into().expect("8 header bytes");
+    let parsed = match frame::parse_header(&header, state.limits.max_request_bytes) {
+        Ok(h) => h,
+        Err(e) => {
+            drop_frame_error(state, conn, &e);
+            return false;
+        }
+    };
+    let total = parsed.frame_len();
+    if conn.inbox.len() < total {
+        return false;
+    }
+    let frame_bytes: Vec<u8> = conn.inbox.drain(..total).collect();
+    let payload = &frame_bytes[FRAME_HEADER_BYTES..total - FRAME_TRAILER_BYTES];
+    let trailer: [u8; FRAME_TRAILER_BYTES] =
+        frame_bytes[total - FRAME_TRAILER_BYTES..].try_into().expect("8 trailer bytes");
+    if let Err(e) = frame::verify_checksum(payload, &trailer) {
+        drop_frame_error(state, conn, &e);
+        return false;
+    }
+    state.metrics.encoding_binary.inc();
+    let received = Instant::now();
+    match parsed.tag {
+        FrameTag::Attack => {
+            let scanned_threads =
+                frame::peek_attack_threads(payload).unwrap_or(state.config.n_threads);
+            dispatch_attack(
+                state,
+                groups,
+                conn,
+                received,
+                RawRequest::AttackFrame(payload.to_vec()),
+                scanned_threads,
+            );
+        }
+        FrameTag::AddAuxiliaryUsers => {
+            conn.in_flight = true;
+            state.dispatch_request(Job::Parse {
+                conn: conn.token,
+                received,
+                raw: RawRequest::AddUsersFrame(payload.to_vec()),
+                label: "add_auxiliary_users",
+                corpus: None,
+                scanned_threads: 0,
+                solo: false,
+            });
+        }
+    }
+    true
+}
+
+/// Terminate a connection over a malformed frame: typed error line,
+/// counted under the frame error's kind, closed once the line drains.
+fn drop_frame_error(state: &Arc<DaemonState>, conn: &mut Conn, e: &FrameError) {
+    drop_conn_with_error(state, conn, e.kind(), &e.to_string());
+}
+
+/// Classify one request line from its raw bytes and route it: bulk
+/// commands (`attack`, `add_auxiliary_users`, `load_snapshot`) go to a
+/// dispatch worker unparsed; everything else falls through to the
+/// inline fast path.
 fn handle_line(
     state: &Arc<DaemonState>,
     groups: &mut Vec<BatchGroup>,
@@ -837,6 +1127,54 @@ fn handle_line(
     line: &str,
 ) {
     let received = Instant::now();
+    // Zero-parse classification: a byte scan for the top-level "cmd"
+    // key. Lines it cannot follow (escape-laden keys, no simple value)
+    // fall through to the inline path's authoritative full parse.
+    match frame::scan_top_level(line.as_bytes(), "cmd").as_deref() {
+        Some("attack") => {
+            let scanned_threads = frame::scan_top_level(line.as_bytes(), "threads")
+                .and_then(|t| t.parse::<usize>().ok())
+                .unwrap_or(state.config.n_threads);
+            dispatch_attack(
+                state,
+                groups,
+                conn,
+                received,
+                RawRequest::JsonLine(line.to_string()),
+                scanned_threads,
+            );
+        }
+        Some(bulk @ ("add_auxiliary_users" | "load_snapshot")) => {
+            let label: &'static str =
+                if bulk == "load_snapshot" { "load_snapshot" } else { "add_auxiliary_users" };
+            conn.in_flight = true;
+            state.dispatch_request(Job::Parse {
+                conn: conn.token,
+                received,
+                raw: RawRequest::JsonLine(line.to_string()),
+                label,
+                corpus: None,
+                scanned_threads: 0,
+                solo: false,
+            });
+        }
+        _ => handle_control_line(state, groups, conn, received, line),
+    }
+}
+
+/// The inline path: full-parse the line on the front thread and answer
+/// fast commands (`stats`, `metrics`, `shutdown`, protocol errors)
+/// immediately, so a stats probe or a scrape never queues behind an
+/// attack. Bulk commands land here only when the byte scanner could not
+/// classify the line (pathological but legal JSON) — they are handed to
+/// a worker like any other bulk request.
+fn handle_control_line(
+    state: &Arc<DaemonState>,
+    groups: &mut Vec<BatchGroup>,
+    conn: &mut Conn,
+    received: Instant,
+    line: &str,
+) {
     let parsed = Json::parse(line);
     let (label, shutdown): (&'static str, bool) = match &parsed {
         Err(_) => ("invalid", false),
@@ -853,53 +1191,31 @@ fn handle_line(
     };
     match label {
         "load_snapshot" | "add_auxiliary_users" => {
-            let request = parsed.expect("label implies the request parsed");
             conn.in_flight = true;
-            state.enqueue_job(Job::Update { conn: conn.token, received, request, label });
+            state.dispatch_request(Job::Parse {
+                conn: conn.token,
+                received,
+                raw: RawRequest::JsonLine(line.to_string()),
+                label,
+                corpus: None,
+                scanned_threads: 0,
+                solo: false,
+            });
         }
         "attack" => {
             let request = parsed.expect("label implies the request parsed");
-            // The corpus Arc is captured here, when the request comes
-            // off the wire: a swap landing later affects later
-            // requests, not this one — and batches group by this Arc,
-            // so a swap mid-window closes the old group.
-            match state.corpus() {
-                None => {
-                    let response = finalize_response(
-                        state,
-                        "attack",
-                        received,
-                        Err(CmdError::new(
-                            "no_corpus",
-                            "no corpus loaded (send load_snapshot or add_auxiliary_users)",
-                        )),
-                    );
-                    queue_response(conn, &response);
-                }
-                Some(corpus) => {
-                    // Batches also key on the effective thread count: a
-                    // per-request `threads` override cannot share one
-                    // engine pool with differently-sized requests. (An
-                    // unparseable override lands in the default group
-                    // and is rejected by per-item validation.)
-                    let threads = request
-                        .get("threads")
-                        .and_then(Json::as_usize)
-                        .unwrap_or(state.config.n_threads);
-                    conn.in_flight = true;
-                    push_attack(
-                        state,
-                        groups,
-                        corpus,
-                        threads,
-                        AttackItem { conn: conn.token, received, request },
-                    );
-                }
-            }
+            let scanned_threads =
+                request.get("threads").and_then(Json::as_usize).unwrap_or(state.config.n_threads);
+            dispatch_attack(
+                state,
+                groups,
+                conn,
+                received,
+                RawRequest::JsonLine(line.to_string()),
+                scanned_threads,
+            );
         }
         _ => {
-            // Fast commands: answered inline on the front thread, so a
-            // stats probe or a scrape never queues behind an attack.
             let result: Result<Vec<(String, Json)>, CmdError> = match &parsed {
                 Err(e) => Err(CmdError::new("invalid_json", format!("invalid JSON: {e}"))),
                 Ok(request) => match label {
@@ -925,39 +1241,111 @@ fn handle_line(
     }
 }
 
-/// File an attack into the coalescing group for its (corpus, threads)
-/// key, opening a new group (and its window clock) if none matches.
-fn push_attack(
+/// Put one raw `attack` request in flight: capture the corpus `Arc`
+/// (a swap landing later affects later requests, not this one — and
+/// batches group by this `Arc`, so a swap mid-window closes the old
+/// group), file the connection into the coalescing group for the
+/// *scanned* batch key, and dispatch the parse to a worker. With
+/// batching off the worker runs the attack in the same job; with no
+/// corpus loaded the worker answers `no_corpus` after its parse (so
+/// invalid JSON still outranks it, exactly like the fully inline era).
+fn dispatch_attack(
     state: &Arc<DaemonState>,
     groups: &mut Vec<BatchGroup>,
-    corpus: Arc<PreparedCorpus>,
-    threads: usize,
-    item: AttackItem,
+    conn: &mut Conn,
+    received: Instant,
+    raw: RawRequest,
+    scanned_threads: usize,
 ) {
-    if let Some(group) =
-        groups.iter_mut().find(|g| g.threads == threads && Arc::ptr_eq(&g.corpus, &corpus))
-    {
-        group.items.push(item);
-        return;
+    let corpus = state.corpus();
+    let solo = state.limits.batch_window.is_zero();
+    conn.in_flight = true;
+    if let (Some(corpus), false) = (&corpus, solo) {
+        file_pending(groups, corpus, scanned_threads, conn.token);
     }
-    let _ = state; // grouping is pure bookkeeping; metrics fire at flush
-    groups.push(BatchGroup { corpus, threads, opened: Instant::now(), items: vec![item] });
+    state.dispatch_request(Job::Parse {
+        conn: conn.token,
+        received,
+        raw,
+        label: "attack",
+        corpus,
+        scanned_threads,
+        solo,
+    });
 }
 
-/// Hand every expired group (all of them when `force` — window zero or
-/// shutdown) to the worker pool as one fused batch job.
+/// File a connection's in-flight parse into the coalescing group for
+/// its (corpus, scanned threads) key, opening a new group (and its
+/// window clock) if none matches.
+fn file_pending(
+    groups: &mut Vec<BatchGroup>,
+    corpus: &Arc<PreparedCorpus>,
+    threads: usize,
+    token: usize,
+) {
+    if let Some(group) =
+        groups.iter_mut().find(|g| g.threads == threads && Arc::ptr_eq(&g.corpus, corpus))
+    {
+        group.pending.push(token);
+        return;
+    }
+    groups.push(BatchGroup {
+        corpus: Arc::clone(corpus),
+        threads,
+        opened: Instant::now(),
+        pending: vec![token],
+        ready: Vec::new(),
+    });
+}
+
+/// File one worker-parsed attack: resolve its pending entry under the
+/// scanned key, then place it by its *actual* effective thread count —
+/// re-filing into (or opening) the right group when the byte scan and
+/// the full parse disagree.
+fn file_parsed(groups: &mut Vec<BatchGroup>, r: ReadyAttack) {
+    if let Some(g) = groups
+        .iter_mut()
+        .find(|g| g.threads == r.scanned_threads && Arc::ptr_eq(&g.corpus, &r.corpus))
+    {
+        g.pending.retain(|&t| t != r.conn);
+    }
+    if let Some(g) =
+        groups.iter_mut().find(|g| g.threads == r.threads && Arc::ptr_eq(&g.corpus, &r.corpus))
+    {
+        g.ready.push(r);
+        return;
+    }
+    groups.push(BatchGroup {
+        corpus: Arc::clone(&r.corpus),
+        threads: r.threads,
+        opened: Instant::now(),
+        pending: Vec::new(),
+        ready: vec![r],
+    });
+}
+
+/// Hand every expired group (all of them when `force` — shutdown) to
+/// the worker pool as one fused batch job. A group whose members are
+/// still being parsed holds until every parse lands (the requests were
+/// framed inside the window; sequential parsing must not fragment the
+/// batch), then flushes on the next tick.
 fn flush_groups(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, force: bool) {
     let window = state.limits.batch_window;
     let mut i = 0;
     while i < groups.len() {
-        if force || window.is_zero() || groups[i].opened.elapsed() >= window {
+        let expired = force || window.is_zero() || groups[i].opened.elapsed() >= window;
+        if expired && groups[i].pending.is_empty() {
             let group = groups.swap_remove(i);
-            state.metrics.batch_size.record_secs(group.items.len() as f64);
+            if group.ready.is_empty() {
+                // Every member's parse failed — nothing ran, no batch.
+                continue;
+            }
+            state.metrics.batch_size.record_secs(group.ready.len() as f64);
             state.metrics.batch_window_seconds.record(group.opened.elapsed());
             state.enqueue_job(Job::Attack {
                 corpus: group.corpus,
                 threads: group.threads,
-                items: group.items,
+                items: group.ready,
             });
         } else {
             i += 1;
@@ -997,7 +1385,7 @@ fn settle_conn(
 ) {
     let Some(conn) = conns.get_mut(&token) else { return };
     let alive = flush_outbox(conn);
-    let drained_eof = conn.peer_closed && !conn.in_flight && !conn.inbox.contains(&b'\n');
+    let drained_eof = conn.peer_closed && !conn.in_flight && !head_message_complete(&conn.inbox);
     if !alive || ((conn.closing || drained_eof) && conn.outbox.is_empty()) {
         let conn = conns.remove(&token).expect("connection was just looked up");
         let _ = poller.deregister(&conn.stream, token);
@@ -1043,7 +1431,12 @@ fn worker_loop(state: &Arc<DaemonState>) {
                     state.metrics.queue_depth.set(jobs.len() as i64);
                     break Some(job);
                 }
-                if state.shutting_down.load(Ordering::SeqCst) {
+                // Exit only when nothing is in flight anywhere in the
+                // pipeline: a parsed attack waiting in a coalescing
+                // group still becomes a batch job for this pool.
+                if state.shutting_down.load(Ordering::SeqCst)
+                    && state.dispatched.load(Ordering::SeqCst) == 0
+                {
                     break None;
                 }
                 let (guard, _) = state
@@ -1065,16 +1458,11 @@ fn worker_loop(state: &Arc<DaemonState>) {
 fn run_job(state: &Arc<DaemonState>, job: Job) {
     let conns: Vec<usize> = match &job {
         Job::Attack { items, .. } => items.iter().map(|i| i.conn).collect(),
-        Job::Update { conn, .. } => vec![*conn],
+        Job::Parse { conn, .. } => vec![*conn],
     };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job {
-        Job::Update { conn, received, request, label } => {
-            let result = match label {
-                "load_snapshot" => cmd_load_snapshot(state, &request),
-                _ => cmd_add_auxiliary_users(state, &request),
-            };
-            let response = finalize_response(state, label, received, result);
-            state.push_completion(conn, Some(response));
+        Job::Parse { conn, received, raw, label, corpus, scanned_threads, solo } => {
+            run_parse_job(state, conn, received, raw, label, corpus, scanned_threads, solo);
         }
         Job::Attack { corpus, threads, items } => run_attack_job(state, &corpus, threads, items),
     }));
@@ -1085,48 +1473,257 @@ fn run_job(state: &Arc<DaemonState>, job: Job) {
     }
 }
 
-/// Validate, execute and demux one attack batch. Single-item batches
-/// (always the case with `batch_window == 0`) take the classic solo
-/// `run_prepared` path; larger ones run the fused
+/// Serialize a finished response into its wire line (the emit billed to
+/// `daemon_emit_seconds`) and hand it back to the front thread.
+fn respond(
+    state: &Arc<DaemonState>,
+    conn: usize,
+    label: &str,
+    received: Instant,
+    result: Result<Vec<(String, Json)>, CmdError>,
+) {
+    let response = finalize_response(state, label, received, result);
+    let timer = SpanTimer::new(Arc::clone(&state.metrics.emit_seconds));
+    let mut bytes = response.emit().into_bytes();
+    bytes.push(b'\n');
+    timer.stop();
+    state.push_completion(conn, Some(bytes));
+}
+
+/// Record the queue stage for one request: wire arrival → execution
+/// start, minus the parse itself.
+fn record_queue(state: &Arc<DaemonState>, received: Instant, parse_seconds: f64) {
+    state
+        .metrics
+        .queue_seconds
+        .record_secs((received.elapsed().as_secs_f64() - parse_seconds).max(0.0));
+}
+
+/// Parse + validate one raw request on a worker. Corpus updates run to
+/// completion here; a valid attack either runs solo (batching off) or
+/// returns to the front as a [`ReadyAttack`] for its coalescing group.
+#[allow(clippy::too_many_arguments)]
+fn run_parse_job(
+    state: &Arc<DaemonState>,
+    conn: usize,
+    received: Instant,
+    raw: RawRequest,
+    label: &'static str,
+    corpus: Option<Arc<PreparedCorpus>>,
+    scanned_threads: usize,
+    solo: bool,
+) {
+    let parse_timer = SpanTimer::new(Arc::clone(&state.metrics.parse_seconds));
+    // Decode the raw bytes into (attack, forum, threads) for attacks, a
+    // Forum for ingests, or the parsed request for load_snapshot — any
+    // error ends the request right here with the same kind, message and
+    // command label the fully inline era produced.
+    match raw {
+        RawRequest::JsonLine(line) => {
+            let request = match Json::parse(&line) {
+                Ok(request) => request,
+                Err(e) => {
+                    let parse_seconds = parse_timer.stop().as_secs_f64();
+                    record_queue(state, received, parse_seconds);
+                    // Unparseable lines are billed to the "invalid"
+                    // command, exactly like the front-thread era.
+                    return respond(
+                        state,
+                        conn,
+                        "invalid",
+                        received,
+                        Err(CmdError::new("invalid_json", format!("invalid JSON: {e}"))),
+                    );
+                }
+            };
+            match label {
+                "attack" => {
+                    let parsed = parse_attack_request(state, &request);
+                    finish_attack_parse(
+                        state,
+                        conn,
+                        received,
+                        parse_timer,
+                        corpus,
+                        scanned_threads,
+                        solo,
+                        parsed,
+                    );
+                }
+                "add_auxiliary_users" => {
+                    let chunk = request
+                        .get("forum")
+                        .ok_or("missing forum")
+                        .and_then(|v| forum_from_json(v).map_err(|_| "invalid forum"));
+                    let parse_seconds = parse_timer.stop().as_secs_f64();
+                    record_queue(state, received, parse_seconds);
+                    let result = match chunk {
+                        Ok(chunk) => {
+                            let timer = SpanTimer::new(Arc::clone(&state.metrics.engine_seconds));
+                            let result = cmd_add_auxiliary_users(state, chunk);
+                            timer.stop();
+                            result
+                        }
+                        Err(e) => Err(CmdError::new("invalid_argument", e)),
+                    };
+                    respond(state, conn, label, received, result);
+                }
+                _ => {
+                    let parse_seconds = parse_timer.stop().as_secs_f64();
+                    record_queue(state, received, parse_seconds);
+                    let timer = SpanTimer::new(Arc::clone(&state.metrics.engine_seconds));
+                    let result = cmd_load_snapshot(state, &request);
+                    timer.stop();
+                    respond(state, conn, label, received, result);
+                }
+            }
+        }
+        RawRequest::AttackFrame(payload) => {
+            let parsed = frame::decode_attack_payload(&payload)
+                .map(|p| {
+                    let mut attack = state.config.attack.clone();
+                    if let Some(k) = p.options.top_k {
+                        attack.top_k = k;
+                    }
+                    if let Some(h) = p.options.n_landmarks {
+                        attack.n_landmarks = h;
+                    }
+                    if let Some(s) = p.options.seed {
+                        attack.seed = s;
+                    }
+                    let threads = p.options.threads.unwrap_or(state.config.n_threads);
+                    (attack, p.forum, threads)
+                })
+                .map_err(|e| CmdError::new("invalid_argument", e));
+            finish_attack_parse(
+                state,
+                conn,
+                received,
+                parse_timer,
+                corpus,
+                scanned_threads,
+                solo,
+                parsed,
+            );
+        }
+        RawRequest::AddUsersFrame(payload) => {
+            let chunk = frame::decode_add_users_payload(&payload);
+            let parse_seconds = parse_timer.stop().as_secs_f64();
+            record_queue(state, received, parse_seconds);
+            let result = match chunk {
+                Ok(chunk) => {
+                    let timer = SpanTimer::new(Arc::clone(&state.metrics.engine_seconds));
+                    let result = cmd_add_auxiliary_users(state, chunk);
+                    timer.stop();
+                    result
+                }
+                Err(e) => Err(CmdError::new("invalid_argument", e)),
+            };
+            respond(state, conn, "add_auxiliary_users", received, result);
+        }
+    }
+}
+
+/// Close out an attack's parse phase: an error answers immediately (the
+/// front unblocks its coalescing group on the completion), `no_corpus`
+/// is answered after the parse (invalid requests outrank it), and a
+/// valid request runs solo or returns to the front for batching.
+#[allow(clippy::too_many_arguments)]
+fn finish_attack_parse(
+    state: &Arc<DaemonState>,
+    conn: usize,
+    received: Instant,
+    parse_timer: SpanTimer,
+    corpus: Option<Arc<PreparedCorpus>>,
+    scanned_threads: usize,
+    solo: bool,
+    parsed: Result<(AttackConfig, Forum, usize), CmdError>,
+) {
+    let parse_seconds = parse_timer.stop().as_secs_f64();
+    // `no_corpus` outranks per-field validation (`invalid_argument`),
+    // matching the inline era where the corpus slot was checked before
+    // the request body — while invalid JSON / a bad frame still outrank
+    // both (answered before this function runs).
+    let Some(corpus) = corpus else {
+        record_queue(state, received, parse_seconds);
+        return respond(
+            state,
+            conn,
+            "attack",
+            received,
+            Err(CmdError::new(
+                "no_corpus",
+                "no corpus loaded (send load_snapshot or add_auxiliary_users)",
+            )),
+        );
+    };
+    let (attack, forum, threads) = match parsed {
+        Ok(parts) => parts,
+        Err(e) => {
+            record_queue(state, received, parse_seconds);
+            return respond(state, conn, "attack", received, Err(e));
+        }
+    };
+    let ready = ReadyAttack {
+        conn,
+        received,
+        parse_seconds,
+        scanned_threads,
+        threads,
+        attack,
+        forum,
+        corpus,
+    };
+    if solo {
+        let corpus = Arc::clone(&ready.corpus);
+        let threads = ready.threads;
+        run_attack_job(state, &corpus, threads, vec![ready]);
+    } else {
+        state.parsed.lock().unwrap_or_else(PoisonError::into_inner).push(ready);
+    }
+}
+
+/// Execute and demux one attack batch of parsed, validated requests.
+/// Single-item batches (always the case with `batch_window == 0`) take
+/// the classic solo `run_prepared` path; larger ones run the fused
 /// `run_prepared_batch` — both bit-identical per request.
 fn run_attack_job(
     state: &Arc<DaemonState>,
     corpus: &Arc<PreparedCorpus>,
     threads: usize,
-    items: Vec<AttackItem>,
+    items: Vec<ReadyAttack>,
 ) {
-    let mut ready: Vec<(AttackItem, AttackConfig, Forum)> = Vec::new();
-    for item in items {
-        match parse_attack_request(state, &item.request) {
-            Ok((attack, forum)) => ready.push((item, attack, forum)),
-            Err(e) => {
-                let response = finalize_response(state, "attack", item.received, Err(e));
-                state.push_completion(item.conn, Some(response));
-            }
-        }
-    }
-    if ready.is_empty() {
+    if items.is_empty() {
         return;
     }
-    let outcomes: Vec<EngineOutcome> = if ready.len() == 1 {
-        let (_, attack, forum) = &ready[0];
+    for item in &items {
+        record_queue(state, item.received, item.parse_seconds);
+    }
+    let engine_start = Instant::now();
+    let outcomes: Vec<EngineOutcome> = if items.len() == 1 {
+        let item = &items[0];
         let engine = Engine::new(EngineConfig {
             n_threads: threads,
-            attack: attack.clone(),
+            attack: item.attack.clone(),
             ..state.config.clone()
         });
-        vec![corpus.attack(&engine, forum)]
+        vec![corpus.attack(&engine, &item.forum)]
     } else {
         let engine = Engine::new(EngineConfig { n_threads: threads, ..state.config.clone() });
-        let requests: Vec<BatchRequest<'_>> = ready
+        let requests: Vec<BatchRequest<'_>> = items
             .iter()
-            .map(|(_, attack, forum)| BatchRequest { attack: attack.clone(), anonymized: forum })
+            .map(|item| BatchRequest { attack: item.attack.clone(), anonymized: &item.forum })
             .collect();
         corpus.attack_batch(&engine, &requests)
     };
-    for ((item, _, forum), outcome) in ready.iter().zip(outcomes) {
+    // Each request experienced the whole fused pass — the engine stage
+    // is the batch's wall time, recorded per request like
+    // `daemon_command_seconds`.
+    let engine_elapsed = engine_start.elapsed();
+    for (item, outcome) in items.iter().zip(outcomes) {
+        state.metrics.engine_seconds.record(engine_elapsed);
         state.metrics.attacks.inc();
-        state.metrics.attacked_users.add(forum.n_users as u64);
+        state.metrics.attacked_users.add(item.forum.n_users as u64);
         state
             .metrics
             .mapped_users
@@ -1145,18 +1742,18 @@ fn run_attack_job(
             ("candidates".into(), Json::Arr(candidates)),
             ("report".into(), report_to_json(&outcome.report)),
         ];
-        let response = finalize_response(state, "attack", item.received, Ok(fields));
-        state.push_completion(item.conn, Some(response));
+        respond(state, item.conn, "attack", item.received, Ok(fields));
     }
 }
 
-/// Resolve one attack request's forum and per-request overrides against
-/// the daemon's default attack config (same field order — and therefore
-/// the same first error — as the pre-batching daemon).
+/// Resolve one attack request's forum, per-request overrides and
+/// effective thread count against the daemon's defaults (same field
+/// order — and therefore the same first error — as the pre-batching
+/// daemon).
 fn parse_attack_request(
     state: &Arc<DaemonState>,
     request: &Json,
-) -> Result<(AttackConfig, Forum), CmdError> {
+) -> Result<(AttackConfig, Forum, usize), CmdError> {
     let anonymized = match request
         .get("forum")
         .ok_or_else(|| "missing forum".to_string())
@@ -1184,14 +1781,14 @@ fn parse_attack_request(
             None => return Err(CmdError::new("invalid_argument", "invalid seed")),
         }
     }
-    if let Some(t) = request.get("threads") {
-        // The effective count was already folded into the batch key;
-        // validation still answers a malformed override.
-        if t.as_usize().is_none() {
-            return Err(CmdError::new("invalid_argument", "invalid threads"));
-        }
-    }
-    Ok((attack, anonymized))
+    let threads = match request.get("threads") {
+        None => state.config.n_threads,
+        Some(t) => match t.as_usize() {
+            Some(t) => t,
+            None => return Err(CmdError::new("invalid_argument", "invalid threads")),
+        },
+    };
+    Ok((attack, anonymized, threads))
 }
 
 /// A failed command: the error-kind label for
@@ -1318,18 +1915,13 @@ fn cmd_load_snapshot(
     }
 }
 
+/// Ingest one auxiliary-user chunk. The forum arrives already decoded —
+/// the worker bills its parse (JSON or binary frame) to
+/// `daemon_parse_seconds` before this runs.
 fn cmd_add_auxiliary_users(
     state: &Arc<DaemonState>,
-    request: &Json,
+    chunk: Forum,
 ) -> Result<Vec<(String, Json)>, CmdError> {
-    let chunk = match request
-        .get("forum")
-        .ok_or("missing forum")
-        .and_then(|v| forum_from_json(v).map_err(|_| "invalid forum"))
-    {
-        Ok(f) => f,
-        Err(e) => return Err(CmdError::new("invalid_argument", e)),
-    };
     // Copy-on-write under the update lock: clone the current corpus (or
     // bootstrap from the chunk alone), extend it outside the `corpus`
     // lock so attacks stay unblocked, then swap the slot. The update
@@ -1408,6 +2000,8 @@ mod tests {
             jobs: Mutex::new(VecDeque::new()),
             jobs_cv: Condvar::new(),
             completions: Mutex::new(Vec::new()),
+            parsed: Mutex::new(Vec::new()),
+            dispatched: AtomicUsize::new(0),
             metrics: DaemonMetrics::new(),
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),

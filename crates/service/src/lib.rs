@@ -12,13 +12,18 @@
 //!   drops from a full corpus build to a file read plus cheap merges.
 //! - [`daemon::Daemon`] — a TCP server speaking newline-delimited JSON
 //!   ([`protocol`]; the [`json`] module is the in-tree parser/emitter,
-//!   in the pattern of the `crates/rand` / `crates/criterion` shims).
+//!   in the pattern of the `crates/rand` / `crates/criterion` shims)
+//!   plus length-prefixed, checksummed **binary frames** ([`frame`])
+//!   for the bulk commands, auto-detected per message by first byte.
 //!   One readiness-driven front thread (`dehealth-netpoll`: epoll /
-//!   `poll(2)` / tick fallback) multiplexes every connection; attacks
-//!   and ingests run on a bounded worker pool, and attack requests
-//!   against the same corpus generation landing inside the coalescing
-//!   window ([`DaemonLimits::batch_window`](daemon::DaemonLimits)) are
-//!   fused into one sharded engine pass
+//!   `poll(2)` / tick fallback) multiplexes every connection and does
+//!   *framing only* — request parsing, execution, and reply
+//!   serialization are all billed to a bounded worker pool (per-request
+//!   `daemon_parse/queue/engine/emit_seconds` stage timers prove it);
+//!   attack requests against the same corpus generation landing inside
+//!   the coalescing window
+//!   ([`DaemonLimits::batch_window`](daemon::DaemonLimits)) are fused
+//!   into one sharded engine pass
 //!   ([`Engine::run_prepared_batch`](dehealth_engine::Engine::run_prepared_batch))
 //!   and demuxed back per request, bit-identical to solo execution.
 //!   Requests: `load_snapshot`, `add_auxiliary_users` (incremental
@@ -71,11 +76,12 @@
 pub mod client;
 pub mod corpus;
 pub mod daemon;
+pub mod frame;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 
-pub use client::{AttackReply, ClientTimeouts, ServiceClient, ServiceError};
+pub use client::{AttackReply, ClientTimeouts, ServiceClient, ServiceError, WireEncoding};
 pub use corpus::{LoadMode, MemoryStats, PreparedCorpus};
 pub use daemon::{Daemon, DaemonLimits, DaemonStats};
 pub use json::Json;
