@@ -41,6 +41,27 @@ pub const PATH_SWEEP: [(ScoringMode, RefinedMode); 3] = [
     (ScoringMode::Indexed, RefinedMode::PerUser),
 ];
 
+/// Largest corpus at which the full differential oracles still run as
+/// part of a sweep: the dense all-pairs Top-K sweep and the per-user
+/// refined path are both O(N²)-ish in the corpus size and would silently
+/// turn a 100k-user sweep into a run that never finishes. Above this,
+/// sweeps keep only the `(Indexed, Shared)` production path and exactness
+/// is covered by the *sampled* oracle of the `scale` experiment instead.
+pub const FULL_ORACLE_MAX_USERS: usize = 2000;
+
+/// The `(scoring, refined)` path combinations actually swept at a given
+/// corpus size: everything in [`PATH_SWEEP`] up to
+/// [`FULL_ORACLE_MAX_USERS`], only the production `(Indexed, Shared)`
+/// path beyond it.
+#[must_use]
+pub fn sweep_paths(users: usize) -> &'static [(ScoringMode, RefinedMode)] {
+    if users <= FULL_ORACLE_MAX_USERS {
+        &PATH_SWEEP
+    } else {
+        &PATH_SWEEP[1..2]
+    }
+}
+
 /// One `(users × threads × paths)` measurement.
 #[derive(Debug, Clone)]
 pub struct ScalingRun {
@@ -110,16 +131,26 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<Vec<ScalingRun
         split.anonymized.n_users, split.auxiliary.n_users
     );
 
+    let paths = sweep_paths(users);
+    if paths.len() < PATH_SWEEP.len() {
+        println!(
+            "  NOTE: {users} users exceeds the full-oracle ceiling of {FULL_ORACLE_MAX_USERS}; \
+             the O(N²) dense sweep and per-user refined oracle are SKIPPED at this scale. \
+             Exactness at large tiers is covered by `repro scale`'s sampled differential \
+             oracle (seeded random Top-K rows and refined users, verified bit-exactly)."
+        );
+    }
     let mut runs = Vec::new();
     let mut reference_mapping: Option<Vec<Option<usize>>> = None;
     for &threads in &THREAD_SWEEP {
-        for &(mode, refined) in &PATH_SWEEP {
+        for &(mode, refined) in paths {
             let engine = Engine::new(EngineConfig {
                 attack: AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() },
                 n_threads: threads,
                 block_size: 16,
                 scoring: mode,
                 refined,
+                candidate_budget: None,
             });
             let outcome = engine.run(&split.auxiliary, &split.anonymized);
             match &reference_mapping {
@@ -233,6 +264,15 @@ fn write_json(path: &Path, users: usize, seed: u64, runs: &[ScalingRun]) -> io::
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn full_oracle_paths_are_gated_by_corpus_size() {
+        assert_eq!(sweep_paths(60).len(), PATH_SWEEP.len());
+        assert_eq!(sweep_paths(FULL_ORACLE_MAX_USERS).len(), PATH_SWEEP.len());
+        let gated = sweep_paths(FULL_ORACLE_MAX_USERS + 1);
+        assert_eq!(gated, &[(ScoringMode::Indexed, RefinedMode::Shared)]);
+        assert_eq!(sweep_paths(100_000), gated);
+    }
 
     #[test]
     fn sweep_runs_and_writes_json() {

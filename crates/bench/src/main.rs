@@ -16,6 +16,8 @@
 //!   linkage  Section VI linkage attack
 //!   theory   Section IV bounds vs Monte-Carlo
 //!   scaling  engine throughput vs worker threads (BENCH_scaling.json)
+//!   scale    order-of-magnitude corpus sweep w/ sampled oracle (BENCH_scale.json;
+//!            defaults to 100k users — not part of `all`)
 //!   service  snapshot persistence + daemon wire throughput (BENCH_service.json)
 //!   snapshot-load  owned vs mmap reload latency sweep (BENCH_snapshot.json)
 //!   all      everything above
@@ -46,7 +48,7 @@ use std::path::Path;
 
 use dehealth_bench::experiments::{
     ablation, datasets, defense, fig3_fig5_topk, fig4_fig6_refined, fig7_fig8_graph,
-    linkage_attack, scaling, service, snapshot_load, table1, theory_bounds,
+    linkage_attack, scale, scaling, service, snapshot_load, table1, theory_bounds,
 };
 use dehealth_service::LoadMode;
 
@@ -110,6 +112,7 @@ fn print_help() {
     println!(
         "repro <fig1|fig2|table1|fig3|fig4|fig5|fig6|fig7|fig8|linkage|theory|ablation|defense|scaling|service|snapshot-load|all> \
          [--users N] [--seed S]\n\
+         repro scale [--users N] [--seed S]   # 1k/10k/100k sweep by default; not in `all`\n\
          repro snapshot [--users N] [--seed S] [--path corpus.snap]\n\
          repro serve [--path corpus.snap] [--addr 127.0.0.1:7699] [--users N] [--seed S] \
          [--mmap | --owned] [--metrics-addr HOST:PORT]"
@@ -341,6 +344,18 @@ fn main() {
             eprintln!("snapshot-load: failed to run the snapshot-load benchmark: {e}");
             std::process::exit(1);
         }
+    }
+    // `scale` is deliberately not part of `all`: its default corpus is
+    // 100k users and the sweep takes tens of minutes.
+    if args.experiment == "scale" {
+        match scale::run(args.users.unwrap_or(100_000), seed) {
+            Ok(path) => println!("scale: report at {}", path.display()),
+            Err(e) => {
+                eprintln!("scale: failed to write BENCH_scale.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     if args.experiment == "snapshot" {
         let path = args.path.clone().unwrap_or_else(|| "corpus.snap".to_string());

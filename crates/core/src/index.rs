@@ -21,6 +21,16 @@
 //!   computed *exactly* from the accumulators — `union = |A(u)| + |A(v)| -
 //!   inter` and `wunion = Σ_u + Σ_v - Σ min` are the same integers the
 //!   dense merge counts, so the divisions produce bit-identical `f64`s.
+//! - Posting-list *skew* is handled by a hot/rare split at scorer
+//!   construction: attributes whose lists touch ≥ 1/8th of the present
+//!   population (stylometric attribute sets are projections of one shared
+//!   feature space, so common features produce lists of length ≈ `|V2|`)
+//!   move off the probe path into per-user bitmask rows and a transposed
+//!   `(slot, weight)` CSR. Intersections then come from popcounts,
+//!   pruning uses a monotone upper bound on the weighted term, and only
+//!   surviving pairs pay the exact hot merge — keeping per-anonymized-user
+//!   work near `O(rare postings + |V2|·words)` instead of
+//!   `O(Σ hot-list length)`.
 //! - Pairs are pruned against the [`BoundedTopK::floor`] with a cheap
 //!   monotone upper bound: a pair sharing no attributes can score at most
 //!   `c1·s^d_max + c2·s^s_max` (degree similarity caps at 3 and distance
@@ -49,7 +59,7 @@
 //! disabled — the engine does this automatically whenever
 //! `AttackConfig::filtering` is set.
 
-use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SnapshotError};
+use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SectionWrite, SnapshotError};
 use dehealth_mapped::SharedBytes;
 use dehealth_stylometry::UserAttributes;
 
@@ -507,7 +517,7 @@ impl AttributeIndex {
     /// to an 8-byte payload offset (see ARCHITECTURE.md for the byte
     /// layout). Unlike the v1 schema this persists the `present` id list
     /// too, so a zero-copy load derives nothing.
-    pub fn encode_v2(&self, buf: &mut SectionBuf) {
+    pub fn encode_v2<W: SectionWrite>(&self, buf: &mut W) {
         let n_attrs = self.n_attrs();
         buf.put_u64(self.n_users() as u64);
         buf.put_u64(n_attrs as u64);
@@ -706,20 +716,127 @@ impl std::ops::AddAssign for PairTally {
 /// block without per-user `O(|V2|)` zeroing.
 #[derive(Debug, Clone)]
 pub struct IndexScratch {
-    /// `|A(u) ∩ A(v)|` per local auxiliary user.
+    /// `|A(u) ∩ A(v)|` over *rare* attributes, per local auxiliary user.
     inter: Vec<u32>,
-    /// `Σ min(l_u, l_v)` over the shared attributes, per local user.
+    /// `Σ min(l_u, l_v)` over the shared rare attributes, per local user.
     min_sum: Vec<u64>,
-    /// Local ids with `inter > 0`, in first-touch order.
+    /// Local ids with rare `inter > 0`, in first-touch order.
     touched: Vec<u32>,
+    /// The anonymized user's weight per hot slot (dense over hot slots,
+    /// sparsely reset via `u_slots`).
+    u_hot: Vec<u32>,
+    /// The anonymized user's hot-slot bitmask.
+    u_mask: Vec<u64>,
+    /// Hot slots the anonymized user occupies, for the sparse reset.
+    u_slots: Vec<u32>,
 }
 
 impl IndexScratch {
-    fn new(n_local: usize) -> Self {
+    fn new(n_local: usize, n_hot: usize, words: usize) -> Self {
         Self {
             inter: vec![0; n_local],
             min_sum: vec![0; n_local],
             touched: Vec::with_capacity(n_local.min(1024)),
+            u_hot: vec![0; n_hot],
+            u_mask: vec![0; words],
+            u_slots: Vec::with_capacity(n_hot.min(1024)),
+        }
+    }
+}
+
+/// Hot-attribute side tables of one [`IndexedScorer`].
+///
+/// In a stylometric corpus the attribute sets are binary projections of
+/// the *same* feature space, so common features (letters, punctuation,
+/// frequent function words) produce posting lists touching nearly every
+/// auxiliary user. Probing those lists per anonymized user costs
+/// `Θ(|V1|·|V2|·density)` — the skew wall the 100k sweep hits. The scorer
+/// therefore splits attributes at construction: lists shorter than the
+/// hot threshold stay on the probe path, while *hot* attributes are
+/// transposed into per-user bitmask rows (for exact intersection counts
+/// via popcount) and a per-user `(slot, weight)` CSR (for the exact
+/// min-weight merge, paid only by pairs that survive pruning).
+#[derive(Debug)]
+struct HotAttrs {
+    /// Attribute id → hot slot, `u32::MAX` for rare attributes.
+    slot_of: Vec<u32>,
+    /// Number of hot attributes (slots).
+    n_hot: usize,
+    /// `u64` words per bitmask row (`ceil(n_hot / 64)`).
+    words: usize,
+    /// Concatenated per-local-user bitmask rows (`n_local * words`).
+    masks: Vec<u64>,
+    /// Per local user: `Σ l_v` over its hot attributes.
+    hot_wsums: Vec<u64>,
+    /// Per-user hot CSR: row `lv` is `starts[lv]..starts[lv + 1]`.
+    starts: Vec<usize>,
+    /// Hot slot of each CSR entry, ascending within a row.
+    slots: Vec<u32>,
+    /// Weight `l_v` of each CSR entry, parallel to `slots`.
+    weights: Vec<u32>,
+}
+
+impl HotAttrs {
+    /// Classify attributes of `index`'s tail (`from..`) and transpose the
+    /// hot posting lists into per-user rows.
+    fn build(index: &AttributeIndex, from: usize) -> Self {
+        let from32 = u32::try_from(from).expect("watermark overflows u32");
+        let n_local = index.n_users() - from;
+        let n_present = index.present_from(from).len();
+        // A list is hot when it touches at least 1/8th of the present
+        // population (and at least 16 users, so tiny corpora keep the
+        // pure probe path the differential tests already cover).
+        let threshold = (n_present / 8).max(16);
+        let n_attrs = index.n_attrs();
+        let mut slot_of = vec![u32::MAX; n_attrs];
+        let mut hot_attrs: Vec<u32> = Vec::new();
+        for (attr, slot) in slot_of.iter_mut().enumerate() {
+            if index.posting(attr).suffix(from32).len() >= threshold {
+                *slot = u32::try_from(hot_attrs.len()).expect("hot slot overflows u32");
+                hot_attrs.push(attr as u32);
+            }
+        }
+        let n_hot = hot_attrs.len();
+        let words = n_hot.div_ceil(64);
+        let mut masks = vec![0u64; n_local * words];
+        let mut hot_wsums = vec![0u64; n_local];
+        let mut row_len = vec![0usize; n_local];
+        for &attr in &hot_attrs {
+            for &user in index.posting(attr as usize).suffix(from32).users {
+                row_len[user as usize - from] += 1;
+            }
+        }
+        let mut starts = Vec::with_capacity(n_local + 1);
+        let mut at = 0usize;
+        starts.push(0);
+        for &l in &row_len {
+            at += l;
+            starts.push(at);
+        }
+        let mut slots = vec![0u32; at];
+        let mut weights = vec![0u32; at];
+        let mut fill = starts.clone();
+        for (slot, &attr) in hot_attrs.iter().enumerate() {
+            let plist = index.posting(attr as usize).suffix(from32);
+            for (&user, &weight) in plist.users.iter().zip(plist.weights) {
+                let lv = user as usize - from;
+                let pos = fill[lv];
+                fill[lv] += 1;
+                slots[pos] = slot as u32;
+                weights[pos] = weight;
+                masks[lv * words + slot / 64] |= 1u64 << (slot % 64);
+                hot_wsums[lv] += u64::from(weight);
+            }
+        }
+        Self { slot_of, n_hot, words, masks, hot_wsums, starts, slots, weights }
+    }
+
+    /// Hot slot of `attr`, or `None` when the attribute is rare (or
+    /// beyond the indexed range).
+    fn slot(&self, attr: usize) -> Option<usize> {
+        match self.slot_of.get(attr) {
+            Some(&s) if s != u32::MAX => Some(s as usize),
+            _ => None,
         }
     }
 }
@@ -743,6 +860,8 @@ pub struct IndexedScorer<'e, 'i> {
     attr_counts: &'i [u32],
     weight_sums: &'i [u64],
     present_flags: &'i [u8],
+    /// Hot-attribute bitmasks and per-user CSR (see [`HotAttrs`]).
+    hot: HotAttrs,
     from: usize,
     prune: bool,
     /// `c1·s^d_max + c2·s^s_max`, evaluated with the same association as
@@ -782,6 +901,7 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
             attr_counts: index.attr_counts.as_slice(),
             weight_sums: index.weight_sums.as_slice(),
             present_flags: index.present_flags.as_slice(),
+            hot: HotAttrs::build(index, from),
             from,
             prune,
             struct_bound: td + ts,
@@ -791,7 +911,13 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
     /// Fresh accumulators sized for this scorer's auxiliary range.
     #[must_use]
     pub fn scratch(&self) -> IndexScratch {
-        IndexScratch::new(self.index.n_users() - self.from)
+        IndexScratch::new(self.index.n_users() - self.from, self.hot.n_hot, self.hot.words)
+    }
+
+    /// Number of attributes on the hot (bitmask) path.
+    #[must_use]
+    pub fn n_hot_attrs(&self) -> usize {
+        self.hot.n_hot
     }
 
     /// `true` if upper-bound pruning is enabled.
@@ -815,11 +941,22 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
         let anon_attrs = &self.sim.anon_uda().attributes[u];
         let u_len = anon_attrs.len() as u64;
         let u_wsum = anon_attrs.weight_sum();
+        let hot = &self.hot;
+        let words = hot.words;
 
-        // Probe the posting list of each of u's attributes, accumulating
+        // Split u's attributes: hot ones fill the dense slot table and
+        // bitmask, rare ones probe their posting-list suffix, accumulating
         // intersection counts and min-weight sums per touched pair.
         let from32 = u32::try_from(self.from).expect("watermark overflows u32");
+        let mut u_hot_wsum = 0u64;
         for &(attr, x) in anon_attrs.as_weights() {
+            if let Some(slot) = hot.slot(attr as usize) {
+                scratch.u_hot[slot] = x;
+                scratch.u_mask[slot / 64] |= 1u64 << (slot % 64);
+                scratch.u_slots.push(slot as u32);
+                u_hot_wsum += u64::from(x);
+                continue;
+            }
             let plist = self.index.posting(attr as usize).suffix(from32);
             for (&user, &weight) in plist.users.iter().zip(plist.weights) {
                 let lv = user as usize - self.from;
@@ -832,20 +969,77 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
         }
 
         let mut tally = PairTally::default();
+        // The pre-merge weighted-term bound is only an *upper* bound on
+        // the score when its weight is non-negative.
+        let c3_bounds_above = w.c3 >= 0.0;
 
-        // Shared-attribute pairs: both Jaccard terms come exactly from the
-        // accumulators, then the structural upper bound decides whether the
-        // degree/distance terms are worth computing at all.
-        for k in 0..scratch.touched.len() {
-            let lv = scratch.touched[k] as usize;
-            let v = self.from + lv;
+        for &v32 in self.index.present_from(self.from) {
+            let lv = v32 as usize - self.from;
+            let v = v32 as usize;
             debug_assert!(
                 self.present_flags[v] != 0,
                 "absent users have no posts, hence no postings"
             );
-            let inter = u64::from(scratch.inter[lv]);
+            // Exact intersection: rare accumulator + hot popcount.
+            let inter_hot: u32 = if words == 0 {
+                0
+            } else {
+                let row = &hot.masks[lv * words..lv * words + words];
+                scratch.u_mask.iter().zip(row).map(|(&a, &b)| (a & b).count_ones()).sum()
+            };
+            let inter = u64::from(scratch.inter[lv]) + u64::from(inter_hot);
+
+            if inter == 0 {
+                // Zero-shared pair: the attribute term is exactly 0 (both
+                // Jaccard conventions give 0.0 on an empty intersection),
+                // matching the dense merge bit for bit.
+                let zero_term = w.c3 * 0.0;
+                if self.prune {
+                    if let Some(floor) = top.floor() {
+                        if self.struct_bound + zero_term < floor {
+                            tally.pruned += 1;
+                            continue;
+                        }
+                    }
+                }
+                let s = (w.c1 * self.sim.degree_similarity(u, lv)
+                    + w.c2 * self.sim.distance_similarity(u, lv))
+                    + zero_term;
+                top.insert(v, s);
+                bounds.observe(s);
+                tally.scored += 1;
+                continue;
+            }
+
             let union = u_len + u64::from(self.attr_counts[v]) - inter;
-            let min_sum = scratch.min_sum[lv];
+            let rare_min = scratch.min_sum[lv];
+
+            // Pre-merge prune: the Jaccard term is already exact, and the
+            // hot merge can add at most `min(u hot mass, v hot mass)` to
+            // the min-weight sum. Larger min-sum ⇒ larger ratio (monotone
+            // f64 division with a shrinking denominator), so this bounds
+            // the weighted term from above and the O(hot row) merge is
+            // paid by surviving pairs only.
+            if self.prune && c3_bounds_above {
+                if let Some(floor) = top.floor() {
+                    let min_ub = rare_min + u_hot_wsum.min(hot.hot_wsums[lv]);
+                    let wunion_lb = u_wsum + self.weight_sums[v] - min_ub;
+                    let s_attr_ub = inter as f64 / union as f64 + min_ub as f64 / wunion_lb as f64;
+                    if self.struct_bound + w.c3 * s_attr_ub < floor {
+                        tally.pruned += 1;
+                        continue;
+                    }
+                }
+            }
+
+            // Exact hot merge: O(|v's hot row|) against u's dense table.
+            let mut min_sum = rare_min;
+            for i in hot.starts[lv]..hot.starts[lv + 1] {
+                let wu = scratch.u_hot[hot.slots[i] as usize];
+                if wu != 0 {
+                    min_sum += u64::from(wu.min(hot.weights[i]));
+                }
+            }
             let wunion = u_wsum + self.weight_sums[v] - min_sum;
             // Same integers, same divisions, same addition order as
             // `UserAttributes::jaccard + weighted_jaccard`.
@@ -867,31 +1061,6 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
             tally.scored += 1;
         }
 
-        // Zero-shared pairs: the attribute term is exactly 0 (both Jaccard
-        // conventions give 0.0 on an empty intersection), matching the
-        // dense merge bit for bit.
-        let zero_term = w.c3 * 0.0;
-        for &v32 in self.index.present_from(self.from) {
-            let lv = v32 as usize - self.from;
-            if scratch.inter[lv] != 0 {
-                continue;
-            }
-            if self.prune {
-                if let Some(floor) = top.floor() {
-                    if self.struct_bound + zero_term < floor {
-                        tally.pruned += 1;
-                        continue;
-                    }
-                }
-            }
-            let s = (w.c1 * self.sim.degree_similarity(u, lv)
-                + w.c2 * self.sim.distance_similarity(u, lv))
-                + zero_term;
-            top.insert(v32 as usize, s);
-            bounds.observe(s);
-            tally.scored += 1;
-        }
-
         // Sparse reset: clear only the touched slots.
         for &lv32 in &scratch.touched {
             let lv = lv32 as usize;
@@ -899,6 +1068,12 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
             scratch.min_sum[lv] = 0;
         }
         scratch.touched.clear();
+        for &slot in &scratch.u_slots {
+            let slot = slot as usize;
+            scratch.u_hot[slot] = 0;
+            scratch.u_mask[slot / 64] = 0;
+        }
+        scratch.u_slots.clear();
         tally
     }
 }

@@ -26,7 +26,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SnapshotError};
+use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SectionWrite, SnapshotError};
 use dehealth_corpus::Forum;
 use dehealth_mapped::SharedBytes;
 use dehealth_ml::{
@@ -461,7 +461,7 @@ impl RefinedContext {
     /// stored struct-of-arrays (indices, values, row starts) instead of
     /// the v1 interleaving, which is what lets a zero-copy load cast the
     /// `f64` and `u64` arenas in place.
-    pub fn encode_v2(&self, buf: &mut SectionBuf) {
+    pub fn encode_v2<W: SectionWrite>(&self, buf: &mut W) {
         buf.put_u64(self.dim as u64);
         buf.put_u64(u64::from(self.sparse));
         buf.put_u64(self.n_posts() as u64);

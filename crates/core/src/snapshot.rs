@@ -10,7 +10,7 @@
 //! Persisting them is what lets a reload skip stylometric feature
 //! extraction — by far the most expensive part of preparing a corpus.
 
-use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SnapshotError};
+use dehealth_corpus::snapshot::{SectionReader, SectionWrite, SnapshotError};
 use dehealth_stylometry::FeatureVector;
 
 /// Encode per-post feature vectors: a count, then each vector as its
@@ -19,7 +19,7 @@ use dehealth_stylometry::FeatureVector;
 /// # Panics
 /// Panics if there are more than `u32::MAX` vectors or entries per vector
 /// (beyond any supported corpus).
-pub fn encode_features(features: &[FeatureVector], buf: &mut SectionBuf) {
+pub fn encode_features<W: SectionWrite>(features: &[FeatureVector], buf: &mut W) {
     buf.put_u32(u32::try_from(features.len()).expect("feature count overflows u32"));
     for v in features {
         buf.put_u32(u32::try_from(v.nnz()).expect("entry count overflows u32"));

@@ -117,13 +117,46 @@ pub struct Forum {
     post_index: Vec<Vec<usize>>,
 }
 
+/// Phase-1 output: everything about a post except its text.
+struct PostPlan {
+    author: usize,
+    thread: usize,
+    /// Seed of the private RNG that renders this post's text. Drawn from
+    /// the sequential structure stream, so the text of post `i` depends
+    /// only on `(seed, i)` — never on which worker thread renders it.
+    text_seed: u64,
+}
+
 impl Forum {
     /// Generate a forum from `config` with a fixed `seed`.
+    ///
+    /// Text rendering is spread over the available cores; the output is
+    /// byte-identical regardless of thread count (see
+    /// [`Forum::generate_with_threads`]).
     ///
     /// # Panics
     /// Panics if `config.n_users == 0` or `config.n_boards == 0`.
     #[must_use]
     pub fn generate(config: &ForumConfig, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::generate_with_threads(config, seed, threads)
+    }
+
+    /// Generate a forum using up to `n_threads` worker threads for post
+    /// text.
+    ///
+    /// Generation is two-phase: phase 1 runs the *structure* process
+    /// (personas, post budgets, board preferences, the global event
+    /// shuffle, and the sequential thread process) on one seeded RNG and
+    /// assigns each post a private text seed; phase 2 renders each post's
+    /// text from its own `StdRng` seeded with that value. Because no text
+    /// draw touches the shared stream, the corpus is byte-identical for
+    /// any `n_threads`.
+    ///
+    /// # Panics
+    /// Panics if `config.n_users == 0` or `config.n_boards == 0`.
+    #[must_use]
+    pub fn generate_with_threads(config: &ForumConfig, seed: u64, n_threads: usize) -> Self {
         assert!(config.n_users > 0, "need at least one user");
         assert!(config.n_boards > 0, "need at least one board");
         let mut rng = StdRng::seed_from_u64(seed);
@@ -162,7 +195,7 @@ impl Forum {
         let mut thread_board: Vec<usize> = Vec::new();
         let mut thread_topic: Vec<&'static str> = Vec::new();
         let mut recent: Vec<Vec<usize>> = vec![Vec::new(); config.n_boards];
-        let mut posts: Vec<Post> = Vec::with_capacity(events.len());
+        let mut plans: Vec<PostPlan> = Vec::with_capacity(events.len());
         for &user in &events {
             let board = prefs[user][rng.gen_range(0..prefs[user].len())];
             let window = &recent[board];
@@ -186,9 +219,12 @@ impl Forum {
                 };
                 window[pick]
             };
-            let text = generate_post(&mut rng, &personas[user], thread_topic[thread]);
-            posts.push(Post { author: user, thread, text });
+            plans.push(PostPlan { author: user, thread, text_seed: rng.gen::<u64>() });
         }
+
+        // 5. Render post text. Each post has its own RNG, so chunks can be
+        //    rendered on any number of threads without changing a byte.
+        let posts = render_posts(&plans, &personas, &thread_topic, n_threads);
 
         let mut post_index = vec![Vec::new(); config.n_users];
         for (i, p) in posts.iter().enumerate() {
@@ -288,6 +324,40 @@ impl Forum {
     }
 }
 
+/// Render post text for every plan, splitting the work across up to
+/// `n_threads` scoped threads. Each post is rendered from its own
+/// `StdRng::seed_from_u64(plan.text_seed)`, so the result is independent
+/// of the chunking.
+fn render_posts(
+    plans: &[PostPlan],
+    personas: &[Persona],
+    thread_topic: &[&'static str],
+    n_threads: usize,
+) -> Vec<Post> {
+    let render = |plan: &PostPlan| -> Post {
+        let mut rng = StdRng::seed_from_u64(plan.text_seed);
+        let text = generate_post(&mut rng, &personas[plan.author], thread_topic[plan.thread]);
+        Post { author: plan.author, thread: plan.thread, text }
+    };
+    let n_threads = n_threads.clamp(1, plans.len().max(1));
+    if n_threads == 1 {
+        return plans.iter().map(render).collect();
+    }
+    let chunk = plans.len().div_ceil(n_threads);
+    let mut parts: Vec<Vec<Post>> = Vec::with_capacity(n_threads);
+    std::thread::scope(|s| {
+        let render = &render;
+        let handles: Vec<_> = plans
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(render).collect::<Vec<Post>>()))
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("post rendering panicked"));
+        }
+    });
+    parts.concat()
+}
+
 /// Posts-per-user sampler: a two-component mixture matching the paper's
 /// joint marginals (fraction of < 5-post users *and* the overall mean).
 /// With probability `low_p` the user is low-activity (1-4 posts, pmf ∝
@@ -345,6 +415,22 @@ mod tests {
         assert_eq!(a.posts[0].text, b.posts[0].text);
         let c = Forum::generate(&ForumConfig::tiny(), 2);
         assert!(a.posts.len() != c.posts.len() || a.posts[0].text != c.posts[0].text);
+    }
+
+    #[test]
+    fn generation_is_thread_count_invariant() {
+        let cfg = ForumConfig::tiny();
+        let base = Forum::generate_with_threads(&cfg, 9, 1);
+        for threads in [2, 3, 8] {
+            let alt = Forum::generate_with_threads(&cfg, 9, threads);
+            assert_eq!(base.n_threads, alt.n_threads);
+            assert_eq!(base.posts.len(), alt.posts.len());
+            for (a, b) in base.posts.iter().zip(&alt.posts) {
+                assert_eq!(a.author, b.author);
+                assert_eq!(a.thread, b.thread);
+                assert_eq!(a.text, b.text);
+            }
+        }
     }
 
     #[test]

@@ -192,15 +192,128 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 /// FNV-1a 64-bit hash — the per-section checksum.
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut h = FNV_OFFSET;
     for &b in bytes {
         h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
+}
+
+/// The destination of one section's payload, abstracted over *where* the
+/// bytes go: an in-memory [`SectionBuf`] (the materializing path) or a
+/// file-backed [`SectionStream`] (the streaming path, which never holds
+/// the payload in memory). Section codecs written against this trait —
+/// [`encode_forum`] and the `encode_v2` methods in `dehealth-core` — emit
+/// the identical byte sequence through either implementation, which is
+/// what makes `save_streaming` bit-identical to `save`
+/// (pinned by `streamed_snapshot_is_bit_identical`).
+///
+/// Only [`Self::put_raw`] and [`Self::len`] are required; every higher
+/// primitive is a provided method defined in terms of them, so the two
+/// sinks cannot drift apart encoding-wise.
+pub trait SectionWrite {
+    /// Append raw bytes to the payload.
+    fn put_raw(&mut self, bytes: &[u8]);
+
+    /// Payload length so far — the alignment cursor for [`Self::align8`].
+    fn len(&self) -> usize;
+
+    /// `true` if nothing has been written.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_raw(&[v]);
+    }
+
+    /// Append a `u32`, little-endian.
+    fn put_u32(&mut self, v: u32) {
+        self.put_raw(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    fn put_u64(&mut self, v: u64) {
+        self.put_raw(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as `u64`.
+    ///
+    /// # Panics
+    /// Panics if `v` exceeds `u64::MAX` (impossible on supported targets).
+    fn put_len(&mut self, v: usize) {
+        self.put_u64(u64::try_from(v).expect("length overflows u64"));
+    }
+
+    /// Append an `f64` as its raw IEEE-754 bit pattern (exact round-trip,
+    /// including `-0.0` and NaN payloads).
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed byte string (`u32` length + bytes).
+    ///
+    /// # Panics
+    /// Panics if `s` is longer than `u32::MAX` bytes.
+    fn put_bytes(&mut self, s: &[u8]) {
+        self.put_u32(u32::try_from(s.len()).expect("byte string longer than u32::MAX"));
+        self.put_raw(s);
+    }
+
+    /// Pad with zero bytes until the payload offset is a multiple of
+    /// [`ALIGN`] — the v2 idiom before emitting a scalar arena.
+    fn align8(&mut self) {
+        while !self.len().is_multiple_of(ALIGN) {
+            self.put_u8(0);
+        }
+    }
+
+    /// Append a `u32` arena: [`Self::align8`], then each value
+    /// little-endian, back to back.
+    fn put_u32_arena(&mut self, values: &[u32]) {
+        self.align8();
+        for &v in values {
+            self.put_u32(v);
+        }
+    }
+
+    /// Append a `u64` arena: [`Self::align8`], then each value
+    /// little-endian, back to back.
+    fn put_u64_arena(&mut self, values: &[u64]) {
+        self.align8();
+        for &v in values {
+            self.put_u64(v);
+        }
+    }
+
+    /// Append an `f64` arena: [`Self::align8`], then each value as its
+    /// raw IEEE-754 bit pattern, back to back.
+    fn put_f64_arena(&mut self, values: &[f64]) {
+        self.align8();
+        for &v in values {
+            self.put_f64(v);
+        }
+    }
+}
+
+impl SectionWrite for SectionBuf {
+    fn put_raw(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    fn len(&self) -> usize {
+        self.bytes.len()
+    }
 }
 
 /// A growable little-endian payload buffer for one section.
@@ -429,6 +542,166 @@ impl SnapshotWriter {
             return Err(e.into());
         }
         Ok(())
+    }
+}
+
+/// Streams a [`V2`] snapshot straight to a file, one section at a time,
+/// without ever materializing a section payload in memory.
+///
+/// [`SnapshotWriter`] buffers every payload and assembles the final byte
+/// stream in one allocation — fine at toy scale, but at 100k auxiliary
+/// users the forum + feature sections alone are hundreds of megabytes,
+/// and the materializing path briefly holds *two* copies (the buffers and
+/// the assembled stream) on top of the corpus itself. This writer instead
+/// appends each section's bytes to the file as the codec produces them,
+/// computing the FNV-1a checksum incrementally and seeking back to patch
+/// the section's length field once the payload size is known (and the
+/// header's section count at [`Self::finish`]).
+///
+/// The output is bit-identical to [`SnapshotWriter::finish`] for the same
+/// sections in the same order — both sinks share the [`SectionWrite`]
+/// encoding primitives. Like [`SnapshotWriter::write_to`], the bytes land
+/// in a temporary sibling first and are `rename`d over the target on
+/// [`Self::finish`], so a reader or live mapping of an existing snapshot
+/// never observes a partial write; an abandoned (dropped) streamer
+/// removes its temporary file.
+#[derive(Debug)]
+pub struct SnapshotStreamer {
+    out: std::io::BufWriter<std::fs::File>,
+    tmp: std::path::PathBuf,
+    path: std::path::PathBuf,
+    /// Total bytes written so far (tracked, not queried — seeking a
+    /// `BufWriter` flushes it, so the hot path never asks the file).
+    offset: u64,
+    n_sections: u32,
+    committed: bool,
+}
+
+impl SnapshotStreamer {
+    /// Open the temporary sibling of `path` and write the container
+    /// header (with a zero section count, patched by [`Self::finish`]).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> Result<Self, SnapshotError> {
+        use std::io::Write;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let file = std::fs::File::create(&tmp)?;
+        let mut out = std::io::BufWriter::new(file);
+        let header = || -> std::io::Result<()> {
+            out.write_all(&MAGIC)?;
+            out.write_all(&VERSION.to_le_bytes())?;
+            out.write_all(&(ALIGN as u16).to_le_bytes())?;
+            out.write_all(&0u32.to_le_bytes()) // section count placeholder
+        }();
+        if let Err(e) = header {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(Self { out, tmp, path: path.to_path_buf(), offset: 16, n_sections: 0, committed: false })
+    }
+
+    /// Write one section: the 16-byte v2 section header, then whatever
+    /// payload `fill` emits into the provided [`SectionStream`], then the
+    /// alignment padding and checksum. Unlike [`SnapshotWriter::section`],
+    /// sections are final once written — a tag cannot be continued later.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors (including any deferred from inside
+    /// `fill` — see [`SectionStream`]).
+    pub fn section<F>(&mut self, tag: SectionTag, fill: F) -> Result<(), SnapshotError>
+    where
+        F: FnOnce(&mut SectionStream<'_>),
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        debug_assert!(self.offset.is_multiple_of(ALIGN as u64), "section header misaligned");
+        let len_at = self.offset + 8;
+        self.out.write_all(&tag.0)?;
+        self.out.write_all(&[0u8; 4])?; // header padding
+        self.out.write_all(&0u64.to_le_bytes())?; // length placeholder
+        let mut stream = SectionStream { out: &mut self.out, len: 0, hash: FNV_OFFSET, err: None };
+        fill(&mut stream);
+        let (len, hash, err) = (stream.len, stream.hash, stream.err.take());
+        if let Some(e) = err {
+            return Err(e.into());
+        }
+        let pad = len.wrapping_neg() % ALIGN;
+        self.out.write_all(&[0u8; ALIGN][..pad])?;
+        self.out.write_all(&hash.to_le_bytes())?;
+        let end = len_at + 8 + (len + pad) as u64 + 8;
+        self.out.seek(SeekFrom::Start(len_at))?;
+        self.out.write_all(&(len as u64).to_le_bytes())?;
+        self.out.seek(SeekFrom::Start(end))?;
+        self.offset = end;
+        self.n_sections += 1;
+        Ok(())
+    }
+
+    /// Patch the header's section count, flush, and atomically `rename`
+    /// the temporary file over the target path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors (the temporary file is removed on
+    /// failure).
+    pub fn finish(mut self) -> Result<(), SnapshotError> {
+        use std::io::{Seek, SeekFrom, Write};
+        let commit = |s: &mut Self| -> std::io::Result<()> {
+            s.out.seek(SeekFrom::Start(12))?;
+            s.out.write_all(&s.n_sections.to_le_bytes())?;
+            s.out.flush()
+        };
+        commit(&mut self)?; // on Err: Drop removes the temp file
+        std::fs::rename(&self.tmp, &self.path)?;
+        self.committed = true;
+        Ok(())
+    }
+}
+
+impl Drop for SnapshotStreamer {
+    fn drop(&mut self) {
+        if !self.committed {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// The [`SectionWrite`] sink handed to [`SnapshotStreamer::section`]'s
+/// closure: appends straight to the snapshot file while folding every
+/// byte into the running FNV-1a checksum.
+///
+/// [`SectionWrite`] methods are infallible by design (codecs stay free of
+/// error plumbing), so an I/O failure mid-payload is *deferred*: the
+/// first error is stored, subsequent writes become no-ops, and
+/// [`SnapshotStreamer::section`] surfaces the error after the closure
+/// returns.
+#[derive(Debug)]
+pub struct SectionStream<'a> {
+    out: &'a mut std::io::BufWriter<std::fs::File>,
+    len: usize,
+    hash: u64,
+    err: Option<std::io::Error>,
+}
+
+impl SectionWrite for SectionStream<'_> {
+    fn put_raw(&mut self, bytes: &[u8]) {
+        use std::io::Write;
+        if self.err.is_some() {
+            return;
+        }
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        match self.out.write_all(bytes) {
+            Ok(()) => self.len += bytes.len(),
+            Err(e) => self.err = Some(e),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
     }
 }
 
@@ -741,7 +1014,7 @@ impl<'a> SectionReader<'a> {
 /// # Panics
 /// Panics if the forum has more than `u32::MAX` users, threads or posts
 /// (far beyond any supported corpus).
-pub fn encode_forum(forum: &Forum, buf: &mut SectionBuf) {
+pub fn encode_forum<W: SectionWrite>(forum: &Forum, buf: &mut W) {
     buf.put_u32(u32::try_from(forum.n_users).expect("user count overflows u32"));
     buf.put_u32(u32::try_from(forum.n_threads).expect("thread count overflows u32"));
     buf.put_u32(u32::try_from(forum.posts.len()).expect("post count overflows u32"));
@@ -1052,6 +1325,63 @@ mod tests {
         let mut w2 = SnapshotWriter::new();
         encode_forum(&back, w2.section(SectionTag(*b"FORM")));
         assert_eq!(w2.finish(), bytes);
+    }
+
+    #[test]
+    fn streamed_snapshot_is_bit_identical() {
+        // Awkward payload lengths on purpose: the streamer's padding,
+        // incremental checksum and seek-back length patch must all agree
+        // with the materializing writer byte for byte.
+        let payloads: &[(SectionTag, usize)] = &[
+            (SectionTag(*b"ONE "), 1),
+            (SectionTag(*b"TWO "), 13),
+            (SectionTag(*b"THRE"), 0),
+            (SectionTag(*b"FOUR"), 24),
+        ];
+        let fill = |w: &mut dyn FnMut(&[u8]), len: usize| {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37 + 5) as u8).collect();
+            w(&bytes);
+        };
+        let mut reference = SnapshotWriter::new();
+        for &(tag, len) in payloads {
+            let s = reference.section(tag);
+            fill(&mut |b| SectionWrite::put_raw(s, b), len);
+            s.put_u32_arena(&[7, 8, 9]);
+            s.put_bytes(b"tail");
+        }
+        let reference = reference.finish();
+
+        let path = std::env::temp_dir().join("dehealth-streamer-parity-test.snap");
+        let mut streamer = SnapshotStreamer::create(&path).unwrap();
+        for &(tag, len) in payloads {
+            streamer
+                .section(tag, |s| {
+                    fill(&mut |b| s.put_raw(b), len);
+                    s.put_u32_arena(&[7, 8, 9]);
+                    s.put_bytes(b"tail");
+                })
+                .unwrap();
+        }
+        streamer.finish().unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(streamed, reference);
+        // And the streamed file parses with full checksum verification.
+        let r = SnapshotReader::parse(&streamed).unwrap();
+        assert_eq!(r.tags().len(), payloads.len());
+    }
+
+    #[test]
+    fn abandoned_streamer_removes_its_temp_file() {
+        let path = std::env::temp_dir().join("dehealth-streamer-abandon-test.snap");
+        let tmp = {
+            let mut streamer = SnapshotStreamer::create(&path).unwrap();
+            streamer.section(SectionTag(*b"AAAA"), |s| s.put_u8(1)).unwrap();
+            std::path::PathBuf::from(format!("{}.tmp.{}", path.display(), std::process::id()))
+            // streamer dropped here without finish()
+        };
+        assert!(!tmp.exists(), "temp file left behind");
+        assert!(!path.exists(), "target written without finish");
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Generator determinism at scale: the same seed must yield a
+//! byte-identical corpus regardless of worker-thread count, at corpus
+//! sizes where the two-phase parallel generator actually parallelizes
+//! (the in-module unit test covers the tiny config; this one pins the
+//! 1k and 10k tiers the scale sweep is built on).
+//!
+//! Identity is compared through the snapshot codec — the forum is
+//! encoded with [`encode_forum`] and the byte streams digested with
+//! FNV-1a — so the pin covers exactly what a snapshot would persist and
+//! what `BENCH_scale.json` records as `corpus_digest`.
+
+use dehealth_corpus::snapshot::{encode_forum, fnv1a, SectionBuf};
+use dehealth_corpus::{Forum, ForumConfig};
+
+fn digest(forum: &Forum) -> u64 {
+    let mut buf = SectionBuf::new();
+    encode_forum(forum, &mut buf);
+    fnv1a(&buf.into_bytes())
+}
+
+fn assert_tier_invariant(users: usize, seed: u64, thread_counts: &[usize]) {
+    let config = ForumConfig::webmd_like(users);
+    let base = Forum::generate_with_threads(&config, seed, 1);
+    let base_digest = digest(&base);
+    for &threads in thread_counts {
+        let alt = Forum::generate_with_threads(&config, seed, threads);
+        assert_eq!(
+            digest(&alt),
+            base_digest,
+            "{users}-user corpus differs between 1 and {threads} generator threads"
+        );
+    }
+    // Different seed ⇒ different bytes — the digest is not degenerate.
+    assert_ne!(
+        digest(&Forum::generate_with_threads(&config, seed + 1, 1)),
+        base_digest,
+        "{users}-user digest ignores the seed"
+    );
+}
+
+#[test]
+fn one_thousand_user_corpus_is_thread_count_invariant() {
+    assert_tier_invariant(1000, 42, &[2, 3, 7]);
+}
+
+// One counterpart generation only — debug-mode 10k generations are
+// seconds each, and the 1k tier already sweeps several thread counts.
+#[test]
+fn ten_thousand_user_corpus_is_thread_count_invariant() {
+    assert_tier_invariant(10_000, 42, &[3]);
+}

@@ -3,7 +3,7 @@
 //! (snapshot-loaded) auxiliary corpora.
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dehealth_core::attack::AttackConfig;
 use dehealth_core::filter::{filter_user, threshold_vector, Filtered, ScoreBounds};
@@ -72,6 +72,20 @@ pub struct EngineConfig {
     pub scoring: ScoringMode,
     /// Feature-materialization path for the Refined-DA stage.
     pub refined: RefinedMode,
+    /// Global cap on the Top-K candidates carried into filtering and the
+    /// Refined-DA stage; `None` (the default) keeps every candidate.
+    ///
+    /// At large auxiliary scale the refined fan-out costs
+    /// `O(Σ_u |candidates(u)| · posts)` — this budget bounds it with an
+    /// explicit **recall contract** instead of silently: every anonymized
+    /// user keeps its best-scoring candidate (Top-K recall@1 is never
+    /// affected), and the remaining budget keeps the globally
+    /// best-scoring entries, ties broken by `(user, candidate)` id for
+    /// determinism. Trimmed entries are reported as `skipped` on the
+    /// `budget` stage. Unlike the other engine knobs this one *does*
+    /// change outcomes when it binds — it is a resource/recall dial, not
+    /// an execution strategy.
+    pub candidate_budget: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +96,7 @@ impl Default for EngineConfig {
             block_size: 64,
             scoring: ScoringMode::default(),
             refined: RefinedMode::default(),
+            candidate_budget: None,
         }
     }
 }
@@ -391,6 +406,11 @@ impl Engine {
             requests.iter().map(|r| vec![Vec::new(); r.anonymized.n_users]).collect();
         for slot in slots {
             per_req_scores[slot.req][slot.u] = slot.heap.into_sorted_entries();
+        }
+        // The candidate budget applies per request, exactly as each
+        // request's solo run would enforce it.
+        for (scores, report) in per_req_scores.iter_mut().zip(&mut reports) {
+            apply_candidate_budget(self.config.candidate_budget, scores, report);
         }
         let mut per_req_candidates: Vec<CandidateSets> = per_req_scores
             .iter()
@@ -823,6 +843,50 @@ fn topk_pass(
     report.record("topk", "pairs", 0, topk_secs);
 }
 
+/// Enforce [`EngineConfig::candidate_budget`] over per-user candidate
+/// score lists (sorted by decreasing score, as
+/// [`BoundedTopK::into_sorted_entries`] returns them).
+///
+/// Contract: each user's best-scoring entry is reserved unconditionally;
+/// the remaining budget keeps the globally best-scoring tail entries
+/// (score descending, ties by ascending `(user, candidate)`), preserving
+/// each surviving list's order. No-op when the budget is absent or not
+/// exceeded. The number of trimmed entries is recorded as `skipped` on
+/// the `budget` stage.
+fn apply_candidate_budget(
+    budget: Option<usize>,
+    candidate_scores: &mut [Vec<(usize, f64)>],
+    report: &mut EngineReport,
+) {
+    let Some(budget) = budget else { return };
+    let total: usize = candidate_scores.iter().map(Vec::len).sum();
+    if total <= budget {
+        return;
+    }
+    let reserved = candidate_scores.iter().filter(|e| !e.is_empty()).count();
+    let spare = budget.saturating_sub(reserved);
+    let mut tail: Vec<(f64, usize, usize)> = Vec::with_capacity(total - reserved);
+    for (u, entries) in candidate_scores.iter().enumerate() {
+        for &(v, s) in entries.iter().skip(1) {
+            tail.push((s, u, v));
+        }
+    }
+    tail.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let keep: HashSet<(usize, usize)> = tail.iter().take(spare).map(|&(_, u, v)| (u, v)).collect();
+    let mut trimmed = 0u64;
+    for (u, entries) in candidate_scores.iter_mut().enumerate() {
+        let before = entries.len();
+        let mut rank = 0usize;
+        entries.retain(|&(v, _)| {
+            let keep_it = rank == 0 || keep.contains(&(u, v));
+            rank += 1;
+            keep_it
+        });
+        trimmed += (before - entries.len()) as u64;
+    }
+    report.record_skipped("budget", "candidates", trimmed);
+}
+
 /// The post-scoring pipeline shared by [`EngineSession::finish`] and
 /// [`Engine::run_prepared`]: extract candidate sets from the heaps, run
 /// Algorithm-2 filtering (if configured), and fan the Refined-DA stage
@@ -846,8 +910,10 @@ fn complete_attack(
     let n_aux = aux_side.forum.n_users;
 
     // Candidate sets (and their scores, for verification/filtering).
-    let candidate_scores: Vec<Vec<(usize, f64)>> =
+    let mut candidate_scores: Vec<Vec<(usize, f64)>> =
         heaps.into_iter().map(BoundedTopK::into_sorted_entries).collect();
+    apply_candidate_budget(config.candidate_budget, &mut candidate_scores, &mut report);
+    let candidate_scores = candidate_scores;
     let mut candidates: CandidateSets =
         candidate_scores.iter().map(|entries| entries.iter().map(|&(v, _)| v).collect()).collect();
 
@@ -996,6 +1062,77 @@ mod tests {
                 for &(v, s) in entries {
                     assert_eq!(s.to_bits(), serial.similarity[u][v].to_bits());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_budget_honors_the_recall_contract() {
+        let split = tiny_split();
+        let base = Engine::new(EngineConfig {
+            attack: attack_cfg(),
+            n_threads: 2,
+            block_size: 8,
+            ..EngineConfig::default()
+        })
+        .run(&split.auxiliary, &split.anonymized);
+        let total: usize = base.candidate_scores.iter().map(Vec::len).sum();
+        assert!(total > 8, "need enough candidates to trim");
+
+        // A budget larger than the workload is a no-op.
+        let loose = Engine::new(EngineConfig {
+            attack: attack_cfg(),
+            n_threads: 2,
+            block_size: 8,
+            candidate_budget: Some(total),
+            ..EngineConfig::default()
+        })
+        .run(&split.auxiliary, &split.anonymized);
+        assert_eq!(loose.candidates, base.candidates);
+        assert_eq!(loose.mapping, base.mapping);
+        assert!(loose.report.stage("budget").is_none());
+
+        // A binding budget trims to exactly the contract: per-user best
+        // entries always survive, the spare budget keeps the globally
+        // best-scoring tail entries.
+        let budget = total / 2;
+        let tight = Engine::new(EngineConfig {
+            attack: attack_cfg(),
+            n_threads: 2,
+            block_size: 8,
+            candidate_budget: Some(budget),
+            ..EngineConfig::default()
+        })
+        .run(&split.auxiliary, &split.anonymized);
+        let kept: usize = tight.candidate_scores.iter().map(Vec::len).sum();
+        let reserved = base.candidate_scores.iter().filter(|e| !e.is_empty()).count();
+        assert_eq!(kept, budget.max(reserved));
+        assert_eq!(tight.report.stage("budget").unwrap().skipped, (total - kept) as u64);
+
+        // Expected survivors, recomputed independently from the
+        // unbudgeted run.
+        let mut tail: Vec<(f64, usize, usize)> = Vec::new();
+        for (u, entries) in base.candidate_scores.iter().enumerate() {
+            for &(v, s) in entries.iter().skip(1) {
+                tail.push((s, u, v));
+            }
+        }
+        tail.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let keep: HashSet<(usize, usize)> =
+            tail.iter().take(budget - reserved).map(|&(_, u, v)| (u, v)).collect();
+        for (u, (base_e, tight_e)) in
+            base.candidate_scores.iter().zip(&tight.candidate_scores).enumerate()
+        {
+            let expect: Vec<(usize, f64)> = base_e
+                .iter()
+                .enumerate()
+                .filter(|&(rank, &(v, _))| rank == 0 || keep.contains(&(u, v)))
+                .map(|(_, &e)| e)
+                .collect();
+            assert_eq!(&expect, tight_e, "user {u} survivors diverge from the contract");
+            // Recall@1 is untouched: the top candidate survives.
+            if !base_e.is_empty() {
+                assert_eq!(base_e[0].0, tight_e[0].0);
             }
         }
     }

@@ -276,3 +276,75 @@ fn pruning_counters_account_for_every_pair() {
         );
     }
 }
+
+/// Adversarial posting-list skew: every user shares one ultra-common
+/// sentence (so several attributes' posting lists touch the whole
+/// population), while each user also emits a unique singleton token.
+fn skewed_forum(n_users: usize, n_threads: usize, salt: u64) -> Forum {
+    let mut posts = Vec::new();
+    for u in 0..n_users {
+        let n_posts = 1 + (u + salt as usize) % 3;
+        for k in 0..n_posts {
+            // The shared sentence puts a hot attribute (each of its words,
+            // letters and punctuation) in every user; the zq-token is this
+            // user's singleton.
+            let text = format!("the pain doctor said rest helps zq{u}x{salt}q. round {k}!");
+            posts.push(Post { author: u, thread: (u + k) % n_threads, text });
+        }
+    }
+    Forum::from_posts(n_users, n_threads, posts)
+}
+
+#[test]
+fn skewed_corpora_stay_bit_identical_and_prune_hot_pairs() {
+    // Enough present users that the hot threshold (max(16, present/8))
+    // engages: every shared-sentence attribute has a posting list of
+    // length ~n_users and moves to the bitmask path.
+    let aux = skewed_forum(220, 5, 1);
+    let anon = skewed_forum(40, 5, 2);
+    let serial = DeHealth::new(attack_cfg()).run(&aux, &anon);
+    for &n_threads in &THREAD_COUNTS {
+        let indexed = engine(attack_cfg(), n_threads, ScoringMode::Indexed).run(&aux, &anon);
+        let dense = engine(attack_cfg(), n_threads, ScoringMode::Dense).run(&aux, &anon);
+        let what = format!("skewed corpus, {n_threads} threads");
+        assert_outcomes_identical(&indexed, &dense, &what);
+        assert_eq!(indexed.candidates, serial.candidates, "serial diverges: {what}");
+        assert_eq!(indexed.mapping, serial.mapping, "serial diverges: {what}");
+        for (u, entries) in indexed.candidate_scores.iter().enumerate() {
+            for &(v, s) in entries {
+                assert_eq!(
+                    s.to_bits(),
+                    serial.similarity[u][v].to_bits(),
+                    "score bits diverge from serial matrix for ({u}, {v}): {what}"
+                );
+            }
+        }
+        // The skew fix must actually avoid fully scoring most pairs: with
+        // pruning on (no filtering configured), the pre-merge upper bound
+        // rejects the bulk of the workload.
+        let topk = indexed.report.stage("topk").unwrap();
+        let pairs = (anon.n_users * aux.n_users) as u64;
+        assert_eq!(topk.items + topk.skipped, pairs, "accounting: {what}");
+        assert!(
+            topk.skipped > pairs / 2,
+            "expected most pairs pruned, got {} of {pairs}: {what}",
+            topk.skipped
+        );
+    }
+}
+
+#[test]
+fn skewed_corpus_activates_the_hot_path() {
+    use de_health::core::{IndexedScorer, SimilarityEngine, SimilarityWeights, UdaGraph};
+    let aux = skewed_forum(200, 4, 3);
+    let anon = skewed_forum(12, 4, 4);
+    let aux_uda = UdaGraph::build(&aux);
+    let anon_uda = UdaGraph::build(&anon);
+    let sim = SimilarityEngine::new(&anon_uda, &aux_uda, SimilarityWeights::default(), 6);
+    let index = sim.attribute_index();
+    let scorer = IndexedScorer::new(&sim, &index, 0, true);
+    assert!(
+        scorer.n_hot_attrs() > 0,
+        "a 200-user corpus sharing a sentence must classify hot attributes"
+    );
+}
