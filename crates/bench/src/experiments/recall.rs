@@ -1,0 +1,382 @@
+//! Recall experiment: the approximate fast tier's recall-vs-speed curve.
+//!
+//! The scale sweep showed the Top-K stage dominating wall-clock at large
+//! corpora (726s of 766s at 100k auxiliary users) with every pruned pair
+//! still paying an exact O(1) bound check and every survivor a full f64
+//! score. The engine's [`ExactnessMode::Approx`] dial trades a bounded
+//! slice of recall for skipping that work: the Top-K margin prescreen
+//! drops pairs whose upper bound clears the admission floor by less than
+//! `margin`, and the refined stage classifies through u8-quantized
+//! arenas, exactly rescoring only the top margin band.
+//!
+//! This experiment measures what the dial actually buys. Per tier
+//! (defaults: 1k and 10k auxiliary users) it runs the exact pipeline
+//! once as ground truth, then the approximate tier at every margin in
+//! [`MARGINS`], and records per point:
+//!
+//! - **recall@1** — fraction of anonymized users whose exact best
+//!   candidate is still the approximate best candidate;
+//! - **recall@k** — fraction of all exact Top-K candidate entries the
+//!   approximate run recovered;
+//! - **mapping agreement** — fraction of refined decisions (including
+//!   `⊥`) unchanged from the exact run;
+//! - per-stage wall-clock and the derived Top-K / refined / end-to-end
+//!   speedups;
+//! - the engine's prescreen decision counters (admitted / skipped /
+//!   rescored).
+//!
+//! `margin = 0.0` is asserted **bit-identical** to the exact run —
+//! candidate sets, candidate score bits and mapping — so the committed
+//! curve always carries its own exactness anchor, and the CI smoke run
+//! re-derives it at a small corpus on every push. Results land in
+//! `BENCH_recall.json`.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use dehealth_core::{AttackConfig, ClassifierKind};
+use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
+use dehealth_engine::{
+    Engine, EngineConfig, EngineOutcome, ExactnessMode, RefinedMode, ScoringMode,
+};
+use dehealth_service::PreparedCorpus;
+
+/// The margin sweep: `0.0` is the exactness anchor (asserted
+/// bit-identical to [`ExactnessMode::Exact`]); the rest trace the
+/// recall-vs-speed curve from conservative to aggressive. Margins are in
+/// score units — under the default weights scores live in `[0, 2.05]`
+/// (`0.05·3 + 0.05·2 + 0.9·2`), with the attribute term dominating.
+pub const MARGINS: [f64; 7] = [0.0, 0.02, 0.03, 0.05, 0.1, 0.2, 0.5];
+
+/// Default sweep tiers (auxiliary users) when `--users` is not given.
+pub const DEFAULT_TIERS: [usize; 2] = [1_000, 10_000];
+
+/// One margin point of one tier's curve.
+#[derive(Debug, Clone)]
+pub struct RecallPoint {
+    /// The prescreen/rescore confidence margin.
+    pub margin: f64,
+    /// Fraction of users whose exact best candidate stayed best.
+    pub recall_at_1: f64,
+    /// Fraction of exact Top-K candidate entries recovered.
+    pub recall_at_k: f64,
+    /// Fraction of refined decisions (incl. `⊥`) matching the exact run.
+    pub mapping_agreement: f64,
+    /// Approximate Top-K stage seconds.
+    pub topk_seconds: f64,
+    /// Approximate refined stage seconds.
+    pub refined_seconds: f64,
+    /// Approximate whole-attack seconds.
+    pub total_seconds: f64,
+    /// Exact Top-K seconds / approximate Top-K seconds.
+    pub topk_speedup: f64,
+    /// Exact refined seconds / approximate refined seconds.
+    pub refined_speedup: f64,
+    /// Exact total seconds / approximate total seconds.
+    pub total_speedup: f64,
+    /// Pairs fully scored under the active prescreen.
+    pub prescreen_admitted: u64,
+    /// Pairs dropped by the prescreen without exact scoring.
+    pub prescreen_skipped: u64,
+    /// Refined users rescored exactly from the margin band.
+    pub prescreen_rescored: u64,
+}
+
+/// One tier of the sweep: the exact baseline plus its margin curve.
+#[derive(Debug, Clone)]
+pub struct RecallTier {
+    /// Auxiliary users at this tier.
+    pub aux_users: usize,
+    /// Anonymized users the attacks targeted.
+    pub anon_users: usize,
+    /// Exact Top-K stage seconds (the speedup denominator).
+    pub exact_topk_seconds: f64,
+    /// Exact refined stage seconds.
+    pub exact_refined_seconds: f64,
+    /// Exact whole-attack seconds.
+    pub exact_total_seconds: f64,
+    /// The margin curve, in [`MARGINS`] order.
+    pub points: Vec<RecallPoint>,
+}
+
+/// The engine configuration of the measured production path — the same
+/// `(Indexed, Shared)` shape as the scale sweep, with the exactness dial
+/// as the only moving part.
+fn recall_engine(exactness: ExactnessMode) -> Engine {
+    Engine::new(EngineConfig {
+        attack: AttackConfig { top_k: 10, n_landmarks: 30, ..AttackConfig::default() },
+        n_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        block_size: 16,
+        scoring: ScoringMode::Indexed,
+        refined: RefinedMode::Shared,
+        candidate_budget: None,
+        exactness,
+    })
+}
+
+fn stage_seconds(outcome: &EngineOutcome, name: &str) -> f64 {
+    outcome.report.stage(name).map_or(0.0, |s| s.seconds)
+}
+
+fn to_bits(scores: &[Vec<(usize, f64)>]) -> Vec<Vec<(usize, u64)>> {
+    scores.iter().map(|row| row.iter().map(|&(v, s)| (v, s.to_bits())).collect()).collect()
+}
+
+/// Fraction of users whose exact best candidate is still the
+/// approximate best candidate (users with no exact candidates are
+/// excluded from the denominator).
+fn recall_at_1(exact: &EngineOutcome, approx: &EngineOutcome) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (e, a) in exact.candidate_scores.iter().zip(&approx.candidate_scores) {
+        if let Some(&(best, _)) = e.first() {
+            total += 1;
+            hits += usize::from(a.first().is_some_and(|&(v, _)| v == best));
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Fraction of all exact Top-K candidate entries the approximate run
+/// recovered (pooled across users).
+fn recall_at_k(exact: &EngineOutcome, approx: &EngineOutcome) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (e, a) in exact.candidate_scores.iter().zip(&approx.candidate_scores) {
+        total += e.len();
+        hits += e.iter().filter(|&&(v, _)| a.iter().any(|&(w, _)| w == v)).count();
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Fraction of refined decisions (including `⊥`) matching the exact run.
+fn mapping_agreement(exact: &EngineOutcome, approx: &EngineOutcome) -> f64 {
+    if exact.mapping.is_empty() {
+        return 1.0;
+    }
+    let hits = exact.mapping.iter().zip(&approx.mapping).filter(|(e, a)| e == a).count();
+    hits as f64 / exact.mapping.len() as f64
+}
+
+fn speedup(exact: f64, approx: f64) -> f64 {
+    if approx > 0.0 {
+        exact / approx
+    } else {
+        0.0
+    }
+}
+
+/// Run the sweep and write `BENCH_recall.json` to the working directory.
+///
+/// # Errors
+/// Propagates I/O errors from writing the JSON file.
+pub fn run(users: Option<usize>, seed: u64) -> io::Result<PathBuf> {
+    let path = PathBuf::from("BENCH_recall.json");
+    let tiers: Vec<usize> = users.map_or_else(|| DEFAULT_TIERS.to_vec(), |u| vec![u]);
+    run_to(&path, &tiers, seed)?;
+    Ok(path)
+}
+
+/// Run the sweep over explicit tiers and write the JSON report to `path`.
+///
+/// # Panics
+/// Panics when the `margin = 0.0` point is not bit-identical to the
+/// exact run — the committed curve must carry a verified exactness
+/// anchor.
+///
+/// # Errors
+/// Propagates I/O errors from writing the JSON file.
+pub fn run_to(path: &Path, tiers: &[usize], seed: u64) -> io::Result<Vec<RecallTier>> {
+    println!("\n# Recall: approximate-tier margin sweep {MARGINS:?} at tiers {tiers:?}");
+    let mut results = Vec::new();
+    for &tier in tiers {
+        let forum = Forum::generate(&ForumConfig::webmd_like(tier), seed);
+        let split = closed_world_split(&forum, &SplitConfig::fraction(0.7), seed.wrapping_add(1));
+        drop(forum);
+        let anonymized = split.anonymized;
+        let mut corpus = PreparedCorpus::build(split.auxiliary, ClassifierKind::default());
+        // Quantize once up front — the persisted-arena serving shape, so
+        // approximate attacks measure the kernels, not re-quantization.
+        assert!(corpus.ensure_quantized(), "KNN corpus context must be quantizable");
+
+        let exact = corpus.attack(&recall_engine(ExactnessMode::Exact), &anonymized);
+        assert!(exact.report.prescreen.is_empty(), "exact mode must make no prescreen decisions");
+        let exact_topk_seconds = stage_seconds(&exact, "topk");
+        let exact_refined_seconds = stage_seconds(&exact, "refined");
+        let exact_total_seconds = exact.report.total_seconds();
+        println!(
+            "  tier {tier}: exact topk {exact_topk_seconds:.3}s, refined \
+             {exact_refined_seconds:.3}s, total {exact_total_seconds:.3}s"
+        );
+
+        let mut points = Vec::new();
+        for &margin in &MARGINS {
+            let engine = recall_engine(ExactnessMode::Approx { margin });
+            let approx = corpus.attack(&engine, &anonymized);
+            if margin == 0.0 {
+                // The exactness anchor: a zero margin must change nothing.
+                assert_eq!(exact.candidates, approx.candidates, "tier {tier}: candidates");
+                assert_eq!(
+                    to_bits(&exact.candidate_scores),
+                    to_bits(&approx.candidate_scores),
+                    "tier {tier}: candidate score bits"
+                );
+                assert_eq!(exact.mapping, approx.mapping, "tier {tier}: mappings");
+            }
+            let p = approx.report.prescreen;
+            let point = RecallPoint {
+                margin,
+                recall_at_1: recall_at_1(&exact, &approx),
+                recall_at_k: recall_at_k(&exact, &approx),
+                mapping_agreement: mapping_agreement(&exact, &approx),
+                topk_seconds: stage_seconds(&approx, "topk"),
+                refined_seconds: stage_seconds(&approx, "refined"),
+                total_seconds: approx.report.total_seconds(),
+                topk_speedup: speedup(exact_topk_seconds, stage_seconds(&approx, "topk")),
+                refined_speedup: speedup(exact_refined_seconds, stage_seconds(&approx, "refined")),
+                total_speedup: speedup(exact_total_seconds, approx.report.total_seconds()),
+                prescreen_admitted: p.admitted,
+                prescreen_skipped: p.skipped,
+                prescreen_rescored: p.rescored,
+            };
+            println!(
+                "    margin {:>5.2}: recall@1 {:.4}, recall@k {:.4}, mapping {:.4}, topk \
+                 {:.3}s ({:>5.2}x), refined {:.3}s ({:>5.2}x), total {:.3}s ({:>5.2}x); \
+                 prescreen {} admitted / {} skipped / {} rescored",
+                point.margin,
+                point.recall_at_1,
+                point.recall_at_k,
+                point.mapping_agreement,
+                point.topk_seconds,
+                point.topk_speedup,
+                point.refined_seconds,
+                point.refined_speedup,
+                point.total_seconds,
+                point.total_speedup,
+                point.prescreen_admitted,
+                point.prescreen_skipped,
+                point.prescreen_rescored,
+            );
+            points.push(point);
+        }
+        results.push(RecallTier {
+            aux_users: tier,
+            anon_users: anonymized.n_users,
+            exact_topk_seconds,
+            exact_refined_seconds,
+            exact_total_seconds,
+            points,
+        });
+    }
+    write_json(path, seed, &results)?;
+    println!("  wrote {}", path.display());
+    Ok(results)
+}
+
+/// Hand-rolled JSON (the workspace carries no serialization dependency).
+fn write_json(path: &Path, seed: u64, tiers: &[RecallTier]) -> io::Result<()> {
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"recall\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"machine_parallelism\": {parallelism},");
+    let _ = writeln!(
+        out,
+        "  \"contract\": \"margin 0.0 verified bit-identical to ExactnessMode::Exact \
+         (candidates, score bits, mapping) at every tier; recall measured against the \
+         exact run of the same tier\","
+    );
+    out.push_str("  \"tiers\": [\n");
+    for (i, t) in tiers.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"aux_users\": {}, \"anon_users\": {}, \"exact_topk_seconds\": {:.6}, \
+             \"exact_refined_seconds\": {:.6}, \"exact_total_seconds\": {:.6},",
+            t.aux_users,
+            t.anon_users,
+            t.exact_topk_seconds,
+            t.exact_refined_seconds,
+            t.exact_total_seconds,
+        );
+        out.push_str("     \"points\": [\n");
+        for (j, p) in t.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"margin\": {}, \"recall_at_1\": {:.6}, \"recall_at_k\": {:.6}, \
+                 \"mapping_agreement\": {:.6}, \"topk_seconds\": {:.6}, \
+                 \"refined_seconds\": {:.6}, \"total_seconds\": {:.6}, \
+                 \"topk_speedup\": {:.4}, \"refined_speedup\": {:.4}, \
+                 \"total_speedup\": {:.4}, \"prescreen_admitted\": {}, \
+                 \"prescreen_skipped\": {}, \"prescreen_rescored\": {}}}",
+                p.margin,
+                p.recall_at_1,
+                p.recall_at_k,
+                p.mapping_agreement,
+                p.topk_seconds,
+                p.refined_seconds,
+                p.total_seconds,
+                p.topk_speedup,
+                p.refined_speedup,
+                p.total_speedup,
+                p.prescreen_admitted,
+                p.prescreen_skipped,
+                p.prescreen_rescored,
+            );
+            out.push_str(if j + 1 < t.points.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("     ]}");
+        out.push_str(if i + 1 < tiers.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_anchors_exactness_and_writes_json() {
+        let dir = std::env::temp_dir().join("dehealth-recall-test");
+        let path = dir.join("BENCH_recall.json");
+        let results = run_to(&path, &[120], 5).unwrap();
+        assert_eq!(results.len(), 1);
+        let tier = &results[0];
+        assert_eq!(tier.aux_users, 120);
+        assert_eq!(tier.points.len(), MARGINS.len());
+        // The zero-margin anchor: perfect recall and agreement by
+        // construction (bit-identity was asserted inside the run).
+        let anchor = &tier.points[0];
+        assert_eq!(anchor.margin, 0.0);
+        assert_eq!(anchor.recall_at_1, 1.0);
+        assert_eq!(anchor.recall_at_k, 1.0);
+        assert_eq!(anchor.mapping_agreement, 1.0);
+        // The anchor makes no prescreen decisions beyond admissions
+        // (margin 0.0 runs the scorer with the prescreen disarmed);
+        // the widest margin must actually skip work.
+        assert_eq!(anchor.prescreen_skipped, 0);
+        let widest = tier.points.last().unwrap();
+        assert!(widest.prescreen_skipped > 0, "margin {} never skipped a pair", widest.margin);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"recall\""));
+        assert!(text.contains("\"recall_at_1\""));
+        assert!(text.contains("\"prescreen_skipped\""));
+        assert!(text.contains("\"topk_speedup\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

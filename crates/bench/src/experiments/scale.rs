@@ -52,7 +52,9 @@ use dehealth_core::uda::{extract_post_features, UdaGraph};
 use dehealth_core::{refine_user, AttackConfig, BoundedTopK, ClassifierKind, SimilarityEngine};
 use dehealth_corpus::snapshot::{encode_forum, fnv1a, SectionBuf};
 use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
-use dehealth_engine::{Engine, EngineConfig, EngineReport, RefinedMode, ScoringMode};
+use dehealth_engine::{
+    Engine, EngineConfig, EngineReport, ExactnessMode, RefinedMode, ScoringMode,
+};
 use dehealth_service::PreparedCorpus;
 
 use super::scaling::FULL_ORACLE_MAX_USERS;
@@ -198,6 +200,7 @@ fn scale_engine() -> Engine {
         scoring: ScoringMode::Indexed,
         refined: RefinedMode::Shared,
         candidate_budget: None,
+        exactness: ExactnessMode::Exact,
     })
 }
 
@@ -223,6 +226,18 @@ pub fn run(users: usize, seed: u64) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Run the sweep over an explicit, ascending tier list (the
+/// `repro scale --tiers` form) and write `BENCH_scale.json` to the
+/// working directory.
+///
+/// # Errors
+/// Propagates I/O errors from writing the JSON file.
+pub fn run_tiers(tiers: &[usize], seed: u64) -> io::Result<PathBuf> {
+    let path = PathBuf::from("BENCH_scale.json");
+    run_tiers_to(&path, tiers, seed)?;
+    Ok(path)
+}
+
 /// Run the sweep (tiers `users/100`, `users/10`, `users`, smallest first)
 /// and write the JSON report to `path`.
 ///
@@ -238,7 +253,29 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<Vec<ScaleTier>
     let mut tiers: Vec<usize> =
         [users / 100, users / 10, users].into_iter().filter(|&t| t >= MIN_TIER).collect();
     tiers.dedup();
+    run_tiers_to(path, &tiers, seed)
+}
+
+/// [`run_to`] with an explicit tier list instead of the default
+/// decade pyramid. Tiers below `MIN_TIER` (30 users) are dropped (their timings
+/// are noise); the sweep runs smallest-first, so the list must be
+/// ascending.
+///
+/// # Panics
+/// As [`run_to`], plus when no tier survives the minimum-tier filter or
+/// the list is not strictly ascending.
+///
+/// # Errors
+/// Propagates I/O errors from writing the JSON file.
+pub fn run_tiers_to(path: &Path, tiers: &[usize], seed: u64) -> io::Result<Vec<ScaleTier>> {
+    let tiers: Vec<usize> = tiers.iter().copied().filter(|&t| t >= MIN_TIER).collect();
     assert!(!tiers.is_empty(), "corpus too small for any tier (need ≥ {MIN_TIER} users)");
+    assert!(
+        tiers.windows(2).all(|w| w[0] < w[1]),
+        "tiers must be strictly ascending (the peak-RSS readings are only a ceiling when \
+         tiers grow)"
+    );
+    let users = *tiers.last().expect("non-empty tier list");
     println!(
         "\n# Scale: tiers {tiers:?} auxiliary users; full oracle ≤ {FULL_ORACLE_MAX_USERS}, \
          sampled oracle ({SAMPLED_TOPK_USERS} topk rows + {SAMPLED_REFINED_USERS} refined \

@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 
 use dehealth_core::AttackConfig;
 use dehealth_corpus::{closed_world_split, Forum, ForumConfig, SplitConfig};
-use dehealth_engine::{Engine, EngineConfig, RefinedMode, ScoringMode};
+use dehealth_engine::{Engine, EngineConfig, ExactnessMode, RefinedMode, ScoringMode};
 
 /// Thread counts swept by the experiment.
 pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -151,6 +151,7 @@ pub fn run_to(path: &Path, users: usize, seed: u64) -> io::Result<Vec<ScalingRun
                 scoring: mode,
                 refined,
                 candidate_budget: None,
+                exactness: ExactnessMode::Exact,
             });
             let outcome = engine.run(&split.auxiliary, &split.anonymized);
             match &reference_mapping {

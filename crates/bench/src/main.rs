@@ -18,6 +18,12 @@
 //!   scaling  engine throughput vs worker threads (BENCH_scaling.json)
 //!   scale    order-of-magnitude corpus sweep w/ sampled oracle (BENCH_scale.json;
 //!            defaults to 100k users — not part of `all`)
+//!            [--tiers 1k,10k] sweeps an explicit tier list instead of the
+//!            default /100, /10, ×1 pyramid; [--max-users N] sets the
+//!            pyramid's top tier (synonym of --users for this experiment)
+//!   recall   approximate-tier margin sweep: recall@1/recall@k vs per-stage
+//!            speedup at 1k and 10k users (BENCH_recall.json; --users N runs
+//!            a single tier — not part of `all`)
 //!   service  snapshot persistence + daemon wire throughput (BENCH_service.json)
 //!   snapshot-load  owned vs mmap reload latency sweep (BENCH_snapshot.json)
 //!   all      everything above
@@ -48,7 +54,7 @@ use std::path::Path;
 
 use dehealth_bench::experiments::{
     ablation, datasets, defense, fig3_fig5_topk, fig4_fig6_refined, fig7_fig8_graph,
-    linkage_attack, scale, scaling, service, snapshot_load, table1, theory_bounds,
+    linkage_attack, recall, scale, scaling, service, snapshot_load, table1, theory_bounds,
 };
 use dehealth_service::LoadMode;
 
@@ -60,6 +66,22 @@ struct Args {
     addr: String,
     metrics_addr: Option<String>,
     load_mode: LoadMode,
+    /// Explicit `scale` tier list (`--tiers 1k,10k`).
+    tiers: Option<Vec<usize>>,
+    /// Top tier of the default `scale` pyramid (`--max-users 50000`).
+    max_users: Option<usize>,
+}
+
+/// Parse a user-count token with an optional `k`/`m` decimal suffix
+/// (`"1k"` → 1000, `"10k"` → 10000, `"2m"` → 2000000, `"800"` → 800).
+fn parse_users_token(token: &str) -> Option<usize> {
+    let token = token.trim();
+    let (digits, scale) = match token.as_bytes().last()? {
+        b'k' | b'K' => (&token[..token.len() - 1], 1_000),
+        b'm' | b'M' => (&token[..token.len() - 1], 1_000_000),
+        _ => (token, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * scale)
 }
 
 fn parse_args() -> Args {
@@ -70,11 +92,28 @@ fn parse_args() -> Args {
     let mut addr = String::from("127.0.0.1:7699");
     let mut metrics_addr = None;
     let mut load_mode = LoadMode::Mapped;
+    let mut tiers = None;
+    let mut max_users = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--users" => {
                 users = argv.next().and_then(|v| v.parse().ok());
+            }
+            "--tiers" => {
+                tiers = argv.next().map(|v| {
+                    v.split(',')
+                        .map(|t| {
+                            parse_users_token(t).unwrap_or_else(|| {
+                                eprintln!("invalid tier {t:?} (expected e.g. 1k, 10k, 50000)");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect()
+                });
+            }
+            "--max-users" => {
+                max_users = argv.next().and_then(|v| parse_users_token(&v));
             }
             "--seed" => {
                 if let Some(v) = argv.next().and_then(|v| v.parse().ok()) {
@@ -105,14 +144,17 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { experiment, users, seed, path, addr, metrics_addr, load_mode }
+    Args { experiment, users, seed, path, addr, metrics_addr, load_mode, tiers, max_users }
 }
 
 fn print_help() {
     println!(
         "repro <fig1|fig2|table1|fig3|fig4|fig5|fig6|fig7|fig8|linkage|theory|ablation|defense|scaling|service|snapshot-load|all> \
          [--users N] [--seed S]\n\
-         repro scale [--users N] [--seed S]   # 1k/10k/100k sweep by default; not in `all`\n\
+         repro scale [--users N | --max-users N] [--tiers 1k,10k] [--seed S]   \
+         # 1k/10k/100k sweep by default; not in `all`\n\
+         repro recall [--users N] [--seed S]  # approx-tier margin sweep, 1k+10k tiers by \
+         default; not in `all`\n\
          repro snapshot [--users N] [--seed S] [--path corpus.snap]\n\
          repro serve [--path corpus.snap] [--addr 127.0.0.1:7699] [--users N] [--seed S] \
          [--mmap | --owned] [--metrics-addr HOST:PORT]"
@@ -348,10 +390,27 @@ fn main() {
     // `scale` is deliberately not part of `all`: its default corpus is
     // 100k users and the sweep takes tens of minutes.
     if args.experiment == "scale" {
-        match scale::run(args.users.unwrap_or(100_000), seed) {
+        let result = match &args.tiers {
+            Some(tiers) => scale::run_tiers(tiers, seed),
+            None => scale::run(args.max_users.or(args.users).unwrap_or(100_000), seed),
+        };
+        match result {
             Ok(path) => println!("scale: report at {}", path.display()),
             Err(e) => {
                 eprintln!("scale: failed to write BENCH_scale.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    // `recall` is also excluded from `all`: its default tiers (1k and
+    // 10k users, six attacks each) take minutes, and its JSON is a
+    // committed artifact regenerated deliberately, not on every sweep.
+    if args.experiment == "recall" {
+        match recall::run(args.users, seed) {
+            Ok(path) => println!("recall: report at {}", path.display()),
+            Err(e) => {
+                eprintln!("recall: failed to write BENCH_recall.json: {e}");
                 std::process::exit(1);
             }
         }

@@ -65,7 +65,7 @@ use dehealth_stylometry::UserAttributes;
 
 use crate::arena::{ArenaCastError, ArenaView};
 use crate::filter::ScoreBounds;
-use crate::similarity::SimilarityEngine;
+use crate::similarity::{QuantizedStructural, SimilarityEngine};
 use crate::topk::BoundedTopK;
 use crate::uda::UdaGraph;
 
@@ -700,12 +700,23 @@ pub struct PairTally {
     /// Pairs skipped because their upper bound could not beat the Top-K
     /// floor.
     pub pruned: u64,
+    /// Pairs fully scored *under an active prescreen margin* — the exact
+    /// scorings the approximate tier still paid. Always 0 in exact mode.
+    pub admitted: u64,
+    /// Pairs dropped by the margin prescreen: either the global bound or
+    /// the per-pair quantized ceiling cleared the floor by less than the
+    /// margin, so they were skipped without exact scoring (their true
+    /// score is `< floor + margin`, up to quantization slack). Always 0
+    /// in exact mode.
+    pub skipped: u64,
 }
 
 impl std::ops::AddAssign for PairTally {
     fn add_assign(&mut self, rhs: Self) {
         self.scored += rhs.scored;
         self.pruned += rhs.pruned;
+        self.admitted += rhs.admitted;
+        self.skipped += rhs.skipped;
     }
 }
 
@@ -864,9 +875,16 @@ pub struct IndexedScorer<'e, 'i> {
     hot: HotAttrs,
     from: usize,
     prune: bool,
+    /// Prescreen confidence margin in score units (see
+    /// [`Self::with_margin`]); `0.0` = exact.
+    margin: f64,
     /// `c1·s^d_max + c2·s^s_max`, evaluated with the same association as
     /// the score itself (negative weights contribute their maximum, 0).
     struct_bound: f64,
+    /// u8-quantized structural mirror backing the margin band's per-pair
+    /// score ceiling. Built only when `margin > 0`; the exact paths
+    /// never touch it.
+    quant: Option<QuantizedStructural>,
 }
 
 impl<'e, 'i> IndexedScorer<'e, 'i> {
@@ -904,8 +922,44 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
             hot: HotAttrs::build(index, from),
             from,
             prune,
+            margin: 0.0,
             struct_bound: td + ts,
+            quant: None,
         }
+    }
+
+    /// Arm the approximate tier's margin prescreen: a two-stage skip
+    /// test against the bar `floor + margin` (score units). Stage one is
+    /// the free check — the global structural ceiling (`c1·3 + c2·2`, a
+    /// constant) plus the pair's attribute term. A pair that clears it
+    /// is re-tested with the structural part re-bounded by the per-pair
+    /// quantized ceiling ([`QuantizedStructural::ceiling`] — exact
+    /// degree ratios plus u8 integer-dot cosines), which tracks the true
+    /// score closely instead of assuming every cosine is 1. Pairs that
+    /// fail either test are skipped without exact scoring; survivors are
+    /// scored exactly. Only candidates within `margin` (± quantization
+    /// slack) of the evolving admission floor can be lost. Applied at
+    /// every prune site, and only when pruning is enabled;
+    /// `margin == 0.0` builds no quantized state and is bit-identical to
+    /// the exact scorer.
+    ///
+    /// # Panics
+    /// Panics if `margin` is negative or non-finite.
+    #[must_use]
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!(margin.is_finite() && margin >= 0.0, "prescreen margin must be finite and >= 0");
+        self.margin = margin;
+        if margin > 0.0 && self.quant.is_none() {
+            self.quant = Some(self.sim.quantized_structural());
+        }
+        self
+    }
+
+    /// Per-pair quantized structural ceiling (prescreen stage two).
+    /// Only reachable with an armed margin, which built the tables.
+    #[inline]
+    fn band_ceiling(&self, u: usize, lv: usize) -> f64 {
+        self.quant.as_ref().expect("armed margin builds quantized tables").ceiling(u, lv)
     }
 
     /// Fresh accumulators sized for this scorer's auxiliary range.
@@ -1000,6 +1054,13 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
                             tally.pruned += 1;
                             continue;
                         }
+                        if self.margin > 0.0
+                            && (self.struct_bound + zero_term < floor + self.margin
+                                || self.band_ceiling(u, lv) + zero_term < floor + self.margin)
+                        {
+                            tally.skipped += 1;
+                            continue;
+                        }
                     }
                 }
                 let s = (w.c1 * self.sim.degree_similarity(u, lv)
@@ -1008,11 +1069,16 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
                 top.insert(v, s);
                 bounds.observe(s);
                 tally.scored += 1;
+                tally.admitted += u64::from(self.margin > 0.0);
                 continue;
             }
 
             let union = u_len + u64::from(self.attr_counts[v]) - inter;
             let rare_min = scratch.min_sum[lv];
+            // The pair's quantized structural ceiling (prescreen stage
+            // two) is computed at most once and reused by both the
+            // pre-merge and post-merge checks.
+            let mut ceil: Option<f64> = None;
 
             // Pre-merge prune: the Jaccard term is already exact, and the
             // hot merge can add at most `min(u hot mass, v hot mass)` to
@@ -1028,6 +1094,17 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
                     if self.struct_bound + w.c3 * s_attr_ub < floor {
                         tally.pruned += 1;
                         continue;
+                    }
+                    if self.margin > 0.0 {
+                        if self.struct_bound + w.c3 * s_attr_ub < floor + self.margin {
+                            tally.skipped += 1;
+                            continue;
+                        }
+                        let c = *ceil.get_or_insert_with(|| self.band_ceiling(u, lv));
+                        if c + w.c3 * s_attr_ub < floor + self.margin {
+                            tally.skipped += 1;
+                            continue;
+                        }
                     }
                 }
             }
@@ -1051,6 +1128,17 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
                         tally.pruned += 1;
                         continue;
                     }
+                    if self.margin > 0.0 {
+                        if self.struct_bound + attr_term < floor + self.margin {
+                            tally.skipped += 1;
+                            continue;
+                        }
+                        let c = *ceil.get_or_insert_with(|| self.band_ceiling(u, lv));
+                        if c + attr_term < floor + self.margin {
+                            tally.skipped += 1;
+                            continue;
+                        }
+                    }
                 }
             }
             let s = (w.c1 * self.sim.degree_similarity(u, lv)
@@ -1059,6 +1147,7 @@ impl<'e, 'i> IndexedScorer<'e, 'i> {
             top.insert(v, s);
             bounds.observe(s);
             tally.scored += 1;
+            tally.admitted += u64::from(self.margin > 0.0);
         }
 
         // Sparse reset: clear only the touched slots.

@@ -1,0 +1,385 @@
+//! u8 affine-quantized mirrors of the sparse [`RefinedContext`] arenas —
+//! the storage layer of the approximate refined-DA tier.
+//!
+//! A [`QuantizedContext`] is fitted **once per auxiliary arena**: each
+//! feature gets a global affine code
+//! (`offset_j` = the feature's minimum over all posts, *including the
+//! implicit zeros of posts that lack it*, `scale_j` spanning its range —
+//! see [`dehealth_ml::quant`]), and every sparse entry of the exact arena
+//! gets a `u8` code parallel to its `f64` value. Because feature values
+//! are non-negative (asserted at context build) and the implicit-zero
+//! folding pulls `offset_j` to `0.0` for any feature absent from at least
+//! one post, an absent entry always codes to exactly 0 — so the sparse
+//! structure (`sp_idx` / `sp_start`, shared with the exact arena) remains
+//! lossless and only entry *values* are approximated.
+//!
+//! The approximate KNN path classifies with integer-accumulation cosine
+//! over these codes (skipping the exact kernel's per-user min-max fit and
+//! scaled-row materialization entirely) and falls back to the exact
+//! kernel only inside the configured confidence margin. The anonymized
+//! side is coded against the *auxiliary* parameters
+//! ([`QuantizedContext::quantize_rows`]) so both sides live in one code
+//! space; out-of-range anonymized values saturate at the arena bounds.
+//!
+//! Quantized arenas persist as the optional `QCTX` section of a v3
+//! snapshot ([`Self::encode_v2`](QuantizedContext::encode_v2) /
+//! [`Self::decode_v2`](QuantizedContext::decode_v2)), 8-byte-aligned and
+//! zero-copy loadable like every other v2-style arena; a snapshot without
+//! the section degrades to on-the-fly quantization at load/attack time.
+
+use dehealth_corpus::snapshot::{SectionReader, SectionWrite, SnapshotError};
+use dehealth_mapped::SharedBytes;
+use dehealth_ml::quant::{affine_params, quantize};
+
+use crate::arena::ArenaView;
+use crate::index::take_view;
+use crate::refined::RefinedContext;
+
+/// The fitted quantization of one sparse [`RefinedContext`] (see the
+/// [module docs](self)): per-feature affine parameters plus the `u8`
+/// codes and integer-cosine norms of every materialized post row.
+///
+/// Storage-generic like the exact arenas: freshly fitted contexts own
+/// their arenas, snapshot-decoded ones may borrow a mapping.
+#[derive(Debug, Clone)]
+pub struct QuantizedContext {
+    dim: usize,
+    n_posts: usize,
+    /// Per-feature code-0 value (the feature's global minimum, with
+    /// implicit zeros folded in).
+    offsets: ArenaView<f64>,
+    /// Per-feature code step (`range / 255`; `0.0` for constant features).
+    scales: ArenaView<f64>,
+    /// One `u8` code per sparse entry, parallel to the exact arena's
+    /// `sp_val` (row structure lives in the exact context's
+    /// `sp_idx`/`sp_start`).
+    codes: ArenaView<u8>,
+    /// Per-post Euclidean norm of the code row
+    /// ([`dehealth_ml::quant::norm_codes`]).
+    norms: ArenaView<f64>,
+}
+
+/// The anonymized side's rows coded against an auxiliary
+/// [`QuantizedContext`]'s parameters
+/// ([`QuantizedContext::quantize_rows`]): codes parallel to the anonymized
+/// context's sparse values, plus per-post norms.
+#[derive(Debug, Clone, Default)]
+pub struct QuantizedRows {
+    /// One `u8` code per sparse entry of the quantized context.
+    pub codes: Vec<u8>,
+    /// Per-post Euclidean norm of the code row.
+    pub norms: Vec<f64>,
+}
+
+/// Quantize one sparse arena's entries against fitted per-feature
+/// parameters, returning `(codes, per_post_norms)`.
+fn code_rows(ctx: &RefinedContext, offsets: &[f64], scales: &[f64]) -> (Vec<u8>, Vec<f64>) {
+    let s = ctx.sparse_slices();
+    let n_posts = ctx.n_posts();
+    let mut codes = Vec::with_capacity(s.val.len());
+    let mut norms = Vec::with_capacity(n_posts);
+    for pi in 0..n_posts {
+        let (idx, val) = s.post(pi);
+        let mut sum = 0u64;
+        for (&j, &v) in idx.iter().zip(val) {
+            let c = quantize(v, offsets[j as usize], scales[j as usize]);
+            sum += u64::from(c) * u64::from(c);
+            codes.push(c);
+        }
+        norms.push((sum as f64).sqrt());
+    }
+    (codes, norms)
+}
+
+impl QuantizedContext {
+    /// Fit the quantization of a sparse context: one global min/max pass
+    /// (folding the implicit zero of every post that lacks a feature,
+    /// exactly like the exact kernel's per-user stats pass), then one
+    /// coding pass. Returns `None` for a dense context — only the sparse
+    /// KNN representation has a quantized mirror.
+    #[must_use]
+    pub fn from_context(ctx: &RefinedContext) -> Option<Self> {
+        if !ctx.is_sparse() {
+            return None;
+        }
+        let dim = ctx.dim();
+        let n_posts = ctx.n_posts();
+        let s = ctx.sparse_slices();
+        let mut count = vec![0u64; dim];
+        let mut lo = vec![0.0f64; dim];
+        let mut hi = vec![0.0f64; dim];
+        for (&j, &v) in s.idx.iter().zip(s.val) {
+            let j = j as usize;
+            if count[j] == 0 {
+                lo[j] = v;
+                hi[j] = v;
+            } else {
+                lo[j] = lo[j].min(v);
+                hi[j] = hi[j].max(v);
+            }
+            count[j] += 1;
+        }
+        let mut offsets = vec![0.0f64; dim];
+        let mut scales = vec![0.0f64; dim];
+        for j in 0..dim {
+            let (mn, mx) = if count[j] == 0 {
+                (0.0, 0.0)
+            } else if (count[j] as usize) < n_posts {
+                // Some post lacks this feature: its implicit 0.0 belongs
+                // to the value population (values are non-negative, so
+                // this pins offset_j to 0.0 and absent entries code to 0).
+                (lo[j].min(0.0), hi[j].max(0.0))
+            } else {
+                (lo[j], hi[j])
+            };
+            let (o, sc) = affine_params(mn, mx);
+            offsets[j] = o;
+            scales[j] = sc;
+        }
+        let (codes, norms) = code_rows(ctx, &offsets, &scales);
+        Some(Self {
+            dim,
+            n_posts,
+            offsets: offsets.into(),
+            scales: scales.into(),
+            codes: codes.into(),
+            norms: norms.into(),
+        })
+    }
+
+    /// Code another (sparse) context's rows against **this** context's
+    /// per-feature parameters — how the anonymized side joins the
+    /// auxiliary code space. Values outside the fitted range saturate.
+    /// Returns `None` for a dense context or a dimension mismatch.
+    #[must_use]
+    pub fn quantize_rows(&self, ctx: &RefinedContext) -> Option<QuantizedRows> {
+        if !ctx.is_sparse() || ctx.dim() != self.dim {
+            return None;
+        }
+        let (codes, norms) = code_rows(ctx, self.offsets.as_slice(), self.scales.as_slice());
+        Some(QuantizedRows { codes, norms })
+    }
+
+    /// Sample dimension (must match the exact context's).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of coded post rows.
+    #[must_use]
+    pub fn n_posts(&self) -> usize {
+        self.n_posts
+    }
+
+    /// Per-feature code-0 values.
+    #[must_use]
+    pub fn offsets(&self) -> &[f64] {
+        self.offsets.as_slice()
+    }
+
+    /// Per-feature code steps.
+    #[must_use]
+    pub fn scales(&self) -> &[f64] {
+        self.scales.as_slice()
+    }
+
+    /// The entry codes, parallel to the exact arena's sparse values.
+    #[must_use]
+    pub fn codes(&self) -> &[u8] {
+        self.codes.as_slice()
+    }
+
+    /// Per-post code-row norms.
+    #[must_use]
+    pub fn norms(&self) -> &[f64] {
+        self.norms.as_slice()
+    }
+
+    /// `true` if this quantization is structurally consistent with `ctx`
+    /// (same dimension, post count, and entry count) — the precondition
+    /// of the approximate KNN kernel.
+    #[must_use]
+    pub fn matches_context(&self, ctx: &RefinedContext) -> bool {
+        ctx.is_sparse()
+            && self.dim == ctx.dim()
+            && self.n_posts == ctx.n_posts()
+            && self.codes.len() == ctx.sparse_slices().val.len()
+    }
+
+    /// `true` when any arena borrows a loaded snapshot's bytes.
+    #[must_use]
+    pub fn is_borrowed(&self) -> bool {
+        self.offsets.is_borrowed()
+            || self.scales.is_borrowed()
+            || self.codes.is_borrowed()
+            || self.norms.is_borrowed()
+    }
+
+    /// Serialize into a v3 snapshot section: four `u64` header words,
+    /// then the parameter/code/norm arenas, each at an 8-aligned payload
+    /// offset (the same layout discipline as every v2 section, so the
+    /// arenas are zero-copy loadable).
+    pub fn encode_v2<W: SectionWrite>(&self, buf: &mut W) {
+        buf.put_u64(self.dim as u64);
+        buf.put_u64(self.n_posts as u64);
+        buf.put_u64(self.codes.len() as u64);
+        buf.put_u64(0); // reserved
+        buf.put_f64_arena(self.offsets.as_slice());
+        buf.put_f64_arena(self.scales.as_slice());
+        buf.put_u8_arena(self.codes.as_slice());
+        buf.put_f64_arena(self.norms.as_slice());
+    }
+
+    /// Deserialize a section written by [`Self::encode_v2`]. With a
+    /// `backing`, arenas become zero-copy views of the snapshot bytes.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`] / [`SnapshotError::Malformed`] on
+    /// malformed payloads; never panics.
+    pub fn decode_v2(
+        r: &mut SectionReader<'_>,
+        backing: Option<&SharedBytes>,
+    ) -> Result<Self, SnapshotError> {
+        let limit = r.remaining();
+        let dim = r.take_len(limit)?;
+        if dim == 0 {
+            return Err(SnapshotError::Malformed { context: "zero quantized dimension" });
+        }
+        let n_posts = r.take_len(limit)?;
+        let n_entries = r.take_len(limit)?;
+        if r.take_u64()? != 0 {
+            return Err(SnapshotError::Malformed { context: "nonzero reserved quantized word" });
+        }
+        let offsets = take_view::<f64>(r, backing, dim, "quantized offsets arena")?;
+        let scales = take_view::<f64>(r, backing, dim, "quantized scales arena")?;
+        let codes = take_view::<u8>(r, backing, n_entries, "quantized codes arena")?;
+        let norms = take_view::<f64>(r, backing, n_posts, "quantized norms arena")?;
+        if scales.as_slice().iter().any(|&s| !s.is_finite() || s < 0.0)
+            || offsets.as_slice().iter().any(|&o| !o.is_finite())
+            || norms.as_slice().iter().any(|&n| !n.is_finite() || n < 0.0)
+        {
+            return Err(SnapshotError::Malformed { context: "invalid quantized parameters" });
+        }
+        Ok(Self { dim, n_posts, offsets, scales, codes, norms })
+    }
+
+    /// `(resident, borrowed)` arena bytes, like the exact context's
+    /// accounting.
+    #[must_use]
+    pub fn arena_bytes(&self) -> (usize, usize) {
+        let mut resident = 0;
+        let mut total = 0;
+        for (r, t) in [
+            (self.offsets.resident_bytes(), self.offsets.byte_len()),
+            (self.scales.resident_bytes(), self.scales.byte_len()),
+            (self.codes.resident_bytes(), self.codes.byte_len()),
+            (self.norms.resident_bytes(), self.norms.byte_len()),
+        ] {
+            resident += r;
+            total += t;
+        }
+        (resident, total - resident)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refined::{ClassifierKind, RefinedContext, Side};
+    use crate::uda::UdaGraph;
+    use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SectionTag};
+    use dehealth_corpus::{Forum, ForumConfig};
+    use dehealth_ml::quant::dequantize;
+    use dehealth_stylometry::extract;
+
+    fn sparse_ctx() -> RefinedContext {
+        let forum = Forum::generate(&ForumConfig::tiny(), 77);
+        let features: Vec<_> = forum.posts.iter().map(|p| extract(&p.text)).collect();
+        let uda = UdaGraph::build_with_features(&forum, &features);
+        RefinedContext::build(
+            &Side { forum: &forum, uda: &uda, post_features: &features },
+            ClassifierKind::default(),
+        )
+    }
+
+    #[test]
+    fn dense_context_has_no_quantized_mirror() {
+        let forum = Forum::generate(&ForumConfig::tiny(), 77);
+        let features: Vec<_> = forum.posts.iter().map(|p| extract(&p.text)).collect();
+        let uda = UdaGraph::build_with_features(&forum, &features);
+        let dense = RefinedContext::build(
+            &Side { forum: &forum, uda: &uda, post_features: &features },
+            ClassifierKind::Centroid,
+        );
+        assert!(QuantizedContext::from_context(&dense).is_none());
+    }
+
+    #[test]
+    fn fit_is_structurally_consistent_and_bounded() {
+        let ctx = sparse_ctx();
+        let q = QuantizedContext::from_context(&ctx).unwrap();
+        assert!(q.matches_context(&ctx));
+        // Every entry's reconstruction stays within half a code step of
+        // the exact value (the affine mapping's error bound).
+        let s = ctx.sparse_slices();
+        for pi in 0..ctx.n_posts() {
+            let (idx, val) = s.post(pi);
+            let range = s.start[pi] as usize..s.start[pi + 1] as usize;
+            for ((&j, &v), &c) in idx.iter().zip(val).zip(&q.codes()[range]) {
+                let j = j as usize;
+                let back = dequantize(c, q.offsets()[j], q.scales()[j]);
+                let step = q.scales()[j];
+                assert!((back - v).abs() <= step / 2.0 + 1e-12, "feature {j}: {v} -> {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_zeros_code_to_zero() {
+        // Any feature absent from at least one post must have offset 0,
+        // so the sparse structure stays lossless under quantization.
+        let ctx = sparse_ctx();
+        let q = QuantizedContext::from_context(&ctx).unwrap();
+        let s = ctx.sparse_slices();
+        let n_posts = ctx.n_posts();
+        let mut count = vec![0usize; ctx.dim()];
+        for &j in s.idx {
+            count[j as usize] += 1;
+        }
+        for (j, &seen) in count.iter().enumerate() {
+            if seen < n_posts {
+                assert_eq!(q.offsets()[j], 0.0, "feature {j} has implicit zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn section_round_trip_is_lossless() {
+        let ctx = sparse_ctx();
+        let q = QuantizedContext::from_context(&ctx).unwrap();
+        let mut buf = SectionBuf::new();
+        q.encode_v2(&mut buf);
+        let bytes = buf.into_bytes();
+        let mut r = SectionReader::standalone(&bytes, SectionTag(*b"QCTX"));
+        let back = QuantizedContext::decode_v2(&mut r, None).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.dim(), q.dim());
+        assert_eq!(back.n_posts(), q.n_posts());
+        assert_eq!(back.offsets(), q.offsets());
+        assert_eq!(back.scales(), q.scales());
+        assert_eq!(back.codes(), q.codes());
+        assert_eq!(back.norms(), q.norms());
+        assert!(back.matches_context(&ctx));
+    }
+
+    #[test]
+    fn anon_rows_join_the_aux_code_space() {
+        let ctx = sparse_ctx();
+        let q = QuantizedContext::from_context(&ctx).unwrap();
+        // Self-quantization through quantize_rows agrees with the fit.
+        let rows = q.quantize_rows(&ctx).unwrap();
+        assert_eq!(rows.codes, q.codes());
+        assert_eq!(rows.norms, q.norms());
+    }
+}

@@ -30,13 +30,14 @@ use dehealth_corpus::snapshot::{SectionBuf, SectionReader, SectionWrite, Snapsho
 use dehealth_corpus::Forum;
 use dehealth_mapped::SharedBytes;
 use dehealth_ml::{
-    knn_vote_scored, Classifier, Dataset, DatasetView, Knn, KnnMetric, MinMaxScaler,
-    NearestCentroid, Rlsc, SmoSvm, SvmParams,
+    knn_vote_quantized, knn_vote_scored, Classifier, Dataset, DatasetView, Knn, KnnMetric,
+    MinMaxScaler, NearestCentroid, Rlsc, SmoSvm, SvmParams,
 };
 use dehealth_stylometry::{FeatureVector, M};
 
 use crate::arena::ArenaView;
 use crate::index::take_view;
+use crate::quant::{QuantizedContext, QuantizedRows};
 use crate::uda::UdaGraph;
 
 /// Which benchmark classifier refined DA trains.
@@ -185,15 +186,15 @@ pub struct RefinedContext {
 /// the KNN hot loop so per-row access is plain slice indexing regardless
 /// of the backing.
 #[derive(Debug, Clone, Copy)]
-struct SparseSlices<'a> {
-    idx: &'a [u32],
-    val: &'a [f64],
-    start: &'a [u64],
+pub(crate) struct SparseSlices<'a> {
+    pub(crate) idx: &'a [u32],
+    pub(crate) val: &'a [f64],
+    pub(crate) start: &'a [u64],
 }
 
 impl<'a> SparseSlices<'a> {
     /// The sparse entries of post `pi`: `(indices, values)`, ascending.
-    fn post(&self, pi: usize) -> (&'a [u32], &'a [f64]) {
+    pub(crate) fn post(&self, pi: usize) -> (&'a [u32], &'a [f64]) {
         let range = self.start[pi] as usize..self.start[pi + 1] as usize;
         (&self.idx[range.clone()], &self.val[range])
     }
@@ -294,7 +295,7 @@ impl RefinedContext {
     }
 
     /// The resolved sparse arenas, hoisted once per kernel invocation.
-    fn sparse_slices(&self) -> SparseSlices<'_> {
+    pub(crate) fn sparse_slices(&self) -> SparseSlices<'_> {
         SparseSlices {
             idx: self.sp_idx.as_slice(),
             val: self.sp_val.as_slice(),
@@ -601,6 +602,9 @@ pub struct RefinedScratch {
     /// [`sparse_knn_votes`]'s per-post scatter/unscatter).
     q_idx: Vec<u32>,
     q_dense: Vec<f64>,
+    /// Dense scatter of the query's `u8` codes for the quantized kernel
+    /// (same all-zeros invariant as `q_dense`).
+    q_codes: Vec<u8>,
 }
 
 impl RefinedScratch {
@@ -766,6 +770,62 @@ fn sparse_knn_votes(
         scratch.votes[p.label] += 1;
         for &j in &scratch.q_idx {
             scratch.q_dense[j as usize] = 0.0;
+        }
+    }
+}
+
+/// The quantized KNN loop: like [`sparse_knn_votes`] but over the `u8`
+/// affine codes of a [`QuantizedContext`] — no per-user min-max fit, no
+/// scaled-row materialization, and integer-accumulation cosine
+/// ([`knn_vote_quantized`]). The per-user passes 1 and 2 of the exact
+/// kernel disappear entirely; classification is one gather per training
+/// row over precomputed codes and norms.
+///
+/// Approximate in two ways: entry values are coded to 8 bits, and rows
+/// are compared in the *global* code space instead of the per-training-set
+/// min-max scale. Selection and tie-break semantics are exactly the exact
+/// kernel's.
+fn quantized_knn_votes(
+    k: usize,
+    anon_posts: &[usize],
+    anon_ctx: &RefinedContext,
+    anon_q: &QuantizedRows,
+    aux_ctx: &RefinedContext,
+    aux_q: &QuantizedContext,
+    scratch: &mut RefinedScratch,
+) {
+    let dim = aux_ctx.dim();
+    let n_train = scratch.rows.len();
+    let aux_rows = aux_ctx.sparse_slices();
+    let anon_rows = anon_ctx.sparse_slices();
+    let aux_codes = aux_q.codes();
+    let aux_norms = aux_q.norms();
+    scratch.q_codes.resize(dim, 0);
+    for &pi in anon_posts {
+        let (idx, _) = anon_rows.post(pi);
+        let entry_range = anon_rows.start[pi] as usize..anon_rows.start[pi + 1] as usize;
+        let codes = &anon_q.codes[entry_range];
+        for (&j, &c) in idx.iter().zip(codes) {
+            scratch.q_codes[j as usize] = c;
+        }
+        let rows = &scratch.rows;
+        let labels = &scratch.labels;
+        let p = knn_vote_quantized(
+            k,
+            n_train,
+            &scratch.q_codes,
+            anon_q.norms[pi],
+            |i| {
+                let ti = rows[i] as usize;
+                let r = aux_rows.start[ti] as usize..aux_rows.start[ti + 1] as usize;
+                (&aux_rows.idx[r.clone()], &aux_codes[r])
+            },
+            |i| aux_norms[rows[i] as usize],
+            |i| labels[i],
+        );
+        scratch.votes[p.label] += 1;
+        for &j in idx {
+            scratch.q_codes[j as usize] = 0;
         }
     }
 }
@@ -1010,6 +1070,121 @@ pub fn refine_user_shared(
         return None;
     }
     Some(v)
+}
+
+/// De-anonymize one anonymized user through the **approximate** KNN tier:
+/// classify with the quantized integer-cosine kernel
+/// (`quantized_knn_votes`), and fall back to the exact sparse kernel
+/// only when the vote is inside the confidence margin — when the winning
+/// class leads the runner-up by **at most `margin · n_posts` votes**, the
+/// quantized decision is considered ambiguous and the user is rescored
+/// exactly. Decoy sampling, vote tie-breaks, decoy rejection and the
+/// verification tests are the exact path's (verification always runs at
+/// full precision).
+///
+/// Returns `(mapping, rescored)`: the mapping decision, and whether the
+/// margin band triggered an exact rescore. With `margin >= 1.0` every
+/// user rescores, making the decision identical to
+/// [`refine_user_shared`]'s.
+///
+/// `aux_q` must be fitted from `aux_ctx`
+/// ([`QuantizedContext::matches_context`]) and `anon_q` must hold
+/// `anon_ctx`'s rows coded against `aux_q`'s parameters
+/// ([`QuantizedContext::quantize_rows`]).
+///
+/// # Panics
+/// Panics if the classifier is not KNN, a context holds the wrong
+/// representation, or the quantized mirrors are inconsistent with their
+/// contexts.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn refine_user_shared_quantized(
+    u: usize,
+    candidates: &[usize],
+    anon: &Side<'_>,
+    aux: &Side<'_>,
+    anon_ctx: &RefinedContext,
+    anon_q: &QuantizedRows,
+    aux_ctx: &RefinedContext,
+    aux_q: &QuantizedContext,
+    similarity_row: &[f64],
+    config: &RefinedConfig,
+    margin: f64,
+    scratch: &mut RefinedScratch,
+) -> (Option<usize>, bool) {
+    let ClassifierKind::Knn { k } = config.classifier else {
+        panic!("quantized refined path requires the KNN classifier");
+    };
+    assert!(
+        aux_ctx.sparse && anon_ctx.sparse,
+        "RefinedContext built for a different classifier kind"
+    );
+    assert!(aux_q.matches_context(aux_ctx), "quantized mirror inconsistent with aux context");
+    assert_eq!(
+        anon_q.codes.len(),
+        anon_ctx.sparse_slices().val.len(),
+        "quantized rows inconsistent with anon context"
+    );
+    if candidates.is_empty() {
+        return (None, false);
+    }
+    let anon_posts = anon.forum.user_posts(u);
+    if anon_posts.is_empty() {
+        return (None, false);
+    }
+
+    scratch.class_users.clear();
+    scratch.class_users.extend_from_slice(candidates);
+    let n_real = scratch.class_users.len();
+    if let Verification::FalseAddition { n_false } = config.verification {
+        let decoys = false_addition_decoys(u, candidates, aux, n_false, config.seed);
+        scratch.class_users.extend(decoys);
+    }
+
+    scratch.rows.clear();
+    scratch.labels.clear();
+    for (class, &v) in scratch.class_users.iter().enumerate() {
+        for &pi in aux.forum.user_posts(v) {
+            scratch.rows.push(pi as u32);
+            scratch.labels.push(class);
+        }
+    }
+    if scratch.rows.is_empty() {
+        return (None, false);
+    }
+
+    scratch.votes.clear();
+    scratch.votes.resize(scratch.class_users.len(), 0);
+    quantized_knn_votes(k, anon_posts, anon_ctx, anon_q, aux_ctx, aux_q, scratch);
+
+    // Margin band: a lead of at most `margin · n_posts` votes is too
+    // close to trust the quantized kernel — rescore exactly.
+    let (mut best, mut second) = (0usize, 0usize);
+    for &c in &scratch.votes {
+        if c > best {
+            second = best;
+            best = c;
+        } else if c > second {
+            second = c;
+        }
+    }
+    let mut rescored = false;
+    if ((best - second) as f64) <= margin * anon_posts.len() as f64 {
+        rescored = true;
+        scratch.votes.clear();
+        scratch.votes.resize(scratch.class_users.len(), 0);
+        sparse_knn_votes(k, anon_posts, anon_ctx, aux_ctx, scratch);
+    }
+    let winner = vote_winner(&scratch.votes);
+
+    if winner >= n_real {
+        return (None, rescored);
+    }
+    let v = scratch.class_users[winner];
+    if !verification_accepts(u, v, candidates, anon, aux, similarity_row, config) {
+        return (None, rescored);
+    }
+    (Some(v), rescored)
 }
 
 /// Sigma-verification test: is `u`'s mean profile within `factor` standard

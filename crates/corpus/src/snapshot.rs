@@ -94,6 +94,11 @@ pub const V1: u16 = 1;
 /// arenas can be cast in place (zero-copy loading).
 pub const V2: u16 = 2;
 
+/// The [`V2`] byte layout plus *optional* sections — readers that
+/// understand a v3 section set read it exactly like v2; files whose
+/// optional sections are absent are byte-compatible with v2 files.
+pub const V3: u16 = 3;
+
 /// Current (default) container format version.
 pub const VERSION: u16 = V2;
 
@@ -160,7 +165,7 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
             SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (expected {V1} or {V2})")
+                write!(f, "unsupported snapshot version {v} (expected {V1}, {V2} or {V3})")
             }
             SnapshotError::Truncated { context } => {
                 write!(f, "snapshot truncated while reading {context}")
@@ -276,6 +281,14 @@ pub trait SectionWrite {
         while !self.len().is_multiple_of(ALIGN) {
             self.put_u8(0);
         }
+    }
+
+    /// Append a `u8` arena: [`Self::align8`], then the bytes verbatim.
+    /// (The alignment is for layout uniformity with the scalar arenas —
+    /// a byte arena casts at any offset.)
+    fn put_u8_arena(&mut self, values: &[u8]) {
+        self.align8();
+        self.put_raw(values);
     }
 
     /// Append a `u32` arena: [`Self::align8`], then each value
@@ -463,13 +476,17 @@ impl SnapshotWriter {
     }
 
     /// Writer emitting a specific container version — [`V1`] for
-    /// compatibility fixtures, [`V2`] otherwise.
+    /// compatibility fixtures, [`V3`] when optional sections ride along,
+    /// [`V2`] otherwise.
     ///
     /// # Panics
     /// Panics on an unknown version.
     #[must_use]
     pub fn with_version(version: u16) -> Self {
-        assert!(version == V1 || version == V2, "unknown snapshot version {version}");
+        assert!(
+            version == V1 || version == V2 || version == V3,
+            "unknown snapshot version {version}"
+        );
         Self { version, sections: Vec::new() }
     }
 
@@ -509,13 +526,13 @@ impl SnapshotWriter {
         );
         for (tag, buf) in &self.sections {
             out.extend_from_slice(&tag.0);
-            if self.version == V2 {
+            if self.version != V1 {
                 out.extend_from_slice(&[0u8; 4]); // header padding
             }
             out.extend_from_slice(&(buf.bytes.len() as u64).to_le_bytes());
             debug_assert!(self.version == V1 || out.len() % ALIGN == 0, "payload misaligned");
             out.extend_from_slice(&buf.bytes);
-            if self.version == V2 {
+            if self.version != V1 {
                 while out.len() % ALIGN != 0 {
                     out.push(0); // payload padding
                 }
@@ -770,7 +787,7 @@ impl<'a> SnapshotReader<'a> {
             return Err(SnapshotError::Truncated { context: "header" });
         }
         let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-        if version != V1 && version != V2 {
+        if version != V1 && version != V2 && version != V3 {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let align_field = u16::from_le_bytes([bytes[10], bytes[11]]);
@@ -787,7 +804,7 @@ impl<'a> SnapshotReader<'a> {
                 return Err(SnapshotError::Truncated { context: "section header" });
             }
             let tag = SectionTag([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
-            if version == V2 && bytes[at + 4..at + 8] != [0u8; 4] {
+            if version != V1 && bytes[at + 4..at + 8] != [0u8; 4] {
                 return Err(SnapshotError::Malformed { context: "nonzero section header padding" });
             }
             let len_at = at + header_len - 8;
@@ -832,7 +849,8 @@ impl<'a> SnapshotReader<'a> {
         Ok(Self { version, sections })
     }
 
-    /// The container version of the parsed stream ([`V1`] or [`V2`]).
+    /// The container version of the parsed stream ([`V1`], [`V2`] or
+    /// [`V3`]).
     #[must_use]
     pub fn version(&self) -> u16 {
         self.version
@@ -1229,7 +1247,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown snapshot version")]
     fn unknown_writer_version_is_rejected() {
-        let _ = SnapshotWriter::with_version(3);
+        let _ = SnapshotWriter::with_version(4);
     }
 
     #[test]

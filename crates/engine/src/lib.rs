@@ -76,7 +76,7 @@ pub mod pool;
 pub mod report;
 
 pub use engine::{
-    BatchRequest, Engine, EngineConfig, EngineOutcome, EngineSession, PreparedAuxiliary,
-    RefinedMode, ScoringMode,
+    BatchRequest, Engine, EngineConfig, EngineOutcome, EngineSession, ExactnessMode,
+    PreparedAuxiliary, RefinedMode, ScoringMode,
 };
-pub use report::{EngineReport, StageStats};
+pub use report::{EngineReport, PrescreenTally, StageStats};

@@ -39,6 +39,30 @@ impl StageStats {
     }
 }
 
+/// Counters for the approximate tier's margin-prescreen and rescore
+/// decisions. All three stay zero under `ExactnessMode::Exact`, which the
+/// wire serializers rely on to keep exact-mode responses byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrescreenTally {
+    /// Top-K pairs fully scored while a prescreen margin was active.
+    pub admitted: u64,
+    /// Top-K pairs dropped by the margin prescreen without exact scoring;
+    /// each one's true score was below `floor + margin`.
+    pub skipped: u64,
+    /// Refined-stage users whose quantized vote landed inside the margin
+    /// band and were rescored with the exact f64 kernel.
+    pub rescored: u64,
+}
+
+impl PrescreenTally {
+    /// True when every counter is zero — i.e. the run was exact, or the
+    /// approximate tier never made a decision.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.admitted == 0 && self.skipped == 0 && self.rescored == 0
+    }
+}
+
 /// The engine's execution report: configuration echoes plus per-stage
 /// counters, in pipeline order of first appearance.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -49,11 +73,24 @@ pub struct EngineReport {
     pub block_size: usize,
     /// Stage counters.
     pub stages: Vec<StageStats>,
+    /// Approximate-tier decision counters (all zero in exact mode).
+    pub prescreen: PrescreenTally,
 }
 
 impl EngineReport {
     pub(crate) fn new(n_threads: usize, block_size: usize) -> Self {
-        Self { n_threads, block_size, stages: Vec::new() }
+        Self { n_threads, block_size, stages: Vec::new(), prescreen: PrescreenTally::default() }
+    }
+
+    /// Accumulate margin-prescreen decisions from the Top-K stage.
+    pub(crate) fn record_prescreen(&mut self, admitted: u64, skipped: u64) {
+        self.prescreen.admitted += admitted;
+        self.prescreen.skipped += skipped;
+    }
+
+    /// Accumulate refined-stage exact rescores of margin-band users.
+    pub(crate) fn record_rescored(&mut self, rescored: u64) {
+        self.prescreen.rescored += rescored;
     }
 
     /// Accumulate `items` processed in `seconds` into `stage`.
@@ -106,6 +143,12 @@ impl EngineReport {
             registry.counter_with("engine_stage_items_total", &labels).add(s.items);
             registry.counter_with("engine_stage_skipped_total", &labels).add(s.skipped);
         }
+        let p = self.prescreen;
+        for (outcome, n) in
+            [("admitted", p.admitted), ("skipped", p.skipped), ("rescored", p.rescored)]
+        {
+            registry.counter_with("engine_prescreen_total", &[("outcome", outcome)]).add(n);
+        }
     }
 }
 
@@ -127,6 +170,14 @@ impl std::fmt::Display for EngineReport {
                 write!(f, "  ({} {} pruned)", s.skipped, s.unit)?;
             }
             writeln!(f)?;
+        }
+        if !self.prescreen.is_empty() {
+            let p = self.prescreen;
+            writeln!(
+                f,
+                "  prescreen  {} admitted, {} skipped, {} rescored",
+                p.admitted, p.skipped, p.rescored
+            )?;
         }
         write!(f, "  total    {:>10.3}s", self.total_seconds())
     }
@@ -208,6 +259,24 @@ mod tests {
             registry.histogram_with("engine_stage_seconds", &[("stage", "refined")]).count(),
             2
         );
+    }
+
+    #[test]
+    fn prescreen_counters_accumulate_and_export() {
+        let mut r = EngineReport::new(1, 8);
+        assert!(r.prescreen.is_empty());
+        assert!(!format!("{r}").contains("prescreen"));
+        r.record_prescreen(5, 3);
+        r.record_prescreen(1, 0);
+        r.record_rescored(2);
+        assert_eq!(r.prescreen, PrescreenTally { admitted: 6, skipped: 3, rescored: 2 });
+        assert!(format!("{r}").contains("6 admitted, 3 skipped, 2 rescored"));
+        let registry = dehealth_telemetry::Registry::new();
+        r.record_into(&registry);
+        for (outcome, want) in [("admitted", 6), ("skipped", 3), ("rescored", 2)] {
+            let c = registry.counter_with("engine_prescreen_total", &[("outcome", outcome)]);
+            assert_eq!(c.get(), want);
+        }
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! u8 affine feature quantization and integer-accumulation kernels — the
+//! ML substrate of the approximate refined-DA tier.
+//!
+//! Each feature `j` is mapped through a per-feature affine code
+//! `code = round((v - offset_j) / scale_j)`, saturating into `0..=255`.
+//! The offset is the feature's minimum over the arena being quantized and
+//! the scale spans its `min..max` range across the 256 code points, so
+//! the mapping is monotone per feature and exact at both ends of the
+//! range. Cosine closeness over codes is computed with pure integer
+//! accumulation ([`dot_u8`] / [`scatter_dot_u8`]) — one `u64`
+//! multiply-add per nonzero entry instead of an f64 FMA — and only the
+//! final normalization touches floating point.
+//!
+//! [`knn_vote_quantized`] is the resulting KNN kernel: cosine over
+//! quantized sparse rows, voted through the exact
+//! [`knn_vote_scored`] selection machinery,
+//! so approximate and exact classification share tie-break semantics.
+
+use crate::dataset::Prediction;
+use crate::knn::knn_vote_scored;
+
+/// Number of quantization levels (`u8` codes `0..=255`).
+pub const LEVELS: u32 = 256;
+
+/// Fit one feature's affine parameters from its value range: returns
+/// `(offset, scale)` such that `offset` maps to code 0 and `max` maps to
+/// code 255. A degenerate (constant or empty) range gets scale `0.0`,
+/// which [`quantize`] maps to code 0 and [`dequantize`] maps back to the
+/// offset.
+#[must_use]
+pub fn affine_params(min: f64, max: f64) -> (f64, f64) {
+    let range = max - min;
+    if range > 0.0 {
+        (min, range / f64::from(LEVELS - 1))
+    } else {
+        (min, 0.0)
+    }
+}
+
+/// Quantize `v` against `(offset, scale)`: nearest code, saturating at
+/// the arena bounds (values outside the fitted range clamp to code 0 or
+/// 255 instead of wrapping).
+#[must_use]
+pub fn quantize(v: f64, offset: f64, scale: f64) -> u8 {
+    if scale == 0.0 {
+        return 0;
+    }
+    // Saturating cast: NaN → 0, below range → 0, above → 255.
+    ((v - offset) / scale).round() as u8
+}
+
+/// Invert [`quantize`] onto the code's reconstruction level.
+#[must_use]
+pub fn dequantize(code: u8, offset: f64, scale: f64) -> f64 {
+    offset + f64::from(code) * scale
+}
+
+/// Integer dot product of two dense code rows, accumulated in `u64`
+/// (overflow-free for any practical dimension: `dim · 255² < 2^64`).
+///
+/// # Panics
+/// Panics if the rows' lengths differ.
+#[must_use]
+pub fn dot_u8(a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len(), "code rows disagree on dimension");
+    a.iter().zip(b).map(|(&x, &y)| u64::from(x) * u64::from(y)).sum()
+}
+
+/// Integer dot product of a scattered dense query (`q_dense[j]` = the
+/// query's code for feature `j`, 0 elsewhere) with one sparse code row
+/// (`idx[e]` ↔ `codes[e]`). Every dense term this skips has a zero row
+/// code, so the sum equals the dense [`dot_u8`] over the scattered rows.
+#[must_use]
+pub fn scatter_dot_u8(q_dense: &[u8], idx: &[u32], codes: &[u8]) -> u64 {
+    let mut dot = 0u64;
+    for (&j, &c) in idx.iter().zip(codes) {
+        dot += u64::from(q_dense[j as usize]) * u64::from(c);
+    }
+    dot
+}
+
+/// Euclidean norm of a sparse code row — `sqrt` of the integer
+/// sum-of-squares.
+#[must_use]
+pub fn norm_codes(codes: &[u8]) -> f64 {
+    let sum: u64 = codes.iter().map(|&c| u64::from(c) * u64::from(c)).sum();
+    (sum as f64).sqrt()
+}
+
+/// Cosine closeness from an integer dot and two precomputed norms; `0.0`
+/// when either row is all-zero (matching the exact kernel's convention).
+#[must_use]
+pub fn cosine_from_dot(dot: u64, na: f64, nb: f64) -> f64 {
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot as f64 / (na * nb)
+    }
+}
+
+/// The integer-accumulation KNN cosine kernel: classify one quantized
+/// query (already scattered into `q_dense`, with norm `q_norm`) against
+/// `n_train` quantized sparse training rows.
+///
+/// `row(i)` yields row `i`'s sparse `(feature indices, codes)`; `norm(i)`
+/// its precomputed [`norm_codes`]; `label_of(i)` its class. Selection and
+/// tie-breaks are exactly [`knn_vote_scored`]'s, so the only difference
+/// from the exact sparse kernel is the quantized closeness values.
+///
+/// # Panics
+/// Panics if `k == 0` or `n_train == 0`.
+#[must_use]
+pub fn knn_vote_quantized<'a>(
+    k: usize,
+    n_train: usize,
+    q_dense: &[u8],
+    q_norm: f64,
+    row: impl Fn(usize) -> (&'a [u32], &'a [u8]),
+    norm: impl Fn(usize) -> f64,
+    label_of: impl Fn(usize) -> usize,
+) -> Prediction {
+    let scores = (0..n_train).map(|i| {
+        let (idx, codes) = row(i);
+        cosine_from_dot(scatter_dot_u8(q_dense, idx, codes), q_norm, norm(i))
+    });
+    knn_vote_scored(scores, label_of, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_monotone_per_feature() {
+        let (offset, scale) = affine_params(0.25, 7.5);
+        let mut prev = 0u8;
+        let mut increased = false;
+        for step in 0..=1000 {
+            let v = 0.25 + (7.5 - 0.25) * step as f64 / 1000.0;
+            let code = quantize(v, offset, scale);
+            assert!(code >= prev, "quantization not monotone at v={v}");
+            increased |= code > prev;
+            prev = code;
+        }
+        assert!(increased, "mapping collapsed to a single code");
+        assert_eq!(prev, 255, "range maximum must reach the top code");
+    }
+
+    #[test]
+    fn saturates_at_arena_min_and_max() {
+        let (offset, scale) = affine_params(1.0, 3.0);
+        assert_eq!(quantize(1.0, offset, scale), 0);
+        assert_eq!(quantize(3.0, offset, scale), 255);
+        // Out-of-range values (the anonymized side can exceed the
+        // auxiliary arena's bounds) clamp instead of wrapping.
+        assert_eq!(quantize(-100.0, offset, scale), 0);
+        assert_eq!(quantize(0.999, offset, scale), 0);
+        assert_eq!(quantize(3.001, offset, scale), 255);
+        assert_eq!(quantize(1e300, offset, scale), 255);
+    }
+
+    #[test]
+    fn degenerate_range_maps_to_code_zero() {
+        let (offset, scale) = affine_params(2.5, 2.5);
+        assert_eq!(scale, 0.0);
+        assert_eq!(quantize(2.5, offset, scale), 0);
+        assert_eq!(quantize(99.0, offset, scale), 0);
+        assert_eq!(dequantize(0, offset, scale), 2.5);
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_a_step() {
+        let (offset, scale) = affine_params(0.0, 10.0);
+        for step in 0..=997 {
+            let v = 10.0 * step as f64 / 997.0;
+            let back = dequantize(quantize(v, offset, scale), offset, scale);
+            assert!((back - v).abs() <= scale / 2.0 + 1e-12, "v={v} back={back}");
+        }
+    }
+
+    #[test]
+    fn integer_dots_agree_dense_vs_scatter() {
+        let a = [0u8, 3, 0, 255, 7, 0];
+        let idx = [1u32, 3, 4];
+        let codes = [3u8, 255, 7];
+        let q = [2u8, 5, 9, 1, 0, 255];
+        assert_eq!(dot_u8(&q, &a), scatter_dot_u8(&q, &idx, &codes));
+        assert_eq!(dot_u8(&a, &a), norm_codes(&codes).powi(2).round() as u64);
+    }
+
+    #[test]
+    fn quantized_knn_votes_like_exact_on_well_separated_classes() {
+        // Two clearly separated sparse classes: the quantized kernel must
+        // recover the same label a full-precision cosine vote would.
+        let idx: Vec<Vec<u32>> = vec![vec![0, 1], vec![0, 1], vec![2, 3], vec![2, 3]];
+        let codes: Vec<Vec<u8>> = vec![vec![250, 240], vec![255, 230], vec![5, 250], vec![1, 255]];
+        let norms: Vec<f64> = codes.iter().map(|c| norm_codes(c)).collect();
+        let labels = [0usize, 0, 1, 1];
+        let mut q_dense = vec![0u8; 4];
+        q_dense[0] = 200;
+        q_dense[1] = 210;
+        let p = knn_vote_quantized(
+            3,
+            4,
+            &q_dense,
+            norm_codes(&[200, 210]),
+            |i| (&idx[i][..], &codes[i][..]),
+            |i| norms[i],
+            |i| labels[i],
+        );
+        assert_eq!(p.label, 0);
+    }
+}

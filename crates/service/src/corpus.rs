@@ -47,12 +47,13 @@ use std::path::Path;
 use std::time::Instant;
 
 use dehealth_core::index::AttributeIndex;
+use dehealth_core::quant::QuantizedContext;
 use dehealth_core::refined::{ClassifierKind, RefinedContext, Side, N_STRUCT};
 use dehealth_core::snapshot::{decode_features, encode_features};
 use dehealth_core::uda::{extract_post_features, UdaGraph};
 use dehealth_corpus::snapshot::{
     decode_forum, encode_forum, ParseOptions, SectionTag, SnapshotError, SnapshotReader,
-    SnapshotStreamer, SnapshotWriter, V1, V2,
+    SnapshotStreamer, SnapshotWriter, V1, V2, V3,
 };
 use dehealth_corpus::{Forum, Post};
 use dehealth_engine::{Engine, PreparedAuxiliary};
@@ -67,6 +68,9 @@ pub const SECTION_FEATURES: SectionTag = SectionTag(*b"FEAT");
 pub const SECTION_INDEX: SectionTag = SectionTag(*b"AIDX");
 /// Section holding the refined-DA [`RefinedContext`].
 pub const SECTION_CONTEXT: SectionTag = SectionTag(*b"RCTX");
+/// Optional section ([`V3`] snapshots) holding the approximate tier's
+/// quantized mirror of the refined context.
+pub const SECTION_QUANTIZED: SectionTag = SectionTag(*b"QCTX");
 
 /// How [`PreparedCorpus::load_with`] materializes a snapshot (see the
 /// [module docs](self)).
@@ -105,6 +109,10 @@ pub struct PreparedCorpus {
     index: AttributeIndex,
     context: RefinedContext,
     classifier: ClassifierKind,
+    /// The approximate tier's quantized mirror of `context`. Optional:
+    /// built on demand ([`Self::ensure_quantized`]) or restored from a
+    /// [`V3`] snapshot's `QCTX` section; invalidated by mutation.
+    quantized: Option<QuantizedContext>,
 }
 
 impl PreparedCorpus {
@@ -137,7 +145,7 @@ impl PreparedCorpus {
             &Side { forum: &forum, uda: &uda, post_features: &features },
             classifier,
         );
-        Self { forum, features, uda, index, context, classifier }
+        Self { forum, features, uda, index, context, classifier, quantized: None }
     }
 
     /// The auxiliary forum.
@@ -176,6 +184,26 @@ impl PreparedCorpus {
         self.classifier
     }
 
+    /// The approximate tier's quantized mirror of the refined context,
+    /// if one has been built or loaded.
+    #[must_use]
+    pub fn quantized(&self) -> Option<&QuantizedContext> {
+        self.quantized.as_ref()
+    }
+
+    /// Build (or keep) the quantized mirror of the refined context.
+    /// Returns `true` when a mirror is present afterwards — `false` for
+    /// dense (non-KNN) contexts, which have nothing to quantize. Once
+    /// built, the mirror is persisted by [`Self::to_snapshot_bytes`] as
+    /// a [`V3`] `QCTX` section and handed to the engine by
+    /// [`Self::prepared`].
+    pub fn ensure_quantized(&mut self) -> bool {
+        if self.quantized.is_none() {
+            self.quantized = QuantizedContext::from_context(&self.context);
+        }
+        self.quantized.is_some()
+    }
+
     /// Number of auxiliary users (present and absent).
     #[must_use]
     pub fn n_users(&self) -> usize {
@@ -197,6 +225,7 @@ impl PreparedCorpus {
             uda: &self.uda,
             index: Some(&self.index),
             context: Some(&self.context),
+            quantized: self.quantized.as_ref(),
         }
     }
 
@@ -250,18 +279,30 @@ impl PreparedCorpus {
         self.forum = merged;
         self.features = features;
         self.uda = uda;
+        // The quantization grid was fit to the pre-append arena; drop it
+        // rather than serve codes from a stale grid.
+        self.quantized = None;
     }
 
-    /// Serialize into current-version ([`V2`], aligned) snapshot bytes
-    /// (sections: forum, features, index, context — see ARCHITECTURE.md
-    /// for the exact layout).
+    /// Serialize into current-version aligned snapshot bytes (sections:
+    /// forum, features, index, context — see ARCHITECTURE.md for the
+    /// exact layout): [`V2`] normally, [`V3`] with a trailing `QCTX`
+    /// section when a quantized mirror is present
+    /// ([`Self::ensure_quantized`]). The byte layouts are otherwise
+    /// identical, and v2 files load everywhere v3 files do.
     #[must_use]
     pub fn to_snapshot_bytes(&self) -> Vec<u8> {
-        let mut w = SnapshotWriter::new();
+        let mut w = match &self.quantized {
+            Some(_) => SnapshotWriter::with_version(V3),
+            None => SnapshotWriter::new(),
+        };
         encode_forum(&self.forum, w.section(SECTION_FORUM));
         encode_features(&self.features, w.section(SECTION_FEATURES));
         self.index.encode_v2(w.section(SECTION_INDEX));
         self.context.encode_v2(w.section(SECTION_CONTEXT));
+        if let Some(q) = &self.quantized {
+            q.encode_v2(w.section(SECTION_QUANTIZED));
+        }
         w.finish()
     }
 
@@ -305,7 +346,10 @@ impl PreparedCorpus {
     /// copies of the serialized stream. At 100k auxiliary users that is
     /// the difference between a save that fits alongside the build and
     /// one that doubles peak RSS. The resulting file is bit-identical to
-    /// [`Self::save`]'s (`streamed_save_matches_materialized_save`).
+    /// [`Self::save`]'s (`streamed_save_matches_materialized_save`) for
+    /// corpora without a quantized mirror; the streamer always emits
+    /// [`V2`] without the optional `QCTX` section, so a reloaded corpus
+    /// degrades to on-the-fly quantization under the approximate tier.
     ///
     /// # Errors
     /// Propagates filesystem errors.
@@ -354,7 +398,7 @@ impl PreparedCorpus {
 
         let mut s = reader.section(SECTION_INDEX)?;
         let index = match reader.version() {
-            V2 => AttributeIndex::decode_v2(&mut s, backing)?,
+            V2 | V3 => AttributeIndex::decode_v2(&mut s, backing)?,
             _ => AttributeIndex::decode(&mut s)?,
         };
         s.expect_end()?;
@@ -364,7 +408,7 @@ impl PreparedCorpus {
 
         let mut s = reader.section(SECTION_CONTEXT)?;
         let context = match reader.version() {
-            V2 => RefinedContext::decode_v2(&mut s, backing)?,
+            V2 | V3 => RefinedContext::decode_v2(&mut s, backing)?,
             _ => RefinedContext::decode(&mut s)?,
         };
         s.expect_end()?;
@@ -375,11 +419,26 @@ impl PreparedCorpus {
             return Err(SnapshotError::Malformed { context: "context dimension mismatch" });
         }
 
+        // The quantized mirror is an *optional* v3 section: a v3 file
+        // without it (or any older file) simply loads with `None`, and
+        // the engine quantizes on the fly when the approximate tier asks.
+        let quantized = match reader.section(SECTION_QUANTIZED) {
+            Ok(mut s) if reader.version() == V3 => {
+                let q = QuantizedContext::decode_v2(&mut s, backing)?;
+                s.expect_end()?;
+                if !q.matches_context(&context) {
+                    return Err(SnapshotError::Malformed { context: "quantized/context mismatch" });
+                }
+                Some(q)
+            }
+            _ => None,
+        };
+
         let uda = UdaGraph::build_with_features(&forum, &features);
         let classifier =
             if context.is_sparse() { ClassifierKind::default() } else { ClassifierKind::Centroid };
         debug_assert!(context.matches_classifier(classifier));
-        Ok(Self { forum, features, uda, index, context, classifier })
+        Ok(Self { forum, features, uda, index, context, classifier, quantized })
     }
 
     /// Read and restore a snapshot file, eagerly and fully owned
@@ -422,7 +481,7 @@ impl PreparedCorpus {
     /// Like [`Self::from_snapshot_bytes`].
     pub fn from_shared_bytes(backing: &SharedBytes) -> Result<Self, SnapshotError> {
         let reader = SnapshotReader::parse_with(backing.bytes(), &ParseOptions::trusting())?;
-        let zero_copy = (reader.version() == V2).then_some(backing);
+        let zero_copy = (reader.version() != V1).then_some(backing);
         if zero_copy.is_none() {
             // v1: nothing can be borrowed; run the fully-verified owned
             // decode (the file is small-format legacy data anyway).

@@ -82,8 +82,9 @@
 //! `attack` requests that arrive within one coalescing window
 //! ([`DaemonLimits::batch_window`]) against the **same corpus
 //! generation** (grouped by `Arc` identity, so a `load_snapshot`
-//! landing mid-window closes the old group) and the same effective
-//! thread count are merged into a single
+//! landing mid-window closes the old group), the same effective
+//! thread count and the same exactness mode (an `"mode": "approx"`
+//! request must never fuse with an exact one) are merged into a single
 //! [`Engine::run_prepared_batch`](dehealth_engine::Engine::run_prepared_batch)
 //! pass: one attribute-index build, one worker-pool schedule, one fused
 //! sweep over all requests' users — then demuxed back into per-request
@@ -129,7 +130,9 @@
 //! (execution), `daemon_emit_seconds` (reply → outbox bytes, on a
 //! worker) — proving parse and emit are billed to the pool, not the
 //! front thread. `daemon_encoding_requests_total{encoding=json|binary}`
-//! counts how each served request arrived on the wire.
+//! counts how each served request arrived on the wire, and
+//! `daemon_attack_seconds{exactness=exact|approx}` splits attack
+//! latency by whether the request rode the approximate fast tier.
 //! The whole registry is served by the `metrics` wire command (JSON,
 //! [`registry_to_json`]) and by the optional Prometheus scrape endpoint
 //! ([`MetricsServer`](crate::metrics::MetricsServer)). [`DaemonStats`]
@@ -180,7 +183,7 @@ use std::time::{Duration, Instant};
 
 use dehealth_core::AttackConfig;
 use dehealth_corpus::Forum;
-use dehealth_engine::{BatchRequest, Engine, EngineConfig, EngineOutcome};
+use dehealth_engine::{BatchRequest, Engine, EngineConfig, EngineOutcome, ExactnessMode};
 use dehealth_netpoll::{Event, Interest, Poller};
 use dehealth_telemetry::{info, warn, Counter, Gauge, Histogram, Registry, SpanTimer};
 
@@ -224,7 +227,7 @@ pub const COMMANDS: [&str; 8] = [
 /// (`bad_frame`, `frame_checksum`) classify rejected or dropped
 /// *connections* (which also answer with an error line but are not
 /// counted as served requests).
-pub const ERROR_KINDS: [&str; 11] = [
+pub const ERROR_KINDS: [&str; 12] = [
     "bad_frame",
     "connection_cap",
     "frame_checksum",
@@ -232,11 +235,21 @@ pub const ERROR_KINDS: [&str; 11] = [
     "invalid_json",
     "missing_cmd",
     "no_corpus",
+    "no_quantized_arenas",
     "oversize_request",
     "read_deadline",
     "snapshot_load",
     "unknown_cmd",
 ];
+
+/// Every `exactness` label of `daemon_attack_seconds`, pre-registered
+/// at bind time: whether each served attack ran the bit-exact pipeline
+/// or the approximate fast tier.
+pub const EXACTNESS_LABELS: [&str; 2] = ["approx", "exact"];
+
+/// Margin applied when an attack request selects `"mode": "approx"`
+/// without an explicit `margin` field.
+pub const DEFAULT_APPROX_MARGIN: f64 = 0.1;
 
 /// Every `encoding` label of `daemon_encoding_requests_total`,
 /// pre-registered at bind time: how each served request arrived on the
@@ -267,6 +280,13 @@ pub struct DaemonLimits {
     /// updates (clamped to at least 1). Two by default: one long attack
     /// batch cannot starve a corpus update or a second batch.
     pub workers: usize,
+    /// Whether approximate-mode attacks may quantize the corpus's
+    /// refined arenas on the fly when no persisted quantized mirror is
+    /// loaded (a v2 snapshot, or a v3 file without the quantized
+    /// section). When `false`, such requests are answered with a typed
+    /// `no_quantized_arenas` error instead of paying the per-attack
+    /// quantization cost silently.
+    pub runtime_quantization: bool,
 }
 
 impl Default for DaemonLimits {
@@ -278,6 +298,7 @@ impl Default for DaemonLimits {
             slow_request_threshold: Duration::from_secs(30),
             batch_window: Duration::from_millis(10),
             workers: 2,
+            runtime_quantization: true,
         }
     }
 }
@@ -365,6 +386,9 @@ impl DaemonMetrics {
         for kind in ERROR_KINDS {
             let _ = registry.counter_with("daemon_error_kind_total", &[("kind", kind)]);
         }
+        for exactness in EXACTNESS_LABELS {
+            let _ = registry.histogram_with("daemon_attack_seconds", &[("exactness", exactness)]);
+        }
         Self {
             requests: registry.counter("daemon_requests_total"),
             errors: registry.counter("daemon_errors_total"),
@@ -405,6 +429,12 @@ impl DaemonMetrics {
 
     fn error_kind(&self, kind: &'static str) -> Arc<Counter> {
         self.registry.counter_with("daemon_error_kind_total", &[("kind", kind)])
+    }
+
+    /// Attack latency histogram (wire arrival → engine completion),
+    /// split by whether the request ran exact or approximate.
+    fn attack_seconds(&self, exactness: &'static str) -> Arc<Histogram> {
+        self.registry.histogram_with("daemon_attack_seconds", &[("exactness", exactness)])
     }
 
     /// Refresh the corpus gauges after a swap (or the initial load) and
@@ -454,11 +484,11 @@ struct ReadyAttack {
     received: Instant,
     /// Worker time spent decoding + validating the request.
     parse_seconds: f64,
-    /// The thread count the front *scanned* from the raw bytes — the
-    /// key of the pending-group entry this parse resolves.
-    scanned_threads: usize,
     /// The actual effective thread count the full parse produced.
     threads: usize,
+    /// Exact pipeline or the approximate fast tier, from the request's
+    /// `mode`/`margin` fields (JSON) or margin flag word (binary).
+    exactness: ExactnessMode,
     attack: AttackConfig,
     forum: Forum,
     corpus: Arc<PreparedCorpus>,
@@ -481,14 +511,12 @@ enum Job {
         /// off the wire (`None` answers `no_corpus` *after* the parse,
         /// preserving the invalid_json > no_corpus precedence).
         corpus: Option<Arc<PreparedCorpus>>,
-        /// For attacks: the front's scanned batch key.
-        scanned_threads: usize,
         /// Run the attack in this job instead of returning it (batch
         /// window zero).
         solo: bool,
     },
-    /// A flushed batch: every item captured the same corpus `Arc` and
-    /// the same effective thread count.
+    /// A flushed batch: every item captured the same corpus `Arc`, the
+    /// same effective thread count and the same exactness mode.
     Attack { corpus: Arc<PreparedCorpus>, threads: usize, items: Vec<ReadyAttack> },
 }
 
@@ -738,11 +766,15 @@ struct Conn {
 }
 
 /// One open coalescing group: attacks captured against the same corpus
-/// `Arc` with the same effective thread count, waiting for the window
-/// to elapse — and for every member's worker-side parse to land.
+/// `Arc` with the same effective thread count and the same exactness
+/// mode, waiting for the window to elapse — and for every member's
+/// worker-side parse to land. Only same-exactness requests fuse: an
+/// approximate request must never drag an exact one onto the fast tier
+/// (or vice versa), so the dial is part of the batch key.
 struct BatchGroup {
     corpus: Arc<PreparedCorpus>,
     threads: usize,
+    exactness: ExactnessMode,
     opened: Instant,
     /// Connections whose attack is still being parsed on a worker. The
     /// group never flushes while nonempty: the parses were dispatched
@@ -1102,7 +1134,6 @@ fn pump_frame(state: &Arc<DaemonState>, groups: &mut Vec<BatchGroup>, conn: &mut
                 raw: RawRequest::AddUsersFrame(payload.to_vec()),
                 label: "add_auxiliary_users",
                 corpus: None,
-                scanned_threads: 0,
                 solo: false,
             });
         }
@@ -1154,7 +1185,6 @@ fn handle_line(
                 raw: RawRequest::JsonLine(line.to_string()),
                 label,
                 corpus: None,
-                scanned_threads: 0,
                 solo: false,
             });
         }
@@ -1198,7 +1228,6 @@ fn handle_control_line(
                 raw: RawRequest::JsonLine(line.to_string()),
                 label,
                 corpus: None,
-                scanned_threads: 0,
                 solo: false,
             });
         }
@@ -1269,7 +1298,6 @@ fn dispatch_attack(
         raw,
         label: "attack",
         corpus,
-        scanned_threads,
         solo,
     });
 }
@@ -1292,32 +1320,33 @@ fn file_pending(
     groups.push(BatchGroup {
         corpus: Arc::clone(corpus),
         threads,
+        exactness: ExactnessMode::Exact,
         opened: Instant::now(),
         pending: vec![token],
         ready: Vec::new(),
     });
 }
 
-/// File one worker-parsed attack: resolve its pending entry under the
-/// scanned key, then place it by its *actual* effective thread count —
-/// re-filing into (or opening) the right group when the byte scan and
-/// the full parse disagree.
+/// File one worker-parsed attack: resolve its pending entry (the token
+/// is unique to this in-flight request, so it is cleared from every
+/// group — the byte scan could not know the request's exactness), then
+/// place it by its *actual* (thread count, exactness) key — re-filing
+/// into (or opening) the right group when the byte scan and the full
+/// parse disagree.
 fn file_parsed(groups: &mut Vec<BatchGroup>, r: ReadyAttack) {
-    if let Some(g) = groups
-        .iter_mut()
-        .find(|g| g.threads == r.scanned_threads && Arc::ptr_eq(&g.corpus, &r.corpus))
-    {
+    for g in groups.iter_mut() {
         g.pending.retain(|&t| t != r.conn);
     }
-    if let Some(g) =
-        groups.iter_mut().find(|g| g.threads == r.threads && Arc::ptr_eq(&g.corpus, &r.corpus))
-    {
+    if let Some(g) = groups.iter_mut().find(|g| {
+        g.threads == r.threads && g.exactness == r.exactness && Arc::ptr_eq(&g.corpus, &r.corpus)
+    }) {
         g.ready.push(r);
         return;
     }
     groups.push(BatchGroup {
         corpus: Arc::clone(&r.corpus),
         threads: r.threads,
+        exactness: r.exactness,
         opened: Instant::now(),
         pending: Vec::new(),
         ready: vec![r],
@@ -1461,8 +1490,8 @@ fn run_job(state: &Arc<DaemonState>, job: Job) {
         Job::Parse { conn, .. } => vec![*conn],
     };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job {
-        Job::Parse { conn, received, raw, label, corpus, scanned_threads, solo } => {
-            run_parse_job(state, conn, received, raw, label, corpus, scanned_threads, solo);
+        Job::Parse { conn, received, raw, label, corpus, solo } => {
+            run_parse_job(state, conn, received, raw, label, corpus, solo);
         }
         Job::Attack { corpus, threads, items } => run_attack_job(state, &corpus, threads, items),
     }));
@@ -1510,7 +1539,6 @@ fn run_parse_job(
     raw: RawRequest,
     label: &'static str,
     corpus: Option<Arc<PreparedCorpus>>,
-    scanned_threads: usize,
     solo: bool,
 ) {
     let parse_timer = SpanTimer::new(Arc::clone(&state.metrics.parse_seconds));
@@ -1539,16 +1567,7 @@ fn run_parse_job(
             match label {
                 "attack" => {
                     let parsed = parse_attack_request(state, &request);
-                    finish_attack_parse(
-                        state,
-                        conn,
-                        received,
-                        parse_timer,
-                        corpus,
-                        scanned_threads,
-                        solo,
-                        parsed,
-                    );
+                    finish_attack_parse(state, conn, received, parse_timer, corpus, solo, parsed);
                 }
                 "add_auxiliary_users" => {
                     let chunk = request
@@ -1592,19 +1611,14 @@ fn run_parse_job(
                         attack.seed = s;
                     }
                     let threads = p.options.threads.unwrap_or(state.config.n_threads);
-                    (attack, p.forum, threads)
+                    let exactness = match p.options.approx_margin {
+                        Some(margin) => ExactnessMode::Approx { margin },
+                        None => ExactnessMode::Exact,
+                    };
+                    (attack, p.forum, threads, exactness)
                 })
                 .map_err(|e| CmdError::new("invalid_argument", e));
-            finish_attack_parse(
-                state,
-                conn,
-                received,
-                parse_timer,
-                corpus,
-                scanned_threads,
-                solo,
-                parsed,
-            );
+            finish_attack_parse(state, conn, received, parse_timer, corpus, solo, parsed);
         }
         RawRequest::AddUsersFrame(payload) => {
             let chunk = frame::decode_add_users_payload(&payload);
@@ -1635,9 +1649,8 @@ fn finish_attack_parse(
     received: Instant,
     parse_timer: SpanTimer,
     corpus: Option<Arc<PreparedCorpus>>,
-    scanned_threads: usize,
     solo: bool,
-    parsed: Result<(AttackConfig, Forum, usize), CmdError>,
+    parsed: Result<(AttackConfig, Forum, usize, ExactnessMode), CmdError>,
 ) {
     let parse_seconds = parse_timer.stop().as_secs_f64();
     // `no_corpus` outranks per-field validation (`invalid_argument`),
@@ -1657,23 +1670,33 @@ fn finish_attack_parse(
             )),
         );
     };
-    let (attack, forum, threads) = match parsed {
+    let (attack, forum, threads, exactness) = match parsed {
         Ok(parts) => parts,
         Err(e) => {
             record_queue(state, received, parse_seconds);
             return respond(state, conn, "attack", received, Err(e));
         }
     };
-    let ready = ReadyAttack {
-        conn,
-        received,
-        parse_seconds,
-        scanned_threads,
-        threads,
-        attack,
-        forum,
-        corpus,
-    };
+    // An approximate request against a corpus with no quantized mirror
+    // is a typed error when on-the-fly quantization is disabled — never
+    // a silent exact fallback: the client asked for the fast tier and
+    // must learn it cannot be served, not get a quietly slower answer.
+    if exactness.is_approx() && corpus.quantized().is_none() && !state.limits.runtime_quantization {
+        record_queue(state, received, parse_seconds);
+        return respond(
+            state,
+            conn,
+            "attack",
+            received,
+            Err(CmdError::new(
+                "no_quantized_arenas",
+                "corpus has no quantized arenas and runtime quantization is disabled \
+                 (load a v3 snapshot with quantized sections, or enable runtime quantization)",
+            )),
+        );
+    }
+    let ready =
+        ReadyAttack { conn, received, parse_seconds, threads, exactness, attack, forum, corpus };
     if solo {
         let corpus = Arc::clone(&ready.corpus);
         let threads = ready.threads;
@@ -1699,17 +1722,22 @@ fn run_attack_job(
     for item in &items {
         record_queue(state, item.received, item.parse_seconds);
     }
+    // Batches group by exactness (part of the coalescing key), so the
+    // whole job runs one mode; solo jobs trivially agree with item 0.
+    let exactness = items[0].exactness;
     let engine_start = Instant::now();
     let outcomes: Vec<EngineOutcome> = if items.len() == 1 {
         let item = &items[0];
         let engine = Engine::new(EngineConfig {
             n_threads: threads,
             attack: item.attack.clone(),
+            exactness,
             ..state.config.clone()
         });
         vec![corpus.attack(&engine, &item.forum)]
     } else {
-        let engine = Engine::new(EngineConfig { n_threads: threads, ..state.config.clone() });
+        let engine =
+            Engine::new(EngineConfig { n_threads: threads, exactness, ..state.config.clone() });
         let requests: Vec<BatchRequest<'_>> = items
             .iter()
             .map(|item| BatchRequest { attack: item.attack.clone(), anonymized: &item.forum })
@@ -1720,8 +1748,10 @@ fn run_attack_job(
     // is the batch's wall time, recorded per request like
     // `daemon_command_seconds`.
     let engine_elapsed = engine_start.elapsed();
+    let exactness_label = if exactness.is_approx() { "approx" } else { "exact" };
     for (item, outcome) in items.iter().zip(outcomes) {
         state.metrics.engine_seconds.record(engine_elapsed);
+        state.metrics.attack_seconds(exactness_label).record(item.received.elapsed());
         state.metrics.attacks.inc();
         state.metrics.attacked_users.add(item.forum.n_users as u64);
         state
@@ -1753,7 +1783,7 @@ fn run_attack_job(
 fn parse_attack_request(
     state: &Arc<DaemonState>,
     request: &Json,
-) -> Result<(AttackConfig, Forum, usize), CmdError> {
+) -> Result<(AttackConfig, Forum, usize, ExactnessMode), CmdError> {
     let anonymized = match request
         .get("forum")
         .ok_or_else(|| "missing forum".to_string())
@@ -1788,7 +1818,36 @@ fn parse_attack_request(
             None => return Err(CmdError::new("invalid_argument", "invalid threads")),
         },
     };
-    Ok((attack, anonymized, threads))
+    let approx = match request.get("mode") {
+        None => false,
+        Some(m) => match m.as_str() {
+            Some("exact") => false,
+            Some("approx") => true,
+            _ => {
+                return Err(CmdError::new(
+                    "invalid_argument",
+                    "invalid mode (expected \"exact\" or \"approx\")",
+                ))
+            }
+        },
+    };
+    let exactness = match (approx, request.get("margin")) {
+        (false, None) => ExactnessMode::Exact,
+        (false, Some(_)) => {
+            return Err(CmdError::new("invalid_argument", "margin requires \"mode\": \"approx\""))
+        }
+        (true, None) => ExactnessMode::Approx { margin: DEFAULT_APPROX_MARGIN },
+        (true, Some(m)) => match m.as_f64() {
+            Some(margin) if margin.is_finite() && margin >= 0.0 => ExactnessMode::Approx { margin },
+            _ => {
+                return Err(CmdError::new(
+                    "invalid_argument",
+                    "invalid margin (expected a finite number >= 0)",
+                ))
+            }
+        },
+    };
+    Ok((attack, anonymized, threads, exactness))
 }
 
 /// A failed command: the error-kind label for

@@ -44,8 +44,10 @@
 //! ## Attack payload schema
 //!
 //! ```text
-//! u32  option flags      (bit 0 top_k, 1 n_landmarks, 2 threads, 3 seed)
-//! u64  × popcount(flags) option values, in bit order
+//! u32  option flags      (bit 0 top_k, 1 n_landmarks, 2 threads,
+//!                         3 seed, 4 approx margin)
+//! u64  × popcount(flags) option values, in bit order (the approx
+//!                        margin travels as its f64 bit pattern)
 //! u32  n_users │ u32 n_threads │ u32 n_posts │ posts…   (encode_forum)
 //! ```
 //!
@@ -251,7 +253,8 @@ const FLAG_TOP_K: u32 = 1 << 0;
 const FLAG_N_LANDMARKS: u32 = 1 << 1;
 const FLAG_THREADS: u32 = 1 << 2;
 const FLAG_SEED: u32 = 1 << 3;
-const KNOWN_FLAGS: u32 = FLAG_TOP_K | FLAG_N_LANDMARKS | FLAG_THREADS | FLAG_SEED;
+const FLAG_APPROX: u32 = 1 << 4;
+const KNOWN_FLAGS: u32 = FLAG_TOP_K | FLAG_N_LANDMARKS | FLAG_THREADS | FLAG_SEED | FLAG_APPROX;
 
 /// Encode a complete binary `attack` request frame.
 #[must_use]
@@ -263,6 +266,7 @@ pub fn encode_attack_frame(anonymized: &Forum, options: &AttackOptions) -> Vec<u
         (options.n_landmarks.is_some(), FLAG_N_LANDMARKS),
         (options.threads.is_some(), FLAG_THREADS),
         (options.seed.is_some(), FLAG_SEED),
+        (options.approx_margin.is_some(), FLAG_APPROX),
     ] {
         if set {
             flags |= flag;
@@ -280,6 +284,9 @@ pub fn encode_attack_frame(anonymized: &Forum, options: &AttackOptions) -> Vec<u
     }
     if let Some(s) = options.seed {
         buf.put_u64(s);
+    }
+    if let Some(margin) = options.approx_margin {
+        buf.put_u64(margin.to_bits());
     }
     encode_forum(anonymized, &mut buf);
     encode_frame(FrameTag::Attack, &buf.into_bytes())
@@ -349,6 +356,13 @@ pub fn decode_attack_payload(payload: &[u8]) -> Result<AttackPayload, String> {
     }
     if flags & FLAG_SEED != 0 {
         options.seed = Some(r.take_u64().map_err(|e| e.to_string())?);
+    }
+    if flags & FLAG_APPROX != 0 {
+        let margin = f64::from_bits(r.take_u64().map_err(|e| e.to_string())?);
+        if !margin.is_finite() || margin < 0.0 {
+            return Err("margin must be a finite number >= 0".into());
+        }
+        options.approx_margin = Some(margin);
     }
     let forum = decode_forum(&mut r).map_err(|e| e.to_string())?;
     r.expect_end().map_err(|e| e.to_string())?;
@@ -501,6 +515,7 @@ mod tests {
             n_landmarks: None,
             threads: Some(2),
             seed: Some(u64::MAX - 5), // far beyond the JSON wire's 2^53
+            approx_margin: Some(0.125),
         };
         let frame = encode_attack_frame(&forum, &options);
         let header = parse_header(frame[..8].try_into().unwrap(), usize::MAX).unwrap();

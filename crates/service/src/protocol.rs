@@ -103,11 +103,25 @@ pub fn report_to_json(report: &EngineReport) -> Json {
             ])
         })
         .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("n_threads".into(), Json::int(report.n_threads)),
         ("block_size".into(), Json::int(report.block_size)),
         ("stages".into(), Json::Arr(stages)),
-    ])
+    ];
+    // Only approximate runs carry prescreen counters; exact responses
+    // stay byte-identical to what pre-approx daemons emitted.
+    let p = report.prescreen;
+    if !p.is_empty() {
+        fields.push((
+            "prescreen".into(),
+            Json::Obj(vec![
+                ("admitted".into(), Json::Num(p.admitted as f64)),
+                ("skipped".into(), Json::Num(p.skipped as f64)),
+                ("rescored".into(), Json::Num(p.rescored as f64)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 /// A successful response: `{"ok": true, …fields}`.
@@ -129,7 +143,7 @@ pub fn error_response(message: &str) -> Json {
 
 /// Per-request overrides of the daemon's default attack parameters.
 /// `None` fields keep the daemon's configuration.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AttackOptions {
     /// Candidate-set size K.
     pub top_k: Option<usize>,
@@ -142,6 +156,10 @@ pub struct AttackOptions {
     /// would break the request's seed-faithful parity with an in-process
     /// run — so larger seeds are rejected loudly at encode time.
     pub seed: Option<u64>,
+    /// Opt into the approximate fast tier with this confidence margin
+    /// (encodes as `"mode":"approx"` plus `"margin"`). `None` keeps the
+    /// daemon's default bit-exact execution.
+    pub approx_margin: Option<f64>,
 }
 
 impl AttackOptions {
@@ -165,6 +183,10 @@ impl AttackOptions {
         if let Some(s) = self.seed {
             assert!(s <= 1u64 << 53, "seed {s} is not exactly representable on the JSON wire");
             fields.push(("seed".into(), Json::Num(s as f64)));
+        }
+        if let Some(margin) = self.approx_margin {
+            fields.push(("mode".into(), Json::Str("approx".into())));
+            fields.push(("margin".into(), Json::Num(margin)));
         }
         fields
     }

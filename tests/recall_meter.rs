@@ -1,0 +1,161 @@
+//! Recall meter for the approximate fast tier.
+//!
+//! The approximate tier (`ExactnessMode::Approx`) trades recall for
+//! speed behind a single margin dial — but only when *asked to*. This
+//! harness pins the two sides of that contract:
+//!
+//! 1. **Exact mode is lossless.** Under the default
+//!    `ExactnessMode::Exact`, the indexed engine's recall against the
+//!    serial reference attack is exactly 1.0 — recall@1, recall@k and
+//!    mapping agreement — for **every** classifier × verification
+//!    combination, and the prescreen tally stays empty. Approximation
+//!    must never leak into the default path.
+//! 2. **A zero margin is the identity.** `Approx { margin: 0.0 }` is
+//!    bit-identical to `Exact` (candidates, score bits, mapping) across
+//!    the same sweep: the prescreen band and the quantized rescore band
+//!    are both empty at margin 0, so dialing the margin down reaches
+//!    exactness continuously instead of jumping between code paths.
+//!
+//! A final smoke test checks the opposite direction — a wide positive
+//! margin actually engages the prescreen (non-empty tally), so the dial
+//! is live and the exactness of the first two tests is not vacuous.
+
+use de_health::core::{AttackConfig, ClassifierKind, DeHealth, Verification};
+use de_health::corpus::split::{closed_world_split, SplitConfig};
+use de_health::corpus::{Forum, ForumConfig, Split};
+use de_health::engine::{
+    Engine, EngineConfig, EngineOutcome, ExactnessMode, RefinedMode, ScoringMode,
+};
+
+const CLASSIFIERS: [ClassifierKind; 4] = [
+    ClassifierKind::Knn { k: 3 },
+    ClassifierKind::Smo,
+    ClassifierKind::Rlsc { lambda: 1.0 },
+    ClassifierKind::Centroid,
+];
+
+const VERIFICATIONS: [Verification; 5] = [
+    Verification::None,
+    Verification::Mean { r: 0.25 },
+    Verification::FalseAddition { n_false: 3 },
+    Verification::Distractorless { theta: 0.2 },
+    Verification::Sigma { factor: 2.0 },
+];
+
+/// Small enough that the 20-combination sweep stays fast in debug
+/// builds, large enough for non-trivial Top-K sets and rejections.
+fn small_split() -> Split {
+    let mut c = ForumConfig::webmd_like(36);
+    c.mean_post_words = 40.0;
+    let forum = Forum::generate(&c, 42);
+    closed_world_split(&forum, &SplitConfig::fraction(0.5), 7)
+}
+
+fn engine_run(split: &Split, attack: AttackConfig, exactness: ExactnessMode) -> EngineOutcome {
+    Engine::new(EngineConfig {
+        attack,
+        n_threads: 2,
+        block_size: 8,
+        scoring: ScoringMode::Indexed,
+        refined: RefinedMode::Shared,
+        exactness,
+        ..EngineConfig::default()
+    })
+    .run(&split.auxiliary, &split.anonymized)
+}
+
+/// Recall of `got` against the reference run: (recall@1, recall@k,
+/// mapping agreement), each in `[0, 1]`. Users whose reference candidate
+/// set is empty are excluded from recall@1; recall@k pools the reference
+/// Top-K entries and counts how many survive in `got`.
+fn recall_metrics(
+    reference: &(Vec<Vec<usize>>, Vec<Option<usize>>),
+    got: &EngineOutcome,
+) -> (f64, f64, f64) {
+    let (ref_candidates, ref_mapping) = reference;
+    let mut top1_hits = 0usize;
+    let mut top1_total = 0usize;
+    let mut pool_hits = 0usize;
+    let mut pool_total = 0usize;
+    for (u, exact_set) in ref_candidates.iter().enumerate() {
+        if let Some(&best) = exact_set.first() {
+            top1_total += 1;
+            top1_hits += usize::from(got.candidates[u].first() == Some(&best));
+        }
+        pool_total += exact_set.len();
+        pool_hits += exact_set.iter().filter(|v| got.candidates[u].contains(v)).count();
+    }
+    let agree = ref_mapping.iter().zip(&got.mapping).filter(|(a, b)| a == b).count();
+    let frac =
+        |hits: usize, total: usize| if total == 0 { 1.0 } else { hits as f64 / total as f64 };
+    (frac(top1_hits, top1_total), frac(pool_hits, pool_total), frac(agree, ref_mapping.len()))
+}
+
+fn attack_with(classifier: ClassifierKind, verification: Verification) -> AttackConfig {
+    AttackConfig { classifier, verification, ..AttackConfig::default() }
+}
+
+/// Exact mode scores 1.0 on every recall axis against the serial
+/// reference, for all classifier × verification combos, with an empty
+/// prescreen tally.
+#[test]
+fn exact_mode_recall_is_one_across_all_combos() {
+    let split = small_split();
+    for classifier in CLASSIFIERS {
+        for verification in VERIFICATIONS {
+            let attack = attack_with(classifier, verification);
+            let label = format!("{classifier:?} / {verification:?}");
+            let serial = DeHealth::new(attack.clone()).run(&split.auxiliary, &split.anonymized);
+            let reference = (serial.candidates, serial.mapping);
+            let exact = engine_run(&split, attack, ExactnessMode::Exact);
+            assert!(exact.report.prescreen.is_empty(), "prescreen active in Exact mode ({label})");
+            let (r1, rk, agree) = recall_metrics(&reference, &exact);
+            assert_eq!(r1, 1.0, "recall@1 below 1.0 in Exact mode ({label})");
+            assert_eq!(rk, 1.0, "recall@k below 1.0 in Exact mode ({label})");
+            assert_eq!(agree, 1.0, "mapping agreement below 1.0 in Exact mode ({label})");
+        }
+    }
+}
+
+/// `Approx { margin: 0.0 }` is bit-identical to `Exact` — same
+/// candidates, same score bits, same mapping — across the full sweep.
+#[test]
+fn zero_margin_is_bit_identical_to_exact() {
+    let split = small_split();
+    for classifier in CLASSIFIERS {
+        for verification in VERIFICATIONS {
+            let attack = attack_with(classifier, verification);
+            let label = format!("{classifier:?} / {verification:?}");
+            let exact = engine_run(&split, attack.clone(), ExactnessMode::Exact);
+            let zero = engine_run(&split, attack, ExactnessMode::Approx { margin: 0.0 });
+            assert_eq!(zero.candidates, exact.candidates, "candidates diverge ({label})");
+            assert_eq!(zero.mapping, exact.mapping, "mapping diverges ({label})");
+            for (a, b) in exact.candidate_scores.iter().zip(&zero.candidate_scores) {
+                let bits = |row: &[(usize, f64)]| {
+                    row.iter().map(|&(v, s)| (v, s.to_bits())).collect::<Vec<_>>()
+                };
+                assert_eq!(bits(a), bits(b), "score bits diverge ({label})");
+            }
+            assert!(zero.report.prescreen.is_empty(), "prescreen tallied at margin 0 ({label})");
+        }
+    }
+}
+
+/// A wide positive margin actually engages the dial: the prescreen
+/// skips pairs and the tally shows up on the report, so the exactness
+/// asserted above is not vacuous.
+#[test]
+fn positive_margin_engages_the_prescreen() {
+    let split = small_split();
+    let attack = attack_with(ClassifierKind::Knn { k: 3 }, Verification::None);
+    let serial = DeHealth::new(attack.clone()).run(&split.auxiliary, &split.anonymized);
+    let reference = (serial.candidates, serial.mapping);
+    let wide = engine_run(&split, attack, ExactnessMode::Approx { margin: 0.5 });
+    let tally = &wide.report.prescreen;
+    assert!(!tally.is_empty(), "margin 0.5 never engaged the prescreen");
+    assert!(tally.skipped > 0, "margin 0.5 skipped no pairs");
+    let (r1, rk, agree) = recall_metrics(&reference, &wide);
+    for (name, value) in [("recall@1", r1), ("recall@k", rk), ("agreement", agree)] {
+        assert!((0.0..=1.0).contains(&value), "{name} out of range: {value}");
+    }
+}

@@ -1,5 +1,6 @@
 //! Snapshot persistence: round-trip bit-parity against a freshly built
-//! corpus, v1 ↔ v2 compatibility, zero-copy (mmap) vs owned load
+//! corpus, v1 ↔ v2 ↔ v3 compatibility (v3 = v2 plus an optional
+//! quantized-arena section), zero-copy (mmap) vs owned load
 //! parity, and robustness of the decoder against malformed files —
 //! truncation, bad magic, wrong version, corrupted payloads, bad
 //! padding, misaligned arenas, and a v1 file fed to the v2 fast path
@@ -9,7 +10,7 @@
 use de_health::core::index::AttributeIndex;
 use de_health::core::refined::{ClassifierKind, RefinedContext};
 use de_health::corpus::snapshot::{
-    ParseOptions, SnapshotError, SnapshotReader, ALIGN, MAGIC, V1, V2, VERSION,
+    ParseOptions, SnapshotError, SnapshotReader, ALIGN, MAGIC, V1, V2, V3, VERSION,
 };
 use de_health::corpus::split::{closed_world_split, SplitConfig};
 use de_health::corpus::{Forum, ForumConfig};
@@ -208,6 +209,94 @@ fn mapped_and_owned_loads_restore_identical_corpora() {
         assert_eq!(stats.resident_arena_bytes, 0, "{classifier:?}");
         assert!(stats.borrowed_arena_bytes > 0, "{classifier:?}");
         std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn v3_quantized_snapshots_roundtrip_owned_and_mapped() {
+    let mut fresh = built_corpus(ClassifierKind::default());
+    assert!(fresh.quantized().is_none());
+    assert!(fresh.ensure_quantized());
+    let bytes = fresh.to_snapshot_bytes();
+    // A corpus carrying quantized arenas serializes as v3 with the QCTX
+    // section appended after the v2 layout.
+    assert_eq!(u16::from_le_bytes([bytes[8], bytes[9]]), V3);
+    assert_eq!(SnapshotReader::parse(&bytes).unwrap().version(), V3);
+
+    // Owned load restores the quantized mirror and re-serializes to the
+    // identical v3 byte stream.
+    let loaded = PreparedCorpus::from_snapshot_bytes(&bytes).unwrap();
+    let q = loaded.quantized().expect("v3 QCTX section restores the quantized mirror");
+    assert!(q.matches_context(loaded.context()));
+    assert_eq!(loaded.to_snapshot_bytes(), bytes);
+
+    // Mapped load keeps the quantized arenas borrowed from the mapping.
+    let path = std::env::temp_dir().join("dehealth-snapshot-v3-roundtrip-test.snap");
+    std::fs::write(&path, &bytes).unwrap();
+    let mapped = PreparedCorpus::load_with(&path, LoadMode::Mapped).unwrap();
+    assert!(mapped.is_mapped());
+    let q = mapped.quantized().expect("mapped v3 load restores the quantized mirror");
+    assert!(q.is_borrowed(), "mapped load must not copy the quantized arenas");
+    assert!(q.matches_context(mapped.context()));
+    assert_eq!(mapped.to_snapshot_bytes(), bytes);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn v2_and_sectionless_v3_files_load_without_a_quantized_mirror() {
+    // A plain v2 file (today's default for unquantized corpora) loads
+    // everywhere with `quantized() == None`.
+    let fresh = built_corpus(ClassifierKind::default());
+    let v2 = fresh.to_snapshot_bytes();
+    assert_eq!(u16::from_le_bytes([v2[8], v2[9]]), V2);
+    assert!(PreparedCorpus::from_snapshot_bytes(&v2).unwrap().quantized().is_none());
+
+    // A v3 file *without* the optional QCTX section is layout-identical
+    // to v2 (the 16-byte header carries the version but is not covered
+    // by a section checksum), and degrades gracefully: it loads with no
+    // quantized mirror and re-serializes as v2.
+    let mut v3 = v2.clone();
+    v3[8..10].copy_from_slice(&V3.to_le_bytes());
+    let loaded = PreparedCorpus::from_snapshot_bytes(&v3).unwrap();
+    assert!(loaded.quantized().is_none());
+    assert_eq!(loaded.to_snapshot_bytes(), v2, "no mirror, so it re-serializes as v2");
+
+    // Versions beyond v3 stay typed errors.
+    let mut v4 = v2.clone();
+    v4[8..10].copy_from_slice(&4u16.to_le_bytes());
+    assert!(matches!(
+        PreparedCorpus::from_snapshot_bytes(&v4),
+        Err(SnapshotError::UnsupportedVersion(4))
+    ));
+}
+
+#[test]
+fn v3_quantized_section_must_match_its_context() {
+    // Corrupting the QCTX payload either trips its checksum or — when the
+    // bytes still parse — fails the quantized/context cross-check with a
+    // typed Malformed error. Never an inconsistent corpus.
+    let mut fresh = built_corpus(ClassifierKind::default());
+    assert!(fresh.ensure_quantized());
+    let bytes = fresh.to_snapshot_bytes();
+    let v2_len = {
+        let plain = built_corpus(ClassifierKind::default());
+        assert!(plain.quantized().is_none());
+        plain.to_snapshot_bytes().len()
+    };
+    assert!(bytes.len() > v2_len, "QCTX section must extend the file");
+    for at in (v2_len + 16..bytes.len()).step_by(((bytes.len() - v2_len) / 11).max(1)) {
+        let mut corrupted = bytes.clone();
+        corrupted[at] ^= 0x5a;
+        match PreparedCorpus::from_snapshot_bytes(&corrupted) {
+            Err(
+                SnapshotError::ChecksumMismatch { .. }
+                | SnapshotError::Malformed { .. }
+                | SnapshotError::Truncated { .. }
+                | SnapshotError::Misaligned { .. },
+            ) => {}
+            Ok(_) => panic!("QCTX corruption at byte {at} went undetected"),
+            other => panic!("QCTX corruption at byte {at}: unexpected {other:?}"),
+        }
     }
 }
 
